@@ -1,0 +1,68 @@
+// Ablation A3: sigma vs. Hausdorff distance as a point-set similarity
+// measure. The paper (Section 2.2) argues that Hausdorff — a maximum-
+// discrepancy measure used by the closest related work (Adelfio et al.) —
+// cannot capture *partial* similarity: one stray object ruins an
+// otherwise near-identical pair. This driver quantifies the claim by
+// comparing the two top-k rankings on the same datasets and reporting
+// their overlap, plus the Hausdorff distances of the sigma-top pairs.
+//
+// Usage: bench_ablation_hausdorff [num_users]
+
+#include <algorithm>
+
+#include "bench_util.h"
+#include "core/hausdorff.h"
+
+namespace {
+
+size_t Overlap(const std::vector<stps::ScoredUserPair>& a,
+               const std::vector<stps::ScoredUserPair>& b) {
+  size_t shared = 0;
+  for (const auto& x : a) {
+    for (const auto& y : b) {
+      if (x.a == y.a && x.b == y.b) {
+        ++shared;
+        break;
+      }
+    }
+  }
+  return shared;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  using namespace stps;
+  using namespace stps::bench;
+  const size_t num_users = ArgSize(argc, argv, 1, 250);
+
+  std::printf("Ablation A3: sigma (spatio-textual, partial) vs. Hausdorff "
+              "(spatial, max-discrepancy), %zu users\n\n",
+              num_users);
+  for (const DatasetKind kind : AllKinds()) {
+    const ObjectDatabase& db = GetDataset(kind, num_users);
+    const STPSQuery defaults = DefaultQuery(kind);
+    std::printf("%s\n", DatasetKindName(kind));
+    for (const size_t k : {5, 10, 25}) {
+      const TopKQuery query{defaults.eps_loc, defaults.eps_doc, k};
+      const auto by_sigma = RunTopKSTPSJoin(db, query, TopKAlgorithm::kP);
+      const auto by_hausdorff = HausdorffTopK(db, k);
+      const size_t shared = Overlap(by_sigma, by_hausdorff);
+      // How badly does Hausdorff score the sigma-best pairs?
+      double worst_h = 0.0;
+      for (const auto& pair : by_sigma) {
+        worst_h = std::max(worst_h,
+                           HausdorffDistance(db.UserObjects(pair.a),
+                                             db.UserObjects(pair.b)));
+      }
+      std::printf("  k=%-3zu ranking overlap %zu/%zu; max Hausdorff among "
+                  "sigma-top pairs: %.4f (vs eps_loc=%.4f)\n",
+                  k, shared, by_sigma.size(), worst_h, defaults.eps_loc);
+    }
+  }
+  std::printf("\nexpected: low overlap, and sigma-top pairs with Hausdorff "
+              "distances orders of magnitude above eps_loc — partially\n"
+              "similar users contain at least one distant object, which "
+              "Hausdorff punishes and sigma tolerates.\n");
+  return 0;
+}

@@ -1,0 +1,82 @@
+// Ablation A2: contribution of the PPJOIN filters (prefix-only ALL-PAIRS
+// baseline vs. +positional vs. +suffix) on set-similarity self-joins.
+// google-benchmark microbenchmark over synthetic Zipf token sets.
+
+#include <benchmark/benchmark.h>
+
+#include "common/rng.h"
+#include "text/token_set.h"
+#include "textjoin/allpairs.h"
+#include "textjoin/ppjoin.h"
+
+namespace {
+
+using stps::Rng;
+using stps::TextJoinOptions;
+using stps::TokenId;
+using stps::TokenVector;
+using stps::ZipfSampler;
+
+std::vector<TokenVector> MakeRecords(size_t count, size_t vocabulary,
+                                     size_t avg_tokens) {
+  Rng rng(99);
+  const ZipfSampler sampler(vocabulary, 0.9);
+  std::vector<TokenVector> records(count);
+  for (auto& rec : records) {
+    const size_t n = 1 + rng.NextBelow(2 * avg_tokens);
+    for (size_t i = 0; i < n; ++i) {
+      rec.push_back(static_cast<TokenId>(sampler.Sample(rng)));
+    }
+    stps::NormalizeTokenSet(&rec);
+  }
+  return records;
+}
+
+void ConfigureJoin(benchmark::State& state, bool positional, bool suffix) {
+  // range(0): record count; range(1): average tokens per record. Longer
+  // records are where the positional/suffix filters earn their keep.
+  const size_t avg_tokens = static_cast<size_t>(state.range(1));
+  const auto records = MakeRecords(static_cast<size_t>(state.range(0)),
+                                   avg_tokens >= 24 ? 600 : 2000,
+                                   avg_tokens);
+  TextJoinOptions options;
+  options.threshold = avg_tokens >= 24 ? 0.8 : 0.6;
+  options.positional_filter = positional;
+  options.suffix_filter = suffix;
+  size_t pairs = 0;
+  for (auto _ : state) {
+    pairs = PPJoinSelf(records, options).size();
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+
+void BM_AllPairs(benchmark::State& state) {
+  ConfigureJoin(state, /*positional=*/false, /*suffix=*/false);
+}
+
+void BM_PPJoin(benchmark::State& state) {
+  ConfigureJoin(state, /*positional=*/true, /*suffix=*/false);
+}
+
+void BM_PPJoinPlus(benchmark::State& state) {
+  ConfigureJoin(state, /*positional=*/true, /*suffix=*/true);
+}
+
+}  // namespace
+
+BENCHMARK(BM_AllPairs)
+    ->Args({2000, 8})
+    ->Args({8000, 8})
+    ->Args({2000, 32})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PPJoin)
+    ->Args({2000, 8})
+    ->Args({8000, 8})
+    ->Args({2000, 32})
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_PPJoinPlus)
+    ->Args({2000, 8})
+    ->Args({8000, 8})
+    ->Args({2000, 32})
+    ->Unit(benchmark::kMillisecond);

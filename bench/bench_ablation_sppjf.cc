@@ -1,0 +1,59 @@
+// Ablation A1: which S-PPJ-F ingredient buys the speedup?
+//   full          — sigma_bar candidate bound + PPJ-B refinement bound
+//   no-sigma-bar  — refinement bound only
+//   no-refine     — candidate bound only (refinement runs to completion)
+//   neither       — token-probing candidate generation alone
+// Compared on the TwitterLike regime at the paper's default thresholds.
+
+#include <benchmark/benchmark.h>
+
+#include "core/sppj_f.h"
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+
+namespace {
+
+using stps::DatasetKind;
+using stps::GenerateDataset;
+using stps::ObjectDatabase;
+using stps::PresetSpec;
+using stps::STPSQuery;
+
+const ObjectDatabase& Dataset() {
+  static const ObjectDatabase* db = new ObjectDatabase(
+      GenerateDataset(PresetSpec(DatasetKind::kTwitterLike, 250, 5)));
+  return *db;
+}
+
+void RunAblation(benchmark::State& state, bool sigma_bound,
+                 bool refine_bound) {
+  const ObjectDatabase& db = Dataset();
+  STPSQuery query = stps::DefaultQuery(DatasetKind::kTwitterLike);
+  query.eps_u = 0.2;
+  size_t pairs = 0;
+  for (auto _ : state) {
+    pairs = SPPJFAblation(db, query, sigma_bound, refine_bound).size();
+    benchmark::DoNotOptimize(pairs);
+  }
+  state.counters["pairs"] = static_cast<double>(pairs);
+}
+
+void BM_SPPJF_Full(benchmark::State& state) {
+  RunAblation(state, true, true);
+}
+void BM_SPPJF_NoSigmaBar(benchmark::State& state) {
+  RunAblation(state, false, true);
+}
+void BM_SPPJF_NoRefineBound(benchmark::State& state) {
+  RunAblation(state, true, false);
+}
+void BM_SPPJF_Neither(benchmark::State& state) {
+  RunAblation(state, false, false);
+}
+
+}  // namespace
+
+BENCHMARK(BM_SPPJF_Full)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SPPJF_NoSigmaBar)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SPPJF_NoRefineBound)->Unit(benchmark::kMillisecond);
+BENCHMARK(BM_SPPJF_Neither)->Unit(benchmark::kMillisecond);

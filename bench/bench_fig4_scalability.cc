@@ -1,0 +1,49 @@
+// Reproduces Figure 4: STPSJoin execution time vs. dataset size (number
+// of users) for S-PPJ-C, S-PPJ-B, S-PPJ-F and S-PPJ-D on all three
+// dataset regimes, at each dataset's default thresholds
+// (GeoText .001/.3/.3, Flickr .001/.6/.6, Twitter .001/.4/.4).
+//
+// Expected shape (paper): S-PPJ-F fastest by orders of magnitude on every
+// dataset and size; S-PPJ-B consistently below S-PPJ-C; S-PPJ-D between
+// S-PPJ-B and S-PPJ-F.
+//
+// Usage: bench_fig4_scalability [max_users]  (sweep doubles up to this)
+
+#include <vector>
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace stps;
+  using namespace stps::bench;
+  const size_t max_users = ArgSize(argc, argv, 1, 1000);
+  std::vector<size_t> sweep;
+  for (size_t n = 125; n <= max_users; n *= 2) sweep.push_back(n);
+
+  std::printf("Figure 4: scalability (time in ms; result size in "
+              "parentheses)\n");
+  for (const DatasetKind kind : AllKinds()) {
+    const STPSQuery query = DefaultQuery(kind);
+    std::printf("\n%s  (eps_loc=%g, eps_doc=%g, eps_u=%g)\n",
+                DatasetKindName(kind), query.eps_loc, query.eps_doc,
+                query.eps_u);
+    std::printf("%8s %12s %12s %12s %12s %8s\n", "users", "S-PPJ-C",
+                "S-PPJ-B", "S-PPJ-F", "S-PPJ-D", "|R|");
+    for (const size_t n : sweep) {
+      const ObjectDatabase& db = GetDataset(kind, n);
+      size_t result_size = 0;
+      const double c =
+          TimeJoin(db, query, JoinAlgorithm::kSPPJC, 128, nullptr);
+      const double b =
+          TimeJoin(db, query, JoinAlgorithm::kSPPJB, 128, nullptr);
+      const double f =
+          TimeJoin(db, query, JoinAlgorithm::kSPPJF, 128, &result_size);
+      const double d =
+          TimeJoin(db, query, JoinAlgorithm::kSPPJD, 128, nullptr);
+      std::printf("%8zu %12.1f %12.1f %12.1f %12.1f %8zu\n", n, c, b, f, d,
+                  result_size);
+    }
+  }
+  std::printf("\npaper shape: F << D < B < C, gaps of 10-1000x.\n");
+  return 0;
+}

@@ -1,0 +1,36 @@
+// Reproduces Figure 6: sensitivity of S-PPJ-D to the R-tree fanout.
+// The paper finds no single best value but a usable band around 100-200;
+// small fanouts explode the number of leaf partitions (and leaf-pair
+// joins), very large ones degrade partition locality.
+//
+// Usage: bench_fig6_fanout [num_users]
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace stps;
+  using namespace stps::bench;
+  const size_t num_users = ArgSize(argc, argv, 1, 500);
+  const int fanouts[] = {50, 100, 150, 200, 250};
+
+  std::printf("Figure 6: S-PPJ-D execution time vs. R-tree fanout (ms, %zu "
+              "users)\n\n",
+              num_users);
+  std::printf("%-12s", "fanout");
+  for (const int f : fanouts) std::printf(" %10d", f);
+  std::printf("\n");
+  for (const DatasetKind kind : AllKinds()) {
+    const ObjectDatabase& db = GetDataset(kind, num_users);
+    const STPSQuery query = DefaultQuery(kind);
+    std::printf("%-12s", DatasetKindName(kind));
+    for (const int fanout : fanouts) {
+      const double ms =
+          TimeJoin(db, query, JoinAlgorithm::kSPPJD, fanout, nullptr);
+      std::printf(" %10.1f", ms);
+    }
+    std::printf("\n");
+  }
+  std::printf("\npaper shape: no universal winner; 100-200 is the usable "
+              "band.\n");
+  return 0;
+}

@@ -1,0 +1,39 @@
+// Reproduces Figure 7: top-k STPSJoin execution time vs. k for
+// TOPK-S-PPJ-F, TOPK-S-PPJ-S and TOPK-S-PPJ-P.
+//
+// Expected shape (paper): P best on GeoText/Twitter (low-similarity data
+// where the Lemma 2 prefilter bites); F best on Flickr (high-similarity
+// data defeats the extra filter); S consistently worst — its ordering
+// heuristic does not pay for its overhead.
+//
+// Usage: bench_fig7_topk [num_users]
+
+#include "bench_util.h"
+
+int main(int argc, char** argv) {
+  using namespace stps;
+  using namespace stps::bench;
+  const size_t num_users = ArgSize(argc, argv, 1, 500);
+  const size_t ks[] = {5, 10, 25, 50, 100};
+
+  std::printf("Figure 7: top-k STPSJoin time vs. k (ms, %zu users)\n",
+              num_users);
+  for (const DatasetKind kind : AllKinds()) {
+    const ObjectDatabase& db = GetDataset(kind, num_users);
+    const STPSQuery defaults = DefaultQuery(kind);
+    std::printf("\n%s (eps_loc=%g, eps_doc=%g)\n", DatasetKindName(kind),
+                defaults.eps_loc, defaults.eps_doc);
+    std::printf("%8s %14s %14s %14s\n", "k", "TOPK-S-PPJ-F", "TOPK-S-PPJ-S",
+                "TOPK-S-PPJ-P");
+    for (const size_t k : ks) {
+      const TopKQuery query{defaults.eps_loc, defaults.eps_doc, k};
+      const double f = TimeTopK(db, query, TopKAlgorithm::kF, nullptr);
+      const double s = TimeTopK(db, query, TopKAlgorithm::kS, nullptr);
+      const double p = TimeTopK(db, query, TopKAlgorithm::kP, nullptr);
+      std::printf("%8zu %14.1f %14.1f %14.1f\n", k, f, s, p);
+    }
+  }
+  std::printf("\npaper shape: P <= F << S on sparse data; F <= P << S on "
+              "FlickrLike.\n");
+  return 0;
+}

@@ -1,0 +1,37 @@
+// Ablation A4: shared-memory scaling of the parallel S-PPJ-F (a step
+// toward the paper's future-work distributed processing). Reports
+// wall-clock time per thread count; on a multi-core host the speedup
+// should track the thread count until the per-user work runs out.
+//
+// Usage: bench_parallel_scaling [num_users]
+
+#include <thread>
+
+#include "bench_util.h"
+#include "core/sppj_f_parallel.h"
+
+int main(int argc, char** argv) {
+  using namespace stps;
+  using namespace stps::bench;
+  const size_t num_users = ArgSize(argc, argv, 1, 400);
+
+  std::printf("Ablation A4: parallel S-PPJ-F scaling (%zu users; host has "
+              "%u hardware threads)\n\n",
+              num_users, std::thread::hardware_concurrency());
+  std::printf("%-14s %10s %10s %10s %10s %8s\n", "", "1 thread", "2",
+              "4", "8", "|R|");
+  for (const DatasetKind kind : AllKinds()) {
+    const ObjectDatabase& db = GetDataset(kind, num_users);
+    STPSQuery query = DefaultQuery(kind);
+    std::printf("%-14s", DatasetKindName(kind));
+    size_t result_size = 0;
+    for (const int threads : {1, 2, 4, 8}) {
+      Timer timer;
+      const auto result = SPPJFParallel(db, query, threads);
+      result_size = result.size();
+      std::printf(" %10.1f", timer.ElapsedMillis());
+    }
+    std::printf(" %8zu\n", result_size);
+  }
+  return 0;
+}

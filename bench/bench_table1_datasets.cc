@@ -1,0 +1,39 @@
+// Reproduces Table 1: descriptive statistics of the evaluation datasets.
+//
+// Paper values (real crawls)            vs. this harness (synthetic):
+//   Twitter : 2.08 (1.43) tok/obj, 6.25 (141.8) obj/tok, 243.1 (344.9) obj/usr
+//   Flickr  : 8.04 (8.15) tok/obj, 26.41 (1191) obj/tok,  98.7 (419.9) obj/usr
+//   GeoText : 1.64 (1.01) tok/obj, 3.53 (39.4) obj/tok,   17.5 (13.0) obj/usr
+//
+// Usage: bench_table1_datasets [num_users]
+
+#include "bench_util.h"
+#include "datagen/dataset_stats.h"
+
+int main(int argc, char** argv) {
+  using namespace stps;
+  using namespace stps::bench;
+  const size_t num_users = ArgSize(argc, argv, 1, 1500);
+
+  std::printf("Table 1: dataset characteristics (synthetic, %zu users per "
+              "dataset)\n\n",
+              num_users);
+  std::printf("%-12s %9s %7s   %-16s  %-18s  %-17s\n", "Dataset", "Objects",
+              "Users", "Tokens/Object", "Objects/Token", "Objects/User");
+  for (const DatasetKind kind :
+       {DatasetKind::kTwitterLike, DatasetKind::kFlickrLike,
+        DatasetKind::kGeoTextLike}) {
+    const ObjectDatabase& db = GetDataset(kind, num_users);
+    const DatasetStats stats = ComputeDatasetStats(db);
+    std::printf("%s\n", stats.ToTableRow(DatasetKindName(kind)).c_str());
+  }
+  std::printf(
+      "\npaper (full-size crawls):\n"
+      "Twitter      9,724,579  40,000    2.08 (  1.43)     6.25 ( "
+      " 141.80)    243.11 ( 344.86)\n"
+      "Flickr       1,116,348  11,306    8.04 (  8.15)    26.41 "
+      "( 1191.09)     98.73 ( 419.92)\n"
+      "GeoText        165,733   9,461    1.64 (  1.01)     3.53 (  "
+      " 39.36)     17.52 (  12.99)\n");
+  return 0;
+}

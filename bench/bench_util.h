@@ -1,0 +1,87 @@
+// Shared helpers for the paper-reproduction benchmark drivers.
+//
+// Every driver prints the rows/series of one table or figure of the
+// paper. Absolute times differ from the paper's testbed (Java, i5-2400);
+// the reproduction target is the *relative* behaviour — who wins, by
+// roughly what factor, and where the crossovers are. Dataset sizes are
+// scaled down so each driver finishes in minutes on one core; pass a
+// user-count argument to scale up.
+
+#ifndef STPS_BENCH_BENCH_UTIL_H_
+#define STPS_BENCH_BENCH_UTIL_H_
+
+#include <cstdio>
+#include <cstdlib>
+#include <string>
+#include <vector>
+
+#include "common/timer.h"
+#include "core/stpsjoin.h"
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+
+namespace stps::bench {
+
+inline constexpr uint64_t kBenchSeed = 20160315;  // EDBT 2016 opening day
+
+/// All three dataset regimes, in the paper's presentation order.
+inline const std::vector<DatasetKind>& AllKinds() {
+  static const std::vector<DatasetKind> kinds = {DatasetKind::kGeoTextLike,
+                                                 DatasetKind::kFlickrLike,
+                                                 DatasetKind::kTwitterLike};
+  return kinds;
+}
+
+/// Generates (and memoises per process) the preset dataset at a scale.
+inline const ObjectDatabase& GetDataset(DatasetKind kind, size_t num_users) {
+  struct Entry {
+    DatasetKind kind;
+    size_t num_users;
+    ObjectDatabase db;
+  };
+  static std::vector<Entry>* cache = new std::vector<Entry>();
+  for (const Entry& e : *cache) {
+    if (e.kind == kind && e.num_users == num_users) return e.db;
+  }
+  cache->push_back(Entry{
+      kind, num_users,
+      GenerateDataset(PresetSpec(kind, num_users, kBenchSeed))});
+  return cache->back().db;
+}
+
+/// Times one STPSJoin run; reports milliseconds and the result size.
+inline double TimeJoin(const ObjectDatabase& db, const STPSQuery& query,
+                       JoinAlgorithm algorithm, int fanout,
+                       size_t* result_size) {
+  JoinOptions options;
+  options.algorithm = algorithm;
+  options.rtree_fanout = fanout;
+  Timer timer;
+  const auto result = RunSTPSJoin(db, query, options);
+  const double ms = timer.ElapsedMillis();
+  if (result_size != nullptr) *result_size = result.size();
+  return ms;
+}
+
+/// Times one top-k run.
+inline double TimeTopK(const ObjectDatabase& db, const TopKQuery& query,
+                       TopKAlgorithm algorithm, size_t* result_size) {
+  Timer timer;
+  const auto result = RunTopKSTPSJoin(db, query, algorithm);
+  const double ms = timer.ElapsedMillis();
+  if (result_size != nullptr) *result_size = result.size();
+  return ms;
+}
+
+/// First CLI argument as a size, or `fallback`.
+inline size_t ArgSize(int argc, char** argv, int index, size_t fallback) {
+  if (argc > index) {
+    const size_t v = std::strtoul(argv[index], nullptr, 10);
+    if (v > 0) return v;
+  }
+  return fallback;
+}
+
+}  // namespace stps::bench
+
+#endif  // STPS_BENCH_BENCH_UTIL_H_

@@ -1,0 +1,69 @@
+// nearby_search: the classic location-based-service queries from the
+// paper's introduction — "find nearby objects matching certain criteria"
+// — served by the SpatialKeywordIndex: a boolean range query and a top-k
+// combined-relevance query over a Flickr-like photo corpus.
+//
+//   $ ./nearby_search [num_users] [seed]
+//
+// Demonstrates: SpatialKeywordIndex::BooleanRange / TopKRelevant.
+
+#include <cstdio>
+#include <cstdlib>
+
+#include "common/timer.h"
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "query/spatial_keyword.h"
+#include "text/token_set.h"
+
+int main(int argc, char** argv) {
+  const size_t num_users = argc > 1 ? std::strtoul(argv[1], nullptr, 10) : 200;
+  const uint64_t seed = argc > 2 ? std::strtoull(argv[2], nullptr, 10) : 11;
+
+  const stps::ObjectDatabase db = stps::GenerateDataset(
+      stps::PresetSpec(stps::DatasetKind::kFlickrLike, num_users, seed));
+  std::printf("corpus: %zu photos, %zu users, %zu distinct tags\n",
+              db.num_objects(), db.num_users(), db.dictionary().size());
+
+  stps::Timer build_timer;
+  const stps::SpatialKeywordIndex index(db);
+  std::printf("index built in %.1f ms\n\n", build_timer.ElapsedMillis());
+
+  // Query around the corpus centre with the two most frequent tags.
+  const stps::Rect& bounds = db.bounds();
+  const stps::Point centre{(bounds.min_x + bounds.max_x) / 2,
+                           (bounds.min_y + bounds.max_y) / 2};
+  stps::TokenVector popular;
+  if (db.dictionary().size() >= 2) {
+    popular = {static_cast<stps::TokenId>(db.dictionary().size() - 1),
+               static_cast<stps::TokenId>(db.dictionary().size() - 2)};
+    stps::NormalizeTokenSet(&popular);
+  }
+
+  stps::Timer range_timer;
+  const auto in_range = index.BooleanRange(centre, 0.02, popular);
+  std::printf("boolean range query (r=0.02, %zu required tags): %zu hits "
+              "in %.2f ms\n",
+              popular.size(), in_range.size(), range_timer.ElapsedMillis());
+  for (size_t i = 0; i < std::min<size_t>(3, in_range.size()); ++i) {
+    const stps::STObject& o = db.object(in_range[i]);
+    std::printf("  photo %u by %s at (%.4f, %.4f)\n", o.id,
+                db.UserName(o.user).c_str(), o.loc.x, o.loc.y);
+  }
+
+  stps::Timer topk_timer;
+  const auto best = index.TopKRelevant(centre, popular, 5, /*alpha=*/0.5);
+  std::printf("\ntop-5 by combined relevance (alpha=0.5): %.2f ms\n",
+              topk_timer.ElapsedMillis());
+  const stps::Dictionary& dict = db.dictionary();
+  for (const auto& hit : best) {
+    const stps::STObject& o = db.object(hit.id);
+    std::printf("  score %.3f photo %u (%s) tags:", hit.score, o.id,
+                db.UserName(o.user).c_str());
+    for (const stps::TokenId t : o.doc) {
+      std::printf(" %s", dict.TokenString(t).c_str());
+    }
+    std::printf("\n");
+  }
+  return 0;
+}

@@ -1,0 +1,66 @@
+// Quickstart: build a tiny database (the paper's Figure 1 scenario) and
+// run an STPSJoin query plus its top-k variant.
+//
+//   $ ./quickstart
+//
+// Demonstrates: DatabaseBuilder, STPSQuery, RunSTPSJoin, RunTopKSTPSJoin.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "core/stpsjoin.h"
+
+namespace {
+
+void AddObject(stps::DatabaseBuilder& builder, const char* user, double x,
+               double y, std::vector<std::string> keywords) {
+  builder.AddObject(user, stps::Point{x, y},
+                    std::span<const std::string>(keywords));
+}
+
+}  // namespace
+
+int main() {
+  // The scenario of Figure 1: three users posting geotagged messages
+  // around a shopping area, a stadium and a river.
+  stps::DatabaseBuilder builder;
+  AddObject(builder, "u1", 0.100, 0.100, {"shop", "jeans"});
+  AddObject(builder, "u1", 0.800, 0.200, {"tube", "ride"});
+  AddObject(builder, "u2", 0.500, 0.520, {"football", "match", "stadium"});
+  AddObject(builder, "u2", 0.510, 0.500, {"football", "derby"});
+  AddObject(builder, "u2", 0.820, 0.700, {"hurry", "tube", "time"});
+  AddObject(builder, "u3", 0.110, 0.105, {"shop", "market"});
+  AddObject(builder, "u3", 0.300, 0.800, {"thames", "bridge"});
+  AddObject(builder, "u3", 0.860, 0.240, {"bus", "ride"});
+  const stps::ObjectDatabase db = std::move(builder).Build();
+
+  std::printf("database: %zu users, %zu objects\n", db.num_users(),
+              db.num_objects());
+
+  // STPSJoin: pairs of users whose point sets are at least 30%% mutually
+  // matched, where objects match within 0.05 distance and 1/3 Jaccard.
+  const stps::STPSQuery query{/*eps_loc=*/0.05, /*eps_doc=*/1.0 / 3,
+                              /*eps_u=*/0.3};
+  const auto pairs = stps::RunSTPSJoin(db, query);
+  std::printf("\nSTPSJoin(eps_loc=%.2f, eps_doc=%.2f, eps_u=%.2f):\n",
+              query.eps_loc, query.eps_doc, query.eps_u);
+  for (const stps::ScoredUserPair& pair : pairs) {
+    std::printf("  %s ~ %s  (sigma = %.3f)\n",
+                db.UserName(pair.a).c_str(), db.UserName(pair.b).c_str(),
+                pair.score);
+  }
+  if (pairs.empty()) std::printf("  (no pairs)\n");
+
+  // Top-k: the 3 most similar user pairs, no eps_u needed.
+  const stps::TopKQuery topk{/*eps_loc=*/0.05, /*eps_doc=*/1.0 / 3,
+                             /*k=*/3};
+  const auto best = stps::RunTopKSTPSJoin(db, topk);
+  std::printf("\ntop-%zu STPSJoin:\n", topk.k);
+  for (const stps::ScoredUserPair& pair : best) {
+    std::printf("  %s ~ %s  (sigma = %.3f)\n",
+                db.UserName(pair.a).c_str(), db.UserName(pair.b).c_str(),
+                pair.score);
+  }
+  return 0;
+}

@@ -1,0 +1,17 @@
+#!/usr/bin/env bash
+# Runs the full paper-reproduction benchmark suite and records the output.
+# Usage: scripts/run_benches.sh [build_dir] [output_file]
+set -u
+
+BUILD_DIR="${1:-build}"
+OUTPUT="${2:-bench_output.txt}"
+
+{
+  echo "=== stps benchmark suite ($(date -u +%Y-%m-%dT%H:%M:%SZ)) ==="
+  for b in "$BUILD_DIR"/bench/*; do
+    [ -f "$b" ] && [ -x "$b" ] || continue
+    echo
+    echo "### $(basename "$b")"
+    "$b"
+  done
+} 2>&1 | tee "$OUTPUT"

@@ -1,0 +1,38 @@
+// Contract-checking macros used across the stps library.
+//
+// The library follows a no-exceptions policy: contract violations (caller
+// bugs) abort via STPS_CHECK, while recoverable failures (e.g. I/O) are
+// reported through stps::Status.
+
+#ifndef STPS_COMMON_MACROS_H_
+#define STPS_COMMON_MACROS_H_
+
+#include <cstdio>
+#include <cstdlib>
+
+/// Aborts the process with a diagnostic when `condition` is false.
+/// Used for preconditions and internal invariants; always enabled.
+#define STPS_CHECK(condition)                                              \
+  do {                                                                     \
+    if (!(condition)) {                                                    \
+      std::fprintf(stderr, "STPS_CHECK failed at %s:%d: %s\n", __FILE__,   \
+                   __LINE__, #condition);                                  \
+      std::abort();                                                        \
+    }                                                                      \
+  } while (0)
+
+/// Like STPS_CHECK but compiled out in release builds. Use on hot paths.
+#ifdef NDEBUG
+#define STPS_DCHECK(condition) \
+  do {                         \
+  } while (0)
+#else
+#define STPS_DCHECK(condition) STPS_CHECK(condition)
+#endif
+
+/// Marks a class as neither copyable nor movable.
+#define STPS_DISALLOW_COPY_AND_ASSIGN(TypeName) \
+  TypeName(const TypeName&) = delete;           \
+  TypeName& operator=(const TypeName&) = delete
+
+#endif  // STPS_COMMON_MACROS_H_

@@ -1,0 +1,99 @@
+// Deterministic random number generation and the samplers used by the
+// synthetic dataset generators (uniform, Gaussian, lognormal, Zipf).
+//
+// A self-contained xoshiro256** engine is used instead of std::mt19937 so
+// that generated datasets are reproducible across standard libraries and
+// platforms (std:: distributions are not portable bit-for-bit).
+
+#ifndef STPS_COMMON_RNG_H_
+#define STPS_COMMON_RNG_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace stps {
+
+/// xoshiro256** pseudo-random generator, seeded via splitmix64.
+/// Satisfies the UniformRandomBitGenerator concept.
+class Rng {
+ public:
+  using result_type = uint64_t;
+
+  /// Seeds the generator. Identical seeds yield identical streams.
+  explicit Rng(uint64_t seed = 0x9E3779B97F4A7C15ULL);
+
+  static constexpr result_type min() { return 0; }
+  static constexpr result_type max() { return ~0ULL; }
+
+  /// Next raw 64-bit value.
+  uint64_t operator()() { return Next(); }
+  uint64_t Next();
+
+  /// Uniform double in [0, 1).
+  double NextDouble();
+
+  /// Uniform double in [lo, hi).
+  double Uniform(double lo, double hi);
+
+  /// Uniform integer in [0, n). Precondition: n > 0.
+  uint64_t NextBelow(uint64_t n);
+
+  /// Uniform integer in [lo, hi]. Precondition: lo <= hi.
+  int64_t UniformInt(int64_t lo, int64_t hi);
+
+  /// Standard normal deviate (Box–Muller; one value per call).
+  double NextGaussian();
+
+  /// Normal deviate with the given mean and standard deviation.
+  double Gaussian(double mean, double stddev);
+
+  /// Lognormal deviate with the given *underlying normal* parameters.
+  double LogNormal(double mu, double sigma);
+
+  /// Bernoulli trial with success probability p.
+  bool Bernoulli(double p);
+
+ private:
+  uint64_t state_[4];
+  bool has_cached_gaussian_ = false;
+  double cached_gaussian_ = 0.0;
+};
+
+/// Samples ranks 0..n-1 with probability proportional to 1/(rank+1)^theta
+/// (a Zipf/zeta law). Precomputes the CDF once; each draw is a binary
+/// search, so sampling is O(log n).
+class ZipfSampler {
+ public:
+  /// Builds the sampler for `n` ranks with exponent `theta`.
+  /// Preconditions: n > 0, theta >= 0.
+  ZipfSampler(size_t n, double theta);
+
+  /// Draws a rank in [0, n).
+  size_t Sample(Rng& rng) const;
+
+  /// Number of ranks.
+  size_t size() const { return cdf_.size(); }
+
+  /// Probability mass of the given rank.
+  double Probability(size_t rank) const;
+
+ private:
+  std::vector<double> cdf_;
+};
+
+/// Computes lognormal underlying parameters (mu, sigma) that realise the
+/// requested distribution mean and standard deviation. Used to calibrate
+/// objects-per-user and tokens-per-object against the paper's Table 1.
+struct LogNormalParams {
+  double mu = 0.0;
+  double sigma = 1.0;
+
+  /// Solves for (mu, sigma) from target mean/stddev of the lognormal
+  /// variate itself. Preconditions: mean > 0, stddev >= 0.
+  static LogNormalParams FromMoments(double mean, double stddev);
+};
+
+}  // namespace stps
+
+#endif  // STPS_COMMON_RNG_H_

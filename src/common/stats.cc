@@ -1,0 +1,55 @@
+#include "common/stats.h"
+
+#include <algorithm>
+#include <cmath>
+
+namespace stps {
+
+void RunningStats::Add(double x) {
+  if (count_ == 0) {
+    min_ = max_ = x;
+  } else {
+    min_ = std::min(min_, x);
+    max_ = std::max(max_, x);
+  }
+  ++count_;
+  sum_ += x;
+  const double delta = x - mean_;
+  mean_ += delta / static_cast<double>(count_);
+  m2_ += delta * (x - mean_);
+}
+
+double RunningStats::Mean() const { return count_ == 0 ? 0.0 : mean_; }
+
+double RunningStats::Variance() const {
+  if (count_ < 2) return 0.0;
+  return m2_ / static_cast<double>(count_);
+}
+
+double RunningStats::StdDev() const { return std::sqrt(Variance()); }
+
+double RunningStats::Min() const { return count_ == 0 ? 0.0 : min_; }
+
+double RunningStats::Max() const { return count_ == 0 ? 0.0 : max_; }
+
+void RunningStats::Merge(const RunningStats& other) {
+  if (other.count_ == 0) return;
+  if (count_ == 0) {
+    *this = other;
+    return;
+  }
+  const double total = static_cast<double>(count_ + other.count_);
+  const double delta = other.mean_ - mean_;
+  const double new_mean =
+      mean_ + delta * static_cast<double>(other.count_) / total;
+  m2_ = m2_ + other.m2_ +
+        delta * delta * static_cast<double>(count_) *
+            static_cast<double>(other.count_) / total;
+  mean_ = new_mean;
+  sum_ += other.sum_;
+  min_ = std::min(min_, other.min_);
+  max_ = std::max(max_, other.max_);
+  count_ += other.count_;
+}
+
+}  // namespace stps

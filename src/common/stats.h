@@ -1,0 +1,51 @@
+// Streaming descriptive statistics (mean / standard deviation) used by the
+// dataset statistics reporter (Table 1) and the benchmark drivers.
+
+#ifndef STPS_COMMON_STATS_H_
+#define STPS_COMMON_STATS_H_
+
+#include <cstddef>
+#include <cstdint>
+
+namespace stps {
+
+/// Welford online accumulator for mean and (population) standard deviation.
+class RunningStats {
+ public:
+  /// Adds one observation.
+  void Add(double x);
+
+  /// Number of observations so far.
+  size_t count() const { return count_; }
+
+  /// Arithmetic mean; 0 when empty.
+  double Mean() const;
+
+  /// Population variance; 0 when fewer than two observations.
+  double Variance() const;
+
+  /// Population standard deviation.
+  double StdDev() const;
+
+  /// Smallest / largest observation; 0 when empty.
+  double Min() const;
+  double Max() const;
+
+  /// Sum of all observations.
+  double Sum() const { return sum_; }
+
+  /// Merges another accumulator into this one.
+  void Merge(const RunningStats& other);
+
+ private:
+  size_t count_ = 0;
+  double mean_ = 0.0;
+  double m2_ = 0.0;
+  double sum_ = 0.0;
+  double min_ = 0.0;
+  double max_ = 0.0;
+};
+
+}  // namespace stps
+
+#endif  // STPS_COMMON_STATS_H_

@@ -1,0 +1,102 @@
+// Minimal Status/Result types for recoverable errors (mainly I/O).
+//
+// Modelled after the Status idiom common in database codebases (RocksDB,
+// Arrow): library functions that can fail for environmental reasons return
+// a Status (or StatusOr-like Result<T>) instead of throwing.
+
+#ifndef STPS_COMMON_STATUS_H_
+#define STPS_COMMON_STATUS_H_
+
+#include <string>
+#include <utility>
+
+#include "common/macros.h"
+
+namespace stps {
+
+/// Error category for a failed operation.
+enum class StatusCode {
+  kOk = 0,
+  kInvalidArgument,
+  kNotFound,
+  kIOError,
+  kCorruption,
+};
+
+/// Lightweight success/error carrier. Cheap to copy when OK.
+class Status {
+ public:
+  /// Constructs an OK status.
+  Status() : code_(StatusCode::kOk) {}
+
+  /// Factory helpers, one per error category.
+  static Status OK() { return Status(); }
+  static Status InvalidArgument(std::string msg) {
+    return Status(StatusCode::kInvalidArgument, std::move(msg));
+  }
+  static Status NotFound(std::string msg) {
+    return Status(StatusCode::kNotFound, std::move(msg));
+  }
+  static Status IOError(std::string msg) {
+    return Status(StatusCode::kIOError, std::move(msg));
+  }
+  static Status Corruption(std::string msg) {
+    return Status(StatusCode::kCorruption, std::move(msg));
+  }
+
+  /// True when the operation succeeded.
+  bool ok() const { return code_ == StatusCode::kOk; }
+
+  /// The error category.
+  StatusCode code() const { return code_; }
+
+  /// Human-readable message; empty for OK.
+  const std::string& message() const { return message_; }
+
+  /// Renders "OK" or "<category>: <message>" for logs and tests.
+  std::string ToString() const;
+
+ private:
+  Status(StatusCode code, std::string msg)
+      : code_(code), message_(std::move(msg)) {}
+
+  StatusCode code_;
+  std::string message_;
+};
+
+/// A value or an error. `value()` may only be called when `ok()`.
+template <typename T>
+class Result {
+ public:
+  /// Implicit from value: allows `return some_value;`.
+  Result(T value) : status_(Status::OK()), value_(std::move(value)) {}
+  /// Implicit from error status: allows `return Status::IOError(...);`.
+  Result(Status status) : status_(std::move(status)) {
+    STPS_CHECK(!status_.ok());
+  }
+
+  bool ok() const { return status_.ok(); }
+  const Status& status() const { return status_; }
+
+  /// The held value. Precondition: ok().
+  const T& value() const& {
+    STPS_CHECK(ok());
+    return value_;
+  }
+  T& value() & {
+    STPS_CHECK(ok());
+    return value_;
+  }
+  T&& value() && {
+    STPS_CHECK(ok());
+    return std::move(value_);
+  }
+
+ private:
+  Status status_;
+  T value_{};
+};
+
+}  // namespace stps
+
+#endif  // STPS_COMMON_STATUS_H_

@@ -1,0 +1,42 @@
+// Wall-clock timer used by the benchmark drivers and examples.
+
+#ifndef STPS_COMMON_TIMER_H_
+#define STPS_COMMON_TIMER_H_
+
+#include <chrono>
+#include <cstdint>
+
+namespace stps {
+
+/// Measures elapsed wall-clock time. Starts running on construction.
+class Timer {
+ public:
+  Timer() : start_(Clock::now()) {}
+
+  /// Restarts the timer.
+  void Reset() { start_ = Clock::now(); }
+
+  /// Elapsed time since construction / last Reset, in milliseconds.
+  double ElapsedMillis() const {
+    return std::chrono::duration<double, std::milli>(Clock::now() - start_)
+        .count();
+  }
+
+  /// Elapsed time since construction / last Reset, in seconds.
+  double ElapsedSeconds() const { return ElapsedMillis() / 1000.0; }
+
+  /// Elapsed time in whole microseconds (for coarse reporting).
+  int64_t ElapsedMicros() const {
+    return std::chrono::duration_cast<std::chrono::microseconds>(Clock::now() -
+                                                                 start_)
+        .count();
+  }
+
+ private:
+  using Clock = std::chrono::steady_clock;
+  Clock::time_point start_;
+};
+
+}  // namespace stps
+
+#endif  // STPS_COMMON_TIMER_H_

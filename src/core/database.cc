@@ -1,0 +1,90 @@
+#include "core/database.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "text/token_set.h"
+
+namespace stps {
+
+namespace {
+
+template <typename StringLike>
+void AddObjectImpl(std::unordered_map<std::string, uint32_t>* user_index,
+                   std::vector<std::string>* user_names,
+                   Dictionary* dictionary, std::string_view user_key,
+                   std::span<const StringLike> keywords, uint32_t* out_user,
+                   TokenVector* out_tokens) {
+  auto [it, inserted] =
+      user_index->try_emplace(std::string(user_key),
+                              static_cast<uint32_t>(user_names->size()));
+  if (inserted) user_names->emplace_back(user_key);
+  *out_user = it->second;
+  out_tokens->clear();
+  out_tokens->reserve(keywords.size());
+  for (const auto& kw : keywords) {
+    out_tokens->push_back(
+        dictionary->Intern(std::string_view(kw), /*count_occurrence=*/false));
+  }
+  // Document frequency counts each token once per object.
+  NormalizeTokenSet(out_tokens);
+  for (const TokenId t : *out_tokens) dictionary->CountOccurrence(t);
+}
+
+}  // namespace
+
+void DatabaseBuilder::AddObject(std::string_view user_key, Point loc,
+                                std::span<const std::string_view> keywords,
+                                double time) {
+  PendingObject obj;
+  obj.loc = loc;
+  obj.time = time;
+  AddObjectImpl(&user_index_, &user_names_, &dictionary_, user_key, keywords,
+                &obj.user, &obj.tokens);
+  objects_.push_back(std::move(obj));
+}
+
+void DatabaseBuilder::AddObject(std::string_view user_key, Point loc,
+                                std::span<const std::string> keywords,
+                                double time) {
+  PendingObject obj;
+  obj.loc = loc;
+  obj.time = time;
+  AddObjectImpl(&user_index_, &user_names_, &dictionary_, user_key, keywords,
+                &obj.user, &obj.tokens);
+  objects_.push_back(std::move(obj));
+}
+
+ObjectDatabase DatabaseBuilder::Build() && {
+  ObjectDatabase db;
+  const std::vector<TokenId> permutation = dictionary_.FinalizeByFrequency();
+  db.dictionary_ = std::move(dictionary_);
+  db.user_names_ = std::move(user_names_);
+
+  const size_t num_users = db.user_names_.size();
+  // Group objects per user with a counting sort (stable within a user).
+  std::vector<uint32_t> counts(num_users, 0);
+  for (const PendingObject& o : objects_) ++counts[o.user];
+  db.user_begin_.assign(num_users + 1, 0);
+  for (size_t u = 0; u < num_users; ++u) {
+    db.user_begin_[u + 1] = db.user_begin_[u] + counts[u];
+  }
+  db.objects_.resize(objects_.size());
+  std::vector<uint32_t> cursor(db.user_begin_.begin(),
+                               db.user_begin_.end() - 1);
+  for (PendingObject& o : objects_) {
+    const uint32_t slot = cursor[o.user]++;
+    STObject& out = db.objects_[slot];
+    out.id = slot;
+    out.user = o.user;
+    out.loc = o.loc;
+    out.time = o.time;
+    out.doc = std::move(o.tokens);
+    Dictionary::Remap(permutation, &out.doc);
+    db.bounds_.ExpandToInclude(out.loc);
+  }
+  objects_.clear();
+  return db;
+}
+
+}  // namespace stps

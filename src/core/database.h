@@ -1,0 +1,131 @@
+// ObjectDatabase: the paper's database D of spatio-textual objects,
+// grouped per user into the point sets Du.
+//
+// Construction goes through DatabaseBuilder, which assigns dense user and
+// object ids, computes global token document frequencies, and remaps token
+// ids into ascending-frequency order so every stored token set is
+// prefix-filter ready.
+
+#ifndef STPS_CORE_DATABASE_H_
+#define STPS_CORE_DATABASE_H_
+
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "spatial/geometry.h"
+#include "stjoin/object.h"
+#include "text/dictionary.h"
+
+namespace stps {
+
+/// Immutable database of spatio-textual objects grouped by user.
+class ObjectDatabase {
+ public:
+  /// Number of users |U|.
+  size_t num_users() const { return user_begin_.size() - 1; }
+
+  /// Number of objects |D|.
+  size_t num_objects() const { return objects_.size(); }
+
+  /// The point set Du of a user, as a contiguous span. The i-th element's
+  /// *local index* is i; per-user matched flags are addressed by it.
+  std::span<const STObject> UserObjects(UserId u) const {
+    STPS_DCHECK(u + 1 < user_begin_.size());
+    return std::span<const STObject>(objects_.data() + user_begin_[u],
+                                     user_begin_[u + 1] - user_begin_[u]);
+  }
+
+  /// |Du|.
+  size_t UserObjectCount(UserId u) const {
+    STPS_DCHECK(u + 1 < user_begin_.size());
+    return user_begin_[u + 1] - user_begin_[u];
+  }
+
+  /// All objects, grouped by user (user u occupies one contiguous run).
+  std::span<const STObject> AllObjects() const {
+    return std::span<const STObject>(objects_);
+  }
+
+  /// Object by dense id.
+  const STObject& object(ObjectId id) const {
+    STPS_DCHECK(id < objects_.size());
+    return objects_[id];
+  }
+
+  /// The position of `o` within its user's span (object ids are slot
+  /// indices into the user-grouped object array).
+  uint32_t LocalIndex(const STObject& o) const {
+    STPS_DCHECK(o.user + 1 < user_begin_.size());
+    return o.id - user_begin_[o.user];
+  }
+
+  /// The external label of a user (the key passed to AddObject), useful
+  /// for presenting results.
+  const std::string& UserName(UserId u) const {
+    STPS_DCHECK(u < user_names_.size());
+    return user_names_[u];
+  }
+
+  /// Bounding rectangle of all object locations.
+  const Rect& bounds() const { return bounds_; }
+
+  /// The token dictionary (finalized by frequency). Token ids stored in
+  /// objects index into it.
+  const Dictionary& dictionary() const { return dictionary_; }
+
+ private:
+  friend class DatabaseBuilder;
+
+  std::vector<STObject> objects_;
+  std::vector<uint32_t> user_begin_;  // size num_users() + 1
+  std::vector<std::string> user_names_;
+  Rect bounds_ = Rect::Empty();
+  Dictionary dictionary_;
+};
+
+/// Accumulates raw objects and produces an ObjectDatabase.
+class DatabaseBuilder {
+ public:
+  DatabaseBuilder() = default;
+  STPS_DISALLOW_COPY_AND_ASSIGN(DatabaseBuilder);
+
+  /// Adds one object for the user identified by `user_key` (users are
+  /// created on first sight). `keywords` is an arbitrary bag of strings;
+  /// duplicates within one object are collapsed. `time` is the optional
+  /// timestamp of the temporal extension.
+  void AddObject(std::string_view user_key, Point loc,
+                 std::span<const std::string_view> keywords,
+                 double time = 0.0);
+
+  /// Convenience overload for std::string keyword containers.
+  void AddObject(std::string_view user_key, Point loc,
+                 std::span<const std::string> keywords, double time = 0.0);
+
+  /// Number of objects added so far.
+  size_t size() const { return objects_.size(); }
+
+  /// Finalizes token frequencies, remaps token ids, groups objects by
+  /// user, and returns the immutable database. The builder is consumed.
+  ObjectDatabase Build() &&;
+
+ private:
+  struct PendingObject {
+    uint32_t user = 0;
+    Point loc;
+    double time = 0.0;
+    TokenVector tokens;  // provisional ids
+  };
+
+  std::unordered_map<std::string, uint32_t> user_index_;
+  std::vector<std::string> user_names_;
+  std::vector<PendingObject> objects_;
+  Dictionary dictionary_;
+};
+
+}  // namespace stps
+
+#endif  // STPS_CORE_DATABASE_H_

@@ -1,0 +1,56 @@
+#include "core/hausdorff.h"
+
+#include <algorithm>
+#include <limits>
+
+namespace stps {
+
+double DirectedHausdorff(std::span<const STObject> a,
+                         std::span<const STObject> b) {
+  if (a.empty()) return 0.0;
+  if (b.empty()) return std::numeric_limits<double>::infinity();
+  double max_min = 0.0;
+  for (const STObject& oa : a) {
+    double min_sq = std::numeric_limits<double>::infinity();
+    const double max_min_sq = max_min * max_min;
+    for (const STObject& ob : b) {
+      const double d = SquaredDistance(oa.loc, ob.loc);
+      if (d < min_sq) {
+        min_sq = d;
+        // Early break: once this point is provably closer to B than the
+        // current maximum, it cannot raise the maximum.
+        if (min_sq <= max_min_sq) break;
+      }
+    }
+    if (min_sq > max_min_sq) max_min = std::sqrt(min_sq);
+  }
+  return max_min;
+}
+
+double HausdorffDistance(std::span<const STObject> a,
+                         std::span<const STObject> b) {
+  return std::max(DirectedHausdorff(a, b), DirectedHausdorff(b, a));
+}
+
+std::vector<ScoredUserPair> HausdorffTopK(const ObjectDatabase& db,
+                                          size_t k) {
+  std::vector<ScoredUserPair> all;
+  const size_t n = db.num_users();
+  for (UserId a = 0; a < n; ++a) {
+    for (UserId b = a + 1; b < n; ++b) {
+      all.push_back(
+          {a, b, HausdorffDistance(db.UserObjects(a), db.UserObjects(b))});
+    }
+  }
+  // Smaller distance = more similar, so sort ascending.
+  std::sort(all.begin(), all.end(),
+            [](const ScoredUserPair& x, const ScoredUserPair& y) {
+              if (x.score != y.score) return x.score < y.score;
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  if (all.size() > k) all.resize(k);
+  return all;
+}
+
+}  // namespace stps

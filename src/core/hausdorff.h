@@ -1,0 +1,38 @@
+// Hausdorff distance between point sets — the similarity measure of the
+// closest related work (Adelfio, Nutanong, Samet, SIGSPATIAL 2011). The
+// paper argues that its sigma measure captures *partial* similarity that
+// the Hausdorff distance (a maximum-discrepancy measure) cannot; the
+// bench_ablation_hausdorff driver quantifies that claim by comparing the
+// two rankings on the same data.
+
+#ifndef STPS_CORE_HAUSDORFF_H_
+#define STPS_CORE_HAUSDORFF_H_
+
+#include <span>
+#include <vector>
+
+#include "core/database.h"
+#include "core/similarity.h"
+#include "stjoin/object.h"
+
+namespace stps {
+
+/// Directed Hausdorff distance h(A -> B) = max_{a in A} min_{b in B}
+/// dist(a, b). Returns +inf when A is non-empty and B is empty; 0 when A
+/// is empty. O(|A| * |B|) worst case with the classic early-break scan.
+double DirectedHausdorff(std::span<const STObject> a,
+                         std::span<const STObject> b);
+
+/// Symmetric Hausdorff distance H(A, B) = max(h(A->B), h(B->A)).
+double HausdorffDistance(std::span<const STObject> a,
+                         std::span<const STObject> b);
+
+/// The k user pairs with the *smallest* Hausdorff distance (purely
+/// spatial — keywords are ignored, as in the related work). Results carry
+/// the distance in `score` and are sorted ascending by it (ties by ids).
+std::vector<ScoredUserPair> HausdorffTopK(const ObjectDatabase& db,
+                                          size_t k);
+
+}  // namespace stps
+
+#endif  // STPS_CORE_HAUSDORFF_H_

@@ -1,0 +1,155 @@
+#include "core/ppjb.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "core/similarity.h"
+#include "stjoin/ppj.h"
+
+namespace stps {
+
+namespace {
+
+// The paper numbers grid rows from 1 at the bottom; rows 1, 3, 5, ... are
+// the "odd" rows that perform the wide join step and host the bound
+// checks. GridGeometry rows are 0-based, so paper-odd <=> even index.
+bool IsOddRow(int64_t row) { return (row % 2) == 0; }
+
+}  // namespace
+
+double PPJCPair(const UserPartitionList& cu, size_t nu,
+                const UserPartitionList& cv, size_t nv,
+                const GridGeometry& grid, const MatchThresholds& t) {
+  if (nu + nv == 0) return 0.0;
+  std::vector<uint8_t> matched_u(nu, 0), matched_v(nv, 0);
+  uint32_t matched_total = 0;
+  std::vector<CellId> neighbors;
+  for (const MergedPartition& cell : MergePartitionLists(cu, cv)) {
+    neighbors.clear();
+    grid.AppendNeighborhood(cell.id, /*include_self=*/true, &neighbors);
+    if (cell.u != nullptr) {
+      // Join Du_c with Dv_n for every adjacent n with id >= c.
+      for (const CellId n : neighbors) {
+        if (n < cell.id) continue;
+        const UserPartition* pv =
+            n == cell.id ? cell.v : FindPartition(cv, n);
+        if (pv == nullptr) continue;
+        matched_total += PPJCrossMark(PartitionObjects(cell.u), PartitionObjects(pv), t,
+                                      &matched_u, &matched_v);
+      }
+    }
+    if (cell.v != nullptr) {
+      // Join Du_n with Dv_c for every adjacent n with id > c (the id == c
+      // pair was handled above).
+      for (const CellId n : neighbors) {
+        if (n <= cell.id) continue;
+        const UserPartition* pu = FindPartition(cu, n);
+        if (pu == nullptr) continue;
+        matched_total += PPJCrossMark(PartitionObjects(pu), PartitionObjects(cell.v), t,
+                                      &matched_u, &matched_v);
+      }
+    }
+  }
+  return static_cast<double>(matched_total) / static_cast<double>(nu + nv);
+}
+
+double PPJBPair(const UserPartitionList& cu, size_t nu,
+                const UserPartitionList& cv, size_t nv,
+                const GridGeometry& grid, const MatchThresholds& t,
+                double eps_u) {
+  if (nu + nv == 0) return 0.0;
+  const bool bounded = eps_u > 0.0;
+  const double beta = UnmatchedBound(nu, nv, eps_u);
+  std::vector<uint8_t> matched_u(nu, 0), matched_v(nv, 0);
+  uint32_t matched_total = 0;
+  size_t seen_objects = 0;
+
+  const std::vector<MergedPartition> merged = MergePartitionLists(cu, cv);
+  std::vector<CellId> neighbors;
+  int64_t current_row = merged.empty() ? 0 : grid.RowOf(merged.front().id);
+
+  for (size_t idx = 0; idx < merged.size(); ++idx) {
+    const MergedPartition& cell = merged[idx];
+    const int64_t row = grid.RowOf(cell.id);
+    if (row != current_row) {
+      // The previous row is complete. Every object seen so far has had all
+      // of its candidate pairs examined when the completed row was odd, or
+      // when an empty row separates it from the next occupied row.
+      if (bounded && (IsOddRow(current_row) || row > current_row + 1)) {
+        // matched_total may exceed seen_objects (matches can mark objects
+        // in cells not yet traversed), so compute the lower bound signed.
+        const double unmatched_lower_bound =
+            static_cast<double>(seen_objects) -
+            static_cast<double>(matched_total);
+        if (unmatched_lower_bound > beta) return 0.0;
+      }
+      current_row = row;
+    }
+    seen_objects += (cell.u ? cell.u->objects.size() : 0) +
+                    (cell.v ? cell.v->objects.size() : 0);
+
+    neighbors.clear();
+    if (IsOddRow(row)) {
+      grid.AppendOddRowNeighbors(cell.id, &neighbors);
+    } else {
+      grid.AppendEvenRowNeighbors(cell.id, &neighbors);
+    }
+    for (const CellId n : neighbors) {
+      if (n == cell.id) {
+        if (cell.u != nullptr && cell.v != nullptr) {
+          matched_total += PPJCrossMark(PartitionObjects(cell.u), PartitionObjects(cell.v), t,
+                                        &matched_u, &matched_v);
+        }
+        continue;
+      }
+      // The traversal enumerates each unordered adjacent cell pair exactly
+      // once, so both cross directions are joined here.
+      if (cell.u != nullptr) {
+        const UserPartition* pv = FindPartition(cv, n);
+        if (pv != nullptr) {
+          matched_total += PPJCrossMark(PartitionObjects(cell.u), PartitionObjects(pv), t,
+                                        &matched_u, &matched_v);
+        }
+      }
+      if (cell.v != nullptr) {
+        const UserPartition* pu = FindPartition(cu, n);
+        if (pu != nullptr) {
+          matched_total += PPJCrossMark(PartitionObjects(pu), PartitionObjects(cell.v), t,
+                                        &matched_u, &matched_v);
+        }
+      }
+    }
+  }
+  return static_cast<double>(matched_total) / static_cast<double>(nu + nv);
+}
+
+double PairSigma(std::span<const STObject> du, std::span<const STObject> dv,
+                 const MatchThresholds& t) {
+  if (du.empty() || dv.empty()) return 0.0;
+  Rect bounds = Rect::Empty();
+  for (const STObject& o : du) bounds.ExpandToInclude(o.loc);
+  for (const STObject& o : dv) bounds.ExpandToInclude(o.loc);
+  const GridGeometry grid(bounds, t.eps_loc);
+
+  const auto build = [&grid](std::span<const STObject> objects) {
+    std::vector<std::pair<CellId, uint32_t>> keyed;
+    keyed.reserve(objects.size());
+    for (uint32_t i = 0; i < objects.size(); ++i) {
+      keyed.emplace_back(grid.CellOf(objects[i].loc), i);
+    }
+    std::sort(keyed.begin(), keyed.end());
+    UserPartitionList list;
+    for (const auto& [cell, local] : keyed) {
+      if (list.empty() || list.back().id != cell) {
+        list.push_back(UserPartition{cell, {}});
+      }
+      list.back().objects.push_back(ObjectRef{&objects[local], local});
+    }
+    return list;
+  };
+  const UserPartitionList cu = build(du);
+  const UserPartitionList cv = build(dv);
+  return PPJCPair(cu, du.size(), cv, dv.size(), grid, t);
+}
+
+}  // namespace stps

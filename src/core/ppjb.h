@@ -1,0 +1,48 @@
+// Pair-level kernels: given the cell (or leaf) lists of two users, compute
+// the point-set similarity sigma(Du, Dv).
+//
+//  * PPJCPair — the non-self PPJ-C traversal (Section 4.1.1): cells in
+//    ascending id order, each cell joined with its own and higher-id
+//    adjacent cells of the other user. Always exact.
+//  * PPJBPair — the PPJ-B traversal (Section 4.1.2, Figure 2b): rows
+//    bottom-up; odd rows join all neighbours but East, even rows only West
+//    (and self); at the end of every odd row (or across an empty-row gap)
+//    the Lemma 1 bound beta = (1-eps_u)(|Du|+|Dv|) enables early
+//    termination. Returns the exact sigma when sigma >= eps_u and 0 when
+//    the pair was pruned.
+
+#ifndef STPS_CORE_PPJB_H_
+#define STPS_CORE_PPJB_H_
+
+#include <span>
+
+#include "core/user_grid.h"
+#include "spatial/grid.h"
+#include "stjoin/object.h"
+
+namespace stps {
+
+/// Exact sigma via the PPJ-C cell traversal.
+/// `cu` / `cv` are the users' sorted cell lists; `nu` / `nv` = |Du| / |Dv|.
+double PPJCPair(const UserPartitionList& cu, size_t nu,
+                const UserPartitionList& cv, size_t nv,
+                const GridGeometry& grid, const MatchThresholds& t);
+
+/// Sigma via the PPJ-B traversal with early termination at threshold
+/// eps_u. Returns the exact sigma whenever sigma >= eps_u; returns 0 as
+/// soon as the unmatched-object bound proves sigma < eps_u. With
+/// eps_u <= 0 it is always exact.
+double PPJBPair(const UserPartitionList& cu, size_t nu,
+                const UserPartitionList& cv, size_t nv,
+                const GridGeometry& grid, const MatchThresholds& t,
+                double eps_u);
+
+/// Convenience: exact sigma for two raw object sets, building the
+/// per-pair cell lists on the fly (used by the threshold auto-tuner to
+/// re-verify surviving pairs under tightened thresholds).
+double PairSigma(std::span<const STObject> du, std::span<const STObject> dv,
+                 const MatchThresholds& t);
+
+}  // namespace stps
+
+#endif  // STPS_CORE_PPJB_H_

@@ -1,0 +1,61 @@
+#include "core/similarity.h"
+
+#include <algorithm>
+
+namespace stps {
+
+double ExactSigma(std::span<const STObject> du, std::span<const STObject> dv,
+                  const MatchThresholds& t) {
+  if (du.empty() && dv.empty()) return 0.0;
+  std::vector<uint8_t> matched_u(du.size(), 0), matched_v(dv.size(), 0);
+  for (size_t i = 0; i < du.size(); ++i) {
+    for (size_t j = 0; j < dv.size(); ++j) {
+      if (matched_u[i] && matched_v[j]) continue;
+      if (ObjectsMatch(du[i], dv[j], t)) {
+        matched_u[i] = 1;
+        matched_v[j] = 1;
+      }
+    }
+  }
+  const size_t matched =
+      static_cast<size_t>(std::count(matched_u.begin(), matched_u.end(), 1)) +
+      static_cast<size_t>(std::count(matched_v.begin(), matched_v.end(), 1));
+  return static_cast<double>(matched) /
+         static_cast<double>(du.size() + dv.size());
+}
+
+std::vector<ScoredUserPair> BruteForceSTPSJoin(const ObjectDatabase& db,
+                                               const STPSQuery& query) {
+  std::vector<ScoredUserPair> result;
+  const MatchThresholds t = query.match_thresholds();
+  const size_t n = db.num_users();
+  for (UserId a = 0; a < n; ++a) {
+    for (UserId b = a + 1; b < n; ++b) {
+      const double sigma =
+          ExactSigma(db.UserObjects(a), db.UserObjects(b), t);
+      if (sigma >= query.eps_u) {
+        result.push_back({a, b, sigma});
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<ScoredUserPair> BruteForceTopK(const ObjectDatabase& db,
+                                           const TopKQuery& query) {
+  std::vector<ScoredUserPair> all;
+  const MatchThresholds t = query.match_thresholds();
+  const size_t n = db.num_users();
+  for (UserId a = 0; a < n; ++a) {
+    for (UserId b = a + 1; b < n; ++b) {
+      const double sigma =
+          ExactSigma(db.UserObjects(a), db.UserObjects(b), t);
+      if (sigma > 0.0) all.push_back({a, b, sigma});
+    }
+  }
+  std::sort(all.begin(), all.end(), TopKBetter);
+  if (all.size() > query.k) all.resize(query.k);
+  return all;
+}
+
+}  // namespace stps

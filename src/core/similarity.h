@@ -1,0 +1,86 @@
+// Point-set similarity (the paper's sigma measure), query descriptors,
+// result types, and the brute-force reference implementations used by the
+// test suite and as the baseline in benchmarks.
+
+#ifndef STPS_CORE_SIMILARITY_H_
+#define STPS_CORE_SIMILARITY_H_
+
+#include <limits>
+#include <span>
+#include <vector>
+
+#include "core/database.h"
+#include "stjoin/object.h"
+
+namespace stps {
+
+/// An STPSJoin query Q = <eps_loc, eps_doc, eps_u> (Definition 1), plus
+/// the optional temporal threshold of the future-work extension
+/// (infinite by default, i.e. disabled).
+struct STPSQuery {
+  double eps_loc = 0.0;
+  double eps_doc = 0.0;
+  double eps_u = 0.0;
+  double eps_time = std::numeric_limits<double>::infinity();
+
+  MatchThresholds match_thresholds() const {
+    return {eps_loc, eps_doc, eps_time};
+  }
+};
+
+/// A top-k STPSJoin query Q = <eps_loc, eps_doc, k> (Definition 2).
+struct TopKQuery {
+  double eps_loc = 0.0;
+  double eps_doc = 0.0;
+  size_t k = 10;
+  double eps_time = std::numeric_limits<double>::infinity();
+
+  MatchThresholds match_thresholds() const {
+    return {eps_loc, eps_doc, eps_time};
+  }
+};
+
+/// One result pair with its exact similarity score. Invariant: a < b.
+struct ScoredUserPair {
+  UserId a = 0;
+  UserId b = 0;
+  double score = 0.0;
+
+  friend bool operator==(const ScoredUserPair& x, const ScoredUserPair& y) {
+    return x.a == y.a && x.b == y.b;
+  }
+};
+
+/// The deterministic total order used for top-k results: higher score
+/// first, ties broken by ascending (a, b). All top-k algorithms in this
+/// library agree on it, which makes results reproducible and testable.
+inline bool TopKBetter(const ScoredUserPair& x, const ScoredUserPair& y) {
+  if (x.score != y.score) return x.score > y.score;
+  if (x.a != y.a) return x.a < y.a;
+  return x.b < y.b;
+}
+
+/// Exact sigma(Du, Dv) by exhaustive object comparison. O(|Du| * |Dv|).
+/// Reference implementation; the optimised kernels must agree with it.
+double ExactSigma(std::span<const STObject> du, std::span<const STObject> dv,
+                  const MatchThresholds& t);
+
+/// The early-termination bound of Lemma 1: if more than
+/// (1 - eps_u) * (|Du| + |Dv|) objects are unmatched, sigma < eps_u.
+inline double UnmatchedBound(size_t size_u, size_t size_v, double eps_u) {
+  return (1.0 - eps_u) * static_cast<double>(size_u + size_v);
+}
+
+/// Brute-force STPSJoin: every user pair, exhaustive sigma. Result sorted
+/// by (a, b). Intended for tests and the smallest benchmark sizes only.
+std::vector<ScoredUserPair> BruteForceSTPSJoin(const ObjectDatabase& db,
+                                               const STPSQuery& query);
+
+/// Brute-force top-k STPSJoin over pairs with sigma > 0, under the
+/// TopKBetter total order. Result sorted best-first.
+std::vector<ScoredUserPair> BruteForceTopK(const ObjectDatabase& db,
+                                           const TopKQuery& query);
+
+}  // namespace stps
+
+#endif  // STPS_CORE_SIMILARITY_H_

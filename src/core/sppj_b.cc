@@ -1,0 +1,36 @@
+#include "core/sppj_b.h"
+
+#include <algorithm>
+
+#include "core/ppjb.h"
+#include "core/user_grid.h"
+
+namespace stps {
+
+std::vector<ScoredUserPair> SPPJB(const ObjectDatabase& db,
+                                  const STPSQuery& query) {
+  std::vector<ScoredUserPair> result;
+  if (db.num_objects() == 0) return result;
+  const UserGrid grid(db, query.eps_loc);
+  const MatchThresholds t = query.match_thresholds();
+  const size_t n = db.num_users();
+  for (UserId u1 = 0; u1 < n; ++u1) {
+    for (UserId u2 = 0; u2 < u1; ++u2) {
+      const double sigma =
+          PPJBPair(grid.UserCells(u1), db.UserObjectCount(u1),
+                   grid.UserCells(u2), db.UserObjectCount(u2),
+                   grid.geometry(), t, query.eps_u);
+      if (sigma >= query.eps_u) {
+        result.push_back({u2, u1, sigma});
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const ScoredUserPair& x, const ScoredUserPair& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return result;
+}
+
+}  // namespace stps

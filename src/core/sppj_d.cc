@@ -1,0 +1,277 @@
+#include "core/sppj_d.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "spatial/quadtree.h"
+#include "spatial/spatial_join.h"
+#include "text/token_set.h"
+
+namespace stps {
+
+SpatialPartitioning RTreePartitioning(const ObjectDatabase& db,
+                                      int fanout) {
+  std::vector<RTree::Entry> entries;
+  entries.reserve(db.num_objects());
+  for (const STObject& o : db.AllObjects()) {
+    entries.push_back(RTree::Entry{o.loc, o.id});
+  }
+  const RTree tree = RTree::BulkLoad(std::move(entries), fanout);
+  SpatialPartitioning out;
+  for (const RTree::LeafRef& leaf : tree.CollectLeaves()) {
+    out.mbrs.push_back(leaf.mbr);
+    std::vector<ObjectId> members;
+    members.reserve(leaf.entries.size());
+    for (const RTree::Entry& entry : leaf.entries) {
+      members.push_back(entry.value);
+    }
+    out.members.push_back(std::move(members));
+  }
+  return out;
+}
+
+SpatialPartitioning QuadTreePartitioning(const ObjectDatabase& db,
+                                         int leaf_capacity) {
+  std::vector<QuadTree::Entry> entries;
+  entries.reserve(db.num_objects());
+  for (const STObject& o : db.AllObjects()) {
+    entries.push_back(QuadTree::Entry{o.loc, o.id});
+  }
+  const QuadTree tree = QuadTree::Build(std::move(entries), leaf_capacity);
+  SpatialPartitioning out;
+  for (const QuadTree::LeafRef& leaf : tree.CollectLeaves()) {
+    out.mbrs.push_back(leaf.mbr);
+    std::vector<ObjectId> members;
+    members.reserve(leaf.entries.size());
+    for (const QuadTree::Entry& entry : leaf.entries) {
+      members.push_back(entry.value);
+    }
+    out.members.push_back(std::move(members));
+  }
+  return out;
+}
+
+LeafPartitionIndex::LeafPartitionIndex(const ObjectDatabase& db,
+                                       double eps_loc, int fanout)
+    : LeafPartitionIndex(db, eps_loc, RTreePartitioning(db, fanout)) {}
+
+LeafPartitionIndex::LeafPartitionIndex(const ObjectDatabase& db,
+                                       double eps_loc,
+                                       const SpatialPartitioning& parts) {
+  const size_t num_parts = parts.mbrs.size();
+  STPS_CHECK(parts.members.size() == num_parts);
+  leaf_mbrs_.reserve(num_parts);
+  extended_mbrs_.reserve(num_parts);
+  per_user_.resize(db.num_users());
+  token_users_.resize(num_parts);
+
+  for (uint32_t ordinal = 0; ordinal < num_parts; ++ordinal) {
+    leaf_mbrs_.push_back(parts.mbrs[ordinal]);
+    extended_mbrs_.push_back(parts.mbrs[ordinal].Extended(eps_loc));
+    // Group the partition's objects per user.
+    std::unordered_map<UserId, std::vector<ObjectRef>> by_user;
+    for (const ObjectId id : parts.members[ordinal]) {
+      const STObject& o = db.object(id);
+      by_user[o.user].push_back(ObjectRef{&o, db.LocalIndex(o)});
+    }
+    // Deterministic per-partition user order (ascending id) so the
+    // inverted lists are sorted and the u' < u filter can stop early.
+    std::vector<UserId> users;
+    users.reserve(by_user.size());
+    for (const auto& [u, refs] : by_user) users.push_back(u);
+    std::sort(users.begin(), users.end());
+    auto& leaf_tokens = token_users_[ordinal];
+    for (const UserId u : users) {
+      per_user_[u].push_back(UserPartition{ordinal, std::move(by_user[u])});
+      const TokenVector tokens = DistinctTokens(
+          std::span<const ObjectRef>(per_user_[u].back().objects));
+      for (const TokenId t : tokens) {
+        leaf_tokens[t].push_back(u);
+      }
+    }
+  }
+  // per_user_ lists are already sorted by partition ordinal (partitions
+  // visited in ascending order).
+
+  // Precompute which extended partition MBRs intersect (spatial join).
+  adjacency_.resize(num_parts);
+  for (uint32_t l = 0; l < num_parts; ++l) adjacency_[l].push_back(l);
+  for (const auto& [i, j] : RectSelfJoin(extended_mbrs_)) {
+    adjacency_[i].push_back(j);
+    adjacency_[j].push_back(i);
+  }
+  for (auto& list : adjacency_) std::sort(list.begin(), list.end());
+}
+
+const std::vector<UserId>* LeafPartitionIndex::TokenUsers(uint32_t leaf,
+                                                          TokenId t) const {
+  STPS_DCHECK(leaf < token_users_.size());
+  const auto it = token_users_[leaf].find(t);
+  if (it == token_users_[leaf].end()) return nullptr;
+  return &it->second;
+}
+
+namespace {
+
+// Copies the objects of `p` lying inside `box` into *out.
+void FilterToBox(const UserPartition* p, const Rect& box,
+                 std::vector<ObjectRef>* out) {
+  out->clear();
+  if (p == nullptr) return;
+  for (const ObjectRef& ref : p->objects) {
+    if (box.Contains(ref.object->loc)) out->push_back(ref);
+  }
+}
+
+}  // namespace
+
+double PPJDPair(const UserPartitionList& lu, size_t nu,
+                const UserPartitionList& lv, size_t nv,
+                const LeafPartitionIndex& index, const MatchThresholds& t,
+                double eps_u) {
+  if (nu + nv == 0) return 0.0;
+  const bool bounded = eps_u > 0.0;
+  const double beta = UnmatchedBound(nu, nv, eps_u);
+  std::vector<uint8_t> matched_u(nu, 0), matched_v(nv, 0);
+  uint32_t matched_total = 0;
+  size_t processed_objects = 0;
+  std::vector<ObjectRef> scratch_a, scratch_b;
+
+  for (const MergedPartition& cell : MergePartitionLists(lu, lv)) {
+    const uint32_t leaf = static_cast<uint32_t>(cell.id);
+    const Rect& ext = index.ExtendedMbr(leaf);
+    if (cell.u != nullptr) {
+      // Join Du_l with Dv_l' for every relevant leaf l' >= l.
+      for (const uint32_t other : index.RelevantLeaves(leaf)) {
+        if (other < leaf) continue;
+        const UserPartition* pv =
+            other == leaf ? cell.v : FindPartition(lv, other);
+        if (pv == nullptr) continue;
+        const Rect box = ext.Intersection(index.ExtendedMbr(other));
+        FilterToBox(cell.u, box, &scratch_a);
+        FilterToBox(pv, box, &scratch_b);
+        matched_total +=
+            PPJCrossMark(std::span<const ObjectRef>(scratch_a),
+                         std::span<const ObjectRef>(scratch_b), t,
+                         &matched_u, &matched_v);
+      }
+    }
+    if (cell.v != nullptr) {
+      // Join Du_l' with Dv_l for every relevant leaf l' > l. Note: the
+      // paper's Algorithm 3 guards the two sides with an else-if; when a
+      // leaf holds objects of both users that would skip join pairs, so
+      // both branches execute here (duplicate-free by the >= / > guards).
+      for (const uint32_t other : index.RelevantLeaves(leaf)) {
+        if (other <= leaf) continue;
+        const UserPartition* pu = FindPartition(lu, other);
+        if (pu == nullptr) continue;
+        const Rect box = ext.Intersection(index.ExtendedMbr(other));
+        FilterToBox(pu, box, &scratch_a);
+        FilterToBox(cell.v, box, &scratch_b);
+        matched_total +=
+            PPJCrossMark(std::span<const ObjectRef>(scratch_a),
+                         std::span<const ObjectRef>(scratch_b), t,
+                         &matched_u, &matched_v);
+      }
+    }
+    processed_objects += (cell.u ? cell.u->objects.size() : 0) +
+                         (cell.v ? cell.v->objects.size() : 0);
+    if (bounded) {
+      // Every pair involving the processed leaves has been evaluated, so
+      // their unmatched objects can never match later (lines 21-22 of
+      // Algorithm 3). Signed arithmetic: matches may mark objects in
+      // leaves not yet processed.
+      const double unmatched_lower_bound =
+          static_cast<double>(processed_objects) -
+          static_cast<double>(matched_total);
+      if (unmatched_lower_bound > beta) return 0.0;
+    }
+  }
+  return static_cast<double>(matched_total) / static_cast<double>(nu + nv);
+}
+
+std::vector<ScoredUserPair> SPPJD(const ObjectDatabase& db,
+                                  const STPSQuery& query,
+                                  const SPPJDOptions& options) {
+  STPS_CHECK(query.eps_doc > 0.0);
+  STPS_CHECK(query.eps_u > 0.0);
+  std::vector<ScoredUserPair> result;
+  if (db.num_objects() == 0) return result;
+  const LeafPartitionIndex index(
+      db, query.eps_loc,
+      options.partitioning == PartitioningScheme::kRTree
+          ? RTreePartitioning(db, options.fanout)
+          : QuadTreePartitioning(db, options.fanout));
+  const MatchThresholds t = query.match_thresholds();
+  const size_t n = db.num_users();
+
+  struct CandidateLeaves {
+    std::vector<int64_t> my_leaves;
+    std::vector<int64_t> their_leaves;
+  };
+  std::unordered_map<UserId, CandidateLeaves> candidates;
+
+  for (UserId u = 0; u < n; ++u) {
+    const UserPartitionList& lu = index.UserLeaves(u);
+    const size_t nu = db.UserObjectCount(u);
+    candidates.clear();
+
+    // Filter: probe the distinct tokens of every leaf of u against the
+    // inverted lists of the relevant leaves; only users earlier in the
+    // total order are candidates (the lists are sorted ascending).
+    for (const UserPartition& leaf : lu) {
+      const TokenVector tokens =
+          DistinctTokens(std::span<const ObjectRef>(leaf.objects));
+      for (const uint32_t other :
+           index.RelevantLeaves(static_cast<uint32_t>(leaf.id))) {
+        for (const TokenId token : tokens) {
+          const std::vector<UserId>* users = index.TokenUsers(other, token);
+          if (users == nullptr) continue;
+          for (const UserId candidate : *users) {
+            if (candidate >= u) break;  // sorted ascending
+            CandidateLeaves& cl = candidates[candidate];
+            if (cl.my_leaves.empty() || cl.my_leaves.back() != leaf.id) {
+              cl.my_leaves.push_back(leaf.id);
+            }
+            if (cl.their_leaves.empty() || cl.their_leaves.back() != other) {
+              cl.their_leaves.push_back(other);
+            }
+          }
+        }
+      }
+    }
+
+    for (auto& [candidate, leaves] : candidates) {
+      const UserPartitionList& lv = index.UserLeaves(candidate);
+      const size_t nv = db.UserObjectCount(candidate);
+      // sigma_bar: assume every object in the supporting leaves matches.
+      std::sort(leaves.their_leaves.begin(), leaves.their_leaves.end());
+      leaves.their_leaves.erase(
+          std::unique(leaves.their_leaves.begin(), leaves.their_leaves.end()),
+          leaves.their_leaves.end());
+      size_t m = 0;
+      for (const int64_t l : leaves.my_leaves) {
+        m += PartitionObjectCount(lu, l);
+      }
+      for (const int64_t l : leaves.their_leaves) {
+        m += PartitionObjectCount(lv, l);
+      }
+      const double bound =
+          static_cast<double>(m) / static_cast<double>(nu + nv);
+      if (bound < query.eps_u) continue;
+      const double sigma = PPJDPair(lu, nu, lv, nv, index, t, query.eps_u);
+      if (sigma >= query.eps_u) {
+        result.push_back({std::min(u, candidate), std::max(u, candidate),
+                          sigma});
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const ScoredUserPair& x, const ScoredUserPair& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return result;
+}
+
+}  // namespace stps

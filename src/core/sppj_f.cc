@@ -1,0 +1,126 @@
+#include "core/sppj_f.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "core/ppjb.h"
+#include "core/user_grid.h"
+
+namespace stps {
+
+namespace {
+
+// Cells supporting a candidate pair: the cells of the probing user u whose
+// objects may match the candidate (Mu), and the candidate's own cells
+// (Mu'). Object counts over these cells give the sigma_bar bound.
+struct CandidateCells {
+  std::vector<CellId> my_cells;
+  std::vector<CellId> their_cells;
+};
+
+double SigmaUpperBound(const CandidateCells& cells,
+                       const UserPartitionList& mine,
+                       const UserPartitionList& theirs, size_t nu,
+                       size_t nv) {
+  size_t m = 0;
+  for (const CellId c : cells.my_cells) {
+    m += PartitionObjectCount(mine, c);
+  }
+  for (const CellId c : cells.their_cells) {
+    m += PartitionObjectCount(theirs, c);
+  }
+  return static_cast<double>(m) / static_cast<double>(nu + nv);
+}
+
+}  // namespace
+
+std::vector<ScoredUserPair> SPPJFAblation(const ObjectDatabase& db,
+                                          const STPSQuery& query,
+                                          bool use_sigma_bound,
+                                          bool use_refine_bound) {
+  // The token-probing filter only sees pairs with at least one textually
+  // overlapping object pair; it is complete exactly when a result pair
+  // must contain a match (eps_u > 0) and a match must share a token
+  // (eps_doc > 0).
+  STPS_CHECK(query.eps_doc > 0.0);
+  STPS_CHECK(query.eps_u > 0.0);
+  std::vector<ScoredUserPair> result;
+  if (db.num_objects() == 0) return result;
+  const UserGrid grid(db, query.eps_loc);
+  const MatchThresholds t = query.match_thresholds();
+  const size_t n = db.num_users();
+
+  SpatioTextualGridIndex index;
+  std::vector<CellId> neighbors;
+  std::unordered_map<UserId, CandidateCells> candidates;
+
+  for (UserId u = 0; u < n; ++u) {
+    const UserPartitionList& cu = grid.UserCells(u);
+    const size_t nu = db.UserObjectCount(u);
+    candidates.clear();
+
+    // Filter: probe the distinct tokens of every cell of u against the
+    // inverted lists of the cell and its neighbours.
+    for (const UserPartition& cell : cu) {
+      const TokenVector tokens =
+          DistinctTokens(std::span<const ObjectRef>(cell.objects));
+      neighbors.clear();
+      grid.geometry().AppendNeighborhood(cell.id, /*include_self=*/true,
+                                         &neighbors);
+      for (const CellId other : neighbors) {
+        for (const TokenId token : tokens) {
+          const std::vector<UserId>* users = index.TokenUsers(other, token);
+          if (users == nullptr) continue;
+          for (const UserId candidate : *users) {
+            CandidateCells& cc = candidates[candidate];
+            // Cells of u arrive in ascending order, so a back() check
+            // fully deduplicates my_cells; their_cells is deduplicated
+            // once below.
+            if (cc.my_cells.empty() || cc.my_cells.back() != cell.id) {
+              cc.my_cells.push_back(cell.id);
+            }
+            if (cc.their_cells.empty() || cc.their_cells.back() != other) {
+              cc.their_cells.push_back(other);
+            }
+          }
+        }
+      }
+    }
+    index.AddUser(u, cu);
+
+    // Refine each surviving candidate.
+    for (auto& [candidate, cells] : candidates) {
+      const UserPartitionList& cv = grid.UserCells(candidate);
+      const size_t nv = db.UserObjectCount(candidate);
+      if (use_sigma_bound) {
+        std::sort(cells.their_cells.begin(), cells.their_cells.end());
+        cells.their_cells.erase(
+            std::unique(cells.their_cells.begin(), cells.their_cells.end()),
+            cells.their_cells.end());
+        const double bound = SigmaUpperBound(cells, cu, cv, nu, nv);
+        if (bound < query.eps_u) continue;
+      }
+      const double sigma =
+          PPJBPair(cu, nu, cv, nv, grid.geometry(), t,
+                   use_refine_bound ? query.eps_u : 0.0);
+      if (sigma >= query.eps_u) {
+        result.push_back({std::min(u, candidate), std::max(u, candidate),
+                          sigma});
+      }
+    }
+  }
+  std::sort(result.begin(), result.end(),
+            [](const ScoredUserPair& x, const ScoredUserPair& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return result;
+}
+
+std::vector<ScoredUserPair> SPPJF(const ObjectDatabase& db,
+                                  const STPSQuery& query) {
+  return SPPJFAblation(db, query, /*use_sigma_bound=*/true,
+                       /*use_refine_bound=*/true);
+}
+
+}  // namespace stps

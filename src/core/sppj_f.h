@@ -1,0 +1,33 @@
+// S-PPJ-F (Algorithm 2): filter-and-refine STPSJoin over an incremental
+// spatio-textual grid index. For each new user u, candidate users are
+// those sharing a token with u in the same or an adjacent cell; the
+// sigma_bar upper bound prunes candidates, and survivors are refined with
+// the PPJ-B pair kernel. This is the paper's best-performing algorithm.
+
+#ifndef STPS_CORE_SPPJ_F_H_
+#define STPS_CORE_SPPJ_F_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/similarity.h"
+
+namespace stps {
+
+/// Evaluates the STPSJoin query with S-PPJ-F. Same output contract as
+/// SPPJC.
+std::vector<ScoredUserPair> SPPJF(const ObjectDatabase& db,
+                                  const STPSQuery& query);
+
+/// Ablation variant used by the benchmarks: disables the sigma_bar
+/// candidate bound (`use_sigma_bound` = false) and/or the PPJ-B early
+/// termination in refinement (`use_refine_bound` = false) to isolate the
+/// contribution of each pruning ingredient.
+std::vector<ScoredUserPair> SPPJFAblation(const ObjectDatabase& db,
+                                          const STPSQuery& query,
+                                          bool use_sigma_bound,
+                                          bool use_refine_bound);
+
+}  // namespace stps
+
+#endif  // STPS_CORE_SPPJ_F_H_

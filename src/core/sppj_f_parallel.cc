@@ -1,0 +1,131 @@
+#include "core/sppj_f_parallel.h"
+
+#include <algorithm>
+#include <atomic>
+#include <thread>
+#include <unordered_map>
+
+#include "core/ppjb.h"
+#include "core/user_grid.h"
+
+namespace stps {
+
+namespace {
+
+struct CandidateCells {
+  std::vector<CellId> my_cells;
+  std::vector<CellId> their_cells;
+};
+
+// One worker's pass over a user: identical filter/refine logic to the
+// sequential S-PPJ-F, except that the index is complete and candidates
+// are restricted to earlier users in the total order.
+void ProcessUser(const ObjectDatabase& db, const UserGrid& grid,
+                 const SpatioTextualGridIndex& index, const STPSQuery& query,
+                 UserId u, std::vector<ScoredUserPair>* out) {
+  const MatchThresholds t = query.match_thresholds();
+  const UserPartitionList& cu = grid.UserCells(u);
+  const size_t nu = db.UserObjectCount(u);
+  std::unordered_map<UserId, CandidateCells> candidates;
+  std::vector<CellId> neighbors;
+
+  for (const UserPartition& cell : cu) {
+    const TokenVector tokens =
+        DistinctTokens(std::span<const ObjectRef>(cell.objects));
+    neighbors.clear();
+    grid.geometry().AppendNeighborhood(cell.id, /*include_self=*/true,
+                                       &neighbors);
+    for (const CellId other : neighbors) {
+      for (const TokenId token : tokens) {
+        const std::vector<UserId>* users = index.TokenUsers(other, token);
+        if (users == nullptr) continue;
+        for (const UserId candidate : *users) {
+          if (candidate >= u) break;  // lists are ascending by user id
+          CandidateCells& cc = candidates[candidate];
+          if (cc.my_cells.empty() || cc.my_cells.back() != cell.id) {
+            cc.my_cells.push_back(cell.id);
+          }
+          if (cc.their_cells.empty() || cc.their_cells.back() != other) {
+            cc.their_cells.push_back(other);
+          }
+        }
+      }
+    }
+  }
+
+  for (auto& [candidate, cells] : candidates) {
+    const UserPartitionList& cv = grid.UserCells(candidate);
+    const size_t nv = db.UserObjectCount(candidate);
+    std::sort(cells.their_cells.begin(), cells.their_cells.end());
+    cells.their_cells.erase(
+        std::unique(cells.their_cells.begin(), cells.their_cells.end()),
+        cells.their_cells.end());
+    size_t m = 0;
+    for (const CellId c : cells.my_cells) {
+      m += PartitionObjectCount(cu, c);
+    }
+    for (const CellId c : cells.their_cells) {
+      m += PartitionObjectCount(cv, c);
+    }
+    const double bound = static_cast<double>(m) /
+                         static_cast<double>(nu + nv);
+    if (bound < query.eps_u) continue;
+    const double sigma =
+        PPJBPair(cu, nu, cv, nv, grid.geometry(), t, query.eps_u);
+    if (sigma >= query.eps_u) {
+      out->push_back({candidate, u, sigma});
+    }
+  }
+}
+
+}  // namespace
+
+std::vector<ScoredUserPair> SPPJFParallel(const ObjectDatabase& db,
+                                          const STPSQuery& query,
+                                          int num_threads) {
+  STPS_CHECK(query.eps_doc > 0.0);
+  STPS_CHECK(query.eps_u > 0.0);
+  STPS_CHECK(num_threads >= 1);
+  std::vector<ScoredUserPair> result;
+  if (db.num_objects() == 0) return result;
+
+  const UserGrid grid(db, query.eps_loc);
+  SpatioTextualGridIndex index;
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    index.AddUser(u, grid.UserCells(u));
+  }
+
+  const size_t n = db.num_users();
+  std::atomic<uint32_t> next_user{0};
+  std::vector<std::vector<ScoredUserPair>> per_thread(
+      static_cast<size_t>(num_threads));
+  const auto worker = [&](int thread_index) {
+    std::vector<ScoredUserPair>& out = per_thread[thread_index];
+    for (;;) {
+      const uint32_t u = next_user.fetch_add(1, std::memory_order_relaxed);
+      if (u >= n) break;
+      ProcessUser(db, grid, index, query, u, &out);
+    }
+  };
+  if (num_threads == 1) {
+    worker(0);
+  } else {
+    std::vector<std::thread> threads;
+    threads.reserve(num_threads);
+    for (int i = 0; i < num_threads; ++i) {
+      threads.emplace_back(worker, i);
+    }
+    for (auto& t : threads) t.join();
+  }
+  for (const auto& partial : per_thread) {
+    result.insert(result.end(), partial.begin(), partial.end());
+  }
+  std::sort(result.begin(), result.end(),
+            [](const ScoredUserPair& x, const ScoredUserPair& y) {
+              if (x.a != y.a) return x.a < y.a;
+              return x.b < y.b;
+            });
+  return result;
+}
+
+}  // namespace stps

@@ -1,0 +1,29 @@
+// Multi-threaded S-PPJ-F — a shared-memory step toward the paper's
+// future-work goal of distributed STPSJoin processing.
+//
+// Unlike the sequential algorithm, the spatio-textual grid index is built
+// *once* over all users; each worker thread then processes a disjoint
+// subset of users, restricting candidates to users earlier in the total
+// order, so every pair is evaluated by exactly one worker. All shared
+// state is immutable during the parallel phase.
+
+#ifndef STPS_CORE_SPPJ_F_PARALLEL_H_
+#define STPS_CORE_SPPJ_F_PARALLEL_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/similarity.h"
+
+namespace stps {
+
+/// Evaluates the STPSJoin query with `num_threads` workers. Produces the
+/// same result as SPPJF (sorted by (a, b), exact scores). Preconditions:
+/// eps_doc > 0, eps_u > 0, num_threads >= 1.
+std::vector<ScoredUserPair> SPPJFParallel(const ObjectDatabase& db,
+                                          const STPSQuery& query,
+                                          int num_threads);
+
+}  // namespace stps
+
+#endif  // STPS_CORE_SPPJ_F_PARALLEL_H_

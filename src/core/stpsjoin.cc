@@ -1,0 +1,80 @@
+#include "core/stpsjoin.h"
+
+#include "core/sppj_b.h"
+#include "core/sppj_c.h"
+#include "core/sppj_d.h"
+#include "core/sppj_f.h"
+#include "core/sppj_f_parallel.h"
+
+namespace stps {
+
+std::vector<ScoredUserPair> RunSTPSJoin(const ObjectDatabase& db,
+                                        const STPSQuery& query,
+                                        const JoinOptions& options) {
+  switch (options.algorithm) {
+    case JoinAlgorithm::kBruteForce:
+      return BruteForceSTPSJoin(db, query);
+    case JoinAlgorithm::kSPPJC:
+      return SPPJC(db, query);
+    case JoinAlgorithm::kSPPJB:
+      return SPPJB(db, query);
+    case JoinAlgorithm::kSPPJF:
+      if (options.threads > 1) {
+        return SPPJFParallel(db, query, options.threads);
+      }
+      return SPPJF(db, query);
+    case JoinAlgorithm::kSPPJD:
+      return SPPJD(db, query, SPPJDOptions{options.rtree_fanout});
+  }
+  STPS_CHECK(false);
+  return {};
+}
+
+std::vector<ScoredUserPair> RunTopKSTPSJoin(const ObjectDatabase& db,
+                                            const TopKQuery& query,
+                                            TopKAlgorithm algorithm) {
+  switch (algorithm) {
+    case TopKAlgorithm::kBruteForce:
+      return BruteForceTopK(db, query);
+    case TopKAlgorithm::kF:
+      return TopKSPPJF(db, query);
+    case TopKAlgorithm::kS:
+      return TopKSPPJS(db, query);
+    case TopKAlgorithm::kP:
+      return TopKSPPJP(db, query);
+  }
+  STPS_CHECK(false);
+  return {};
+}
+
+std::string_view JoinAlgorithmName(JoinAlgorithm algorithm) {
+  switch (algorithm) {
+    case JoinAlgorithm::kBruteForce:
+      return "BruteForce";
+    case JoinAlgorithm::kSPPJC:
+      return "S-PPJ-C";
+    case JoinAlgorithm::kSPPJB:
+      return "S-PPJ-B";
+    case JoinAlgorithm::kSPPJF:
+      return "S-PPJ-F";
+    case JoinAlgorithm::kSPPJD:
+      return "S-PPJ-D";
+  }
+  return "unknown";
+}
+
+std::string_view TopKAlgorithmName(TopKAlgorithm algorithm) {
+  switch (algorithm) {
+    case TopKAlgorithm::kBruteForce:
+      return "TOPK-BruteForce";
+    case TopKAlgorithm::kF:
+      return "TOPK-S-PPJ-F";
+    case TopKAlgorithm::kS:
+      return "TOPK-S-PPJ-S";
+    case TopKAlgorithm::kP:
+      return "TOPK-S-PPJ-P";
+  }
+  return "unknown";
+}
+
+}  // namespace stps

@@ -1,0 +1,64 @@
+// Umbrella entry points: run any STPSJoin / top-k STPSJoin algorithm by
+// name. This is the recommended public API for applications; the
+// per-algorithm headers remain available for benchmarking.
+
+#ifndef STPS_CORE_STPSJOIN_H_
+#define STPS_CORE_STPSJOIN_H_
+
+#include <string_view>
+#include <vector>
+
+#include "core/database.h"
+#include "core/similarity.h"
+#include "core/topk.h"
+
+namespace stps {
+
+/// STPSJoin evaluation strategies (Section 4.1 + brute force).
+enum class JoinAlgorithm {
+  kBruteForce,
+  kSPPJC,
+  kSPPJB,
+  kSPPJF,
+  kSPPJD,
+};
+
+/// Top-k evaluation strategies (Section 4.2 + brute force).
+enum class TopKAlgorithm {
+  kBruteForce,
+  kF,
+  kS,
+  kP,
+};
+
+/// Options for RunSTPSJoin.
+struct JoinOptions {
+  JoinAlgorithm algorithm = JoinAlgorithm::kSPPJF;
+  /// R-tree node capacity; only used by S-PPJ-D.
+  int rtree_fanout = 128;
+  /// Worker threads; values > 1 select the parallel S-PPJ-F variant
+  /// (only meaningful with algorithm == kSPPJF).
+  int threads = 1;
+};
+
+/// Evaluates Q = <eps_loc, eps_doc, eps_u>: all user pairs with
+/// sigma >= eps_u. Results are sorted by (a, b) and carry exact scores.
+/// Preconditions for the filter-based algorithms (F, D): eps_doc > 0 and
+/// eps_u > 0.
+std::vector<ScoredUserPair> RunSTPSJoin(const ObjectDatabase& db,
+                                        const STPSQuery& query,
+                                        const JoinOptions& options = {});
+
+/// Evaluates the top-k query; results best-first under TopKBetter.
+/// Precondition for the index-based variants: eps_doc > 0.
+std::vector<ScoredUserPair> RunTopKSTPSJoin(
+    const ObjectDatabase& db, const TopKQuery& query,
+    TopKAlgorithm algorithm = TopKAlgorithm::kP);
+
+/// Display names ("S-PPJ-F", "TOPK-S-PPJ-P", ...) for reports.
+std::string_view JoinAlgorithmName(JoinAlgorithm algorithm);
+std::string_view TopKAlgorithmName(TopKAlgorithm algorithm);
+
+}  // namespace stps
+
+#endif  // STPS_CORE_STPSJOIN_H_

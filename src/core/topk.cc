@@ -1,0 +1,334 @@
+#include "core/topk.h"
+
+#include <algorithm>
+#include <numeric>
+#include <set>
+#include <unordered_map>
+#include <unordered_set>
+
+#include "core/ppjb.h"
+#include "core/sppj_d.h"
+#include "core/user_grid.h"
+
+namespace stps {
+
+namespace {
+
+struct TopKBetterCmp {
+  bool operator()(const ScoredUserPair& x, const ScoredUserPair& y) const {
+    return TopKBetter(x, y);
+  }
+};
+
+// Bounded best-k container under the TopKBetter total order.
+class ResultQueue {
+ public:
+  explicit ResultQueue(size_t k) : k_(k) {}
+
+  bool full() const { return pairs_.size() >= k_; }
+
+  /// The score a pair must reach to possibly enter (0 until full).
+  double Threshold() const { return full() ? Tail().score : 0.0; }
+
+  /// Offers a pair; keeps only the best k.
+  void Offer(const ScoredUserPair& pair) {
+    if (full() && !TopKBetter(pair, Tail())) return;
+    pairs_.insert(pair);
+    if (pairs_.size() > k_) pairs_.erase(std::prev(pairs_.end()));
+  }
+
+  std::vector<ScoredUserPair> TakeSorted() const {
+    return std::vector<ScoredUserPair>(pairs_.begin(), pairs_.end());
+  }
+
+ private:
+  const ScoredUserPair& Tail() const { return *pairs_.rbegin(); }
+
+  size_t k_;
+  std::set<ScoredUserPair, TopKBetterCmp> pairs_;
+};
+
+// Ascending |Du| (ties: ascending id) — the order of TOPK-S-PPJ-F / -P.
+std::vector<UserId> OrderBySize(const ObjectDatabase& db) {
+  std::vector<UserId> order(db.num_users());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&db](UserId a, UserId b) {
+    if (db.UserObjectCount(a) != db.UserObjectCount(b)) {
+      return db.UserObjectCount(a) < db.UserObjectCount(b);
+    }
+    return a < b;
+  });
+  return order;
+}
+
+// TOPK-S-PPJ-S ordering: descending popularity score
+// s_u = sum over o in Du of s_cell(o), with
+// s_c = |users having objects in c or an adjacent cell|.
+std::vector<UserId> OrderByPopularity(const ObjectDatabase& db,
+                                      const UserGrid& grid) {
+  // Occupancy: cell -> distinct users.
+  std::unordered_map<CellId, std::vector<UserId>> cell_users;
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    for (const UserPartition& cell : grid.UserCells(u)) {
+      cell_users[cell.id].push_back(u);  // distinct: one entry per (u, cell)
+    }
+  }
+  // Cell scores.
+  std::unordered_map<CellId, double> cell_score;
+  std::vector<CellId> neighbors;
+  std::unordered_set<UserId> distinct;
+  for (const auto& [cell, users] : cell_users) {
+    neighbors.clear();
+    grid.geometry().AppendNeighborhood(cell, /*include_self=*/true,
+                                       &neighbors);
+    distinct.clear();
+    for (const CellId n : neighbors) {
+      const auto it = cell_users.find(n);
+      if (it == cell_users.end()) continue;
+      distinct.insert(it->second.begin(), it->second.end());
+    }
+    cell_score[cell] = static_cast<double>(distinct.size());
+  }
+  // User scores: every object contributes its cell's score.
+  std::vector<double> user_score(db.num_users(), 0.0);
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    for (const UserPartition& cell : grid.UserCells(u)) {
+      user_score[u] += cell_score[cell.id] *
+                       static_cast<double>(cell.objects.size());
+    }
+  }
+  std::vector<UserId> order(db.num_users());
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&user_score](UserId a, UserId b) {
+    if (user_score[a] != user_score[b]) return user_score[a] > user_score[b];
+    return a < b;
+  });
+  return order;
+}
+
+// TOPK-S-PPJ-P prefilter: the number of objects of u that have a token
+// appearing (from a previously indexed user) in their own or an adjacent
+// cell — an overestimate of |M(Du, D_{U'})|.
+size_t EstimateMatchableObjects(const UserPartitionList& cu,
+                                const GridGeometry& geometry,
+                                const SpatioTextualGridIndex& index) {
+  size_t count = 0;
+  std::vector<CellId> neighbors;
+  for (const UserPartition& cell : cu) {
+    neighbors.clear();
+    geometry.AppendNeighborhood(cell.id, /*include_self=*/true, &neighbors);
+    // Drop neighbour cells with no indexed objects at all.
+    std::vector<CellId> occupied;
+    for (const CellId n : neighbors) {
+      if (index.CellOccupied(n)) occupied.push_back(n);
+    }
+    if (occupied.empty()) continue;
+    for (const ObjectRef& ref : cell.objects) {
+      bool matchable = false;
+      for (const TokenId t : ref.object->doc) {
+        for (const CellId n : occupied) {
+          if (index.TokenUsers(n, t) != nullptr) {
+            matchable = true;
+            break;
+          }
+        }
+        if (matchable) break;
+      }
+      if (matchable) ++count;
+    }
+  }
+  return count;
+}
+
+struct CandidateCells {
+  std::vector<CellId> my_cells;
+  std::vector<CellId> their_cells;
+};
+
+}  // namespace
+
+std::vector<ScoredUserPair> TopKSTPSJoin(const ObjectDatabase& db,
+                                         const TopKQuery& query,
+                                         TopKVariant variant) {
+  STPS_CHECK(query.eps_doc > 0.0);
+  STPS_CHECK(query.k > 0);
+  ResultQueue queue(query.k);
+  if (db.num_objects() == 0) return queue.TakeSorted();
+
+  const UserGrid grid(db, query.eps_loc);
+  const MatchThresholds t = query.match_thresholds();
+  const std::vector<UserId> order = variant == TopKVariant::kS
+                                        ? OrderByPopularity(db, grid)
+                                        : OrderBySize(db);
+
+  SpatioTextualGridIndex index;
+  std::unordered_map<UserId, CandidateCells> candidates;
+  std::vector<CellId> neighbors;
+  size_t max_prev_size = 0;
+
+  for (const UserId u : order) {
+    const UserPartitionList& cu = grid.UserCells(u);
+    const size_t nu = db.UserObjectCount(u);
+
+    // TOPK-S-PPJ-P: Lemma 2 prefilter. Valid because every previously
+    // processed user u' has |Du'| <= |Du| under the ascending-size order.
+    if (variant == TopKVariant::kP && queue.full() && max_prev_size > 0) {
+      const size_t matchable =
+          EstimateMatchableObjects(cu, grid.geometry(), index);
+      const double sigma_bar_u =
+          static_cast<double>(matchable + max_prev_size) /
+          static_cast<double>(nu + max_prev_size);
+      if (sigma_bar_u < queue.Threshold()) {
+        index.AddUser(u, cu);
+        max_prev_size = std::max(max_prev_size, nu);
+        continue;
+      }
+    }
+
+    candidates.clear();
+    for (const UserPartition& cell : cu) {
+      const TokenVector tokens =
+          DistinctTokens(std::span<const ObjectRef>(cell.objects));
+      neighbors.clear();
+      grid.geometry().AppendNeighborhood(cell.id, /*include_self=*/true,
+                                         &neighbors);
+      for (const CellId other : neighbors) {
+        for (const TokenId token : tokens) {
+          const std::vector<UserId>* users = index.TokenUsers(other, token);
+          if (users == nullptr) continue;
+          for (const UserId candidate : *users) {
+            CandidateCells& cc = candidates[candidate];
+            if (cc.my_cells.empty() || cc.my_cells.back() != cell.id) {
+              cc.my_cells.push_back(cell.id);
+            }
+            if (cc.their_cells.empty() || cc.their_cells.back() != other) {
+              cc.their_cells.push_back(other);
+            }
+          }
+        }
+      }
+    }
+    index.AddUser(u, cu);
+    max_prev_size = std::max(max_prev_size, nu);
+
+    for (auto& [candidate, cells] : candidates) {
+      const UserPartitionList& cv = grid.UserCells(candidate);
+      const size_t nv = db.UserObjectCount(candidate);
+      const double eps_u = queue.Threshold();
+      if (queue.full()) {
+        std::sort(cells.their_cells.begin(), cells.their_cells.end());
+        cells.their_cells.erase(
+            std::unique(cells.their_cells.begin(), cells.their_cells.end()),
+            cells.their_cells.end());
+        size_t m = 0;
+        for (const CellId c : cells.my_cells) {
+          m += PartitionObjectCount(cu, c);
+        }
+        for (const CellId c : cells.their_cells) {
+          m += PartitionObjectCount(cv, c);
+        }
+        const double sigma_bar =
+            static_cast<double>(m) / static_cast<double>(nu + nv);
+        // Keep equality: a tie on score can still win on the id order.
+        if (sigma_bar < eps_u) continue;
+      }
+      const double sigma =
+          PPJBPair(cu, nu, cv, nv, grid.geometry(), t, eps_u);
+      if (sigma <= 0.0) continue;
+      queue.Offer({std::min(u, candidate), std::max(u, candidate), sigma});
+    }
+  }
+  return queue.TakeSorted();
+}
+
+std::vector<ScoredUserPair> TopKSPPJD(const ObjectDatabase& db,
+                                      const TopKQuery& query, int fanout) {
+  STPS_CHECK(query.eps_doc > 0.0);
+  STPS_CHECK(query.k > 0);
+  ResultQueue queue(query.k);
+  if (db.num_objects() == 0) return queue.TakeSorted();
+
+  const LeafPartitionIndex index(db, query.eps_loc, fanout);
+  const MatchThresholds t = query.match_thresholds();
+  const std::vector<UserId> order = OrderBySize(db);
+  // The leaf index holds all users; pair-once semantics come from only
+  // accepting candidates processed earlier in the ascending-size order.
+  std::vector<uint32_t> rank(db.num_users(), 0);
+  for (uint32_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
+
+  struct CandidateLeaves {
+    std::vector<int64_t> my_leaves;
+    std::vector<int64_t> their_leaves;
+  };
+  std::unordered_map<UserId, CandidateLeaves> candidates;
+
+  for (const UserId u : order) {
+    const UserPartitionList& lu = index.UserLeaves(u);
+    const size_t nu = db.UserObjectCount(u);
+    candidates.clear();
+    for (const UserPartition& leaf : lu) {
+      const TokenVector tokens =
+          DistinctTokens(std::span<const ObjectRef>(leaf.objects));
+      for (const uint32_t other :
+           index.RelevantLeaves(static_cast<uint32_t>(leaf.id))) {
+        for (const TokenId token : tokens) {
+          const std::vector<UserId>* users = index.TokenUsers(other, token);
+          if (users == nullptr) continue;
+          for (const UserId candidate : *users) {
+            if (rank[candidate] >= rank[u]) continue;
+            CandidateLeaves& cl = candidates[candidate];
+            if (cl.my_leaves.empty() || cl.my_leaves.back() != leaf.id) {
+              cl.my_leaves.push_back(leaf.id);
+            }
+            if (cl.their_leaves.empty() || cl.their_leaves.back() != other) {
+              cl.their_leaves.push_back(other);
+            }
+          }
+        }
+      }
+    }
+    for (auto& [candidate, leaves] : candidates) {
+      const UserPartitionList& lv = index.UserLeaves(candidate);
+      const size_t nv = db.UserObjectCount(candidate);
+      const double eps_u = queue.Threshold();
+      if (queue.full()) {
+        std::sort(leaves.their_leaves.begin(), leaves.their_leaves.end());
+        leaves.their_leaves.erase(
+            std::unique(leaves.their_leaves.begin(),
+                        leaves.their_leaves.end()),
+            leaves.their_leaves.end());
+        size_t m = 0;
+        for (const int64_t l : leaves.my_leaves) {
+          m += PartitionObjectCount(lu, l);
+        }
+        for (const int64_t l : leaves.their_leaves) {
+          m += PartitionObjectCount(lv, l);
+        }
+        const double sigma_bar =
+            static_cast<double>(m) / static_cast<double>(nu + nv);
+        if (sigma_bar < eps_u) continue;
+      }
+      const double sigma = PPJDPair(lu, nu, lv, nv, index, t, eps_u);
+      if (sigma <= 0.0) continue;
+      queue.Offer({std::min(u, candidate), std::max(u, candidate), sigma});
+    }
+  }
+  return queue.TakeSorted();
+}
+
+std::vector<ScoredUserPair> TopKSPPJF(const ObjectDatabase& db,
+                                      const TopKQuery& query) {
+  return TopKSTPSJoin(db, query, TopKVariant::kF);
+}
+
+std::vector<ScoredUserPair> TopKSPPJS(const ObjectDatabase& db,
+                                      const TopKQuery& query) {
+  return TopKSTPSJoin(db, query, TopKVariant::kS);
+}
+
+std::vector<ScoredUserPair> TopKSPPJP(const ObjectDatabase& db,
+                                      const TopKQuery& query) {
+  return TopKSTPSJoin(db, query, TopKVariant::kP);
+}
+
+}  // namespace stps

@@ -1,0 +1,140 @@
+#include "core/tuning.h"
+
+#include <algorithm>
+#include <array>
+
+#include "common/rng.h"
+#include "common/timer.h"
+#include "core/ppjb.h"
+#include "core/sppj_f.h"
+
+namespace stps {
+
+namespace {
+
+constexpr int kNumParams = 3;  // eps_loc, eps_doc, eps_u
+
+// One node of the depth-first search over the threshold lattice.
+struct SearchNode {
+  STPSQuery query;
+  std::vector<ScoredUserPair> pairs;
+  std::array<bool, kNumParams> tried = {false, false, false};
+};
+
+// Applies one tightening step to parameter `param`; returns false when the
+// step would leave the valid threshold domain.
+bool Tighten(const STPSQuery& base, const TuningOptions& options, int param,
+             STPSQuery* out) {
+  *out = base;
+  switch (param) {
+    case 0: {
+      const double step = options.step_fraction * options.initial.eps_loc;
+      out->eps_loc = base.eps_loc - step;
+      return out->eps_loc > 0.0;
+    }
+    case 1: {
+      const double step = options.step_fraction * options.initial.eps_doc;
+      out->eps_doc = base.eps_doc + step;
+      return out->eps_doc <= 1.0;
+    }
+    default: {
+      const double step = options.step_fraction * options.initial.eps_u;
+      out->eps_u = base.eps_u + step;
+      return out->eps_u <= 1.0;
+    }
+  }
+}
+
+}  // namespace
+
+TuningResult TuneThresholds(const ObjectDatabase& db,
+                            const TuningOptions& options) {
+  STPS_CHECK(options.initial.eps_doc > 0.0);
+  STPS_CHECK(options.initial.eps_u > 0.0);
+  STPS_CHECK(options.target_size > 0);
+  TuningResult result;
+  result.thresholds = options.initial;
+
+  Timer initial_timer;
+  std::vector<ScoredUserPair> initial_pairs = SPPJF(db, options.initial);
+  result.initial_join_millis = initial_timer.ElapsedMillis();
+  result.result = initial_pairs;
+
+  if (initial_pairs.size() <= options.target_size) {
+    // Already at (or below) the target; nothing to tighten.
+    result.converged = !initial_pairs.empty();
+    return result;
+  }
+
+  Timer tuning_timer;
+  Rng rng(options.seed);
+  std::array<size_t, kNumParams> modifications = {0, 0, 0};
+  std::vector<SearchNode> stack;
+  stack.push_back(SearchNode{options.initial, std::move(initial_pairs), {}});
+
+  while (!stack.empty() && result.iterations < options.max_iterations) {
+    SearchNode& node = stack.back();
+    // Choose an untried parameter: probabilistically, or the least
+    // modified one so far.
+    std::vector<int> untried;
+    for (int p = 0; p < kNumParams; ++p) {
+      if (!node.tried[p]) untried.push_back(p);
+    }
+    if (untried.empty()) {
+      stack.pop_back();  // dead end: backtrack
+      continue;
+    }
+    int param = untried.front();
+    if (options.probabilistic) {
+      param = untried[rng.NextBelow(untried.size())];
+    } else {
+      for (const int p : untried) {
+        if (modifications[p] < modifications[param]) param = p;
+      }
+    }
+    node.tried[param] = true;
+
+    STPSQuery tightened;
+    if (!Tighten(node.query, options, param, &tightened)) continue;
+    ++modifications[param];
+    ++result.iterations;
+
+    // Tightening is monotone: only pairs of the current result can
+    // survive, so re-verify those instead of re-running the join.
+    std::vector<ScoredUserPair> surviving;
+    surviving.reserve(node.pairs.size());
+    if (param == 2) {
+      // Only eps_u moved: the stored sigma scores are still exact, so the
+      // step is a pure filter — no per-pair join needed.
+      for (const ScoredUserPair& pair : node.pairs) {
+        if (pair.score >= tightened.eps_u) surviving.push_back(pair);
+      }
+    } else {
+      const MatchThresholds t{tightened.eps_loc, tightened.eps_doc};
+      for (const ScoredUserPair& pair : node.pairs) {
+        const double sigma =
+            PairSigma(db.UserObjects(pair.a), db.UserObjects(pair.b), t);
+        if (sigma >= tightened.eps_u) {
+          surviving.push_back({pair.a, pair.b, sigma});
+        }
+      }
+    }
+    if (surviving.empty()) continue;  // overshoot: try another parameter
+    if (surviving.size() <= options.target_size) {
+      result.thresholds = tightened;
+      result.result = std::move(surviving);
+      result.converged = true;
+      break;
+    }
+    stack.push_back(SearchNode{tightened, std::move(surviving), {}});
+  }
+  if (!result.converged && !stack.empty()) {
+    // Report the deepest state reached.
+    result.thresholds = stack.back().query;
+    result.result = stack.back().pairs;
+  }
+  result.tuning_millis = tuning_timer.ElapsedMillis();
+  return result;
+}
+
+}  // namespace stps

@@ -1,0 +1,57 @@
+// Automatic threshold discovery (Section 5.6): given a desired result-set
+// size, start from relaxed thresholds, run S-PPJ-F once, then greedily
+// tighten one threshold at a time — re-verifying only the surviving pairs
+// — with depth-first backtracking when a step empties the result.
+
+#ifndef STPS_CORE_TUNING_H_
+#define STPS_CORE_TUNING_H_
+
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+#include "core/similarity.h"
+
+namespace stps {
+
+/// Controls the tuning search.
+struct TuningOptions {
+  /// Relaxed starting thresholds; must yield more than `target_size`
+  /// pairs for tuning to do anything.
+  STPSQuery initial;
+  /// Stop once 0 < |result| <= target_size.
+  size_t target_size = 10;
+  /// Each tightening step moves a threshold by this fraction of its
+  /// initial value (eps_loc shrinks; eps_doc / eps_u grow, capped at 1).
+  double step_fraction = 0.1;
+  /// Pick the threshold to tighten uniformly at random (the paper's
+  /// probabilistic strategy); when false, tighten the least-modified one.
+  bool probabilistic = true;
+  /// Seed for the probabilistic strategy.
+  uint64_t seed = 42;
+  /// Hard cap on re-verification steps.
+  size_t max_iterations = 1000;
+};
+
+/// Outcome of a tuning run.
+struct TuningResult {
+  /// The discovered thresholds.
+  STPSQuery thresholds;
+  /// The result set at those thresholds.
+  std::vector<ScoredUserPair> result;
+  /// Number of tightening steps performed (Table 3's iteration count).
+  size_t iterations = 0;
+  /// Wall-clock time of the initial S-PPJ-F run / of the tuning loop.
+  double initial_join_millis = 0.0;
+  double tuning_millis = 0.0;
+  /// True when 0 < |result| <= target_size was reached.
+  bool converged = false;
+};
+
+/// Runs the tuning procedure. Precondition: initial eps_doc, eps_u > 0.
+TuningResult TuneThresholds(const ObjectDatabase& db,
+                            const TuningOptions& options);
+
+}  // namespace stps
+
+#endif  // STPS_CORE_TUNING_H_

@@ -1,0 +1,96 @@
+#include "core/user_grid.h"
+
+#include <algorithm>
+
+#include "text/token_set.h"
+
+namespace stps {
+
+UserGrid::UserGrid(const ObjectDatabase& db, double eps_loc)
+    : geometry_(db.bounds(), eps_loc) {
+  per_user_.resize(db.num_users());
+  std::vector<std::pair<CellId, uint32_t>> scratch;  // (cell, local index)
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    const std::span<const STObject> objects = db.UserObjects(u);
+    scratch.clear();
+    scratch.reserve(objects.size());
+    for (uint32_t i = 0; i < objects.size(); ++i) {
+      scratch.emplace_back(geometry_.CellOf(objects[i].loc), i);
+    }
+    std::sort(scratch.begin(), scratch.end());
+    UserPartitionList& cells = per_user_[u];
+    for (const auto& [cell, local] : scratch) {
+      if (cells.empty() || cells.back().id != cell) {
+        cells.push_back(UserPartition{cell, {}});
+      }
+      cells.back().objects.push_back(ObjectRef{&objects[local], local});
+    }
+  }
+}
+
+const UserPartition* FindPartition(const UserPartitionList& list,
+                                   int64_t id) {
+  const auto it = std::lower_bound(
+      list.begin(), list.end(), id,
+      [](const UserPartition& p, int64_t v) { return p.id < v; });
+  if (it == list.end() || it->id != id) return nullptr;
+  return &*it;
+}
+
+size_t PartitionObjectCount(const UserPartitionList& list, int64_t id) {
+  const UserPartition* p = FindPartition(list, id);
+  return p == nullptr ? 0 : p->objects.size();
+}
+
+std::vector<MergedPartition> MergePartitionLists(
+    const UserPartitionList& cu, const UserPartitionList& cv) {
+  std::vector<MergedPartition> merged;
+  merged.reserve(cu.size() + cv.size());
+  size_t i = 0, j = 0;
+  while (i < cu.size() || j < cv.size()) {
+    if (j >= cv.size() || (i < cu.size() && cu[i].id < cv[j].id)) {
+      merged.push_back({cu[i].id, &cu[i], nullptr});
+      ++i;
+    } else if (i >= cu.size() || cv[j].id < cu[i].id) {
+      merged.push_back({cv[j].id, nullptr, &cv[j]});
+      ++j;
+    } else {
+      merged.push_back({cu[i].id, &cu[i], &cv[j]});
+      ++i;
+      ++j;
+    }
+  }
+  return merged;
+}
+
+TokenVector DistinctTokens(std::span<const ObjectRef> objects) {
+  TokenVector tokens;
+  for (const ObjectRef& ref : objects) {
+    tokens.insert(tokens.end(), ref.object->doc.begin(),
+                  ref.object->doc.end());
+  }
+  NormalizeTokenSet(&tokens);
+  return tokens;
+}
+
+void SpatioTextualGridIndex::AddUser(UserId u,
+                                     const UserPartitionList& cells) {
+  for (const UserPartition& cell : cells) {
+    CellIndex& index = cells_[cell.id];
+    const TokenVector tokens = DistinctTokens(cell.objects);
+    for (const TokenId t : tokens) {
+      index.token_users[t].push_back(u);
+    }
+  }
+}
+
+const std::vector<UserId>* SpatioTextualGridIndex::TokenUsers(
+    CellId cell, TokenId t) const {
+  const auto cell_it = cells_.find(cell);
+  if (cell_it == cells_.end()) return nullptr;
+  const auto token_it = cell_it->second.token_users.find(t);
+  if (token_it == cell_it->second.token_users.end()) return nullptr;
+  return &token_it->second;
+}
+
+}  // namespace stps

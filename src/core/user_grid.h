@@ -1,0 +1,113 @@
+// Per-user spatial partitioning structures shared by the S-PPJ-* family.
+//
+// UserGrid materialises, for a query's eps_loc grid, the per-user cell
+// lists Cu (sorted by cell id) with the objects Du_c of each cell; the
+// PPJ-C / PPJ-B pair kernels merge two such lists. The same structure
+// doubles as the per-leaf partition lists of S-PPJ-D (ids are leaf
+// ordinals instead of grid cell ids).
+//
+// SpatioTextualGridIndex is the incremental index of S-PPJ-F (Figure 3):
+// per occupied cell, an inverted list token -> users having an object with
+// that token in the cell.
+
+#ifndef STPS_CORE_USER_GRID_H_
+#define STPS_CORE_USER_GRID_H_
+
+#include <span>
+#include <unordered_map>
+#include <vector>
+
+#include "core/database.h"
+#include "spatial/grid.h"
+#include "stjoin/ppj.h"
+
+namespace stps {
+
+/// The objects of one user inside one spatial partition (grid cell or
+/// R-tree leaf). `id` is the partition id; `objects` carry user-local
+/// indices for matched-flag bookkeeping.
+struct UserPartition {
+  int64_t id = 0;
+  std::vector<ObjectRef> objects;
+};
+
+/// Sorted list of partitions occupied by one user (the paper's Cu / Lu).
+using UserPartitionList = std::vector<UserPartition>;
+
+/// Builds the per-user cell lists for a grid with cell extent eps_loc.
+class UserGrid {
+ public:
+  /// Precondition: db has at least one object, eps_loc > 0.
+  UserGrid(const ObjectDatabase& db, double eps_loc);
+
+  const GridGeometry& geometry() const { return geometry_; }
+
+  /// Cu: the cells occupied by user u, ascending by cell id.
+  const UserPartitionList& UserCells(UserId u) const {
+    STPS_DCHECK(u < per_user_.size());
+    return per_user_[u];
+  }
+
+  size_t num_users() const { return per_user_.size(); }
+
+ private:
+  GridGeometry geometry_;
+  std::vector<UserPartitionList> per_user_;
+};
+
+/// Returns |Du_p| for partition `id` in a sorted UserPartitionList, or 0
+/// when the user does not occupy it.
+size_t PartitionObjectCount(const UserPartitionList& list, int64_t id);
+
+/// Finds the partition with the given id; nullptr when absent.
+const UserPartition* FindPartition(const UserPartitionList& list, int64_t id);
+
+/// The distinct tokens appearing in `objects` (ascending).
+TokenVector DistinctTokens(std::span<const ObjectRef> objects);
+
+/// One element of the merged traversal over two users' partition lists.
+struct MergedPartition {
+  int64_t id = 0;
+  const UserPartition* u = nullptr;  // nullptr when the user is absent
+  const UserPartition* v = nullptr;
+};
+
+/// Merges two sorted partition lists into the ascending sequence of
+/// distinct ids with per-side pointers.
+std::vector<MergedPartition> MergePartitionLists(const UserPartitionList& cu,
+                                                 const UserPartitionList& cv);
+
+/// The objects of a possibly-absent partition (empty span for nullptr).
+inline std::span<const ObjectRef> PartitionObjects(const UserPartition* p) {
+  return p == nullptr ? std::span<const ObjectRef>()
+                      : std::span<const ObjectRef>(p->objects);
+}
+
+/// Incremental per-cell inverted index: token -> users (S-PPJ-F /
+/// TOPK-S-PPJ-*). Users must be added at most once each.
+class SpatioTextualGridIndex {
+ public:
+  SpatioTextualGridIndex() = default;
+
+  /// Indexes every (cell, token) of the user's cell list.
+  void AddUser(UserId u, const UserPartitionList& cells);
+
+  /// The users (in insertion order) having an object with token `t` in
+  /// cell `cell`; nullptr when none.
+  const std::vector<UserId>* TokenUsers(CellId cell, TokenId t) const;
+
+  /// True when cell `cell` holds any indexed object.
+  bool CellOccupied(CellId cell) const {
+    return cells_.find(cell) != cells_.end();
+  }
+
+ private:
+  struct CellIndex {
+    std::unordered_map<TokenId, std::vector<UserId>> token_users;
+  };
+  std::unordered_map<CellId, CellIndex> cells_;
+};
+
+}  // namespace stps
+
+#endif  // STPS_CORE_USER_GRID_H_

@@ -1,0 +1,52 @@
+#include "datagen/dataset_stats.h"
+
+#include <cstdio>
+
+#include "common/stats.h"
+
+namespace stps {
+
+DatasetStats ComputeDatasetStats(const ObjectDatabase& db) {
+  DatasetStats stats;
+  stats.num_objects = db.num_objects();
+  stats.num_users = db.num_users();
+
+  RunningStats tokens_per_object;
+  for (const STObject& o : db.AllObjects()) {
+    tokens_per_object.Add(static_cast<double>(o.doc.size()));
+  }
+  stats.tokens_per_object_mean = tokens_per_object.Mean();
+  stats.tokens_per_object_stddev = tokens_per_object.StdDev();
+
+  RunningStats objects_per_token;
+  const Dictionary& dict = db.dictionary();
+  for (TokenId t = 0; t < dict.size(); ++t) {
+    const uint64_t df = dict.Frequency(t);
+    if (df > 0) objects_per_token.Add(static_cast<double>(df));
+  }
+  stats.num_distinct_tokens = objects_per_token.count();
+  stats.objects_per_token_mean = objects_per_token.Mean();
+  stats.objects_per_token_stddev = objects_per_token.StdDev();
+
+  RunningStats objects_per_user;
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    objects_per_user.Add(static_cast<double>(db.UserObjectCount(u)));
+  }
+  stats.objects_per_user_mean = objects_per_user.Mean();
+  stats.objects_per_user_stddev = objects_per_user.StdDev();
+  return stats;
+}
+
+std::string DatasetStats::ToTableRow(const std::string& name) const {
+  char buffer[256];
+  std::snprintf(buffer, sizeof(buffer),
+                "%-12s %9zu %7zu   %6.2f (%6.2f)   %6.2f (%8.2f)   %7.2f "
+                "(%7.2f)",
+                name.c_str(), num_objects, num_users, tokens_per_object_mean,
+                tokens_per_object_stddev, objects_per_token_mean,
+                objects_per_token_stddev, objects_per_user_mean,
+                objects_per_user_stddev);
+  return buffer;
+}
+
+}  // namespace stps

@@ -1,0 +1,35 @@
+// Descriptive dataset statistics — the metrics of the paper's Table 1.
+
+#ifndef STPS_DATAGEN_DATASET_STATS_H_
+#define STPS_DATAGEN_DATASET_STATS_H_
+
+#include <cstddef>
+#include <string>
+
+#include "core/database.h"
+
+namespace stps {
+
+/// Table 1 metrics: mean and standard deviation of tokens per object,
+/// objects per token (document frequency) and objects per user.
+struct DatasetStats {
+  size_t num_objects = 0;
+  size_t num_users = 0;
+  size_t num_distinct_tokens = 0;
+  double tokens_per_object_mean = 0.0;
+  double tokens_per_object_stddev = 0.0;
+  double objects_per_token_mean = 0.0;
+  double objects_per_token_stddev = 0.0;
+  double objects_per_user_mean = 0.0;
+  double objects_per_user_stddev = 0.0;
+
+  /// One line in the format of Table 1.
+  std::string ToTableRow(const std::string& name) const;
+};
+
+/// Computes the metrics over a database.
+DatasetStats ComputeDatasetStats(const ObjectDatabase& db);
+
+}  // namespace stps
+
+#endif  // STPS_DATAGEN_DATASET_STATS_H_

@@ -1,0 +1,178 @@
+#include "datagen/generator.h"
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/macros.h"
+#include "common/rng.h"
+
+namespace stps {
+
+namespace {
+
+double Clamp(double v, double lo, double hi) {
+  return std::min(std::max(v, lo), hi);
+}
+
+Point ClampToExtent(Point p, const Rect& extent) {
+  p.x = Clamp(p.x, extent.min_x, extent.max_x);
+  p.y = Clamp(p.y, extent.min_y, extent.max_y);
+  return p;
+}
+
+}  // namespace
+
+ObjectDatabase GenerateDataset(const DatasetSpec& spec) {
+  STPS_CHECK(spec.num_users > 0);
+  STPS_CHECK(spec.num_pois > 0);
+  STPS_CHECK(spec.vocabulary_size > 0);
+  Rng rng(spec.seed);
+
+  // Pre-render the vocabulary strings once ("t0", "t1", ...).
+  std::vector<std::string> vocabulary(spec.vocabulary_size);
+  for (size_t i = 0; i < spec.vocabulary_size; ++i) {
+    vocabulary[i] = "t" + std::to_string(i);
+  }
+  const ZipfSampler token_sampler(spec.vocabulary_size, spec.token_zipf_theta);
+  const ZipfSampler poi_sampler(spec.num_pois, spec.poi_zipf_theta);
+
+  // POI hotspots: a location and a token pool each.
+  std::vector<Point> poi_locations(spec.num_pois);
+  std::vector<std::vector<size_t>> poi_pools(spec.num_pois);
+  for (size_t p = 0; p < spec.num_pois; ++p) {
+    poi_locations[p] = {rng.Uniform(spec.extent.min_x, spec.extent.max_x),
+                        rng.Uniform(spec.extent.min_y, spec.extent.max_y)};
+    poi_pools[p].reserve(spec.poi_pool_size);
+    for (size_t i = 0; i < spec.poi_pool_size; ++i) {
+      poi_pools[p].push_back(token_sampler.Sample(rng));
+    }
+  }
+
+  // Optional city clusters for user homes (country-scale datasets).
+  std::vector<Point> clusters(spec.num_user_clusters);
+  for (auto& c : clusters) {
+    c = {rng.Uniform(spec.extent.min_x, spec.extent.max_x),
+         rng.Uniform(spec.extent.min_y, spec.extent.max_y)};
+  }
+
+  const LogNormalParams objects_per_user = LogNormalParams::FromMoments(
+      spec.objects_per_user_mean, spec.objects_per_user_stddev);
+  const LogNormalParams tokens_per_object = LogNormalParams::FromMoments(
+      spec.tokens_per_object_mean, spec.tokens_per_object_stddev);
+
+  DatabaseBuilder builder;
+  std::vector<std::string_view> keywords;
+  // Previous user's objects, kept for twin (near-duplicate account)
+  // generation.
+  struct GeneratedObject {
+    Point loc;
+    double time = 0.0;
+    std::vector<size_t> tokens;  // vocabulary indices
+  };
+  std::vector<GeneratedObject> previous_user;
+  Point previous_home{0, 0};
+  std::vector<GeneratedObject> current_user;
+
+  for (size_t u = 0; u < spec.num_users; ++u) {
+    const std::string user_key = "u" + std::to_string(u);
+    current_user.clear();
+    const bool twin = u > 0 && !previous_user.empty() &&
+                      rng.Bernoulli(spec.twin_fraction);
+    // Home location.
+    Point home;
+    if (twin) {
+      home = previous_home;
+    } else if (clusters.empty()) {
+      home = {rng.Uniform(spec.extent.min_x, spec.extent.max_x),
+              rng.Uniform(spec.extent.min_y, spec.extent.max_y)};
+    } else {
+      const Point& centre = clusters[rng.NextBelow(clusters.size())];
+      home = ClampToExtent({rng.Gaussian(centre.x, spec.cluster_sigma),
+                            rng.Gaussian(centre.y, spec.cluster_sigma)},
+                           spec.extent);
+    }
+    // Object count: twins mirror the previous user's activity volume.
+    size_t count;
+    if (twin) {
+      count = previous_user.size();
+    } else {
+      count = static_cast<size_t>(
+          std::max(1.0, rng.LogNormal(objects_per_user.mu,
+                                      objects_per_user.sigma)));
+      count = std::max(count, spec.min_objects_per_user);
+      if (spec.max_objects_per_user > 0) {
+        count = std::min(count, spec.max_objects_per_user);
+      }
+    }
+
+    for (size_t i = 0; i < count; ++i) {
+      if (twin && rng.Bernoulli(spec.twin_copy_probability)) {
+        // Near-copy of the previous user's i-th object.
+        const GeneratedObject& source = previous_user[i];
+        GeneratedObject copy;
+        copy.loc = ClampToExtent(
+            {rng.Gaussian(source.loc.x, spec.twin_jitter),
+             rng.Gaussian(source.loc.y, spec.twin_jitter)},
+            spec.extent);
+        copy.time = rng.Gaussian(source.time, spec.twin_time_jitter);
+        copy.tokens = source.tokens;
+        current_user.push_back(std::move(copy));
+        continue;
+      }
+      Point loc;
+      const std::vector<size_t>* pool = nullptr;
+      if (rng.Bernoulli(spec.poi_probability)) {
+        const size_t poi = poi_sampler.Sample(rng);
+        loc = ClampToExtent(
+            {rng.Gaussian(poi_locations[poi].x, spec.poi_sigma),
+             rng.Gaussian(poi_locations[poi].y, spec.poi_sigma)},
+            spec.extent);
+        pool = &poi_pools[poi];
+      } else {
+        loc = ClampToExtent({rng.Gaussian(home.x, spec.user_radius),
+                             rng.Gaussian(home.y, spec.user_radius)},
+                            spec.extent);
+      }
+      size_t token_count = static_cast<size_t>(
+          std::max(1.0, rng.LogNormal(tokens_per_object.mu,
+                                      tokens_per_object.sigma)));
+      token_count = std::min(token_count, spec.vocabulary_size);
+      // Draw *distinct* tokens so the tokens-per-object statistic matches
+      // the spec (objects hold keyword sets, and duplicate draws would
+      // otherwise collapse). Bounded retries keep degenerate configs safe.
+      keywords.clear();
+      std::vector<size_t> chosen;
+      size_t attempts = 0;
+      const size_t max_attempts = 4 * token_count + 8;
+      while (chosen.size() < token_count && attempts++ < max_attempts) {
+        size_t token;
+        if (pool != nullptr && rng.Bernoulli(spec.poi_token_probability)) {
+          token = (*pool)[rng.NextBelow(pool->size())];
+        } else {
+          token = token_sampler.Sample(rng);
+        }
+        if (std::find(chosen.begin(), chosen.end(), token) == chosen.end()) {
+          chosen.push_back(token);
+        }
+      }
+      if (chosen.empty()) chosen.push_back(token_sampler.Sample(rng));
+      current_user.push_back(GeneratedObject{
+          loc, rng.Uniform(0.0, spec.time_horizon), std::move(chosen)});
+    }
+    // Materialise the user's objects.
+    for (const GeneratedObject& obj : current_user) {
+      keywords.clear();
+      for (const size_t token : obj.tokens) {
+        keywords.push_back(vocabulary[token]);
+      }
+      builder.AddObject(user_key, obj.loc, keywords, obj.time);
+    }
+    previous_user = std::move(current_user);
+    current_user.clear();
+    previous_home = home;
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace stps

@@ -1,0 +1,97 @@
+// Synthetic spatio-textual social-media data.
+//
+// The paper evaluates on Flickr, Twitter and GeoText crawls that cannot be
+// redistributed; this generator produces datasets with the same structural
+// properties (documented in DESIGN.md): POI hotspots with shared token
+// pools (near-duplicate photo tags), Zipf background vocabulary, per-user
+// home locality, and heavy-tailed objects-per-user / tokens-per-object
+// distributions calibrated against the paper's Table 1.
+
+#ifndef STPS_DATAGEN_GENERATOR_H_
+#define STPS_DATAGEN_GENERATOR_H_
+
+#include <cstdint>
+#include <string>
+
+#include "core/database.h"
+#include "spatial/geometry.h"
+
+namespace stps {
+
+/// Parameters of the generative model. The presets in presets.h fill
+/// these in for the three paper datasets.
+struct DatasetSpec {
+  /// Display name ("FlickrLike", ...).
+  std::string name = "Synthetic";
+  /// Number of users to generate.
+  size_t num_users = 1000;
+  /// RNG seed; identical specs yield identical databases.
+  uint64_t seed = 7;
+
+  // --- Spatial model -----------------------------------------------------
+  /// The world rectangle (coordinates behave like lon/lat degrees).
+  Rect extent = {0.0, 0.0, 1.0, 1.0};
+  /// Number of point-of-interest hotspots.
+  size_t num_pois = 200;
+  /// Zipf exponent of POI popularity.
+  double poi_zipf_theta = 1.0;
+  /// Gaussian spread of object locations around their POI.
+  double poi_sigma = 0.0005;
+  /// Probability that an object is anchored at a POI (vs. the user's
+  /// home neighbourhood).
+  double poi_probability = 0.5;
+  /// Home-neighbourhood radius for non-POI objects.
+  double user_radius = 0.02;
+  /// When > 0, user homes cluster around this many random centres
+  /// (country-scale datasets: cities); 0 = uniform homes.
+  size_t num_user_clusters = 0;
+  /// Gaussian spread of homes around their cluster centre.
+  double cluster_sigma = 0.3;
+
+  // --- Text model --------------------------------------------------------
+  /// Global vocabulary size; token popularity is Zipf(token_zipf_theta).
+  size_t vocabulary_size = 20000;
+  double token_zipf_theta = 0.8;
+  /// Tokens drawn per object: lognormal with these moments, >= 1.
+  double tokens_per_object_mean = 3.0;
+  double tokens_per_object_stddev = 2.0;
+  /// Tokens a POI's pool holds (drawn once per POI from the vocabulary).
+  size_t poi_pool_size = 12;
+  /// For a POI-anchored object, the probability that each token comes
+  /// from the POI pool rather than the global vocabulary.
+  double poi_token_probability = 0.8;
+
+  // --- Near-duplicate accounts -------------------------------------------
+  /// Fraction of users generated as a "twin" of the previous user —
+  /// mirrors the duplicate/bot accounts and cross-posted content present
+  /// in real crawls, which is what produces STPSJoin result pairs at the
+  /// paper's strict user-similarity thresholds.
+  double twin_fraction = 0.0;
+  /// Per-object probability that a twin copies the object (location
+  /// jittered, same keywords) rather than generating a fresh one.
+  double twin_copy_probability = 0.85;
+  /// Gaussian jitter applied to copied object locations.
+  double twin_jitter = 0.0003;
+  /// Gaussian jitter applied to copied object timestamps.
+  double twin_time_jitter = 1.0;
+
+  // --- Temporal model ------------------------------------------------------
+  /// Object timestamps are uniform in [0, time_horizon] (days). The
+  /// temporal dimension only matters for queries with finite eps_time.
+  double time_horizon = 365.0;
+
+  // --- User model --------------------------------------------------------
+  /// Objects per user: lognormal with these moments, clamped below by
+  /// min_objects_per_user and above by max_objects_per_user (0 = no cap).
+  double objects_per_user_mean = 50.0;
+  double objects_per_user_stddev = 100.0;
+  size_t min_objects_per_user = 2;
+  size_t max_objects_per_user = 0;
+};
+
+/// Generates the database described by `spec`. Deterministic in the spec.
+ObjectDatabase GenerateDataset(const DatasetSpec& spec);
+
+}  // namespace stps
+
+#endif  // STPS_DATAGEN_GENERATOR_H_

@@ -1,0 +1,120 @@
+#include "datagen/presets.h"
+
+#include <algorithm>
+
+#include "common/macros.h"
+
+namespace stps {
+
+DatasetSpec PresetSpec(DatasetKind kind, size_t num_users, uint64_t seed) {
+  STPS_CHECK(num_users > 0);
+  DatasetSpec spec;
+  spec.num_users = num_users;
+  spec.seed = seed;
+  switch (kind) {
+    case DatasetKind::kFlickrLike: {
+      // London-extent photo corpus: most objects sit at popular POIs and
+      // carry near-duplicate tag sets drawn from small per-POI pools.
+      spec.name = "FlickrLike";
+      spec.extent = {0.0, 0.0, 0.3, 0.2};
+      spec.num_pois = std::max<size_t>(200, num_users / 2);
+      spec.poi_zipf_theta = 0.6;
+      spec.poi_sigma = 0.0008;
+      spec.poi_probability = 0.8;
+      spec.user_radius = 0.02;
+      spec.vocabulary_size = std::max<size_t>(2000, 30 * num_users);
+      spec.token_zipf_theta = 0.8;
+      spec.tokens_per_object_mean = 8.04;
+      spec.tokens_per_object_stddev = 8.15;
+      spec.poi_pool_size = 7;
+      spec.poi_token_probability = 0.88;
+      spec.objects_per_user_mean = 98.7;
+      spec.objects_per_user_stddev = 420.0;
+      spec.max_objects_per_user = 3000;
+      // Popular-POI photo streams contain many near-duplicate accounts.
+      spec.twin_fraction = 0.06;
+      spec.twin_copy_probability = 0.9;
+      spec.twin_jitter = 0.0004;
+      break;
+    }
+    case DatasetKind::kTwitterLike: {
+      // London-extent tweet corpus: many short, diverse messages per
+      // user, weaker POI coupling.
+      spec.name = "TwitterLike";
+      spec.extent = {0.0, 0.0, 0.3, 0.2};
+      spec.num_pois = std::max<size_t>(60, num_users / 8);
+      spec.poi_zipf_theta = 0.9;
+      spec.poi_sigma = 0.001;
+      spec.poi_probability = 0.35;
+      spec.user_radius = 0.03;
+      spec.vocabulary_size = std::max<size_t>(4000, 80 * num_users);
+      spec.token_zipf_theta = 0.9;
+      spec.tokens_per_object_mean = 2.08;
+      spec.tokens_per_object_stddev = 1.43;
+      spec.poi_pool_size = 6;
+      spec.poi_token_probability = 0.6;
+      spec.objects_per_user_mean = 243.0;
+      spec.objects_per_user_stddev = 345.0;
+      spec.max_objects_per_user = 3000;
+      // Bot/cross-posting accounts: the source of high-sigma pairs in a
+      // corpus whose organic messages are too diverse to match.
+      spec.twin_fraction = 0.02;
+      spec.twin_copy_probability = 0.85;
+      spec.twin_jitter = 0.0004;
+      break;
+    }
+    case DatasetKind::kGeoTextLike: {
+      // Country-extent microblog corpus: users cluster in cities, posts
+      // are very short, the grid at eps_loc = 0.001 is extremely sparse.
+      spec.name = "GeoTextLike";
+      spec.extent = {-125.0, 25.0, -67.0, 49.0};
+      spec.num_user_clusters = 60;
+      spec.cluster_sigma = 0.2;
+      spec.num_pois = 300;
+      spec.poi_zipf_theta = 1.0;
+      spec.poi_sigma = 0.001;
+      spec.poi_probability = 0.25;
+      spec.user_radius = 0.05;
+      spec.vocabulary_size = std::max<size_t>(1000, 8 * num_users);
+      spec.token_zipf_theta = 0.9;
+      spec.tokens_per_object_mean = 1.64;
+      spec.tokens_per_object_stddev = 1.01;
+      spec.poi_pool_size = 5;
+      spec.poi_token_probability = 0.7;
+      spec.objects_per_user_mean = 17.5;
+      spec.objects_per_user_stddev = 13.0;
+      spec.max_objects_per_user = 200;
+      spec.twin_fraction = 0.035;
+      spec.twin_copy_probability = 0.85;
+      spec.twin_jitter = 0.0004;
+      break;
+    }
+  }
+  return spec;
+}
+
+STPSQuery DefaultQuery(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kFlickrLike:
+      return {0.001, 0.6, 0.6};
+    case DatasetKind::kTwitterLike:
+      return {0.001, 0.4, 0.4};
+    case DatasetKind::kGeoTextLike:
+      return {0.001, 0.3, 0.3};
+  }
+  return {0.001, 0.4, 0.4};
+}
+
+const char* DatasetKindName(DatasetKind kind) {
+  switch (kind) {
+    case DatasetKind::kFlickrLike:
+      return "FlickrLike";
+    case DatasetKind::kTwitterLike:
+      return "TwitterLike";
+    case DatasetKind::kGeoTextLike:
+      return "GeoTextLike";
+  }
+  return "unknown";
+}
+
+}  // namespace stps

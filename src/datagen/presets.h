@@ -1,0 +1,38 @@
+// Dataset presets mirroring the paper's three evaluation corpora
+// (Table 1). Sizes scale with `num_users`; the per-user / per-object /
+// per-token distributions stay fixed, so a smaller instance is a uniform
+// subsample in the same regime. Default query thresholds are the paper's
+// per-dataset defaults (Figures 4 and 7).
+
+#ifndef STPS_DATAGEN_PRESETS_H_
+#define STPS_DATAGEN_PRESETS_H_
+
+#include "core/similarity.h"
+#include "datagen/generator.h"
+
+namespace stps {
+
+/// The three evaluation regimes.
+enum class DatasetKind {
+  kFlickrLike,   // city extent, POI-dominated, rich near-duplicate tags
+  kTwitterLike,  // city extent, diverse short texts, many objects/user
+  kGeoTextLike,  // country extent, sparse short posts
+};
+
+/// The generator spec for `kind` at the given scale.
+/// Table 1 calibration targets:
+///   Flickr : 8.04 (8.15) tokens/object, 98.7 (420) objects/user
+///   Twitter: 2.08 (1.43) tokens/object, 243 (345) objects/user
+///   GeoText: 1.64 (1.01) tokens/object, 17.5 (13) objects/user
+DatasetSpec PresetSpec(DatasetKind kind, size_t num_users, uint64_t seed);
+
+/// The paper's default STPSJoin thresholds for the dataset
+/// (GeoText: .001/.3/.3, Flickr: .001/.6/.6, Twitter: .001/.4/.4).
+STPSQuery DefaultQuery(DatasetKind kind);
+
+/// Display name ("FlickrLike", ...).
+const char* DatasetKindName(DatasetKind kind);
+
+}  // namespace stps
+
+#endif  // STPS_DATAGEN_PRESETS_H_

@@ -1,0 +1,211 @@
+#include "io/binary.h"
+
+#include <cstring>
+#include <fstream>
+#include <vector>
+
+namespace stps {
+
+namespace {
+
+constexpr char kMagic[8] = {'S', 'T', 'P', 'S', 'D', 'B', '0', '1'};
+
+// Incremental FNV-1a over the serialized byte stream.
+class Checksum {
+ public:
+  void Update(const void* data, size_t size) {
+    const auto* bytes = static_cast<const unsigned char*>(data);
+    for (size_t i = 0; i < size; ++i) {
+      hash_ ^= bytes[i];
+      hash_ *= 0x100000001B3ULL;
+    }
+  }
+  uint64_t value() const { return hash_; }
+
+ private:
+  uint64_t hash_ = 0xCBF29CE484222325ULL;
+};
+
+class Writer {
+ public:
+  explicit Writer(const std::string& path)
+      : out_(path, std::ios::binary | std::ios::trunc) {}
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void Raw(const void* data, size_t size) {
+    out_.write(static_cast<const char*>(data),
+               static_cast<std::streamsize>(size));
+    checksum_.Update(data, size);
+  }
+  void U32(uint32_t v) { Raw(&v, sizeof(v)); }
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  void Str(const std::string& s) {
+    U32(static_cast<uint32_t>(s.size()));
+    Raw(s.data(), s.size());
+  }
+  void Finish() {
+    const uint64_t sum = checksum_.value();
+    out_.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
+    out_.flush();
+  }
+
+ private:
+  std::ofstream out_;
+  Checksum checksum_;
+};
+
+class Reader {
+ public:
+  explicit Reader(const std::string& path)
+      : in_(path, std::ios::binary) {}
+
+  bool ok() const { return static_cast<bool>(in_) && !failed_; }
+  bool failed() const { return failed_; }
+
+  bool Raw(void* data, size_t size) {
+    in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
+    if (static_cast<size_t>(in_.gcount()) != size) {
+      failed_ = true;
+      return false;
+    }
+    checksum_.Update(data, size);
+    return true;
+  }
+  bool U32(uint32_t* v) { return Raw(v, sizeof(*v)); }
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+  bool Str(std::string* s, uint32_t max_len = 1 << 20) {
+    uint32_t len = 0;
+    if (!U32(&len)) return false;
+    if (len > max_len) {
+      failed_ = true;
+      return false;
+    }
+    s->resize(len);
+    return len == 0 || Raw(s->data(), len);
+  }
+  // Reads the trailing checksum (not folded into the running hash) and
+  // compares it with the accumulated value.
+  bool VerifyChecksum() {
+    const uint64_t expected = checksum_.value();
+    uint64_t stored = 0;
+    in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
+    if (static_cast<size_t>(in_.gcount()) != sizeof(stored)) return false;
+    return stored == expected;
+  }
+
+ private:
+  std::ifstream in_;
+  Checksum checksum_;
+  bool failed_ = false;
+};
+
+}  // namespace
+
+Status WriteBinary(const ObjectDatabase& db, const std::string& path) {
+  Writer writer(path);
+  if (!writer.ok()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  writer.Raw(kMagic, sizeof(kMagic));
+  writer.U64(db.num_users());
+  writer.U64(db.num_objects());
+  const Dictionary& dict = db.dictionary();
+  writer.U64(dict.size());
+  for (TokenId t = 0; t < dict.size(); ++t) {
+    writer.Str(dict.TokenString(t));
+  }
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    writer.Str(db.UserName(u));
+    writer.U32(static_cast<uint32_t>(db.UserObjectCount(u)));
+  }
+  for (const STObject& o : db.AllObjects()) {
+    writer.F64(o.loc.x);
+    writer.F64(o.loc.y);
+    writer.F64(o.time);
+    writer.U32(static_cast<uint32_t>(o.doc.size()));
+    for (const TokenId t : o.doc) {
+      writer.U32(t);
+    }
+  }
+  writer.Finish();
+  if (!writer.ok()) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<ObjectDatabase> ReadBinary(const std::string& path) {
+  Reader reader(path);
+  if (!reader.ok()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  char magic[sizeof(kMagic)];
+  if (!reader.Raw(magic, sizeof(magic)) ||
+      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+    return Status::Corruption("bad magic: not an stps binary snapshot");
+  }
+  uint64_t user_count = 0, object_count = 0, token_count = 0;
+  if (!reader.U64(&user_count) || !reader.U64(&object_count) ||
+      !reader.U64(&token_count)) {
+    return Status::Corruption("truncated header");
+  }
+  constexpr uint64_t kSanityLimit = 1ULL << 40;
+  if (user_count > kSanityLimit || object_count > kSanityLimit ||
+      token_count > kSanityLimit) {
+    return Status::Corruption("implausible counts in header");
+  }
+  std::vector<std::string> tokens(token_count);
+  for (auto& token : tokens) {
+    if (!reader.Str(&token)) return Status::Corruption("truncated token");
+  }
+  std::vector<std::string> user_names(user_count);
+  std::vector<uint32_t> user_objects(user_count);
+  for (uint64_t u = 0; u < user_count; ++u) {
+    if (!reader.Str(&user_names[u]) || !reader.U32(&user_objects[u])) {
+      return Status::Corruption("truncated user table");
+    }
+  }
+  uint64_t total = 0;
+  for (const uint32_t n : user_objects) total += n;
+  if (total != object_count) {
+    return Status::Corruption("object counts do not add up");
+  }
+
+  DatabaseBuilder builder;
+  std::vector<std::string_view> keywords;
+  for (uint64_t u = 0; u < user_count; ++u) {
+    for (uint32_t i = 0; i < user_objects[u]; ++i) {
+      double x = 0, y = 0, time = 0;
+      uint32_t doc_len = 0;
+      if (!reader.F64(&x) || !reader.F64(&y) || !reader.F64(&time) ||
+          !reader.U32(&doc_len)) {
+        return Status::Corruption("truncated object");
+      }
+      if (doc_len > token_count) {
+        return Status::Corruption("object keyword count exceeds dictionary");
+      }
+      keywords.clear();
+      for (uint32_t k = 0; k < doc_len; ++k) {
+        uint32_t token_id = 0;
+        if (!reader.U32(&token_id)) {
+          return Status::Corruption("truncated keyword list");
+        }
+        if (token_id >= token_count) {
+          return Status::Corruption("token id out of range");
+        }
+        keywords.push_back(tokens[token_id]);
+      }
+      builder.AddObject(user_names[u], Point{x, y},
+                        std::span<const std::string_view>(keywords), time);
+    }
+  }
+  if (!reader.VerifyChecksum()) {
+    return Status::Corruption("checksum mismatch");
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace stps

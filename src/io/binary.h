@@ -1,0 +1,33 @@
+// Binary snapshot format for ObjectDatabase — the fast-reload companion
+// to the human-readable TSV format. Layout (little-endian):
+//
+//   magic "STPSDB01" | u64 user_count | u64 object_count | u64 token_count
+//   dictionary: token_count x (u32 len, bytes)   -- in token-id order
+//   users:      user_count  x (u32 len, bytes, u32 object_count)
+//   objects:    object_count x (f64 x, f64 y, f64 time,
+//                               u32 doc_len, doc_len x u32 token_id)
+//               -- grouped by user, in user order
+//   u64 checksum (FNV-1a over everything before it)
+//
+// Readers validate the magic, all counts, token-id ranges and the
+// checksum, and report Status::Corruption on any mismatch.
+
+#ifndef STPS_IO_BINARY_H_
+#define STPS_IO_BINARY_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/database.h"
+
+namespace stps {
+
+/// Writes `db` to `path` in the binary snapshot format.
+Status WriteBinary(const ObjectDatabase& db, const std::string& path);
+
+/// Reads a database from a binary snapshot.
+Result<ObjectDatabase> ReadBinary(const std::string& path);
+
+}  // namespace stps
+
+#endif  // STPS_IO_BINARY_H_

@@ -1,0 +1,108 @@
+#include "io/tsv.h"
+
+#include <cerrno>
+#include <cstring>
+#include <fstream>
+#include <sstream>
+#include <vector>
+
+namespace stps {
+
+Status WriteTsv(const ObjectDatabase& db, const std::string& path) {
+  std::ofstream out(path, std::ios::trunc);
+  if (!out) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  // Round-trippable double formatting.
+  out.precision(17);
+  out << "# stps objects: user\tx\ty\tkeywords[\ttime]\n";
+  const Dictionary& dict = db.dictionary();
+  for (const STObject& o : db.AllObjects()) {
+    out << db.UserName(o.user) << '\t' << o.loc.x << '\t' << o.loc.y << '\t';
+    for (size_t i = 0; i < o.doc.size(); ++i) {
+      if (i > 0) out << ',';
+      out << dict.TokenString(o.doc[i]);
+    }
+    out << '\t' << o.time << '\n';
+  }
+  out.flush();
+  if (!out) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Result<ObjectDatabase> ReadTsv(const std::string& path) {
+  std::ifstream in(path);
+  if (!in) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  DatabaseBuilder builder;
+  std::string line;
+  size_t line_number = 0;
+  std::vector<std::string_view> keywords;
+  while (std::getline(in, line)) {
+    ++line_number;
+    if (line.empty() || line[0] == '#') continue;
+    // Split into exactly four tab fields.
+    size_t pos = 0;
+    std::string_view fields[4];
+    const std::string_view view(line);
+    for (int f = 0; f < 4; ++f) {
+      const size_t tab = view.find('\t', pos);
+      if (f < 3) {
+        if (tab == std::string_view::npos) {
+          return Status::Corruption("line " + std::to_string(line_number) +
+                                    ": expected 4 tab-separated fields");
+        }
+        fields[f] = view.substr(pos, tab - pos);
+        pos = tab + 1;
+      } else {
+        fields[f] = view.substr(pos);
+      }
+    }
+    char* end = nullptr;
+    errno = 0;
+    const double x = std::strtod(fields[1].data(), &end);
+    if (errno != 0 || end == fields[1].data()) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": bad x coordinate");
+    }
+    errno = 0;
+    const double y = std::strtod(fields[2].data(), &end);
+    if (errno != 0 || end == fields[2].data()) {
+      return Status::Corruption("line " + std::to_string(line_number) +
+                                ": bad y coordinate");
+    }
+    // Optional trailing time column.
+    double time = 0.0;
+    std::string_view kw = fields[3];
+    const size_t time_tab = kw.find('\t');
+    if (time_tab != std::string_view::npos) {
+      const std::string_view time_field = kw.substr(time_tab + 1);
+      kw = kw.substr(0, time_tab);
+      errno = 0;
+      time = std::strtod(time_field.data(), &end);
+      if (errno != 0 || end == time_field.data()) {
+        return Status::Corruption("line " + std::to_string(line_number) +
+                                  ": bad time value");
+      }
+    }
+    keywords.clear();
+    size_t start = 0;
+    while (start <= kw.size()) {
+      const size_t comma = kw.find(',', start);
+      const std::string_view token =
+          comma == std::string_view::npos ? kw.substr(start)
+                                          : kw.substr(start, comma - start);
+      if (!token.empty()) keywords.push_back(token);
+      if (comma == std::string_view::npos) break;
+      start = comma + 1;
+    }
+    builder.AddObject(fields[0], Point{x, y},
+                      std::span<const std::string_view>(keywords), time);
+  }
+  return std::move(builder).Build();
+}
+
+}  // namespace stps

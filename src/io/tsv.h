@@ -1,0 +1,26 @@
+// TSV persistence for spatio-textual object databases.
+//
+// Format, one object per line:
+//   <user-key> \t <x> \t <y> \t <kw1,kw2,...>
+// Lines starting with '#' are comments. This is the interchange format
+// for real crawls (geotagged tweets / photos) exported from other tools.
+
+#ifndef STPS_IO_TSV_H_
+#define STPS_IO_TSV_H_
+
+#include <string>
+
+#include "common/status.h"
+#include "core/database.h"
+
+namespace stps {
+
+/// Writes `db` to `path`. Overwrites existing files.
+Status WriteTsv(const ObjectDatabase& db, const std::string& path);
+
+/// Reads a database from `path`.
+Result<ObjectDatabase> ReadTsv(const std::string& path);
+
+}  // namespace stps
+
+#endif  // STPS_IO_TSV_H_

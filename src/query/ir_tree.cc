@@ -1,0 +1,241 @@
+#include "query/ir_tree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <queue>
+
+#include "text/token_set.h"
+
+namespace stps {
+
+namespace {
+
+// Two independent bit positions per token (splitmix-style mixing).
+uint64_t MixToken(TokenId token, uint64_t salt) {
+  uint64_t z = (static_cast<uint64_t>(token) + 1) * 0x9E3779B97F4A7C15ULL +
+               salt;
+  z = (z ^ (z >> 30)) * 0xBF58476D1CE4E5B9ULL;
+  z = (z ^ (z >> 27)) * 0x94D049BB133111EBULL;
+  return z ^ (z >> 31);
+}
+
+}  // namespace
+
+void TokenSignature::Add(TokenId token) {
+  const uint64_t h1 = MixToken(token, 0x1234);
+  const uint64_t h2 = MixToken(token, 0xABCD);
+  bits_[(h1 >> 6) % kWords] |= 1ULL << (h1 & 63);
+  bits_[(h2 >> 6) % kWords] |= 1ULL << (h2 & 63);
+}
+
+void TokenSignature::Merge(const TokenSignature& other) {
+  for (size_t i = 0; i < kWords; ++i) bits_[i] |= other.bits_[i];
+}
+
+bool TokenSignature::MightContain(TokenId token) const {
+  const uint64_t h1 = MixToken(token, 0x1234);
+  const uint64_t h2 = MixToken(token, 0xABCD);
+  return (bits_[(h1 >> 6) % kWords] & (1ULL << (h1 & 63))) != 0 &&
+         (bits_[(h2 >> 6) % kWords] & (1ULL << (h2 & 63))) != 0;
+}
+
+size_t TokenSignature::PossibleOverlap(const TokenVector& query) const {
+  size_t count = 0;
+  for (const TokenId t : query) {
+    if (MightContain(t)) ++count;
+  }
+  return count;
+}
+
+IRTree::IRTree(const ObjectDatabase& db, int fanout) : db_(db) {
+  STPS_CHECK(fanout >= 2);
+  const Rect& bounds = db.bounds();
+  diagonal_ = bounds.IsEmpty()
+                  ? 1.0
+                  : std::max(1e-12, Distance({bounds.min_x, bounds.min_y},
+                                             {bounds.max_x, bounds.max_y}));
+  Build(fanout);
+}
+
+void IRTree::Build(int fanout) {
+  const size_t n = db_.num_objects();
+  if (n == 0) return;
+  // STR leaf packing over object ids.
+  std::vector<ObjectId> ids(n);
+  for (ObjectId i = 0; i < n; ++i) ids[i] = i;
+  std::sort(ids.begin(), ids.end(), [this](ObjectId a, ObjectId b) {
+    const Point& pa = db_.object(a).loc;
+    const Point& pb = db_.object(b).loc;
+    if (pa.x != pb.x) return pa.x < pb.x;
+    return pa.y < pb.y;
+  });
+  const size_t leaves = (n + fanout - 1) / fanout;
+  const size_t slabs = std::max<size_t>(
+      1, static_cast<size_t>(std::ceil(std::sqrt(
+             static_cast<double>(leaves)))));
+  const size_t slab_capacity =
+      ((leaves + slabs - 1) / slabs) * static_cast<size_t>(fanout);
+
+  std::vector<int32_t> level;
+  for (size_t slab_start = 0; slab_start < n; slab_start += slab_capacity) {
+    const size_t slab_end = std::min(n, slab_start + slab_capacity);
+    std::sort(ids.begin() + slab_start, ids.begin() + slab_end,
+              [this](ObjectId a, ObjectId b) {
+                const Point& pa = db_.object(a).loc;
+                const Point& pb = db_.object(b).loc;
+                if (pa.y != pb.y) return pa.y < pb.y;
+                return pa.x < pb.x;
+              });
+    for (size_t run = slab_start; run < slab_end;
+         run += static_cast<size_t>(fanout)) {
+      const size_t run_end = std::min(slab_end, run + fanout);
+      Node node;
+      node.is_leaf = true;
+      node.objects.assign(ids.begin() + run, ids.begin() + run_end);
+      for (const ObjectId id : node.objects) {
+        const STObject& o = db_.object(id);
+        node.mbr.ExpandToInclude(o.loc);
+        for (const TokenId t : o.doc) node.signature.Add(t);
+      }
+      nodes_.push_back(std::move(node));
+      level.push_back(static_cast<int32_t>(nodes_.size() - 1));
+    }
+  }
+  // Upper levels: plain runs over the (already spatially coherent) level.
+  while (level.size() > 1) {
+    std::vector<int32_t> next_level;
+    for (size_t run = 0; run < level.size();
+         run += static_cast<size_t>(fanout)) {
+      const size_t run_end =
+          std::min(level.size(), run + static_cast<size_t>(fanout));
+      Node node;
+      node.is_leaf = false;
+      node.children.assign(level.begin() + run, level.begin() + run_end);
+      for (const int32_t child : node.children) {
+        node.mbr.ExpandToInclude(nodes_[child].mbr);
+        node.signature.Merge(nodes_[child].signature);
+      }
+      nodes_.push_back(std::move(node));
+      next_level.push_back(static_cast<int32_t>(nodes_.size() - 1));
+    }
+    level = std::move(next_level);
+  }
+  root_ = level.front();
+}
+
+std::vector<SpatialKeywordIndex::ScoredObject> IRTree::TopKRelevant(
+    const Point& loc, const TokenVector& doc, size_t k, double alpha) const {
+  STPS_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  std::vector<SpatialKeywordIndex::ScoredObject> best;
+  if (k == 0 || root_ < 0) return best;
+  const auto better = [](const SpatialKeywordIndex::ScoredObject& x,
+                         const SpatialKeywordIndex::ScoredObject& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.id < y.id;
+  };
+  const auto offer = [&](ObjectId id, double score) {
+    const SpatialKeywordIndex::ScoredObject candidate{id, score};
+    if (best.size() == k && !better(candidate, best.back())) return;
+    const auto pos =
+        std::upper_bound(best.begin(), best.end(), candidate, better);
+    best.insert(pos, candidate);
+    if (best.size() > k) best.pop_back();
+  };
+
+  // Upper bound of any object's score below `node`.
+  const auto node_bound = [&](const Node& node) {
+    const double spatial = 1.0 - MinDistance(loc, node.mbr) / diagonal_;
+    double textual = 0.0;
+    if (!doc.empty()) {
+      const size_t overlap = node.signature.PossibleOverlap(doc);
+      textual = static_cast<double>(overlap) /
+                static_cast<double>(doc.size());
+    }
+    return alpha * spatial + (1.0 - alpha) * textual;
+  };
+
+  struct Frame {
+    double bound;
+    int32_t node;
+    bool operator<(const Frame& other) const {
+      return bound < other.bound;  // max-heap on the bound
+    }
+  };
+  std::priority_queue<Frame> frontier;
+  frontier.push({node_bound(nodes_[root_]), root_});
+  while (!frontier.empty()) {
+    const Frame frame = frontier.top();
+    frontier.pop();
+    // Prune when even the most optimistic object below cannot strictly
+    // beat the current k-th result (ids below are unknown, so ties must
+    // still be explored).
+    if (best.size() == k && best.back().score > frame.bound) break;
+    const Node& node = nodes_[frame.node];
+    if (node.is_leaf) {
+      for (const ObjectId id : node.objects) {
+        const STObject& o = db_.object(id);
+        const double spatial = 1.0 - Distance(o.loc, loc) / diagonal_;
+        const double score =
+            alpha * spatial + (1.0 - alpha) * Jaccard(doc, o.doc);
+        offer(id, score);
+      }
+      continue;
+    }
+    for (const int32_t child : node.children) {
+      const double bound = node_bound(nodes_[child]);
+      if (best.size() == k && best.back().score > bound) continue;
+      frontier.push({bound, child});
+    }
+  }
+  return best;
+}
+
+std::vector<ObjectId> IRTree::BooleanRange(const Point& center,
+                                           double radius,
+                                           const TokenVector& required) const {
+  std::vector<ObjectId> result;
+  if (root_ < 0) return result;
+  const Rect box{center.x - radius, center.y - radius, center.x + radius,
+                 center.y + radius};
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const Node& node = nodes_[stack.back()];
+    stack.pop_back();
+    if (!node.mbr.Intersects(box)) continue;
+    // Textual pruning: a subtree missing any required token is useless.
+    bool possible = true;
+    for (const TokenId t : required) {
+      if (!node.signature.MightContain(t)) {
+        possible = false;
+        break;
+      }
+    }
+    if (!possible) continue;
+    if (node.is_leaf) {
+      for (const ObjectId id : node.objects) {
+        const STObject& o = db_.object(id);
+        if (!WithinDistance(o.loc, center, radius)) continue;
+        if (OverlapSize(o.doc, required) == required.size()) {
+          result.push_back(id);
+        }
+      }
+    } else {
+      for (const int32_t child : node.children) stack.push_back(child);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+int IRTree::Height() const {
+  if (root_ < 0) return 0;
+  int height = 1;
+  int32_t node = root_;
+  while (!nodes_[node].is_leaf) {
+    node = nodes_[node].children.front();
+    ++height;
+  }
+  return height;
+}
+
+}  // namespace stps

@@ -1,0 +1,87 @@
+// IR-tree: an R-tree whose every node carries a textual summary of the
+// keywords stored beneath it (Cong, Jensen, Wu, PVLDB 2009; Li et al.,
+// TKDE 2011 — cited in the paper's related work). The summary here is a
+// Bloom-style token signature: compact, and sufficient for an upper
+// bound on the Jaccard similarity achievable in a subtree, which combines
+// with the spatial MinDistance bound into a best-first top-k search.
+
+#ifndef STPS_QUERY_IR_TREE_H_
+#define STPS_QUERY_IR_TREE_H_
+
+#include <array>
+#include <cstdint>
+#include <vector>
+
+#include "core/database.h"
+#include "query/spatial_keyword.h"
+
+namespace stps {
+
+/// A fixed-size Bloom signature over token ids.
+class TokenSignature {
+ public:
+  /// Adds a token to the signature.
+  void Add(TokenId token);
+
+  /// Folds another signature in (parent = union of children).
+  void Merge(const TokenSignature& other);
+
+  /// False only when the token is definitely absent below this node.
+  bool MightContain(TokenId token) const;
+
+  /// Upper bound on |query ∩ subtree-document| for a canonical query
+  /// token set: the number of query tokens that might be present.
+  size_t PossibleOverlap(const TokenVector& query) const;
+
+ private:
+  static constexpr size_t kWords = 8;  // 512 bits
+  std::array<uint64_t, kWords> bits_ = {};
+};
+
+/// Read-only IR-tree over a database (STR-packed).
+class IRTree {
+ public:
+  /// Builds the tree. `db` must outlive the tree.
+  explicit IRTree(const ObjectDatabase& db, int fanout = 64);
+
+  STPS_DISALLOW_COPY_AND_ASSIGN(IRTree);
+
+  /// Same query and scoring contract as
+  /// SpatialKeywordIndex::TopKRelevant — score =
+  /// alpha * (1 - dist/diagonal) + (1 - alpha) * Jaccard, ties by id —
+  /// but evaluated with per-node spatial *and* textual upper bounds.
+  std::vector<SpatialKeywordIndex::ScoredObject> TopKRelevant(
+      const Point& loc, const TokenVector& doc, size_t k,
+      double alpha) const;
+
+  /// Boolean range query with signature pruning: subtrees whose
+  /// signature rules out any required token are skipped entirely.
+  std::vector<ObjectId> BooleanRange(const Point& center, double radius,
+                                     const TokenVector& required) const;
+
+  /// The normalisation diagonal used by TopKRelevant.
+  double diagonal() const { return diagonal_; }
+
+  /// Tree height (1 = the root is a leaf); 0 when empty.
+  int Height() const;
+
+ private:
+  struct Node {
+    Rect mbr = Rect::Empty();
+    bool is_leaf = true;
+    TokenSignature signature;
+    std::vector<int32_t> children;  // internal
+    std::vector<ObjectId> objects;  // leaves
+  };
+
+  void Build(int fanout);
+
+  const ObjectDatabase& db_;
+  double diagonal_ = 1.0;
+  int32_t root_ = -1;
+  std::vector<Node> nodes_;
+};
+
+}  // namespace stps
+
+#endif  // STPS_QUERY_IR_TREE_H_

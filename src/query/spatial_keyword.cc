@@ -1,0 +1,111 @@
+#include "query/spatial_keyword.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "text/token_set.h"
+
+namespace stps {
+
+namespace {
+
+// True when `superset` (canonical) contains every token of `subset`.
+bool ContainsAll(const TokenVector& superset, const TokenVector& subset) {
+  return OverlapSize(superset, subset) == subset.size();
+}
+
+}  // namespace
+
+SpatialKeywordIndex::SpatialKeywordIndex(const ObjectDatabase& db,
+                                         int fanout)
+    : db_(db), tree_(fanout) {
+  std::vector<RTree::Entry> entries;
+  entries.reserve(db.num_objects());
+  for (const STObject& o : db.AllObjects()) {
+    entries.push_back(RTree::Entry{o.loc, o.id});
+  }
+  tree_ = RTree::BulkLoad(std::move(entries), fanout);
+  const Rect& bounds = db.bounds();
+  diagonal_ = bounds.IsEmpty()
+                  ? 1.0
+                  : std::max(1e-12, Distance({bounds.min_x, bounds.min_y},
+                                             {bounds.max_x, bounds.max_y}));
+}
+
+std::vector<ObjectId> SpatialKeywordIndex::BooleanRange(
+    const Point& center, double radius, const TokenVector& required) const {
+  std::vector<uint32_t> in_range;
+  tree_.RadiusQuery(center, radius, &in_range);
+  std::vector<ObjectId> result;
+  result.reserve(in_range.size());
+  for (const uint32_t id : in_range) {
+    if (ContainsAll(db_.object(id).doc, required)) {
+      result.push_back(id);
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<SpatialKeywordIndex::ScoredObject>
+SpatialKeywordIndex::TopKRelevant(const Point& loc, const TokenVector& doc,
+                                  size_t k, double alpha) const {
+  STPS_CHECK(alpha >= 0.0 && alpha <= 1.0);
+  std::vector<ScoredObject> best;  // kept sorted best-first
+  const auto better = [](const ScoredObject& x, const ScoredObject& y) {
+    if (x.score != y.score) return x.score > y.score;
+    return x.id < y.id;
+  };
+  const auto offer = [&](ObjectId id, double score) {
+    const ScoredObject candidate{id, score};
+    if (best.size() == k && !better(candidate, best.back())) return;
+    const auto pos =
+        std::upper_bound(best.begin(), best.end(), candidate, better);
+    best.insert(pos, candidate);
+    if (best.size() > k) best.pop_back();
+  };
+  const auto score_of = [&](const STObject& o) {
+    const double spatial = 1.0 - Distance(o.loc, loc) / diagonal_;
+    return alpha * spatial + (1.0 - alpha) * Jaccard(doc, o.doc);
+  };
+
+  if (k == 0 || db_.num_objects() == 0) return best;
+  if (alpha <= 0.0) {
+    // Pure textual relevance: no spatial bound can terminate early.
+    for (const STObject& o : db_.AllObjects()) offer(o.id, score_of(o));
+    return best;
+  }
+
+  // Expanding-ring search: objects farther than radius r score at most
+  // alpha * (1 - r/diagonal) + (1 - alpha); stop growing once the k-th
+  // score strictly beats that bound (strict, so equal-score ties with
+  // lower ids outside the ring are never lost), or once the ring covers
+  // every stored point.
+  const Rect& bounds = db_.bounds();
+  const double max_reach =
+      std::sqrt(std::pow(std::max(std::fabs(loc.x - bounds.min_x),
+                                  std::fabs(loc.x - bounds.max_x)),
+                         2) +
+                std::pow(std::max(std::fabs(loc.y - bounds.min_y),
+                                  std::fabs(loc.y - bounds.max_y)),
+                         2));
+  double radius = diagonal_ / 64.0;
+  std::vector<uint8_t> seen(db_.num_objects(), 0);
+  for (;;) {
+    std::vector<uint32_t> in_range;
+    tree_.RadiusQuery(loc, radius, &in_range);
+    for (const uint32_t id : in_range) {
+      if (seen[id]) continue;  // rings overlap; score each object once
+      seen[id] = 1;
+      offer(id, score_of(db_.object(id)));
+    }
+    const double outside_bound =
+        alpha * (1.0 - radius / diagonal_) + (1.0 - alpha);
+    if (best.size() == k && best.back().score > outside_bound) break;
+    if (radius >= max_reach) break;  // the ring covers everything
+    radius *= 2.0;
+  }
+  return best;
+}
+
+}  // namespace stps

@@ -1,0 +1,58 @@
+// Classic spatial-keyword queries over a spatio-textual object database —
+// the query types (Section 2.1) that motivated spatio-textual indexing
+// and against which the paper positions STPSJoin: boolean range queries
+// ("objects near X containing these keywords") and top-k relevance
+// queries ("the k best objects by combined spatial-textual score").
+
+#ifndef STPS_QUERY_SPATIAL_KEYWORD_H_
+#define STPS_QUERY_SPATIAL_KEYWORD_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "spatial/rtree.h"
+
+namespace stps {
+
+/// Read-only search index over a database: an R-tree over the object
+/// locations plus the database's token dictionary for keyword lookup.
+class SpatialKeywordIndex {
+ public:
+  /// Builds the index. `db` must outlive the index.
+  explicit SpatialKeywordIndex(const ObjectDatabase& db, int fanout = 64);
+
+  STPS_DISALLOW_COPY_AND_ASSIGN(SpatialKeywordIndex);
+
+  /// Boolean range query: ids of all objects within `radius` of `center`
+  /// whose keyword set contains *all* of `required` (canonical token
+  /// set). Result sorted ascending.
+  std::vector<ObjectId> BooleanRange(const Point& center, double radius,
+                                     const TokenVector& required) const;
+
+  /// An object with its combined relevance score.
+  struct ScoredObject {
+    ObjectId id = 0;
+    double score = 0.0;
+  };
+
+  /// Top-k relevance query: the k objects maximising
+  ///   alpha * (1 - dist(loc, o)/diagonal) + (1 - alpha) * Jaccard(doc, o)
+  /// (the standard linear spatial-textual combination; `diagonal` is the
+  /// database bounding-box diagonal). Ties broken by ascending object id.
+  /// Precondition: 0 <= alpha <= 1.
+  std::vector<ScoredObject> TopKRelevant(const Point& loc,
+                                         const TokenVector& doc, size_t k,
+                                         double alpha) const;
+
+  /// The normalisation diagonal used by TopKRelevant.
+  double diagonal() const { return diagonal_; }
+
+ private:
+  const ObjectDatabase& db_;
+  RTree tree_;
+  double diagonal_;
+};
+
+}  // namespace stps
+
+#endif  // STPS_QUERY_SPATIAL_KEYWORD_H_

@@ -1,0 +1,106 @@
+// Planar geometry primitives: points, axis-aligned rectangles, distances.
+
+#ifndef STPS_SPATIAL_GEOMETRY_H_
+#define STPS_SPATIAL_GEOMETRY_H_
+
+#include <cmath>
+
+namespace stps {
+
+/// A 2-D point (e.g. lon/lat treated as planar coordinates, as in the
+/// paper's Euclidean-distance model).
+struct Point {
+  double x = 0.0;
+  double y = 0.0;
+
+  friend bool operator==(const Point& a, const Point& b) {
+    return a.x == b.x && a.y == b.y;
+  }
+};
+
+/// Squared Euclidean distance (avoids the sqrt on hot paths).
+inline double SquaredDistance(const Point& a, const Point& b) {
+  const double dx = a.x - b.x;
+  const double dy = a.y - b.y;
+  return dx * dx + dy * dy;
+}
+
+/// Euclidean distance.
+inline double Distance(const Point& a, const Point& b) {
+  return std::sqrt(SquaredDistance(a, b));
+}
+
+/// True iff dist(a, b) <= eps, computed without a sqrt.
+inline bool WithinDistance(const Point& a, const Point& b, double eps) {
+  return SquaredDistance(a, b) <= eps * eps;
+}
+
+/// Axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
+struct Rect {
+  double min_x = 0.0;
+  double min_y = 0.0;
+  double max_x = 0.0;
+  double max_y = 0.0;
+
+  /// The degenerate rectangle covering a single point.
+  static Rect FromPoint(const Point& p) { return {p.x, p.y, p.x, p.y}; }
+
+  /// An "empty" rectangle that is the identity for ExpandToInclude.
+  static Rect Empty();
+
+  /// True when this rectangle is the Empty() sentinel.
+  bool IsEmpty() const { return min_x > max_x || min_y > max_y; }
+
+  /// True when `p` lies inside or on the boundary.
+  bool Contains(const Point& p) const {
+    return p.x >= min_x && p.x <= max_x && p.y >= min_y && p.y <= max_y;
+  }
+
+  /// True when `other` lies fully inside this rectangle.
+  bool ContainsRect(const Rect& other) const {
+    return other.min_x >= min_x && other.max_x <= max_x &&
+           other.min_y >= min_y && other.max_y <= max_y;
+  }
+
+  /// True when the closed rectangles share at least one point.
+  bool Intersects(const Rect& other) const {
+    return min_x <= other.max_x && other.min_x <= max_x &&
+           min_y <= other.max_y && other.min_y <= max_y;
+  }
+
+  /// The intersection rectangle; result.IsEmpty() when disjoint.
+  Rect Intersection(const Rect& other) const;
+
+  /// Grows the rectangle to cover `p`.
+  void ExpandToInclude(const Point& p);
+
+  /// Grows the rectangle to cover `other`.
+  void ExpandToInclude(const Rect& other);
+
+  /// The rectangle enlarged by `margin` on every side (the paper's
+  /// eps_loc-extended MBR).
+  Rect Extended(double margin) const {
+    return {min_x - margin, min_y - margin, max_x + margin, max_y + margin};
+  }
+
+  /// Area; 0 for degenerate rectangles.
+  double Area() const {
+    if (IsEmpty()) return 0.0;
+    return (max_x - min_x) * (max_y - min_y);
+  }
+
+  /// Semi-perimeter growth if `other` were merged in (R-tree heuristic).
+  double EnlargementFor(const Rect& other) const;
+
+  friend bool operator==(const Rect& a, const Rect& b) {
+    return a.min_x == b.min_x && a.min_y == b.min_y && a.max_x == b.max_x &&
+           a.max_y == b.max_y;
+  }
+};
+
+/// Minimum distance from point `p` to rectangle `r` (0 when inside).
+double MinDistance(const Point& p, const Rect& r);
+
+}  // namespace stps
+
+#endif  // STPS_SPATIAL_GEOMETRY_H_

@@ -1,0 +1,90 @@
+#include "spatial/grid.h"
+
+#include <algorithm>
+#include <cmath>
+
+#include "common/macros.h"
+
+namespace stps {
+
+GridGeometry::GridGeometry(const Rect& bounds, double cell_size)
+    : bounds_(bounds), cell_size_(cell_size) {
+  STPS_CHECK(cell_size > 0.0);
+  STPS_CHECK(!bounds.IsEmpty());
+  columns_ = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::ceil((bounds.max_x - bounds.min_x) / cell_size)));
+  rows_ = std::max<int64_t>(
+      1, static_cast<int64_t>(
+             std::ceil((bounds.max_y - bounds.min_y) / cell_size)));
+}
+
+int64_t GridGeometry::ColumnOf(const Point& p) const {
+  const int64_t c =
+      static_cast<int64_t>(std::floor((p.x - bounds_.min_x) / cell_size_));
+  return std::clamp<int64_t>(c, 0, columns_ - 1);
+}
+
+int64_t GridGeometry::RowOf(const Point& p) const {
+  const int64_t r =
+      static_cast<int64_t>(std::floor((p.y - bounds_.min_y) / cell_size_));
+  return std::clamp<int64_t>(r, 0, rows_ - 1);
+}
+
+void GridGeometry::AppendNeighborhood(CellId id, bool include_self,
+                                      std::vector<CellId>* out) const {
+  const int64_t col = ColumnOf(id);
+  const int64_t row = RowOf(id);
+  for (int64_t dr = -1; dr <= 1; ++dr) {
+    const int64_t r = row + dr;
+    if (r < 0 || r >= rows_) continue;
+    for (int64_t dc = -1; dc <= 1; ++dc) {
+      const int64_t c = col + dc;
+      if (c < 0 || c >= columns_) continue;
+      if (dr == 0 && dc == 0 && !include_self) continue;
+      out->push_back(IdOf(c, r));
+    }
+  }
+}
+
+void GridGeometry::AppendLowerNeighbors(CellId id,
+                                        std::vector<CellId>* out) const {
+  const int64_t col = ColumnOf(id);
+  const int64_t row = RowOf(id);
+  // Row below: SW, S, SE.
+  if (row > 0) {
+    for (int64_t dc = -1; dc <= 1; ++dc) {
+      const int64_t c = col + dc;
+      if (c < 0 || c >= columns_) continue;
+      out->push_back(IdOf(c, row - 1));
+    }
+  }
+  // Same row: W.
+  if (col > 0) out->push_back(IdOf(col - 1, row));
+}
+
+void GridGeometry::AppendOddRowNeighbors(CellId id,
+                                         std::vector<CellId>* out) const {
+  const int64_t col = ColumnOf(id);
+  const int64_t row = RowOf(id);
+  for (int64_t dr = -1; dr <= 1; ++dr) {
+    const int64_t r = row + dr;
+    if (r < 0 || r >= rows_) continue;
+    for (int64_t dc = -1; dc <= 1; ++dc) {
+      const int64_t c = col + dc;
+      if (c < 0 || c >= columns_) continue;
+      if (dr == 0 && dc == 1) continue;  // skip the East cell
+      out->push_back(IdOf(c, r));
+    }
+  }
+}
+
+void GridGeometry::AppendEvenRowNeighbors(CellId id,
+                                          std::vector<CellId>* out) const {
+  const int64_t col = ColumnOf(id);
+  const int64_t row = RowOf(id);
+  if (col > 0) out->push_back(IdOf(col - 1, row));
+  out->push_back(id);
+}
+
+}  // namespace stps

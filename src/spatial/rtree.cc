@@ -1,0 +1,477 @@
+#include "spatial/rtree.h"
+
+#include <algorithm>
+#include <cmath>
+#include <limits>
+
+namespace stps {
+
+namespace {
+
+// Guttman's quadratic split: pick the two rectangles wasting the most area
+// as seeds, then assign the rest by strongest preference. `rects` holds the
+// bounding rectangle of each item. Returns the item indices for each group.
+void QuadraticSplit(const std::vector<Rect>& rects, int min_fill,
+                    std::vector<uint32_t>* group_a,
+                    std::vector<uint32_t>* group_b) {
+  const size_t n = rects.size();
+  STPS_CHECK(n >= 2);
+  // Seed selection: maximise dead area of the pair's bounding box.
+  size_t seed_a = 0, seed_b = 1;
+  double worst = -std::numeric_limits<double>::infinity();
+  for (size_t i = 0; i < n; ++i) {
+    for (size_t j = i + 1; j < n; ++j) {
+      Rect merged = rects[i];
+      merged.ExpandToInclude(rects[j]);
+      const double dead = merged.Area() - rects[i].Area() - rects[j].Area();
+      if (dead > worst) {
+        worst = dead;
+        seed_a = i;
+        seed_b = j;
+      }
+    }
+  }
+  group_a->clear();
+  group_b->clear();
+  group_a->push_back(static_cast<uint32_t>(seed_a));
+  group_b->push_back(static_cast<uint32_t>(seed_b));
+  Rect mbr_a = rects[seed_a];
+  Rect mbr_b = rects[seed_b];
+
+  std::vector<bool> assigned(n, false);
+  assigned[seed_a] = assigned[seed_b] = true;
+  size_t remaining = n - 2;
+  while (remaining > 0) {
+    // Force-assign when one group must take everything left to reach the
+    // minimum fill.
+    if (group_a->size() + remaining == static_cast<size_t>(min_fill)) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          group_a->push_back(static_cast<uint32_t>(i));
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    if (group_b->size() + remaining == static_cast<size_t>(min_fill)) {
+      for (size_t i = 0; i < n; ++i) {
+        if (!assigned[i]) {
+          group_b->push_back(static_cast<uint32_t>(i));
+          assigned[i] = true;
+        }
+      }
+      break;
+    }
+    // Pick the unassigned item with the greatest preference difference.
+    size_t best = n;
+    double best_diff = -1.0;
+    double best_da = 0.0, best_db = 0.0;
+    for (size_t i = 0; i < n; ++i) {
+      if (assigned[i]) continue;
+      const double da = mbr_a.EnlargementFor(rects[i]);
+      const double db = mbr_b.EnlargementFor(rects[i]);
+      const double diff = std::abs(da - db);
+      if (diff > best_diff) {
+        best_diff = diff;
+        best = i;
+        best_da = da;
+        best_db = db;
+      }
+    }
+    STPS_DCHECK(best < n);
+    bool to_a;
+    if (best_da != best_db) {
+      to_a = best_da < best_db;
+    } else if (mbr_a.Area() != mbr_b.Area()) {
+      to_a = mbr_a.Area() < mbr_b.Area();
+    } else {
+      to_a = group_a->size() <= group_b->size();
+    }
+    if (to_a) {
+      group_a->push_back(static_cast<uint32_t>(best));
+      mbr_a.ExpandToInclude(rects[best]);
+    } else {
+      group_b->push_back(static_cast<uint32_t>(best));
+      mbr_b.ExpandToInclude(rects[best]);
+    }
+    assigned[best] = true;
+    --remaining;
+  }
+}
+
+}  // namespace
+
+RTree::RTree(int fanout) : fanout_(fanout) { STPS_CHECK(fanout >= 2); }
+
+int32_t RTree::NewNode(bool is_leaf) {
+  nodes_.emplace_back();
+  nodes_.back().is_leaf = is_leaf;
+  return static_cast<int32_t>(nodes_.size() - 1);
+}
+
+RTree RTree::BulkLoad(std::vector<Entry> entries, int fanout) {
+  RTree tree(fanout);
+  tree.size_ = entries.size();
+  if (entries.empty()) return tree;
+
+  // STR leaf packing: sort by x, cut into ceil(sqrt(P)) vertical slabs,
+  // sort each slab by y, cut into runs of `fanout`.
+  const size_t n = entries.size();
+  const size_t leaves = (n + fanout - 1) / fanout;
+  const size_t slabs =
+      std::max<size_t>(1, static_cast<size_t>(std::ceil(std::sqrt(
+                              static_cast<double>(leaves)))));
+  const size_t slab_capacity =
+      ((leaves + slabs - 1) / slabs) * static_cast<size_t>(fanout);
+  std::sort(entries.begin(), entries.end(),
+            [](const Entry& a, const Entry& b) {
+              if (a.point.x != b.point.x) return a.point.x < b.point.x;
+              return a.point.y < b.point.y;
+            });
+
+  std::vector<int32_t> level;  // current level's node ids
+  for (size_t slab_start = 0; slab_start < n; slab_start += slab_capacity) {
+    const size_t slab_end = std::min(n, slab_start + slab_capacity);
+    std::sort(entries.begin() + slab_start, entries.begin() + slab_end,
+              [](const Entry& a, const Entry& b) {
+                if (a.point.y != b.point.y) return a.point.y < b.point.y;
+                return a.point.x < b.point.x;
+              });
+    for (size_t run = slab_start; run < slab_end;
+         run += static_cast<size_t>(fanout)) {
+      const size_t run_end = std::min(slab_end, run + fanout);
+      const int32_t leaf = tree.NewNode(/*is_leaf=*/true);
+      Node& node = tree.nodes_[leaf];
+      node.entries.assign(entries.begin() + run, entries.begin() + run_end);
+      for (const Entry& e : node.entries) node.mbr.ExpandToInclude(e.point);
+      level.push_back(leaf);
+    }
+  }
+
+  // Pack upper levels with the same STR strategy over node MBR centres.
+  while (level.size() > 1) {
+    std::sort(level.begin(), level.end(), [&tree](int32_t a, int32_t b) {
+      const Rect& ra = tree.nodes_[a].mbr;
+      const Rect& rb = tree.nodes_[b].mbr;
+      const double ax = (ra.min_x + ra.max_x) / 2;
+      const double bx = (rb.min_x + rb.max_x) / 2;
+      if (ax != bx) return ax < bx;
+      return (ra.min_y + ra.max_y) / 2 < (rb.min_y + rb.max_y) / 2;
+    });
+    const size_t count = level.size();
+    const size_t parents = (count + fanout - 1) / fanout;
+    const size_t parent_slabs =
+        std::max<size_t>(1, static_cast<size_t>(std::ceil(std::sqrt(
+                                static_cast<double>(parents)))));
+    const size_t parent_slab_capacity =
+        ((parents + parent_slabs - 1) / parent_slabs) *
+        static_cast<size_t>(fanout);
+    std::vector<int32_t> next_level;
+    for (size_t slab_start = 0; slab_start < count;
+         slab_start += parent_slab_capacity) {
+      const size_t slab_end = std::min(count, slab_start +
+                                                  parent_slab_capacity);
+      std::sort(level.begin() + slab_start, level.begin() + slab_end,
+                [&tree](int32_t a, int32_t b) {
+                  const Rect& ra = tree.nodes_[a].mbr;
+                  const Rect& rb = tree.nodes_[b].mbr;
+                  const double ay = (ra.min_y + ra.max_y) / 2;
+                  const double by = (rb.min_y + rb.max_y) / 2;
+                  if (ay != by) return ay < by;
+                  return (ra.min_x + ra.max_x) / 2 <
+                         (rb.min_x + rb.max_x) / 2;
+                });
+      for (size_t run = slab_start; run < slab_end;
+           run += static_cast<size_t>(fanout)) {
+        const size_t run_end = std::min(slab_end, run + fanout);
+        const int32_t parent = tree.NewNode(/*is_leaf=*/false);
+        Node& node = tree.nodes_[parent];
+        node.children.assign(level.begin() + run, level.begin() + run_end);
+        for (const int32_t child : node.children) {
+          node.mbr.ExpandToInclude(tree.nodes_[child].mbr);
+        }
+        next_level.push_back(parent);
+      }
+    }
+    level = std::move(next_level);
+  }
+  tree.root_ = level.front();
+  return tree;
+}
+
+void RTree::Insert(const Point& point, uint32_t value) {
+  const Entry entry{point, value};
+  if (root_ < 0) {
+    root_ = NewNode(/*is_leaf=*/true);
+    nodes_[root_].entries.push_back(entry);
+    nodes_[root_].mbr = Rect::FromPoint(point);
+    size_ = 1;
+    return;
+  }
+  const int32_t sibling = InsertRecursive(root_, entry);
+  if (sibling >= 0) {
+    const int32_t new_root = NewNode(/*is_leaf=*/false);
+    nodes_[new_root].children = {root_, sibling};
+    nodes_[new_root].mbr = nodes_[root_].mbr;
+    nodes_[new_root].mbr.ExpandToInclude(nodes_[sibling].mbr);
+    root_ = new_root;
+  }
+  ++size_;
+}
+
+int32_t RTree::InsertRecursive(int32_t node_id, const Entry& entry) {
+  Node& node = nodes_[node_id];
+  node.mbr.ExpandToInclude(entry.point);
+  if (node.is_leaf) {
+    node.entries.push_back(entry);
+    if (node.entries.size() > static_cast<size_t>(fanout_)) {
+      return SplitLeaf(node_id);
+    }
+    return -1;
+  }
+  // Choose the child needing the least enlargement (ties: smaller area).
+  const Rect point_rect = Rect::FromPoint(entry.point);
+  int32_t best_child = -1;
+  double best_enlargement = std::numeric_limits<double>::infinity();
+  double best_area = std::numeric_limits<double>::infinity();
+  for (const int32_t child : node.children) {
+    const double enlargement = nodes_[child].mbr.EnlargementFor(point_rect);
+    const double area = nodes_[child].mbr.Area();
+    if (enlargement < best_enlargement ||
+        (enlargement == best_enlargement && area < best_area)) {
+      best_enlargement = enlargement;
+      best_area = area;
+      best_child = child;
+    }
+  }
+  const int32_t split = InsertRecursive(best_child, entry);
+  if (split >= 0) {
+    // Re-fetch: InsertRecursive may have reallocated nodes_.
+    Node& self = nodes_[node_id];
+    self.children.push_back(split);
+    self.mbr.ExpandToInclude(nodes_[split].mbr);
+    if (self.children.size() > static_cast<size_t>(fanout_)) {
+      return SplitInternal(node_id);
+    }
+  }
+  return -1;
+}
+
+int32_t RTree::SplitLeaf(int32_t node_id) {
+  const int min_fill = std::max(1, fanout_ * 2 / 5);
+  std::vector<Entry> items = std::move(nodes_[node_id].entries);
+  std::vector<Rect> rects;
+  rects.reserve(items.size());
+  for (const Entry& e : items) rects.push_back(Rect::FromPoint(e.point));
+  std::vector<uint32_t> group_a, group_b;
+  QuadraticSplit(rects, min_fill, &group_a, &group_b);
+
+  const int32_t sibling = NewNode(/*is_leaf=*/true);
+  Node& self = nodes_[node_id];
+  Node& other = nodes_[sibling];
+  self.entries.clear();
+  self.mbr = Rect::Empty();
+  for (const uint32_t i : group_a) {
+    self.entries.push_back(items[i]);
+    self.mbr.ExpandToInclude(items[i].point);
+  }
+  for (const uint32_t i : group_b) {
+    other.entries.push_back(items[i]);
+    other.mbr.ExpandToInclude(items[i].point);
+  }
+  return sibling;
+}
+
+int32_t RTree::SplitInternal(int32_t node_id) {
+  const int min_fill = std::max(1, fanout_ * 2 / 5);
+  std::vector<int32_t> items = std::move(nodes_[node_id].children);
+  std::vector<Rect> rects;
+  rects.reserve(items.size());
+  for (const int32_t child : items) rects.push_back(nodes_[child].mbr);
+  std::vector<uint32_t> group_a, group_b;
+  QuadraticSplit(rects, min_fill, &group_a, &group_b);
+
+  const int32_t sibling = NewNode(/*is_leaf=*/false);
+  Node& self = nodes_[node_id];
+  Node& other = nodes_[sibling];
+  self.children.clear();
+  self.mbr = Rect::Empty();
+  for (const uint32_t i : group_a) {
+    self.children.push_back(items[i]);
+    self.mbr.ExpandToInclude(rects[i]);
+  }
+  for (const uint32_t i : group_b) {
+    other.children.push_back(items[i]);
+    other.mbr.ExpandToInclude(rects[i]);
+  }
+  return sibling;
+}
+
+void RTree::RangeQuery(const Rect& query,
+                       std::vector<uint32_t>* out) const {
+  if (root_ < 0) return;
+  RangeQueryRecursive(root_, query, out);
+}
+
+void RTree::RangeQueryRecursive(int32_t node_id, const Rect& query,
+                                std::vector<uint32_t>* out) const {
+  const Node& node = nodes_[node_id];
+  if (!node.mbr.Intersects(query)) return;
+  if (node.is_leaf) {
+    for (const Entry& e : node.entries) {
+      if (query.Contains(e.point)) out->push_back(e.value);
+    }
+    return;
+  }
+  for (const int32_t child : node.children) {
+    RangeQueryRecursive(child, query, out);
+  }
+}
+
+void RTree::RadiusQuery(const Point& center, double eps,
+                        std::vector<uint32_t>* out) const {
+  if (root_ < 0) return;
+  const Rect box{center.x - eps, center.y - eps, center.x + eps,
+                 center.y + eps};
+  std::vector<int32_t> stack = {root_};
+  while (!stack.empty()) {
+    const int32_t node_id = stack.back();
+    stack.pop_back();
+    const Node& node = nodes_[node_id];
+    if (!node.mbr.Intersects(box)) continue;
+    if (node.is_leaf) {
+      for (const Entry& e : node.entries) {
+        if (WithinDistance(e.point, center, eps)) out->push_back(e.value);
+      }
+    } else {
+      for (const int32_t child : node.children) stack.push_back(child);
+    }
+  }
+}
+
+bool RTree::NearestNeighbor(const Point& query, Point* nearest,
+                            uint32_t* value, double* distance) const {
+  if (root_ < 0 || size_ == 0) return false;
+  double best = std::numeric_limits<double>::infinity();
+  Point best_point;
+  uint32_t best_value = 0;
+  // Depth-first branch and bound: descend children in increasing MBR
+  // distance, prune subtrees farther than the current best.
+  struct Frame {
+    int32_t node;
+    double min_dist;
+  };
+  std::vector<Frame> stack = {{root_, MinDistance(query, nodes_[root_].mbr)}};
+  while (!stack.empty()) {
+    const Frame frame = stack.back();
+    stack.pop_back();
+    if (frame.min_dist >= best) continue;
+    const Node& node = nodes_[frame.node];
+    if (node.is_leaf) {
+      for (const Entry& e : node.entries) {
+        const double d = Distance(e.point, query);
+        if (d < best) {
+          best = d;
+          best_point = e.point;
+          best_value = e.value;
+        }
+      }
+      continue;
+    }
+    // Push children sorted so the closest is expanded first (it ends up
+    // on top of the stack).
+    std::vector<Frame> children;
+    children.reserve(node.children.size());
+    for (const int32_t child : node.children) {
+      const double d = MinDistance(query, nodes_[child].mbr);
+      if (d < best) children.push_back({child, d});
+    }
+    std::sort(children.begin(), children.end(),
+              [](const Frame& a, const Frame& b) {
+                return a.min_dist > b.min_dist;
+              });
+    stack.insert(stack.end(), children.begin(), children.end());
+  }
+  if (nearest != nullptr) *nearest = best_point;
+  if (value != nullptr) *value = best_value;
+  if (distance != nullptr) *distance = best;
+  return true;
+}
+
+int RTree::Height() const {
+  if (root_ < 0) return 0;
+  return DepthOfLeftmostLeaf();
+}
+
+int RTree::DepthOfLeftmostLeaf() const {
+  int depth = 1;
+  int32_t node = root_;
+  while (!nodes_[node].is_leaf) {
+    node = nodes_[node].children.front();
+    ++depth;
+  }
+  return depth;
+}
+
+std::vector<RTree::LeafRef> RTree::CollectLeaves() const {
+  std::vector<LeafRef> out;
+  if (root_ >= 0) CollectLeavesRecursive(root_, &out);
+  return out;
+}
+
+void RTree::CollectLeavesRecursive(int32_t node_id,
+                                   std::vector<LeafRef>* out) const {
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    LeafRef ref;
+    ref.ordinal = static_cast<uint32_t>(out->size());
+    ref.mbr = node.mbr;
+    ref.entries = std::span<const Entry>(node.entries);
+    out->push_back(ref);
+    return;
+  }
+  for (const int32_t child : node.children) {
+    CollectLeavesRecursive(child, out);
+  }
+}
+
+Rect RTree::RootMbr() const {
+  if (root_ < 0) return Rect::Empty();
+  return nodes_[root_].mbr;
+}
+
+bool RTree::CheckInvariants() const {
+  if (root_ < 0) return size_ == 0;
+  const int leaf_depth = DepthOfLeftmostLeaf();
+  if (!CheckNode(root_, 1, leaf_depth)) return false;
+  // Entry count must match size().
+  size_t total = 0;
+  for (const LeafRef& leaf : CollectLeaves()) total += leaf.entries.size();
+  return total == size_;
+}
+
+bool RTree::CheckNode(int32_t node_id, int depth, int leaf_depth) const {
+  const Node& node = nodes_[node_id];
+  if (node.is_leaf) {
+    if (depth != leaf_depth) return false;
+    if (node_id != root_ && node.entries.empty()) return false;
+    if (node.entries.size() > static_cast<size_t>(fanout_)) return false;
+    Rect mbr = Rect::Empty();
+    for (const Entry& e : node.entries) mbr.ExpandToInclude(e.point);
+    return node.entries.empty() ? node.mbr.IsEmpty() || size_ == 0
+                                : mbr == node.mbr;
+  }
+  if (node.children.empty() ||
+      node.children.size() > static_cast<size_t>(fanout_)) {
+    return false;
+  }
+  Rect mbr = Rect::Empty();
+  for (const int32_t child : node.children) {
+    if (!node.mbr.ContainsRect(nodes_[child].mbr)) return false;
+    if (!CheckNode(child, depth + 1, leaf_depth)) return false;
+    mbr.ExpandToInclude(nodes_[child].mbr);
+  }
+  return mbr == node.mbr;
+}
+
+}  // namespace stps

@@ -1,0 +1,68 @@
+// The spatio-textual object model of the paper (Section 3): an object is a
+// triple <user, location, keyword set>, and two objects *match* when they
+// are within eps_loc spatially and at least eps_doc Jaccard-similar
+// textually.
+
+#ifndef STPS_STJOIN_OBJECT_H_
+#define STPS_STJOIN_OBJECT_H_
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include "spatial/geometry.h"
+#include "text/token_set.h"
+#include "text/types.h"
+
+namespace stps {
+
+/// Dense user identifier (0-based; the total order ≺U of the paper is the
+/// numeric order of these ids unless an algorithm re-orders explicitly).
+using UserId = uint32_t;
+
+/// Dense object identifier within an ObjectDatabase.
+using ObjectId = uint32_t;
+
+/// A spatio-textual object o = <u, loc, doc> with an optional timestamp
+/// (the paper's future-work temporal dimension; ignored unless a query
+/// sets a finite eps_time).
+struct STObject {
+  ObjectId id = 0;
+  UserId user = 0;
+  Point loc;
+  /// Creation time in arbitrary units (e.g. days). 0 when untimed.
+  double time = 0.0;
+  /// Canonical token set; ids follow the global ascending-document-
+  /// frequency order (prefix-filter ready).
+  TokenVector doc;
+};
+
+/// Spatio-textual(-temporal) thresholds of a join query.
+struct MatchThresholds {
+  /// Maximum Euclidean distance eps_loc.
+  double eps_loc = 0.0;
+  /// Minimum Jaccard similarity eps_doc.
+  double eps_doc = 0.0;
+  /// Maximum timestamp difference; infinity = temporal dimension off.
+  double eps_time = std::numeric_limits<double>::infinity();
+};
+
+/// True when the objects' timestamps are within eps_time (always true at
+/// the default infinite threshold).
+inline bool TimeCompatible(const STObject& a, const STObject& b,
+                           double eps_time) {
+  return std::fabs(a.time - b.time) <= eps_time;
+}
+
+/// The paper's matching predicate mu(o, o') extended with the temporal
+/// dimension: dist <= eps_loc, Jaccard >= eps_doc, |dt| <= eps_time.
+inline bool ObjectsMatch(const STObject& a, const STObject& b,
+                         const MatchThresholds& t) {
+  return WithinDistance(a.loc, b.loc, t.eps_loc) &&
+         TimeCompatible(a, b, t.eps_time) &&
+         JaccardAtLeast(a.doc, b.doc, t.eps_doc);
+}
+
+}  // namespace stps
+
+#endif  // STPS_STJOIN_OBJECT_H_

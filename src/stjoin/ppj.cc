@@ -1,0 +1,203 @@
+#include "stjoin/ppj.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "text/similarity.h"
+
+namespace stps {
+
+namespace {
+
+// Below this many object-pair combinations a filtered nested loop beats
+// building an inverted index (measured on the cell-sized inputs the
+// point-set algorithms produce).
+constexpr size_t kNestedLoopLimit = 1024;
+
+bool SizeCompatible(size_t a, size_t b, double eps_doc) {
+  if (eps_doc <= 0.0) return true;
+  return b >= MinSizeForJaccard(a, eps_doc) &&
+         b <= MaxSizeForJaccard(a, eps_doc);
+}
+
+// Inverted index over the probing prefixes of one side of a cross join.
+class PrefixIndex {
+ public:
+  template <typename GetObject>
+  PrefixIndex(size_t count, double eps_doc, const GetObject& get) {
+    for (uint32_t i = 0; i < count; ++i) {
+      const TokenVector& doc = get(i)->doc;
+      const size_t prefix = PrefixLengthForJaccard(doc.size(), eps_doc);
+      for (size_t p = 0; p < prefix; ++p) {
+        postings_[doc[p]].push_back(i);
+      }
+    }
+    stamps_.assign(count, 0);
+  }
+
+  // Appends (deduplicated) candidate indices sharing a prefix token with
+  // `doc` into *out.
+  void Probe(const TokenVector& doc, double eps_doc,
+             std::vector<uint32_t>* out) {
+    ++round_;
+    const size_t prefix = PrefixLengthForJaccard(doc.size(), eps_doc);
+    for (size_t p = 0; p < prefix; ++p) {
+      const auto it = postings_.find(doc[p]);
+      if (it == postings_.end()) continue;
+      for (const uint32_t candidate : it->second) {
+        if (stamps_[candidate] == round_) continue;
+        stamps_[candidate] = round_;
+        out->push_back(candidate);
+      }
+    }
+  }
+
+ private:
+  std::unordered_map<TokenId, std::vector<uint32_t>> postings_;
+  std::vector<uint32_t> stamps_;
+  uint32_t round_ = 0;
+};
+
+}  // namespace
+
+std::vector<std::pair<ObjectId, ObjectId>> PPJCrossPairs(
+    std::span<const STObject* const> left,
+    std::span<const STObject* const> right, const MatchThresholds& t) {
+  std::vector<std::pair<ObjectId, ObjectId>> result;
+  if (left.empty() || right.empty()) return result;
+  if (left.size() * right.size() <= kNestedLoopLimit || t.eps_doc <= 0.0) {
+    for (const STObject* a : left) {
+      for (const STObject* b : right) {
+        if (!WithinDistance(a->loc, b->loc, t.eps_loc)) continue;
+        if (!TimeCompatible(*a, *b, t.eps_time)) continue;
+        if (!SizeCompatible(a->doc.size(), b->doc.size(), t.eps_doc)) continue;
+        if (JaccardAtLeast(a->doc, b->doc, t.eps_doc)) {
+          result.emplace_back(a->id, b->id);
+        }
+      }
+    }
+    return result;
+  }
+  PrefixIndex index(right.size(), t.eps_doc,
+                    [&right](uint32_t i) { return right[i]; });
+  std::vector<uint32_t> candidates;
+  for (const STObject* a : left) {
+    candidates.clear();
+    index.Probe(a->doc, t.eps_doc, &candidates);
+    for (const uint32_t c : candidates) {
+      const STObject* b = right[c];
+      if (!WithinDistance(a->loc, b->loc, t.eps_loc)) continue;
+      if (!TimeCompatible(*a, *b, t.eps_time)) continue;
+      if (!SizeCompatible(a->doc.size(), b->doc.size(), t.eps_doc)) continue;
+      if (JaccardAtLeast(a->doc, b->doc, t.eps_doc)) {
+        result.emplace_back(a->id, b->id);
+      }
+    }
+  }
+  return result;
+}
+
+std::vector<std::pair<ObjectId, ObjectId>> PPJSelfPairs(
+    std::span<const STObject* const> objects, const MatchThresholds& t) {
+  std::vector<std::pair<ObjectId, ObjectId>> result;
+  const size_t n = objects.size();
+  if (n < 2) return result;
+  if (n * n <= kNestedLoopLimit || t.eps_doc <= 0.0) {
+    for (size_t i = 0; i < n; ++i) {
+      for (size_t j = i + 1; j < n; ++j) {
+        const STObject* a = objects[i];
+        const STObject* b = objects[j];
+        if (!WithinDistance(a->loc, b->loc, t.eps_loc)) continue;
+        if (!TimeCompatible(*a, *b, t.eps_time)) continue;
+        if (!SizeCompatible(a->doc.size(), b->doc.size(), t.eps_doc))
+          continue;
+        if (JaccardAtLeast(a->doc, b->doc, t.eps_doc)) {
+          result.emplace_back(std::min(a->id, b->id), std::max(a->id, b->id));
+        }
+      }
+    }
+    return result;
+  }
+  PrefixIndex index(n, t.eps_doc, [&objects](uint32_t i) {
+    return objects[i];
+  });
+  std::vector<uint32_t> candidates;
+  for (uint32_t i = 0; i < n; ++i) {
+    const STObject* a = objects[i];
+    candidates.clear();
+    index.Probe(a->doc, t.eps_doc, &candidates);
+    for (const uint32_t c : candidates) {
+      if (c <= i) continue;  // each unordered pair once
+      const STObject* b = objects[c];
+      if (!WithinDistance(a->loc, b->loc, t.eps_loc)) continue;
+      if (!TimeCompatible(*a, *b, t.eps_time)) continue;
+      if (!SizeCompatible(a->doc.size(), b->doc.size(), t.eps_doc)) continue;
+      if (JaccardAtLeast(a->doc, b->doc, t.eps_doc)) {
+        result.emplace_back(std::min(a->id, b->id), std::max(a->id, b->id));
+      }
+    }
+  }
+  return result;
+}
+
+uint32_t PPJCrossMark(std::span<const ObjectRef> left,
+                      std::span<const ObjectRef> right,
+                      const MatchThresholds& t,
+                      std::vector<uint8_t>* left_matched,
+                      std::vector<uint8_t>* right_matched) {
+  if (left.empty() || right.empty()) return 0;
+  uint32_t newly_matched = 0;
+  const auto mark = [&](const ObjectRef& a, const ObjectRef& b) {
+    if (!(*left_matched)[a.local]) {
+      (*left_matched)[a.local] = 1;
+      ++newly_matched;
+    }
+    if (!(*right_matched)[b.local]) {
+      (*right_matched)[b.local] = 1;
+      ++newly_matched;
+    }
+  };
+  if (left.size() * right.size() <= kNestedLoopLimit || t.eps_doc <= 0.0) {
+    for (const ObjectRef& a : left) {
+      for (const ObjectRef& b : right) {
+        if ((*left_matched)[a.local] && (*right_matched)[b.local]) continue;
+        if (!WithinDistance(a.object->loc, b.object->loc, t.eps_loc))
+          continue;
+        if (!TimeCompatible(*a.object, *b.object, t.eps_time)) continue;
+        if (!SizeCompatible(a.object->doc.size(), b.object->doc.size(),
+                            t.eps_doc)) {
+          continue;
+        }
+        if (JaccardAtLeast(a.object->doc, b.object->doc, t.eps_doc)) {
+          mark(a, b);
+        }
+      }
+    }
+    return newly_matched;
+  }
+  PrefixIndex index(right.size(), t.eps_doc, [&right](uint32_t i) {
+    return right[i].object;
+  });
+  std::vector<uint32_t> candidates;
+  for (const ObjectRef& a : left) {
+    candidates.clear();
+    index.Probe(a.object->doc, t.eps_doc, &candidates);
+    for (const uint32_t c : candidates) {
+      const ObjectRef& b = right[c];
+      if ((*left_matched)[a.local] && (*right_matched)[b.local]) continue;
+      if (!WithinDistance(a.object->loc, b.object->loc, t.eps_loc)) continue;
+      if (!TimeCompatible(*a.object, *b.object, t.eps_time)) continue;
+      if (!SizeCompatible(a.object->doc.size(), b.object->doc.size(),
+                          t.eps_doc)) {
+        continue;
+      }
+      if (JaccardAtLeast(a.object->doc, b.object->doc, t.eps_doc)) {
+        mark(a, b);
+      }
+    }
+  }
+  return newly_matched;
+}
+
+}  // namespace stps

@@ -1,0 +1,56 @@
+// PPJ: the spatio-textual join kernel (Bouros, Ge, Mamoulis, PVLDB 2012).
+//
+// PPJ extends PPJOIN's candidate generation with the spatial distance
+// predicate. This file provides the two kernel shapes the point-set
+// algorithms need:
+//   * pair-collecting joins (used by the single-point ST-SJOIN and the
+//     deduplication example), and
+//   * flag-marking joins (used by PPJ-B / PPJ-D, which only need to know
+//     *which objects* of each user matched, i.e. the sets M(Du, Du')).
+//
+// For small inputs the kernel degenerates to a filtered nested loop —
+// cells/leaves typically hold a handful of objects and an inverted index
+// would cost more than it saves; the crossover is picked empirically.
+
+#ifndef STPS_STJOIN_PPJ_H_
+#define STPS_STJOIN_PPJ_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "stjoin/object.h"
+
+namespace stps {
+
+/// A reference to an object together with its position in the owning
+/// user's object list (used to address per-user matched flags).
+struct ObjectRef {
+  const STObject* object = nullptr;
+  uint32_t local = 0;
+};
+
+/// All matching object-id pairs between `left` and `right` (cross join).
+std::vector<std::pair<ObjectId, ObjectId>> PPJCrossPairs(
+    std::span<const STObject* const> left,
+    std::span<const STObject* const> right, const MatchThresholds& t);
+
+/// All matching object-id pairs (a.id < b.id) within `objects` (self join).
+std::vector<std::pair<ObjectId, ObjectId>> PPJSelfPairs(
+    std::span<const STObject* const> objects, const MatchThresholds& t);
+
+/// Marks matched flags: for every matching pair (a in left, b in right),
+/// sets (*left_matched)[a.local] and (*right_matched)[b.local]. Pairs
+/// whose both sides are already matched are skipped (their outcome cannot
+/// change the flags). Returns the number of flags newly set (across both
+/// sides), so callers can maintain |M(Du,Dv)| + |M(Dv,Du)| incrementally.
+uint32_t PPJCrossMark(std::span<const ObjectRef> left,
+                      std::span<const ObjectRef> right,
+                      const MatchThresholds& t,
+                      std::vector<uint8_t>* left_matched,
+                      std::vector<uint8_t>* right_matched);
+
+}  // namespace stps
+
+#endif  // STPS_STJOIN_PPJ_H_

@@ -1,0 +1,57 @@
+#include "stjoin/ppjc.h"
+
+#include <algorithm>
+#include <unordered_map>
+
+#include "spatial/grid.h"
+#include "stjoin/ppj.h"
+
+namespace stps {
+
+std::vector<std::pair<ObjectId, ObjectId>> PPJCSelfJoin(
+    std::span<const STObject> objects, const MatchThresholds& t) {
+  std::vector<std::pair<ObjectId, ObjectId>> result;
+  if (objects.size() < 2) return result;
+
+  Rect bounds = Rect::Empty();
+  for (const STObject& o : objects) bounds.ExpandToInclude(o.loc);
+  const GridGeometry grid(bounds, t.eps_loc);
+
+  // Bucket objects into occupied cells.
+  std::unordered_map<CellId, std::vector<const STObject*>> cells;
+  cells.reserve(objects.size());
+  for (const STObject& o : objects) {
+    cells[grid.CellOf(o.loc)].push_back(&o);
+  }
+  std::vector<CellId> occupied;
+  occupied.reserve(cells.size());
+  for (const auto& [id, bucket] : cells) occupied.push_back(id);
+  std::sort(occupied.begin(), occupied.end());
+
+  std::vector<CellId> neighbors;
+  for (const CellId cell : occupied) {
+    const auto& bucket = cells[cell];
+    // Self join of the cell.
+    auto self_pairs =
+        PPJSelfPairs(std::span<const STObject* const>(bucket), t);
+    result.insert(result.end(), self_pairs.begin(), self_pairs.end());
+    // Cross joins with the lower-id adjacent cells only; the symmetric
+    // (higher-id) pairs are produced when those cells are visited.
+    neighbors.clear();
+    grid.AppendLowerNeighbors(cell, &neighbors);
+    for (const CellId n : neighbors) {
+      const auto it = cells.find(n);
+      if (it == cells.end()) continue;
+      auto cross = PPJCrossPairs(std::span<const STObject* const>(bucket),
+                                 std::span<const STObject* const>(it->second),
+                                 t);
+      for (auto& [a, b] : cross) {
+        result.emplace_back(std::min(a, b), std::max(a, b));
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace stps

@@ -1,0 +1,30 @@
+// PPJ-C: the grid-based spatio-textual similarity self-join for single
+// points, ST-SJOIN(D, eps_loc, eps_doc) (Bouros et al., PVLDB 2012).
+//
+// A sparse grid with cell extent eps_loc is built at query time; each
+// occupied cell is joined with itself and with its lower-id neighbours
+// (W, SW, S, SE), so every object pair is examined at most once and only
+// when the two objects can be within eps_loc.
+//
+// This is the single-point baseline the paper generalises; it also powers
+// the POI-deduplication example and the threshold auto-tuner.
+
+#ifndef STPS_STJOIN_PPJC_H_
+#define STPS_STJOIN_PPJC_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "stjoin/object.h"
+
+namespace stps {
+
+/// Returns all object-id pairs (a < b) in `objects` that match under `t`.
+/// Precondition: objects have distinct ids and canonical token sets.
+std::vector<std::pair<ObjectId, ObjectId>> PPJCSelfJoin(
+    std::span<const STObject> objects, const MatchThresholds& t);
+
+}  // namespace stps
+
+#endif  // STPS_STJOIN_PPJC_H_

@@ -1,0 +1,70 @@
+#include "stjoin/ppjr.h"
+
+#include <algorithm>
+
+#include "spatial/rtree.h"
+#include "spatial/spatial_join.h"
+#include "stjoin/ppj.h"
+
+namespace stps {
+
+std::vector<std::pair<ObjectId, ObjectId>> PPJRSelfJoin(
+    std::span<const STObject> objects, const MatchThresholds& t,
+    int fanout) {
+  std::vector<std::pair<ObjectId, ObjectId>> result;
+  if (objects.size() < 2) return result;
+
+  std::vector<RTree::Entry> entries;
+  entries.reserve(objects.size());
+  for (const STObject& o : objects) {
+    // Payload = index into `objects` (ids may be arbitrary).
+    entries.push_back(
+        RTree::Entry{o.loc, static_cast<uint32_t>(&o - objects.data())});
+  }
+  const RTree tree = RTree::BulkLoad(std::move(entries), fanout);
+  const std::vector<RTree::LeafRef> leaves = tree.CollectLeaves();
+  const auto adjacency = LeafAdjacency(tree, t.eps_loc);
+
+  // Per-leaf object pointer lists.
+  std::vector<std::vector<const STObject*>> leaf_objects(leaves.size());
+  for (const RTree::LeafRef& leaf : leaves) {
+    for (const RTree::Entry& e : leaf.entries) {
+      leaf_objects[leaf.ordinal].push_back(&objects[e.value]);
+    }
+  }
+
+  std::vector<const STObject*> side_a, side_b;
+  for (uint32_t l = 0; l < leaves.size(); ++l) {
+    // Leaf self-join.
+    auto self_pairs = PPJSelfPairs(
+        std::span<const STObject* const>(leaf_objects[l]), t);
+    result.insert(result.end(), self_pairs.begin(), self_pairs.end());
+    // Cross joins with higher-ordinal adjacent leaves, restricted to the
+    // intersection of the extended MBRs (objects outside it cannot match
+    // across the pair).
+    const Rect ext_l = leaves[l].mbr.Extended(t.eps_loc);
+    for (const uint32_t other : adjacency[l]) {
+      if (other <= l) continue;
+      const Rect box = ext_l.Intersection(
+          leaves[other].mbr.Extended(t.eps_loc));
+      side_a.clear();
+      side_b.clear();
+      for (const STObject* o : leaf_objects[l]) {
+        if (box.Contains(o->loc)) side_a.push_back(o);
+      }
+      for (const STObject* o : leaf_objects[other]) {
+        if (box.Contains(o->loc)) side_b.push_back(o);
+      }
+      auto cross = PPJCrossPairs(std::span<const STObject* const>(side_a),
+                                 std::span<const STObject* const>(side_b),
+                                 t);
+      for (auto& [a, b] : cross) {
+        result.emplace_back(std::min(a, b), std::max(a, b));
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace stps

@@ -1,0 +1,27 @@
+// PPJ-R: the R-tree-based spatio-textual similarity self-join for single
+// points (Bouros et al., PVLDB 2012) — the data-partitioning counterpart
+// of PPJ-C. The tree's leaves partition the data; each leaf is
+// self-joined and each pair of leaves with intersecting eps_loc-extended
+// MBRs is cross-joined, restricted to the intersection region.
+
+#ifndef STPS_STJOIN_PPJR_H_
+#define STPS_STJOIN_PPJR_H_
+
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "stjoin/object.h"
+
+namespace stps {
+
+/// Returns all object-id pairs (a < b) in `objects` that match under `t`,
+/// evaluated over an R-tree partitioning with the given node capacity.
+/// Identical output to PPJCSelfJoin.
+std::vector<std::pair<ObjectId, ObjectId>> PPJRSelfJoin(
+    std::span<const STObject> objects, const MatchThresholds& t,
+    int fanout = 128);
+
+}  // namespace stps
+
+#endif  // STPS_STJOIN_PPJR_H_

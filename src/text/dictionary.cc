@@ -1,0 +1,84 @@
+#include "text/dictionary.h"
+
+#include <algorithm>
+#include <numeric>
+
+#include "common/macros.h"
+
+namespace stps {
+
+TokenId Dictionary::Intern(std::string_view token, bool count_occurrence) {
+  STPS_CHECK(!finalized_);
+  auto [it, inserted] = index_.try_emplace(std::string(token), 0);
+  if (inserted) {
+    it->second = static_cast<TokenId>(strings_.size());
+    strings_.emplace_back(token);
+    frequency_.push_back(0);
+  }
+  if (count_occurrence) ++frequency_[it->second];
+  return it->second;
+}
+
+void Dictionary::CountOccurrence(TokenId id) {
+  STPS_CHECK(!finalized_);
+  STPS_CHECK(id < frequency_.size());
+  ++frequency_[id];
+}
+
+bool Dictionary::Lookup(std::string_view token, TokenId* id) const {
+  const auto it = index_.find(std::string(token));
+  if (it == index_.end()) return false;
+  *id = it->second;
+  return true;
+}
+
+const std::string& Dictionary::TokenString(TokenId id) const {
+  STPS_CHECK(id < strings_.size());
+  return strings_[id];
+}
+
+uint64_t Dictionary::Frequency(TokenId id) const {
+  STPS_CHECK(id < frequency_.size());
+  return frequency_[id];
+}
+
+std::vector<TokenId> Dictionary::FinalizeByFrequency() {
+  STPS_CHECK(!finalized_);
+  finalized_ = true;
+  const size_t n = strings_.size();
+  // order[k] = old id that should receive new id k.
+  std::vector<TokenId> order(n);
+  std::iota(order.begin(), order.end(), TokenId{0});
+  std::sort(order.begin(), order.end(), [this](TokenId a, TokenId b) {
+    if (frequency_[a] != frequency_[b]) return frequency_[a] < frequency_[b];
+    return strings_[a] < strings_[b];
+  });
+  std::vector<TokenId> permutation(n);
+  for (TokenId new_id = 0; new_id < n; ++new_id) {
+    permutation[order[new_id]] = new_id;
+  }
+  // Rebuild the internal tables in the new order.
+  std::vector<std::string> new_strings(n);
+  std::vector<uint64_t> new_frequency(n);
+  for (TokenId old_id = 0; old_id < n; ++old_id) {
+    const TokenId new_id = permutation[old_id];
+    new_strings[new_id] = std::move(strings_[old_id]);
+    new_frequency[new_id] = frequency_[old_id];
+  }
+  strings_ = std::move(new_strings);
+  frequency_ = std::move(new_frequency);
+  index_.clear();
+  for (TokenId id = 0; id < n; ++id) index_.emplace(strings_[id], id);
+  return permutation;
+}
+
+void Dictionary::Remap(const std::vector<TokenId>& permutation,
+                       TokenVector* tokens) {
+  for (auto& t : *tokens) {
+    STPS_DCHECK(t < permutation.size());
+    t = permutation[t];
+  }
+  std::sort(tokens->begin(), tokens->end());
+}
+
+}  // namespace stps

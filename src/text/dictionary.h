@@ -1,0 +1,75 @@
+// String <-> token id mapping with document-frequency-based id assignment.
+//
+// Prefix filtering (PPJOIN / ALL-PAIRS) requires a global token ordering by
+// ascending document frequency so that record prefixes contain the rarest
+// tokens. Dictionary assigns provisional ids during ingestion and then
+// remaps them so that the natural order of the final ids *is* that
+// frequency order; token vectors sorted by id are then prefix-filter ready.
+
+#ifndef STPS_TEXT_DICTIONARY_H_
+#define STPS_TEXT_DICTIONARY_H_
+
+#include <cstdint>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "text/types.h"
+
+namespace stps {
+
+/// Bidirectional token dictionary.
+///
+/// Usage: call Intern() for every keyword occurrence (it counts document
+/// frequency when `count_occurrence` is true), then FinalizeByFrequency()
+/// once, and remap all stored token vectors via Remap().
+class Dictionary {
+ public:
+  Dictionary() = default;
+
+  /// Returns the id for `token`, creating it if unseen. When
+  /// `count_occurrence` is true the token's document-frequency counter is
+  /// incremented (call once per containing document).
+  TokenId Intern(std::string_view token, bool count_occurrence = true);
+
+  /// Increments the document-frequency counter of `id`. Used when callers
+  /// intern with count_occurrence=false to deduplicate within a document
+  /// first. Precondition: not finalized, id < size().
+  void CountOccurrence(TokenId id);
+
+  /// Returns the id for `token`, or false if it was never interned.
+  bool Lookup(std::string_view token, TokenId* id) const;
+
+  /// The string for an id. Precondition: id < size().
+  const std::string& TokenString(TokenId id) const;
+
+  /// Document frequency recorded for an id. Precondition: id < size().
+  uint64_t Frequency(TokenId id) const;
+
+  /// Number of distinct tokens.
+  size_t size() const { return strings_.size(); }
+
+  /// Reassigns ids so ascending id order equals ascending document
+  /// frequency (ties broken lexicographically for determinism). Returns the
+  /// permutation old_id -> new_id, which callers must apply to every stored
+  /// TokenVector via Remap(). May be called at most once.
+  std::vector<TokenId> FinalizeByFrequency();
+
+  /// True once FinalizeByFrequency has run.
+  bool finalized() const { return finalized_; }
+
+  /// Applies a FinalizeByFrequency permutation to `tokens` and re-sorts it.
+  static void Remap(const std::vector<TokenId>& permutation,
+                    TokenVector* tokens);
+
+ private:
+  std::unordered_map<std::string, TokenId> index_;
+  std::vector<std::string> strings_;
+  std::vector<uint64_t> frequency_;
+  bool finalized_ = false;
+};
+
+}  // namespace stps
+
+#endif  // STPS_TEXT_DICTIONARY_H_

@@ -1,0 +1,59 @@
+#include "text/similarity.h"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+namespace stps {
+
+namespace {
+
+// Conservative ceil: shaves an epsilon first so values that are integral
+// up to floating-point noise do not get bumped to the next integer, which
+// would make a filter bound too tight.
+size_t CeilConservative(double v) {
+  return static_cast<size_t>(std::max(0.0, std::ceil(v - 1e-9)));
+}
+
+// Conservative floor in the opposite direction (for upper bounds).
+size_t FloorGenerous(double v) {
+  return static_cast<size_t>(std::max(0.0, std::floor(v + 1e-9)));
+}
+
+}  // namespace
+
+size_t MinOverlapForJaccard(size_t size_x, size_t size_y, double threshold) {
+  if (threshold <= 0.0) return 0;
+  const double v = threshold / (1.0 + threshold) *
+                   static_cast<double>(size_x + size_y);
+  return CeilConservative(v);
+}
+
+size_t MinSizeForJaccard(size_t size_x, double threshold) {
+  if (threshold <= 0.0) return 0;
+  return CeilConservative(threshold * static_cast<double>(size_x));
+}
+
+size_t MaxSizeForJaccard(size_t size_x, double threshold) {
+  if (threshold <= 0.0) return std::numeric_limits<size_t>::max();
+  return FloorGenerous(static_cast<double>(size_x) / threshold);
+}
+
+size_t PrefixLengthForJaccard(size_t size, double threshold) {
+  if (size == 0) return 0;
+  const size_t keep = CeilConservative(threshold * static_cast<double>(size));
+  // p = size - keep + 1, clamped to [1, size] (keep may be 0 when t == 0).
+  const size_t p = size - std::min(keep, size) + 1;
+  return std::min(p, size);
+}
+
+size_t IndexPrefixLengthForJaccard(size_t size, double threshold) {
+  if (size == 0) return 0;
+  const size_t keep = CeilConservative(2.0 * threshold / (1.0 + threshold) *
+                                       static_cast<double>(size));
+  const size_t p = size - std::min(keep, size) + 1;
+  return std::min(p, size);
+}
+
+}  // namespace stps

@@ -1,0 +1,36 @@
+// Prefix-filtering bounds for Jaccard similarity joins (Chaudhuri et al.,
+// Bayardo et al., Xiao et al.). All bounds are conservative with respect to
+// the canonical predicate JaccardAtLeast: they may admit false candidates
+// but never reject a true match.
+
+#ifndef STPS_TEXT_SIMILARITY_H_
+#define STPS_TEXT_SIMILARITY_H_
+
+#include <cstddef>
+
+namespace stps {
+
+/// Minimum overlap o = |x ∩ y| required for Jaccard(x, y) >= t given the
+/// two set sizes: o >= t/(1+t) * (|x|+|y|).
+size_t MinOverlapForJaccard(size_t size_x, size_t size_y, double threshold);
+
+/// Smallest |y| that can still satisfy Jaccard(x, y) >= t: |y| >= t * |x|.
+size_t MinSizeForJaccard(size_t size_x, double threshold);
+
+/// Largest |y| that can still satisfy Jaccard(x, y) >= t: |y| <= |x| / t.
+/// Returns SIZE_MAX when t == 0.
+size_t MaxSizeForJaccard(size_t size_x, double threshold);
+
+/// Probing-prefix length for a record of `size` tokens at Jaccard
+/// threshold t: |x| - ceil(t * |x|) + 1 (clamped to [0, size]). Two
+/// records with Jaccard >= t must share a token inside both prefixes.
+size_t PrefixLengthForJaccard(size_t size, double threshold);
+
+/// Indexing-prefix length |x| - ceil(2t/(1+t) * |x|) + 1, valid when the
+/// probing side is processed in non-decreasing size order (PPJOIN
+/// self-join optimisation).
+size_t IndexPrefixLengthForJaccard(size_t size, double threshold);
+
+}  // namespace stps
+
+#endif  // STPS_TEXT_SIMILARITY_H_

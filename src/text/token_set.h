@@ -1,0 +1,37 @@
+// Operations on sorted token-id vectors: overlap, Jaccard, normalisation.
+
+#ifndef STPS_TEXT_TOKEN_SET_H_
+#define STPS_TEXT_TOKEN_SET_H_
+
+#include <cstddef>
+
+#include "text/types.h"
+
+namespace stps {
+
+/// Sorts and deduplicates `tokens` in place (turns a bag into a set).
+void NormalizeTokenSet(TokenVector* tokens);
+
+/// True when `tokens` is strictly increasing (the canonical set form).
+bool IsNormalizedTokenSet(const TokenVector& tokens);
+
+/// |a ∩ b| for two canonical token sets. O(|a| + |b|).
+size_t OverlapSize(const TokenVector& a, const TokenVector& b);
+
+/// |a ∩ b| with early abandon: returns as soon as the overlap can no
+/// longer reach `required` (the result is then some value < required).
+size_t OverlapSizeAtLeast(const TokenVector& a, const TokenVector& b,
+                          size_t required);
+
+/// Jaccard similarity |a ∩ b| / |a ∪ b|. Defined as 0 when either set is
+/// empty (no keywords carry no textual evidence of similarity).
+double Jaccard(const TokenVector& a, const TokenVector& b);
+
+/// True iff Jaccard(a, b) >= threshold, using integer arithmetic with
+/// early-abandon overlap counting (no floating-point division).
+bool JaccardAtLeast(const TokenVector& a, const TokenVector& b,
+                    double threshold);
+
+}  // namespace stps
+
+#endif  // STPS_TEXT_TOKEN_SET_H_

@@ -1,0 +1,21 @@
+// Fundamental identifier types shared by the textual modules.
+
+#ifndef STPS_TEXT_TYPES_H_
+#define STPS_TEXT_TYPES_H_
+
+#include <cstdint>
+#include <vector>
+
+namespace stps {
+
+/// Integer id of a keyword. Ids are assigned by Dictionary; after
+/// Dictionary::FinalizeByFrequency the numeric order of ids equals the
+/// ascending-document-frequency order required by prefix filtering.
+using TokenId = uint32_t;
+
+/// A record's keyword set: strictly increasing vector of token ids.
+using TokenVector = std::vector<TokenId>;
+
+}  // namespace stps
+
+#endif  // STPS_TEXT_TYPES_H_

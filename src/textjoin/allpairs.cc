@@ -1,0 +1,25 @@
+#include "textjoin/allpairs.h"
+
+#include <algorithm>
+#include <numeric>
+#include <unordered_map>
+
+#include "common/macros.h"
+#include "text/similarity.h"
+#include "text/token_set.h"
+
+namespace stps {
+
+std::vector<IndexPair> AllPairsSelf(const std::vector<TokenVector>& records,
+                                    double threshold) {
+  // ALL-PAIRS is PPJOIN with the positional and suffix filters disabled:
+  // candidate generation degenerates to prefix + size filtering, which is
+  // exactly Bayardo et al.'s pruned inverted-index probe.
+  TextJoinOptions options;
+  options.threshold = threshold;
+  options.positional_filter = false;
+  options.suffix_filter = false;
+  return PPJoinSelf(records, options);
+}
+
+}  // namespace stps

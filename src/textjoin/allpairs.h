@@ -1,0 +1,21 @@
+// ALL-PAIRS set-similarity self-join (Bayardo, Ma, Srikant, WWW 2007):
+// prefix + size filtering without positional/suffix filters. Kept as the
+// comparison baseline for the PPJOIN ablation benchmark.
+
+#ifndef STPS_TEXTJOIN_ALLPAIRS_H_
+#define STPS_TEXTJOIN_ALLPAIRS_H_
+
+#include <vector>
+
+#include "textjoin/ppjoin.h"
+
+namespace stps {
+
+/// Self-join: all index pairs (i, j), i < j, with Jaccard >= threshold.
+/// Same output contract as PPJoinSelf.
+std::vector<IndexPair> AllPairsSelf(const std::vector<TokenVector>& records,
+                                    double threshold);
+
+}  // namespace stps
+
+#endif  // STPS_TEXTJOIN_ALLPAIRS_H_

@@ -1,0 +1,249 @@
+#include "textjoin/ppjoin.h"
+
+#include <algorithm>
+#include <cstdlib>
+#include <numeric>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "text/similarity.h"
+#include "text/token_set.h"
+
+namespace stps {
+
+namespace textjoin_internal {
+
+namespace {
+
+// Splits `s` at token `w`: *left gets the elements < w, *right the
+// elements > w, and *diff is 1 when w itself is absent from s. The split
+// always happens at the true insertion position, so the length-difference
+// arithmetic in SuffixFilterBound is a genuine Hamming lower bound (a
+// window-restricted search, as in the original pseudocode, can misfire
+// when w lies outside the window's *value* range even though the
+// alignment shift is small).
+void Partition(std::span<const TokenId> s, TokenId w,
+               std::span<const TokenId>* left,
+               std::span<const TokenId>* right, int* diff) {
+  const auto it = std::lower_bound(s.begin(), s.end(), w);
+  const size_t p = static_cast<size_t>(it - s.begin());
+  if (it != s.end() && *it == w) {
+    *left = s.subspan(0, p);
+    *right = s.subspan(p + 1);
+    *diff = 0;
+  } else {
+    *left = s.subspan(0, p);
+    *right = s.subspan(p);
+    *diff = 1;
+  }
+}
+
+}  // namespace
+
+int SuffixFilterBound(std::span<const TokenId> x, std::span<const TokenId> y,
+                      int hmax, int depth, int max_depth) {
+  const int len_diff =
+      std::abs(static_cast<int>(x.size()) - static_cast<int>(y.size()));
+  if (x.empty() || y.empty()) {
+    return static_cast<int>(x.size() + y.size());  // exact Hamming distance
+  }
+  if (depth > max_depth) return len_diff;  // trivial lower bound
+  if (hmax < len_diff) return len_diff;    // already decided by lengths
+
+  const size_t mid = y.size() / 2;
+  const TokenId w = y[mid];
+  std::span<const TokenId> x_left, x_right;
+  int diff = 0;
+  Partition(x, w, &x_left, &x_right, &diff);
+  const std::span<const TokenId> y_left = y.subspan(0, mid);
+  const std::span<const TokenId> y_right = y.subspan(mid + 1);
+  const int left_diff = std::abs(static_cast<int>(x_left.size()) -
+                                 static_cast<int>(y_left.size()));
+  const int right_diff = std::abs(static_cast<int>(x_right.size()) -
+                                  static_cast<int>(y_right.size()));
+  int bound = left_diff + right_diff + diff;
+  if (bound > hmax) return bound;
+  const int h_left = SuffixFilterBound(x_left, y_left,
+                                       hmax - right_diff - diff, depth + 1,
+                                       max_depth);
+  bound = h_left + right_diff + diff;
+  if (bound > hmax) return bound;
+  const int h_right = SuffixFilterBound(x_right, y_right,
+                                        hmax - h_left - diff, depth + 1,
+                                        max_depth);
+  return h_left + h_right + diff;
+}
+
+}  // namespace textjoin_internal
+
+namespace {
+
+using textjoin_internal::SuffixFilterBound;
+
+constexpr int32_t kKilled = -1;
+
+// Shared candidate-accumulation state, reset between probe records.
+struct CandidateSet {
+  // overlap[i] > 0: partial overlap; kKilled: pruned for this probe.
+  std::vector<int32_t> overlap;
+  std::vector<uint32_t> touched;
+
+  explicit CandidateSet(size_t n) : overlap(n, 0) { touched.reserve(64); }
+
+  void Reset() {
+    for (const uint32_t id : touched) overlap[id] = 0;
+    touched.clear();
+  }
+};
+
+// Applies the PPJOIN(+) filters for a shared token of records x (at
+// position i) and y (at position j). Updates the candidate state.
+void ProcessSharedToken(const TokenVector& x, size_t i, const TokenVector& y,
+                        size_t j, uint32_t y_id, const TextJoinOptions& opt,
+                        CandidateSet* cands) {
+  int32_t& count = cands->overlap[y_id];
+  if (count == kKilled) return;
+  const size_t alpha = MinOverlapForJaccard(x.size(), y.size(), opt.threshold);
+  const size_t remaining =
+      1 + std::min(x.size() - i - 1, y.size() - j - 1);
+  if (count == 0) {
+    cands->touched.push_back(y_id);
+    if (opt.positional_filter && remaining < alpha) {
+      count = kKilled;
+      return;
+    }
+    if (opt.suffix_filter && alpha > 1) {
+      const std::span<const TokenId> xs(x.data() + i + 1, x.size() - i - 1);
+      const std::span<const TokenId> ys(y.data() + j + 1, y.size() - j - 1);
+      const int hmax = static_cast<int>(xs.size() + ys.size()) -
+                       2 * (static_cast<int>(alpha) - 1);
+      if (hmax < 0 ||
+          SuffixFilterBound(xs, ys, hmax, 0, opt.suffix_filter_max_depth) >
+              hmax) {
+        count = kKilled;
+        return;
+      }
+    }
+    count = 1;
+  } else {
+    if (opt.positional_filter &&
+        static_cast<size_t>(count) + remaining < alpha) {
+      count = kKilled;
+      return;
+    }
+    ++count;
+  }
+}
+
+struct Posting {
+  uint32_t record;
+  uint32_t position;
+};
+
+}  // namespace
+
+std::vector<IndexPair> PPJoinSelf(const std::vector<TokenVector>& records,
+                                  const TextJoinOptions& options) {
+  STPS_CHECK(options.threshold > 0.0 && options.threshold <= 1.0);
+  const size_t n = records.size();
+  std::vector<IndexPair> result;
+  if (n < 2) return result;
+
+  // Process in non-decreasing size order (ties by index for determinism);
+  // this enables the shorter indexing prefix.
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::sort(order.begin(), order.end(), [&](uint32_t a, uint32_t b) {
+    if (records[a].size() != records[b].size())
+      return records[a].size() < records[b].size();
+    return a < b;
+  });
+
+  std::unordered_map<TokenId, std::vector<Posting>> index;
+  CandidateSet cands(n);
+
+  for (const uint32_t xi : order) {
+    const TokenVector& x = records[xi];
+    if (x.empty()) continue;
+    cands.Reset();
+    const size_t probe_prefix = PrefixLengthForJaccard(x.size(),
+                                                       options.threshold);
+    const size_t min_size = MinSizeForJaccard(x.size(), options.threshold);
+    for (size_t i = 0; i < probe_prefix; ++i) {
+      const auto it = index.find(x[i]);
+      if (it == index.end()) continue;
+      for (const Posting& posting : it->second) {
+        const TokenVector& y = records[posting.record];
+        if (y.size() < min_size) continue;  // size filter
+        ProcessSharedToken(x, i, y, posting.position, posting.record, options,
+                           &cands);
+      }
+    }
+    // Verification with the canonical predicate.
+    for (const uint32_t yi : cands.touched) {
+      if (cands.overlap[yi] <= 0) continue;
+      if (JaccardAtLeast(x, records[yi], options.threshold)) {
+        result.emplace_back(std::min(xi, yi), std::max(xi, yi));
+      }
+    }
+    // Index x under its (shorter) indexing prefix.
+    const size_t index_prefix =
+        IndexPrefixLengthForJaccard(x.size(), options.threshold);
+    for (size_t i = 0; i < index_prefix; ++i) {
+      index[x[i]].push_back(Posting{xi, static_cast<uint32_t>(i)});
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+std::vector<IndexPair> PPJoinCross(std::span<const TokenVector> left,
+                                   std::span<const TokenVector> right,
+                                   const TextJoinOptions& options) {
+  STPS_CHECK(options.threshold > 0.0 && options.threshold <= 1.0);
+  std::vector<IndexPair> result;
+  if (left.empty() || right.empty()) return result;
+
+  // Index the full probing prefixes of the right side (no size-order
+  // assumption holds across two independent collections).
+  std::unordered_map<TokenId, std::vector<Posting>> index;
+  for (uint32_t yi = 0; yi < right.size(); ++yi) {
+    const TokenVector& y = right[yi];
+    const size_t prefix = PrefixLengthForJaccard(y.size(), options.threshold);
+    for (size_t j = 0; j < prefix; ++j) {
+      index[y[j]].push_back(Posting{yi, static_cast<uint32_t>(j)});
+    }
+  }
+
+  CandidateSet cands(right.size());
+  for (uint32_t xi = 0; xi < left.size(); ++xi) {
+    const TokenVector& x = left[xi];
+    if (x.empty()) continue;
+    cands.Reset();
+    const size_t probe_prefix =
+        PrefixLengthForJaccard(x.size(), options.threshold);
+    const size_t min_size = MinSizeForJaccard(x.size(), options.threshold);
+    const size_t max_size = MaxSizeForJaccard(x.size(), options.threshold);
+    for (size_t i = 0; i < probe_prefix; ++i) {
+      const auto it = index.find(x[i]);
+      if (it == index.end()) continue;
+      for (const Posting& posting : it->second) {
+        const TokenVector& y = right[posting.record];
+        if (y.size() < min_size || y.size() > max_size) continue;
+        ProcessSharedToken(x, i, y, posting.position, posting.record, options,
+                           &cands);
+      }
+    }
+    for (const uint32_t yi : cands.touched) {
+      if (cands.overlap[yi] <= 0) continue;
+      if (JaccardAtLeast(x, right[yi], options.threshold)) {
+        result.emplace_back(xi, yi);
+      }
+    }
+  }
+  std::sort(result.begin(), result.end());
+  return result;
+}
+
+}  // namespace stps

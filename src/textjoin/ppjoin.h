@@ -1,0 +1,70 @@
+// PPJOIN / PPJOIN+ set-similarity joins (Xiao, Wang, Lin, Yu, Wang:
+// "Efficient similarity joins for near-duplicate detection", TODS 2011).
+//
+// Records are canonical token sets (strictly increasing TokenVector) whose
+// token ids follow the global ascending-document-frequency order assigned
+// by Dictionary::FinalizeByFrequency. PPJOIN combines:
+//   * prefix filtering  — candidates must share a token in their t-prefixes,
+//   * size filtering    — |y| must lie in [t|x|, |x|/t],
+//   * positional filtering — the position of the shared token bounds the
+//     achievable overlap,
+//   * suffix filtering (PPJOIN+) — a divide-and-conquer lower bound on the
+//     Hamming distance of the record suffixes.
+//
+// All filters are conservative with respect to the canonical predicate
+// JaccardAtLeast; the final verification uses that predicate, so every
+// join in this library agrees bit-for-bit on borderline pairs.
+
+#ifndef STPS_TEXTJOIN_PPJOIN_H_
+#define STPS_TEXTJOIN_PPJOIN_H_
+
+#include <cstdint>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "text/types.h"
+
+namespace stps {
+
+/// Tuning knobs for the PPJOIN family. Defaults give PPJOIN+.
+struct TextJoinOptions {
+  /// Jaccard similarity threshold in (0, 1].
+  double threshold = 0.5;
+  /// Enables the positional filter (PPJOIN).
+  bool positional_filter = true;
+  /// Enables the suffix filter (PPJOIN+).
+  bool suffix_filter = true;
+  /// Maximum recursion depth of the suffix filter.
+  int suffix_filter_max_depth = 2;
+};
+
+/// An output pair of record indices.
+using IndexPair = std::pair<uint32_t, uint32_t>;
+
+/// Self-join: returns all index pairs (i, j), i < j, with
+/// Jaccard(records[i], records[j]) >= options.threshold.
+/// Precondition: every record is a canonical token set.
+std::vector<IndexPair> PPJoinSelf(const std::vector<TokenVector>& records,
+                                  const TextJoinOptions& options);
+
+/// Cross-join R x S: returns all (i, j) with
+/// Jaccard(left[i], right[j]) >= options.threshold.
+std::vector<IndexPair> PPJoinCross(std::span<const TokenVector> left,
+                                   std::span<const TokenVector> right,
+                                   const TextJoinOptions& options);
+
+namespace textjoin_internal {
+
+/// Lower bound on the Hamming distance between canonical token sets x and
+/// y, via recursive median partitioning. Guaranteed <= the true Hamming
+/// distance whenever the true distance is <= hmax; values > hmax mean
+/// "provably greater than hmax". Exposed for testing.
+int SuffixFilterBound(std::span<const TokenId> x, std::span<const TokenId> y,
+                      int hmax, int depth, int max_depth);
+
+}  // namespace textjoin_internal
+
+}  // namespace stps
+
+#endif  // STPS_TEXTJOIN_PPJOIN_H_

@@ -1,0 +1,157 @@
+#include "common/rng.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace stps {
+namespace {
+
+TEST(RngTest, DeterministicForEqualSeeds) {
+  Rng a(123), b(123);
+  for (int i = 0; i < 100; ++i) {
+    EXPECT_EQ(a.Next(), b.Next());
+  }
+}
+
+TEST(RngTest, DifferentSeedsDiverge) {
+  Rng a(1), b(2);
+  int equal = 0;
+  for (int i = 0; i < 100; ++i) {
+    if (a.Next() == b.Next()) ++equal;
+  }
+  EXPECT_LT(equal, 3);
+}
+
+TEST(RngTest, NextDoubleInUnitInterval) {
+  Rng rng(7);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.NextDouble();
+    EXPECT_GE(v, 0.0);
+    EXPECT_LT(v, 1.0);
+  }
+}
+
+TEST(RngTest, UniformRespectsBounds) {
+  Rng rng(9);
+  for (int i = 0; i < 10000; ++i) {
+    const double v = rng.Uniform(-2.5, 3.5);
+    EXPECT_GE(v, -2.5);
+    EXPECT_LT(v, 3.5);
+  }
+}
+
+TEST(RngTest, NextBelowCoversRangeWithoutBias) {
+  Rng rng(11);
+  std::vector<int> histogram(7, 0);
+  const int kDraws = 70000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++histogram[rng.NextBelow(7)];
+  }
+  for (const int count : histogram) {
+    // Each bucket should hold ~10000; allow 10% deviation.
+    EXPECT_NEAR(count, kDraws / 7, kDraws / 70);
+  }
+}
+
+TEST(RngTest, UniformIntInclusiveBounds) {
+  Rng rng(13);
+  bool saw_lo = false, saw_hi = false;
+  for (int i = 0; i < 10000; ++i) {
+    const int64_t v = rng.UniformInt(-3, 3);
+    EXPECT_GE(v, -3);
+    EXPECT_LE(v, 3);
+    saw_lo |= (v == -3);
+    saw_hi |= (v == 3);
+  }
+  EXPECT_TRUE(saw_lo);
+  EXPECT_TRUE(saw_hi);
+}
+
+TEST(RngTest, GaussianMoments) {
+  Rng rng(17);
+  double sum = 0.0, sum_sq = 0.0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.Gaussian(5.0, 2.0);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kDraws;
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_NEAR(mean, 5.0, 0.05);
+  EXPECT_NEAR(var, 4.0, 0.15);
+}
+
+TEST(RngTest, BernoulliFrequency) {
+  Rng rng(19);
+  int hits = 0;
+  const int kDraws = 100000;
+  for (int i = 0; i < kDraws; ++i) {
+    if (rng.Bernoulli(0.3)) ++hits;
+  }
+  EXPECT_NEAR(static_cast<double>(hits) / kDraws, 0.3, 0.01);
+}
+
+TEST(ZipfSamplerTest, ProbabilitiesDecreaseAndSumToOne) {
+  const ZipfSampler sampler(100, 1.0);
+  double total = 0.0;
+  double prev = 1.0;
+  for (size_t r = 0; r < sampler.size(); ++r) {
+    const double p = sampler.Probability(r);
+    EXPECT_LE(p, prev + 1e-12);
+    prev = p;
+    total += p;
+  }
+  EXPECT_NEAR(total, 1.0, 1e-9);
+}
+
+TEST(ZipfSamplerTest, EmpiricalRankFrequenciesFollowLaw) {
+  const ZipfSampler sampler(50, 1.0);
+  Rng rng(23);
+  std::vector<int> counts(50, 0);
+  const int kDraws = 200000;
+  for (int i = 0; i < kDraws; ++i) {
+    ++counts[sampler.Sample(rng)];
+  }
+  // Rank 0 should be drawn about twice as often as rank 1.
+  EXPECT_NEAR(static_cast<double>(counts[0]) / counts[1], 2.0, 0.2);
+  // Frequencies broadly decrease with rank.
+  EXPECT_GT(counts[0], counts[10]);
+  EXPECT_GT(counts[10], counts[40]);
+}
+
+TEST(ZipfSamplerTest, ThetaZeroIsUniform) {
+  const ZipfSampler sampler(10, 0.0);
+  for (size_t r = 0; r < 10; ++r) {
+    EXPECT_NEAR(sampler.Probability(r), 0.1, 1e-12);
+  }
+}
+
+TEST(LogNormalParamsTest, RealisesRequestedMoments) {
+  const LogNormalParams p = LogNormalParams::FromMoments(100.0, 400.0);
+  Rng rng(29);
+  double sum = 0.0, sum_sq = 0.0;
+  const int kDraws = 2000000;
+  for (int i = 0; i < kDraws; ++i) {
+    const double v = rng.LogNormal(p.mu, p.sigma);
+    sum += v;
+    sum_sq += v * v;
+  }
+  const double mean = sum / kDraws;
+  // Heavy-tailed: generous tolerance on the mean, sanity on the spread.
+  EXPECT_NEAR(mean, 100.0, 10.0);
+  const double var = sum_sq / kDraws - mean * mean;
+  EXPECT_GT(var, 100.0 * 100.0);  // stddev well above the mean
+}
+
+TEST(LogNormalParamsTest, ZeroStddevDegeneratesToConstant) {
+  const LogNormalParams p = LogNormalParams::FromMoments(42.0, 0.0);
+  EXPECT_NEAR(p.sigma, 0.0, 1e-12);
+  Rng rng(31);
+  EXPECT_NEAR(rng.LogNormal(p.mu, p.sigma), 42.0, 1e-9);
+}
+
+}  // namespace
+}  // namespace stps

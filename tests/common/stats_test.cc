@@ -1,0 +1,70 @@
+#include "common/stats.h"
+
+#include <cmath>
+
+#include <gtest/gtest.h>
+
+namespace stps {
+namespace {
+
+TEST(RunningStatsTest, EmptyIsAllZero) {
+  RunningStats s;
+  EXPECT_EQ(s.count(), 0u);
+  EXPECT_EQ(s.Mean(), 0.0);
+  EXPECT_EQ(s.StdDev(), 0.0);
+  EXPECT_EQ(s.Min(), 0.0);
+  EXPECT_EQ(s.Max(), 0.0);
+  EXPECT_EQ(s.Sum(), 0.0);
+}
+
+TEST(RunningStatsTest, SingleValue) {
+  RunningStats s;
+  s.Add(3.5);
+  EXPECT_EQ(s.count(), 1u);
+  EXPECT_DOUBLE_EQ(s.Mean(), 3.5);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 0.0);
+  EXPECT_DOUBLE_EQ(s.Min(), 3.5);
+  EXPECT_DOUBLE_EQ(s.Max(), 3.5);
+}
+
+TEST(RunningStatsTest, KnownSequence) {
+  RunningStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.Add(v);
+  EXPECT_DOUBLE_EQ(s.Mean(), 5.0);
+  EXPECT_DOUBLE_EQ(s.StdDev(), 2.0);  // classic population-stddev example
+  EXPECT_DOUBLE_EQ(s.Min(), 2.0);
+  EXPECT_DOUBLE_EQ(s.Max(), 9.0);
+  EXPECT_DOUBLE_EQ(s.Sum(), 40.0);
+}
+
+TEST(RunningStatsTest, MergeMatchesSequentialFeed) {
+  RunningStats all, left, right;
+  for (int i = 0; i < 100; ++i) {
+    const double v = std::sin(i) * 10 + i * 0.1;
+    all.Add(v);
+    (i < 37 ? left : right).Add(v);
+  }
+  left.Merge(right);
+  EXPECT_EQ(left.count(), all.count());
+  EXPECT_NEAR(left.Mean(), all.Mean(), 1e-9);
+  EXPECT_NEAR(left.StdDev(), all.StdDev(), 1e-9);
+  EXPECT_NEAR(left.Min(), all.Min(), 1e-12);
+  EXPECT_NEAR(left.Max(), all.Max(), 1e-12);
+}
+
+TEST(RunningStatsTest, MergeWithEmptySides) {
+  RunningStats a, empty;
+  a.Add(1.0);
+  a.Add(2.0);
+  RunningStats b = a;
+  b.Merge(empty);
+  EXPECT_EQ(b.count(), 2u);
+  EXPECT_DOUBLE_EQ(b.Mean(), 1.5);
+  RunningStats c;
+  c.Merge(a);
+  EXPECT_EQ(c.count(), 2u);
+  EXPECT_DOUBLE_EQ(c.Mean(), 1.5);
+}
+
+}  // namespace
+}  // namespace stps

@@ -1,0 +1,107 @@
+#include "core/database.h"
+
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "text/token_set.h"
+
+namespace stps {
+namespace {
+
+ObjectDatabase SmallDb() {
+  DatabaseBuilder builder;
+  const auto add = [&builder](const char* user, double x, double y,
+                              std::vector<std::string> kws) {
+    builder.AddObject(user, Point{x, y}, std::span<const std::string>(kws));
+  };
+  add("alice", 1, 2, {"coffee", "park"});
+  add("bob", 3, 4, {"coffee"});
+  add("alice", 5, 6, {"park", "park", "dog"});  // duplicate keyword
+  add("carol", 7, 8, {"coffee", "dog"});
+  return std::move(builder).Build();
+}
+
+TEST(DatabaseBuilderTest, GroupsObjectsPerUser) {
+  const ObjectDatabase db = SmallDb();
+  EXPECT_EQ(db.num_users(), 3u);
+  EXPECT_EQ(db.num_objects(), 4u);
+  EXPECT_EQ(db.UserName(0), "alice");
+  EXPECT_EQ(db.UserName(1), "bob");
+  EXPECT_EQ(db.UserName(2), "carol");
+  EXPECT_EQ(db.UserObjectCount(0), 2u);
+  EXPECT_EQ(db.UserObjectCount(1), 1u);
+  EXPECT_EQ(db.UserObjectCount(2), 1u);
+  // Alice's objects keep insertion order within the user.
+  const auto alice = db.UserObjects(0);
+  EXPECT_EQ(alice[0].loc, (Point{1, 2}));
+  EXPECT_EQ(alice[1].loc, (Point{5, 6}));
+}
+
+TEST(DatabaseBuilderTest, ObjectIdsAreDenseSlots) {
+  const ObjectDatabase db = SmallDb();
+  for (ObjectId id = 0; id < db.num_objects(); ++id) {
+    EXPECT_EQ(db.object(id).id, id);
+  }
+  // LocalIndex addresses the position within the user span.
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    const auto objects = db.UserObjects(u);
+    for (uint32_t i = 0; i < objects.size(); ++i) {
+      EXPECT_EQ(db.LocalIndex(objects[i]), i);
+    }
+  }
+}
+
+TEST(DatabaseBuilderTest, DuplicateKeywordsCollapse) {
+  const ObjectDatabase db = SmallDb();
+  const auto alice = db.UserObjects(0);
+  EXPECT_EQ(alice[1].doc.size(), 2u);  // park, dog
+}
+
+TEST(DatabaseBuilderTest, TokenIdsFollowDocumentFrequencyOrder) {
+  const ObjectDatabase db = SmallDb();
+  const Dictionary& dict = db.dictionary();
+  // df: coffee=3, park=2, dog=2.
+  TokenId coffee, park, dog;
+  ASSERT_TRUE(dict.Lookup("coffee", &coffee));
+  ASSERT_TRUE(dict.Lookup("park", &park));
+  ASSERT_TRUE(dict.Lookup("dog", &dog));
+  EXPECT_EQ(dict.Frequency(coffee), 3u);
+  EXPECT_EQ(dict.Frequency(park), 2u);
+  EXPECT_EQ(dict.Frequency(dog), 2u);
+  EXPECT_GT(coffee, park);
+  EXPECT_GT(coffee, dog);
+  // Every stored doc is a canonical (sorted unique) token set.
+  for (const STObject& o : db.AllObjects()) {
+    EXPECT_TRUE(IsNormalizedTokenSet(o.doc));
+  }
+}
+
+TEST(DatabaseBuilderTest, BoundsCoverAllObjects) {
+  const ObjectDatabase db = SmallDb();
+  EXPECT_EQ(db.bounds(), (Rect{1, 2, 7, 8}));
+  for (const STObject& o : db.AllObjects()) {
+    EXPECT_TRUE(db.bounds().Contains(o.loc));
+  }
+}
+
+TEST(DatabaseBuilderTest, EmptyBuilderYieldsEmptyDatabase) {
+  DatabaseBuilder builder;
+  const ObjectDatabase db = std::move(builder).Build();
+  EXPECT_EQ(db.num_users(), 0u);
+  EXPECT_EQ(db.num_objects(), 0u);
+}
+
+TEST(DatabaseBuilderTest, StringViewOverload) {
+  DatabaseBuilder builder;
+  const std::vector<std::string_view> kws = {"a", "b"};
+  builder.AddObject("u", Point{0, 0},
+                    std::span<const std::string_view>(kws));
+  const ObjectDatabase db = std::move(builder).Build();
+  EXPECT_EQ(db.num_objects(), 1u);
+  EXPECT_EQ(db.object(0).doc.size(), 2u);
+}
+
+}  // namespace
+}  // namespace stps

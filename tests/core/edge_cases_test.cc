@@ -1,0 +1,210 @@
+// Degenerate and boundary configurations for the STPSJoin algorithms:
+// single-cell worlds, identical users, thin extents, extreme thresholds.
+// Every algorithm must agree with the brute-force reference on all of
+// them.
+
+#include <gtest/gtest.h>
+
+#include "core/stpsjoin.h"
+#include "core/topk.h"
+#include "test_util.h"
+
+namespace stps {
+namespace {
+
+using testing_util::SameResults;
+
+void ExpectAllAlgorithmsAgree(const ObjectDatabase& db,
+                              const STPSQuery& query, const char* label) {
+  const auto expected = BruteForceSTPSJoin(db, query);
+  for (const JoinAlgorithm algorithm :
+       {JoinAlgorithm::kSPPJC, JoinAlgorithm::kSPPJB, JoinAlgorithm::kSPPJF,
+        JoinAlgorithm::kSPPJD}) {
+    JoinOptions options;
+    options.algorithm = algorithm;
+    options.rtree_fanout = 8;
+    EXPECT_TRUE(SameResults(RunSTPSJoin(db, query, options), expected))
+        << label << " / " << JoinAlgorithmName(algorithm);
+  }
+}
+
+ObjectDatabase BuildWith(
+    const std::vector<std::tuple<const char*, double, double,
+                                 std::vector<std::string>>>& rows) {
+  DatabaseBuilder builder;
+  for (const auto& [user, x, y, kws] : rows) {
+    builder.AddObject(user, Point{x, y},
+                      std::span<const std::string>(kws));
+  }
+  return std::move(builder).Build();
+}
+
+TEST(EdgeCaseTest, AllObjectsInOneCell) {
+  // World smaller than one eps_loc cell: every pair of objects is a
+  // spatial candidate.
+  const ObjectDatabase db = BuildWith({
+      {"a", 0.001, 0.001, {"x", "y"}},
+      {"a", 0.002, 0.002, {"z"}},
+      {"b", 0.001, 0.002, {"x", "y"}},
+      {"b", 0.003, 0.001, {"w"}},
+      {"c", 0.002, 0.001, {"x", "y"}},
+  });
+  ExpectAllAlgorithmsAgree(db, {1.0, 0.5, 0.4}, "one cell");
+}
+
+TEST(EdgeCaseTest, IdenticalUsers) {
+  const std::vector<std::string> kws = {"same", "tags"};
+  DatabaseBuilder builder;
+  for (const char* user : {"a", "b", "c", "d"}) {
+    builder.AddObject(user, Point{0.4, 0.4},
+                      std::span<const std::string>(kws));
+    builder.AddObject(user, Point{0.6, 0.6},
+                      std::span<const std::string>(kws));
+  }
+  const ObjectDatabase db = std::move(builder).Build();
+  const STPSQuery query{0.05, 0.9, 0.99};
+  const auto result = RunSTPSJoin(db, query);
+  EXPECT_EQ(result.size(), 6u);  // C(4,2), all with sigma = 1
+  for (const auto& pair : result) {
+    EXPECT_DOUBLE_EQ(pair.score, 1.0);
+  }
+  ExpectAllAlgorithmsAgree(db, query, "identical users");
+}
+
+TEST(EdgeCaseTest, SingleUserHasNoPairs) {
+  const ObjectDatabase db = BuildWith({
+      {"only", 0.1, 0.1, {"a"}},
+      {"only", 0.2, 0.2, {"b"}},
+  });
+  const STPSQuery query{0.5, 0.1, 0.1};
+  EXPECT_TRUE(RunSTPSJoin(db, query).empty());
+  EXPECT_TRUE(RunTopKSTPSJoin(db, {0.5, 0.1, 5}).empty());
+}
+
+TEST(EdgeCaseTest, OneObjectPerUser) {
+  const ObjectDatabase db = BuildWith({
+      {"a", 0.10, 0.10, {"cafe", "wifi"}},
+      {"b", 0.11, 0.10, {"cafe", "wifi"}},
+      {"c", 0.90, 0.90, {"cafe", "wifi"}},
+      {"d", 0.90, 0.91, {"gym"}},
+  });
+  const STPSQuery query{0.05, 0.9, 0.9};
+  const auto result = RunSTPSJoin(db, query);
+  ASSERT_EQ(result.size(), 1u);  // only a-b: near and textually identical
+  EXPECT_EQ(db.UserName(result[0].a), "a");
+  EXPECT_EQ(db.UserName(result[0].b), "b");
+  ExpectAllAlgorithmsAgree(db, query, "one object per user");
+}
+
+TEST(EdgeCaseTest, ThinHorizontalWorld) {
+  // All objects on a line: the grid degenerates to a single row, which
+  // exercises the PPJ-B parity traversal's single-row path.
+  DatabaseBuilder builder;
+  const std::vector<std::string> kws = {"line"};
+  for (int i = 0; i < 20; ++i) {
+    builder.AddObject(i % 2 == 0 ? "even" : "odd",
+                      Point{0.05 * i, 0.0},
+                      std::span<const std::string>(kws));
+  }
+  const ObjectDatabase db = std::move(builder).Build();
+  for (const double eps_loc : {0.01, 0.05, 0.2, 2.0}) {
+    ExpectAllAlgorithmsAgree(db, {eps_loc, 0.5, 0.3}, "thin world");
+  }
+}
+
+TEST(EdgeCaseTest, ThinVerticalWorld) {
+  DatabaseBuilder builder;
+  const std::vector<std::string> kws = {"column"};
+  for (int i = 0; i < 20; ++i) {
+    builder.AddObject(i % 3 == 0 ? "u0" : (i % 3 == 1 ? "u1" : "u2"),
+                      Point{0.0, 0.07 * i},
+                      std::span<const std::string>(kws));
+  }
+  const ObjectDatabase db = std::move(builder).Build();
+  for (const double eps_loc : {0.02, 0.08, 0.5}) {
+    ExpectAllAlgorithmsAgree(db, {eps_loc, 0.5, 0.2}, "vertical world");
+  }
+}
+
+TEST(EdgeCaseTest, AllObjectsAtTheSamePoint) {
+  DatabaseBuilder builder;
+  for (int u = 0; u < 5; ++u) {
+    for (int i = 0; i < 4; ++i) {
+      const std::vector<std::string> kws = {"p" + std::to_string(i)};
+      builder.AddObject("u" + std::to_string(u), Point{0.5, 0.5},
+                        std::span<const std::string>(kws));
+    }
+  }
+  const ObjectDatabase db = std::move(builder).Build();
+  ExpectAllAlgorithmsAgree(db, {0.001, 0.9, 0.9}, "same point");
+  // Everyone posts the same keyword set at the same spot: all pairs at
+  // sigma 1.
+  const auto result = RunSTPSJoin(db, {0.001, 0.9, 0.9});
+  EXPECT_EQ(result.size(), 10u);
+}
+
+TEST(EdgeCaseTest, ExactMatchThresholds) {
+  // eps_doc = 1 requires identical token sets; eps_u = 1 requires every
+  // object matched.
+  const ObjectDatabase db = BuildWith({
+      {"a", 0.1, 0.1, {"x"}},
+      {"a", 0.2, 0.2, {"y"}},
+      {"b", 0.1, 0.1, {"x"}},
+      {"b", 0.2, 0.2, {"y"}},
+      {"c", 0.1, 0.1, {"x"}},
+      {"c", 0.2, 0.2, {"y", "extra"}},
+  });
+  const STPSQuery query{0.01, 1.0, 1.0};
+  const auto result = RunSTPSJoin(db, query);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(db.UserName(result[0].a), "a");
+  EXPECT_EQ(db.UserName(result[0].b), "b");
+  ExpectAllAlgorithmsAgree(db, query, "exact thresholds");
+}
+
+TEST(EdgeCaseTest, EpsLocLargerThanWorld) {
+  const ObjectDatabase db = BuildWith({
+      {"a", 0.0, 0.0, {"k"}},
+      {"b", 1.0, 1.0, {"k"}},
+      {"c", 0.5, 0.5, {"other"}},
+  });
+  // Spatial threshold covers everything; textual decides.
+  const STPSQuery query{10.0, 0.9, 0.9};
+  const auto result = RunSTPSJoin(db, query);
+  ASSERT_EQ(result.size(), 1u);
+  ExpectAllAlgorithmsAgree(db, query, "huge eps_loc");
+}
+
+TEST(EdgeCaseTest, TopKOnTinyDatabase) {
+  const ObjectDatabase db = BuildWith({
+      {"a", 0.1, 0.1, {"x"}},
+      {"b", 0.1, 0.1, {"x"}},
+  });
+  const TopKQuery query{0.01, 0.5, 10};
+  for (const TopKAlgorithm algorithm :
+       {TopKAlgorithm::kF, TopKAlgorithm::kS, TopKAlgorithm::kP}) {
+    const auto result = RunTopKSTPSJoin(db, query, algorithm);
+    ASSERT_EQ(result.size(), 1u) << TopKAlgorithmName(algorithm);
+    EXPECT_DOUBLE_EQ(result[0].score, 1.0);
+  }
+  EXPECT_EQ(TopKSPPJD(db, query, 4).size(), 1u);
+}
+
+TEST(EdgeCaseTest, UsersWithDisjointVocabulariesNeverPair) {
+  DatabaseBuilder builder;
+  for (int u = 0; u < 6; ++u) {
+    for (int i = 0; i < 3; ++i) {
+      const std::vector<std::string> kws = {"tok_u" + std::to_string(u)};
+      builder.AddObject("u" + std::to_string(u),
+                        Point{0.5 + 0.001 * i, 0.5},
+                        std::span<const std::string>(kws));
+    }
+  }
+  const ObjectDatabase db = std::move(builder).Build();
+  const STPSQuery query{0.1, 0.1, 0.1};
+  EXPECT_TRUE(RunSTPSJoin(db, query).empty());
+  EXPECT_TRUE(RunTopKSTPSJoin(db, {0.1, 0.1, 5}).empty());
+}
+
+}  // namespace
+}  // namespace stps

@@ -1,0 +1,97 @@
+#include "core/hausdorff.h"
+
+#include <limits>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace stps {
+namespace {
+
+using testing_util::BuildRandomDatabase;
+using testing_util::RandomDbSpec;
+
+STObject At(double x, double y) {
+  STObject o;
+  o.loc = {x, y};
+  return o;
+}
+
+TEST(HausdorffTest, KnownValues) {
+  const std::vector<STObject> a = {At(0, 0), At(1, 0)};
+  const std::vector<STObject> b = {At(0, 0), At(4, 0)};
+  // h(a->b): points 0 and 1 are 0 and 1 away from b -> 1.
+  EXPECT_DOUBLE_EQ(DirectedHausdorff(a, b), 1.0);
+  // h(b->a): point (4,0) is 3 away from (1,0) -> 3.
+  EXPECT_DOUBLE_EQ(DirectedHausdorff(b, a), 3.0);
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), 3.0);
+}
+
+TEST(HausdorffTest, IdenticalSetsAreAtDistanceZero) {
+  const std::vector<STObject> a = {At(1, 2), At(3, 4)};
+  EXPECT_DOUBLE_EQ(HausdorffDistance(a, a), 0.0);
+}
+
+TEST(HausdorffTest, EmptySetConventions) {
+  const std::vector<STObject> a = {At(0, 0)};
+  const std::vector<STObject> empty;
+  EXPECT_DOUBLE_EQ(DirectedHausdorff(empty, a), 0.0);
+  EXPECT_EQ(DirectedHausdorff(a, empty),
+            std::numeric_limits<double>::infinity());
+}
+
+TEST(HausdorffTest, SymmetricAndMatchesBruteForce) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  for (UserId u = 0; u < 10; ++u) {
+    for (UserId v = u + 1; v < 10; ++v) {
+      const auto a = db.UserObjects(u);
+      const auto b = db.UserObjects(v);
+      EXPECT_DOUBLE_EQ(HausdorffDistance(a, b), HausdorffDistance(b, a));
+      // Brute-force directed distance without the early break.
+      double expected = 0.0;
+      for (const STObject& oa : a) {
+        double min_d = std::numeric_limits<double>::infinity();
+        for (const STObject& ob : b) {
+          min_d = std::min(min_d, Distance(oa.loc, ob.loc));
+        }
+        expected = std::max(expected, min_d);
+      }
+      EXPECT_NEAR(DirectedHausdorff(a, b), expected, 1e-12);
+    }
+  }
+}
+
+TEST(HausdorffTest, TopKSortedAscendingAndTwinsRankFirst) {
+  RandomDbSpec spec;
+  spec.seed = 31;
+  const ObjectDatabase db = BuildRandomDatabase(spec);
+  const auto top = HausdorffTopK(db, 10);
+  ASSERT_EQ(top.size(), 10u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_LE(top[i - 1].score, top[i].score);
+  }
+}
+
+TEST(HausdorffTest, TriangleInequalityHolds) {
+  RandomDbSpec spec;
+  spec.seed = 77;
+  spec.num_users = 12;
+  const ObjectDatabase db = BuildRandomDatabase(spec);
+  for (UserId a = 0; a < 6; ++a) {
+    for (UserId b = 0; b < 6; ++b) {
+      for (UserId c = 0; c < 6; ++c) {
+        const double ab =
+            HausdorffDistance(db.UserObjects(a), db.UserObjects(b));
+        const double bc =
+            HausdorffDistance(db.UserObjects(b), db.UserObjects(c));
+        const double ac =
+            HausdorffDistance(db.UserObjects(a), db.UserObjects(c));
+        EXPECT_LE(ac, ab + bc + 1e-9);
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stps

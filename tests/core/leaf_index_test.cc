@@ -1,0 +1,160 @@
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "core/sppj_d.h"
+#include "core/user_grid.h"
+#include "test_util.h"
+#include "text/token_set.h"
+
+namespace stps {
+namespace {
+
+using testing_util::BuildRandomDatabase;
+using testing_util::RandomDbSpec;
+
+class LeafIndexTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(LeafIndexTest, UserLeavesPartitionTheUserObjects) {
+  const int fanout = GetParam();
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const LeafPartitionIndex index(db, 0.05, fanout);
+  EXPECT_GT(index.num_leaves(), 0u);
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    size_t total = 0;
+    int64_t prev = -1;
+    for (const UserPartition& leaf : index.UserLeaves(u)) {
+      EXPECT_GT(leaf.id, prev);
+      prev = leaf.id;
+      EXPECT_LT(static_cast<size_t>(leaf.id), index.num_leaves());
+      EXPECT_FALSE(leaf.objects.empty());
+      for (const ObjectRef& ref : leaf.objects) {
+        EXPECT_EQ(ref.object->user, u);
+        EXPECT_EQ(db.LocalIndex(*ref.object), ref.local);
+      }
+      total += leaf.objects.size();
+    }
+    EXPECT_EQ(total, db.UserObjectCount(u));
+  }
+}
+
+TEST_P(LeafIndexTest, TokenUsersAreSortedAndComplete) {
+  const int fanout = GetParam();
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const LeafPartitionIndex index(db, 0.05, fanout);
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    for (const UserPartition& leaf : index.UserLeaves(u)) {
+      const TokenVector tokens =
+          DistinctTokens(std::span<const ObjectRef>(leaf.objects));
+      for (const TokenId t : tokens) {
+        const std::vector<UserId>* users =
+            index.TokenUsers(static_cast<uint32_t>(leaf.id), t);
+        ASSERT_NE(users, nullptr);
+        EXPECT_TRUE(std::is_sorted(users->begin(), users->end()));
+        EXPECT_TRUE(std::binary_search(users->begin(), users->end(), u));
+      }
+    }
+  }
+}
+
+TEST_P(LeafIndexTest, AdjacencyCoversEveryCloseObjectPair) {
+  const int fanout = GetParam();
+  const double eps_loc = 0.06;
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const LeafPartitionIndex index(db, eps_loc, fanout);
+  // Locate each object's leaf.
+  std::vector<uint32_t> leaf_of(db.num_objects(), 0);
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    for (const UserPartition& leaf : index.UserLeaves(u)) {
+      for (const ObjectRef& ref : leaf.objects) {
+        leaf_of[ref.object->id] = static_cast<uint32_t>(leaf.id);
+      }
+    }
+  }
+  // Every spatially-close object pair must live in adjacent leaves, and
+  // both objects must lie inside the intersection of the extended MBRs
+  // (the region PPJ-D restricts its joins to).
+  for (ObjectId a = 0; a < db.num_objects(); ++a) {
+    for (ObjectId b = a + 1; b < db.num_objects(); ++b) {
+      const STObject& oa = db.object(a);
+      const STObject& ob = db.object(b);
+      if (!WithinDistance(oa.loc, ob.loc, eps_loc)) continue;
+      const uint32_t la = leaf_of[a], lb = leaf_of[b];
+      const auto& relevant = index.RelevantLeaves(la);
+      ASSERT_TRUE(std::binary_search(relevant.begin(), relevant.end(), lb))
+          << "close objects in non-adjacent leaves";
+      const Rect box =
+          index.ExtendedMbr(la).Intersection(index.ExtendedMbr(lb));
+      EXPECT_TRUE(box.Contains(oa.loc));
+      EXPECT_TRUE(box.Contains(ob.loc));
+    }
+  }
+}
+
+TEST_P(LeafIndexTest, PPJDPairEqualsExactSigma) {
+  const int fanout = GetParam();
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const MatchThresholds t{0.06, 0.3};
+  const LeafPartitionIndex index(db, t.eps_loc, fanout);
+  for (UserId a = 0; a < 15 && a < db.num_users(); ++a) {
+    for (UserId b = a + 1; b < 15 && b < db.num_users(); ++b) {
+      const double expected =
+          ExactSigma(db.UserObjects(a), db.UserObjects(b), t);
+      const double unbounded =
+          PPJDPair(index.UserLeaves(a), db.UserObjectCount(a),
+                   index.UserLeaves(b), db.UserObjectCount(b), index, t,
+                   /*eps_u=*/0.0);
+      ASSERT_DOUBLE_EQ(unbounded, expected);
+      // Bounded: exact above the threshold, anything below otherwise.
+      for (const double eps_u : {0.2, 0.5}) {
+        const double bounded =
+            PPJDPair(index.UserLeaves(a), db.UserObjectCount(a),
+                     index.UserLeaves(b), db.UserObjectCount(b), index, t,
+                     eps_u);
+        if (expected >= eps_u) {
+          ASSERT_DOUBLE_EQ(bounded, expected);
+        } else {
+          ASSERT_LT(bounded, eps_u);
+        }
+      }
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Fanouts, LeafIndexTest,
+                         ::testing::Values(4, 16, 64, 200));
+
+TEST(SpatioTextualGridIndexTest, TokenProbesFindIndexedUsers) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const UserGrid grid(db, 0.05);
+  SpatioTextualGridIndex index;
+  // Index the first half of the users.
+  const UserId half = static_cast<UserId>(db.num_users() / 2);
+  for (UserId u = 0; u < half; ++u) {
+    index.AddUser(u, grid.UserCells(u));
+  }
+  // Every indexed (cell, token, user) is findable; none of the unindexed
+  // users appear anywhere.
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    for (const UserPartition& cell : grid.UserCells(u)) {
+      EXPECT_TRUE(index.CellOccupied(cell.id) || u >= half);
+      const TokenVector tokens =
+          DistinctTokens(std::span<const ObjectRef>(cell.objects));
+      for (const TokenId t : tokens) {
+        const std::vector<UserId>* users = index.TokenUsers(cell.id, t);
+        if (u < half) {
+          ASSERT_NE(users, nullptr);
+          EXPECT_NE(std::find(users->begin(), users->end(), u),
+                    users->end());
+        } else if (users != nullptr) {
+          EXPECT_EQ(std::find(users->begin(), users->end(), u),
+                    users->end());
+        }
+      }
+    }
+  }
+  EXPECT_EQ(index.TokenUsers(/*cell=*/-1234567, /*t=*/0), nullptr);
+}
+
+}  // namespace
+}  // namespace stps

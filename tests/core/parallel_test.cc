@@ -1,0 +1,57 @@
+#include "core/sppj_f_parallel.h"
+
+#include <gtest/gtest.h>
+
+#include "core/sppj_f.h"
+#include "test_util.h"
+
+namespace stps {
+namespace {
+
+using testing_util::BuildRandomDatabase;
+using testing_util::RandomDbSpec;
+using testing_util::SameResults;
+
+class ParallelSPPJFTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(ParallelSPPJFTest, MatchesSequentialAcrossSeeds) {
+  const int threads = GetParam();
+  for (const uint64_t seed : {1u, 2u, 3u}) {
+    RandomDbSpec spec;
+    spec.seed = seed;
+    const ObjectDatabase db = BuildRandomDatabase(spec);
+    const STPSQuery query{0.1, 0.3, 0.25};
+    EXPECT_TRUE(SameResults(SPPJFParallel(db, query, threads),
+                            SPPJF(db, query)))
+        << "threads=" << threads << " seed=" << seed;
+  }
+}
+
+TEST_P(ParallelSPPJFTest, DeterministicAcrossRuns) {
+  const int threads = GetParam();
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const STPSQuery query{0.08, 0.4, 0.2};
+  const auto first = SPPJFParallel(db, query, threads);
+  const auto second = SPPJFParallel(db, query, threads);
+  EXPECT_TRUE(SameResults(first, second));
+}
+
+INSTANTIATE_TEST_SUITE_P(ThreadCounts, ParallelSPPJFTest,
+                         ::testing::Values(1, 2, 4, 8));
+
+TEST(ParallelSPPJFTest, EmptyDatabase) {
+  DatabaseBuilder builder;
+  const ObjectDatabase db = std::move(builder).Build();
+  EXPECT_TRUE(SPPJFParallel(db, {0.1, 0.3, 0.3}, 4).empty());
+}
+
+TEST(ParallelSPPJFTest, MoreThreadsThanUsers) {
+  RandomDbSpec spec;
+  spec.num_users = 3;
+  const ObjectDatabase db = BuildRandomDatabase(spec);
+  const STPSQuery query{0.2, 0.2, 0.1};
+  EXPECT_TRUE(SameResults(SPPJFParallel(db, query, 16), SPPJF(db, query)));
+}
+
+}  // namespace
+}  // namespace stps

@@ -1,0 +1,111 @@
+#include "core/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace stps {
+namespace {
+
+using testing_util::BuildFigure1Database;
+using testing_util::BuildRandomDatabase;
+using testing_util::RandomDbSpec;
+
+TEST(ExactSigmaTest, Figure1Scenario) {
+  const ObjectDatabase db = BuildFigure1Database();
+  // Thresholds that make the shop objects of u1 and u3 match.
+  const MatchThresholds t{0.05, 1.0 / 3};
+  // User ids follow first-sight order in BuildFigure1Database: u1, u3, u2.
+  UserId u1 = 0, u3 = 1, u2 = 2;
+  ASSERT_EQ(db.UserName(u1), "u1");
+  ASSERT_EQ(db.UserName(u3), "u3");
+  ASSERT_EQ(db.UserName(u2), "u2");
+  // u1: {shop,jeans} matches u3's {shop,market}: J = 1/3, nearby.
+  // u1 has 2 objects (1 matched), u3 has 3 objects (1 matched).
+  EXPECT_DOUBLE_EQ(ExactSigma(db.UserObjects(u1), db.UserObjects(u3), t),
+                   2.0 / 5);
+  // u2 matches nobody at these thresholds.
+  EXPECT_DOUBLE_EQ(ExactSigma(db.UserObjects(u1), db.UserObjects(u2), t),
+                   0.0);
+  EXPECT_DOUBLE_EQ(ExactSigma(db.UserObjects(u2), db.UserObjects(u3), t),
+                   0.0);
+}
+
+TEST(ExactSigmaTest, IsSymmetric) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const MatchThresholds t{0.1, 0.3};
+  for (UserId a = 0; a < 10; ++a) {
+    for (UserId b = a + 1; b < 10; ++b) {
+      EXPECT_DOUBLE_EQ(ExactSigma(db.UserObjects(a), db.UserObjects(b), t),
+                       ExactSigma(db.UserObjects(b), db.UserObjects(a), t));
+    }
+  }
+}
+
+TEST(ExactSigmaTest, BoundedByZeroAndOne) {
+  RandomDbSpec spec;
+  spec.seed = 5;
+  const ObjectDatabase db = BuildRandomDatabase(spec);
+  const MatchThresholds t{0.2, 0.2};
+  for (UserId a = 0; a < db.num_users(); ++a) {
+    for (UserId b = a + 1; b < db.num_users(); ++b) {
+      const double sigma =
+          ExactSigma(db.UserObjects(a), db.UserObjects(b), t);
+      EXPECT_GE(sigma, 0.0);
+      EXPECT_LE(sigma, 1.0);
+    }
+  }
+}
+
+TEST(ExactSigmaTest, IdenticalUsersScoreOne) {
+  DatabaseBuilder builder;
+  const std::vector<std::string> kws = {"a", "b"};
+  builder.AddObject("x", Point{0, 0}, std::span<const std::string>(kws));
+  builder.AddObject("y", Point{0, 0}, std::span<const std::string>(kws));
+  const ObjectDatabase db = std::move(builder).Build();
+  EXPECT_DOUBLE_EQ(
+      ExactSigma(db.UserObjects(0), db.UserObjects(1), {0.01, 0.9}), 1.0);
+}
+
+TEST(UnmatchedBoundTest, Lemma1Arithmetic) {
+  // eps_u = 0.3, sizes 10+10: bound = 0.7 * 20 = 14.
+  EXPECT_DOUBLE_EQ(UnmatchedBound(10, 10, 0.3), 14.0);
+  EXPECT_DOUBLE_EQ(UnmatchedBound(5, 3, 1.0), 0.0);
+}
+
+TEST(BruteForceSTPSJoinTest, Figure1Join) {
+  const ObjectDatabase db = BuildFigure1Database();
+  const STPSQuery query{0.05, 1.0 / 3, 0.3};
+  const auto result = BruteForceSTPSJoin(db, query);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(db.UserName(result[0].a), "u1");
+  EXPECT_EQ(db.UserName(result[0].b), "u3");
+  EXPECT_DOUBLE_EQ(result[0].score, 0.4);
+}
+
+TEST(BruteForceTopKTest, ReturnsBestFirstAndRespectsK) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const TopKQuery query{0.15, 0.25, 5};
+  const auto top = BruteForceTopK(db, query);
+  EXPECT_LE(top.size(), 5u);
+  for (size_t i = 1; i < top.size(); ++i) {
+    EXPECT_TRUE(TopKBetter(top[i - 1], top[i]));
+  }
+  for (const auto& pair : top) {
+    EXPECT_GT(pair.score, 0.0);
+    EXPECT_LT(pair.a, pair.b);
+  }
+}
+
+TEST(TopKBetterTest, TotalOrderSemantics) {
+  const ScoredUserPair high{0, 1, 0.9}, low{0, 2, 0.5};
+  const ScoredUserPair tie_a{1, 2, 0.5}, tie_b{1, 3, 0.5};
+  EXPECT_TRUE(TopKBetter(high, low));
+  EXPECT_FALSE(TopKBetter(low, high));
+  EXPECT_TRUE(TopKBetter(low, tie_a));   // (0,2) < (1,2)
+  EXPECT_TRUE(TopKBetter(tie_a, tie_b));
+  EXPECT_FALSE(TopKBetter(tie_a, tie_a));
+}
+
+}  // namespace
+}  // namespace stps

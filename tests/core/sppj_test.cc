@@ -1,0 +1,150 @@
+#include <gtest/gtest.h>
+
+#include "core/sppj_b.h"
+#include "core/sppj_c.h"
+#include "core/sppj_d.h"
+#include "core/sppj_f.h"
+#include "core/stpsjoin.h"
+#include "test_util.h"
+
+namespace stps {
+namespace {
+
+using testing_util::BuildFigure1Database;
+using testing_util::BuildRandomDatabase;
+using testing_util::RandomDbSpec;
+using testing_util::SameResults;
+
+struct JoinParam {
+  double eps_loc;
+  double eps_doc;
+  double eps_u;
+  uint64_t seed;
+};
+
+class STPSJoinAlgorithmsTest : public ::testing::TestWithParam<JoinParam> {
+ protected:
+  ObjectDatabase MakeDb() const {
+    RandomDbSpec spec;
+    spec.seed = GetParam().seed;
+    return BuildRandomDatabase(spec);
+  }
+  STPSQuery MakeQuery() const {
+    const JoinParam p = GetParam();
+    return {p.eps_loc, p.eps_doc, p.eps_u};
+  }
+};
+
+TEST_P(STPSJoinAlgorithmsTest, SPPJCMatchesBruteForce) {
+  const ObjectDatabase db = MakeDb();
+  const STPSQuery query = MakeQuery();
+  EXPECT_TRUE(SameResults(SPPJC(db, query), BruteForceSTPSJoin(db, query)));
+}
+
+TEST_P(STPSJoinAlgorithmsTest, SPPJBMatchesBruteForce) {
+  const ObjectDatabase db = MakeDb();
+  const STPSQuery query = MakeQuery();
+  EXPECT_TRUE(SameResults(SPPJB(db, query), BruteForceSTPSJoin(db, query)));
+}
+
+TEST_P(STPSJoinAlgorithmsTest, SPPJFMatchesBruteForce) {
+  const ObjectDatabase db = MakeDb();
+  const STPSQuery query = MakeQuery();
+  EXPECT_TRUE(SameResults(SPPJF(db, query), BruteForceSTPSJoin(db, query)));
+}
+
+TEST_P(STPSJoinAlgorithmsTest, SPPJFAblationVariantsStayExact) {
+  const ObjectDatabase db = MakeDb();
+  const STPSQuery query = MakeQuery();
+  const auto expected = BruteForceSTPSJoin(db, query);
+  EXPECT_TRUE(SameResults(SPPJFAblation(db, query, false, true), expected));
+  EXPECT_TRUE(SameResults(SPPJFAblation(db, query, true, false), expected));
+  EXPECT_TRUE(SameResults(SPPJFAblation(db, query, false, false), expected));
+}
+
+TEST_P(STPSJoinAlgorithmsTest, SPPJDMatchesBruteForceAcrossFanouts) {
+  const ObjectDatabase db = MakeDb();
+  const STPSQuery query = MakeQuery();
+  const auto expected = BruteForceSTPSJoin(db, query);
+  for (const int fanout : {4, 16, 64}) {
+    EXPECT_TRUE(SameResults(SPPJD(db, query, SPPJDOptions{fanout}), expected))
+        << "fanout=" << fanout;
+  }
+}
+
+
+TEST_P(STPSJoinAlgorithmsTest, SPPJDQuadTreeBackendMatchesBruteForce) {
+  const ObjectDatabase db = MakeDb();
+  const STPSQuery query = MakeQuery();
+  const auto expected = BruteForceSTPSJoin(db, query);
+  for (const int capacity : {4, 16, 64}) {
+    SPPJDOptions options;
+    options.fanout = capacity;
+    options.partitioning = PartitioningScheme::kQuadTree;
+    EXPECT_TRUE(SameResults(SPPJD(db, query, options), expected))
+        << "capacity=" << capacity;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    ThresholdSweep, STPSJoinAlgorithmsTest,
+    ::testing::Values(JoinParam{0.05, 0.3, 0.3, 1},
+                      JoinParam{0.10, 0.30, 0.20, 2},
+                      JoinParam{0.15, 0.50, 0.40, 3},
+                      JoinParam{0.02, 0.20, 0.10, 4},
+                      JoinParam{0.30, 0.40, 0.60, 5},
+                      JoinParam{0.08, 0.60, 0.30, 6},
+                      JoinParam{0.12, 0.25, 0.15, 7},
+                      JoinParam{0.05, 0.90, 0.80, 8}));
+
+TEST(STPSJoinTest, Figure1AllAlgorithmsAgree) {
+  const ObjectDatabase db = BuildFigure1Database();
+  const STPSQuery query{0.05, 1.0 / 3, 0.3};
+  const auto expected = BruteForceSTPSJoin(db, query);
+  ASSERT_EQ(expected.size(), 1u);
+  EXPECT_TRUE(SameResults(SPPJC(db, query), expected));
+  EXPECT_TRUE(SameResults(SPPJB(db, query), expected));
+  EXPECT_TRUE(SameResults(SPPJF(db, query), expected));
+  EXPECT_TRUE(SameResults(SPPJD(db, query, SPPJDOptions{8}), expected));
+}
+
+TEST(STPSJoinTest, UmbrellaDispatchesEveryAlgorithm) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const STPSQuery query{0.1, 0.3, 0.3};
+  const auto expected = BruteForceSTPSJoin(db, query);
+  for (const JoinAlgorithm algorithm :
+       {JoinAlgorithm::kBruteForce, JoinAlgorithm::kSPPJC,
+        JoinAlgorithm::kSPPJB, JoinAlgorithm::kSPPJF,
+        JoinAlgorithm::kSPPJD}) {
+    JoinOptions options;
+    options.algorithm = algorithm;
+    options.rtree_fanout = 32;
+    EXPECT_TRUE(SameResults(RunSTPSJoin(db, query, options), expected))
+        << JoinAlgorithmName(algorithm);
+  }
+}
+
+TEST(STPSJoinTest, EmptyThresholdYieldsAllPairsForBaselines) {
+  RandomDbSpec spec;
+  spec.num_users = 8;
+  const ObjectDatabase db = BuildRandomDatabase(spec);
+  const STPSQuery query{0.1, 0.3, 0.0};  // eps_u = 0: every pair qualifies
+  EXPECT_EQ(SPPJC(db, query).size(), 28u);  // C(8,2)
+  EXPECT_EQ(SPPJB(db, query).size(), 28u);
+}
+
+TEST(STPSJoinTest, HighThresholdsYieldEmptyResults) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const STPSQuery query{0.0001, 0.999, 0.999};
+  EXPECT_TRUE(SPPJF(db, query).empty());
+  EXPECT_TRUE(SPPJD(db, query, SPPJDOptions{16}).empty());
+}
+
+TEST(STPSJoinTest, AlgorithmNamesAreStable) {
+  EXPECT_EQ(JoinAlgorithmName(JoinAlgorithm::kSPPJF), "S-PPJ-F");
+  EXPECT_EQ(JoinAlgorithmName(JoinAlgorithm::kSPPJD), "S-PPJ-D");
+  EXPECT_EQ(TopKAlgorithmName(TopKAlgorithm::kP), "TOPK-S-PPJ-P");
+}
+
+}  // namespace
+}  // namespace stps

@@ -1,0 +1,116 @@
+// Tests for the temporal extension (the paper's future-work dimension):
+// objects carry timestamps and a finite eps_time restricts matches.
+
+#include <gtest/gtest.h>
+
+#include "core/stpsjoin.h"
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "test_util.h"
+
+namespace stps {
+namespace {
+
+using testing_util::SameResults;
+
+ObjectDatabase TimedDb() {
+  DatabaseBuilder builder;
+  const std::vector<std::string> kws = {"coffee", "park"};
+  const auto span_kws = std::span<const std::string>(kws);
+  // Same place, same words, different days.
+  builder.AddObject("early", Point{0.5, 0.5}, span_kws, /*time=*/1.0);
+  builder.AddObject("early", Point{0.51, 0.5}, span_kws, /*time=*/2.0);
+  builder.AddObject("late", Point{0.5, 0.51}, span_kws, /*time=*/30.0);
+  builder.AddObject("late", Point{0.51, 0.51}, span_kws, /*time=*/31.0);
+  builder.AddObject("both", Point{0.5, 0.5}, span_kws, /*time=*/1.5);
+  builder.AddObject("both", Point{0.5, 0.5}, span_kws, /*time=*/30.5);
+  return std::move(builder).Build();
+}
+
+TEST(TemporalMatchTest, PredicateRespectsEpsTime) {
+  const ObjectDatabase db = TimedDb();
+  const STObject& early = db.UserObjects(0)[0];  // t=1
+  const STObject& late = db.UserObjects(1)[0];   // t=30
+  MatchThresholds t{0.1, 0.5};
+  EXPECT_TRUE(ObjectsMatch(early, late, t));  // eps_time = inf by default
+  t.eps_time = 5.0;
+  EXPECT_FALSE(ObjectsMatch(early, late, t));
+  t.eps_time = 29.0;
+  EXPECT_TRUE(ObjectsMatch(early, late, t));
+}
+
+TEST(TemporalJoinTest, FiniteEpsTimeSplitsTheUsers) {
+  const ObjectDatabase db = TimedDb();
+  // Without the temporal dimension all three users pair up.
+  STPSQuery query{0.1, 0.5, 0.5};
+  EXPECT_EQ(RunSTPSJoin(db, query).size(), 3u);
+  // With eps_time = 5, "early" and "late" no longer match; "both"
+  // still matches each of them with half of its objects.
+  query.eps_time = 5.0;
+  const auto result = RunSTPSJoin(db, query);
+  ASSERT_EQ(result.size(), 2u);
+  EXPECT_EQ(db.UserName(result[0].a), "early");
+  EXPECT_EQ(db.UserName(result[0].b), "both");
+  EXPECT_EQ(db.UserName(result[1].a), "late");
+  EXPECT_EQ(db.UserName(result[1].b), "both");
+}
+
+TEST(TemporalJoinTest, AllAlgorithmsAgreeUnderEpsTime) {
+  DatasetSpec spec = PresetSpec(DatasetKind::kTwitterLike, 30, 17);
+  spec.max_objects_per_user = 40;
+  const ObjectDatabase db = GenerateDataset(spec);
+  STPSQuery query = DefaultQuery(DatasetKind::kTwitterLike);
+  query.eps_loc *= 10;
+  query.eps_doc = 0.2;
+  query.eps_u = 0.05;
+  query.eps_time = spec.time_horizon / 10;
+  const auto expected = BruteForceSTPSJoin(db, query);
+  for (const JoinAlgorithm algorithm :
+       {JoinAlgorithm::kSPPJC, JoinAlgorithm::kSPPJB, JoinAlgorithm::kSPPJF,
+        JoinAlgorithm::kSPPJD}) {
+    JoinOptions options;
+    options.algorithm = algorithm;
+    EXPECT_TRUE(SameResults(RunSTPSJoin(db, query, options), expected))
+        << JoinAlgorithmName(algorithm);
+  }
+}
+
+TEST(TemporalJoinTest, TighterEpsTimeShrinksTheResult) {
+  const DatasetSpec spec = PresetSpec(DatasetKind::kGeoTextLike, 60, 23);
+  const ObjectDatabase db = GenerateDataset(spec);
+  STPSQuery query = DefaultQuery(DatasetKind::kGeoTextLike);
+  query.eps_u = 0.1;
+  const size_t unlimited = BruteForceSTPSJoin(db, query).size();
+  query.eps_time = spec.time_horizon / 50;
+  const size_t limited = BruteForceSTPSJoin(db, query).size();
+  EXPECT_LE(limited, unlimited);
+}
+
+TEST(TemporalTopKTest, VariantsAgreeUnderEpsTime) {
+  DatasetSpec spec = PresetSpec(DatasetKind::kGeoTextLike, 40, 29);
+  const ObjectDatabase db = GenerateDataset(spec);
+  TopKQuery query{0.01, 0.2, 8};
+  query.eps_time = spec.time_horizon / 4;
+  const auto expected = BruteForceTopK(db, query);
+  for (const TopKAlgorithm algorithm :
+       {TopKAlgorithm::kF, TopKAlgorithm::kS, TopKAlgorithm::kP}) {
+    EXPECT_TRUE(SameResults(RunTopKSTPSJoin(db, query, algorithm), expected))
+        << TopKAlgorithmName(algorithm);
+  }
+}
+
+TEST(TemporalGeneratorTest, TimestampsFillTheHorizon) {
+  DatasetSpec spec = PresetSpec(DatasetKind::kTwitterLike, 30, 37);
+  spec.time_horizon = 100.0;
+  const ObjectDatabase db = GenerateDataset(spec);
+  double min_t = 1e18, max_t = -1e18;
+  for (const STObject& o : db.AllObjects()) {
+    min_t = std::min(min_t, o.time);
+    max_t = std::max(max_t, o.time);
+  }
+  EXPECT_LT(min_t, 20.0);
+  EXPECT_GT(max_t, 80.0);
+}
+
+}  // namespace
+}  // namespace stps

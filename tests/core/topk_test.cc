@@ -1,0 +1,120 @@
+#include "core/topk.h"
+
+#include <gtest/gtest.h>
+
+#include "core/stpsjoin.h"
+#include "test_util.h"
+
+namespace stps {
+namespace {
+
+using testing_util::BuildRandomDatabase;
+using testing_util::RandomDbSpec;
+using testing_util::SameResults;
+
+struct TopKParam {
+  double eps_loc;
+  double eps_doc;
+  size_t k;
+  uint64_t seed;
+};
+
+class TopKAlgorithmsTest : public ::testing::TestWithParam<TopKParam> {
+ protected:
+  ObjectDatabase MakeDb() const {
+    RandomDbSpec spec;
+    spec.seed = GetParam().seed;
+    return BuildRandomDatabase(spec);
+  }
+  TopKQuery MakeQuery() const {
+    const TopKParam p = GetParam();
+    return {p.eps_loc, p.eps_doc, p.k};
+  }
+};
+
+TEST_P(TopKAlgorithmsTest, VariantFMatchesBruteForce) {
+  const ObjectDatabase db = MakeDb();
+  const TopKQuery query = MakeQuery();
+  EXPECT_TRUE(SameResults(TopKSPPJF(db, query), BruteForceTopK(db, query)));
+}
+
+TEST_P(TopKAlgorithmsTest, VariantSMatchesBruteForce) {
+  const ObjectDatabase db = MakeDb();
+  const TopKQuery query = MakeQuery();
+  EXPECT_TRUE(SameResults(TopKSPPJS(db, query), BruteForceTopK(db, query)));
+}
+
+TEST_P(TopKAlgorithmsTest, VariantPMatchesBruteForce) {
+  const ObjectDatabase db = MakeDb();
+  const TopKQuery query = MakeQuery();
+  EXPECT_TRUE(SameResults(TopKSPPJP(db, query), BruteForceTopK(db, query)));
+}
+
+
+TEST_P(TopKAlgorithmsTest, VariantDMatchesBruteForce) {
+  const ObjectDatabase db = MakeDb();
+  const TopKQuery query = MakeQuery();
+  const auto expected = BruteForceTopK(db, query);
+  for (const int fanout : {8, 32, 128}) {
+    EXPECT_TRUE(SameResults(TopKSPPJD(db, query, fanout), expected))
+        << "fanout=" << fanout;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, TopKAlgorithmsTest,
+    ::testing::Values(TopKParam{0.1, 0.3, 1, 1}, TopKParam{0.1, 0.3, 5, 2},
+                      TopKParam{0.1, 0.3, 10, 3},
+                      TopKParam{0.05, 0.5, 25, 4},
+                      TopKParam{0.2, 0.25, 50, 5},
+                      TopKParam{0.05, 0.4, 200, 6},  // k > #positive pairs
+                      TopKParam{0.15, 0.6, 8, 7}));
+
+TEST(TopKTest, ResultsAreSortedBestFirst) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const TopKQuery query{0.1, 0.3, 20};
+  for (const auto variant :
+       {TopKVariant::kF, TopKVariant::kS, TopKVariant::kP}) {
+    const auto result = TopKSTPSJoin(db, query, variant);
+    for (size_t i = 1; i < result.size(); ++i) {
+      EXPECT_TRUE(TopKBetter(result[i - 1], result[i]));
+    }
+  }
+}
+
+TEST(TopKTest, KOneFindsTheGlobalBestPair) {
+  RandomDbSpec spec;
+  spec.seed = 99;
+  const ObjectDatabase db = BuildRandomDatabase(spec);
+  const TopKQuery query{0.1, 0.3, 1};
+  const auto expected = BruteForceTopK(db, query);
+  ASSERT_EQ(expected.size(), 1u);
+  EXPECT_TRUE(SameResults(TopKSPPJF(db, query), expected));
+  EXPECT_TRUE(SameResults(TopKSPPJP(db, query), expected));
+}
+
+TEST(TopKTest, UmbrellaDispatch) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const TopKQuery query{0.1, 0.3, 7};
+  const auto expected = BruteForceTopK(db, query);
+  for (const auto algorithm :
+       {TopKAlgorithm::kBruteForce, TopKAlgorithm::kF, TopKAlgorithm::kS,
+        TopKAlgorithm::kP}) {
+    EXPECT_TRUE(SameResults(RunTopKSTPSJoin(db, query, algorithm), expected))
+        << TopKAlgorithmName(algorithm);
+  }
+}
+
+TEST(TopKTest, ScoresNeverExceedThoseOfSmallerK) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const auto top5 = TopKSPPJP(db, {0.1, 0.3, 5});
+  const auto top10 = TopKSPPJP(db, {0.1, 0.3, 10});
+  ASSERT_LE(top5.size(), top10.size());
+  for (size_t i = 0; i < top5.size(); ++i) {
+    EXPECT_EQ(top5[i].a, top10[i].a);
+    EXPECT_EQ(top5[i].b, top10[i].b);
+  }
+}
+
+}  // namespace
+}  // namespace stps

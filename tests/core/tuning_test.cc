@@ -1,0 +1,144 @@
+#include "core/tuning.h"
+
+#include <gtest/gtest.h>
+
+#include "core/ppjb.h"
+#include "core/similarity.h"
+#include "test_util.h"
+
+namespace stps {
+namespace {
+
+using testing_util::BuildRandomDatabase;
+using testing_util::RandomDbSpec;
+
+ObjectDatabase DenseDb(uint64_t seed) {
+  RandomDbSpec spec;
+  spec.seed = seed;
+  spec.num_users = 40;
+  spec.hotspot_probability = 0.9;  // lots of matches at relaxed thresholds
+  spec.vocabulary = 15;
+  return BuildRandomDatabase(spec);
+}
+
+TEST(TuningTest, ConvergesToTargetSize) {
+  const ObjectDatabase db = DenseDb(1);
+  TuningOptions options;
+  options.initial = {0.2, 0.1, 0.05};  // relaxed
+  options.target_size = 5;
+  const TuningResult result = TuneThresholds(db, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.result.size(), 0u);
+  EXPECT_LE(result.result.size(), 5u);
+  EXPECT_GT(result.iterations, 0u);
+}
+
+TEST(TuningTest, FinalPairsSatisfyFinalThresholds) {
+  const ObjectDatabase db = DenseDb(2);
+  TuningOptions options;
+  options.initial = {0.2, 0.1, 0.05};
+  options.target_size = 8;
+  const TuningResult result = TuneThresholds(db, options);
+  ASSERT_TRUE(result.converged);
+  const MatchThresholds t{result.thresholds.eps_loc,
+                          result.thresholds.eps_doc};
+  // Every reported pair must reach eps_u at the discovered thresholds —
+  // and its score must be the exact sigma.
+  for (const ScoredUserPair& pair : result.result) {
+    const double sigma =
+        ExactSigma(db.UserObjects(pair.a), db.UserObjects(pair.b), t);
+    EXPECT_GE(sigma, result.thresholds.eps_u);
+    EXPECT_DOUBLE_EQ(sigma, pair.score);
+  }
+  // And the full join at the discovered thresholds returns exactly the
+  // reported result-set size (the search never drops qualifying pairs
+  // because tightening is monotone).
+  const auto full = BruteForceSTPSJoin(db, result.thresholds);
+  EXPECT_EQ(full.size(), result.result.size());
+}
+
+TEST(TuningTest, AlreadySmallResultReturnsImmediately) {
+  const ObjectDatabase db = DenseDb(3);
+  TuningOptions options;
+  options.initial = {0.01, 0.9, 0.9};  // strict: tiny result
+  options.target_size = 50;
+  const TuningResult result = TuneThresholds(db, options);
+  EXPECT_EQ(result.iterations, 0u);
+  EXPECT_EQ(result.thresholds.eps_loc, options.initial.eps_loc);
+}
+
+TEST(TuningTest, DeterministicStrategyAlsoConverges) {
+  const ObjectDatabase db = DenseDb(4);
+  TuningOptions options;
+  options.initial = {0.2, 0.1, 0.05};
+  options.target_size = 6;
+  options.probabilistic = false;
+  const TuningResult result = TuneThresholds(db, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_LE(result.result.size(), 6u);
+  EXPECT_GT(result.result.size(), 0u);
+}
+
+TEST(TuningTest, SameSeedIsReproducible) {
+  const ObjectDatabase db = DenseDb(5);
+  TuningOptions options;
+  options.initial = {0.2, 0.1, 0.05};
+  options.target_size = 5;
+  options.seed = 123;
+  const TuningResult a = TuneThresholds(db, options);
+  const TuningResult b = TuneThresholds(db, options);
+  EXPECT_EQ(a.iterations, b.iterations);
+  EXPECT_EQ(a.result.size(), b.result.size());
+  EXPECT_DOUBLE_EQ(a.thresholds.eps_loc, b.thresholds.eps_loc);
+  EXPECT_DOUBLE_EQ(a.thresholds.eps_doc, b.thresholds.eps_doc);
+  EXPECT_DOUBLE_EQ(a.thresholds.eps_u, b.thresholds.eps_u);
+}
+
+
+TEST(TuningTest, BacktracksInsteadOfDying) {
+  // A database where tightening eps_doc immediately empties the result:
+  // all matching objects share exactly half their tokens (J = 1/3), so
+  // any eps_doc above 1/3 kills every pair, while eps_loc and eps_u
+  // steps shrink the result gracefully. The DFS must route around the
+  // dead parameter.
+  DatabaseBuilder builder;
+  for (int u = 0; u < 12; ++u) {
+    const std::string name = "u" + std::to_string(u);
+    for (int i = 0; i < 3; ++i) {
+      const std::vector<std::string> kws = {"shared",
+                                            "own" + std::to_string(u)};
+      // Users pair up; the first two pairs sit very close (0.002), the
+      // rest at 0.02, so the descending eps_loc ladder (0.05 - k*0.0125)
+      // can isolate exactly two pairs at eps_loc = 0.0125.
+      const double gap = (u / 2) < 2 ? 0.002 : 0.02;
+      const double x = 0.1 * (u / 2) + (u % 2) * gap;
+      builder.AddObject(name, Point{x, 0.01 * i},
+                        std::span<const std::string>(kws));
+    }
+  }
+  const ObjectDatabase db = std::move(builder).Build();
+  TuningOptions options;
+  options.initial = {0.05, 1.0 / 3 - 0.01, 0.2};
+  options.target_size = 2;
+  options.step_fraction = 0.25;
+  options.seed = 5;
+  const TuningResult result = TuneThresholds(db, options);
+  EXPECT_TRUE(result.converged);
+  EXPECT_GT(result.result.size(), 0u);
+  EXPECT_LE(result.result.size(), 2u);
+  // eps_doc can never have been tightened (any step crosses 1/3).
+  EXPECT_LT(result.thresholds.eps_doc, 1.0 / 3);
+}
+
+TEST(TuningTest, MaxIterationsBoundsTheSearch) {
+  const ObjectDatabase db = DenseDb(9);
+  TuningOptions options;
+  options.initial = {0.2, 0.1, 0.05};
+  options.target_size = 1;  // very hard target
+  options.max_iterations = 3;
+  const TuningResult result = TuneThresholds(db, options);
+  EXPECT_LE(result.iterations, 3u);
+}
+
+}  // namespace
+}  // namespace stps

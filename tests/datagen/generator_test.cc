@@ -1,0 +1,157 @@
+#include "datagen/generator.h"
+
+#include <gtest/gtest.h>
+
+#include "datagen/dataset_stats.h"
+#include "core/similarity.h"
+#include "datagen/presets.h"
+
+namespace stps {
+namespace {
+
+TEST(GeneratorTest, ProducesRequestedUserCount) {
+  DatasetSpec spec;
+  spec.num_users = 50;
+  spec.objects_per_user_mean = 10;
+  spec.objects_per_user_stddev = 5;
+  const ObjectDatabase db = GenerateDataset(spec);
+  EXPECT_EQ(db.num_users(), 50u);
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    EXPECT_GE(db.UserObjectCount(u), spec.min_objects_per_user);
+  }
+}
+
+TEST(GeneratorTest, DeterministicForEqualSeeds) {
+  DatasetSpec spec;
+  spec.num_users = 30;
+  spec.seed = 77;
+  const ObjectDatabase a = GenerateDataset(spec);
+  const ObjectDatabase b = GenerateDataset(spec);
+  ASSERT_EQ(a.num_objects(), b.num_objects());
+  for (ObjectId i = 0; i < a.num_objects(); ++i) {
+    EXPECT_EQ(a.object(i).loc, b.object(i).loc);
+    EXPECT_EQ(a.object(i).doc, b.object(i).doc);
+    EXPECT_EQ(a.object(i).user, b.object(i).user);
+  }
+}
+
+TEST(GeneratorTest, DifferentSeedsDiffer) {
+  DatasetSpec spec;
+  spec.num_users = 30;
+  spec.seed = 1;
+  const ObjectDatabase a = GenerateDataset(spec);
+  spec.seed = 2;
+  const ObjectDatabase b = GenerateDataset(spec);
+  // Same structure, different content.
+  EXPECT_EQ(a.num_users(), b.num_users());
+  bool any_difference = a.num_objects() != b.num_objects();
+  if (!any_difference) {
+    for (ObjectId i = 0; i < a.num_objects() && !any_difference; ++i) {
+      any_difference = !(a.object(i).loc == b.object(i).loc);
+    }
+  }
+  EXPECT_TRUE(any_difference);
+}
+
+TEST(GeneratorTest, ObjectsStayInsideExtent) {
+  DatasetSpec spec;
+  spec.num_users = 40;
+  spec.extent = {10, 20, 12, 23};
+  const ObjectDatabase db = GenerateDataset(spec);
+  for (const STObject& o : db.AllObjects()) {
+    EXPECT_TRUE(spec.extent.Contains(o.loc));
+  }
+}
+
+TEST(GeneratorTest, EveryObjectHasTokens) {
+  const DatasetSpec spec = PresetSpec(DatasetKind::kGeoTextLike, 60, 5);
+  const ObjectDatabase db = GenerateDataset(spec);
+  for (const STObject& o : db.AllObjects()) {
+    EXPECT_GE(o.doc.size(), 1u);
+  }
+}
+
+class PresetCalibrationTest : public ::testing::TestWithParam<DatasetKind> {
+};
+
+TEST_P(PresetCalibrationTest, StatsLandNearTable1Targets) {
+  const DatasetKind kind = GetParam();
+  const DatasetSpec spec = PresetSpec(kind, 300, 11);
+  const ObjectDatabase db = GenerateDataset(spec);
+  const DatasetStats stats = ComputeDatasetStats(db);
+  // Objects-per-user tracks the spec within 40% (heavy-tailed sampling on
+  // a small instance; the max-cap also trims the mean).
+  EXPECT_NEAR(stats.objects_per_user_mean, spec.objects_per_user_mean,
+              spec.objects_per_user_mean * 0.4)
+      << DatasetKindName(kind);
+  // Tokens-per-object lands within 35% of the target (within-object
+  // duplicate collapsing biases it down for token-rich datasets).
+  EXPECT_NEAR(stats.tokens_per_object_mean, spec.tokens_per_object_mean,
+              spec.tokens_per_object_mean * 0.35)
+      << DatasetKindName(kind);
+  // Regime ordering sanity rather than absolute calibration.
+  EXPECT_GT(stats.num_distinct_tokens, 100u);
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, PresetCalibrationTest,
+                         ::testing::Values(DatasetKind::kFlickrLike,
+                                           DatasetKind::kTwitterLike,
+                                           DatasetKind::kGeoTextLike));
+
+TEST(PresetTest, RegimesAreOrderedAsInTable1) {
+  const ObjectDatabase flickr =
+      GenerateDataset(PresetSpec(DatasetKind::kFlickrLike, 200, 3));
+  const ObjectDatabase twitter =
+      GenerateDataset(PresetSpec(DatasetKind::kTwitterLike, 200, 3));
+  const ObjectDatabase geotext =
+      GenerateDataset(PresetSpec(DatasetKind::kGeoTextLike, 200, 3));
+  const DatasetStats fs = ComputeDatasetStats(flickr);
+  const DatasetStats ts = ComputeDatasetStats(twitter);
+  const DatasetStats gs = ComputeDatasetStats(geotext);
+  // Tokens per object: Flickr >> Twitter > GeoText.
+  EXPECT_GT(fs.tokens_per_object_mean, ts.tokens_per_object_mean);
+  EXPECT_GT(ts.tokens_per_object_mean, gs.tokens_per_object_mean);
+  // Objects per user: Twitter > Flickr > GeoText.
+  EXPECT_GT(ts.objects_per_user_mean, fs.objects_per_user_mean);
+  EXPECT_GT(fs.objects_per_user_mean, gs.objects_per_user_mean);
+}
+
+TEST(PresetTest, DefaultQueriesMatchPaperDefaults) {
+  EXPECT_DOUBLE_EQ(DefaultQuery(DatasetKind::kFlickrLike).eps_doc, 0.6);
+  EXPECT_DOUBLE_EQ(DefaultQuery(DatasetKind::kTwitterLike).eps_doc, 0.4);
+  EXPECT_DOUBLE_EQ(DefaultQuery(DatasetKind::kGeoTextLike).eps_doc, 0.3);
+  for (const DatasetKind kind :
+       {DatasetKind::kFlickrLike, DatasetKind::kTwitterLike,
+        DatasetKind::kGeoTextLike}) {
+    EXPECT_DOUBLE_EQ(DefaultQuery(kind).eps_loc, 0.001);
+  }
+}
+
+
+TEST(GeneratorTest, TwinUsersProduceHighSigmaPairs) {
+  // The twin mechanism is what gives synthetic corpora result pairs at
+  // the paper's strict thresholds; verify twins actually reach them.
+  DatasetSpec spec = PresetSpec(DatasetKind::kTwitterLike, 120, 41);
+  spec.twin_fraction = 0.5;  // force many twins
+  spec.max_objects_per_user = 40;
+  const ObjectDatabase db = GenerateDataset(spec);
+  const STPSQuery query = DefaultQuery(DatasetKind::kTwitterLike);
+  const auto result = BruteForceSTPSJoin(db, query);
+  EXPECT_GT(result.size(), 10u);
+  for (const ScoredUserPair& pair : result) {
+    EXPECT_GE(pair.score, query.eps_u);
+  }
+}
+
+TEST(GeneratorTest, ZeroTwinFractionYieldsNoCopies) {
+  DatasetSpec spec = PresetSpec(DatasetKind::kTwitterLike, 60, 43);
+  spec.twin_fraction = 0.0;
+  const ObjectDatabase db = GenerateDataset(spec);
+  // Without twins the strict default thresholds find (almost) nothing.
+  const auto result =
+      BruteForceSTPSJoin(db, DefaultQuery(DatasetKind::kTwitterLike));
+  EXPECT_LE(result.size(), 1u);
+}
+
+}  // namespace
+}  // namespace stps

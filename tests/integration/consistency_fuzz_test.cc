@@ -1,0 +1,94 @@
+// Randomised cross-algorithm consistency: many random databases and
+// random queries, every STPSJoin algorithm and every top-k variant must
+// produce identical results. This is the broadest net in the suite — any
+// unsound pruning bound, traversal gap, or duplicate join shows up here.
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "core/sppj_d.h"
+#include "core/stpsjoin.h"
+#include "test_util.h"
+
+namespace stps {
+namespace {
+
+using testing_util::BuildRandomDatabase;
+using testing_util::RandomDbSpec;
+using testing_util::SameResults;
+
+class ConsistencyFuzzTest : public ::testing::TestWithParam<uint64_t> {};
+
+TEST_P(ConsistencyFuzzTest, AllJoinAlgorithmsAgreeOnRandomConfigs) {
+  Rng rng(GetParam());
+  for (int round = 0; round < 6; ++round) {
+    RandomDbSpec spec;
+    spec.seed = rng.Next();
+    spec.num_users = 15 + rng.NextBelow(25);
+    spec.vocabulary = 10 + rng.NextBelow(30);
+    spec.num_hotspots = 2 + rng.NextBelow(8);
+    spec.hotspot_sigma = rng.Uniform(0.01, 0.08);
+    spec.hotspot_probability = rng.Uniform(0.4, 0.95);
+    const ObjectDatabase db = BuildRandomDatabase(spec);
+    STPSQuery query;
+    query.eps_loc = rng.Uniform(0.01, 0.3);
+    query.eps_doc = rng.Uniform(0.1, 0.9);
+    query.eps_u = rng.Uniform(0.05, 0.8);
+    // Half of the rounds also exercise the temporal extension (all
+    // generated timestamps are 0, so pick eps_time around that — either
+    // permissive or prohibitive).
+    if (rng.Bernoulli(0.3)) query.eps_time = rng.Uniform(0.0, 2.0);
+    const auto expected = BruteForceSTPSJoin(db, query);
+    for (const JoinAlgorithm algorithm :
+         {JoinAlgorithm::kSPPJC, JoinAlgorithm::kSPPJB,
+          JoinAlgorithm::kSPPJF, JoinAlgorithm::kSPPJD}) {
+      JoinOptions options;
+      options.algorithm = algorithm;
+      options.rtree_fanout = 2 + static_cast<int>(rng.NextBelow(60));
+      // The umbrella always uses the R-tree; additionally exercise the
+      // quadtree backend of S-PPJ-D directly.
+      if (algorithm == JoinAlgorithm::kSPPJD) {
+        SPPJDOptions d_options;
+        d_options.fanout = options.rtree_fanout;
+        d_options.partitioning = PartitioningScheme::kQuadTree;
+        ASSERT_TRUE(SameResults(SPPJD(db, query, d_options), expected))
+            << "quadtree backend, seed=" << spec.seed;
+      }
+      ASSERT_TRUE(SameResults(RunSTPSJoin(db, query, options), expected))
+          << JoinAlgorithmName(algorithm) << " seed=" << spec.seed
+          << " eps_loc=" << query.eps_loc << " eps_doc=" << query.eps_doc
+          << " eps_u=" << query.eps_u
+          << " fanout=" << options.rtree_fanout;
+    }
+  }
+}
+
+TEST_P(ConsistencyFuzzTest, AllTopKVariantsAgreeOnRandomConfigs) {
+  Rng rng(GetParam() + 9999);
+  for (int round = 0; round < 6; ++round) {
+    RandomDbSpec spec;
+    spec.seed = rng.Next();
+    spec.num_users = 15 + rng.NextBelow(25);
+    spec.vocabulary = 10 + rng.NextBelow(30);
+    const ObjectDatabase db = BuildRandomDatabase(spec);
+    TopKQuery query;
+    query.eps_loc = rng.Uniform(0.01, 0.3);
+    query.eps_doc = rng.Uniform(0.1, 0.9);
+    query.k = 1 + rng.NextBelow(30);
+    const auto expected = BruteForceTopK(db, query);
+    for (const TopKAlgorithm algorithm :
+         {TopKAlgorithm::kF, TopKAlgorithm::kS, TopKAlgorithm::kP}) {
+      ASSERT_TRUE(
+          SameResults(RunTopKSTPSJoin(db, query, algorithm), expected))
+          << TopKAlgorithmName(algorithm) << " seed=" << spec.seed
+          << " k=" << query.k << " eps_loc=" << query.eps_loc
+          << " eps_doc=" << query.eps_doc;
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Seeds, ConsistencyFuzzTest,
+                         ::testing::Values(11, 22, 33, 44, 55, 66, 77, 88));
+
+}  // namespace
+}  // namespace stps

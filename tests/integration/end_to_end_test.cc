@@ -1,0 +1,112 @@
+// End-to-end integration: generate a synthetic dataset, persist it, load
+// it back, and verify that all join algorithms and top-k variants agree
+// with each other and with the brute-force reference on the loaded data.
+
+#include <cstdio>
+#include <string>
+
+#include <gtest/gtest.h>
+
+#include "core/stpsjoin.h"
+#include "core/tuning.h"
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "io/tsv.h"
+#include "test_util.h"
+
+namespace stps {
+namespace {
+
+using testing_util::SameResults;
+
+class EndToEndTest : public ::testing::TestWithParam<DatasetKind> {};
+
+TEST_P(EndToEndTest, GenerateSaveLoadJoin) {
+  const DatasetKind kind = GetParam();
+  // Small instance so the brute-force reference stays fast.
+  DatasetSpec spec = PresetSpec(kind, 40, 99);
+  spec.max_objects_per_user = 60;
+  const ObjectDatabase generated = GenerateDataset(spec);
+
+  const std::string path = std::string(::testing::TempDir()) + "/e2e_" +
+                           DatasetKindName(kind) + ".tsv";
+  ASSERT_TRUE(WriteTsv(generated, path).ok());
+  Result<ObjectDatabase> loaded = ReadTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ObjectDatabase& db = loaded.value();
+  ASSERT_EQ(db.num_objects(), generated.num_objects());
+
+  // Use relaxed variants of the paper's default thresholds so the small
+  // instance produces a non-trivial result set.
+  STPSQuery query = DefaultQuery(kind);
+  query.eps_loc *= 10;
+  query.eps_doc *= 0.5;
+  query.eps_u = 0.05;
+
+  const auto expected = BruteForceSTPSJoin(db, query);
+  for (const JoinAlgorithm algorithm :
+       {JoinAlgorithm::kSPPJC, JoinAlgorithm::kSPPJB, JoinAlgorithm::kSPPJF,
+        JoinAlgorithm::kSPPJD}) {
+    JoinOptions options;
+    options.algorithm = algorithm;
+    options.rtree_fanout = 32;
+    EXPECT_TRUE(SameResults(RunSTPSJoin(db, query, options), expected))
+        << DatasetKindName(kind) << " / " << JoinAlgorithmName(algorithm);
+  }
+
+  const TopKQuery topk{query.eps_loc, query.eps_doc, 10};
+  const auto expected_topk = BruteForceTopK(db, topk);
+  for (const TopKAlgorithm algorithm :
+       {TopKAlgorithm::kF, TopKAlgorithm::kS, TopKAlgorithm::kP}) {
+    EXPECT_TRUE(
+        SameResults(RunTopKSTPSJoin(db, topk, algorithm), expected_topk))
+        << DatasetKindName(kind) << " / " << TopKAlgorithmName(algorithm);
+  }
+  std::remove(path.c_str());
+}
+
+INSTANTIATE_TEST_SUITE_P(AllPresets, EndToEndTest,
+                         ::testing::Values(DatasetKind::kFlickrLike,
+                                           DatasetKind::kTwitterLike,
+                                           DatasetKind::kGeoTextLike));
+
+TEST(EndToEndTest, TopKThresholdConsistency) {
+  // The k-th top-k score, used as a threshold join, returns at least k
+  // pairs — the two query types are mutually consistent.
+  const DatasetSpec spec = PresetSpec(DatasetKind::kTwitterLike, 30, 5);
+  const ObjectDatabase db = GenerateDataset(spec);
+  const TopKQuery topk{0.01, 0.2, 5};
+  const auto top = RunTopKSTPSJoin(db, topk, TopKAlgorithm::kP);
+  if (top.size() == 5) {
+    STPSQuery query{topk.eps_loc, topk.eps_doc, top.back().score};
+    const auto joined = RunSTPSJoin(db, query);
+    EXPECT_GE(joined.size(), top.size());
+    // The top pairs are all contained in the threshold join result.
+    for (const auto& pair : top) {
+      bool found = false;
+      for (const auto& j : joined) {
+        if (j.a == pair.a && j.b == pair.b) {
+          found = true;
+          break;
+        }
+      }
+      EXPECT_TRUE(found);
+    }
+  }
+}
+
+TEST(EndToEndTest, TuningOnGeneratedData) {
+  const DatasetSpec spec = PresetSpec(DatasetKind::kFlickrLike, 30, 13);
+  const ObjectDatabase db = GenerateDataset(spec);
+  TuningOptions options;
+  options.initial = {0.02, 0.1, 0.02};
+  options.target_size = 10;
+  const TuningResult result = TuneThresholds(db, options);
+  if (result.converged) {
+    EXPECT_GT(result.result.size(), 0u);
+    EXPECT_LE(result.result.size(), 10u);
+  }
+}
+
+}  // namespace
+}  // namespace stps

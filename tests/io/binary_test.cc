@@ -1,0 +1,145 @@
+#include "io/binary.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "test_util.h"
+
+namespace stps {
+namespace {
+
+using testing_util::BuildRandomDatabase;
+using testing_util::RandomDbSpec;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+void ExpectSameDatabases(const ObjectDatabase& a, const ObjectDatabase& b) {
+  ASSERT_EQ(a.num_users(), b.num_users());
+  ASSERT_EQ(a.num_objects(), b.num_objects());
+  for (UserId u = 0; u < a.num_users(); ++u) {
+    EXPECT_EQ(a.UserName(u), b.UserName(u));
+    const auto oa = a.UserObjects(u);
+    const auto ob = b.UserObjects(u);
+    ASSERT_EQ(oa.size(), ob.size());
+    for (size_t i = 0; i < oa.size(); ++i) {
+      EXPECT_EQ(oa[i].loc, ob[i].loc);
+      EXPECT_DOUBLE_EQ(oa[i].time, ob[i].time);
+      std::vector<std::string> sa, sb;
+      for (const TokenId t : oa[i].doc) {
+        sa.push_back(a.dictionary().TokenString(t));
+      }
+      for (const TokenId t : ob[i].doc) {
+        sb.push_back(b.dictionary().TokenString(t));
+      }
+      std::sort(sa.begin(), sa.end());
+      std::sort(sb.begin(), sb.end());
+      EXPECT_EQ(sa, sb);
+    }
+  }
+}
+
+TEST(BinaryIoTest, RoundTripRandomDatabase) {
+  const ObjectDatabase original = BuildRandomDatabase(RandomDbSpec{});
+  const std::string path = TempPath("roundtrip.stpsdb");
+  ASSERT_TRUE(WriteBinary(original, path).ok());
+  Result<ObjectDatabase> loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameDatabases(original, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTripGeneratedDatasetWithTimestamps) {
+  const ObjectDatabase original =
+      GenerateDataset(PresetSpec(DatasetKind::kGeoTextLike, 40, 3));
+  const std::string path = TempPath("geotext.stpsdb");
+  ASSERT_TRUE(WriteBinary(original, path).ok());
+  Result<ObjectDatabase> loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameDatabases(original, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTripEmptyDatabase) {
+  DatabaseBuilder builder;
+  const ObjectDatabase original = std::move(builder).Build();
+  const std::string path = TempPath("empty.stpsdb");
+  ASSERT_TRUE(WriteBinary(original, path).ok());
+  Result<ObjectDatabase> loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  EXPECT_EQ(loaded.value().num_objects(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MissingFileFails) {
+  const Result<ObjectDatabase> r = ReadBinary("/nonexistent/x.stpsdb");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(BinaryIoTest, RejectsWrongMagic) {
+  const std::string path = TempPath("notadb.bin");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "definitely not a snapshot";
+  }
+  const Result<ObjectDatabase> r = ReadBinary(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, DetectsTruncation) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const std::string path = TempPath("trunc.stpsdb");
+  ASSERT_TRUE(WriteBinary(db, path).ok());
+  // Chop the file at several points; every prefix must be rejected.
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  for (const double fraction : {0.05, 0.3, 0.7, 0.99}) {
+    const std::string cut = TempPath("cut.stpsdb");
+    {
+      std::ofstream out(cut, std::ios::binary);
+      out.write(bytes.data(),
+                static_cast<std::streamsize>(bytes.size() * fraction));
+    }
+    const Result<ObjectDatabase> r = ReadBinary(cut);
+    EXPECT_FALSE(r.ok()) << "fraction " << fraction;
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+    std::remove(cut.c_str());
+  }
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, DetectsBitFlips) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const std::string path = TempPath("flip.stpsdb");
+  ASSERT_TRUE(WriteBinary(db, path).ok());
+  std::ifstream in(path, std::ios::binary);
+  std::string bytes((std::istreambuf_iterator<char>(in)),
+                    std::istreambuf_iterator<char>());
+  in.close();
+  // Flip one byte deep in the payload (past header and dictionary).
+  const size_t position = bytes.size() * 3 / 4;
+  bytes[position] = static_cast<char>(bytes[position] ^ 0x5A);
+  {
+    std::ofstream out(path, std::ios::binary | std::ios::trunc);
+    out.write(bytes.data(), static_cast<std::streamsize>(bytes.size()));
+  }
+  const Result<ObjectDatabase> r = ReadBinary(path);
+  EXPECT_FALSE(r.ok());
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace stps

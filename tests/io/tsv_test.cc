@@ -1,0 +1,108 @@
+#include "io/tsv.h"
+
+#include <algorithm>
+#include <cstdio>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "test_util.h"
+
+namespace stps {
+namespace {
+
+using testing_util::BuildRandomDatabase;
+using testing_util::RandomDbSpec;
+
+std::string TempPath(const char* name) {
+  return std::string(::testing::TempDir()) + "/" + name;
+}
+
+TEST(TsvTest, RoundTripPreservesEverything) {
+  const ObjectDatabase original = BuildRandomDatabase(RandomDbSpec{});
+  const std::string path = TempPath("roundtrip.tsv");
+  ASSERT_TRUE(WriteTsv(original, path).ok());
+  Result<ObjectDatabase> loaded = ReadTsv(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  const ObjectDatabase& db = loaded.value();
+  ASSERT_EQ(db.num_users(), original.num_users());
+  ASSERT_EQ(db.num_objects(), original.num_objects());
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    EXPECT_EQ(db.UserName(u), original.UserName(u));
+    const auto a = original.UserObjects(u);
+    const auto b = db.UserObjects(u);
+    ASSERT_EQ(a.size(), b.size());
+    for (size_t i = 0; i < a.size(); ++i) {
+      EXPECT_EQ(a[i].loc, b[i].loc);
+      // Token ids may differ across databases; compare keyword strings.
+      ASSERT_EQ(a[i].doc.size(), b[i].doc.size());
+      std::vector<std::string> sa, sb;
+      for (const TokenId t : a[i].doc) {
+        sa.push_back(original.dictionary().TokenString(t));
+      }
+      for (const TokenId t : b[i].doc) {
+        sb.push_back(db.dictionary().TokenString(t));
+      }
+      std::sort(sa.begin(), sa.end());
+      std::sort(sb.begin(), sb.end());
+      EXPECT_EQ(sa, sb);
+    }
+  }
+  std::remove(path.c_str());
+}
+
+TEST(TsvTest, ReadMissingFileFails) {
+  const Result<ObjectDatabase> r = ReadTsv("/nonexistent/dir/file.tsv");
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kIOError);
+}
+
+TEST(TsvTest, WriteToUnwritablePathFails) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  EXPECT_FALSE(WriteTsv(db, "/nonexistent/dir/file.tsv").ok());
+}
+
+TEST(TsvTest, RejectsMalformedLines) {
+  const std::string path = TempPath("malformed.tsv");
+  {
+    std::ofstream out(path);
+    out << "useronly\n";
+  }
+  const Result<ObjectDatabase> r = ReadTsv(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TsvTest, RejectsBadCoordinates) {
+  const std::string path = TempPath("badcoord.tsv");
+  {
+    std::ofstream out(path);
+    out << "user\tnot_a_number\t2.0\ta,b\n";
+  }
+  const Result<ObjectDatabase> r = ReadTsv(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+TEST(TsvTest, SkipsCommentsAndBlankLines) {
+  const std::string path = TempPath("comments.tsv");
+  {
+    std::ofstream out(path);
+    out << "# header comment\n";
+    out << "\n";
+    out << "alice\t1.5\t2.5\tcoffee,park\n";
+  }
+  const Result<ObjectDatabase> r = ReadTsv(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  EXPECT_EQ(r.value().num_objects(), 1u);
+  EXPECT_EQ(r.value().UserName(0), "alice");
+  EXPECT_EQ(r.value().object(0).doc.size(), 2u);
+  std::remove(path.c_str());
+}
+
+}  // namespace
+}  // namespace stps

@@ -1,0 +1,118 @@
+#include "query/ir_tree.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "text/token_set.h"
+
+namespace stps {
+namespace {
+
+using testing_util::BuildRandomDatabase;
+using testing_util::RandomDbSpec;
+
+TEST(TokenSignatureTest, NoFalseNegatives) {
+  TokenSignature sig;
+  for (TokenId t = 0; t < 200; t += 3) sig.Add(t);
+  for (TokenId t = 0; t < 200; t += 3) {
+    EXPECT_TRUE(sig.MightContain(t)) << t;
+  }
+}
+
+TEST(TokenSignatureTest, MostAbsentTokensAreRuledOut) {
+  TokenSignature sig;
+  for (TokenId t = 0; t < 30; ++t) sig.Add(t);
+  int false_positives = 0;
+  for (TokenId t = 1000; t < 2000; ++t) {
+    if (sig.MightContain(t)) ++false_positives;
+  }
+  // 60 bits set out of 512: the false-positive rate should be tiny.
+  EXPECT_LT(false_positives, 50);
+}
+
+TEST(TokenSignatureTest, MergeIsUnion) {
+  TokenSignature a, b;
+  a.Add(1);
+  b.Add(2);
+  a.Merge(b);
+  EXPECT_TRUE(a.MightContain(1));
+  EXPECT_TRUE(a.MightContain(2));
+}
+
+TEST(IRTreeTest, EmptyDatabase) {
+  DatabaseBuilder builder;
+  const ObjectDatabase db = std::move(builder).Build();
+  const IRTree tree(db);
+  EXPECT_EQ(tree.Height(), 0);
+  EXPECT_TRUE(tree.TopKRelevant({0, 0}, {}, 5, 0.5).empty());
+  EXPECT_TRUE(tree.BooleanRange({0, 0}, 1.0, {}).empty());
+}
+
+class IRTreeQueryTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(IRTreeQueryTest, TopKMatchesSpatialKeywordIndex) {
+  const double alpha = GetParam();
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const IRTree ir(db, 16);
+  const SpatialKeywordIndex reference(db);
+  Rng rng(88);
+  for (int q = 0; q < 20; ++q) {
+    const Point loc{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    TokenVector doc;
+    for (size_t i = 0; i < 1 + rng.NextBelow(4); ++i) {
+      doc.push_back(
+          static_cast<TokenId>(rng.NextBelow(db.dictionary().size())));
+    }
+    NormalizeTokenSet(&doc);
+    const size_t k = 1 + rng.NextBelow(10);
+    const auto expected = reference.TopKRelevant(loc, doc, k, alpha);
+    const auto actual = ir.TopKRelevant(loc, doc, k, alpha);
+    ASSERT_EQ(actual.size(), expected.size());
+    for (size_t i = 0; i < expected.size(); ++i) {
+      EXPECT_EQ(actual[i].id, expected[i].id) << "rank " << i;
+      EXPECT_NEAR(actual[i].score, expected[i].score, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, IRTreeQueryTest,
+                         ::testing::Values(0.0, 0.4, 0.7, 1.0));
+
+TEST(IRTreeTest, BooleanRangeMatchesBruteForce) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const IRTree tree(db, 12);
+  Rng rng(77);
+  for (int q = 0; q < 30; ++q) {
+    const Point center{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const double radius = rng.Uniform(0.05, 0.5);
+    TokenVector required;
+    for (size_t i = 0; i < rng.NextBelow(3); ++i) {
+      required.push_back(
+          static_cast<TokenId>(rng.NextBelow(db.dictionary().size())));
+    }
+    NormalizeTokenSet(&required);
+    std::vector<ObjectId> expected;
+    for (const STObject& o : db.AllObjects()) {
+      if (!WithinDistance(o.loc, center, radius)) continue;
+      if (OverlapSize(o.doc, required) != required.size()) continue;
+      expected.push_back(o.id);
+    }
+    EXPECT_EQ(tree.BooleanRange(center, radius, required), expected);
+  }
+}
+
+TEST(IRTreeTest, HeightGrowsWithData) {
+  RandomDbSpec spec;
+  spec.num_users = 60;
+  spec.min_objects = 10;
+  spec.max_objects = 20;
+  const ObjectDatabase db = BuildRandomDatabase(spec);
+  const IRTree tree(db, 8);
+  EXPECT_GE(tree.Height(), 3);  // ~900 objects at fanout 8
+}
+
+}  // namespace
+}  // namespace stps

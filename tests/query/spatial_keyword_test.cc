@@ -1,0 +1,120 @@
+#include "query/spatial_keyword.h"
+
+#include <algorithm>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "test_util.h"
+#include "text/token_set.h"
+
+namespace stps {
+namespace {
+
+using testing_util::BuildRandomDatabase;
+using testing_util::RandomDbSpec;
+
+TEST(BooleanRangeTest, MatchesBruteForce) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const SpatialKeywordIndex index(db);
+  Rng rng(99);
+  for (int q = 0; q < 40; ++q) {
+    const Point center{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    const double radius = rng.Uniform(0.02, 0.4);
+    TokenVector required;
+    // 0-2 random required tokens from the vocabulary.
+    const size_t count = rng.NextBelow(3);
+    for (size_t i = 0; i < count; ++i) {
+      required.push_back(
+          static_cast<TokenId>(rng.NextBelow(db.dictionary().size())));
+    }
+    NormalizeTokenSet(&required);
+    std::vector<ObjectId> expected;
+    for (const STObject& o : db.AllObjects()) {
+      if (!WithinDistance(o.loc, center, radius)) continue;
+      if (OverlapSize(o.doc, required) != required.size()) continue;
+      expected.push_back(o.id);
+    }
+    EXPECT_EQ(index.BooleanRange(center, radius, required), expected);
+  }
+}
+
+TEST(BooleanRangeTest, EmptyKeywordListIsPureRangeQuery) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const SpatialKeywordIndex index(db);
+  const Point center{0.5, 0.5};
+  const auto hits = index.BooleanRange(center, 0.3, {});
+  size_t expected = 0;
+  for (const STObject& o : db.AllObjects()) {
+    if (WithinDistance(o.loc, center, 0.3)) ++expected;
+  }
+  EXPECT_EQ(hits.size(), expected);
+}
+
+class TopKRelevantTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(TopKRelevantTest, MatchesBruteForceRanking) {
+  const double alpha = GetParam();
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const SpatialKeywordIndex index(db);
+  Rng rng(7);
+  for (int q = 0; q < 20; ++q) {
+    const Point loc{rng.Uniform(0, 1), rng.Uniform(0, 1)};
+    TokenVector doc;
+    for (size_t i = 0; i < 3; ++i) {
+      doc.push_back(
+          static_cast<TokenId>(rng.NextBelow(db.dictionary().size())));
+    }
+    NormalizeTokenSet(&doc);
+    const size_t k = 1 + rng.NextBelow(12);
+    // Brute-force reference under the same score/tie definition.
+    std::vector<SpatialKeywordIndex::ScoredObject> all;
+    for (const STObject& o : db.AllObjects()) {
+      const double spatial = 1.0 - Distance(o.loc, loc) / index.diagonal();
+      all.push_back(
+          {o.id, alpha * spatial + (1.0 - alpha) * Jaccard(doc, o.doc)});
+    }
+    std::sort(all.begin(), all.end(),
+              [](const auto& x, const auto& y) {
+                if (x.score != y.score) return x.score > y.score;
+                return x.id < y.id;
+              });
+    all.resize(std::min(all.size(), k));
+    const auto actual = index.TopKRelevant(loc, doc, k, alpha);
+    ASSERT_EQ(actual.size(), all.size()) << "alpha=" << alpha << " k=" << k;
+    for (size_t i = 0; i < all.size(); ++i) {
+      EXPECT_EQ(actual[i].id, all[i].id) << "rank " << i;
+      EXPECT_NEAR(actual[i].score, all[i].score, 1e-12);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Alphas, TopKRelevantTest,
+                         ::testing::Values(0.0, 0.3, 0.5, 0.8, 1.0));
+
+TEST(TopKRelevantTest, QueryPointOutsideBounds) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const SpatialKeywordIndex index(db);
+  // Far outside the data: the expanding ring must still reach everything.
+  const auto result = index.TopKRelevant({25.0, -25.0}, {}, 5, 1.0);
+  EXPECT_EQ(result.size(), 5u);
+  // Best object is the one closest to the query point.
+  double best = 1e18;
+  for (const STObject& o : db.AllObjects()) {
+    best = std::min(best, Distance(o.loc, {25.0, -25.0}));
+  }
+  EXPECT_NEAR(Distance(db.object(result[0].id).loc, {25.0, -25.0}), best,
+              1e-12);
+}
+
+TEST(TopKRelevantTest, KZeroAndKLargerThanDatabase) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const SpatialKeywordIndex index(db);
+  EXPECT_TRUE(index.TopKRelevant({0.5, 0.5}, {}, 0, 0.5).empty());
+  const auto all =
+      index.TopKRelevant({0.5, 0.5}, {}, db.num_objects() + 10, 0.5);
+  EXPECT_EQ(all.size(), db.num_objects());
+}
+
+}  // namespace
+}  // namespace stps

@@ -1,0 +1,129 @@
+#include "spatial/grid.h"
+
+#include <algorithm>
+#include <map>
+#include <set>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+namespace stps {
+namespace {
+
+TEST(GridGeometryTest, CellIdsAreRowMajorBottomUp) {
+  const GridGeometry grid({0, 0, 5, 4}, 1.0);
+  EXPECT_EQ(grid.columns(), 5);
+  EXPECT_EQ(grid.rows(), 4);
+  EXPECT_EQ(grid.CellOf({0.5, 0.5}), 0);
+  EXPECT_EQ(grid.CellOf({4.5, 0.5}), 4);
+  EXPECT_EQ(grid.CellOf({0.5, 1.5}), 5);
+  EXPECT_EQ(grid.CellOf({4.5, 3.5}), 19);
+}
+
+TEST(GridGeometryTest, PointsOnMaxBoundaryClampIntoGrid) {
+  const GridGeometry grid({0, 0, 5, 4}, 1.0);
+  EXPECT_EQ(grid.CellOf({5.0, 4.0}), 19);
+  EXPECT_EQ(grid.CellOf({0.0, 0.0}), 0);
+}
+
+TEST(GridGeometryTest, HugeSparseDomainsDoNotOverflow) {
+  // Country-scale extent with eps_loc cells: billions of cells.
+  const GridGeometry grid({-125, 25, -67, 49}, 0.001);
+  EXPECT_GT(grid.columns() * grid.rows(), 1000000000LL);
+  const CellId c = grid.CellOf({-100.0, 40.0});
+  EXPECT_GE(c, 0);
+  EXPECT_EQ(grid.RowOf(c) * grid.columns() + grid.ColumnOf(c), c);
+}
+
+TEST(GridGeometryTest, NeighborhoodInteriorHasNineCells) {
+  const GridGeometry grid({0, 0, 5, 5}, 1.0);
+  std::vector<CellId> n;
+  grid.AppendNeighborhood(grid.IdOf(2, 2), true, &n);
+  EXPECT_EQ(n.size(), 9u);
+  EXPECT_TRUE(std::is_sorted(n.begin(), n.end()));
+  grid.AppendNeighborhood(grid.IdOf(2, 2), false, &n);
+  EXPECT_EQ(n.size(), 9u + 8u);
+}
+
+TEST(GridGeometryTest, NeighborhoodClipsAtCorners) {
+  const GridGeometry grid({0, 0, 5, 5}, 1.0);
+  std::vector<CellId> n;
+  grid.AppendNeighborhood(grid.IdOf(0, 0), true, &n);
+  EXPECT_EQ(n.size(), 4u);
+  n.clear();
+  grid.AppendNeighborhood(grid.IdOf(4, 4), true, &n);
+  EXPECT_EQ(n.size(), 4u);
+}
+
+TEST(GridGeometryTest, LowerNeighborsMatchPPJCDefinition) {
+  const GridGeometry grid({0, 0, 5, 5}, 1.0);
+  std::vector<CellId> n;
+  grid.AppendLowerNeighbors(grid.IdOf(2, 2), &n);
+  // SW, S, SE, W.
+  const std::vector<CellId> expected = {grid.IdOf(1, 1), grid.IdOf(2, 1),
+                                        grid.IdOf(3, 1), grid.IdOf(1, 2)};
+  EXPECT_EQ(n, expected);
+  n.clear();
+  grid.AppendLowerNeighbors(grid.IdOf(0, 0), &n);
+  EXPECT_TRUE(n.empty());
+}
+
+// The central property behind PPJ-B's correctness: over a full traversal,
+// the odd/even row neighbourhoods enumerate every unordered pair of
+// adjacent cells (and every self pair) exactly once.
+TEST(GridGeometryTest, ParityTraversalCoversEachAdjacentPairExactlyOnce) {
+  const GridGeometry grid({0, 0, 7, 6}, 1.0);
+  std::map<std::pair<CellId, CellId>, int> covered;
+  std::vector<CellId> n;
+  for (int64_t row = 0; row < grid.rows(); ++row) {
+    const bool odd = (row % 2) == 0;  // paper rows are 1-based
+    for (int64_t col = 0; col < grid.columns(); ++col) {
+      const CellId c = grid.IdOf(col, row);
+      n.clear();
+      if (odd) {
+        grid.AppendOddRowNeighbors(c, &n);
+      } else {
+        grid.AppendEvenRowNeighbors(c, &n);
+      }
+      for (const CellId other : n) {
+        const auto key = std::minmax(c, other);
+        ++covered[{key.first, key.second}];
+      }
+    }
+  }
+  // Expect exactly the adjacency relation (incl. self loops), each once.
+  for (int64_t row = 0; row < grid.rows(); ++row) {
+    for (int64_t col = 0; col < grid.columns(); ++col) {
+      const CellId c = grid.IdOf(col, row);
+      std::vector<CellId> adjacent;
+      grid.AppendNeighborhood(c, true, &adjacent);
+      for (const CellId other : adjacent) {
+        if (other < c) continue;  // count each unordered pair once
+        const auto it = covered.find({c, other});
+        ASSERT_NE(it, covered.end())
+            << "pair (" << c << "," << other << ") never joined";
+        EXPECT_EQ(it->second, 1)
+            << "pair (" << c << "," << other << ") joined twice";
+        covered.erase(it);
+      }
+    }
+  }
+  EXPECT_TRUE(covered.empty()) << "non-adjacent pairs were joined";
+}
+
+TEST(GridGeometryTest, SingleRowAndSingleColumnGrids) {
+  const GridGeometry row_grid({0, 0, 10, 0.5}, 1.0);
+  EXPECT_EQ(row_grid.rows(), 1);
+  std::vector<CellId> n;
+  row_grid.AppendOddRowNeighbors(3, &n);
+  EXPECT_EQ(n, (std::vector<CellId>{2, 3}));  // W and self, no E
+
+  const GridGeometry col_grid({0, 0, 0.5, 10}, 1.0);
+  EXPECT_EQ(col_grid.columns(), 1);
+  n.clear();
+  col_grid.AppendEvenRowNeighbors(col_grid.IdOf(0, 1), &n);
+  EXPECT_EQ(n, (std::vector<CellId>{col_grid.IdOf(0, 1)}));  // self only
+}
+
+}  // namespace
+}  // namespace stps

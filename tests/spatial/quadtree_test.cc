@@ -1,0 +1,115 @@
+#include "spatial/quadtree.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stps {
+namespace {
+
+std::vector<QuadTree::Entry> RandomEntries(Rng& rng, size_t count) {
+  std::vector<QuadTree::Entry> entries(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    entries[i] = {{rng.Uniform(0, 100), rng.Uniform(0, 100)}, i};
+  }
+  return entries;
+}
+
+TEST(QuadTreeTest, EmptyTree) {
+  const QuadTree tree({0, 0, 1, 1}, 4);
+  EXPECT_EQ(tree.size(), 0u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<uint32_t> hits;
+  tree.RangeQuery({0, 0, 1, 1}, &hits);
+  EXPECT_TRUE(hits.empty());
+  EXPECT_TRUE(tree.CollectLeaves().empty());
+}
+
+class QuadTreeCapacityTest : public ::testing::TestWithParam<int> {};
+
+TEST_P(QuadTreeCapacityTest, BuildInvariantsAndRangeQueries) {
+  const int capacity = GetParam();
+  Rng rng(51);
+  const auto entries = RandomEntries(rng, 800);
+  const QuadTree tree = QuadTree::Build(entries, capacity);
+  EXPECT_EQ(tree.size(), entries.size());
+  EXPECT_TRUE(tree.CheckInvariants());
+  size_t total = 0;
+  for (const auto& leaf : tree.CollectLeaves()) {
+    EXPECT_FALSE(leaf.entries.empty());
+    EXPECT_TRUE(leaf.region.ContainsRect(leaf.mbr));
+    total += leaf.entries.size();
+  }
+  EXPECT_EQ(total, entries.size());
+  for (int q = 0; q < 40; ++q) {
+    const double x = rng.Uniform(0, 90), y = rng.Uniform(0, 90);
+    const Rect query{x, y, x + rng.Uniform(0, 25), y + rng.Uniform(0, 25)};
+    std::vector<uint32_t> hits;
+    tree.RangeQuery(query, &hits);
+    std::sort(hits.begin(), hits.end());
+    std::vector<uint32_t> expected;
+    for (const auto& e : entries) {
+      if (query.Contains(e.point)) expected.push_back(e.value);
+    }
+    EXPECT_EQ(hits, expected);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Capacities, QuadTreeCapacityTest,
+                         ::testing::Values(1, 4, 16, 64, 256));
+
+TEST(QuadTreeTest, DuplicatePointsStopSplittingAtMaxDepth) {
+  QuadTree tree({0, 0, 1, 1}, /*leaf_capacity=*/2, /*max_depth=*/6);
+  for (uint32_t i = 0; i < 50; ++i) {
+    tree.Insert({0.25, 0.25}, i);
+  }
+  EXPECT_EQ(tree.size(), 50u);
+  EXPECT_TRUE(tree.CheckInvariants());
+  std::vector<uint32_t> hits;
+  tree.RangeQuery({0.25, 0.25, 0.25, 0.25}, &hits);
+  EXPECT_EQ(hits.size(), 50u);
+}
+
+TEST(QuadTreeTest, OutOfBoundsPointsAreClampedNotLost) {
+  QuadTree tree({0, 0, 1, 1}, 4);
+  tree.Insert({5.0, -3.0}, 7);
+  EXPECT_EQ(tree.size(), 1u);
+  std::vector<uint32_t> hits;
+  tree.RangeQuery({0, 0, 1, 1}, &hits);
+  ASSERT_EQ(hits.size(), 1u);
+  EXPECT_EQ(hits[0], 7u);
+}
+
+TEST(QuadTreeTest, LeavesAreDisjointRegions) {
+  Rng rng(52);
+  const auto entries = RandomEntries(rng, 500);
+  const QuadTree tree = QuadTree::Build(entries, 16);
+  const auto leaves = tree.CollectLeaves();
+  for (uint32_t i = 0; i < leaves.size(); ++i) {
+    EXPECT_EQ(leaves[i].ordinal, i);
+    for (uint32_t j = i + 1; j < leaves.size(); ++j) {
+      // Quadrant interiors never overlap (boundaries may touch).
+      const Rect inter = leaves[i].region.Intersection(leaves[j].region);
+      if (!inter.IsEmpty()) {
+        EXPECT_DOUBLE_EQ(inter.Area(), 0.0)
+            << "leaves " << i << " and " << j << " overlap";
+      }
+    }
+  }
+}
+
+TEST(QuadTreeTest, CapacityOneDegeneratesGracefully) {
+  QuadTree tree({0, 0, 1, 1}, 1, /*max_depth=*/10);
+  Rng rng(53);
+  for (uint32_t i = 0; i < 100; ++i) {
+    tree.Insert({rng.NextDouble(), rng.NextDouble()}, i);
+  }
+  EXPECT_EQ(tree.size(), 100u);
+  EXPECT_TRUE(tree.CheckInvariants());
+}
+
+}  // namespace
+}  // namespace stps

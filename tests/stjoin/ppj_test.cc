@@ -1,0 +1,158 @@
+#include "stjoin/ppj.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "text/token_set.h"
+
+namespace stps {
+namespace {
+
+std::vector<STObject> RandomObjects(Rng& rng, size_t count, ObjectId base_id,
+                                    size_t vocabulary, double extent) {
+  std::vector<STObject> objects(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    STObject& o = objects[i];
+    o.id = base_id + i;
+    o.user = 0;
+    o.loc = {rng.Uniform(0, extent), rng.Uniform(0, extent)};
+    const size_t n = 1 + rng.NextBelow(5);
+    for (size_t k = 0; k < n; ++k) {
+      o.doc.push_back(static_cast<TokenId>(rng.NextBelow(vocabulary)));
+    }
+    NormalizeTokenSet(&o.doc);
+  }
+  return objects;
+}
+
+std::vector<const STObject*> Pointers(const std::vector<STObject>& objects) {
+  std::vector<const STObject*> ptrs;
+  for (const auto& o : objects) ptrs.push_back(&o);
+  return ptrs;
+}
+
+struct PPJParam {
+  double eps_loc;
+  double eps_doc;
+  size_t count;  // objects per side; large values exercise the index path
+};
+
+class PPJSweepTest : public ::testing::TestWithParam<PPJParam> {};
+
+TEST_P(PPJSweepTest, CrossPairsMatchBruteForce) {
+  const PPJParam p = GetParam();
+  const MatchThresholds t{p.eps_loc, p.eps_doc};
+  Rng rng(101);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto left = RandomObjects(rng, p.count, 0, 12, 1.0);
+    const auto right = RandomObjects(rng, p.count, 1000, 12, 1.0);
+    std::vector<std::pair<ObjectId, ObjectId>> expected;
+    for (const auto& a : left) {
+      for (const auto& b : right) {
+        if (ObjectsMatch(a, b, t)) expected.emplace_back(a.id, b.id);
+      }
+    }
+    const auto lp = Pointers(left);
+    const auto rp = Pointers(right);
+    auto actual = PPJCrossPairs(std::span<const STObject* const>(lp),
+                                std::span<const STObject* const>(rp), t);
+    std::sort(actual.begin(), actual.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST_P(PPJSweepTest, SelfPairsMatchBruteForce) {
+  const PPJParam p = GetParam();
+  const MatchThresholds t{p.eps_loc, p.eps_doc};
+  Rng rng(202);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto objects = RandomObjects(rng, p.count, 0, 12, 1.0);
+    std::vector<std::pair<ObjectId, ObjectId>> expected;
+    for (size_t i = 0; i < objects.size(); ++i) {
+      for (size_t j = i + 1; j < objects.size(); ++j) {
+        if (ObjectsMatch(objects[i], objects[j], t)) {
+          expected.emplace_back(objects[i].id, objects[j].id);
+        }
+      }
+    }
+    const auto ptrs = Pointers(objects);
+    auto actual =
+        PPJSelfPairs(std::span<const STObject* const>(ptrs), t);
+    std::sort(actual.begin(), actual.end());
+    std::sort(expected.begin(), expected.end());
+    EXPECT_EQ(actual, expected);
+  }
+}
+
+TEST_P(PPJSweepTest, MarkSetsExactlyTheMatchedFlags) {
+  const PPJParam p = GetParam();
+  const MatchThresholds t{p.eps_loc, p.eps_doc};
+  Rng rng(303);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto left = RandomObjects(rng, p.count, 0, 12, 1.0);
+    const auto right = RandomObjects(rng, p.count, 1000, 12, 1.0);
+    std::vector<ObjectRef> lrefs, rrefs;
+    for (uint32_t i = 0; i < left.size(); ++i) lrefs.push_back({&left[i], i});
+    for (uint32_t i = 0; i < right.size(); ++i) {
+      rrefs.push_back({&right[i], i});
+    }
+    std::vector<uint8_t> lm(left.size(), 0), rm(right.size(), 0);
+    const uint32_t newly =
+        PPJCrossMark(std::span<const ObjectRef>(lrefs),
+                     std::span<const ObjectRef>(rrefs), t, &lm, &rm);
+    // Expected flags by brute force.
+    std::vector<uint8_t> elm(left.size(), 0), erm(right.size(), 0);
+    for (uint32_t i = 0; i < left.size(); ++i) {
+      for (uint32_t j = 0; j < right.size(); ++j) {
+        if (ObjectsMatch(left[i], right[j], t)) {
+          elm[i] = 1;
+          erm[j] = 1;
+        }
+      }
+    }
+    EXPECT_EQ(lm, elm);
+    EXPECT_EQ(rm, erm);
+    const uint32_t expected_count =
+        static_cast<uint32_t>(std::count(elm.begin(), elm.end(), 1)) +
+        static_cast<uint32_t>(std::count(erm.begin(), erm.end(), 1));
+    EXPECT_EQ(newly, expected_count);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PPJSweepTest,
+    ::testing::Values(PPJParam{0.1, 0.3, 10},   // nested-loop path
+                      PPJParam{0.3, 0.5, 20},
+                      PPJParam{0.05, 0.8, 15},
+                      PPJParam{1.5, 0.3, 40},   // everything spatially near
+                      PPJParam{0.2, 0.4, 60},   // indexed path (60*60>1024)
+                      PPJParam{0.1, 0.7, 80}));
+
+TEST(PPJTest, MarkIsIncrementalAcrossCalls) {
+  // Flags already set survive and are not double counted.
+  const MatchThresholds t{1.0, 0.5};
+  std::vector<STObject> left(1), right(1);
+  left[0] = {0, 0, {0, 0}, 0.0, {1, 2}};
+  right[0] = {1, 1, {0.1, 0.1}, 0.0, {1, 2}};
+  std::vector<ObjectRef> lr = {{&left[0], 0}}, rr = {{&right[0], 0}};
+  std::vector<uint8_t> lm(1, 0), rm(1, 0);
+  EXPECT_EQ(PPJCrossMark(std::span<const ObjectRef>(lr),
+                         std::span<const ObjectRef>(rr), t, &lm, &rm),
+            2u);
+  EXPECT_EQ(PPJCrossMark(std::span<const ObjectRef>(lr),
+                         std::span<const ObjectRef>(rr), t, &lm, &rm),
+            0u);
+}
+
+TEST(PPJTest, EmptySidesYieldNothing) {
+  const MatchThresholds t{1.0, 0.5};
+  EXPECT_TRUE(PPJCrossPairs({}, {}, t).empty());
+  EXPECT_TRUE(PPJSelfPairs({}, t).empty());
+}
+
+}  // namespace
+}  // namespace stps

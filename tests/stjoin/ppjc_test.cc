@@ -1,0 +1,93 @@
+#include "stjoin/ppjc.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "text/token_set.h"
+
+namespace stps {
+namespace {
+
+std::vector<STObject> RandomObjects(Rng& rng, size_t count, double extent,
+                                    size_t vocabulary) {
+  std::vector<STObject> objects(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    objects[i].id = i;
+    objects[i].user = i % 5;
+    objects[i].loc = {rng.Uniform(0, extent), rng.Uniform(0, extent)};
+    const size_t n = 1 + rng.NextBelow(4);
+    for (size_t k = 0; k < n; ++k) {
+      objects[i].doc.push_back(
+          static_cast<TokenId>(rng.NextBelow(vocabulary)));
+    }
+    NormalizeTokenSet(&objects[i].doc);
+  }
+  return objects;
+}
+
+std::vector<std::pair<ObjectId, ObjectId>> Brute(
+    const std::vector<STObject>& objects, const MatchThresholds& t) {
+  std::vector<std::pair<ObjectId, ObjectId>> out;
+  for (size_t i = 0; i < objects.size(); ++i) {
+    for (size_t j = i + 1; j < objects.size(); ++j) {
+      if (ObjectsMatch(objects[i], objects[j], t)) {
+        out.emplace_back(objects[i].id, objects[j].id);
+      }
+    }
+  }
+  std::sort(out.begin(), out.end());
+  return out;
+}
+
+struct PPJCParam {
+  double eps_loc;
+  double eps_doc;
+  double extent;
+};
+
+class PPJCSweepTest : public ::testing::TestWithParam<PPJCParam> {};
+
+TEST_P(PPJCSweepTest, MatchesBruteForce) {
+  const PPJCParam p = GetParam();
+  const MatchThresholds t{p.eps_loc, p.eps_doc};
+  Rng rng(404 + static_cast<uint64_t>(p.eps_loc * 1000));
+  for (int trial = 0; trial < 15; ++trial) {
+    const auto objects = RandomObjects(rng, 150, p.extent, 10);
+    EXPECT_EQ(PPJCSelfJoin(std::span<const STObject>(objects), t),
+              Brute(objects, t));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PPJCSweepTest,
+    ::testing::Values(PPJCParam{0.05, 0.3, 1.0},
+                      PPJCParam{0.1, 0.5, 1.0},
+                      PPJCParam{0.2, 0.3, 1.0},
+                      PPJCParam{0.02, 0.8, 0.3},
+                      PPJCParam{0.5, 0.4, 1.0},     // cells span the world
+                      PPJCParam{0.001, 0.3, 50.0}   // very sparse grid
+                      ));
+
+TEST(PPJCTest, TrivialInputs) {
+  const MatchThresholds t{0.1, 0.5};
+  EXPECT_TRUE(PPJCSelfJoin({}, t).empty());
+  std::vector<STObject> one(1);
+  one[0] = {0, 0, {0.5, 0.5}, 0.0, {1}};
+  EXPECT_TRUE(PPJCSelfJoin(std::span<const STObject>(one), t).empty());
+}
+
+TEST(PPJCTest, AllIdenticalObjectsProduceAllPairs) {
+  std::vector<STObject> objects(10);
+  for (uint32_t i = 0; i < objects.size(); ++i) {
+    objects[i] = {i, 0, {0.5, 0.5}, 0.0, {3, 4, 5}};
+  }
+  const MatchThresholds t{0.01, 0.9};
+  const auto result = PPJCSelfJoin(std::span<const STObject>(objects), t);
+  EXPECT_EQ(result.size(), 45u);  // C(10,2)
+}
+
+}  // namespace
+}  // namespace stps

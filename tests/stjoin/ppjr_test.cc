@@ -1,0 +1,78 @@
+#include "stjoin/ppjr.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "stjoin/ppjc.h"
+#include "text/token_set.h"
+
+namespace stps {
+namespace {
+
+std::vector<STObject> RandomObjects(Rng& rng, size_t count, double extent) {
+  std::vector<STObject> objects(count);
+  for (uint32_t i = 0; i < count; ++i) {
+    objects[i].id = i;
+    objects[i].loc = {rng.Uniform(0, extent), rng.Uniform(0, extent)};
+    const size_t n = 1 + rng.NextBelow(4);
+    for (size_t k = 0; k < n; ++k) {
+      objects[i].doc.push_back(static_cast<TokenId>(rng.NextBelow(10)));
+    }
+    NormalizeTokenSet(&objects[i].doc);
+  }
+  return objects;
+}
+
+struct PPJRParam {
+  double eps_loc;
+  double eps_doc;
+  int fanout;
+};
+
+class PPJRSweepTest : public ::testing::TestWithParam<PPJRParam> {};
+
+TEST_P(PPJRSweepTest, AgreesWithPPJC) {
+  const PPJRParam p = GetParam();
+  const MatchThresholds t{p.eps_loc, p.eps_doc};
+  Rng rng(606);
+  for (int trial = 0; trial < 10; ++trial) {
+    const auto objects = RandomObjects(rng, 200, 1.0);
+    const auto grid_result =
+        PPJCSelfJoin(std::span<const STObject>(objects), t);
+    const auto rtree_result =
+        PPJRSelfJoin(std::span<const STObject>(objects), t, p.fanout);
+    ASSERT_EQ(rtree_result, grid_result)
+        << "fanout=" << p.fanout << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Sweep, PPJRSweepTest,
+    ::testing::Values(PPJRParam{0.05, 0.3, 4}, PPJRParam{0.05, 0.3, 32},
+                      PPJRParam{0.1, 0.5, 16}, PPJRParam{0.2, 0.3, 64},
+                      PPJRParam{0.02, 0.8, 8}));
+
+TEST(PPJRTest, TrivialInputs) {
+  const MatchThresholds t{0.1, 0.5};
+  EXPECT_TRUE(PPJRSelfJoin({}, t).empty());
+  std::vector<STObject> one(1);
+  one[0].loc = {0.5, 0.5};
+  one[0].doc = {1};
+  EXPECT_TRUE(PPJRSelfJoin(std::span<const STObject>(one), t).empty());
+}
+
+TEST(PPJRTest, ArbitraryObjectIdsSurvive) {
+  // PPJ-R maps via positions internally; output ids must be the object
+  // ids, not positions.
+  std::vector<STObject> objects(2);
+  objects[0] = {100, 0, {0.0, 0.0}, 0.0, {1, 2}};
+  objects[1] = {55, 0, {0.0, 0.0}, 0.0, {1, 2}};
+  const MatchThresholds t{0.1, 0.9};
+  const auto result = PPJRSelfJoin(std::span<const STObject>(objects), t, 4);
+  ASSERT_EQ(result.size(), 1u);
+  EXPECT_EQ(result[0].first, 55u);
+  EXPECT_EQ(result[0].second, 100u);
+}
+
+}  // namespace
+}  // namespace stps

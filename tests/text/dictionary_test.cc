@@ -1,0 +1,99 @@
+#include "text/dictionary.h"
+
+#include <gtest/gtest.h>
+
+namespace stps {
+namespace {
+
+TEST(DictionaryTest, InternAssignsStableIds) {
+  Dictionary dict;
+  const TokenId a = dict.Intern("alpha");
+  const TokenId b = dict.Intern("beta");
+  EXPECT_NE(a, b);
+  EXPECT_EQ(dict.Intern("alpha"), a);
+  EXPECT_EQ(dict.size(), 2u);
+}
+
+TEST(DictionaryTest, LookupFindsOnlyInterned) {
+  Dictionary dict;
+  const TokenId a = dict.Intern("alpha");
+  TokenId out = 999;
+  EXPECT_TRUE(dict.Lookup("alpha", &out));
+  EXPECT_EQ(out, a);
+  EXPECT_FALSE(dict.Lookup("missing", &out));
+}
+
+TEST(DictionaryTest, FrequencyCountsOccurrences) {
+  Dictionary dict;
+  const TokenId a = dict.Intern("a");           // freq 1
+  dict.Intern("a");                             // freq 2
+  const TokenId b = dict.Intern("b", false);    // freq 0
+  dict.CountOccurrence(b);                      // freq 1
+  EXPECT_EQ(dict.Frequency(a), 2u);
+  EXPECT_EQ(dict.Frequency(b), 1u);
+}
+
+TEST(DictionaryTest, FinalizeOrdersByAscendingFrequency) {
+  Dictionary dict;
+  dict.Intern("common");
+  dict.Intern("common");
+  dict.Intern("common");
+  dict.Intern("rare");
+  dict.Intern("mid");
+  dict.Intern("mid");
+  dict.FinalizeByFrequency();
+  TokenId rare, mid, common;
+  ASSERT_TRUE(dict.Lookup("rare", &rare));
+  ASSERT_TRUE(dict.Lookup("mid", &mid));
+  ASSERT_TRUE(dict.Lookup("common", &common));
+  EXPECT_LT(rare, mid);
+  EXPECT_LT(mid, common);
+  // Strings and frequencies follow the ids.
+  EXPECT_EQ(dict.TokenString(rare), "rare");
+  EXPECT_EQ(dict.Frequency(common), 3u);
+  EXPECT_TRUE(dict.finalized());
+}
+
+TEST(DictionaryTest, FinalizeBreaksTiesLexicographically) {
+  Dictionary dict;
+  dict.Intern("zebra");
+  dict.Intern("apple");
+  dict.FinalizeByFrequency();
+  TokenId zebra, apple;
+  ASSERT_TRUE(dict.Lookup("zebra", &zebra));
+  ASSERT_TRUE(dict.Lookup("apple", &apple));
+  EXPECT_LT(apple, zebra);
+}
+
+TEST(DictionaryTest, RemapTranslatesAndSortsTokenVectors) {
+  Dictionary dict;
+  const TokenId common = dict.Intern("common");
+  dict.Intern("common");
+  const TokenId rare = dict.Intern("rare");
+  TokenVector doc = {common, rare};
+  const std::vector<TokenId> permutation = dict.FinalizeByFrequency();
+  Dictionary::Remap(permutation, &doc);
+  // After remap, ids are in frequency order: rare < common.
+  TokenId new_rare, new_common;
+  ASSERT_TRUE(dict.Lookup("rare", &new_rare));
+  ASSERT_TRUE(dict.Lookup("common", &new_common));
+  EXPECT_EQ(doc, (TokenVector{new_rare, new_common}));
+}
+
+TEST(DictionaryTest, FinalizePermutationIsBijective) {
+  Dictionary dict;
+  for (int i = 0; i < 50; ++i) {
+    const std::string token = "tok" + std::to_string(i);
+    for (int j = 0; j <= i % 7; ++j) dict.Intern(token);
+  }
+  const std::vector<TokenId> permutation = dict.FinalizeByFrequency();
+  std::vector<bool> seen(permutation.size(), false);
+  for (const TokenId id : permutation) {
+    ASSERT_LT(id, permutation.size());
+    EXPECT_FALSE(seen[id]);
+    seen[id] = true;
+  }
+}
+
+}  // namespace
+}  // namespace stps

@@ -1,0 +1,83 @@
+#include "text/similarity.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "text/token_set.h"
+
+namespace stps {
+namespace {
+
+TEST(SimilarityBoundsTest, MinOverlapKnownValues) {
+  // t/(1+t) * (|x|+|y|): for t=0.5 and sizes 4+4 -> ceil(8/3) = 3.
+  EXPECT_EQ(MinOverlapForJaccard(4, 4, 0.5), 3u);
+  // t=1 requires full overlap.
+  EXPECT_EQ(MinOverlapForJaccard(5, 5, 1.0), 5u);
+  EXPECT_EQ(MinOverlapForJaccard(3, 3, 0.0), 0u);
+}
+
+TEST(SimilarityBoundsTest, SizeBoundsKnownValues) {
+  EXPECT_EQ(MinSizeForJaccard(10, 0.5), 5u);
+  EXPECT_EQ(MaxSizeForJaccard(10, 0.5), 20u);
+  EXPECT_EQ(MinSizeForJaccard(10, 0.0), 0u);
+  EXPECT_EQ(MinSizeForJaccard(3, 1.0), 3u);
+  EXPECT_EQ(MaxSizeForJaccard(3, 1.0), 3u);
+}
+
+TEST(SimilarityBoundsTest, PrefixLengthKnownValues) {
+  // |x|=5, t=0.8: keep ceil(4)=4, prefix = 5-4+1 = 2.
+  EXPECT_EQ(PrefixLengthForJaccard(5, 0.8), 2u);
+  // t -> 1 leaves a single-token prefix.
+  EXPECT_EQ(PrefixLengthForJaccard(7, 1.0), 1u);
+  EXPECT_EQ(PrefixLengthForJaccard(0, 0.5), 0u);
+  // Index prefix is never longer than the probing prefix.
+  for (size_t n = 1; n <= 20; ++n) {
+    EXPECT_LE(IndexPrefixLengthForJaccard(n, 0.6),
+              PrefixLengthForJaccard(n, 0.6));
+  }
+}
+
+// Property: all bounds are conservative with respect to JaccardAtLeast —
+// no true match may violate a filter.
+class BoundsPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(BoundsPropertyTest, FiltersNeverRejectTrueMatches) {
+  const double t = GetParam();
+  Rng rng(777);
+  int matches_checked = 0;
+  for (int trial = 0; trial < 5000; ++trial) {
+    TokenVector a, b;
+    const size_t na = 1 + rng.NextBelow(10);
+    const size_t nb = 1 + rng.NextBelow(10);
+    for (size_t i = 0; i < na; ++i) {
+      a.push_back(static_cast<TokenId>(rng.NextBelow(14)));
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      b.push_back(static_cast<TokenId>(rng.NextBelow(14)));
+    }
+    NormalizeTokenSet(&a);
+    NormalizeTokenSet(&b);
+    if (!JaccardAtLeast(a, b, t)) continue;
+    ++matches_checked;
+    // Size filter.
+    EXPECT_GE(b.size(), MinSizeForJaccard(a.size(), t));
+    EXPECT_LE(b.size(), MaxSizeForJaccard(a.size(), t));
+    // Overlap filter.
+    EXPECT_GE(OverlapSize(a, b), MinOverlapForJaccard(a.size(), b.size(), t));
+    // Prefix filter: some token shared within both probing prefixes.
+    const size_t pa = PrefixLengthForJaccard(a.size(), t);
+    const size_t pb = PrefixLengthForJaccard(b.size(), t);
+    const TokenVector prefix_a(a.begin(), a.begin() + pa);
+    const TokenVector prefix_b(b.begin(), b.begin() + pb);
+    EXPECT_GE(OverlapSize(prefix_a, prefix_b), 1u)
+        << "prefix filter rejected a true match at t=" << t;
+  }
+  EXPECT_GT(matches_checked, 0) << "sweep produced no matches at t=" << t;
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, BoundsPropertyTest,
+                         ::testing::Values(0.1, 0.3, 1.0 / 3, 0.5, 0.6,
+                                           2.0 / 3, 0.8, 0.9, 1.0));
+
+}  // namespace
+}  // namespace stps

@@ -1,0 +1,91 @@
+#include "text/token_set.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+
+namespace stps {
+namespace {
+
+TEST(TokenSetTest, NormalizeSortsAndDeduplicates) {
+  TokenVector v = {5, 1, 3, 1, 5, 2};
+  NormalizeTokenSet(&v);
+  EXPECT_EQ(v, (TokenVector{1, 2, 3, 5}));
+  EXPECT_TRUE(IsNormalizedTokenSet(v));
+}
+
+TEST(TokenSetTest, IsNormalizedRejectsDuplicatesAndDisorder) {
+  EXPECT_TRUE(IsNormalizedTokenSet({}));
+  EXPECT_TRUE(IsNormalizedTokenSet({7}));
+  EXPECT_FALSE(IsNormalizedTokenSet({1, 1}));
+  EXPECT_FALSE(IsNormalizedTokenSet({2, 1}));
+}
+
+TEST(TokenSetTest, OverlapSizeBasics) {
+  EXPECT_EQ(OverlapSize({1, 2, 3}, {2, 3, 4}), 2u);
+  EXPECT_EQ(OverlapSize({1, 2, 3}, {4, 5}), 0u);
+  EXPECT_EQ(OverlapSize({}, {1}), 0u);
+  EXPECT_EQ(OverlapSize({1, 2}, {1, 2}), 2u);
+}
+
+TEST(TokenSetTest, OverlapSizeAtLeastIsExactWhenReachable) {
+  const TokenVector a = {1, 2, 3, 4, 5};
+  const TokenVector b = {2, 4, 6, 8};
+  EXPECT_EQ(OverlapSizeAtLeast(a, b, 0), 2u);
+  EXPECT_EQ(OverlapSizeAtLeast(a, b, 2), 2u);
+}
+
+TEST(TokenSetTest, OverlapSizeAtLeastAbandonsEarly) {
+  const TokenVector a = {1, 2, 3};
+  const TokenVector b = {10, 11, 12};
+  // Requirement 4 can never be met with 3-element sets; result < 4.
+  EXPECT_LT(OverlapSizeAtLeast(a, b, 4), 4u);
+}
+
+TEST(TokenSetTest, JaccardKnownValues) {
+  EXPECT_DOUBLE_EQ(Jaccard({1, 2}, {1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Jaccard({1, 2}, {3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(Jaccard({1, 2, 3}, {2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(Jaccard({}, {}), 0.0);  // no evidence convention
+  EXPECT_DOUBLE_EQ(Jaccard({1}, {}), 0.0);
+}
+
+TEST(TokenSetTest, JaccardAtLeastAgreesWithJaccardOnThreshold) {
+  EXPECT_TRUE(JaccardAtLeast({1, 2, 3}, {2, 3, 4}, 0.5));
+  EXPECT_FALSE(JaccardAtLeast({1, 2, 3}, {2, 3, 4}, 0.51));
+  EXPECT_TRUE(JaccardAtLeast({1}, {2}, 0.0));  // t == 0 always true
+  EXPECT_FALSE(JaccardAtLeast({}, {}, 0.5));
+}
+
+// Property sweep: JaccardAtLeast must agree with the direct computation
+// for random sets across thresholds, including borderline values.
+class JaccardPropertyTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(JaccardPropertyTest, PredicateMatchesDirectComputation) {
+  const double threshold = GetParam();
+  Rng rng(static_cast<uint64_t>(threshold * 1000) + 1);
+  for (int trial = 0; trial < 2000; ++trial) {
+    TokenVector a, b;
+    const size_t na = 1 + rng.NextBelow(8);
+    const size_t nb = 1 + rng.NextBelow(8);
+    for (size_t i = 0; i < na; ++i) {
+      a.push_back(static_cast<TokenId>(rng.NextBelow(12)));
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      b.push_back(static_cast<TokenId>(rng.NextBelow(12)));
+    }
+    NormalizeTokenSet(&a);
+    NormalizeTokenSet(&b);
+    const bool expected = Jaccard(a, b) >= threshold;
+    EXPECT_EQ(JaccardAtLeast(a, b, threshold), expected)
+        << "threshold=" << threshold;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, JaccardPropertyTest,
+                         ::testing::Values(0.1, 0.2, 0.25, 1.0 / 3, 0.4, 0.5,
+                                           0.6, 2.0 / 3, 0.75, 0.8, 0.9,
+                                           1.0));
+
+}  // namespace
+}  // namespace stps

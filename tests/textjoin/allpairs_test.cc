@@ -1,0 +1,47 @@
+#include "textjoin/allpairs.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "text/token_set.h"
+
+namespace stps {
+namespace {
+
+std::vector<TokenVector> RandomRecords(Rng& rng, size_t count) {
+  std::vector<TokenVector> records(count);
+  for (auto& rec : records) {
+    const size_t n = 1 + rng.NextBelow(7);
+    for (size_t i = 0; i < n; ++i) {
+      rec.push_back(static_cast<TokenId>(rng.NextBelow(14)));
+    }
+    NormalizeTokenSet(&rec);
+  }
+  return records;
+}
+
+class AllPairsTest : public ::testing::TestWithParam<double> {};
+
+TEST_P(AllPairsTest, AgreesWithPPJoin) {
+  const double threshold = GetParam();
+  Rng rng(555);
+  TextJoinOptions ppjoin_opt;
+  ppjoin_opt.threshold = threshold;
+  for (int trial = 0; trial < 20; ++trial) {
+    const auto records = RandomRecords(rng, 80);
+    EXPECT_EQ(AllPairsSelf(records, threshold),
+              PPJoinSelf(records, ppjoin_opt));
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Thresholds, AllPairsTest,
+                         ::testing::Values(0.3, 0.5, 0.7, 0.9));
+
+TEST(AllPairsTest, HandExample) {
+  const std::vector<TokenVector> records = {{1, 2}, {1, 2}, {3}};
+  const auto result = AllPairsSelf(records, 0.99);
+  EXPECT_EQ(result, (std::vector<IndexPair>{{0, 1}}));
+}
+
+}  // namespace
+}  // namespace stps

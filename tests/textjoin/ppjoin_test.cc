@@ -1,0 +1,171 @@
+#include "textjoin/ppjoin.h"
+
+#include <algorithm>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "text/token_set.h"
+
+namespace stps {
+namespace {
+
+std::vector<TokenVector> RandomRecords(Rng& rng, size_t count,
+                                       size_t vocabulary, size_t max_tokens) {
+  std::vector<TokenVector> records(count);
+  for (auto& rec : records) {
+    const size_t n = 1 + rng.NextBelow(max_tokens);
+    for (size_t i = 0; i < n; ++i) {
+      rec.push_back(static_cast<TokenId>(rng.NextBelow(vocabulary)));
+    }
+    NormalizeTokenSet(&rec);
+  }
+  return records;
+}
+
+std::vector<IndexPair> BruteSelf(const std::vector<TokenVector>& records,
+                                 double t) {
+  std::vector<IndexPair> out;
+  for (uint32_t i = 0; i < records.size(); ++i) {
+    for (uint32_t j = i + 1; j < records.size(); ++j) {
+      if (JaccardAtLeast(records[i], records[j], t)) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+std::vector<IndexPair> BruteCross(const std::vector<TokenVector>& left,
+                                  const std::vector<TokenVector>& right,
+                                  double t) {
+  std::vector<IndexPair> out;
+  for (uint32_t i = 0; i < left.size(); ++i) {
+    for (uint32_t j = 0; j < right.size(); ++j) {
+      if (JaccardAtLeast(left[i], right[j], t)) out.emplace_back(i, j);
+    }
+  }
+  return out;
+}
+
+TEST(PPJoinSelfTest, TinyHandComputedExample) {
+  const std::vector<TokenVector> records = {
+      {1, 2, 3}, {1, 2, 3, 4}, {7, 8}, {2, 3, 4}};
+  TextJoinOptions opt;
+  opt.threshold = 0.5;
+  const auto result = PPJoinSelf(records, opt);
+  // J(0,1)=3/4, J(0,3)=2/4, J(1,3)=3/4; J with {7,8} all 0.
+  const std::vector<IndexPair> expected = {{0, 1}, {0, 3}, {1, 3}};
+  EXPECT_EQ(result, expected);
+}
+
+TEST(PPJoinSelfTest, EmptyAndSingletonInputs) {
+  TextJoinOptions opt;
+  opt.threshold = 0.5;
+  EXPECT_TRUE(PPJoinSelf({}, opt).empty());
+  EXPECT_TRUE(PPJoinSelf({{1, 2}}, opt).empty());
+}
+
+TEST(PPJoinSelfTest, IgnoresEmptyRecords) {
+  const std::vector<TokenVector> records = {{}, {1, 2}, {}, {1, 2}};
+  TextJoinOptions opt;
+  opt.threshold = 0.5;
+  const auto result = PPJoinSelf(records, opt);
+  EXPECT_EQ(result, (std::vector<IndexPair>{{1, 3}}));
+}
+
+TEST(PPJoinSelfTest, ThresholdOneFindsExactDuplicatesOnly) {
+  const std::vector<TokenVector> records = {
+      {1, 2}, {1, 2}, {1, 2, 3}, {1, 2}};
+  TextJoinOptions opt;
+  opt.threshold = 1.0;
+  const auto result = PPJoinSelf(records, opt);
+  EXPECT_EQ(result, (std::vector<IndexPair>{{0, 1}, {0, 3}, {1, 3}}));
+}
+
+struct SweepParam {
+  double threshold;
+  bool positional;
+  bool suffix;
+};
+
+class PPJoinSweepTest : public ::testing::TestWithParam<SweepParam> {};
+
+TEST_P(PPJoinSweepTest, SelfJoinMatchesBruteForce) {
+  const SweepParam param = GetParam();
+  TextJoinOptions opt;
+  opt.threshold = param.threshold;
+  opt.positional_filter = param.positional;
+  opt.suffix_filter = param.suffix;
+  Rng rng(1000 + static_cast<uint64_t>(param.threshold * 100));
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto records = RandomRecords(rng, 60, 15, 8);
+    const auto expected = BruteSelf(records, param.threshold);
+    const auto actual = PPJoinSelf(records, opt);
+    ASSERT_EQ(actual, expected)
+        << "t=" << param.threshold << " trial=" << trial;
+  }
+}
+
+TEST_P(PPJoinSweepTest, CrossJoinMatchesBruteForce) {
+  const SweepParam param = GetParam();
+  TextJoinOptions opt;
+  opt.threshold = param.threshold;
+  opt.positional_filter = param.positional;
+  opt.suffix_filter = param.suffix;
+  Rng rng(2000 + static_cast<uint64_t>(param.threshold * 100));
+  for (int trial = 0; trial < 30; ++trial) {
+    const auto left = RandomRecords(rng, 40, 15, 8);
+    const auto right = RandomRecords(rng, 50, 15, 8);
+    const auto expected = BruteCross(left, right, param.threshold);
+    auto actual = PPJoinCross(std::span<const TokenVector>(left),
+                              std::span<const TokenVector>(right), opt);
+    ASSERT_EQ(actual, expected)
+        << "t=" << param.threshold << " trial=" << trial;
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    FilterAndThresholdSweep, PPJoinSweepTest,
+    ::testing::Values(SweepParam{0.3, true, true},
+                      SweepParam{0.3, true, false},
+                      SweepParam{0.3, false, false},
+                      SweepParam{0.5, true, true},
+                      SweepParam{0.5, false, true},
+                      SweepParam{0.7, true, true},
+                      SweepParam{0.8, true, false},
+                      SweepParam{0.9, true, true},
+                      SweepParam{1.0, true, true}));
+
+TEST(SuffixFilterTest, BoundNeverExceedsTrueHammingDistance) {
+  Rng rng(31337);
+  for (int trial = 0; trial < 5000; ++trial) {
+    TokenVector a, b;
+    const size_t na = rng.NextBelow(10);
+    const size_t nb = rng.NextBelow(10);
+    for (size_t i = 0; i < na; ++i) {
+      a.push_back(static_cast<TokenId>(rng.NextBelow(16)));
+    }
+    for (size_t i = 0; i < nb; ++i) {
+      b.push_back(static_cast<TokenId>(rng.NextBelow(16)));
+    }
+    NormalizeTokenSet(&a);
+    NormalizeTokenSet(&b);
+    const int overlap = static_cast<int>(OverlapSize(a, b));
+    const int true_hamming =
+        static_cast<int>(a.size() + b.size()) - 2 * overlap;
+    for (const int hmax : {0, 1, 2, 3, 5, 100}) {
+      const int bound = textjoin_internal::SuffixFilterBound(
+          std::span<const TokenId>(a), std::span<const TokenId>(b), hmax, 0,
+          2);
+      // Soundness: whenever the true distance fits in the budget, the
+      // lower bound must not exceed it (otherwise joins lose matches).
+      if (true_hamming <= hmax) {
+        EXPECT_LE(bound, true_hamming)
+            << "hmax=" << hmax << " |a|=" << a.size() << " |b|=" << b.size();
+      }
+    }
+  }
+}
+
+}  // namespace
+}  // namespace stps

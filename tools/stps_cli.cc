@@ -1,0 +1,242 @@
+// stps_cli — command-line front end for the library.
+//
+//   stps_cli generate <kind> <num_users> <out.tsv> [seed]
+//       Generate a synthetic dataset (kind: flickr | twitter | geotext).
+//   stps_cli stats <data.tsv>
+//       Print Table-1-style descriptive statistics.
+//   stps_cli join <data.tsv> <eps_loc> <eps_doc> <eps_u> [algorithm]
+//       Run STPSJoin (algorithm: sppjc | sppjb | sppjf | sppjd | brute;
+//       default sppjf). Prints one "userA userB sigma" row per pair.
+//   stps_cli topk <data.tsv> <eps_loc> <eps_doc> <k> [variant]
+//       Run top-k STPSJoin (variant: f | s | p | brute; default p).
+//   stps_cli tune <data.tsv> <target_size> <eps_loc0> <eps_doc0> <eps_u0>
+//       Auto-tune thresholds toward a result-set size.
+
+#include <cstdio>
+#include <cstdlib>
+#include <cstring>
+#include <string>
+
+#include "common/timer.h"
+#include "core/stpsjoin.h"
+#include "core/tuning.h"
+#include "datagen/dataset_stats.h"
+#include "datagen/generator.h"
+#include "datagen/presets.h"
+#include "io/binary.h"
+#include "io/tsv.h"
+
+namespace {
+
+using namespace stps;
+
+int Usage() {
+  std::fprintf(
+      stderr,
+      "usage:\n"
+      "  stps_cli generate <flickr|twitter|geotext> <num_users> <out.tsv> "
+      "[seed]\n"
+      "  stps_cli stats <data.tsv>\n"
+      "  stps_cli convert <in.tsv|in.stpsdb> <out.tsv|out.stpsdb>\n"
+      "  stps_cli join <data.tsv> <eps_loc> <eps_doc> <eps_u> "
+      "[sppjc|sppjb|sppjf|sppjd|brute]\n"
+      "  stps_cli topk <data.tsv> <eps_loc> <eps_doc> <k> [f|s|p|brute]\n"
+      "  stps_cli tune <data.tsv> <target_size> <eps_loc0> <eps_doc0> "
+      "<eps_u0>\n");
+  return 2;
+}
+
+bool ParseKind(const std::string& name, DatasetKind* kind) {
+  if (name == "flickr") {
+    *kind = DatasetKind::kFlickrLike;
+  } else if (name == "twitter") {
+    *kind = DatasetKind::kTwitterLike;
+  } else if (name == "geotext") {
+    *kind = DatasetKind::kGeoTextLike;
+  } else {
+    return false;
+  }
+  return true;
+}
+
+bool HasSuffix(const std::string& s, const std::string& suffix) {
+  return s.size() >= suffix.size() &&
+         s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
+}
+
+bool LoadDatabase(const std::string& path, ObjectDatabase* db) {
+  Result<ObjectDatabase> loaded = HasSuffix(path, ".stpsdb")
+                                      ? ReadBinary(path)
+                                      : ReadTsv(path);
+  if (!loaded.ok()) {
+    std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
+    return false;
+  }
+  *db = std::move(loaded).value();
+  std::fprintf(stderr, "loaded %zu objects / %zu users from %s\n",
+               db->num_objects(), db->num_users(), path.c_str());
+  return true;
+}
+
+int CmdGenerate(int argc, char** argv) {
+  if (argc < 5) return Usage();
+  DatasetKind kind;
+  if (!ParseKind(argv[2], &kind)) return Usage();
+  const size_t num_users = std::strtoul(argv[3], nullptr, 10);
+  const std::string out_path = argv[4];
+  const uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42;
+  if (num_users == 0) return Usage();
+  const ObjectDatabase db =
+      GenerateDataset(PresetSpec(kind, num_users, seed));
+  const Status status = HasSuffix(out_path, ".stpsdb")
+                            ? WriteBinary(db, out_path)
+                            : WriteTsv(db, out_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu objects to %s\n", db.num_objects(),
+               out_path.c_str());
+  return 0;
+}
+
+int CmdConvert(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  ObjectDatabase db;
+  if (!LoadDatabase(argv[2], &db)) return 1;
+  const std::string out_path = argv[3];
+  const Status status = HasSuffix(out_path, ".stpsdb")
+                            ? WriteBinary(db, out_path)
+                            : WriteTsv(db, out_path);
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::fprintf(stderr, "wrote %zu objects to %s\n", db.num_objects(),
+               out_path.c_str());
+  return 0;
+}
+
+int CmdStats(int argc, char** argv) {
+  if (argc < 3) return Usage();
+  ObjectDatabase db;
+  if (!LoadDatabase(argv[2], &db)) return 1;
+  const DatasetStats stats = ComputeDatasetStats(db);
+  std::printf("%-12s %9s %7s   %-16s  %-18s  %-17s\n", "Dataset", "Objects",
+              "Users", "Tokens/Object", "Objects/Token", "Objects/User");
+  std::printf("%s\n", stats.ToTableRow(argv[2]).c_str());
+  std::printf("distinct tokens: %zu\n", stats.num_distinct_tokens);
+  return 0;
+}
+
+int CmdJoin(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  ObjectDatabase db;
+  if (!LoadDatabase(argv[2], &db)) return 1;
+  STPSQuery query;
+  query.eps_loc = std::strtod(argv[3], nullptr);
+  query.eps_doc = std::strtod(argv[4], nullptr);
+  query.eps_u = std::strtod(argv[5], nullptr);
+  JoinOptions options;
+  if (argc > 6) {
+    const std::string name = argv[6];
+    if (name == "sppjc") {
+      options.algorithm = JoinAlgorithm::kSPPJC;
+    } else if (name == "sppjb") {
+      options.algorithm = JoinAlgorithm::kSPPJB;
+    } else if (name == "sppjf") {
+      options.algorithm = JoinAlgorithm::kSPPJF;
+    } else if (name == "sppjd") {
+      options.algorithm = JoinAlgorithm::kSPPJD;
+    } else if (name == "brute") {
+      options.algorithm = JoinAlgorithm::kBruteForce;
+    } else {
+      return Usage();
+    }
+  }
+  Timer timer;
+  const auto result = RunSTPSJoin(db, query, options);
+  std::fprintf(stderr, "%s: %zu pairs in %.1f ms\n",
+               std::string(JoinAlgorithmName(options.algorithm)).c_str(),
+               result.size(), timer.ElapsedMillis());
+  for (const ScoredUserPair& pair : result) {
+    std::printf("%s\t%s\t%.6f\n", db.UserName(pair.a).c_str(),
+                db.UserName(pair.b).c_str(), pair.score);
+  }
+  return 0;
+}
+
+int CmdTopK(int argc, char** argv) {
+  if (argc < 6) return Usage();
+  ObjectDatabase db;
+  if (!LoadDatabase(argv[2], &db)) return 1;
+  TopKQuery query;
+  query.eps_loc = std::strtod(argv[3], nullptr);
+  query.eps_doc = std::strtod(argv[4], nullptr);
+  query.k = std::strtoul(argv[5], nullptr, 10);
+  TopKAlgorithm algorithm = TopKAlgorithm::kP;
+  if (argc > 6) {
+    const std::string name = argv[6];
+    if (name == "f") {
+      algorithm = TopKAlgorithm::kF;
+    } else if (name == "s") {
+      algorithm = TopKAlgorithm::kS;
+    } else if (name == "p") {
+      algorithm = TopKAlgorithm::kP;
+    } else if (name == "brute") {
+      algorithm = TopKAlgorithm::kBruteForce;
+    } else {
+      return Usage();
+    }
+  }
+  Timer timer;
+  const auto result = RunTopKSTPSJoin(db, query, algorithm);
+  std::fprintf(stderr, "%s: %zu pairs in %.1f ms\n",
+               std::string(TopKAlgorithmName(algorithm)).c_str(),
+               result.size(), timer.ElapsedMillis());
+  for (const ScoredUserPair& pair : result) {
+    std::printf("%s\t%s\t%.6f\n", db.UserName(pair.a).c_str(),
+                db.UserName(pair.b).c_str(), pair.score);
+  }
+  return 0;
+}
+
+int CmdTune(int argc, char** argv) {
+  if (argc < 7) return Usage();
+  ObjectDatabase db;
+  if (!LoadDatabase(argv[2], &db)) return 1;
+  TuningOptions options;
+  options.target_size = std::strtoul(argv[3], nullptr, 10);
+  options.initial.eps_loc = std::strtod(argv[4], nullptr);
+  options.initial.eps_doc = std::strtod(argv[5], nullptr);
+  options.initial.eps_u = std::strtod(argv[6], nullptr);
+  const TuningResult result = TuneThresholds(db, options);
+  std::fprintf(stderr,
+               "initial S-PPJ-F: %.1f ms; tuning: %zu iterations in %.1f "
+               "ms; %s\n",
+               result.initial_join_millis, result.iterations,
+               result.tuning_millis,
+               result.converged ? "converged" : "NOT converged");
+  std::printf("# eps_loc=%.6f eps_doc=%.4f eps_u=%.4f -> %zu pairs\n",
+              result.thresholds.eps_loc, result.thresholds.eps_doc,
+              result.thresholds.eps_u, result.result.size());
+  for (const ScoredUserPair& pair : result.result) {
+    std::printf("%s\t%s\t%.6f\n", db.UserName(pair.a).c_str(),
+                db.UserName(pair.b).c_str(), pair.score);
+  }
+  return 0;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  if (argc < 2) return Usage();
+  const std::string command = argv[1];
+  if (command == "generate") return CmdGenerate(argc, argv);
+  if (command == "stats") return CmdStats(argc, argv);
+  if (command == "convert") return CmdConvert(argc, argv);
+  if (command == "join") return CmdJoin(argc, argv);
+  if (command == "topk") return CmdTopK(argc, argv);
+  if (command == "tune") return CmdTune(argc, argv);
+  return Usage();
+}
