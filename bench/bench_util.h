@@ -13,9 +13,12 @@
 #include <cstdio>
 #include <cstdlib>
 #include <string>
+#include <string_view>
+#include <utility>
 #include <vector>
 
 #include "common/timer.h"
+#include "core/join_stats.h"
 #include "core/stpsjoin.h"
 #include "datagen/generator.h"
 #include "datagen/presets.h"
@@ -49,27 +52,69 @@ inline const ObjectDatabase& GetDataset(DatasetKind kind, size_t num_users) {
   return cache->back().db;
 }
 
+/// Per-algorithm JoinStats accumulated over every timed run of the
+/// process; printed once at process exit so each bench reports filter
+/// effectiveness alongside its timings.
+inline std::vector<std::pair<std::string, JoinStats>>& StatsRegistry() {
+  static auto* entries =
+      new std::vector<std::pair<std::string, JoinStats>>();
+  return *entries;
+}
+
+inline void PrintStatsRegistry() {
+  const auto& entries = StatsRegistry();
+  if (entries.empty()) return;
+  std::printf(
+      "\nFilter effectiveness (accumulated over all timed runs):\n");
+  for (const auto& [label, stats] : entries) {
+    std::printf("  %-14s %s\n", label.c_str(),
+                FormatJoinStats(stats).c_str());
+  }
+}
+
+/// Merges `stats` into the row named `label`, creating it on first use.
+/// All-zero stats (the brute-force baselines are uninstrumented) are
+/// dropped so the report only lists meaningful rows.
+inline void RecordJoinStats(std::string_view label, const JoinStats& stats) {
+  if (stats == JoinStats{}) return;
+  auto& entries = StatsRegistry();
+  if (entries.empty()) std::atexit(PrintStatsRegistry);
+  for (auto& [name, accumulated] : entries) {
+    if (name == label) {
+      accumulated.Merge(stats);
+      return;
+    }
+  }
+  entries.emplace_back(std::string(label), stats);
+}
+
 /// Times one STPSJoin run; reports milliseconds and the result size.
+/// The run's JoinStats land in the exit report (counter upkeep is cheap
+/// relative to the join work, so timings stay representative).
 inline double TimeJoin(const ObjectDatabase& db, const STPSQuery& query,
                        JoinAlgorithm algorithm, int fanout,
                        size_t* result_size) {
   JoinOptions options;
   options.algorithm = algorithm;
   options.rtree_fanout = fanout;
+  JoinStats stats;
   Timer timer;
-  const auto result = RunSTPSJoin(db, query, options);
+  const auto result = RunSTPSJoin(db, query, options, &stats);
   const double ms = timer.ElapsedMillis();
   if (result_size != nullptr) *result_size = result.size();
+  RecordJoinStats(JoinAlgorithmName(algorithm), stats);
   return ms;
 }
 
 /// Times one top-k run.
 inline double TimeTopK(const ObjectDatabase& db, const TopKQuery& query,
                        TopKAlgorithm algorithm, size_t* result_size) {
+  JoinStats stats;
   Timer timer;
-  const auto result = RunTopKSTPSJoin(db, query, algorithm);
+  const auto result = RunTopKSTPSJoin(db, query, algorithm, &stats);
   const double ms = timer.ElapsedMillis();
   if (result_size != nullptr) *result_size = result.size();
+  RecordJoinStats(TopKAlgorithmName(algorithm), stats);
   return ms;
 }
 

@@ -1,0 +1,93 @@
+// Filter/refine instrumentation for the STPSJoin algorithms.
+//
+// Every join driver can report where the candidate pairs went — the key
+// signal for tuning the filters (the PPJoin lineage and SEAL both tune on
+// candidate/verification counts). Counters are plain uint64_t: the
+// parallel drivers give each worker its own JoinStats and Merge them when
+// the join completes, so the hot paths never touch shared memory.
+//
+// Counter semantics (a pair = unordered user pair considered once):
+//  * cells_visited         — cell/leaf visits: (cell, neighbour) probes in
+//                            the filter stage plus merged cells traversed
+//                            by the refine kernels.
+//  * pairs_pruned_spatial  — pairs dismissed because the two users share
+//                            no eps_loc-neighbouring partitions (never
+//                            surfaced by the grid/leaf filter).
+//  * pairs_pruned_textual  — pairs spatially co-located but with no common
+//                            token in any co-located partition.
+//  * pairs_candidate       — pairs that survived the filter stage (for the
+//                            filterless S-PPJ-B/C: every pair).
+//  * pairs_pruned_count    — candidates killed by the sigma_bar object-
+//                            count upper bound before verification.
+//  * pairs_verified        — refine-kernel invocations.
+//  * refine_early_stops    — verifications cut short by the Lemma 1
+//                            unmatched-object bound inside the kernel.
+//  * matches_found         — result pairs (for top-k: the final k).
+//
+// Invariants (asserted by the consistency fuzz suite):
+//   pairs_candidate == pairs_pruned_count + pairs_verified
+//   pairs_verified  >= matches_found
+
+#ifndef STPS_CORE_JOIN_STATS_H_
+#define STPS_CORE_JOIN_STATS_H_
+
+#include <cstdint>
+#include <cstdio>
+#include <string>
+
+namespace stps {
+
+struct JoinStats {
+  uint64_t cells_visited = 0;
+  uint64_t pairs_pruned_spatial = 0;
+  uint64_t pairs_pruned_textual = 0;
+  uint64_t pairs_candidate = 0;
+  uint64_t pairs_pruned_count = 0;
+  uint64_t pairs_verified = 0;
+  uint64_t refine_early_stops = 0;
+  uint64_t matches_found = 0;
+
+  /// Sums another accumulator into this one (worker merge).
+  void Merge(const JoinStats& o) {
+    cells_visited += o.cells_visited;
+    pairs_pruned_spatial += o.pairs_pruned_spatial;
+    pairs_pruned_textual += o.pairs_pruned_textual;
+    pairs_candidate += o.pairs_candidate;
+    pairs_pruned_count += o.pairs_pruned_count;
+    pairs_verified += o.pairs_verified;
+    refine_early_stops += o.refine_early_stops;
+    matches_found += o.matches_found;
+  }
+
+  friend bool operator==(const JoinStats& x, const JoinStats& y) {
+    return x.cells_visited == y.cells_visited &&
+           x.pairs_pruned_spatial == y.pairs_pruned_spatial &&
+           x.pairs_pruned_textual == y.pairs_pruned_textual &&
+           x.pairs_candidate == y.pairs_candidate &&
+           x.pairs_pruned_count == y.pairs_pruned_count &&
+           x.pairs_verified == y.pairs_verified &&
+           x.refine_early_stops == y.refine_early_stops &&
+           x.matches_found == y.matches_found;
+  }
+};
+
+/// One-line rendering for bench / log output.
+inline std::string FormatJoinStats(const JoinStats& s) {
+  char buf[256];
+  std::snprintf(buf, sizeof(buf),
+                "cells=%llu prunedS/T/C=%llu/%llu/%llu cand=%llu "
+                "verified=%llu earlystop=%llu matches=%llu",
+                static_cast<unsigned long long>(s.cells_visited),
+                static_cast<unsigned long long>(s.pairs_pruned_spatial),
+                static_cast<unsigned long long>(s.pairs_pruned_textual),
+                static_cast<unsigned long long>(s.pairs_pruned_count),
+                static_cast<unsigned long long>(s.pairs_candidate),
+                static_cast<unsigned long long>(s.pairs_verified),
+                static_cast<unsigned long long>(s.refine_early_stops),
+                static_cast<unsigned long long>(s.matches_found));
+  return buf;
+}
+
+}  // namespace stps
+
+#endif  // STPS_CORE_JOIN_STATS_H_

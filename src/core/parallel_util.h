@@ -1,0 +1,47 @@
+// Small shared helpers for the parallel join drivers: merging per-worker
+// result vectors / stats accumulators back into the caller's view.
+
+#ifndef STPS_CORE_PARALLEL_UTIL_H_
+#define STPS_CORE_PARALLEL_UTIL_H_
+
+#include <algorithm>
+#include <vector>
+
+#include "core/join_stats.h"
+#include "core/similarity.h"
+
+namespace stps {
+
+/// Canonical STPSJoin result order: ascending (a, b).
+inline bool PairIdLess(const ScoredUserPair& x, const ScoredUserPair& y) {
+  if (x.a != y.a) return x.a < y.a;
+  return x.b < y.b;
+}
+
+/// Concatenates the per-worker partial results and sorts them into the
+/// canonical (a, b) order. Pairs are unique across workers, so the final
+/// order — and therefore the whole result — is independent of how the
+/// users were distributed over workers.
+inline std::vector<ScoredUserPair> MergeSortedPairs(
+    std::vector<std::vector<ScoredUserPair>>* per_worker) {
+  std::vector<ScoredUserPair> result;
+  size_t total = 0;
+  for (const auto& partial : *per_worker) total += partial.size();
+  result.reserve(total);
+  for (const auto& partial : *per_worker) {
+    result.insert(result.end(), partial.begin(), partial.end());
+  }
+  std::sort(result.begin(), result.end(), PairIdLess);
+  return result;
+}
+
+/// Sums the per-worker counters into `*stats` (no-op when null).
+inline void MergeWorkerStats(JoinStats* stats,
+                             const std::vector<JoinStats>& worker_stats) {
+  if (stats == nullptr) return;
+  for (const JoinStats& ws : worker_stats) stats->Merge(ws);
+}
+
+}  // namespace stps
+
+#endif  // STPS_CORE_PARALLEL_UTIL_H_

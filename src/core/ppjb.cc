@@ -19,12 +19,14 @@ bool IsOddRow(int64_t row) { return (row % 2) == 0; }
 
 double PPJCPair(const UserPartitionList& cu, size_t nu,
                 const UserPartitionList& cv, size_t nv,
-                const GridGeometry& grid, const MatchThresholds& t) {
+                const GridGeometry& grid, const MatchThresholds& t,
+                JoinStats* stats) {
   if (nu + nv == 0) return 0.0;
   std::vector<uint8_t> matched_u(nu, 0), matched_v(nv, 0);
   uint32_t matched_total = 0;
   std::vector<CellId> neighbors;
   for (const MergedPartition& cell : MergePartitionLists(cu, cv)) {
+    if (stats != nullptr) ++stats->cells_visited;
     neighbors.clear();
     grid.AppendNeighborhood(cell.id, /*include_self=*/true, &neighbors);
     if (cell.u != nullptr) {
@@ -56,7 +58,7 @@ double PPJCPair(const UserPartitionList& cu, size_t nu,
 double PPJBPair(const UserPartitionList& cu, size_t nu,
                 const UserPartitionList& cv, size_t nv,
                 const GridGeometry& grid, const MatchThresholds& t,
-                double eps_u) {
+                double eps_u, JoinStats* stats) {
   if (nu + nv == 0) return 0.0;
   const bool bounded = eps_u > 0.0;
   const double beta = UnmatchedBound(nu, nv, eps_u);
@@ -81,10 +83,14 @@ double PPJBPair(const UserPartitionList& cu, size_t nu,
         const double unmatched_lower_bound =
             static_cast<double>(seen_objects) -
             static_cast<double>(matched_total);
-        if (unmatched_lower_bound > beta) return 0.0;
+        if (unmatched_lower_bound > beta) {
+          if (stats != nullptr) ++stats->refine_early_stops;
+          return 0.0;
+        }
       }
       current_row = row;
     }
+    if (stats != nullptr) ++stats->cells_visited;
     seen_objects += (cell.u ? cell.u->objects.size() : 0) +
                     (cell.v ? cell.v->objects.size() : 0);
 

@@ -16,6 +16,7 @@
 
 #include <span>
 
+#include "core/join_stats.h"
 #include "core/user_grid.h"
 #include "spatial/grid.h"
 #include "stjoin/object.h"
@@ -24,18 +25,21 @@ namespace stps {
 
 /// Exact sigma via the PPJ-C cell traversal.
 /// `cu` / `cv` are the users' sorted cell lists; `nu` / `nv` = |Du| / |Dv|.
+/// `stats` (optional) accrues cells_visited for the merged traversal.
 double PPJCPair(const UserPartitionList& cu, size_t nu,
                 const UserPartitionList& cv, size_t nv,
-                const GridGeometry& grid, const MatchThresholds& t);
+                const GridGeometry& grid, const MatchThresholds& t,
+                JoinStats* stats = nullptr);
 
 /// Sigma via the PPJ-B traversal with early termination at threshold
 /// eps_u. Returns the exact sigma whenever sigma >= eps_u; returns 0 as
 /// soon as the unmatched-object bound proves sigma < eps_u. With
-/// eps_u <= 0 it is always exact.
+/// eps_u <= 0 it is always exact. `stats` (optional) accrues
+/// cells_visited and refine_early_stops.
 double PPJBPair(const UserPartitionList& cu, size_t nu,
                 const UserPartitionList& cv, size_t nv,
                 const GridGeometry& grid, const MatchThresholds& t,
-                double eps_u);
+                double eps_u, JoinStats* stats = nullptr);
 
 /// Convenience: exact sigma for two raw object sets, building the
 /// per-pair cell lists on the fly (used by the threshold auto-tuner to

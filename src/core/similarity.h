@@ -9,6 +9,7 @@
 #include <span>
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/database.h"
 #include "stjoin/object.h"
 
@@ -16,12 +17,14 @@ namespace stps {
 
 /// An STPSJoin query Q = <eps_loc, eps_doc, eps_u> (Definition 1), plus
 /// the optional temporal threshold of the future-work extension
-/// (infinite by default, i.e. disabled).
+/// (infinite by default, i.e. disabled) and the parallel-execution knobs
+/// (sequential by default; see common/thread_pool.h).
 struct STPSQuery {
   double eps_loc = 0.0;
   double eps_doc = 0.0;
   double eps_u = 0.0;
   double eps_time = std::numeric_limits<double>::infinity();
+  ParallelOptions parallel = {};
 
   MatchThresholds match_thresholds() const {
     return {eps_loc, eps_doc, eps_time};
@@ -34,6 +37,7 @@ struct TopKQuery {
   double eps_doc = 0.0;
   size_t k = 10;
   double eps_time = std::numeric_limits<double>::infinity();
+  ParallelOptions parallel = {};
 
   MatchThresholds match_thresholds() const {
     return {eps_loc, eps_doc, eps_time};

@@ -2,37 +2,75 @@
 
 #include <algorithm>
 
+#include "core/parallel_util.h"
 #include "core/ppjb.h"
 #include "core/user_grid.h"
 
 namespace stps {
 
+namespace {
+
+// "selectedUsers" of Algorithm 1 is the prefix of already-seen users:
+// each new user u1 is joined against every previous u2. Shared by the
+// sequential and parallel drivers.
+void ProcessUserC(const ObjectDatabase& db, const UserGrid& grid,
+                  const STPSQuery& query, const MatchThresholds& t,
+                  UserId u1, std::vector<ScoredUserPair>* out,
+                  JoinStats* stats) {
+  for (UserId u2 = 0; u2 < u1; ++u2) {
+    if (stats != nullptr) {
+      ++stats->pairs_candidate;
+      ++stats->pairs_verified;
+    }
+    const double sigma =
+        PPJCPair(grid.UserCells(u1), db.UserObjectCount(u1),
+                 grid.UserCells(u2), db.UserObjectCount(u2),
+                 grid.geometry(), t, stats);
+    if (sigma >= query.eps_u) {
+      out->push_back({u2, u1, sigma});
+      if (stats != nullptr) ++stats->matches_found;
+    }
+  }
+}
+
+}  // namespace
+
 std::vector<ScoredUserPair> SPPJC(const ObjectDatabase& db,
-                                  const STPSQuery& query) {
+                                  const STPSQuery& query, JoinStats* stats) {
   std::vector<ScoredUserPair> result;
   if (db.num_objects() == 0) return result;
   const UserGrid grid(db, query.eps_loc);
   const MatchThresholds t = query.match_thresholds();
   const size_t n = db.num_users();
-  // "selectedUsers" of Algorithm 1 is the prefix of already-seen users:
-  // each new user u1 is joined against every previous u2.
   for (UserId u1 = 0; u1 < n; ++u1) {
-    for (UserId u2 = 0; u2 < u1; ++u2) {
-      const double sigma =
-          PPJCPair(grid.UserCells(u1), db.UserObjectCount(u1),
-                   grid.UserCells(u2), db.UserObjectCount(u2),
-                   grid.geometry(), t);
-      if (sigma >= query.eps_u) {
-        result.push_back({u2, u1, sigma});
-      }
-    }
+    ProcessUserC(db, grid, query, t, u1, &result, stats);
   }
-  std::sort(result.begin(), result.end(),
-            [](const ScoredUserPair& x, const ScoredUserPair& y) {
-              if (x.a != y.a) return x.a < y.a;
-              return x.b < y.b;
-            });
+  std::sort(result.begin(), result.end(), PairIdLess);
   return result;
+}
+
+std::vector<ScoredUserPair> SPPJCParallel(const ObjectDatabase& db,
+                                          const STPSQuery& query,
+                                          const ParallelOptions& parallel,
+                                          JoinStats* stats) {
+  STPS_CHECK(parallel.num_threads >= 1);
+  if (db.num_objects() == 0) return {};
+  const UserGrid grid(db, query.eps_loc);
+  const MatchThresholds t = query.match_thresholds();
+  const size_t n = db.num_users();
+
+  ThreadPool pool(parallel.num_threads);
+  const size_t slots = static_cast<size_t>(pool.num_threads());
+  std::vector<std::vector<ScoredUserPair>> per_worker(slots);
+  std::vector<JoinStats> worker_stats(slots);
+  pool.ParallelForEach(0, n, parallel.grain, [&](size_t u1, int worker) {
+    ProcessUserC(db, grid, query, t, static_cast<UserId>(u1),
+                 &per_worker[static_cast<size_t>(worker)],
+                 stats != nullptr ? &worker_stats[static_cast<size_t>(worker)]
+                                  : nullptr);
+  });
+  MergeWorkerStats(stats, worker_stats);
+  return MergeSortedPairs(&per_worker);
 }
 
 }  // namespace stps

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/parallel_util.h"
 #include "spatial/quadtree.h"
 #include "spatial/spatial_join.h"
 #include "text/token_set.h"
@@ -63,6 +64,7 @@ LeafPartitionIndex::LeafPartitionIndex(const ObjectDatabase& db,
   leaf_mbrs_.reserve(num_parts);
   extended_mbrs_.reserve(num_parts);
   per_user_.resize(db.num_users());
+  leaf_users_.resize(num_parts);
   token_users_.resize(num_parts);
 
   for (uint32_t ordinal = 0; ordinal < num_parts; ++ordinal) {
@@ -89,6 +91,7 @@ LeafPartitionIndex::LeafPartitionIndex(const ObjectDatabase& db,
         leaf_tokens[t].push_back(u);
       }
     }
+    leaf_users_[ordinal] = std::move(users);
   }
   // per_user_ lists are already sorted by partition ordinal (partitions
   // visited in ascending order).
@@ -123,12 +126,123 @@ void FilterToBox(const UserPartition* p, const Rect& box,
   }
 }
 
+// Earlier users (< u) sharing a relevant leaf with u, regardless of
+// tokens. The leaf-partitioning analogue of CountColocatedEarlierUsers:
+// splits the filter's prunes into spatial vs textual for JoinStats.
+size_t CountColocatedEarlierUsersD(const LeafPartitionIndex& index,
+                                   const UserPartitionList& lu, UserId u) {
+  std::vector<UserId> colocated;
+  for (const UserPartition& leaf : lu) {
+    for (const uint32_t other :
+         index.RelevantLeaves(static_cast<uint32_t>(leaf.id))) {
+      for (const UserId candidate : index.LeafUsers(other)) {
+        if (candidate >= u) break;  // lists are ascending by user id
+        colocated.push_back(candidate);
+      }
+    }
+  }
+  SortUnique(&colocated);
+  return colocated.size();
+}
+
+struct CandidateLeaves {
+  std::vector<int64_t> my_leaves;
+  std::vector<int64_t> their_leaves;
+};
+
+// One pass over probing user u: filter via the leaf-level inverted
+// lists, sigma_bar count bound, then PPJ-D refinement. Candidates are
+// restricted to earlier users so every pair is evaluated exactly once;
+// used by both the sequential and the pool-parallel driver.
+void ProcessUserD(const ObjectDatabase& db, const LeafPartitionIndex& index,
+                  const STPSQuery& query, const MatchThresholds& t, UserId u,
+                  std::vector<ScoredUserPair>* out, JoinStats* stats) {
+  const UserPartitionList& lu = index.UserLeaves(u);
+  const size_t nu = db.UserObjectCount(u);
+  std::unordered_map<UserId, CandidateLeaves> candidates;
+
+  // Filter: probe the distinct tokens of every leaf of u against the
+  // inverted lists of the relevant leaves; only users earlier in the
+  // total order are candidates (the lists are sorted ascending).
+  for (const UserPartition& leaf : lu) {
+    const TokenVector tokens =
+        DistinctTokens(std::span<const ObjectRef>(leaf.objects));
+    for (const uint32_t other :
+         index.RelevantLeaves(static_cast<uint32_t>(leaf.id))) {
+      if (stats != nullptr) ++stats->cells_visited;
+      for (const TokenId token : tokens) {
+        const std::vector<UserId>* users = index.TokenUsers(other, token);
+        if (users == nullptr) continue;
+        for (const UserId candidate : *users) {
+          if (candidate >= u) break;  // sorted ascending
+          CandidateLeaves& cl = candidates[candidate];
+          // Opportunistic growth limiting only; SortUnique below is the
+          // authoritative dedup (their_leaves interleaves across the
+          // outer leaf loop, so back() checks cannot catch everything).
+          if (cl.my_leaves.empty() || cl.my_leaves.back() != leaf.id) {
+            cl.my_leaves.push_back(leaf.id);
+          }
+          if (cl.their_leaves.empty() || cl.their_leaves.back() != other) {
+            cl.their_leaves.push_back(other);
+          }
+        }
+      }
+    }
+  }
+  if (stats != nullptr) {
+    // Where did the earlier users go? Co-located users without a shared
+    // token were pruned textually, the rest spatially.
+    const size_t colocated = CountColocatedEarlierUsersD(index, lu, u);
+    stats->pairs_candidate += candidates.size();
+    stats->pairs_pruned_textual += colocated - candidates.size();
+    stats->pairs_pruned_spatial += u - colocated;
+  }
+
+  for (auto& [candidate, leaves] : candidates) {
+    const UserPartitionList& lv = index.UserLeaves(candidate);
+    const size_t nv = db.UserObjectCount(candidate);
+    SortUnique(&leaves.my_leaves);
+    SortUnique(&leaves.their_leaves);
+    // sigma_bar: assume every object in the supporting leaves matches.
+    size_t m = 0;
+    for (const int64_t l : leaves.my_leaves) {
+      m += PartitionObjectCount(lu, l);
+    }
+    for (const int64_t l : leaves.their_leaves) {
+      m += PartitionObjectCount(lv, l);
+    }
+    const double bound =
+        static_cast<double>(m) / static_cast<double>(nu + nv);
+    if (bound < query.eps_u) {
+      if (stats != nullptr) ++stats->pairs_pruned_count;
+      continue;
+    }
+    if (stats != nullptr) ++stats->pairs_verified;
+    const double sigma =
+        PPJDPair(lu, nu, lv, nv, index, t, query.eps_u, stats);
+    if (sigma >= query.eps_u) {
+      out->push_back({candidate, u, sigma});
+      if (stats != nullptr) ++stats->matches_found;
+    }
+  }
+}
+
+LeafPartitionIndex BuildIndex(const ObjectDatabase& db,
+                              const STPSQuery& query,
+                              const SPPJDOptions& options) {
+  return LeafPartitionIndex(
+      db, query.eps_loc,
+      options.partitioning == PartitioningScheme::kRTree
+          ? RTreePartitioning(db, options.fanout)
+          : QuadTreePartitioning(db, options.fanout));
+}
+
 }  // namespace
 
 double PPJDPair(const UserPartitionList& lu, size_t nu,
                 const UserPartitionList& lv, size_t nv,
                 const LeafPartitionIndex& index, const MatchThresholds& t,
-                double eps_u) {
+                double eps_u, JoinStats* stats) {
   if (nu + nv == 0) return 0.0;
   const bool bounded = eps_u > 0.0;
   const double beta = UnmatchedBound(nu, nv, eps_u);
@@ -138,6 +252,7 @@ double PPJDPair(const UserPartitionList& lu, size_t nu,
   std::vector<ObjectRef> scratch_a, scratch_b;
 
   for (const MergedPartition& cell : MergePartitionLists(lu, lv)) {
+    if (stats != nullptr) ++stats->cells_visited;
     const uint32_t leaf = static_cast<uint32_t>(cell.id);
     const Rect& ext = index.ExtendedMbr(leaf);
     if (cell.u != nullptr) {
@@ -184,7 +299,10 @@ double PPJDPair(const UserPartitionList& lu, size_t nu,
       const double unmatched_lower_bound =
           static_cast<double>(processed_objects) -
           static_cast<double>(matched_total);
-      if (unmatched_lower_bound > beta) return 0.0;
+      if (unmatched_lower_bound > beta) {
+        if (stats != nullptr) ++stats->refine_early_stops;
+        return 0.0;
+      }
     }
   }
   return static_cast<double>(matched_total) / static_cast<double>(nu + nv);
@@ -192,86 +310,47 @@ double PPJDPair(const UserPartitionList& lu, size_t nu,
 
 std::vector<ScoredUserPair> SPPJD(const ObjectDatabase& db,
                                   const STPSQuery& query,
-                                  const SPPJDOptions& options) {
+                                  const SPPJDOptions& options,
+                                  JoinStats* stats) {
   STPS_CHECK(query.eps_doc > 0.0);
   STPS_CHECK(query.eps_u > 0.0);
   std::vector<ScoredUserPair> result;
   if (db.num_objects() == 0) return result;
-  const LeafPartitionIndex index(
-      db, query.eps_loc,
-      options.partitioning == PartitioningScheme::kRTree
-          ? RTreePartitioning(db, options.fanout)
-          : QuadTreePartitioning(db, options.fanout));
+  const LeafPartitionIndex index = BuildIndex(db, query, options);
   const MatchThresholds t = query.match_thresholds();
-  const size_t n = db.num_users();
-
-  struct CandidateLeaves {
-    std::vector<int64_t> my_leaves;
-    std::vector<int64_t> their_leaves;
-  };
-  std::unordered_map<UserId, CandidateLeaves> candidates;
-
-  for (UserId u = 0; u < n; ++u) {
-    const UserPartitionList& lu = index.UserLeaves(u);
-    const size_t nu = db.UserObjectCount(u);
-    candidates.clear();
-
-    // Filter: probe the distinct tokens of every leaf of u against the
-    // inverted lists of the relevant leaves; only users earlier in the
-    // total order are candidates (the lists are sorted ascending).
-    for (const UserPartition& leaf : lu) {
-      const TokenVector tokens =
-          DistinctTokens(std::span<const ObjectRef>(leaf.objects));
-      for (const uint32_t other :
-           index.RelevantLeaves(static_cast<uint32_t>(leaf.id))) {
-        for (const TokenId token : tokens) {
-          const std::vector<UserId>* users = index.TokenUsers(other, token);
-          if (users == nullptr) continue;
-          for (const UserId candidate : *users) {
-            if (candidate >= u) break;  // sorted ascending
-            CandidateLeaves& cl = candidates[candidate];
-            if (cl.my_leaves.empty() || cl.my_leaves.back() != leaf.id) {
-              cl.my_leaves.push_back(leaf.id);
-            }
-            if (cl.their_leaves.empty() || cl.their_leaves.back() != other) {
-              cl.their_leaves.push_back(other);
-            }
-          }
-        }
-      }
-    }
-
-    for (auto& [candidate, leaves] : candidates) {
-      const UserPartitionList& lv = index.UserLeaves(candidate);
-      const size_t nv = db.UserObjectCount(candidate);
-      // sigma_bar: assume every object in the supporting leaves matches.
-      std::sort(leaves.their_leaves.begin(), leaves.their_leaves.end());
-      leaves.their_leaves.erase(
-          std::unique(leaves.their_leaves.begin(), leaves.their_leaves.end()),
-          leaves.their_leaves.end());
-      size_t m = 0;
-      for (const int64_t l : leaves.my_leaves) {
-        m += PartitionObjectCount(lu, l);
-      }
-      for (const int64_t l : leaves.their_leaves) {
-        m += PartitionObjectCount(lv, l);
-      }
-      const double bound =
-          static_cast<double>(m) / static_cast<double>(nu + nv);
-      if (bound < query.eps_u) continue;
-      const double sigma = PPJDPair(lu, nu, lv, nv, index, t, query.eps_u);
-      if (sigma >= query.eps_u) {
-        result.push_back({std::min(u, candidate), std::max(u, candidate),
-                          sigma});
-      }
-    }
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    ProcessUserD(db, index, query, t, u, &result, stats);
   }
-  std::sort(result.begin(), result.end(),
-            [](const ScoredUserPair& x, const ScoredUserPair& y) {
-              if (x.a != y.a) return x.a < y.a;
-              return x.b < y.b;
-            });
+  std::sort(result.begin(), result.end(), PairIdLess);
   return result;
+}
+
+std::vector<ScoredUserPair> SPPJDParallel(const ObjectDatabase& db,
+                                          const STPSQuery& query,
+                                          const SPPJDOptions& options,
+                                          const ParallelOptions& parallel,
+                                          JoinStats* stats) {
+  STPS_CHECK(query.eps_doc > 0.0);
+  STPS_CHECK(query.eps_u > 0.0);
+  STPS_CHECK(parallel.num_threads >= 1);
+  if (db.num_objects() == 0) return {};
+  const LeafPartitionIndex index = BuildIndex(db, query, options);
+  const MatchThresholds t = query.match_thresholds();
+
+  ThreadPool pool(parallel.num_threads);
+  const size_t slots = static_cast<size_t>(pool.num_threads());
+  std::vector<std::vector<ScoredUserPair>> per_worker(slots);
+  std::vector<JoinStats> worker_stats(slots);
+  pool.ParallelForEach(
+      0, db.num_users(), parallel.grain, [&](size_t u, int worker) {
+        ProcessUserD(db, index, query, t, static_cast<UserId>(u),
+                     &per_worker[static_cast<size_t>(worker)],
+                     stats != nullptr
+                         ? &worker_stats[static_cast<size_t>(worker)]
+                         : nullptr);
+      });
+  MergeWorkerStats(stats, worker_stats);
+  return MergeSortedPairs(&per_worker);
 }
 
 }  // namespace stps

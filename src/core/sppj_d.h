@@ -13,7 +13,9 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/database.h"
+#include "core/join_stats.h"
 #include "core/similarity.h"
 #include "core/user_grid.h"
 #include "spatial/rtree.h"
@@ -93,26 +95,46 @@ class LeafPartitionIndex {
   /// nullptr when none.
   const std::vector<UserId>* TokenUsers(uint32_t leaf, TokenId t) const;
 
+  /// Users (ascending) having any object in `leaf`. Used by the JoinStats
+  /// spatial/textual filter breakdown.
+  const std::vector<UserId>& LeafUsers(uint32_t leaf) const {
+    STPS_DCHECK(leaf < leaf_users_.size());
+    return leaf_users_[leaf];
+  }
+
  private:
   std::vector<Rect> leaf_mbrs_;
   std::vector<Rect> extended_mbrs_;
   std::vector<std::vector<uint32_t>> adjacency_;
   std::vector<UserPartitionList> per_user_;
+  std::vector<std::vector<UserId>> leaf_users_;
   std::vector<std::unordered_map<TokenId, std::vector<UserId>>> token_users_;
 };
 
 /// PPJ-D (Algorithm 3): sigma for a user pair over the leaf partitioning,
 /// with early termination at eps_u (exact whenever sigma >= eps_u).
+/// `stats` (optional) accrues cells_visited and refine_early_stops.
 double PPJDPair(const UserPartitionList& lu, size_t nu,
                 const UserPartitionList& lv, size_t nv,
                 const LeafPartitionIndex& index, const MatchThresholds& t,
-                double eps_u);
+                double eps_u, JoinStats* stats = nullptr);
 
 /// Evaluates the STPSJoin query with S-PPJ-D. Same output contract as
 /// SPPJC. Preconditions: eps_doc > 0, eps_u > 0 (see S-PPJ-F).
 std::vector<ScoredUserPair> SPPJD(const ObjectDatabase& db,
                                   const STPSQuery& query,
-                                  const SPPJDOptions& options = {});
+                                  const SPPJDOptions& options = {},
+                                  JoinStats* stats = nullptr);
+
+/// Parallel S-PPJ-D: the leaf index is built once (it is not
+/// incremental), then the probing-user loop runs on the work-stealing
+/// pool with candidates restricted to earlier users. Bit-identical to
+/// SPPJD at any thread count.
+std::vector<ScoredUserPair> SPPJDParallel(const ObjectDatabase& db,
+                                          const STPSQuery& query,
+                                          const SPPJDOptions& options,
+                                          const ParallelOptions& parallel,
+                                          JoinStats* stats = nullptr);
 
 }  // namespace stps
 

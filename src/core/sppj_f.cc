@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "core/parallel_util.h"
 #include "core/ppjb.h"
 #include "core/user_grid.h"
 
@@ -37,7 +38,8 @@ double SigmaUpperBound(const CandidateCells& cells,
 std::vector<ScoredUserPair> SPPJFAblation(const ObjectDatabase& db,
                                           const STPSQuery& query,
                                           bool use_sigma_bound,
-                                          bool use_refine_bound) {
+                                          bool use_refine_bound,
+                                          JoinStats* stats) {
   // The token-probing filter only sees pairs with at least one textually
   // overlapping object pair; it is complete exactly when a result pair
   // must contain a match (eps_u > 0) and a match must share a token
@@ -68,14 +70,16 @@ std::vector<ScoredUserPair> SPPJFAblation(const ObjectDatabase& db,
       grid.geometry().AppendNeighborhood(cell.id, /*include_self=*/true,
                                          &neighbors);
       for (const CellId other : neighbors) {
+        if (stats != nullptr) ++stats->cells_visited;
         for (const TokenId token : tokens) {
           const std::vector<UserId>* users = index.TokenUsers(other, token);
           if (users == nullptr) continue;
           for (const UserId candidate : *users) {
             CandidateCells& cc = candidates[candidate];
             // Cells of u arrive in ascending order, so a back() check
-            // fully deduplicates my_cells; their_cells is deduplicated
-            // once below.
+            // fully deduplicates my_cells; their_cells interleaves, so
+            // the check only limits growth — SortUnique below is the
+            // authoritative dedup for both.
             if (cc.my_cells.empty() || cc.my_cells.back() != cell.id) {
               cc.my_cells.push_back(cell.id);
             }
@@ -86,41 +90,49 @@ std::vector<ScoredUserPair> SPPJFAblation(const ObjectDatabase& db,
         }
       }
     }
+    if (stats != nullptr) {
+      // Where did the earlier users go? Co-located users without a shared
+      // token were pruned textually, the rest spatially.
+      const size_t colocated =
+          CountColocatedEarlierUsers(grid.geometry(), index, cu, u);
+      stats->pairs_candidate += candidates.size();
+      stats->pairs_pruned_textual += colocated - candidates.size();
+      stats->pairs_pruned_spatial += u - colocated;
+    }
     index.AddUser(u, cu);
 
     // Refine each surviving candidate.
     for (auto& [candidate, cells] : candidates) {
       const UserPartitionList& cv = grid.UserCells(candidate);
       const size_t nv = db.UserObjectCount(candidate);
+      SortUnique(&cells.my_cells);
+      SortUnique(&cells.their_cells);
       if (use_sigma_bound) {
-        std::sort(cells.their_cells.begin(), cells.their_cells.end());
-        cells.their_cells.erase(
-            std::unique(cells.their_cells.begin(), cells.their_cells.end()),
-            cells.their_cells.end());
         const double bound = SigmaUpperBound(cells, cu, cv, nu, nv);
-        if (bound < query.eps_u) continue;
+        if (bound < query.eps_u) {
+          if (stats != nullptr) ++stats->pairs_pruned_count;
+          continue;
+        }
       }
+      if (stats != nullptr) ++stats->pairs_verified;
       const double sigma =
           PPJBPair(cu, nu, cv, nv, grid.geometry(), t,
-                   use_refine_bound ? query.eps_u : 0.0);
+                   use_refine_bound ? query.eps_u : 0.0, stats);
       if (sigma >= query.eps_u) {
         result.push_back({std::min(u, candidate), std::max(u, candidate),
                           sigma});
+        if (stats != nullptr) ++stats->matches_found;
       }
     }
   }
-  std::sort(result.begin(), result.end(),
-            [](const ScoredUserPair& x, const ScoredUserPair& y) {
-              if (x.a != y.a) return x.a < y.a;
-              return x.b < y.b;
-            });
+  std::sort(result.begin(), result.end(), PairIdLess);
   return result;
 }
 
 std::vector<ScoredUserPair> SPPJF(const ObjectDatabase& db,
-                                  const STPSQuery& query) {
+                                  const STPSQuery& query, JoinStats* stats) {
   return SPPJFAblation(db, query, /*use_sigma_bound=*/true,
-                       /*use_refine_bound=*/true);
+                       /*use_refine_bound=*/true, stats);
 }
 
 }  // namespace stps

@@ -10,6 +10,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/join_stats.h"
 #include "core/similarity.h"
 
 namespace stps {
@@ -17,7 +18,8 @@ namespace stps {
 /// Evaluates the STPSJoin query with S-PPJ-F. Same output contract as
 /// SPPJC.
 std::vector<ScoredUserPair> SPPJF(const ObjectDatabase& db,
-                                  const STPSQuery& query);
+                                  const STPSQuery& query,
+                                  JoinStats* stats = nullptr);
 
 /// Ablation variant used by the benchmarks: disables the sigma_bar
 /// candidate bound (`use_sigma_bound` = false) and/or the PPJ-B early
@@ -26,7 +28,8 @@ std::vector<ScoredUserPair> SPPJF(const ObjectDatabase& db,
 std::vector<ScoredUserPair> SPPJFAblation(const ObjectDatabase& db,
                                           const STPSQuery& query,
                                           bool use_sigma_bound,
-                                          bool use_refine_bound);
+                                          bool use_refine_bound,
+                                          JoinStats* stats = nullptr);
 
 }  // namespace stps
 

@@ -5,6 +5,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "core/parallel_util.h"
 #include "core/ppjb.h"
 #include "core/user_grid.h"
 
@@ -22,7 +23,8 @@ struct CandidateCells {
 // are restricted to earlier users in the total order.
 void ProcessUser(const ObjectDatabase& db, const UserGrid& grid,
                  const SpatioTextualGridIndex& index, const STPSQuery& query,
-                 UserId u, std::vector<ScoredUserPair>* out) {
+                 UserId u, std::vector<ScoredUserPair>* out,
+                 JoinStats* stats) {
   const MatchThresholds t = query.match_thresholds();
   const UserPartitionList& cu = grid.UserCells(u);
   const size_t nu = db.UserObjectCount(u);
@@ -36,12 +38,16 @@ void ProcessUser(const ObjectDatabase& db, const UserGrid& grid,
     grid.geometry().AppendNeighborhood(cell.id, /*include_self=*/true,
                                        &neighbors);
     for (const CellId other : neighbors) {
+      if (stats != nullptr) ++stats->cells_visited;
       for (const TokenId token : tokens) {
         const std::vector<UserId>* users = index.TokenUsers(other, token);
         if (users == nullptr) continue;
         for (const UserId candidate : *users) {
           if (candidate >= u) break;  // lists are ascending by user id
           CandidateCells& cc = candidates[candidate];
+          // Opportunistic growth limiting only; SortUnique below is the
+          // authoritative dedup (their_cells interleaves across the
+          // outer cell loop, so back() checks cannot catch everything).
           if (cc.my_cells.empty() || cc.my_cells.back() != cell.id) {
             cc.my_cells.push_back(cell.id);
           }
@@ -52,14 +58,19 @@ void ProcessUser(const ObjectDatabase& db, const UserGrid& grid,
       }
     }
   }
+  if (stats != nullptr) {
+    const size_t colocated =
+        CountColocatedEarlierUsers(grid.geometry(), index, cu, u);
+    stats->pairs_candidate += candidates.size();
+    stats->pairs_pruned_textual += colocated - candidates.size();
+    stats->pairs_pruned_spatial += u - colocated;
+  }
 
   for (auto& [candidate, cells] : candidates) {
     const UserPartitionList& cv = grid.UserCells(candidate);
     const size_t nv = db.UserObjectCount(candidate);
-    std::sort(cells.their_cells.begin(), cells.their_cells.end());
-    cells.their_cells.erase(
-        std::unique(cells.their_cells.begin(), cells.their_cells.end()),
-        cells.their_cells.end());
+    SortUnique(&cells.my_cells);
+    SortUnique(&cells.their_cells);
     size_t m = 0;
     for (const CellId c : cells.my_cells) {
       m += PartitionObjectCount(cu, c);
@@ -69,12 +80,26 @@ void ProcessUser(const ObjectDatabase& db, const UserGrid& grid,
     }
     const double bound = static_cast<double>(m) /
                          static_cast<double>(nu + nv);
-    if (bound < query.eps_u) continue;
+    if (bound < query.eps_u) {
+      if (stats != nullptr) ++stats->pairs_pruned_count;
+      continue;
+    }
+    if (stats != nullptr) ++stats->pairs_verified;
     const double sigma =
-        PPJBPair(cu, nu, cv, nv, grid.geometry(), t, query.eps_u);
+        PPJBPair(cu, nu, cv, nv, grid.geometry(), t, query.eps_u, stats);
     if (sigma >= query.eps_u) {
       out->push_back({candidate, u, sigma});
+      if (stats != nullptr) ++stats->matches_found;
     }
+  }
+}
+
+// Builds the complete spatio-textual index (users in id order, so the
+// inverted lists are ascending and the u' < u filter can stop early).
+void BuildFullIndex(const ObjectDatabase& db, const UserGrid& grid,
+                    SpatioTextualGridIndex* index) {
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    index->AddUser(u, grid.UserCells(u));
   }
 }
 
@@ -82,7 +107,42 @@ void ProcessUser(const ObjectDatabase& db, const UserGrid& grid,
 
 std::vector<ScoredUserPair> SPPJFParallel(const ObjectDatabase& db,
                                           const STPSQuery& query,
+                                          const ParallelOptions& parallel,
+                                          JoinStats* stats) {
+  STPS_CHECK(query.eps_doc > 0.0);
+  STPS_CHECK(query.eps_u > 0.0);
+  STPS_CHECK(parallel.num_threads >= 1);
+  if (db.num_objects() == 0) return {};
+
+  const UserGrid grid(db, query.eps_loc);
+  SpatioTextualGridIndex index;
+  BuildFullIndex(db, grid, &index);
+
+  ThreadPool pool(parallel.num_threads);
+  const size_t slots = static_cast<size_t>(pool.num_threads());
+  std::vector<std::vector<ScoredUserPair>> per_worker(slots);
+  std::vector<JoinStats> worker_stats(slots);
+  pool.ParallelForEach(
+      0, db.num_users(), parallel.grain, [&](size_t u, int worker) {
+        ProcessUser(db, grid, index, query, static_cast<UserId>(u),
+                    &per_worker[static_cast<size_t>(worker)],
+                    stats != nullptr
+                        ? &worker_stats[static_cast<size_t>(worker)]
+                        : nullptr);
+      });
+  MergeWorkerStats(stats, worker_stats);
+  return MergeSortedPairs(&per_worker);
+}
+
+std::vector<ScoredUserPair> SPPJFParallel(const ObjectDatabase& db,
+                                          const STPSQuery& query,
                                           int num_threads) {
+  return SPPJFParallel(db, query, ParallelOptions{num_threads, 0});
+}
+
+std::vector<ScoredUserPair> SPPJFParallelHandRolled(const ObjectDatabase& db,
+                                                    const STPSQuery& query,
+                                                    int num_threads) {
   STPS_CHECK(query.eps_doc > 0.0);
   STPS_CHECK(query.eps_u > 0.0);
   STPS_CHECK(num_threads >= 1);
@@ -91,9 +151,7 @@ std::vector<ScoredUserPair> SPPJFParallel(const ObjectDatabase& db,
 
   const UserGrid grid(db, query.eps_loc);
   SpatioTextualGridIndex index;
-  for (UserId u = 0; u < db.num_users(); ++u) {
-    index.AddUser(u, grid.UserCells(u));
-  }
+  BuildFullIndex(db, grid, &index);
 
   const size_t n = db.num_users();
   std::atomic<uint32_t> next_user{0};
@@ -104,7 +162,7 @@ std::vector<ScoredUserPair> SPPJFParallel(const ObjectDatabase& db,
     for (;;) {
       const uint32_t u = next_user.fetch_add(1, std::memory_order_relaxed);
       if (u >= n) break;
-      ProcessUser(db, grid, index, query, u, &out);
+      ProcessUser(db, grid, index, query, u, &out, nullptr);
     }
   };
   if (num_threads == 1) {
@@ -120,11 +178,7 @@ std::vector<ScoredUserPair> SPPJFParallel(const ObjectDatabase& db,
   for (const auto& partial : per_thread) {
     result.insert(result.end(), partial.begin(), partial.end());
   }
-  std::sort(result.begin(), result.end(),
-            [](const ScoredUserPair& x, const ScoredUserPair& y) {
-              if (x.a != y.a) return x.a < y.a;
-              return x.b < y.b;
-            });
+  std::sort(result.begin(), result.end(), PairIdLess);
   return result;
 }
 

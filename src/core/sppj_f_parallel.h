@@ -2,27 +2,46 @@
 // future-work goal of distributed STPSJoin processing.
 //
 // Unlike the sequential algorithm, the spatio-textual grid index is built
-// *once* over all users; each worker thread then processes a disjoint
-// subset of users, restricting candidates to users earlier in the total
-// order, so every pair is evaluated by exactly one worker. All shared
-// state is immutable during the parallel phase.
+// *once* over all users; workers then process disjoint user subsets,
+// restricting candidates to users earlier in the total order, so every
+// pair is evaluated by exactly one worker. All shared state is immutable
+// during the parallel phase. Scheduling runs on the work-stealing
+// ThreadPool (common/thread_pool.h); results and JoinStats counters are
+// accumulated per worker slot and merged at the end, so the output is
+// bit-identical to SPPJF at any thread count.
 
 #ifndef STPS_CORE_SPPJ_F_PARALLEL_H_
 #define STPS_CORE_SPPJ_F_PARALLEL_H_
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/database.h"
+#include "core/join_stats.h"
 #include "core/similarity.h"
 
 namespace stps {
 
-/// Evaluates the STPSJoin query with `num_threads` workers. Produces the
+/// Evaluates the STPSJoin query on the work-stealing pool. Produces the
 /// same result as SPPJF (sorted by (a, b), exact scores). Preconditions:
-/// eps_doc > 0, eps_u > 0, num_threads >= 1.
+/// eps_doc > 0, eps_u > 0, parallel.num_threads >= 1.
+std::vector<ScoredUserPair> SPPJFParallel(const ObjectDatabase& db,
+                                          const STPSQuery& query,
+                                          const ParallelOptions& parallel,
+                                          JoinStats* stats = nullptr);
+
+/// Convenience overload: `num_threads` workers, auto grain.
 std::vector<ScoredUserPair> SPPJFParallel(const ObjectDatabase& db,
                                           const STPSQuery& query,
                                           int num_threads);
+
+/// The pre-ThreadPool implementation — a plain std::thread loop pulling
+/// users off one atomic counter. Kept only as the baseline for
+/// bench_parallel_scaling (the pool must not be slower); new callers use
+/// SPPJFParallel.
+std::vector<ScoredUserPair> SPPJFParallelHandRolled(const ObjectDatabase& db,
+                                                    const STPSQuery& query,
+                                                    int num_threads);
 
 }  // namespace stps
 

@@ -1,5 +1,7 @@
 #include "core/stpsjoin.h"
 
+#include <algorithm>
+
 #include "core/sppj_b.h"
 #include "core/sppj_c.h"
 #include "core/sppj_d.h"
@@ -10,21 +12,30 @@ namespace stps {
 
 std::vector<ScoredUserPair> RunSTPSJoin(const ObjectDatabase& db,
                                         const STPSQuery& query,
-                                        const JoinOptions& options) {
+                                        const JoinOptions& options,
+                                        JoinStats* stats) {
+  // Either knob may request parallelism; take the stronger one.
+  const int threads =
+      std::max(options.threads, query.parallel.num_threads);
+  const ParallelOptions parallel{threads, query.parallel.grain};
   switch (options.algorithm) {
     case JoinAlgorithm::kBruteForce:
       return BruteForceSTPSJoin(db, query);
     case JoinAlgorithm::kSPPJC:
-      return SPPJC(db, query);
+      if (threads > 1) return SPPJCParallel(db, query, parallel, stats);
+      return SPPJC(db, query, stats);
     case JoinAlgorithm::kSPPJB:
-      return SPPJB(db, query);
+      if (threads > 1) return SPPJBParallel(db, query, parallel, stats);
+      return SPPJB(db, query, stats);
     case JoinAlgorithm::kSPPJF:
-      if (options.threads > 1) {
-        return SPPJFParallel(db, query, options.threads);
-      }
-      return SPPJF(db, query);
+      if (threads > 1) return SPPJFParallel(db, query, parallel, stats);
+      return SPPJF(db, query, stats);
     case JoinAlgorithm::kSPPJD:
-      return SPPJD(db, query, SPPJDOptions{options.rtree_fanout});
+      if (threads > 1) {
+        return SPPJDParallel(db, query, SPPJDOptions{options.rtree_fanout},
+                             parallel, stats);
+      }
+      return SPPJD(db, query, SPPJDOptions{options.rtree_fanout}, stats);
   }
   STPS_CHECK(false);
   return {};
@@ -32,16 +43,30 @@ std::vector<ScoredUserPair> RunSTPSJoin(const ObjectDatabase& db,
 
 std::vector<ScoredUserPair> RunTopKSTPSJoin(const ObjectDatabase& db,
                                             const TopKQuery& query,
-                                            TopKAlgorithm algorithm) {
+                                            TopKAlgorithm algorithm,
+                                            JoinStats* stats) {
+  const bool parallel = query.parallel.num_threads > 1;
   switch (algorithm) {
     case TopKAlgorithm::kBruteForce:
       return BruteForceTopK(db, query);
     case TopKAlgorithm::kF:
-      return TopKSPPJF(db, query);
+      if (parallel) {
+        return TopKSTPSJoinParallel(db, query, TopKVariant::kF,
+                                    query.parallel, stats);
+      }
+      return TopKSTPSJoin(db, query, TopKVariant::kF, stats);
     case TopKAlgorithm::kS:
-      return TopKSPPJS(db, query);
+      if (parallel) {
+        return TopKSTPSJoinParallel(db, query, TopKVariant::kS,
+                                    query.parallel, stats);
+      }
+      return TopKSTPSJoin(db, query, TopKVariant::kS, stats);
     case TopKAlgorithm::kP:
-      return TopKSPPJP(db, query);
+      if (parallel) {
+        return TopKSTPSJoinParallel(db, query, TopKVariant::kP,
+                                    query.parallel, stats);
+      }
+      return TopKSTPSJoin(db, query, TopKVariant::kP, stats);
   }
   STPS_CHECK(false);
   return {};

@@ -9,6 +9,7 @@
 #include <vector>
 
 #include "core/database.h"
+#include "core/join_stats.h"
 #include "core/similarity.h"
 #include "core/topk.h"
 
@@ -36,24 +37,31 @@ struct JoinOptions {
   JoinAlgorithm algorithm = JoinAlgorithm::kSPPJF;
   /// R-tree node capacity; only used by S-PPJ-D.
   int rtree_fanout = 128;
-  /// Worker threads; values > 1 select the parallel S-PPJ-F variant
-  /// (only meaningful with algorithm == kSPPJF).
+  /// Worker threads; kept for backward compatibility with the old
+  /// S-PPJ-F-only parallelism. The effective thread count is
+  /// max(threads, query.parallel.num_threads); when > 1, every grid- or
+  /// leaf-based algorithm dispatches to its pool-parallel driver (brute
+  /// force always runs sequentially).
   int threads = 1;
 };
 
 /// Evaluates Q = <eps_loc, eps_doc, eps_u>: all user pairs with
-/// sigma >= eps_u. Results are sorted by (a, b) and carry exact scores.
-/// Preconditions for the filter-based algorithms (F, D): eps_doc > 0 and
-/// eps_u > 0.
+/// sigma >= eps_u. Results are sorted by (a, b) and carry exact scores —
+/// bit-identical at any thread count. Preconditions for the filter-based
+/// algorithms (F, D): eps_doc > 0 and eps_u > 0. `stats` (optional)
+/// receives the per-stage filter counters of the run.
 std::vector<ScoredUserPair> RunSTPSJoin(const ObjectDatabase& db,
                                         const STPSQuery& query,
-                                        const JoinOptions& options = {});
+                                        const JoinOptions& options = {},
+                                        JoinStats* stats = nullptr);
 
 /// Evaluates the top-k query; results best-first under TopKBetter.
-/// Precondition for the index-based variants: eps_doc > 0.
+/// Precondition for the index-based variants: eps_doc > 0. When
+/// query.parallel.num_threads > 1, the index-based variants run on the
+/// work-stealing pool (identical results at any thread count).
 std::vector<ScoredUserPair> RunTopKSTPSJoin(
     const ObjectDatabase& db, const TopKQuery& query,
-    TopKAlgorithm algorithm = TopKAlgorithm::kP);
+    TopKAlgorithm algorithm = TopKAlgorithm::kP, JoinStats* stats = nullptr);
 
 /// Display names ("S-PPJ-F", "TOPK-S-PPJ-P", ...) for reports.
 std::string_view JoinAlgorithmName(JoinAlgorithm algorithm);

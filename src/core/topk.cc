@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "core/parallel_util.h"
 #include "core/ppjb.h"
 #include "core/sppj_d.h"
 #include "core/user_grid.h"
@@ -107,11 +108,17 @@ std::vector<UserId> OrderByPopularity(const ObjectDatabase& db,
 }
 
 // TOPK-S-PPJ-P prefilter: the number of objects of u that have a token
-// appearing (from a previously indexed user) in their own or an adjacent
-// cell — an overestimate of |M(Du, D_{U'})|.
+// appearing (from a previously processed user) in their own or an
+// adjacent cell — an overestimate of |M(Du, D_{U'})|. With an incremental
+// index (`rank` == nullptr) every indexed user counts; with the full
+// index of the parallel driver, only inverted-list entries of earlier
+// rank count — the lists are in rank order, so checking the front
+// suffices and the estimate equals the incremental one.
 size_t EstimateMatchableObjects(const UserPartitionList& cu,
                                 const GridGeometry& geometry,
-                                const SpatioTextualGridIndex& index) {
+                                const SpatioTextualGridIndex& index,
+                                const std::vector<uint32_t>* rank,
+                                uint32_t rank_u) {
   size_t count = 0;
   std::vector<CellId> neighbors;
   for (const UserPartition& cell : cu) {
@@ -127,10 +134,11 @@ size_t EstimateMatchableObjects(const UserPartitionList& cu,
       bool matchable = false;
       for (const TokenId t : ref.object->doc) {
         for (const CellId n : occupied) {
-          if (index.TokenUsers(n, t) != nullptr) {
-            matchable = true;
-            break;
-          }
+          const std::vector<UserId>* users = index.TokenUsers(n, t);
+          if (users == nullptr) continue;
+          if (rank != nullptr && (*rank)[users->front()] >= rank_u) continue;
+          matchable = true;
+          break;
         }
         if (matchable) break;
       }
@@ -145,11 +153,94 @@ struct CandidateCells {
   std::vector<CellId> their_cells;
 };
 
+// Token-probes the cells of u against the index. With `rank` == nullptr
+// (incremental index) every indexed user is a candidate; otherwise only
+// users of earlier rank are, and the rank-ordered inverted lists allow an
+// early break.
+void CollectCandidates(const UserGrid& grid,
+                       const SpatioTextualGridIndex& index,
+                       const UserPartitionList& cu,
+                       const std::vector<uint32_t>* rank, uint32_t rank_u,
+                       std::unordered_map<UserId, CandidateCells>* candidates,
+                       JoinStats* stats) {
+  std::vector<CellId> neighbors;
+  for (const UserPartition& cell : cu) {
+    const TokenVector tokens =
+        DistinctTokens(std::span<const ObjectRef>(cell.objects));
+    neighbors.clear();
+    grid.geometry().AppendNeighborhood(cell.id, /*include_self=*/true,
+                                       &neighbors);
+    for (const CellId other : neighbors) {
+      if (stats != nullptr) ++stats->cells_visited;
+      for (const TokenId token : tokens) {
+        const std::vector<UserId>* users = index.TokenUsers(other, token);
+        if (users == nullptr) continue;
+        for (const UserId candidate : *users) {
+          if (rank != nullptr && (*rank)[candidate] >= rank_u) {
+            break;  // lists are ascending by rank
+          }
+          CandidateCells& cc = (*candidates)[candidate];
+          // Opportunistic growth limiting only; SortUnique in the refine
+          // step is the authoritative dedup (their_cells interleaves
+          // across the outer cell loop).
+          if (cc.my_cells.empty() || cc.my_cells.back() != cell.id) {
+            cc.my_cells.push_back(cell.id);
+          }
+          if (cc.their_cells.empty() || cc.their_cells.back() != other) {
+            cc.their_cells.push_back(other);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Refines u's candidates against `queue`: the sigma_bar count bound once
+// the queue is full (strict <, so a tie on score can still win on the id
+// order), then the PPJ-B kernel with the queue threshold as eps_u. Any
+// nonzero PPJBPair return is exact, so offered pairs carry exact scores.
+void RefineCandidates(const ObjectDatabase& db, const UserGrid& grid,
+                      const MatchThresholds& t, UserId u,
+                      const UserPartitionList& cu, size_t nu,
+                      std::unordered_map<UserId, CandidateCells>* candidates,
+                      ResultQueue* queue, JoinStats* stats) {
+  if (stats != nullptr) stats->pairs_candidate += candidates->size();
+  for (auto& [candidate, cells] : *candidates) {
+    const UserPartitionList& cv = grid.UserCells(candidate);
+    const size_t nv = db.UserObjectCount(candidate);
+    const double eps_u = queue->Threshold();
+    if (queue->full()) {
+      SortUnique(&cells.my_cells);
+      SortUnique(&cells.their_cells);
+      size_t m = 0;
+      for (const CellId c : cells.my_cells) {
+        m += PartitionObjectCount(cu, c);
+      }
+      for (const CellId c : cells.their_cells) {
+        m += PartitionObjectCount(cv, c);
+      }
+      const double sigma_bar =
+          static_cast<double>(m) / static_cast<double>(nu + nv);
+      if (sigma_bar < eps_u) {
+        if (stats != nullptr) ++stats->pairs_pruned_count;
+        continue;
+      }
+    }
+    if (stats != nullptr) ++stats->pairs_verified;
+    const double sigma =
+        PPJBPair(cu, nu, cv, nv, grid.geometry(), t, eps_u, stats);
+    if (sigma <= 0.0) continue;
+    if (stats != nullptr) ++stats->matches_found;
+    queue->Offer({std::min(u, candidate), std::max(u, candidate), sigma});
+  }
+}
+
 }  // namespace
 
 std::vector<ScoredUserPair> TopKSTPSJoin(const ObjectDatabase& db,
                                          const TopKQuery& query,
-                                         TopKVariant variant) {
+                                         TopKVariant variant,
+                                         JoinStats* stats) {
   STPS_CHECK(query.eps_doc > 0.0);
   STPS_CHECK(query.k > 0);
   ResultQueue queue(query.k);
@@ -163,7 +254,6 @@ std::vector<ScoredUserPair> TopKSTPSJoin(const ObjectDatabase& db,
 
   SpatioTextualGridIndex index;
   std::unordered_map<UserId, CandidateCells> candidates;
-  std::vector<CellId> neighbors;
   size_t max_prev_size = 0;
 
   for (const UserId u : order) {
@@ -173,8 +263,8 @@ std::vector<ScoredUserPair> TopKSTPSJoin(const ObjectDatabase& db,
     // TOPK-S-PPJ-P: Lemma 2 prefilter. Valid because every previously
     // processed user u' has |Du'| <= |Du| under the ascending-size order.
     if (variant == TopKVariant::kP && queue.full() && max_prev_size > 0) {
-      const size_t matchable =
-          EstimateMatchableObjects(cu, grid.geometry(), index);
+      const size_t matchable = EstimateMatchableObjects(
+          cu, grid.geometry(), index, /*rank=*/nullptr, /*rank_u=*/0);
       const double sigma_bar_u =
           static_cast<double>(matchable + max_prev_size) /
           static_cast<double>(nu + max_prev_size);
@@ -186,63 +276,87 @@ std::vector<ScoredUserPair> TopKSTPSJoin(const ObjectDatabase& db,
     }
 
     candidates.clear();
-    for (const UserPartition& cell : cu) {
-      const TokenVector tokens =
-          DistinctTokens(std::span<const ObjectRef>(cell.objects));
-      neighbors.clear();
-      grid.geometry().AppendNeighborhood(cell.id, /*include_self=*/true,
-                                         &neighbors);
-      for (const CellId other : neighbors) {
-        for (const TokenId token : tokens) {
-          const std::vector<UserId>* users = index.TokenUsers(other, token);
-          if (users == nullptr) continue;
-          for (const UserId candidate : *users) {
-            CandidateCells& cc = candidates[candidate];
-            if (cc.my_cells.empty() || cc.my_cells.back() != cell.id) {
-              cc.my_cells.push_back(cell.id);
-            }
-            if (cc.their_cells.empty() || cc.their_cells.back() != other) {
-              cc.their_cells.push_back(other);
-            }
-          }
-        }
-      }
-    }
+    CollectCandidates(grid, index, cu, /*rank=*/nullptr, /*rank_u=*/0,
+                      &candidates, stats);
     index.AddUser(u, cu);
     max_prev_size = std::max(max_prev_size, nu);
-
-    for (auto& [candidate, cells] : candidates) {
-      const UserPartitionList& cv = grid.UserCells(candidate);
-      const size_t nv = db.UserObjectCount(candidate);
-      const double eps_u = queue.Threshold();
-      if (queue.full()) {
-        std::sort(cells.their_cells.begin(), cells.their_cells.end());
-        cells.their_cells.erase(
-            std::unique(cells.their_cells.begin(), cells.their_cells.end()),
-            cells.their_cells.end());
-        size_t m = 0;
-        for (const CellId c : cells.my_cells) {
-          m += PartitionObjectCount(cu, c);
-        }
-        for (const CellId c : cells.their_cells) {
-          m += PartitionObjectCount(cv, c);
-        }
-        const double sigma_bar =
-            static_cast<double>(m) / static_cast<double>(nu + nv);
-        // Keep equality: a tie on score can still win on the id order.
-        if (sigma_bar < eps_u) continue;
-      }
-      const double sigma =
-          PPJBPair(cu, nu, cv, nv, grid.geometry(), t, eps_u);
-      if (sigma <= 0.0) continue;
-      queue.Offer({std::min(u, candidate), std::max(u, candidate), sigma});
-    }
+    RefineCandidates(db, grid, t, u, cu, nu, &candidates, &queue, stats);
   }
   return queue.TakeSorted();
 }
 
+std::vector<ScoredUserPair> TopKSTPSJoinParallel(
+    const ObjectDatabase& db, const TopKQuery& query, TopKVariant variant,
+    const ParallelOptions& parallel, JoinStats* stats) {
+  STPS_CHECK(query.eps_doc > 0.0);
+  STPS_CHECK(query.k > 0);
+  STPS_CHECK(parallel.num_threads >= 1);
+  ResultQueue queue(query.k);
+  if (db.num_objects() == 0) return queue.TakeSorted();
+
+  const UserGrid grid(db, query.eps_loc);
+  const MatchThresholds t = query.match_thresholds();
+  const std::vector<UserId> order = variant == TopKVariant::kS
+                                        ? OrderByPopularity(db, grid)
+                                        : OrderBySize(db);
+  std::vector<uint32_t> rank(db.num_users(), 0);
+  for (uint32_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
+
+  // Full index, inserted in rank order: the inverted lists ascend by
+  // rank, so candidate collection sees exactly the users the sequential
+  // incremental index would hold.
+  SpatioTextualGridIndex index;
+  for (const UserId u : order) index.AddUser(u, grid.UserCells(u));
+
+  ThreadPool pool(parallel.num_threads);
+  const size_t slots = static_cast<size_t>(pool.num_threads());
+  std::vector<ResultQueue> queues(slots, ResultQueue(query.k));
+  std::vector<JoinStats> worker_stats(slots);
+  pool.ParallelForEach(
+      0, order.size(), parallel.grain, [&](size_t r, int worker) {
+        const UserId u = order[r];
+        const UserPartitionList& cu = grid.UserCells(u);
+        const size_t nu = db.UserObjectCount(u);
+        ResultQueue& local = queues[static_cast<size_t>(worker)];
+        JoinStats* ws = stats != nullptr
+                            ? &worker_stats[static_cast<size_t>(worker)]
+                            : nullptr;
+
+        // Lemma 2 prefilter against the local queue: it holds k real
+        // pairs, so anything below its threshold is outside the global
+        // top-k too. Under the ascending-size order, the running max of
+        // previous sizes is simply the previous user's size.
+        if (variant == TopKVariant::kP && r > 0 && local.full()) {
+          const size_t max_prev_size = db.UserObjectCount(order[r - 1]);
+          if (max_prev_size > 0) {
+            const size_t matchable = EstimateMatchableObjects(
+                cu, grid.geometry(), index, &rank,
+                static_cast<uint32_t>(r));
+            const double sigma_bar_u =
+                static_cast<double>(matchable + max_prev_size) /
+                static_cast<double>(nu + max_prev_size);
+            if (sigma_bar_u < local.Threshold()) return;
+          }
+        }
+
+        std::unordered_map<UserId, CandidateCells> candidates;
+        CollectCandidates(grid, index, cu, &rank,
+                          static_cast<uint32_t>(r), &candidates, ws);
+        RefineCandidates(db, grid, t, u, cu, nu, &candidates, &local, ws);
+      });
+
+  for (const ResultQueue& local : queues) {
+    for (const ScoredUserPair& pair : local.TakeSorted()) {
+      queue.Offer(pair);
+    }
+  }
+  MergeWorkerStats(stats, worker_stats);
+  return queue.TakeSorted();
+}
+
 std::vector<ScoredUserPair> TopKSPPJD(const ObjectDatabase& db,
-                                      const TopKQuery& query, int fanout) {
+                                      const TopKQuery& query, int fanout,
+                                      JoinStats* stats) {
   STPS_CHECK(query.eps_doc > 0.0);
   STPS_CHECK(query.k > 0);
   ResultQueue queue(query.k);
@@ -271,6 +385,7 @@ std::vector<ScoredUserPair> TopKSPPJD(const ObjectDatabase& db,
           DistinctTokens(std::span<const ObjectRef>(leaf.objects));
       for (const uint32_t other :
            index.RelevantLeaves(static_cast<uint32_t>(leaf.id))) {
+        if (stats != nullptr) ++stats->cells_visited;
         for (const TokenId token : tokens) {
           const std::vector<UserId>* users = index.TokenUsers(other, token);
           if (users == nullptr) continue;
@@ -287,16 +402,14 @@ std::vector<ScoredUserPair> TopKSPPJD(const ObjectDatabase& db,
         }
       }
     }
+    if (stats != nullptr) stats->pairs_candidate += candidates.size();
     for (auto& [candidate, leaves] : candidates) {
       const UserPartitionList& lv = index.UserLeaves(candidate);
       const size_t nv = db.UserObjectCount(candidate);
       const double eps_u = queue.Threshold();
       if (queue.full()) {
-        std::sort(leaves.their_leaves.begin(), leaves.their_leaves.end());
-        leaves.their_leaves.erase(
-            std::unique(leaves.their_leaves.begin(),
-                        leaves.their_leaves.end()),
-            leaves.their_leaves.end());
+        SortUnique(&leaves.my_leaves);
+        SortUnique(&leaves.their_leaves);
         size_t m = 0;
         for (const int64_t l : leaves.my_leaves) {
           m += PartitionObjectCount(lu, l);
@@ -306,10 +419,15 @@ std::vector<ScoredUserPair> TopKSPPJD(const ObjectDatabase& db,
         }
         const double sigma_bar =
             static_cast<double>(m) / static_cast<double>(nu + nv);
-        if (sigma_bar < eps_u) continue;
+        if (sigma_bar < eps_u) {
+          if (stats != nullptr) ++stats->pairs_pruned_count;
+          continue;
+        }
       }
-      const double sigma = PPJDPair(lu, nu, lv, nv, index, t, eps_u);
+      if (stats != nullptr) ++stats->pairs_verified;
+      const double sigma = PPJDPair(lu, nu, lv, nv, index, t, eps_u, stats);
       if (sigma <= 0.0) continue;
+      if (stats != nullptr) ++stats->matches_found;
       queue.Offer({std::min(u, candidate), std::max(u, candidate), sigma});
     }
   }

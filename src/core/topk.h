@@ -17,7 +17,9 @@
 
 #include <vector>
 
+#include "common/thread_pool.h"
 #include "core/database.h"
+#include "core/join_stats.h"
 #include "core/similarity.h"
 
 namespace stps {
@@ -34,7 +36,19 @@ enum class TopKVariant {
 /// fewer than k pairs have sigma > 0).
 std::vector<ScoredUserPair> TopKSTPSJoin(const ObjectDatabase& db,
                                          const TopKQuery& query,
-                                         TopKVariant variant);
+                                         TopKVariant variant,
+                                         JoinStats* stats = nullptr);
+
+/// Parallel top-k: the spatio-textual index is built once over all users
+/// in processing-rank order, workers keep thread-local ResultQueues
+/// (their thresholds are conservative: a local queue holds k real pairs,
+/// so anything it prunes is outside the global top-k), and the local
+/// queues are merged at the end. The result is identical to the
+/// sequential TopKSTPSJoin at any thread count because the top-k under
+/// the TopKBetter total order is unique.
+std::vector<ScoredUserPair> TopKSTPSJoinParallel(
+    const ObjectDatabase& db, const TopKQuery& query, TopKVariant variant,
+    const ParallelOptions& parallel, JoinStats* stats = nullptr);
 
 /// Convenience wrappers.
 std::vector<ScoredUserPair> TopKSPPJF(const ObjectDatabase& db,
@@ -50,7 +64,8 @@ std::vector<ScoredUserPair> TopKSPPJP(const ObjectDatabase& db,
 /// machinery over the leaf partitioning of S-PPJ-D.
 std::vector<ScoredUserPair> TopKSPPJD(const ObjectDatabase& db,
                                       const TopKQuery& query,
-                                      int fanout = 128);
+                                      int fanout = 128,
+                                      JoinStats* stats = nullptr);
 
 }  // namespace stps
 

@@ -77,11 +77,19 @@ void SpatioTextualGridIndex::AddUser(UserId u,
                                      const UserPartitionList& cells) {
   for (const UserPartition& cell : cells) {
     CellIndex& index = cells_[cell.id];
+    index.users.push_back(u);  // cells ascend, so one entry per (u, cell)
     const TokenVector tokens = DistinctTokens(cell.objects);
     for (const TokenId t : tokens) {
       index.token_users[t].push_back(u);
     }
   }
+}
+
+const std::vector<UserId>* SpatioTextualGridIndex::CellUsers(
+    CellId cell) const {
+  const auto it = cells_.find(cell);
+  if (it == cells_.end()) return nullptr;
+  return &it->second.users;
 }
 
 const std::vector<UserId>* SpatioTextualGridIndex::TokenUsers(
@@ -91,6 +99,27 @@ const std::vector<UserId>* SpatioTextualGridIndex::TokenUsers(
   const auto token_it = cell_it->second.token_users.find(t);
   if (token_it == cell_it->second.token_users.end()) return nullptr;
   return &token_it->second;
+}
+
+size_t CountColocatedEarlierUsers(const GridGeometry& geometry,
+                                  const SpatioTextualGridIndex& index,
+                                  const UserPartitionList& cu, UserId u) {
+  std::vector<UserId> colocated;
+  std::vector<CellId> neighbors;
+  for (const UserPartition& cell : cu) {
+    neighbors.clear();
+    geometry.AppendNeighborhood(cell.id, /*include_self=*/true, &neighbors);
+    for (const CellId other : neighbors) {
+      const std::vector<UserId>* users = index.CellUsers(other);
+      if (users == nullptr) continue;
+      for (const UserId candidate : *users) {
+        if (candidate >= u) break;  // lists ascend by user id
+        colocated.push_back(candidate);
+      }
+    }
+  }
+  SortUnique(&colocated);
+  return colocated.size();
 }
 
 }  // namespace stps

@@ -13,6 +13,7 @@
 #ifndef STPS_CORE_USER_GRID_H_
 #define STPS_CORE_USER_GRID_H_
 
+#include <algorithm>
 #include <span>
 #include <unordered_map>
 #include <vector>
@@ -65,6 +66,17 @@ const UserPartition* FindPartition(const UserPartitionList& list, int64_t id);
 /// The distinct tokens appearing in `objects` (ascending).
 TokenVector DistinctTokens(std::span<const ObjectRef> objects);
 
+/// Sorts `*v` ascending and drops duplicates. The single authoritative
+/// dedup for candidate cell/leaf bookkeeping: the filter loops only
+/// perform an opportunistic back() check to limit growth, so supporting
+/// cell lists MUST pass through here before being counted into the
+/// sigma_bar bound (interleaved cell visits leave interior duplicates).
+template <typename T>
+void SortUnique(std::vector<T>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
 /// One element of the merged traversal over two users' partition lists.
 struct MergedPartition {
   int64_t id = 0;
@@ -96,6 +108,11 @@ class SpatioTextualGridIndex {
   /// cell `cell`; nullptr when none.
   const std::vector<UserId>* TokenUsers(CellId cell, TokenId t) const;
 
+  /// The users (in insertion order, one entry each) having any object in
+  /// `cell`; nullptr when the cell is empty. Used by the JoinStats
+  /// spatial/textual filter breakdown.
+  const std::vector<UserId>* CellUsers(CellId cell) const;
+
   /// True when cell `cell` holds any indexed object.
   bool CellOccupied(CellId cell) const {
     return cells_.find(cell) != cells_.end();
@@ -104,9 +121,19 @@ class SpatioTextualGridIndex {
  private:
   struct CellIndex {
     std::unordered_map<TokenId, std::vector<UserId>> token_users;
+    std::vector<UserId> users;  // insertion order, one entry per user
   };
   std::unordered_map<CellId, CellIndex> cells_;
 };
+
+/// Number of distinct indexed users with id < u having an object in
+/// `cu`'s cells or their neighbourhood — the users that pass the spatial
+/// part of the S-PPJ-F filter for user u. Requires the index's per-cell
+/// user lists to be ascending by id (true when users are added in id
+/// order). Only used for the JoinStats spatial/textual breakdown.
+size_t CountColocatedEarlierUsers(const GridGeometry& geometry,
+                                  const SpatioTextualGridIndex& index,
+                                  const UserPartitionList& cu, UserId u);
 
 }  // namespace stps
 

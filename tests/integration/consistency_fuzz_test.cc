@@ -1,13 +1,16 @@
 // Randomised cross-algorithm consistency: many random databases and
-// random queries, every STPSJoin algorithm and every top-k variant must
-// produce identical results. This is the broadest net in the suite — any
-// unsound pruning bound, traversal gap, or duplicate join shows up here.
+// random queries, every STPSJoin algorithm and every top-k variant —
+// sequential and pool-parallel — must produce identical results, and the
+// JoinStats filter counters must satisfy their accounting invariants.
+// This is the broadest net in the suite — any unsound pruning bound,
+// traversal gap, duplicate join, or worker race shows up here.
 
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
 #include "core/sppj_d.h"
 #include "core/stpsjoin.h"
+#include "core/topk.h"
 #include "test_util.h"
 
 namespace stps {
@@ -17,11 +20,25 @@ using testing_util::BuildRandomDatabase;
 using testing_util::RandomDbSpec;
 using testing_util::SameResults;
 
+// The counters partition every considered pair into disjoint outcomes;
+// see join_stats.h. `matches` < 0 skips the exact-match check (top-k
+// counts every sigma > 0 discovery, not just the surviving k).
+void CheckStatsInvariants(const JoinStats& stats, int64_t matches,
+                          const char* label) {
+  EXPECT_EQ(stats.pairs_candidate,
+            stats.pairs_pruned_count + stats.pairs_verified)
+      << label;
+  EXPECT_GE(stats.pairs_verified, stats.matches_found) << label;
+  if (matches >= 0) {
+    EXPECT_EQ(stats.matches_found, static_cast<uint64_t>(matches)) << label;
+  }
+}
+
 class ConsistencyFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ConsistencyFuzzTest, AllJoinAlgorithmsAgreeOnRandomConfigs) {
   Rng rng(GetParam());
-  for (int round = 0; round < 6; ++round) {
+  for (int round = 0; round < 7; ++round) {
     RandomDbSpec spec;
     spec.seed = rng.Next();
     spec.num_users = 15 + rng.NextBelow(25);
@@ -54,18 +71,36 @@ TEST_P(ConsistencyFuzzTest, AllJoinAlgorithmsAgreeOnRandomConfigs) {
         ASSERT_TRUE(SameResults(SPPJD(db, query, d_options), expected))
             << "quadtree backend, seed=" << spec.seed;
       }
-      ASSERT_TRUE(SameResults(RunSTPSJoin(db, query, options), expected))
+      JoinStats stats;
+      const auto sequential = RunSTPSJoin(db, query, options, &stats);
+      ASSERT_TRUE(SameResults(sequential, expected))
           << JoinAlgorithmName(algorithm) << " seed=" << spec.seed
           << " eps_loc=" << query.eps_loc << " eps_doc=" << query.eps_doc
           << " eps_u=" << query.eps_u
           << " fanout=" << options.rtree_fanout;
+      CheckStatsInvariants(stats, static_cast<int64_t>(expected.size()),
+                           JoinAlgorithmName(algorithm).data());
+
+      // The pool-parallel driver must be bit-identical with identical
+      // counters (thread count varies with the round).
+      query.parallel =
+          ParallelOptions{2 + round % 3, static_cast<size_t>(round % 4)};
+      JoinStats parallel_stats;
+      const auto parallel = RunSTPSJoin(db, query, options, &parallel_stats);
+      query.parallel = ParallelOptions{};
+      ASSERT_TRUE(SameResults(parallel, expected, /*tolerance=*/0.0))
+          << "parallel " << JoinAlgorithmName(algorithm)
+          << " seed=" << spec.seed;
+      EXPECT_EQ(parallel_stats, stats)
+          << "parallel " << JoinAlgorithmName(algorithm)
+          << " seed=" << spec.seed;
     }
   }
 }
 
 TEST_P(ConsistencyFuzzTest, AllTopKVariantsAgreeOnRandomConfigs) {
   Rng rng(GetParam() + 9999);
-  for (int round = 0; round < 6; ++round) {
+  for (int round = 0; round < 7; ++round) {
     RandomDbSpec spec;
     spec.seed = rng.Next();
     spec.num_users = 15 + rng.NextBelow(25);
@@ -78,11 +113,25 @@ TEST_P(ConsistencyFuzzTest, AllTopKVariantsAgreeOnRandomConfigs) {
     const auto expected = BruteForceTopK(db, query);
     for (const TopKAlgorithm algorithm :
          {TopKAlgorithm::kF, TopKAlgorithm::kS, TopKAlgorithm::kP}) {
-      ASSERT_TRUE(
-          SameResults(RunTopKSTPSJoin(db, query, algorithm), expected))
+      JoinStats stats;
+      ASSERT_TRUE(SameResults(RunTopKSTPSJoin(db, query, algorithm, &stats),
+                              expected))
           << TopKAlgorithmName(algorithm) << " seed=" << spec.seed
           << " k=" << query.k << " eps_loc=" << query.eps_loc
           << " eps_doc=" << query.eps_doc;
+      CheckStatsInvariants(stats, /*matches=*/-1,
+                           TopKAlgorithmName(algorithm).data());
+
+      query.parallel = ParallelOptions{2 + round % 3, 0};
+      JoinStats parallel_stats;
+      const auto parallel =
+          RunTopKSTPSJoin(db, query, algorithm, &parallel_stats);
+      query.parallel = ParallelOptions{};
+      ASSERT_TRUE(SameResults(parallel, expected, /*tolerance=*/0.0))
+          << "parallel " << TopKAlgorithmName(algorithm)
+          << " seed=" << spec.seed << " k=" << query.k;
+      CheckStatsInvariants(parallel_stats, /*matches=*/-1,
+                           TopKAlgorithmName(algorithm).data());
     }
   }
 }
