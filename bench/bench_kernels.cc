@@ -1,0 +1,271 @@
+// Microbenchmark for the text/intersect.h kernel family: branch-reduced
+// merge vs galloping vs the signature-gated Jaccard predicate, swept over
+// size ratios and Jaccard thresholds. Establishes the perf-trajectory
+// baseline for the verification stage (BENCH_kernels.json).
+//
+// Workload model: candidate pairs as the join verification stage sees
+// them — the prefix/size filters have passed, most pairs still fail the
+// exact test. `similarity` controls the fraction of shared tokens, so
+// "low" rows approximate the low-similarity regime where the signature
+// gate pays off and "high" rows bound its overhead when most pairs match.
+//
+// Usage: bench_kernels [output.json]   (default BENCH_kernels.json)
+
+#include <cinttypes>
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/rng.h"
+#include "common/timer.h"
+#include "text/intersect.h"
+#include "text/similarity.h"
+#include "text/token_set.h"
+
+namespace stps::bench {
+namespace {
+
+// Candidate pairs in the CSR layout the join verification stage sees:
+// all token sets in one flat arena, per-pair spans plus 16 bytes of
+// header (sizes live in the offsets, signatures inline). Sized well past
+// the last-level cache so the kernels pay real memory traffic — the
+// regime where skipping the token arena entirely is the gate's win.
+struct PairWorkload {
+  std::vector<TokenId> arena;
+  struct Pair {
+    uint32_t a_begin, a_end, b_begin, b_end;
+    TokenSignature sa, sb;
+  };
+  std::vector<Pair> pairs;
+
+  std::span<const TokenId> A(size_t i) const {
+    return {arena.data() + pairs[i].a_begin,
+            arena.data() + pairs[i].a_end};
+  }
+  std::span<const TokenId> B(size_t i) const {
+    return {arena.data() + pairs[i].b_begin,
+            arena.data() + pairs[i].b_end};
+  }
+};
+
+// Builds candidate pairs. Sizes |a| = base, |b| = base * ratio; roughly
+// `similarity` of the smaller side's tokens also occur in the other set,
+// drawn from a shared pool (plus disjoint per-side pools, so dissimilar
+// pairs share almost nothing). The pair count adapts so every workload
+// streams roughly `token_budget` tokens regardless of set sizes.
+PairWorkload BuildWorkload(size_t token_budget, size_t base, size_t ratio,
+                           double similarity, Rng& rng) {
+  PairWorkload w;
+  const size_t count =
+      std::max<size_t>(2000, token_budget / (base * (1 + ratio)));
+  const TokenId kSharedPool = 1u << 20;
+  const TokenId kSideOffset = 1u << 24;
+  TokenVector a, b;
+  for (size_t p = 0; p < count; ++p) {
+    a.clear();
+    b.clear();
+    for (size_t i = 0; i < base; ++i) {
+      if (rng.Bernoulli(similarity)) {
+        const TokenId t = static_cast<TokenId>(rng.NextBelow(kSharedPool));
+        a.push_back(t);
+        b.push_back(t);
+      } else {
+        a.push_back(static_cast<TokenId>(rng.NextBelow(kSharedPool)));
+      }
+    }
+    while (b.size() < base * ratio) {
+      b.push_back(kSideOffset +
+                  static_cast<TokenId>(rng.NextBelow(kSharedPool)));
+    }
+    NormalizeTokenSet(&a);
+    NormalizeTokenSet(&b);
+    PairWorkload::Pair pair;
+    pair.a_begin = static_cast<uint32_t>(w.arena.size());
+    w.arena.insert(w.arena.end(), a.begin(), a.end());
+    pair.a_end = static_cast<uint32_t>(w.arena.size());
+    pair.b_begin = static_cast<uint32_t>(w.arena.size());
+    w.arena.insert(w.arena.end(), b.begin(), b.end());
+    pair.b_end = static_cast<uint32_t>(w.arena.size());
+    pair.sa = ComputeSignature(a);
+    pair.sb = ComputeSignature(b);
+    w.pairs.push_back(pair);
+  }
+  return w;
+}
+
+struct KernelTiming {
+  double merge_ns = 0;      // ungated exact predicate, merge kernel only
+  double heuristic_ns = 0;  // ungated exact predicate, size-heuristic kernel
+  double gated_ns = 0;      // signature gate + heuristic kernel
+  uint64_t matches = 0;
+  uint64_t signature_rejections = 0;
+};
+
+// An ungated Jaccard predicate pinned to the merge kernel — the pre-PR
+// baseline every other row is measured against.
+bool MergeOnlyJaccardAtLeast(std::span<const TokenId> a,
+                             std::span<const TokenId> b, double threshold) {
+  if (threshold <= 0.0) return true;
+  if (a.empty() || b.empty()) return false;
+  const size_t required = MinOverlapForJaccard(a.size(), b.size(), threshold);
+  const size_t overlap = IntersectCountMerge(a, b);
+  if (overlap < required) return false;
+  return static_cast<double>(overlap) >=
+         threshold * static_cast<double>(a.size() + b.size() - overlap);
+}
+
+// Best-of-`repeats` per-pair nanoseconds for one full pass of `body`
+// over the workload: the minimum is the standard noise-robust statistic
+// for a fixed-work microbenchmark (anything above it is interference).
+template <typename Body>
+double BestOfNs(size_t pairs, int repeats, Body&& body) {
+  double best = 1e18;
+  for (int r = 0; r < repeats; ++r) {
+    Timer timer;
+    body();
+    best = std::min(best,
+                    timer.ElapsedMillis() * 1e6 / static_cast<double>(pairs));
+  }
+  return best;
+}
+
+KernelTiming TimeKernels(const PairWorkload& w, double threshold,
+                         int repeats) {
+  KernelTiming out;
+  const size_t n = w.pairs.size();
+  uint64_t sink = 0;
+
+  out.merge_ns = BestOfNs(n, repeats, [&] {
+    for (size_t i = 0; i < n; ++i) {
+      sink += MergeOnlyJaccardAtLeast(w.A(i), w.B(i), threshold);
+    }
+  });
+
+  out.heuristic_ns = BestOfNs(n, repeats, [&] {
+    for (size_t i = 0; i < n; ++i) {
+      sink += JaccardAtLeastKernel(w.A(i), w.B(i), threshold);
+    }
+  });
+
+  uint64_t rejections = 0;
+  uint64_t matches = 0;
+  out.gated_ns = BestOfNs(n, repeats, [&] {
+    rejections = 0;
+    matches = 0;
+    for (size_t i = 0; i < n; ++i) {
+      const PairWorkload::Pair& p = w.pairs[i];
+      matches += SignatureGatedJaccardAtLeast(w.A(i), p.sa, w.B(i), p.sb,
+                                              threshold, &rejections);
+    }
+  });
+  out.matches = matches;
+  out.signature_rejections = rejections;
+
+  if (sink == 0xdeadbeef) std::printf("(unreachable)\n");  // defeat DCE
+  return out;
+}
+
+}  // namespace
+}  // namespace stps::bench
+
+int main(int argc, char** argv) {
+  using namespace stps;
+  using namespace stps::bench;
+
+  const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  // ~64 MB of token data per workload: far past the LLC, so each pass
+  // pays real memory traffic (the verification stage of a large join is
+  // exactly such a cold sweep over the CSR arena).
+  constexpr size_t kTokenBudget = 16u << 20;
+  constexpr int kRepeats = 5;
+
+  struct Row {
+    size_t base;
+    size_t ratio;
+    double similarity;
+    const char* regime;
+  };
+  // Bases 4-32 cover the document sizes the spatio-textual datasets
+  // produce (a handful of keywords per object); 128 stresses the
+  // saturation limit of the 64-bit bitmap. Ratios > 1 exercise the
+  // galloping crossover.
+  const Row rows[] = {
+      {4, 1, 0.05, "low"},    {4, 1, 0.60, "high"},
+      {8, 1, 0.05, "low"},    {8, 1, 0.60, "high"},
+      {16, 1, 0.05, "low"},   {16, 1, 0.60, "high"},
+      {32, 1, 0.05, "low"},   {32, 1, 0.60, "high"},
+      {128, 1, 0.05, "low"},  {128, 1, 0.60, "high"},
+      {8, 16, 0.05, "low"},   {8, 16, 0.60, "high"},
+      {8, 64, 0.05, "low"},   {8, 64, 0.60, "high"},
+      {32, 16, 0.05, "low"},  {32, 16, 0.60, "high"},
+  };
+  const double thresholds[] = {0.3, 0.5, 0.8};
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json, "{\n  \"bench\": \"kernels\",\n"
+               "  \"token_budget\": %zu,\n"
+               "  \"repeats\": %d,\n  \"rows\": [\n",
+               kTokenBudget, kRepeats);
+
+  std::printf("%5s %6s %5s %6s %9s %9s %9s %8s %7s\n", "base", "ratio",
+              "sim", "thr", "merge_ns", "heur_ns", "gated_ns", "speedup",
+              "sigrej%");
+  Rng rng(kBenchSeed);
+  bool first = true;
+  double low_sim_speedup_min = 1e9;
+  // Suite-level aggregate: total verification time for the whole
+  // low-similarity workload suite (each row weighted by its pair count),
+  // merge-only vs gated — "how much faster is the verification stage of a
+  // low-similarity join".
+  double low_sim_merge_total_ns = 0;
+  double low_sim_gated_total_ns = 0;
+  for (const Row& row : rows) {
+    const PairWorkload w = BuildWorkload(kTokenBudget, row.base, row.ratio,
+                                         row.similarity, rng);
+    for (const double threshold : thresholds) {
+      const KernelTiming t = TimeKernels(w, threshold, kRepeats);
+      const double speedup = t.merge_ns / t.gated_ns;
+      const double sigrej_pct =
+          100.0 * static_cast<double>(t.signature_rejections) /
+          static_cast<double>(w.pairs.size());
+      if (row.similarity < 0.2) {
+        low_sim_speedup_min = std::min(low_sim_speedup_min, speedup);
+        low_sim_merge_total_ns +=
+            t.merge_ns * static_cast<double>(w.pairs.size());
+        low_sim_gated_total_ns +=
+            t.gated_ns * static_cast<double>(w.pairs.size());
+      }
+      std::printf("%5zu %6zu %5.2f %6.2f %9.1f %9.1f %9.1f %7.2fx %6.1f%%\n",
+                  row.base, row.ratio, row.similarity, threshold, t.merge_ns,
+                  t.heuristic_ns, t.gated_ns, speedup, sigrej_pct);
+      std::fprintf(
+          json,
+          "%s    {\"base\": %zu, \"ratio\": %zu, \"similarity\": %.2f, "
+          "\"regime\": \"%s\", \"threshold\": %.2f, \"pairs\": %zu, "
+          "\"merge_ns\": %.1f, "
+          "\"heuristic_ns\": %.1f, \"gated_ns\": %.1f, \"speedup\": %.2f, "
+          "\"matches\": %" PRIu64 ", \"signature_rejections\": %" PRIu64 "}",
+          first ? "" : ",\n", row.base, row.ratio, row.similarity, row.regime,
+          threshold, w.pairs.size(), t.merge_ns, t.heuristic_ns, t.gated_ns,
+          speedup, t.matches, t.signature_rejections);
+      first = false;
+    }
+  }
+  const double low_sim_workload_speedup =
+      low_sim_merge_total_ns / low_sim_gated_total_ns;
+  std::fprintf(json,
+               "\n  ],\n  \"low_similarity_min_speedup\": %.2f,\n"
+               "  \"low_similarity_workload_speedup\": %.2f\n}\n",
+               low_sim_speedup_min, low_sim_workload_speedup);
+  std::fclose(json);
+  std::printf("\nlow-similarity workload speedup (gated vs merge): %.2fx"
+              " (per-row min %.2fx)\n",
+              low_sim_workload_speedup, low_sim_speedup_min);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

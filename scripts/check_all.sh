@@ -1,0 +1,21 @@
+#!/usr/bin/env bash
+# One-stop pre-merge gate: tier-1 build + full test suite, then both
+# sanitizer configurations. Each stage uses its own build directory, so a
+# warm tier-1 build is reused across runs.
+# Usage: scripts/check_all.sh
+set -eu
+
+ROOT="$(cd "$(dirname "$0")/.." && pwd)"
+
+echo "=== tier-1: Release build + full ctest ==="
+cmake -B "$ROOT/build" -S "$ROOT"
+cmake --build "$ROOT/build" -j
+(cd "$ROOT/build" && ctest --output-on-failure)
+
+echo "=== ASan + UBSan ==="
+"$ROOT/scripts/run_asan_tests.sh" "$ROOT/build-asan"
+
+echo "=== TSan ==="
+"$ROOT/scripts/run_tsan_tests.sh" "$ROOT/build-tsan"
+
+echo "=== all checks passed ==="

@@ -72,15 +72,35 @@ ObjectDatabase DatabaseBuilder::Build() && {
   db.objects_.resize(objects_.size());
   std::vector<uint32_t> cursor(db.user_begin_.begin(),
                                db.user_begin_.end() - 1);
-  for (PendingObject& o : objects_) {
+  // Pass 1: assign each object its slot in the user-grouped order and
+  // remap its tokens into the frequency order (Remap re-sorts, keeping the
+  // set canonical), then size the CSR arena with a prefix sum over slots.
+  std::vector<uint32_t> slots(objects_.size());
+  db.token_begin_.assign(objects_.size() + 1, 0);
+  for (size_t k = 0; k < objects_.size(); ++k) {
+    PendingObject& o = objects_[k];
     const uint32_t slot = cursor[o.user]++;
+    slots[k] = slot;
+    Dictionary::Remap(permutation, &o.tokens);
+    db.token_begin_[slot + 1] = static_cast<uint32_t>(o.tokens.size());
+  }
+  for (size_t i = 0; i < objects_.size(); ++i) {
+    db.token_begin_[i + 1] += db.token_begin_[i];
+  }
+  db.token_data_.resize(db.token_begin_.back());
+  // Pass 2: copy tokens into the arena and point every object's doc span
+  // (plus its bitmap signature) at its contiguous run.
+  for (size_t k = 0; k < objects_.size(); ++k) {
+    PendingObject& o = objects_[k];
+    const uint32_t slot = slots[k];
     STObject& out = db.objects_[slot];
     out.id = slot;
     out.user = o.user;
     out.loc = o.loc;
     out.time = o.time;
-    out.doc = std::move(o.tokens);
-    Dictionary::Remap(permutation, &out.doc);
+    std::copy(o.tokens.begin(), o.tokens.end(),
+              db.token_data_.begin() + db.token_begin_[slot]);
+    out.set_doc(db.ObjectTokens(slot));
     db.bounds_.ExpandToInclude(out.loc);
   }
   objects_.clear();

@@ -23,8 +23,22 @@
 namespace stps {
 
 /// Immutable database of spatio-textual objects grouped by user.
+///
+/// All token sets live in one CSR arena (`token_data_` + `token_begin_`):
+/// object i's tokens occupy token_data_[token_begin_[i], token_begin_[i+1])
+/// and its STObject::doc span points straight into that buffer, so a user's
+/// point set is fully contiguous in memory — object headers in one run,
+/// tokens in another. The database is move-only: moving a std::vector
+/// keeps its heap buffer, so the spans survive; copying would leave them
+/// dangling into the source.
 class ObjectDatabase {
  public:
+  ObjectDatabase() = default;
+  ObjectDatabase(const ObjectDatabase&) = delete;
+  ObjectDatabase& operator=(const ObjectDatabase&) = delete;
+  ObjectDatabase(ObjectDatabase&&) = default;
+  ObjectDatabase& operator=(ObjectDatabase&&) = default;
+
   /// Number of users |U|.
   size_t num_users() const { return user_begin_.size() - 1; }
 
@@ -70,6 +84,17 @@ class ObjectDatabase {
     return user_names_[u];
   }
 
+  /// The token set of an object as a view into the CSR arena (same span
+  /// as object(id).doc).
+  std::span<const TokenId> ObjectTokens(ObjectId id) const {
+    STPS_DCHECK(id + 1 < token_begin_.size());
+    return std::span<const TokenId>(token_data_.data() + token_begin_[id],
+                                    token_begin_[id + 1] - token_begin_[id]);
+  }
+
+  /// Total number of stored tokens across all objects (arena size).
+  size_t total_tokens() const { return token_data_.size(); }
+
   /// Bounding rectangle of all object locations.
   const Rect& bounds() const { return bounds_; }
 
@@ -82,6 +107,8 @@ class ObjectDatabase {
 
   std::vector<STObject> objects_;
   std::vector<uint32_t> user_begin_;  // size num_users() + 1
+  std::vector<TokenId> token_data_;   // CSR token arena, grouped like objects_
+  std::vector<uint32_t> token_begin_;  // size num_objects() + 1
   std::vector<std::string> user_names_;
   Rect bounds_ = Rect::Empty();
   Dictionary dictionary_;

@@ -22,6 +22,9 @@
 //  * pairs_verified        — refine-kernel invocations.
 //  * refine_early_stops    — verifications cut short by the Lemma 1
 //                            unmatched-object bound inside the kernel.
+//  * signature_rejections  — object-level Jaccard tests resolved by the
+//                            64-bit bitmap signature bound alone, without
+//                            touching either token list (text/intersect.h).
 //  * matches_found         — result pairs (for top-k: the final k).
 //
 // Invariants (asserted by the consistency fuzz suite):
@@ -45,6 +48,7 @@ struct JoinStats {
   uint64_t pairs_pruned_count = 0;
   uint64_t pairs_verified = 0;
   uint64_t refine_early_stops = 0;
+  uint64_t signature_rejections = 0;
   uint64_t matches_found = 0;
 
   /// Sums another accumulator into this one (worker merge).
@@ -56,6 +60,7 @@ struct JoinStats {
     pairs_pruned_count += o.pairs_pruned_count;
     pairs_verified += o.pairs_verified;
     refine_early_stops += o.refine_early_stops;
+    signature_rejections += o.signature_rejections;
     matches_found += o.matches_found;
   }
 
@@ -67,6 +72,7 @@ struct JoinStats {
            x.pairs_pruned_count == y.pairs_pruned_count &&
            x.pairs_verified == y.pairs_verified &&
            x.refine_early_stops == y.refine_early_stops &&
+           x.signature_rejections == y.signature_rejections &&
            x.matches_found == y.matches_found;
   }
 };
@@ -76,7 +82,7 @@ inline std::string FormatJoinStats(const JoinStats& s) {
   char buf[256];
   std::snprintf(buf, sizeof(buf),
                 "cells=%llu prunedS/T/C=%llu/%llu/%llu cand=%llu "
-                "verified=%llu earlystop=%llu matches=%llu",
+                "verified=%llu earlystop=%llu sigrej=%llu matches=%llu",
                 static_cast<unsigned long long>(s.cells_visited),
                 static_cast<unsigned long long>(s.pairs_pruned_spatial),
                 static_cast<unsigned long long>(s.pairs_pruned_textual),
@@ -84,6 +90,7 @@ inline std::string FormatJoinStats(const JoinStats& s) {
                 static_cast<unsigned long long>(s.pairs_candidate),
                 static_cast<unsigned long long>(s.pairs_verified),
                 static_cast<unsigned long long>(s.refine_early_stops),
+                static_cast<unsigned long long>(s.signature_rejections),
                 static_cast<unsigned long long>(s.matches_found));
   return buf;
 }

@@ -15,6 +15,21 @@ namespace {
 // checks. GridGeometry rows are 0-based, so paper-odd <=> even index.
 bool IsOddRow(int64_t row) { return (row % 2) == 0; }
 
+// Per-thread scratch for the pair kernels: the flag vectors, neighbour
+// list, and merged traversal are reused across the millions of user pairs
+// a join evaluates (thread_local so the pool workers never share).
+struct PairScratch {
+  std::vector<uint8_t> matched_u;
+  std::vector<uint8_t> matched_v;
+  std::vector<CellId> neighbors;
+  std::vector<MergedPartition> merged;
+};
+
+PairScratch& LocalScratch() {
+  thread_local PairScratch scratch;
+  return scratch;
+}
+
 }  // namespace
 
 double PPJCPair(const UserPartitionList& cu, size_t nu,
@@ -22,10 +37,16 @@ double PPJCPair(const UserPartitionList& cu, size_t nu,
                 const GridGeometry& grid, const MatchThresholds& t,
                 JoinStats* stats) {
   if (nu + nv == 0) return 0.0;
-  std::vector<uint8_t> matched_u(nu, 0), matched_v(nv, 0);
+  PairScratch& scratch = LocalScratch();
+  std::vector<uint8_t>& matched_u = scratch.matched_u;
+  std::vector<uint8_t>& matched_v = scratch.matched_v;
+  matched_u.assign(nu, 0);
+  matched_v.assign(nv, 0);
   uint32_t matched_total = 0;
-  std::vector<CellId> neighbors;
-  for (const MergedPartition& cell : MergePartitionLists(cu, cv)) {
+  std::vector<CellId>& neighbors = scratch.neighbors;
+  neighbors.reserve(9);  // 3x3 neighbourhood
+  MergePartitionLists(cu, cv, &scratch.merged);
+  for (const MergedPartition& cell : scratch.merged) {
     if (stats != nullptr) ++stats->cells_visited;
     neighbors.clear();
     grid.AppendNeighborhood(cell.id, /*include_self=*/true, &neighbors);
@@ -37,7 +58,7 @@ double PPJCPair(const UserPartitionList& cu, size_t nu,
             n == cell.id ? cell.v : FindPartition(cv, n);
         if (pv == nullptr) continue;
         matched_total += PPJCrossMark(PartitionObjects(cell.u), PartitionObjects(pv), t,
-                                      &matched_u, &matched_v);
+                                      &matched_u, &matched_v, stats);
       }
     }
     if (cell.v != nullptr) {
@@ -48,7 +69,7 @@ double PPJCPair(const UserPartitionList& cu, size_t nu,
         const UserPartition* pu = FindPartition(cu, n);
         if (pu == nullptr) continue;
         matched_total += PPJCrossMark(PartitionObjects(pu), PartitionObjects(cell.v), t,
-                                      &matched_u, &matched_v);
+                                      &matched_u, &matched_v, stats);
       }
     }
   }
@@ -62,12 +83,18 @@ double PPJBPair(const UserPartitionList& cu, size_t nu,
   if (nu + nv == 0) return 0.0;
   const bool bounded = eps_u > 0.0;
   const double beta = UnmatchedBound(nu, nv, eps_u);
-  std::vector<uint8_t> matched_u(nu, 0), matched_v(nv, 0);
+  PairScratch& scratch = LocalScratch();
+  std::vector<uint8_t>& matched_u = scratch.matched_u;
+  std::vector<uint8_t>& matched_v = scratch.matched_v;
+  matched_u.assign(nu, 0);
+  matched_v.assign(nv, 0);
   uint32_t matched_total = 0;
   size_t seen_objects = 0;
 
-  const std::vector<MergedPartition> merged = MergePartitionLists(cu, cv);
-  std::vector<CellId> neighbors;
+  MergePartitionLists(cu, cv, &scratch.merged);
+  const std::vector<MergedPartition>& merged = scratch.merged;
+  std::vector<CellId>& neighbors = scratch.neighbors;
+  neighbors.reserve(9);
   int64_t current_row = merged.empty() ? 0 : grid.RowOf(merged.front().id);
 
   for (size_t idx = 0; idx < merged.size(); ++idx) {
@@ -104,7 +131,7 @@ double PPJBPair(const UserPartitionList& cu, size_t nu,
       if (n == cell.id) {
         if (cell.u != nullptr && cell.v != nullptr) {
           matched_total += PPJCrossMark(PartitionObjects(cell.u), PartitionObjects(cell.v), t,
-                                        &matched_u, &matched_v);
+                                        &matched_u, &matched_v, stats);
         }
         continue;
       }
@@ -114,14 +141,14 @@ double PPJBPair(const UserPartitionList& cu, size_t nu,
         const UserPartition* pv = FindPartition(cv, n);
         if (pv != nullptr) {
           matched_total += PPJCrossMark(PartitionObjects(cell.u), PartitionObjects(pv), t,
-                                        &matched_u, &matched_v);
+                                        &matched_u, &matched_v, stats);
         }
       }
       if (cell.v != nullptr) {
         const UserPartition* pu = FindPartition(cu, n);
         if (pu != nullptr) {
           matched_total += PPJCrossMark(PartitionObjects(pu), PartitionObjects(cell.v), t,
-                                        &matched_u, &matched_v);
+                                        &matched_u, &matched_v, stats);
         }
       }
     }

@@ -164,9 +164,9 @@ void ProcessUserD(const ObjectDatabase& db, const LeafPartitionIndex& index,
   // Filter: probe the distinct tokens of every leaf of u against the
   // inverted lists of the relevant leaves; only users earlier in the
   // total order are candidates (the lists are sorted ascending).
+  thread_local TokenVector tokens;
   for (const UserPartition& leaf : lu) {
-    const TokenVector tokens =
-        DistinctTokens(std::span<const ObjectRef>(leaf.objects));
+    DistinctTokens(std::span<const ObjectRef>(leaf.objects), &tokens);
     for (const uint32_t other :
          index.RelevantLeaves(static_cast<uint32_t>(leaf.id))) {
       if (stats != nullptr) ++stats->cells_visited;
@@ -246,12 +246,25 @@ double PPJDPair(const UserPartitionList& lu, size_t nu,
   if (nu + nv == 0) return 0.0;
   const bool bounded = eps_u > 0.0;
   const double beta = UnmatchedBound(nu, nv, eps_u);
-  std::vector<uint8_t> matched_u(nu, 0), matched_v(nv, 0);
+  // Per-thread scratch: flags, box-filter buffers, and the merged leaf
+  // traversal survive across user pairs (each pool worker has its own).
+  struct DPairScratch {
+    std::vector<uint8_t> matched_u, matched_v;
+    std::vector<ObjectRef> a, b;
+    std::vector<MergedPartition> merged;
+  };
+  thread_local DPairScratch scratch;
+  std::vector<uint8_t>& matched_u = scratch.matched_u;
+  std::vector<uint8_t>& matched_v = scratch.matched_v;
+  matched_u.assign(nu, 0);
+  matched_v.assign(nv, 0);
   uint32_t matched_total = 0;
   size_t processed_objects = 0;
-  std::vector<ObjectRef> scratch_a, scratch_b;
+  std::vector<ObjectRef>& scratch_a = scratch.a;
+  std::vector<ObjectRef>& scratch_b = scratch.b;
 
-  for (const MergedPartition& cell : MergePartitionLists(lu, lv)) {
+  MergePartitionLists(lu, lv, &scratch.merged);
+  for (const MergedPartition& cell : scratch.merged) {
     if (stats != nullptr) ++stats->cells_visited;
     const uint32_t leaf = static_cast<uint32_t>(cell.id);
     const Rect& ext = index.ExtendedMbr(leaf);
@@ -268,7 +281,7 @@ double PPJDPair(const UserPartitionList& lu, size_t nu,
         matched_total +=
             PPJCrossMark(std::span<const ObjectRef>(scratch_a),
                          std::span<const ObjectRef>(scratch_b), t,
-                         &matched_u, &matched_v);
+                         &matched_u, &matched_v, stats);
       }
     }
     if (cell.v != nullptr) {
@@ -286,7 +299,7 @@ double PPJDPair(const UserPartitionList& lu, size_t nu,
         matched_total +=
             PPJCrossMark(std::span<const ObjectRef>(scratch_a),
                          std::span<const ObjectRef>(scratch_b), t,
-                         &matched_u, &matched_v);
+                         &matched_u, &matched_v, stats);
       }
     }
     processed_objects += (cell.u ? cell.u->objects.size() : 0) +

@@ -63,9 +63,9 @@ std::vector<ScoredUserPair> SPPJFAblation(const ObjectDatabase& db,
 
     // Filter: probe the distinct tokens of every cell of u against the
     // inverted lists of the cell and its neighbours.
+    TokenVector tokens;
     for (const UserPartition& cell : cu) {
-      const TokenVector tokens =
-          DistinctTokens(std::span<const ObjectRef>(cell.objects));
+      DistinctTokens(std::span<const ObjectRef>(cell.objects), &tokens);
       neighbors.clear();
       grid.geometry().AppendNeighborhood(cell.id, /*include_self=*/true,
                                          &neighbors);

@@ -31,9 +31,9 @@ void ProcessUser(const ObjectDatabase& db, const UserGrid& grid,
   std::unordered_map<UserId, CandidateCells> candidates;
   std::vector<CellId> neighbors;
 
+  thread_local TokenVector tokens;
   for (const UserPartition& cell : cu) {
-    const TokenVector tokens =
-        DistinctTokens(std::span<const ObjectRef>(cell.objects));
+    DistinctTokens(std::span<const ObjectRef>(cell.objects), &tokens);
     neighbors.clear();
     grid.geometry().AppendNeighborhood(cell.id, /*include_self=*/true,
                                        &neighbors);

@@ -164,9 +164,9 @@ void CollectCandidates(const UserGrid& grid,
                        std::unordered_map<UserId, CandidateCells>* candidates,
                        JoinStats* stats) {
   std::vector<CellId> neighbors;
+  thread_local TokenVector tokens;
   for (const UserPartition& cell : cu) {
-    const TokenVector tokens =
-        DistinctTokens(std::span<const ObjectRef>(cell.objects));
+    DistinctTokens(std::span<const ObjectRef>(cell.objects), &tokens);
     neighbors.clear();
     grid.geometry().AppendNeighborhood(cell.id, /*include_self=*/true,
                                        &neighbors);
@@ -376,13 +376,13 @@ std::vector<ScoredUserPair> TopKSPPJD(const ObjectDatabase& db,
   };
   std::unordered_map<UserId, CandidateLeaves> candidates;
 
+  TokenVector tokens;
   for (const UserId u : order) {
     const UserPartitionList& lu = index.UserLeaves(u);
     const size_t nu = db.UserObjectCount(u);
     candidates.clear();
     for (const UserPartition& leaf : lu) {
-      const TokenVector tokens =
-          DistinctTokens(std::span<const ObjectRef>(leaf.objects));
+      DistinctTokens(std::span<const ObjectRef>(leaf.objects), &tokens);
       for (const uint32_t other :
            index.RelevantLeaves(static_cast<uint32_t>(leaf.id))) {
         if (stats != nullptr) ++stats->cells_visited;

@@ -42,34 +42,45 @@ size_t PartitionObjectCount(const UserPartitionList& list, int64_t id) {
   return p == nullptr ? 0 : p->objects.size();
 }
 
-std::vector<MergedPartition> MergePartitionLists(
-    const UserPartitionList& cu, const UserPartitionList& cv) {
-  std::vector<MergedPartition> merged;
-  merged.reserve(cu.size() + cv.size());
+void MergePartitionLists(const UserPartitionList& cu,
+                         const UserPartitionList& cv,
+                         std::vector<MergedPartition>* out) {
+  out->clear();
+  out->reserve(cu.size() + cv.size());
   size_t i = 0, j = 0;
   while (i < cu.size() || j < cv.size()) {
     if (j >= cv.size() || (i < cu.size() && cu[i].id < cv[j].id)) {
-      merged.push_back({cu[i].id, &cu[i], nullptr});
+      out->push_back({cu[i].id, &cu[i], nullptr});
       ++i;
     } else if (i >= cu.size() || cv[j].id < cu[i].id) {
-      merged.push_back({cv[j].id, nullptr, &cv[j]});
+      out->push_back({cv[j].id, nullptr, &cv[j]});
       ++j;
     } else {
-      merged.push_back({cu[i].id, &cu[i], &cv[j]});
+      out->push_back({cu[i].id, &cu[i], &cv[j]});
       ++i;
       ++j;
     }
   }
+}
+
+std::vector<MergedPartition> MergePartitionLists(
+    const UserPartitionList& cu, const UserPartitionList& cv) {
+  std::vector<MergedPartition> merged;
+  MergePartitionLists(cu, cv, &merged);
   return merged;
+}
+
+void DistinctTokens(std::span<const ObjectRef> objects, TokenVector* out) {
+  out->clear();
+  for (const ObjectRef& ref : objects) {
+    out->insert(out->end(), ref.object->doc.begin(), ref.object->doc.end());
+  }
+  NormalizeTokenSet(out);
 }
 
 TokenVector DistinctTokens(std::span<const ObjectRef> objects) {
   TokenVector tokens;
-  for (const ObjectRef& ref : objects) {
-    tokens.insert(tokens.end(), ref.object->doc.begin(),
-                  ref.object->doc.end());
-  }
-  NormalizeTokenSet(&tokens);
+  DistinctTokens(objects, &tokens);
   return tokens;
 }
 

@@ -66,6 +66,11 @@ const UserPartition* FindPartition(const UserPartitionList& list, int64_t id);
 /// The distinct tokens appearing in `objects` (ascending).
 TokenVector DistinctTokens(std::span<const ObjectRef> objects);
 
+/// Scratch-reusing variant: clears *out and fills it with the distinct
+/// tokens of `objects` (ascending). Hot loops pass a hoisted buffer to
+/// avoid one allocation per partition.
+void DistinctTokens(std::span<const ObjectRef> objects, TokenVector* out);
+
 /// Sorts `*v` ascending and drops duplicates. The single authoritative
 /// dedup for candidate cell/leaf bookkeeping: the filter loops only
 /// perform an opportunistic back() check to limit growth, so supporting
@@ -88,6 +93,13 @@ struct MergedPartition {
 /// distinct ids with per-side pointers.
 std::vector<MergedPartition> MergePartitionLists(const UserPartitionList& cu,
                                                  const UserPartitionList& cv);
+
+/// Scratch-reusing variant: clears *out and fills it with the merged
+/// traversal. Hot loops pass a hoisted buffer to avoid one allocation per
+/// user pair.
+void MergePartitionLists(const UserPartitionList& cu,
+                         const UserPartitionList& cv,
+                         std::vector<MergedPartition>* out);
 
 /// The objects of a possibly-absent partition (empty span for nullptr).
 inline std::span<const ObjectRef> PartitionObjects(const UserPartition* p) {

@@ -21,25 +21,25 @@ uint64_t MixToken(TokenId token, uint64_t salt) {
 
 }  // namespace
 
-void TokenSignature::Add(TokenId token) {
+void BloomTokenSignature::Add(TokenId token) {
   const uint64_t h1 = MixToken(token, 0x1234);
   const uint64_t h2 = MixToken(token, 0xABCD);
   bits_[(h1 >> 6) % kWords] |= 1ULL << (h1 & 63);
   bits_[(h2 >> 6) % kWords] |= 1ULL << (h2 & 63);
 }
 
-void TokenSignature::Merge(const TokenSignature& other) {
+void BloomTokenSignature::Merge(const BloomTokenSignature& other) {
   for (size_t i = 0; i < kWords; ++i) bits_[i] |= other.bits_[i];
 }
 
-bool TokenSignature::MightContain(TokenId token) const {
+bool BloomTokenSignature::MightContain(TokenId token) const {
   const uint64_t h1 = MixToken(token, 0x1234);
   const uint64_t h2 = MixToken(token, 0xABCD);
   return (bits_[(h1 >> 6) % kWords] & (1ULL << (h1 & 63))) != 0 &&
          (bits_[(h2 >> 6) % kWords] & (1ULL << (h2 & 63))) != 0;
 }
 
-size_t TokenSignature::PossibleOverlap(const TokenVector& query) const {
+size_t BloomTokenSignature::PossibleOverlap(const TokenVector& query) const {
   size_t count = 0;
   for (const TokenId t : query) {
     if (MightContain(t)) ++count;

@@ -18,13 +18,13 @@
 namespace stps {
 
 /// A fixed-size Bloom signature over token ids.
-class TokenSignature {
+class BloomTokenSignature {
  public:
   /// Adds a token to the signature.
   void Add(TokenId token);
 
   /// Folds another signature in (parent = union of children).
-  void Merge(const TokenSignature& other);
+  void Merge(const BloomTokenSignature& other);
 
   /// False only when the token is definitely absent below this node.
   bool MightContain(TokenId token) const;
@@ -69,7 +69,7 @@ class IRTree {
   struct Node {
     Rect mbr = Rect::Empty();
     bool is_leaf = true;
-    TokenSignature signature;
+    BloomTokenSignature signature;
     std::vector<int32_t> children;  // internal
     std::vector<ObjectId> objects;  // leaves
   };

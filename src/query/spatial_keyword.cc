@@ -10,7 +10,8 @@ namespace stps {
 namespace {
 
 // True when `superset` (canonical) contains every token of `subset`.
-bool ContainsAll(const TokenVector& superset, const TokenVector& subset) {
+bool ContainsAll(std::span<const TokenId> superset,
+                 std::span<const TokenId> subset) {
   return OverlapSize(superset, subset) == subset.size();
 }
 

@@ -9,9 +9,10 @@
 #include <cmath>
 #include <cstdint>
 #include <limits>
+#include <span>
 
 #include "spatial/geometry.h"
-#include "text/token_set.h"
+#include "text/intersect.h"
 #include "text/types.h"
 
 namespace stps {
@@ -26,6 +27,10 @@ using ObjectId = uint32_t;
 /// A spatio-textual object o = <u, loc, doc> with an optional timestamp
 /// (the paper's future-work temporal dimension; ignored unless a query
 /// sets a finite eps_time).
+///
+/// `doc` is a non-owning view: objects built through DatabaseBuilder point
+/// into the database's CSR token arena, standalone objects (tests, ad-hoc
+/// queries) into caller-owned storage that must outlive the object.
 struct STObject {
   ObjectId id = 0;
   UserId user = 0;
@@ -33,8 +38,19 @@ struct STObject {
   /// Creation time in arbitrary units (e.g. days). 0 when untimed.
   double time = 0.0;
   /// Canonical token set; ids follow the global ascending-document-
-  /// frequency order (prefix-filter ready).
-  TokenVector doc;
+  /// frequency order (prefix-filter ready). Always assign through
+  /// set_doc() so `sig` stays in sync.
+  std::span<const TokenId> doc;
+  /// 64-bit bitmap signature of `doc` (see text/intersect.h). Invariant:
+  /// sig == ComputeSignature(doc); set_doc() maintains it.
+  TokenSignature sig = 0;
+
+  /// Points `doc` at `tokens` (not copied — the storage must outlive this
+  /// object) and recomputes the signature.
+  void set_doc(std::span<const TokenId> tokens) {
+    doc = tokens;
+    sig = ComputeSignature(tokens);
+  }
 };
 
 /// Spatio-textual(-temporal) thresholds of a join query.
@@ -56,11 +72,15 @@ inline bool TimeCompatible(const STObject& a, const STObject& b,
 
 /// The paper's matching predicate mu(o, o') extended with the temporal
 /// dimension: dist <= eps_loc, Jaccard >= eps_doc, |dt| <= eps_time.
+/// The textual test is signature-gated; pass `signature_rejections` to
+/// count gate hits.
 inline bool ObjectsMatch(const STObject& a, const STObject& b,
-                         const MatchThresholds& t) {
+                         const MatchThresholds& t,
+                         uint64_t* signature_rejections = nullptr) {
   return WithinDistance(a.loc, b.loc, t.eps_loc) &&
          TimeCompatible(a, b, t.eps_time) &&
-         JaccardAtLeast(a.doc, b.doc, t.eps_doc);
+         SignatureGatedJaccardAtLeast(a.doc, a.sig, b.doc, b.sig, t.eps_doc,
+                                      signature_rejections);
 }
 
 }  // namespace stps

@@ -4,6 +4,7 @@
 #include <unordered_map>
 
 #include "common/macros.h"
+#include "text/intersect.h"
 #include "text/similarity.h"
 
 namespace stps {
@@ -27,7 +28,7 @@ class PrefixIndex {
   template <typename GetObject>
   PrefixIndex(size_t count, double eps_doc, const GetObject& get) {
     for (uint32_t i = 0; i < count; ++i) {
-      const TokenVector& doc = get(i)->doc;
+      const std::span<const TokenId> doc = get(i)->doc;
       const size_t prefix = PrefixLengthForJaccard(doc.size(), eps_doc);
       for (size_t p = 0; p < prefix; ++p) {
         postings_[doc[p]].push_back(i);
@@ -38,7 +39,7 @@ class PrefixIndex {
 
   // Appends (deduplicated) candidate indices sharing a prefix token with
   // `doc` into *out.
-  void Probe(const TokenVector& doc, double eps_doc,
+  void Probe(std::span<const TokenId> doc, double eps_doc,
              std::vector<uint32_t>* out) {
     ++round_;
     const size_t prefix = PrefixLengthForJaccard(doc.size(), eps_doc);
@@ -63,16 +64,20 @@ class PrefixIndex {
 
 std::vector<std::pair<ObjectId, ObjectId>> PPJCrossPairs(
     std::span<const STObject* const> left,
-    std::span<const STObject* const> right, const MatchThresholds& t) {
+    std::span<const STObject* const> right, const MatchThresholds& t,
+    JoinStats* stats) {
   std::vector<std::pair<ObjectId, ObjectId>> result;
   if (left.empty() || right.empty()) return result;
+  uint64_t* const sigrej =
+      stats != nullptr ? &stats->signature_rejections : nullptr;
   if (left.size() * right.size() <= kNestedLoopLimit || t.eps_doc <= 0.0) {
     for (const STObject* a : left) {
       for (const STObject* b : right) {
         if (!WithinDistance(a->loc, b->loc, t.eps_loc)) continue;
         if (!TimeCompatible(*a, *b, t.eps_time)) continue;
         if (!SizeCompatible(a->doc.size(), b->doc.size(), t.eps_doc)) continue;
-        if (JaccardAtLeast(a->doc, b->doc, t.eps_doc)) {
+        if (SignatureGatedJaccardAtLeast(a->doc, a->sig, b->doc, b->sig,
+                                         t.eps_doc, sigrej)) {
           result.emplace_back(a->id, b->id);
         }
       }
@@ -90,7 +95,8 @@ std::vector<std::pair<ObjectId, ObjectId>> PPJCrossPairs(
       if (!WithinDistance(a->loc, b->loc, t.eps_loc)) continue;
       if (!TimeCompatible(*a, *b, t.eps_time)) continue;
       if (!SizeCompatible(a->doc.size(), b->doc.size(), t.eps_doc)) continue;
-      if (JaccardAtLeast(a->doc, b->doc, t.eps_doc)) {
+      if (SignatureGatedJaccardAtLeast(a->doc, a->sig, b->doc, b->sig,
+                                       t.eps_doc, sigrej)) {
         result.emplace_back(a->id, b->id);
       }
     }
@@ -99,10 +105,13 @@ std::vector<std::pair<ObjectId, ObjectId>> PPJCrossPairs(
 }
 
 std::vector<std::pair<ObjectId, ObjectId>> PPJSelfPairs(
-    std::span<const STObject* const> objects, const MatchThresholds& t) {
+    std::span<const STObject* const> objects, const MatchThresholds& t,
+    JoinStats* stats) {
   std::vector<std::pair<ObjectId, ObjectId>> result;
   const size_t n = objects.size();
   if (n < 2) return result;
+  uint64_t* const sigrej =
+      stats != nullptr ? &stats->signature_rejections : nullptr;
   if (n * n <= kNestedLoopLimit || t.eps_doc <= 0.0) {
     for (size_t i = 0; i < n; ++i) {
       for (size_t j = i + 1; j < n; ++j) {
@@ -112,7 +121,8 @@ std::vector<std::pair<ObjectId, ObjectId>> PPJSelfPairs(
         if (!TimeCompatible(*a, *b, t.eps_time)) continue;
         if (!SizeCompatible(a->doc.size(), b->doc.size(), t.eps_doc))
           continue;
-        if (JaccardAtLeast(a->doc, b->doc, t.eps_doc)) {
+        if (SignatureGatedJaccardAtLeast(a->doc, a->sig, b->doc, b->sig,
+                                         t.eps_doc, sigrej)) {
           result.emplace_back(std::min(a->id, b->id), std::max(a->id, b->id));
         }
       }
@@ -133,7 +143,8 @@ std::vector<std::pair<ObjectId, ObjectId>> PPJSelfPairs(
       if (!WithinDistance(a->loc, b->loc, t.eps_loc)) continue;
       if (!TimeCompatible(*a, *b, t.eps_time)) continue;
       if (!SizeCompatible(a->doc.size(), b->doc.size(), t.eps_doc)) continue;
-      if (JaccardAtLeast(a->doc, b->doc, t.eps_doc)) {
+      if (SignatureGatedJaccardAtLeast(a->doc, a->sig, b->doc, b->sig,
+                                       t.eps_doc, sigrej)) {
         result.emplace_back(std::min(a->id, b->id), std::max(a->id, b->id));
       }
     }
@@ -145,8 +156,11 @@ uint32_t PPJCrossMark(std::span<const ObjectRef> left,
                       std::span<const ObjectRef> right,
                       const MatchThresholds& t,
                       std::vector<uint8_t>* left_matched,
-                      std::vector<uint8_t>* right_matched) {
+                      std::vector<uint8_t>* right_matched,
+                      JoinStats* stats) {
   if (left.empty() || right.empty()) return 0;
+  uint64_t* const sigrej =
+      stats != nullptr ? &stats->signature_rejections : nullptr;
   uint32_t newly_matched = 0;
   const auto mark = [&](const ObjectRef& a, const ObjectRef& b) {
     if (!(*left_matched)[a.local]) {
@@ -169,7 +183,9 @@ uint32_t PPJCrossMark(std::span<const ObjectRef> left,
                             t.eps_doc)) {
           continue;
         }
-        if (JaccardAtLeast(a.object->doc, b.object->doc, t.eps_doc)) {
+        if (SignatureGatedJaccardAtLeast(a.object->doc, a.object->sig,
+                                         b.object->doc, b.object->sig,
+                                         t.eps_doc, sigrej)) {
           mark(a, b);
         }
       }
@@ -192,7 +208,9 @@ uint32_t PPJCrossMark(std::span<const ObjectRef> left,
                           t.eps_doc)) {
         continue;
       }
-      if (JaccardAtLeast(a.object->doc, b.object->doc, t.eps_doc)) {
+      if (SignatureGatedJaccardAtLeast(a.object->doc, a.object->sig,
+                                       b.object->doc, b.object->sig,
+                                       t.eps_doc, sigrej)) {
         mark(a, b);
       }
     }

@@ -20,6 +20,7 @@
 #include <utility>
 #include <vector>
 
+#include "core/join_stats.h"
 #include "stjoin/object.h"
 
 namespace stps {
@@ -32,24 +33,30 @@ struct ObjectRef {
 };
 
 /// All matching object-id pairs between `left` and `right` (cross join).
+/// When `stats` is given, signature-filter rejections are counted into it.
 std::vector<std::pair<ObjectId, ObjectId>> PPJCrossPairs(
     std::span<const STObject* const> left,
-    std::span<const STObject* const> right, const MatchThresholds& t);
+    std::span<const STObject* const> right, const MatchThresholds& t,
+    JoinStats* stats = nullptr);
 
 /// All matching object-id pairs (a.id < b.id) within `objects` (self join).
+/// When `stats` is given, signature-filter rejections are counted into it.
 std::vector<std::pair<ObjectId, ObjectId>> PPJSelfPairs(
-    std::span<const STObject* const> objects, const MatchThresholds& t);
+    std::span<const STObject* const> objects, const MatchThresholds& t,
+    JoinStats* stats = nullptr);
 
 /// Marks matched flags: for every matching pair (a in left, b in right),
 /// sets (*left_matched)[a.local] and (*right_matched)[b.local]. Pairs
 /// whose both sides are already matched are skipped (their outcome cannot
 /// change the flags). Returns the number of flags newly set (across both
 /// sides), so callers can maintain |M(Du,Dv)| + |M(Dv,Du)| incrementally.
+/// When `stats` is given, signature-filter rejections are counted into it.
 uint32_t PPJCrossMark(std::span<const ObjectRef> left,
                       std::span<const ObjectRef> right,
                       const MatchThresholds& t,
                       std::vector<uint8_t>* left_matched,
-                      std::vector<uint8_t>* right_matched);
+                      std::vector<uint8_t>* right_matched,
+                      JoinStats* stats = nullptr);
 
 }  // namespace stps
 

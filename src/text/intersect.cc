@@ -1,0 +1,119 @@
+#include "text/intersect.h"
+
+namespace stps {
+
+namespace {
+
+// First position in [lo, a.size()) with a[pos] >= key, located by
+// exponential probing from `lo` followed by binary search of the bracket.
+size_t GallopLowerBound(std::span<const TokenId> a, size_t lo, TokenId key) {
+  size_t step = 1;
+  size_t hi = lo;
+  while (hi < a.size() && a[hi] < key) {
+    lo = hi + 1;
+    hi += step;
+    step <<= 1;
+  }
+  hi = std::min(hi, a.size());
+  return static_cast<size_t>(
+      std::lower_bound(a.begin() + static_cast<ptrdiff_t>(lo),
+                       a.begin() + static_cast<ptrdiff_t>(hi), key) -
+      a.begin());
+}
+
+}  // namespace
+
+size_t IntersectCountMerge(std::span<const TokenId> a,
+                           std::span<const TokenId> b) {
+  size_t i = 0, j = 0, overlap = 0;
+  const size_t na = a.size(), nb = b.size();
+  while (i < na && j < nb) {
+    const TokenId x = a[i];
+    const TokenId y = b[j];
+    // Cursor advances are data-dependent arithmetic, not branches: the
+    // three-way comparison never mispredicts its way through the loop.
+    overlap += static_cast<size_t>(x == y);
+    i += static_cast<size_t>(x <= y);
+    j += static_cast<size_t>(y <= x);
+  }
+  return overlap;
+}
+
+size_t IntersectCountGallop(std::span<const TokenId> a,
+                            std::span<const TokenId> b) {
+  std::span<const TokenId> small = a.size() <= b.size() ? a : b;
+  std::span<const TokenId> large = a.size() <= b.size() ? b : a;
+  size_t pos = 0, overlap = 0;
+  for (const TokenId key : small) {
+    pos = GallopLowerBound(large, pos, key);
+    if (pos == large.size()) break;
+    if (large[pos] == key) {
+      ++overlap;
+      ++pos;
+    }
+  }
+  return overlap;
+}
+
+size_t IntersectCount(std::span<const TokenId> a, std::span<const TokenId> b) {
+  const size_t small = std::min(a.size(), b.size());
+  const size_t large = std::max(a.size(), b.size());
+  if (small == 0) return 0;
+  // Multiply, not divide: an integer division here costs as much as the
+  // whole merge of two small sets.
+  if (large >= small * kGallopSizeRatio) return IntersectCountGallop(a, b);
+  return IntersectCountMerge(a, b);
+}
+
+namespace {
+
+size_t IntersectCountAtLeastMerge(std::span<const TokenId> a,
+                                  std::span<const TokenId> b,
+                                  size_t required) {
+  size_t i = 0, j = 0, overlap = 0;
+  const size_t na = a.size(), nb = b.size();
+  while (i < na && j < nb) {
+    // Early abandon: even matching every remaining token cannot reach
+    // `required`.
+    if (overlap + std::min(na - i, nb - j) < required) return overlap;
+    const TokenId x = a[i];
+    const TokenId y = b[j];
+    overlap += static_cast<size_t>(x == y);
+    i += static_cast<size_t>(x <= y);
+    j += static_cast<size_t>(y <= x);
+  }
+  return overlap;
+}
+
+size_t IntersectCountAtLeastGallop(std::span<const TokenId> a,
+                                   std::span<const TokenId> b,
+                                   size_t required) {
+  std::span<const TokenId> small = a.size() <= b.size() ? a : b;
+  std::span<const TokenId> large = a.size() <= b.size() ? b : a;
+  size_t pos = 0, overlap = 0;
+  for (size_t k = 0; k < small.size(); ++k) {
+    if (overlap + (small.size() - k) < required) return overlap;
+    pos = GallopLowerBound(large, pos, small[k]);
+    if (pos == large.size()) break;
+    if (large[pos] == small[k]) {
+      ++overlap;
+      ++pos;
+    }
+  }
+  return overlap;
+}
+
+}  // namespace
+
+size_t IntersectCountAtLeast(std::span<const TokenId> a,
+                             std::span<const TokenId> b, size_t required) {
+  const size_t small = std::min(a.size(), b.size());
+  const size_t large = std::max(a.size(), b.size());
+  if (small == 0) return 0;
+  if (large >= small * kGallopSizeRatio) {
+    return IntersectCountAtLeastGallop(a, b, required);
+  }
+  return IntersectCountAtLeastMerge(a, b, required);
+}
+
+}  // namespace stps

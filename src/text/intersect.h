@@ -1,0 +1,141 @@
+// Cache-friendly set-intersection kernels and 64-bit bitmap token
+// signatures (the SEAL / PPJOIN-lineage cheap-filter idea applied at the
+// object level).
+//
+// A signature hashes every token of a set into one of 64 bits. Signatures
+// are *conservative*: they can prove two sets share few (or no) tokens,
+// but they can never reject a pair that actually meets the overlap
+// requirement — see SignatureOverlapUpperBound for the bound and its
+// proof sketch. The verification kernels below (branch-reduced merge and
+// galloping search, selected by a size-ratio heuristic) compute exact
+// overlaps over contiguous token arrays; combined with the CSR token
+// arena in ObjectDatabase they turn verification into linear scans.
+
+#ifndef STPS_TEXT_INTERSECT_H_
+#define STPS_TEXT_INTERSECT_H_
+
+#include <algorithm>
+#include <bit>
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "text/similarity.h"
+#include "text/types.h"
+
+namespace stps {
+
+/// 64-bit hashed token bitmap. Empty sets have signature 0.
+using TokenSignature = uint64_t;
+
+/// The signature bit of one token: top 6 bits of a Fibonacci
+/// (multiply-shift) hash, so consecutive dictionary ids spread evenly.
+inline uint32_t SignatureBit(TokenId t) {
+  return static_cast<uint32_t>(
+      (static_cast<uint64_t>(t) * 0x9E3779B97F4A7C15ull) >> 58);
+}
+
+/// OR of the signature bits of every token.
+inline TokenSignature ComputeSignature(std::span<const TokenId> tokens) {
+  TokenSignature sig = 0;
+  for (const TokenId t : tokens) {
+    sig |= TokenSignature{1} << SignatureBit(t);
+  }
+  return sig;
+}
+
+/// Conservative upper bound on |a ∩ b| given the two signatures and the
+/// exact set sizes.
+///
+/// Soundness: every token sets exactly one bit. A token of `a` whose bit
+/// is absent from `sb` cannot occur in `b` (it would have set that bit).
+/// Distinct bits of `sa & ~sb` are set by distinct tokens of `a`, so at
+/// least popcount(sa & ~sb) tokens of `a` are outside the intersection:
+/// |a ∩ b| <= |a| - popcount(sa & ~sb), and symmetrically for `b`. When
+/// the signatures share no bit the sets share no token at all (a common
+/// token would set a common bit), which is strictly stronger than the
+/// subtraction bound under in-set hash collisions.
+inline size_t SignatureOverlapUpperBound(TokenSignature sa, size_t na,
+                                         TokenSignature sb, size_t nb) {
+  const TokenSignature common = sa & sb;
+  const size_t only_a = static_cast<size_t>(std::popcount(sa ^ common));
+  const size_t only_b = static_cast<size_t>(std::popcount(sb ^ common));
+  const size_t bound = std::min(na - only_a, nb - only_b);
+  // Unconditional popcounts + a conditional move: the disjointness test is
+  // data-dependent and would mispredict on mixed workloads as a branch.
+  return common == 0 ? 0 : bound;
+}
+
+/// |a ∩ b| by branch-reduced merge: one pass, cursor advances computed
+/// arithmetically so the comparison outcome does not steer a branch.
+/// O(|a| + |b|).
+size_t IntersectCountMerge(std::span<const TokenId> a,
+                           std::span<const TokenId> b);
+
+/// |a ∩ b| by galloping (exponential + binary) search of each element of
+/// the smaller set in the larger one. O(|small| * log |large|) — wins
+/// when the sizes are badly skewed.
+size_t IntersectCountGallop(std::span<const TokenId> a,
+                            std::span<const TokenId> b);
+
+/// Size-ratio crossover: galloping beats the merge roughly when the
+/// larger set is this many times the smaller (see bench_kernels).
+inline constexpr size_t kGallopSizeRatio = 16;
+
+/// |a ∩ b| via the kernel the size heuristic picks.
+size_t IntersectCount(std::span<const TokenId> a, std::span<const TokenId> b);
+
+/// Early-abandoning |a ∩ b|: returns as soon as the overlap can no longer
+/// reach `required` (the result is then some value < required). Selects
+/// merge or galloping by the size heuristic.
+size_t IntersectCountAtLeast(std::span<const TokenId> a,
+                             std::span<const TokenId> b, size_t required);
+
+/// Exact Jaccard(a, b) >= threshold over spans, with early-abandon
+/// overlap counting. Identical decisions to the canonical JaccardAtLeast.
+inline bool JaccardAtLeastKernel(std::span<const TokenId> a,
+                                 std::span<const TokenId> b,
+                                 double threshold) {
+  if (threshold <= 0.0) return true;
+  if (a.empty() || b.empty()) return false;
+  // J(a,b) >= t  <=>  o >= t/(1+t) * (|a|+|b|), where o = |a ∩ b|; the
+  // conservative rounding lives in MinOverlapForJaccard.
+  const size_t required = MinOverlapForJaccard(a.size(), b.size(), threshold);
+  const size_t overlap = IntersectCountAtLeast(a, b, required);
+  if (overlap < required) return false;
+  // Exact predicate: o / (|a|+|b|-o) >= t, evaluated without division.
+  return static_cast<double>(overlap) >=
+         threshold * static_cast<double>(a.size() + b.size() - overlap);
+}
+
+/// Signature-gated Jaccard predicate: rejects via the signature bound
+/// when it already proves the required overlap unreachable (bumping
+/// *signature_rejections when provided), otherwise falls through to the
+/// exact kernel. Requires sa/sb == ComputeSignature(a/b); conservative by
+/// construction — never rejects a pair the exact kernel accepts.
+///
+/// Inline on purpose: on filter-heavy workloads the overwhelmingly common
+/// outcome is a rejection that needs only the sizes and two popcounts —
+/// an out-of-line call would cost more than the gate itself (see
+/// bench_kernels).
+inline bool SignatureGatedJaccardAtLeast(
+    std::span<const TokenId> a, TokenSignature sa, std::span<const TokenId> b,
+    TokenSignature sb, double threshold,
+    uint64_t* signature_rejections = nullptr) {
+  if (threshold <= 0.0) return true;
+  if (a.empty() || b.empty()) return false;
+  const size_t required = MinOverlapForJaccard(a.size(), b.size(), threshold);
+  if (required > 0 &&
+      SignatureOverlapUpperBound(sa, a.size(), sb, b.size()) < required) {
+    if (signature_rejections != nullptr) ++*signature_rejections;
+    return false;
+  }
+  const size_t overlap = IntersectCountAtLeast(a, b, required);
+  if (overlap < required) return false;
+  return static_cast<double>(overlap) >=
+         threshold * static_cast<double>(a.size() + b.size() - overlap);
+}
+
+}  // namespace stps
+
+#endif  // STPS_TEXT_INTERSECT_H_

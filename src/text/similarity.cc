@@ -7,28 +7,8 @@
 
 namespace stps {
 
-namespace {
-
-// Conservative ceil: shaves an epsilon first so values that are integral
-// up to floating-point noise do not get bumped to the next integer, which
-// would make a filter bound too tight.
-size_t CeilConservative(double v) {
-  return static_cast<size_t>(std::max(0.0, std::ceil(v - 1e-9)));
-}
-
-// Conservative floor in the opposite direction (for upper bounds).
-size_t FloorGenerous(double v) {
-  return static_cast<size_t>(std::max(0.0, std::floor(v + 1e-9)));
-}
-
-}  // namespace
-
-size_t MinOverlapForJaccard(size_t size_x, size_t size_y, double threshold) {
-  if (threshold <= 0.0) return 0;
-  const double v = threshold / (1.0 + threshold) *
-                   static_cast<double>(size_x + size_y);
-  return CeilConservative(v);
-}
+using similarity_detail::CeilConservative;
+using similarity_detail::FloorGenerous;
 
 size_t MinSizeForJaccard(size_t size_x, double threshold) {
   if (threshold <= 0.0) return 0;

@@ -6,13 +6,38 @@
 #ifndef STPS_TEXT_SIMILARITY_H_
 #define STPS_TEXT_SIMILARITY_H_
 
+#include <algorithm>
+#include <cmath>
 #include <cstddef>
 
 namespace stps {
 
+namespace similarity_detail {
+
+/// Conservative ceil: shaves an epsilon first so values that are integral
+/// up to floating-point noise do not get bumped to the next integer, which
+/// would make a filter bound too tight.
+inline size_t CeilConservative(double v) {
+  return static_cast<size_t>(std::max(0.0, std::ceil(v - 1e-9)));
+}
+
+/// Conservative floor in the opposite direction (for upper bounds).
+inline size_t FloorGenerous(double v) {
+  return static_cast<size_t>(std::max(0.0, std::floor(v + 1e-9)));
+}
+
+}  // namespace similarity_detail
+
 /// Minimum overlap o = |x ∩ y| required for Jaccard(x, y) >= t given the
-/// two set sizes: o >= t/(1+t) * (|x|+|y|).
-size_t MinOverlapForJaccard(size_t size_x, size_t size_y, double threshold);
+/// two set sizes: o >= t/(1+t) * (|x|+|y|). Inline: this sits ahead of
+/// every signature gate in the verification hot path.
+inline size_t MinOverlapForJaccard(size_t size_x, size_t size_y,
+                                   double threshold) {
+  if (threshold <= 0.0) return 0;
+  const double v = threshold / (1.0 + threshold) *
+                   static_cast<double>(size_x + size_y);
+  return similarity_detail::CeilConservative(v);
+}
 
 /// Smallest |y| that can still satisfy Jaccard(x, y) >= t: |y| >= t * |x|.
 size_t MinSizeForJaccard(size_t size_x, double threshold);

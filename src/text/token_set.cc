@@ -1,7 +1,8 @@
 #include "text/token_set.h"
 
 #include <algorithm>
-#include <cmath>
+
+#include "text/intersect.h"
 
 namespace stps {
 
@@ -10,75 +11,32 @@ void NormalizeTokenSet(TokenVector* tokens) {
   tokens->erase(std::unique(tokens->begin(), tokens->end()), tokens->end());
 }
 
-bool IsNormalizedTokenSet(const TokenVector& tokens) {
+bool IsNormalizedTokenSet(std::span<const TokenId> tokens) {
   for (size_t i = 1; i < tokens.size(); ++i) {
     if (tokens[i - 1] >= tokens[i]) return false;
   }
   return true;
 }
 
-size_t OverlapSize(const TokenVector& a, const TokenVector& b) {
-  size_t i = 0, j = 0, overlap = 0;
-  while (i < a.size() && j < b.size()) {
-    if (a[i] == b[j]) {
-      ++overlap;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return overlap;
+size_t OverlapSize(std::span<const TokenId> a, std::span<const TokenId> b) {
+  return IntersectCount(a, b);
 }
 
-size_t OverlapSizeAtLeast(const TokenVector& a, const TokenVector& b,
-                          size_t required) {
-  size_t i = 0, j = 0, overlap = 0;
-  while (i < a.size() && j < b.size()) {
-    // Early abandon: even matching every remaining token cannot reach
-    // `required`.
-    const size_t best_possible =
-        overlap + std::min(a.size() - i, b.size() - j);
-    if (best_possible < required) return overlap;
-    if (a[i] == b[j]) {
-      ++overlap;
-      ++i;
-      ++j;
-    } else if (a[i] < b[j]) {
-      ++i;
-    } else {
-      ++j;
-    }
-  }
-  return overlap;
+size_t OverlapSizeAtLeast(std::span<const TokenId> a,
+                          std::span<const TokenId> b, size_t required) {
+  return IntersectCountAtLeast(a, b, required);
 }
 
-double Jaccard(const TokenVector& a, const TokenVector& b) {
+double Jaccard(std::span<const TokenId> a, std::span<const TokenId> b) {
   if (a.empty() || b.empty()) return 0.0;
-  const size_t overlap = OverlapSize(a, b);
+  const size_t overlap = IntersectCount(a, b);
   return static_cast<double>(overlap) /
          static_cast<double>(a.size() + b.size() - overlap);
 }
 
-bool JaccardAtLeast(const TokenVector& a, const TokenVector& b,
+bool JaccardAtLeast(std::span<const TokenId> a, std::span<const TokenId> b,
                     double threshold) {
-  if (threshold <= 0.0) return true;
-  if (a.empty() || b.empty()) return false;
-  // J(a,b) >= t  <=>  o >= t/(1+t) * (|a|+|b|), where o = |a ∩ b|.
-  const double exact =
-      threshold / (1.0 + threshold) * static_cast<double>(a.size() + b.size());
-  // Conservative rounding: the required count errs low by an epsilon so a
-  // borderline-true pair is never rejected by rounding; the final exact
-  // check below resolves it.
-  const size_t required = static_cast<size_t>(std::max(
-      0.0, std::ceil(exact - 1e-9)));
-  const size_t overlap = OverlapSizeAtLeast(a, b, required);
-  if (overlap < required) return false;
-  // Exact predicate: o / (|a|+|b|-o) >= t, evaluated without division.
-  return static_cast<double>(overlap) >=
-         threshold * static_cast<double>(a.size() + b.size() - overlap);
+  return JaccardAtLeastKernel(a, b, threshold);
 }
 
 }  // namespace stps

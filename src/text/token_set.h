@@ -1,9 +1,13 @@
-// Operations on sorted token-id vectors: overlap, Jaccard, normalisation.
+// Operations on sorted token-id sequences: overlap, Jaccard,
+// normalisation. The counting functions take spans so they work equally
+// over owned TokenVectors and views into the ObjectDatabase token arena;
+// they route through the kernels in text/intersect.h.
 
 #ifndef STPS_TEXT_TOKEN_SET_H_
 #define STPS_TEXT_TOKEN_SET_H_
 
 #include <cstddef>
+#include <span>
 
 #include "text/types.h"
 
@@ -13,23 +17,23 @@ namespace stps {
 void NormalizeTokenSet(TokenVector* tokens);
 
 /// True when `tokens` is strictly increasing (the canonical set form).
-bool IsNormalizedTokenSet(const TokenVector& tokens);
+bool IsNormalizedTokenSet(std::span<const TokenId> tokens);
 
-/// |a ∩ b| for two canonical token sets. O(|a| + |b|).
-size_t OverlapSize(const TokenVector& a, const TokenVector& b);
+/// |a ∩ b| for two canonical token sets.
+size_t OverlapSize(std::span<const TokenId> a, std::span<const TokenId> b);
 
 /// |a ∩ b| with early abandon: returns as soon as the overlap can no
 /// longer reach `required` (the result is then some value < required).
-size_t OverlapSizeAtLeast(const TokenVector& a, const TokenVector& b,
-                          size_t required);
+size_t OverlapSizeAtLeast(std::span<const TokenId> a,
+                          std::span<const TokenId> b, size_t required);
 
 /// Jaccard similarity |a ∩ b| / |a ∪ b|. Defined as 0 when either set is
 /// empty (no keywords carry no textual evidence of similarity).
-double Jaccard(const TokenVector& a, const TokenVector& b);
+double Jaccard(std::span<const TokenId> a, std::span<const TokenId> b);
 
 /// True iff Jaccard(a, b) >= threshold, using integer arithmetic with
 /// early-abandon overlap counting (no floating-point division).
-bool JaccardAtLeast(const TokenVector& a, const TokenVector& b,
+bool JaccardAtLeast(std::span<const TokenId> a, std::span<const TokenId> b,
                     double threshold);
 
 }  // namespace stps

@@ -7,6 +7,7 @@
 #include <vector>
 
 #include "common/macros.h"
+#include "text/intersect.h"
 #include "text/similarity.h"
 #include "text/token_set.h"
 
@@ -162,6 +163,10 @@ std::vector<IndexPair> PPJoinSelf(const std::vector<TokenVector>& records,
 
   std::unordered_map<TokenId, std::vector<Posting>> index;
   CandidateSet cands(n);
+  // Bitmap signatures gate the verification step: survivors of the prefix
+  // filters still fail the exact test most of the time at low thresholds.
+  std::vector<TokenSignature> sigs(n);
+  for (size_t r = 0; r < n; ++r) sigs[r] = ComputeSignature(records[r]);
 
   for (const uint32_t xi : order) {
     const TokenVector& x = records[xi];
@@ -180,10 +185,11 @@ std::vector<IndexPair> PPJoinSelf(const std::vector<TokenVector>& records,
                            &cands);
       }
     }
-    // Verification with the canonical predicate.
+    // Verification with the signature-gated exact predicate.
     for (const uint32_t yi : cands.touched) {
       if (cands.overlap[yi] <= 0) continue;
-      if (JaccardAtLeast(x, records[yi], options.threshold)) {
+      if (SignatureGatedJaccardAtLeast(x, sigs[xi], records[yi], sigs[yi],
+                                       options.threshold)) {
         result.emplace_back(std::min(xi, yi), std::max(xi, yi));
       }
     }
@@ -216,10 +222,16 @@ std::vector<IndexPair> PPJoinCross(std::span<const TokenVector> left,
     }
   }
 
+  std::vector<TokenSignature> right_sigs(right.size());
+  for (size_t r = 0; r < right.size(); ++r) {
+    right_sigs[r] = ComputeSignature(right[r]);
+  }
+
   CandidateSet cands(right.size());
   for (uint32_t xi = 0; xi < left.size(); ++xi) {
     const TokenVector& x = left[xi];
     if (x.empty()) continue;
+    const TokenSignature x_sig = ComputeSignature(x);
     cands.Reset();
     const size_t probe_prefix =
         PrefixLengthForJaccard(x.size(), options.threshold);
@@ -237,7 +249,8 @@ std::vector<IndexPair> PPJoinCross(std::span<const TokenVector> left,
     }
     for (const uint32_t yi : cands.touched) {
       if (cands.overlap[yi] <= 0) continue;
-      if (JaccardAtLeast(x, right[yi], options.threshold)) {
+      if (SignatureGatedJaccardAtLeast(x, x_sig, right[yi], right_sigs[yi],
+                                       options.threshold)) {
         result.emplace_back(xi, yi);
       }
     }

@@ -30,7 +30,8 @@ TEST(GeneratorTest, DeterministicForEqualSeeds) {
   ASSERT_EQ(a.num_objects(), b.num_objects());
   for (ObjectId i = 0; i < a.num_objects(); ++i) {
     EXPECT_EQ(a.object(i).loc, b.object(i).loc);
-    EXPECT_EQ(a.object(i).doc, b.object(i).doc);
+    EXPECT_EQ(TokenVector(a.object(i).doc.begin(), a.object(i).doc.end()),
+              TokenVector(b.object(i).doc.begin(), b.object(i).doc.end()));
     EXPECT_EQ(a.object(i).user, b.object(i).user);
   }
 }

@@ -91,9 +91,78 @@ TEST_P(ConsistencyFuzzTest, AllJoinAlgorithmsAgreeOnRandomConfigs) {
       ASSERT_TRUE(SameResults(parallel, expected, /*tolerance=*/0.0))
           << "parallel " << JoinAlgorithmName(algorithm)
           << " seed=" << spec.seed;
+      // Field-level comparisons first (sharper failure messages than the
+      // aggregate equality): the work a pair triggers must not depend on
+      // which worker ran it.
+      EXPECT_EQ(parallel_stats.matches_found, stats.matches_found)
+          << "parallel " << JoinAlgorithmName(algorithm)
+          << " seed=" << spec.seed;
+      EXPECT_EQ(parallel_stats.pairs_verified, stats.pairs_verified)
+          << "parallel " << JoinAlgorithmName(algorithm)
+          << " seed=" << spec.seed;
+      EXPECT_EQ(parallel_stats.signature_rejections,
+                stats.signature_rejections)
+          << "parallel " << JoinAlgorithmName(algorithm)
+          << " seed=" << spec.seed;
       EXPECT_EQ(parallel_stats, stats)
           << "parallel " << JoinAlgorithmName(algorithm)
           << " seed=" << spec.seed;
+    }
+  }
+}
+
+// Duplicate object locations (and duplicate docs) stress tie handling in
+// grid cell assignment, partition merging, and the matched-flag counting:
+// every co-located pair either matches or is rejected purely textually.
+TEST(ConsistencyDuplicateLocationsTest, AllAlgorithmsAgree) {
+  DatabaseBuilder builder;
+  const std::vector<std::string> docs[] = {
+      {"coffee", "park"}, {"coffee", "park"}, {"museum"},
+      {"coffee", "museum", "park"}, {"park"}};
+  // Five users, all objects stacked on three distinct points; several
+  // objects share both location and keyword set exactly.
+  const Point points[] = {{0.25, 0.25}, {0.25, 0.25}, {0.75, 0.75}};
+  Rng rng(12345);
+  for (int u = 0; u < 5; ++u) {
+    const std::string user = "user" + std::to_string(u);
+    for (int o = 0; o < 6; ++o) {
+      const auto& doc = docs[rng.NextBelow(5)];
+      builder.AddObject(user, points[rng.NextBelow(3)],
+                        std::span<const std::string>(doc));
+    }
+  }
+  const ObjectDatabase db = std::move(builder).Build();
+  for (const double eps_doc : {0.2, 0.5, 1.0}) {
+    STPSQuery query;
+    query.eps_loc = 0.1;
+    query.eps_doc = eps_doc;
+    query.eps_u = 0.3;
+    const auto expected = BruteForceSTPSJoin(db, query);
+    for (const JoinAlgorithm algorithm :
+         {JoinAlgorithm::kSPPJC, JoinAlgorithm::kSPPJB,
+          JoinAlgorithm::kSPPJF, JoinAlgorithm::kSPPJD}) {
+      JoinOptions options;
+      options.algorithm = algorithm;
+      JoinStats stats;
+      ASSERT_TRUE(SameResults(RunSTPSJoin(db, query, options, &stats),
+                              expected))
+          << JoinAlgorithmName(algorithm) << " eps_doc=" << eps_doc;
+      CheckStatsInvariants(stats, static_cast<int64_t>(expected.size()),
+                           JoinAlgorithmName(algorithm).data());
+
+      query.parallel = ParallelOptions{3, 1};
+      JoinStats parallel_stats;
+      const auto parallel = RunSTPSJoin(db, query, options, &parallel_stats);
+      query.parallel = ParallelOptions{};
+      ASSERT_TRUE(SameResults(parallel, expected, /*tolerance=*/0.0))
+          << "parallel " << JoinAlgorithmName(algorithm)
+          << " eps_doc=" << eps_doc;
+      EXPECT_EQ(parallel_stats.matches_found, stats.matches_found)
+          << JoinAlgorithmName(algorithm) << " eps_doc=" << eps_doc;
+      EXPECT_EQ(parallel_stats.pairs_verified, stats.pairs_verified)
+          << JoinAlgorithmName(algorithm) << " eps_doc=" << eps_doc;
+      EXPECT_EQ(parallel_stats, stats)
+          << JoinAlgorithmName(algorithm) << " eps_doc=" << eps_doc;
     }
   }
 }

@@ -14,16 +14,16 @@ namespace {
 using testing_util::BuildRandomDatabase;
 using testing_util::RandomDbSpec;
 
-TEST(TokenSignatureTest, NoFalseNegatives) {
-  TokenSignature sig;
+TEST(BloomTokenSignatureTest, NoFalseNegatives) {
+  BloomTokenSignature sig;
   for (TokenId t = 0; t < 200; t += 3) sig.Add(t);
   for (TokenId t = 0; t < 200; t += 3) {
     EXPECT_TRUE(sig.MightContain(t)) << t;
   }
 }
 
-TEST(TokenSignatureTest, MostAbsentTokensAreRuledOut) {
-  TokenSignature sig;
+TEST(BloomTokenSignatureTest, MostAbsentTokensAreRuledOut) {
+  BloomTokenSignature sig;
   for (TokenId t = 0; t < 30; ++t) sig.Add(t);
   int false_positives = 0;
   for (TokenId t = 1000; t < 2000; ++t) {
@@ -33,8 +33,8 @@ TEST(TokenSignatureTest, MostAbsentTokensAreRuledOut) {
   EXPECT_LT(false_positives, 50);
 }
 
-TEST(TokenSignatureTest, MergeIsUnion) {
-  TokenSignature a, b;
+TEST(BloomTokenSignatureTest, MergeIsUnion) {
+  BloomTokenSignature a, b;
   a.Add(1);
   b.Add(2);
   a.Merge(b);

@@ -6,12 +6,14 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "test_util.h"
 #include "text/token_set.h"
 
 namespace stps {
 namespace {
 
-std::vector<STObject> RandomObjects(Rng& rng, size_t count, ObjectId base_id,
+std::vector<STObject> RandomObjects(Rng& rng, testing_util::DocArena& arena,
+                                    size_t count, ObjectId base_id,
                                     size_t vocabulary, double extent) {
   std::vector<STObject> objects(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -20,10 +22,12 @@ std::vector<STObject> RandomObjects(Rng& rng, size_t count, ObjectId base_id,
     o.user = 0;
     o.loc = {rng.Uniform(0, extent), rng.Uniform(0, extent)};
     const size_t n = 1 + rng.NextBelow(5);
+    TokenVector doc;
     for (size_t k = 0; k < n; ++k) {
-      o.doc.push_back(static_cast<TokenId>(rng.NextBelow(vocabulary)));
+      doc.push_back(static_cast<TokenId>(rng.NextBelow(vocabulary)));
     }
-    NormalizeTokenSet(&o.doc);
+    NormalizeTokenSet(&doc);
+    o.set_doc(arena.Add(std::move(doc)));
   }
   return objects;
 }
@@ -46,9 +50,10 @@ TEST_P(PPJSweepTest, CrossPairsMatchBruteForce) {
   const PPJParam p = GetParam();
   const MatchThresholds t{p.eps_loc, p.eps_doc};
   Rng rng(101);
+  testing_util::DocArena arena;
   for (int trial = 0; trial < 10; ++trial) {
-    const auto left = RandomObjects(rng, p.count, 0, 12, 1.0);
-    const auto right = RandomObjects(rng, p.count, 1000, 12, 1.0);
+    const auto left = RandomObjects(rng, arena, p.count, 0, 12, 1.0);
+    const auto right = RandomObjects(rng, arena, p.count, 1000, 12, 1.0);
     std::vector<std::pair<ObjectId, ObjectId>> expected;
     for (const auto& a : left) {
       for (const auto& b : right) {
@@ -69,8 +74,9 @@ TEST_P(PPJSweepTest, SelfPairsMatchBruteForce) {
   const PPJParam p = GetParam();
   const MatchThresholds t{p.eps_loc, p.eps_doc};
   Rng rng(202);
+  testing_util::DocArena arena;
   for (int trial = 0; trial < 10; ++trial) {
-    const auto objects = RandomObjects(rng, p.count, 0, 12, 1.0);
+    const auto objects = RandomObjects(rng, arena, p.count, 0, 12, 1.0);
     std::vector<std::pair<ObjectId, ObjectId>> expected;
     for (size_t i = 0; i < objects.size(); ++i) {
       for (size_t j = i + 1; j < objects.size(); ++j) {
@@ -92,9 +98,10 @@ TEST_P(PPJSweepTest, MarkSetsExactlyTheMatchedFlags) {
   const PPJParam p = GetParam();
   const MatchThresholds t{p.eps_loc, p.eps_doc};
   Rng rng(303);
+  testing_util::DocArena arena;
   for (int trial = 0; trial < 10; ++trial) {
-    const auto left = RandomObjects(rng, p.count, 0, 12, 1.0);
-    const auto right = RandomObjects(rng, p.count, 1000, 12, 1.0);
+    const auto left = RandomObjects(rng, arena, p.count, 0, 12, 1.0);
+    const auto right = RandomObjects(rng, arena, p.count, 1000, 12, 1.0);
     std::vector<ObjectRef> lrefs, rrefs;
     for (uint32_t i = 0; i < left.size(); ++i) lrefs.push_back({&left[i], i});
     for (uint32_t i = 0; i < right.size(); ++i) {
@@ -135,9 +142,12 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(PPJTest, MarkIsIncrementalAcrossCalls) {
   // Flags already set survive and are not double counted.
   const MatchThresholds t{1.0, 0.5};
+  testing_util::DocArena arena;
   std::vector<STObject> left(1), right(1);
-  left[0] = {0, 0, {0, 0}, 0.0, {1, 2}};
-  right[0] = {1, 1, {0.1, 0.1}, 0.0, {1, 2}};
+  left[0] = {.id = 0, .user = 0, .loc = {0, 0}};
+  left[0].set_doc(arena.Add({1, 2}));
+  right[0] = {.id = 1, .user = 1, .loc = {0.1, 0.1}};
+  right[0].set_doc(arena.Add({1, 2}));
   std::vector<ObjectRef> lr = {{&left[0], 0}}, rr = {{&right[0], 0}};
   std::vector<uint8_t> lm(1, 0), rm(1, 0);
   EXPECT_EQ(PPJCrossMark(std::span<const ObjectRef>(lr),

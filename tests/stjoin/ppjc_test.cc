@@ -6,12 +6,14 @@
 #include <gtest/gtest.h>
 
 #include "common/rng.h"
+#include "test_util.h"
 #include "text/token_set.h"
 
 namespace stps {
 namespace {
 
-std::vector<STObject> RandomObjects(Rng& rng, size_t count, double extent,
+std::vector<STObject> RandomObjects(Rng& rng, testing_util::DocArena& arena,
+                                    size_t count, double extent,
                                     size_t vocabulary) {
   std::vector<STObject> objects(count);
   for (uint32_t i = 0; i < count; ++i) {
@@ -19,11 +21,12 @@ std::vector<STObject> RandomObjects(Rng& rng, size_t count, double extent,
     objects[i].user = i % 5;
     objects[i].loc = {rng.Uniform(0, extent), rng.Uniform(0, extent)};
     const size_t n = 1 + rng.NextBelow(4);
+    TokenVector doc;
     for (size_t k = 0; k < n; ++k) {
-      objects[i].doc.push_back(
-          static_cast<TokenId>(rng.NextBelow(vocabulary)));
+      doc.push_back(static_cast<TokenId>(rng.NextBelow(vocabulary)));
     }
-    NormalizeTokenSet(&objects[i].doc);
+    NormalizeTokenSet(&doc);
+    objects[i].set_doc(arena.Add(std::move(doc)));
   }
   return objects;
 }
@@ -54,8 +57,9 @@ TEST_P(PPJCSweepTest, MatchesBruteForce) {
   const PPJCParam p = GetParam();
   const MatchThresholds t{p.eps_loc, p.eps_doc};
   Rng rng(404 + static_cast<uint64_t>(p.eps_loc * 1000));
+  testing_util::DocArena arena;
   for (int trial = 0; trial < 15; ++trial) {
-    const auto objects = RandomObjects(rng, 150, p.extent, 10);
+    const auto objects = RandomObjects(rng, arena, 150, p.extent, 10);
     EXPECT_EQ(PPJCSelfJoin(std::span<const STObject>(objects), t),
               Brute(objects, t));
   }
@@ -74,15 +78,20 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(PPJCTest, TrivialInputs) {
   const MatchThresholds t{0.1, 0.5};
   EXPECT_TRUE(PPJCSelfJoin({}, t).empty());
+  testing_util::DocArena arena;
   std::vector<STObject> one(1);
-  one[0] = {0, 0, {0.5, 0.5}, 0.0, {1}};
+  one[0] = {.id = 0, .user = 0, .loc = {0.5, 0.5}};
+  one[0].set_doc(arena.Add({1}));
   EXPECT_TRUE(PPJCSelfJoin(std::span<const STObject>(one), t).empty());
 }
 
 TEST(PPJCTest, AllIdenticalObjectsProduceAllPairs) {
+  testing_util::DocArena arena;
+  const std::span<const TokenId> doc = arena.Add({3, 4, 5});
   std::vector<STObject> objects(10);
   for (uint32_t i = 0; i < objects.size(); ++i) {
-    objects[i] = {i, 0, {0.5, 0.5}, 0.0, {3, 4, 5}};
+    objects[i] = {.id = i, .user = 0, .loc = {0.5, 0.5}};
+    objects[i].set_doc(doc);
   }
   const MatchThresholds t{0.01, 0.9};
   const auto result = PPJCSelfJoin(std::span<const STObject>(objects), t);

@@ -4,21 +4,25 @@
 
 #include "common/rng.h"
 #include "stjoin/ppjc.h"
+#include "test_util.h"
 #include "text/token_set.h"
 
 namespace stps {
 namespace {
 
-std::vector<STObject> RandomObjects(Rng& rng, size_t count, double extent) {
+std::vector<STObject> RandomObjects(Rng& rng, testing_util::DocArena& arena,
+                                    size_t count, double extent) {
   std::vector<STObject> objects(count);
   for (uint32_t i = 0; i < count; ++i) {
     objects[i].id = i;
     objects[i].loc = {rng.Uniform(0, extent), rng.Uniform(0, extent)};
     const size_t n = 1 + rng.NextBelow(4);
+    TokenVector doc;
     for (size_t k = 0; k < n; ++k) {
-      objects[i].doc.push_back(static_cast<TokenId>(rng.NextBelow(10)));
+      doc.push_back(static_cast<TokenId>(rng.NextBelow(10)));
     }
-    NormalizeTokenSet(&objects[i].doc);
+    NormalizeTokenSet(&doc);
+    objects[i].set_doc(arena.Add(std::move(doc)));
   }
   return objects;
 }
@@ -35,8 +39,9 @@ TEST_P(PPJRSweepTest, AgreesWithPPJC) {
   const PPJRParam p = GetParam();
   const MatchThresholds t{p.eps_loc, p.eps_doc};
   Rng rng(606);
+  testing_util::DocArena arena;
   for (int trial = 0; trial < 10; ++trial) {
-    const auto objects = RandomObjects(rng, 200, 1.0);
+    const auto objects = RandomObjects(rng, arena, 200, 1.0);
     const auto grid_result =
         PPJCSelfJoin(std::span<const STObject>(objects), t);
     const auto rtree_result =
@@ -55,18 +60,23 @@ INSTANTIATE_TEST_SUITE_P(
 TEST(PPJRTest, TrivialInputs) {
   const MatchThresholds t{0.1, 0.5};
   EXPECT_TRUE(PPJRSelfJoin({}, t).empty());
+  testing_util::DocArena arena;
   std::vector<STObject> one(1);
   one[0].loc = {0.5, 0.5};
-  one[0].doc = {1};
+  one[0].set_doc(arena.Add({1}));
   EXPECT_TRUE(PPJRSelfJoin(std::span<const STObject>(one), t).empty());
 }
 
 TEST(PPJRTest, ArbitraryObjectIdsSurvive) {
   // PPJ-R maps via positions internally; output ids must be the object
   // ids, not positions.
+  testing_util::DocArena arena;
+  const std::span<const TokenId> doc = arena.Add({1, 2});
   std::vector<STObject> objects(2);
-  objects[0] = {100, 0, {0.0, 0.0}, 0.0, {1, 2}};
-  objects[1] = {55, 0, {0.0, 0.0}, 0.0, {1, 2}};
+  objects[0] = {.id = 100, .user = 0, .loc = {0.0, 0.0}};
+  objects[0].set_doc(doc);
+  objects[1] = {.id = 55, .user = 0, .loc = {0.0, 0.0}};
+  objects[1].set_doc(doc);
   const MatchThresholds t{0.1, 0.9};
   const auto result = PPJRSelfJoin(std::span<const STObject>(objects), t, 4);
   ASSERT_EQ(result.size(), 1u);

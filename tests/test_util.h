@@ -6,7 +6,10 @@
 #define STPS_TESTS_TEST_UTIL_H_
 
 #include <cmath>
+#include <deque>
+#include <span>
 #include <string>
+#include <utility>
 #include <vector>
 
 #include "common/rng.h"
@@ -15,6 +18,20 @@
 
 namespace stps {
 namespace testing_util {
+
+/// Owns token storage for standalone STObjects (whose `doc` member is a
+/// non-owning span). Growing the arena never invalidates handed-out
+/// spans: sets live in a deque and each set's heap buffer stays put.
+class DocArena {
+ public:
+  std::span<const TokenId> Add(TokenVector tokens) {
+    docs_.push_back(std::move(tokens));
+    return docs_.back();
+  }
+
+ private:
+  std::deque<TokenVector> docs_;
+};
 
 /// Knobs for BuildRandomDatabase. Defaults give a small, dense instance
 /// where matches are common at eps_loc ~ 0.1, eps_doc ~ 0.3.

@@ -1,0 +1,199 @@
+#include "text/intersect.h"
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "text/similarity.h"
+#include "text/token_set.h"
+
+namespace stps {
+namespace {
+
+using TV = TokenVector;
+
+TV RandomSet(Rng& rng, size_t max_len, size_t vocabulary) {
+  TV v;
+  const size_t n = rng.NextBelow(max_len + 1);
+  for (size_t i = 0; i < n; ++i) {
+    v.push_back(static_cast<TokenId>(rng.NextBelow(vocabulary)));
+  }
+  NormalizeTokenSet(&v);
+  return v;
+}
+
+size_t BruteOverlap(const TV& a, const TV& b) {
+  size_t overlap = 0;
+  for (const TokenId t : a) {
+    for (const TokenId u : b) overlap += (t == u);
+  }
+  return overlap;
+}
+
+TEST(IntersectTest, MergeKernelBasics) {
+  EXPECT_EQ(IntersectCountMerge(TV{1, 2, 3}, TV{2, 3, 4}), 2u);
+  EXPECT_EQ(IntersectCountMerge(TV{}, TV{1, 2}), 0u);
+  EXPECT_EQ(IntersectCountMerge(TV{1}, TV{}), 0u);
+  EXPECT_EQ(IntersectCountMerge(TV{}, TV{}), 0u);
+  EXPECT_EQ(IntersectCountMerge(TV{5}, TV{5}), 1u);
+  EXPECT_EQ(IntersectCountMerge(TV{5}, TV{6}), 0u);
+}
+
+TEST(IntersectTest, GallopKernelBasics) {
+  EXPECT_EQ(IntersectCountGallop(TV{1, 2, 3}, TV{2, 3, 4}), 2u);
+  EXPECT_EQ(IntersectCountGallop(TV{}, TV{1, 2}), 0u);
+  EXPECT_EQ(IntersectCountGallop(TV{5}, TV{5}), 1u);
+  // Skewed sizes: one probe into a long run.
+  TV large;
+  for (TokenId t = 0; t < 1000; ++t) large.push_back(t);
+  EXPECT_EQ(IntersectCountGallop(TV{999}, large), 1u);
+  EXPECT_EQ(IntersectCountGallop(TV{1000}, large), 0u);
+  EXPECT_EQ(IntersectCountGallop(large, TV{0, 500, 1500}), 2u);
+}
+
+TEST(IntersectTest, KernelsAgreeOnRandomSets) {
+  Rng rng(42);
+  for (int trial = 0; trial < 3000; ++trial) {
+    const TV a = RandomSet(rng, 40, 60);
+    const TV b = RandomSet(rng, 40, 60);
+    const size_t expected = BruteOverlap(a, b);
+    EXPECT_EQ(IntersectCountMerge(a, b), expected);
+    EXPECT_EQ(IntersectCountGallop(a, b), expected);
+    EXPECT_EQ(IntersectCount(a, b), expected);
+    // With required <= expected the early-abandoning count is exact.
+    EXPECT_EQ(IntersectCountAtLeast(a, b, expected), expected);
+    EXPECT_EQ(IntersectCountAtLeast(a, b, 0), expected);
+  }
+}
+
+TEST(IntersectTest, KernelsAgreeOnSkewedSizes) {
+  Rng rng(43);
+  for (int trial = 0; trial < 500; ++trial) {
+    const TV small = RandomSet(rng, 4, 3000);
+    const TV large = RandomSet(rng, 600, 3000);
+    const size_t expected = BruteOverlap(small, large);
+    EXPECT_EQ(IntersectCountMerge(small, large), expected);
+    EXPECT_EQ(IntersectCountGallop(small, large), expected);
+    EXPECT_EQ(IntersectCount(small, large), expected);
+    EXPECT_EQ(IntersectCount(large, small), expected);
+  }
+}
+
+TEST(IntersectTest, AtLeastAbandonsBelowRequirement) {
+  // When the requirement is unreachable the kernel may stop early; the
+  // only contract is that the result stays below the requirement.
+  Rng rng(44);
+  for (int trial = 0; trial < 2000; ++trial) {
+    const TV a = RandomSet(rng, 20, 30);
+    const TV b = RandomSet(rng, 20, 30);
+    const size_t expected = BruteOverlap(a, b);
+    const size_t required = expected + 1 + rng.NextBelow(5);
+    EXPECT_LT(IntersectCountAtLeast(a, b, required), required);
+  }
+}
+
+TEST(SignatureTest, EmptySetHasZeroSignature) {
+  EXPECT_EQ(ComputeSignature(TV{}), 0u);
+  EXPECT_NE(ComputeSignature(TV{0}), 0u);
+}
+
+TEST(SignatureTest, SignatureIsUnionOfTokenBits) {
+  const TV set = {3, 17, 101, 9999};
+  TokenSignature expected = 0;
+  for (const TokenId t : set) {
+    expected |= TokenSignature{1} << SignatureBit(t);
+  }
+  EXPECT_EQ(ComputeSignature(set), expected);
+}
+
+TEST(SignatureTest, UpperBoundIsSoundOnRandomSets) {
+  // The signature bound must never under-estimate the true overlap —
+  // otherwise the gate could reject a real match.
+  Rng rng(45);
+  for (int trial = 0; trial < 5000; ++trial) {
+    // Small vocabularies force in-set hash collisions, the regime where a
+    // naive popcount(sa & sb) bound would be unsound.
+    const size_t vocab = 5 + rng.NextBelow(300);
+    const TV a = RandomSet(rng, 30, vocab);
+    const TV b = RandomSet(rng, 30, vocab);
+    const size_t overlap = BruteOverlap(a, b);
+    const size_t bound = SignatureOverlapUpperBound(
+        ComputeSignature(a), a.size(), ComputeSignature(b), b.size());
+    EXPECT_GE(bound, overlap) << "a.size=" << a.size()
+                              << " b.size=" << b.size();
+  }
+}
+
+TEST(SignatureTest, DisjointBitSetsProveEmptyOverlap) {
+  // Construct two sets with non-intersecting signature bits.
+  TV a, b;
+  for (TokenId t = 0; t < 200 && (a.empty() || b.empty()); ++t) {
+    if (SignatureBit(t) == SignatureBit(0)) {
+      a.push_back(t);
+    } else {
+      b.push_back(t);
+    }
+  }
+  ASSERT_FALSE(a.empty());
+  ASSERT_FALSE(b.empty());
+  NormalizeTokenSet(&a);
+  NormalizeTokenSet(&b);
+  EXPECT_EQ(SignatureOverlapUpperBound(ComputeSignature(a), a.size(),
+                                       ComputeSignature(b), b.size()),
+            0u);
+}
+
+TEST(JaccardKernelTest, MatchesDirectComputationOnEdgeCases) {
+  EXPECT_TRUE(JaccardAtLeastKernel(TV{}, TV{}, 0.0));   // t <= 0 vacuous
+  EXPECT_FALSE(JaccardAtLeastKernel(TV{}, TV{}, 0.5));  // empty => 0
+  EXPECT_FALSE(JaccardAtLeastKernel(TV{1}, TV{}, 0.5));
+  EXPECT_TRUE(JaccardAtLeastKernel(TV{7}, TV{7}, 1.0));  // single, equal
+  EXPECT_FALSE(JaccardAtLeastKernel(TV{7}, TV{8}, 1.0));
+  EXPECT_FALSE(JaccardAtLeastKernel(TV{1, 2}, TV{1}, 1.0));  // subset
+}
+
+// The central conservativeness property: the gated predicate must agree
+// with the exact kernel on every pair — the signature may only speed up
+// rejection, never change a decision.
+TEST(SignatureGateTest, GateNeverRejectsAnExactMatch) {
+  Rng rng(46);
+  const double thresholds[] = {0.1, 0.25, 1.0 / 3, 0.5, 2.0 / 3, 0.8, 1.0};
+  for (const double threshold : thresholds) {
+    for (int trial = 0; trial < 3000; ++trial) {
+      const size_t vocab = 5 + rng.NextBelow(200);
+      const TV a = RandomSet(rng, 25, vocab);
+      const TV b = RandomSet(rng, 25, vocab);
+      const TokenSignature sa = ComputeSignature(a);
+      const TokenSignature sb = ComputeSignature(b);
+      const bool exact = JaccardAtLeastKernel(a, b, threshold);
+      uint64_t rejections = 0;
+      const bool gated =
+          SignatureGatedJaccardAtLeast(a, sa, b, sb, threshold, &rejections);
+      ASSERT_EQ(gated, exact)
+          << "threshold=" << threshold << " |a|=" << a.size()
+          << " |b|=" << b.size();
+      // A counted rejection must coincide with a negative decision.
+      if (rejections > 0) EXPECT_FALSE(gated);
+    }
+  }
+}
+
+TEST(SignatureGateTest, CountsRejections) {
+  // Sets with disjoint bits and a high threshold: the gate must fire.
+  TV a = {0};
+  TV b;
+  for (TokenId t = 1; t < 200; ++t) {
+    if (SignatureBit(t) != SignatureBit(0)) {
+      b.push_back(t);
+      break;
+    }
+  }
+  ASSERT_FALSE(b.empty());
+  uint64_t rejections = 0;
+  EXPECT_FALSE(SignatureGatedJaccardAtLeast(a, ComputeSignature(a), b,
+                                            ComputeSignature(b), 0.5,
+                                            &rejections));
+  EXPECT_EQ(rejections, 1u);
+}
+
+}  // namespace
+}  // namespace stps

@@ -14,18 +14,22 @@ TEST(TokenSetTest, NormalizeSortsAndDeduplicates) {
   EXPECT_TRUE(IsNormalizedTokenSet(v));
 }
 
+// Spans cannot bind brace lists directly; TV materialises a temporary
+// vector for the duration of the call.
+using TV = TokenVector;
+
 TEST(TokenSetTest, IsNormalizedRejectsDuplicatesAndDisorder) {
-  EXPECT_TRUE(IsNormalizedTokenSet({}));
-  EXPECT_TRUE(IsNormalizedTokenSet({7}));
-  EXPECT_FALSE(IsNormalizedTokenSet({1, 1}));
-  EXPECT_FALSE(IsNormalizedTokenSet({2, 1}));
+  EXPECT_TRUE(IsNormalizedTokenSet(TV{}));
+  EXPECT_TRUE(IsNormalizedTokenSet(TV{7}));
+  EXPECT_FALSE(IsNormalizedTokenSet(TV{1, 1}));
+  EXPECT_FALSE(IsNormalizedTokenSet(TV{2, 1}));
 }
 
 TEST(TokenSetTest, OverlapSizeBasics) {
-  EXPECT_EQ(OverlapSize({1, 2, 3}, {2, 3, 4}), 2u);
-  EXPECT_EQ(OverlapSize({1, 2, 3}, {4, 5}), 0u);
-  EXPECT_EQ(OverlapSize({}, {1}), 0u);
-  EXPECT_EQ(OverlapSize({1, 2}, {1, 2}), 2u);
+  EXPECT_EQ(OverlapSize(TV{1, 2, 3}, TV{2, 3, 4}), 2u);
+  EXPECT_EQ(OverlapSize(TV{1, 2, 3}, TV{4, 5}), 0u);
+  EXPECT_EQ(OverlapSize(TV{}, TV{1}), 0u);
+  EXPECT_EQ(OverlapSize(TV{1, 2}, TV{1, 2}), 2u);
 }
 
 TEST(TokenSetTest, OverlapSizeAtLeastIsExactWhenReachable) {
@@ -43,18 +47,45 @@ TEST(TokenSetTest, OverlapSizeAtLeastAbandonsEarly) {
 }
 
 TEST(TokenSetTest, JaccardKnownValues) {
-  EXPECT_DOUBLE_EQ(Jaccard({1, 2}, {1, 2}), 1.0);
-  EXPECT_DOUBLE_EQ(Jaccard({1, 2}, {3, 4}), 0.0);
-  EXPECT_DOUBLE_EQ(Jaccard({1, 2, 3}, {2, 3, 4}), 0.5);
-  EXPECT_DOUBLE_EQ(Jaccard({}, {}), 0.0);  // no evidence convention
-  EXPECT_DOUBLE_EQ(Jaccard({1}, {}), 0.0);
+  EXPECT_DOUBLE_EQ(Jaccard(TV{1, 2}, TV{1, 2}), 1.0);
+  EXPECT_DOUBLE_EQ(Jaccard(TV{1, 2}, TV{3, 4}), 0.0);
+  EXPECT_DOUBLE_EQ(Jaccard(TV{1, 2, 3}, TV{2, 3, 4}), 0.5);
+  EXPECT_DOUBLE_EQ(Jaccard(TV{}, TV{}), 0.0);  // no evidence convention
+  EXPECT_DOUBLE_EQ(Jaccard(TV{1}, TV{}), 0.0);
 }
 
 TEST(TokenSetTest, JaccardAtLeastAgreesWithJaccardOnThreshold) {
-  EXPECT_TRUE(JaccardAtLeast({1, 2, 3}, {2, 3, 4}, 0.5));
-  EXPECT_FALSE(JaccardAtLeast({1, 2, 3}, {2, 3, 4}, 0.51));
-  EXPECT_TRUE(JaccardAtLeast({1}, {2}, 0.0));  // t == 0 always true
-  EXPECT_FALSE(JaccardAtLeast({}, {}, 0.5));
+  EXPECT_TRUE(JaccardAtLeast(TV{1, 2, 3}, TV{2, 3, 4}, 0.5));
+  EXPECT_FALSE(JaccardAtLeast(TV{1, 2, 3}, TV{2, 3, 4}, 0.51));
+  EXPECT_TRUE(JaccardAtLeast(TV{1}, TV{2}, 0.0));  // t == 0 always true
+  EXPECT_FALSE(JaccardAtLeast(TV{}, TV{}, 0.5));
+}
+
+TEST(TokenSetTest, OverlapSizeAtLeastEdgeCases) {
+  // Empty sets: overlap is 0 whatever the requirement.
+  EXPECT_EQ(OverlapSizeAtLeast(TV{}, TV{}, 0), 0u);
+  EXPECT_EQ(OverlapSizeAtLeast(TV{}, TV{1, 2}, 1), 0u);
+  EXPECT_EQ(OverlapSizeAtLeast(TV{1, 2}, TV{}, 1), 0u);
+  // required = 0 never abandons: the count is exact.
+  EXPECT_EQ(OverlapSizeAtLeast(TV{1, 2, 3}, TV{2, 3, 4}, 0), 2u);
+  // Single-token sets.
+  EXPECT_EQ(OverlapSizeAtLeast(TV{5}, TV{5}, 1), 1u);
+  EXPECT_EQ(OverlapSizeAtLeast(TV{5}, TV{6}, 1), 0u);
+  // Requirement above both sizes.
+  EXPECT_LT(OverlapSizeAtLeast(TV{1}, TV{1}, 2), 2u);
+}
+
+TEST(TokenSetTest, JaccardAtLeastEdgeCases) {
+  // threshold = 1.0 demands equality.
+  EXPECT_TRUE(JaccardAtLeast(TV{1, 2, 3}, TV{1, 2, 3}, 1.0));
+  EXPECT_FALSE(JaccardAtLeast(TV{1, 2, 3}, TV{1, 2}, 1.0));  // strict subset
+  EXPECT_FALSE(JaccardAtLeast(TV{1, 2}, TV{1, 3}, 1.0));
+  // Single-token sets: Jaccard is 0 or 1, nothing between.
+  EXPECT_TRUE(JaccardAtLeast(TV{9}, TV{9}, 1.0));
+  EXPECT_FALSE(JaccardAtLeast(TV{9}, TV{8}, 0.01));
+  // Empty sets fail every positive threshold but pass t = 0.
+  EXPECT_FALSE(JaccardAtLeast(TV{}, TV{1}, 0.0001));
+  EXPECT_TRUE(JaccardAtLeast(TV{}, TV{}, 0.0));
 }
 
 // Property sweep: JaccardAtLeast must agree with the direct computation
