@@ -18,4 +18,11 @@ echo "=== ASan + UBSan ==="
 echo "=== TSan ==="
 "$ROOT/scripts/run_tsan_tests.sh" "$ROOT/build-tsan"
 
+echo "=== UBSan: boundary-adversarial oracle suite ==="
+cmake -B "$ROOT/build-ubsan" -S "$ROOT" -DSTPS_UBSAN=ON
+cmake --build "$ROOT/build-ubsan" -j
+(cd "$ROOT/build-ubsan" && \
+     UBSAN_OPTIONS=print_stacktrace=1 \
+     ctest --output-on-failure -R 'boundary_oracle|predicates')
+
 echo "=== all checks passed ==="

@@ -1,0 +1,78 @@
+#include "common/predicates.h"
+
+#include <algorithm>
+
+namespace stps {
+
+// All derived bounds below follow the same recipe: a double estimate lands
+// within a few counts of the true integer boundary (the estimate's relative
+// error is a handful of ULPs, so the absolute error stays tiny at the
+// magnitudes these counts take), and a fix-up loop walks to the exact
+// extremal value using only the exact RatioAtLeast comparator. The loops
+// are correct for any estimate — a bad estimate costs iterations, never
+// exactness.
+
+uint64_t MinCountForRatio(uint64_t den, double threshold) {
+  if (threshold <= 0.0) return 0;
+  // den == 0: RatioAtLeast(num, 0, t > 0) holds iff num > 0, so the
+  // smallest satisfying count is 1 — which is > den, signalling that the
+  // ratio is unattainable with a zero denominator (see SigmaUnmatchedBudget).
+  if (den == 0) return 1;
+  const double est = threshold * static_cast<double>(den);
+  uint64_t c = est >= static_cast<double>(den)
+                   ? den
+                   : static_cast<uint64_t>(est > 0.0 ? est : 0.0);
+  while (c > 0 && RatioAtLeast(c - 1, den, threshold)) --c;
+  while (c <= den && !RatioAtLeast(c, den, threshold)) ++c;
+  return c;  // den + 1 <=> impossible (threshold > 1)
+}
+
+size_t MinSizeForJaccard(size_t size_x, double threshold) {
+  // J(x, y) >= t forces |y| >= |x ∩ y| >= t * |y ∪ x| >= ... the classical
+  // bound |y| >= ceil(t * |x|); exact via MinCountForRatio.
+  return static_cast<size_t>(MinCountForRatio(size_x, threshold));
+}
+
+size_t MaxSizeForJaccard(size_t size_x, double threshold) {
+  if (threshold <= 0.0) return std::numeric_limits<size_t>::max();
+  if (size_x == 0) return 0;
+  // Largest n with size_x >= t * n, i.e. RatioAtLeast(size_x, n, t).
+  const double est = static_cast<double>(size_x) / threshold;
+  if (est >= 9.2e18) return std::numeric_limits<size_t>::max();  // saturate
+  uint64_t n = static_cast<uint64_t>(est);
+  while (n > 0 && !RatioAtLeast(size_x, n, threshold)) --n;
+  while (RatioAtLeast(size_x, n + 1, threshold)) ++n;
+  return static_cast<size_t>(n);
+}
+
+size_t PrefixLengthForJaccard(size_t size, double threshold) {
+  if (size == 0) return 0;
+  const uint64_t keep = MinCountForRatio(size, threshold);
+  const size_t p =
+      size - static_cast<size_t>(std::min<uint64_t>(keep, size)) + 1;
+  return std::min(p, size);
+}
+
+size_t IndexPrefixLengthForJaccard(size_t size, double threshold) {
+  if (size == 0) return 0;
+  // keep = smallest k with k * (1 + t) >= 2t * size, which rearranges to
+  // k >= t * (2 * size - k): exactly RatioAtLeast(k, 2 * size - k, t).
+  const uint64_t s2 = 2 * static_cast<uint64_t>(size);
+  const double est =
+      2.0 * threshold / (1.0 + threshold) * static_cast<double>(size);
+  uint64_t k = est >= static_cast<double>(size)
+                   ? size
+                   : static_cast<uint64_t>(est > 0.0 ? est : 0.0);
+  while (k > 0 && RatioAtLeast(k - 1, s2 - (k - 1), threshold)) --k;
+  while (k < size && !RatioAtLeast(k, s2 - k, threshold)) ++k;
+  const size_t p = size - static_cast<size_t>(k) + 1;
+  return std::min(p, size);
+}
+
+int64_t SigmaUnmatchedBudget(size_t total, double eps_u) {
+  const uint64_t need = MinCountForRatio(total, eps_u);
+  if (need > total) return -1;
+  return static_cast<int64_t>(total - need);
+}
+
+}  // namespace stps

@@ -1,0 +1,266 @@
+// The canonical threshold predicates of the STPS join.
+//
+// The join definition is all boundary conditions: a pair of objects matches
+// iff dist <= eps_loc AND J >= eps_doc AND |dt| <= eps_time, and a pair of
+// users matches iff sigma >= eps_u. Every layer of the system — grid and
+// R-tree filters, PPJOIN prefix bounds, the intersection kernels, the
+// brute-force oracle, the top-k queue — must agree on these predicates *at
+// the threshold itself*, or a rounding disagreement between two layers
+// silently changes the result set exactly at the values the paper sweeps.
+//
+// This header is the single audited policy. The contract, stated once and
+// referenced from every call site:
+//
+//   * VERIFICATION IS EXACT. A predicate that decides membership in the
+//     result set (JaccardAtLeast, SigmaAtLeast, WithinEpsLoc, WithinEpsTime)
+//     evaluates the mathematical condition with no rounding of its own.
+//     Every double threshold t is a binary rational (t = mantissa * 2^exp);
+//     counting predicates compare integer cross-products of that rational
+//     in 128-bit arithmetic, so "J >= eps_doc" means exactly that, even
+//     when the true Jaccard equals eps_doc as a rational.
+//   * FILTERS MAY ONLY OVER-APPROXIMATE. A derived bound used to prune
+//     (prefix length, min/max size, the Lemma 1 unmatched budget, a spatial
+//     query box) may admit extra candidates but must never reject a pair
+//     the exact predicate accepts. When a bound cannot be made exact it
+//     must round in the generous direction (see AddRoundUp/SubRoundDown).
+//
+// Derived bounds in this header are exact (not merely conservative): each is
+// defined as the extremal integer satisfying the corresponding RatioAtLeast
+// condition, computed by a float estimate plus an exact integer fix-up, so
+// e.g. `overlap >= MinOverlapForJaccard(...)` *is* the Jaccard predicate and
+// kernels need no trailing floating-point verification step.
+//
+// Domain: thresholds are finite doubles; callers validate (0, 1] where the
+// algorithms require it. t <= 0 makes every "at least" predicate true.
+
+#ifndef STPS_COMMON_PREDICATES_H_
+#define STPS_COMMON_PREDICATES_H_
+
+#include <bit>
+#include <cmath>
+#include <cstddef>
+#include <cstdint>
+#include <limits>
+
+namespace stps {
+
+namespace predicates_internal {
+
+// A finite threshold t > 0 decomposed exactly as t = mantissa * 2^exponent
+// with an odd mantissa of at most 53 bits. Exact because every finite
+// double *is* such a binary rational.
+struct BinaryRational {
+  uint64_t mantissa;
+  int exponent;
+};
+
+inline BinaryRational Decompose(double t) {
+  const uint64_t bits = std::bit_cast<uint64_t>(t);
+  const int biased = static_cast<int>((bits >> 52) & 0x7FF);
+  uint64_t mantissa = bits & ((uint64_t{1} << 52) - 1);
+  int exponent;
+  if (biased == 0) {
+    exponent = -1074;  // subnormal
+  } else {
+    mantissa |= uint64_t{1} << 52;
+    exponent = biased - 1075;
+  }
+  const int tz = std::countr_zero(mantissa);
+  mantissa >>= tz;
+  exponent += tz;
+  return {mantissa, exponent};
+}
+
+inline int BitWidth128(unsigned __int128 v) {
+  const uint64_t hi = static_cast<uint64_t>(v >> 64);
+  return hi != 0 ? 64 + std::bit_width(hi)
+                 : std::bit_width(static_cast<uint64_t>(v));
+}
+
+}  // namespace predicates_internal
+
+// ---------------------------------------------------------------------------
+// Exact rational comparison — the root every counting predicate reduces to.
+// ---------------------------------------------------------------------------
+
+/// Exact `num / den >= threshold` over non-negative integer counts, i.e.
+/// `num >= threshold * den` with no floating-point rounding anywhere.
+/// [verification: exact]
+///
+/// With threshold = m * 2^e (odd m, see Decompose) the condition becomes
+/// `num * 2^-e >= m * den`; m * den < 2^117 always fits unsigned __int128,
+/// and the shifted side is compared by bit width when it would not.
+///
+/// Conventions: threshold <= 0 is always satisfied (a count ratio is >= 0);
+/// den == 0 reads as an infinite ratio, satisfied iff num > 0 (this makes
+/// JaccardAtLeast over two empty sets false for any positive threshold,
+/// matching the kernels in text/intersect.h).
+inline bool RatioAtLeast(uint64_t num, uint64_t den, double threshold) {
+  if (threshold <= 0.0) return true;
+  if (den == 0) return num > 0;
+  if (num == 0) return false;
+  if (num >= den && threshold <= 1.0) return true;  // common fast path
+  if (!(threshold < std::numeric_limits<double>::infinity())) return false;
+  const predicates_internal::BinaryRational r =
+      predicates_internal::Decompose(threshold);
+  const unsigned __int128 rhs =
+      static_cast<unsigned __int128>(r.mantissa) * den;  // < 2^117
+  if (r.exponent >= 0) {
+    // threshold >= 1 territory: num >= (m * den) << e.
+    if (predicates_internal::BitWidth128(rhs) + r.exponent > 64) return false;
+    return static_cast<unsigned __int128>(num) >= (rhs << r.exponent);
+  }
+  const int shift = -r.exponent;  // in [1, 1074]
+  // lhs = num << shift. If its bit width exceeds 117 it already dwarfs rhs.
+  if (std::bit_width(num) + shift > 117) return true;
+  return (static_cast<unsigned __int128>(num) << shift) >= rhs;
+}
+
+/// Smallest count c in [0, den] with RatioAtLeast(c, den, threshold), i.e.
+/// the exact ceil(threshold * den) for threshold in (0, 1]. Returns den + 1
+/// when no count suffices (threshold > 1). [verification: exact]
+uint64_t MinCountForRatio(uint64_t den, double threshold);
+
+// ---------------------------------------------------------------------------
+// Spatial and temporal predicates.
+// ---------------------------------------------------------------------------
+
+/// `dist(a, b) <= eps_loc` in squared-distance form — no sqrt, ever.
+/// [verification: exact relative to the canonical operands]
+///
+/// `eps_loc * eps_loc` rounds to nearest, so the predicate is exact with
+/// respect to the *rounded* square. That is the policy: all layers compare
+/// the same SquaredDistance value against the same rounded square, so they
+/// cannot disagree with each other at the boundary. Spatial *filters* must
+/// not reuse this comparison with differently-rounded operands; they widen
+/// with AddRoundUp/SubRoundDown instead.
+inline bool WithinEpsLoc(double squared_distance, double eps_loc) {
+  return squared_distance <= eps_loc * eps_loc;
+}
+
+/// `|time_a - time_b| <= eps_time`. [verification: exact]
+inline bool WithinEpsTime(double time_a, double time_b, double eps_time) {
+  return std::fabs(time_a - time_b) <= eps_time;
+}
+
+/// `a + b` rounded toward +inf: the result is >= the real sum. For growing
+/// filter boxes / margins. [filter: over-approximates]
+inline double AddRoundUp(double a, double b) {
+  return std::nextafter(a + b, std::numeric_limits<double>::infinity());
+}
+
+/// `a - b` rounded toward -inf: the result is <= the real difference.
+/// [filter: over-approximates]
+inline double SubRoundDown(double a, double b) {
+  return std::nextafter(a - b, -std::numeric_limits<double>::infinity());
+}
+
+// ---------------------------------------------------------------------------
+// Jaccard predicates and the PPJOIN-family derived bounds.
+// ---------------------------------------------------------------------------
+
+/// Exact `J(a, b) >= eps_doc` given |a ∩ b| and the two set sizes:
+/// cross-multiplied as overlap >= eps_doc * (|a| + |b| - overlap), with the
+/// rational path of RatioAtLeast. Two empty sets never match a positive
+/// threshold. [verification: exact]
+inline bool JaccardAtLeast(size_t overlap, size_t size_a, size_t size_b,
+                           double eps_doc) {
+  return RatioAtLeast(overlap, size_a + size_b - overlap, eps_doc);
+}
+
+/// Smallest overlap o with JaccardAtLeast(o, size_a, size_b, threshold):
+/// the exact ceil(t / (1 + t) * (|a| + |b|)) boundary, so a kernel may
+/// decide the pair by `overlap >= MinOverlapForJaccard(...)` alone.
+/// Returns 0 when both sets are empty (callers guard empties; the canonical
+/// predicate is false there). [verification: exact]
+///
+/// Hot path (PPJOIN calls this per posting): a float estimate lands within
+/// a few counts of the boundary and an exact fix-up loop walks the rest —
+/// multiplies and shifts only, no 128-bit division.
+inline size_t MinOverlapForJaccard(size_t size_a, size_t size_b,
+                                   double threshold) {
+  if (threshold <= 0.0) return 0;
+  const uint64_t s = static_cast<uint64_t>(size_a) + size_b;
+  if (s == 0) return 0;
+  const double est = threshold / (1.0 + threshold) * static_cast<double>(s);
+  uint64_t o = est >= static_cast<double>(s)
+                   ? s
+                   : static_cast<uint64_t>(est > 0.0 ? est : 0.0);
+  while (o > 0 && RatioAtLeast(o - 1, s - (o - 1), threshold)) --o;
+  while (o < s && !RatioAtLeast(o, s - o, threshold)) ++o;
+  return static_cast<size_t>(o);
+}
+
+/// Smallest |y| that can reach J(x, y) >= threshold: exact ceil(t * |x|).
+/// [filter bound, but exact]
+size_t MinSizeForJaccard(size_t size_x, double threshold);
+
+/// Largest |y| that can reach J(x, y) >= threshold: exact floor(|x| / t),
+/// saturating at SIZE_MAX for tiny thresholds. [filter bound, but exact]
+size_t MaxSizeForJaccard(size_t size_x, double threshold);
+
+/// Probing prefix length |x| - ceil(t * |x|) + 1 with the exact ceiling.
+/// [filter bound, but exact]
+size_t PrefixLengthForJaccard(size_t size, double threshold);
+
+/// Indexing prefix length |x| - ceil(2t / (1 + t) * |x|) + 1 with the exact
+/// ceiling (smallest k with k * (1 + t) >= 2t * |x|, evaluated as
+/// RatioAtLeast(k, 2|x| - k, t)). [filter bound, but exact]
+size_t IndexPrefixLengthForJaccard(size_t size, double threshold);
+
+// ---------------------------------------------------------------------------
+// Sigma (set-similarity of user object sets) predicates.
+// ---------------------------------------------------------------------------
+
+/// Exact `sigma = matched / total >= eps_u` in counting form, where
+/// total = |Du| + |Dv|. Never evaluate sigma as a float quotient when the
+/// counts are available. [verification: exact]
+inline bool SigmaAtLeast(size_t matched, size_t total, double eps_u) {
+  return RatioAtLeast(matched, total, eps_u);
+}
+
+/// Lemma 1 early-stop budget: the largest number of *unmatched* objects a
+/// user pair with |Du| + |Dv| = total may accumulate and still possibly
+/// satisfy SigmaAtLeast; -1 when even zero unmatched objects cannot (so a
+/// kernel may stop as soon as `unmatched > budget`). Exactly consistent
+/// with SigmaAtLeast by construction:
+///   unmatched > total - MinCountForRatio(total, eps_u)
+///     <=> matched_best = total - unmatched < MinCountForRatio(...)
+///     <=> !SigmaAtLeast(matched_best, total, eps_u),
+/// so the stop never kills a pair with sigma exactly eps_u — the historical
+/// float form (1 - eps_u) * total did, one ULP at a time.
+/// [filter bound, but exact]
+int64_t SigmaUnmatchedBudget(size_t total, double eps_u);
+
+/// `score >= threshold` over an already-rounded float score (e.g. a sigma
+/// stored as a quotient by an earlier stage). The quotient fl(m / total)
+/// rounds to nearest, so this can only OVER-accept relative to the exact
+/// counting predicate — never use it to reject final results when counts
+/// are recoverable (see MatchedCountFromScore). [filter: over-approximates]
+inline bool ScoreAtLeast(double score, double threshold) {
+  return score >= threshold;
+}
+
+/// Recovers the integer matched count m from a sigma stored as the rounded
+/// quotient fl(m / total). Exact while total < 2^52: the quotient carries a
+/// relative error <= 2^-53, so m' = score * total is within 1/2 of m and
+/// llround snaps to it. [verification: exact under that bound]
+inline size_t MatchedCountFromScore(double score, size_t total) {
+  return static_cast<size_t>(
+      std::llround(score * static_cast<double>(total)));
+}
+
+/// Converts a reported round-to-nearest score back into a threshold that
+/// provably re-admits every pair whose reported score is >= `score` (e.g.
+/// feeding a top-k tail score into a threshold join as eps_u). The true
+/// rational behind a reported score s lies in [s - ulp/2, s + ulp/2], so
+/// stepping one ULP down is both sufficient and the tightest safe choice.
+/// [filter: over-approximates by at most one ULP]
+inline double ThresholdFromScore(double score) {
+  if (score <= 0.0) return 0.0;
+  return std::nextafter(score, 0.0);
+}
+
+}  // namespace stps
+
+#endif  // STPS_COMMON_PREDICATES_H_

@@ -3,6 +3,8 @@
 #include <algorithm>
 #include <limits>
 
+#include "common/predicates.h"
+
 namespace stps {
 
 double DirectedHausdorff(std::span<const STObject> a,
@@ -12,17 +14,19 @@ double DirectedHausdorff(std::span<const STObject> a,
   double max_min = 0.0;
   for (const STObject& oa : a) {
     double min_sq = std::numeric_limits<double>::infinity();
-    const double max_min_sq = max_min * max_min;
     for (const STObject& ob : b) {
       const double d = SquaredDistance(oa.loc, ob.loc);
       if (d < min_sq) {
         min_sq = d;
-        // Early break: once this point is provably closer to B than the
-        // current maximum, it cannot raise the maximum.
-        if (min_sq <= max_min_sq) break;
+        // Early break: once this point is provably within the current
+        // maximum of B, it cannot raise the maximum. Same squared-distance
+        // predicate form as every other eps_loc comparison
+        // (common/predicates.h), so the break and the update below agree
+        // exactly at the boundary.
+        if (WithinEpsLoc(min_sq, max_min)) break;
       }
     }
-    if (min_sq > max_min_sq) max_min = std::sqrt(min_sq);
+    if (!WithinEpsLoc(min_sq, max_min)) max_min = std::sqrt(min_sq);
   }
   return max_min;
 }

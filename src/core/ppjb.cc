@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <vector>
 
+#include "common/predicates.h"
 #include "core/similarity.h"
 #include "stjoin/ppj.h"
 
@@ -35,7 +36,8 @@ PairScratch& LocalScratch() {
 double PPJCPair(const UserPartitionList& cu, size_t nu,
                 const UserPartitionList& cv, size_t nv,
                 const GridGeometry& grid, const MatchThresholds& t,
-                JoinStats* stats) {
+                JoinStats* stats, size_t* matched_out) {
+  if (matched_out != nullptr) *matched_out = 0;
   if (nu + nv == 0) return 0.0;
   PairScratch& scratch = LocalScratch();
   std::vector<uint8_t>& matched_u = scratch.matched_u;
@@ -73,16 +75,23 @@ double PPJCPair(const UserPartitionList& cu, size_t nu,
       }
     }
   }
+  if (matched_out != nullptr) *matched_out = matched_total;
   return static_cast<double>(matched_total) / static_cast<double>(nu + nv);
 }
 
 double PPJBPair(const UserPartitionList& cu, size_t nu,
                 const UserPartitionList& cv, size_t nv,
                 const GridGeometry& grid, const MatchThresholds& t,
-                double eps_u, JoinStats* stats) {
+                double eps_u, JoinStats* stats, size_t* matched_out) {
+  if (matched_out != nullptr) *matched_out = 0;
   if (nu + nv == 0) return 0.0;
   const bool bounded = eps_u > 0.0;
-  const double beta = UnmatchedBound(nu, nv, eps_u);
+  // Lemma 1 as an exact integer budget: stopping when the number of
+  // definitely-unmatched objects exceeds it is equivalent to
+  // !SigmaAtLeast(best-possible matched, nu + nv, eps_u), so a pair whose
+  // sigma lands exactly on eps_u is never pruned (the float form
+  // (1 - eps_u) * (nu + nv) could be one ULP too tight).
+  const int64_t budget = SigmaUnmatchedBudget(nu + nv, eps_u);
   PairScratch& scratch = LocalScratch();
   std::vector<uint8_t>& matched_u = scratch.matched_u;
   std::vector<uint8_t>& matched_v = scratch.matched_v;
@@ -107,10 +116,10 @@ double PPJBPair(const UserPartitionList& cu, size_t nu,
       if (bounded && (IsOddRow(current_row) || row > current_row + 1)) {
         // matched_total may exceed seen_objects (matches can mark objects
         // in cells not yet traversed), so compute the lower bound signed.
-        const double unmatched_lower_bound =
-            static_cast<double>(seen_objects) -
-            static_cast<double>(matched_total);
-        if (unmatched_lower_bound > beta) {
+        const int64_t unmatched_lower_bound =
+            static_cast<int64_t>(seen_objects) -
+            static_cast<int64_t>(matched_total);
+        if (unmatched_lower_bound > budget) {
           if (stats != nullptr) ++stats->refine_early_stops;
           return 0.0;
         }
@@ -153,11 +162,13 @@ double PPJBPair(const UserPartitionList& cu, size_t nu,
       }
     }
   }
+  if (matched_out != nullptr) *matched_out = matched_total;
   return static_cast<double>(matched_total) / static_cast<double>(nu + nv);
 }
 
 double PairSigma(std::span<const STObject> du, std::span<const STObject> dv,
-                 const MatchThresholds& t) {
+                 const MatchThresholds& t, size_t* matched_out) {
+  if (matched_out != nullptr) *matched_out = 0;
   if (du.empty() || dv.empty()) return 0.0;
   Rect bounds = Rect::Empty();
   for (const STObject& o : du) bounds.ExpandToInclude(o.loc);
@@ -182,7 +193,8 @@ double PairSigma(std::span<const STObject> du, std::span<const STObject> dv,
   };
   const UserPartitionList cu = build(du);
   const UserPartitionList cv = build(dv);
-  return PPJCPair(cu, du.size(), cv, dv.size(), grid, t);
+  return PPJCPair(cu, du.size(), cv, dv.size(), grid, t, nullptr,
+                  matched_out);
 }
 
 }  // namespace stps

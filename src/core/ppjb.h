@@ -7,9 +7,14 @@
 //  * PPJBPair — the PPJ-B traversal (Section 4.1.2, Figure 2b): rows
 //    bottom-up; odd rows join all neighbours but East, even rows only West
 //    (and self); at the end of every odd row (or across an empty-row gap)
-//    the Lemma 1 bound beta = (1-eps_u)(|Du|+|Dv|) enables early
+//    the integer Lemma 1 budget (SigmaUnmatchedBudget, exactly consistent
+//    with SigmaAtLeast — see common/predicates.h) enables early
 //    termination. Returns the exact sigma when sigma >= eps_u and 0 when
 //    the pair was pruned.
+//
+// Every kernel optionally reports sigma's integer numerator through
+// `matched_out`; threshold decisions must use SigmaAtLeast on that count,
+// not the rounded double quotient.
 
 #ifndef STPS_CORE_PPJB_H_
 #define STPS_CORE_PPJB_H_
@@ -29,7 +34,7 @@ namespace stps {
 double PPJCPair(const UserPartitionList& cu, size_t nu,
                 const UserPartitionList& cv, size_t nv,
                 const GridGeometry& grid, const MatchThresholds& t,
-                JoinStats* stats = nullptr);
+                JoinStats* stats = nullptr, size_t* matched_out = nullptr);
 
 /// Sigma via the PPJ-B traversal with early termination at threshold
 /// eps_u. Returns the exact sigma whenever sigma >= eps_u; returns 0 as
@@ -39,13 +44,14 @@ double PPJCPair(const UserPartitionList& cu, size_t nu,
 double PPJBPair(const UserPartitionList& cu, size_t nu,
                 const UserPartitionList& cv, size_t nv,
                 const GridGeometry& grid, const MatchThresholds& t,
-                double eps_u, JoinStats* stats = nullptr);
+                double eps_u, JoinStats* stats = nullptr,
+                size_t* matched_out = nullptr);
 
 /// Convenience: exact sigma for two raw object sets, building the
 /// per-pair cell lists on the fly (used by the threshold auto-tuner to
 /// re-verify surviving pairs under tightened thresholds).
 double PairSigma(std::span<const STObject> du, std::span<const STObject> dv,
-                 const MatchThresholds& t);
+                 const MatchThresholds& t, size_t* matched_out = nullptr);
 
 }  // namespace stps
 

@@ -2,11 +2,13 @@
 
 #include <algorithm>
 
+#include "common/predicates.h"
+
 namespace stps {
 
-double ExactSigma(std::span<const STObject> du, std::span<const STObject> dv,
-                  const MatchThresholds& t) {
-  if (du.empty() && dv.empty()) return 0.0;
+size_t ExactSigmaMatched(std::span<const STObject> du,
+                         std::span<const STObject> dv,
+                         const MatchThresholds& t) {
   std::vector<uint8_t> matched_u(du.size(), 0), matched_v(dv.size(), 0);
   for (size_t i = 0; i < du.size(); ++i) {
     for (size_t j = 0; j < dv.size(); ++j) {
@@ -17,10 +19,16 @@ double ExactSigma(std::span<const STObject> du, std::span<const STObject> dv,
       }
     }
   }
-  const size_t matched =
-      static_cast<size_t>(std::count(matched_u.begin(), matched_u.end(), 1)) +
-      static_cast<size_t>(std::count(matched_v.begin(), matched_v.end(), 1));
-  return static_cast<double>(matched) /
+  return static_cast<size_t>(
+             std::count(matched_u.begin(), matched_u.end(), 1)) +
+         static_cast<size_t>(
+             std::count(matched_v.begin(), matched_v.end(), 1));
+}
+
+double ExactSigma(std::span<const STObject> du, std::span<const STObject> dv,
+                  const MatchThresholds& t) {
+  if (du.empty() && dv.empty()) return 0.0;
+  return static_cast<double>(ExactSigmaMatched(du, dv, t)) /
          static_cast<double>(du.size() + dv.size());
 }
 
@@ -31,10 +39,15 @@ std::vector<ScoredUserPair> BruteForceSTPSJoin(const ObjectDatabase& db,
   const size_t n = db.num_users();
   for (UserId a = 0; a < n; ++a) {
     for (UserId b = a + 1; b < n; ++b) {
-      const double sigma =
-          ExactSigma(db.UserObjects(a), db.UserObjects(b), t);
-      if (sigma >= query.eps_u) {
-        result.push_back({a, b, sigma});
+      const std::span<const STObject> du = db.UserObjects(a);
+      const std::span<const STObject> dv = db.UserObjects(b);
+      const size_t total = du.size() + dv.size();
+      if (total == 0) continue;
+      // The exact counting predicate: a sigma of exactly eps_u is in.
+      const size_t matched = ExactSigmaMatched(du, dv, t);
+      if (SigmaAtLeast(matched, total, query.eps_u)) {
+        result.push_back({a, b, static_cast<double>(matched) /
+                                    static_cast<double>(total)});
       }
     }
   }
@@ -48,9 +61,15 @@ std::vector<ScoredUserPair> BruteForceTopK(const ObjectDatabase& db,
   const size_t n = db.num_users();
   for (UserId a = 0; a < n; ++a) {
     for (UserId b = a + 1; b < n; ++b) {
-      const double sigma =
-          ExactSigma(db.UserObjects(a), db.UserObjects(b), t);
-      if (sigma > 0.0) all.push_back({a, b, sigma});
+      const std::span<const STObject> du = db.UserObjects(a);
+      const std::span<const STObject> dv = db.UserObjects(b);
+      const size_t total = du.size() + dv.size();
+      if (total == 0) continue;
+      const size_t matched = ExactSigmaMatched(du, dv, t);
+      if (matched > 0) {
+        all.push_back({a, b, static_cast<double>(matched) /
+                                 static_cast<double>(total)});
+      }
     }
   }
   std::sort(all.begin(), all.end(), TopKBetter);

@@ -64,16 +64,26 @@ inline bool TopKBetter(const ScoredUserPair& x, const ScoredUserPair& y) {
   return x.b < y.b;
 }
 
-/// Exact sigma(Du, Dv) by exhaustive object comparison. O(|Du| * |Dv|).
-/// Reference implementation; the optimised kernels must agree with it.
+/// Exact matched-object count (sigma's integer numerator): how many
+/// objects of Du and Dv match at least one object of the other set, by
+/// exhaustive comparison. O(|Du| * |Dv|). Reference implementation; the
+/// optimised kernels must agree with it. Threshold decisions go through
+/// SigmaAtLeast(matched, |Du| + |Dv|, eps_u) — never through the rounded
+/// quotient (common/predicates.h).
+size_t ExactSigmaMatched(std::span<const STObject> du,
+                         std::span<const STObject> dv,
+                         const MatchThresholds& t);
+
+/// Exact sigma(Du, Dv) as a quotient, for *reporting* scores. O(|Du| *
+/// |Dv|). The quotient rounds to nearest; membership decisions must use
+/// ExactSigmaMatched + SigmaAtLeast instead.
 double ExactSigma(std::span<const STObject> du, std::span<const STObject> dv,
                   const MatchThresholds& t);
 
-/// The early-termination bound of Lemma 1: if more than
-/// (1 - eps_u) * (|Du| + |Dv|) objects are unmatched, sigma < eps_u.
-inline double UnmatchedBound(size_t size_u, size_t size_v, double eps_u) {
-  return (1.0 - eps_u) * static_cast<double>(size_u + size_v);
-}
+// The early-termination bound of Lemma 1 lives in common/predicates.h as
+// SigmaUnmatchedBudget(total, eps_u): an *integer* unmatched-object budget
+// exactly consistent with SigmaAtLeast. (The historical float form
+// (1 - eps_u) * total could reject sigma == eps_u pairs by one ULP.)
 
 /// Brute-force STPSJoin: every user pair, exhaustive sigma. Result sorted
 /// by (a, b). Intended for tests and the smallest benchmark sizes only.

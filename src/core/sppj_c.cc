@@ -2,6 +2,7 @@
 
 #include <algorithm>
 
+#include "common/predicates.h"
 #include "core/parallel_util.h"
 #include "core/ppjb.h"
 #include "core/user_grid.h"
@@ -22,11 +23,15 @@ void ProcessUserC(const ObjectDatabase& db, const UserGrid& grid,
       ++stats->pairs_candidate;
       ++stats->pairs_verified;
     }
+    const size_t total = db.UserObjectCount(u1) + db.UserObjectCount(u2);
+    size_t matched = 0;
     const double sigma =
         PPJCPair(grid.UserCells(u1), db.UserObjectCount(u1),
                  grid.UserCells(u2), db.UserObjectCount(u2),
-                 grid.geometry(), t, stats);
-    if (sigma >= query.eps_u) {
+                 grid.geometry(), t, stats, &matched);
+    // Membership is the exact counting predicate (common/predicates.h);
+    // the double sigma is only the reported score.
+    if (SigmaAtLeast(matched, total, query.eps_u)) {
       out->push_back({u2, u1, sigma});
       if (stats != nullptr) ++stats->matches_found;
     }

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/predicates.h"
 #include "core/parallel_util.h"
 #include "spatial/quadtree.h"
 #include "spatial/spatial_join.h"
@@ -211,16 +212,17 @@ void ProcessUserD(const ObjectDatabase& db, const LeafPartitionIndex& index,
     for (const int64_t l : leaves.their_leaves) {
       m += PartitionObjectCount(lv, l);
     }
-    const double bound =
-        static_cast<double>(m) / static_cast<double>(nu + nv);
-    if (bound < query.eps_u) {
+    // sigma_bar >= eps_u as the exact counting predicate: the historical
+    // float quotient could reject a pair whose bound equals eps_u.
+    if (!SigmaAtLeast(m, nu + nv, query.eps_u)) {
       if (stats != nullptr) ++stats->pairs_pruned_count;
       continue;
     }
     if (stats != nullptr) ++stats->pairs_verified;
+    size_t matched = 0;
     const double sigma =
-        PPJDPair(lu, nu, lv, nv, index, t, query.eps_u, stats);
-    if (sigma >= query.eps_u) {
+        PPJDPair(lu, nu, lv, nv, index, t, query.eps_u, stats, &matched);
+    if (SigmaAtLeast(matched, nu + nv, query.eps_u)) {
       out->push_back({candidate, u, sigma});
       if (stats != nullptr) ++stats->matches_found;
     }
@@ -242,10 +244,13 @@ LeafPartitionIndex BuildIndex(const ObjectDatabase& db,
 double PPJDPair(const UserPartitionList& lu, size_t nu,
                 const UserPartitionList& lv, size_t nv,
                 const LeafPartitionIndex& index, const MatchThresholds& t,
-                double eps_u, JoinStats* stats) {
+                double eps_u, JoinStats* stats, size_t* matched_out) {
+  if (matched_out != nullptr) *matched_out = 0;
   if (nu + nv == 0) return 0.0;
   const bool bounded = eps_u > 0.0;
-  const double beta = UnmatchedBound(nu, nv, eps_u);
+  // Exact integer Lemma 1 budget (common/predicates.h): never prunes a
+  // pair with sigma exactly eps_u.
+  const int64_t budget = SigmaUnmatchedBudget(nu + nv, eps_u);
   // Per-thread scratch: flags, box-filter buffers, and the merged leaf
   // traversal survive across user pairs (each pool worker has its own).
   struct DPairScratch {
@@ -309,15 +314,16 @@ double PPJDPair(const UserPartitionList& lu, size_t nu,
       // their unmatched objects can never match later (lines 21-22 of
       // Algorithm 3). Signed arithmetic: matches may mark objects in
       // leaves not yet processed.
-      const double unmatched_lower_bound =
-          static_cast<double>(processed_objects) -
-          static_cast<double>(matched_total);
-      if (unmatched_lower_bound > beta) {
+      const int64_t unmatched_lower_bound =
+          static_cast<int64_t>(processed_objects) -
+          static_cast<int64_t>(matched_total);
+      if (unmatched_lower_bound > budget) {
         if (stats != nullptr) ++stats->refine_early_stops;
         return 0.0;
       }
     }
   }
+  if (matched_out != nullptr) *matched_out = matched_total;
   return static_cast<double>(matched_total) / static_cast<double>(nu + nv);
 }
 

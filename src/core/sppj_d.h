@@ -112,12 +112,16 @@ class LeafPartitionIndex {
 };
 
 /// PPJ-D (Algorithm 3): sigma for a user pair over the leaf partitioning,
-/// with early termination at eps_u (exact whenever sigma >= eps_u).
-/// `stats` (optional) accrues cells_visited and refine_early_stops.
+/// with early termination at eps_u (exact whenever sigma >= eps_u; the
+/// Lemma 1 stop uses the integer SigmaUnmatchedBudget of
+/// common/predicates.h). `stats` (optional) accrues cells_visited and
+/// refine_early_stops. `matched_out` (optional) receives sigma's integer
+/// numerator (0 when pruned) for exact SigmaAtLeast decisions.
 double PPJDPair(const UserPartitionList& lu, size_t nu,
                 const UserPartitionList& lv, size_t nv,
                 const LeafPartitionIndex& index, const MatchThresholds& t,
-                double eps_u, JoinStats* stats = nullptr);
+                double eps_u, JoinStats* stats = nullptr,
+                size_t* matched_out = nullptr);
 
 /// Evaluates the STPSJoin query with S-PPJ-D. Same output contract as
 /// SPPJC. Preconditions: eps_doc > 0, eps_u > 0 (see S-PPJ-F).

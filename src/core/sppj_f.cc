@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <unordered_map>
 
+#include "common/predicates.h"
 #include "core/parallel_util.h"
 #include "core/ppjb.h"
 #include "core/user_grid.h"
@@ -13,16 +14,17 @@ namespace {
 
 // Cells supporting a candidate pair: the cells of the probing user u whose
 // objects may match the candidate (Mu), and the candidate's own cells
-// (Mu'). Object counts over these cells give the sigma_bar bound.
+// (Mu'). Object counts over these cells give the sigma_bar bound — kept as
+// an integer numerator so the prune decision is the exact SigmaAtLeast
+// predicate, not a rounded quotient.
 struct CandidateCells {
   std::vector<CellId> my_cells;
   std::vector<CellId> their_cells;
 };
 
-double SigmaUpperBound(const CandidateCells& cells,
-                       const UserPartitionList& mine,
-                       const UserPartitionList& theirs, size_t nu,
-                       size_t nv) {
+size_t SigmaBoundNumerator(const CandidateCells& cells,
+                           const UserPartitionList& mine,
+                           const UserPartitionList& theirs) {
   size_t m = 0;
   for (const CellId c : cells.my_cells) {
     m += PartitionObjectCount(mine, c);
@@ -30,7 +32,7 @@ double SigmaUpperBound(const CandidateCells& cells,
   for (const CellId c : cells.their_cells) {
     m += PartitionObjectCount(theirs, c);
   }
-  return static_cast<double>(m) / static_cast<double>(nu + nv);
+  return m;
 }
 
 }  // namespace
@@ -108,17 +110,18 @@ std::vector<ScoredUserPair> SPPJFAblation(const ObjectDatabase& db,
       SortUnique(&cells.my_cells);
       SortUnique(&cells.their_cells);
       if (use_sigma_bound) {
-        const double bound = SigmaUpperBound(cells, cu, cv, nu, nv);
-        if (bound < query.eps_u) {
+        const size_t m = SigmaBoundNumerator(cells, cu, cv);
+        if (!SigmaAtLeast(m, nu + nv, query.eps_u)) {
           if (stats != nullptr) ++stats->pairs_pruned_count;
           continue;
         }
       }
       if (stats != nullptr) ++stats->pairs_verified;
+      size_t matched = 0;
       const double sigma =
           PPJBPair(cu, nu, cv, nv, grid.geometry(), t,
-                   use_refine_bound ? query.eps_u : 0.0, stats);
-      if (sigma >= query.eps_u) {
+                   use_refine_bound ? query.eps_u : 0.0, stats, &matched);
+      if (SigmaAtLeast(matched, nu + nv, query.eps_u)) {
         result.push_back({std::min(u, candidate), std::max(u, candidate),
                           sigma});
         if (stats != nullptr) ++stats->matches_found;

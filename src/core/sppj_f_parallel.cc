@@ -5,6 +5,7 @@
 #include <thread>
 #include <unordered_map>
 
+#include "common/predicates.h"
 #include "core/parallel_util.h"
 #include "core/ppjb.h"
 #include "core/user_grid.h"
@@ -78,16 +79,19 @@ void ProcessUser(const ObjectDatabase& db, const UserGrid& grid,
     for (const CellId c : cells.their_cells) {
       m += PartitionObjectCount(cv, c);
     }
-    const double bound = static_cast<double>(m) /
-                         static_cast<double>(nu + nv);
-    if (bound < query.eps_u) {
+    // Exact counting predicates throughout (common/predicates.h): the
+    // sigma_bar prune and the final membership test must agree with the
+    // sequential driver decision-for-decision, or the two result sets
+    // diverge at pairs whose sigma equals eps_u.
+    if (!SigmaAtLeast(m, nu + nv, query.eps_u)) {
       if (stats != nullptr) ++stats->pairs_pruned_count;
       continue;
     }
     if (stats != nullptr) ++stats->pairs_verified;
-    const double sigma =
-        PPJBPair(cu, nu, cv, nv, grid.geometry(), t, query.eps_u, stats);
-    if (sigma >= query.eps_u) {
+    size_t matched = 0;
+    const double sigma = PPJBPair(cu, nu, cv, nv, grid.geometry(), t,
+                                  query.eps_u, stats, &matched);
+    if (SigmaAtLeast(matched, nu + nv, query.eps_u)) {
       out->push_back({candidate, u, sigma});
       if (stats != nullptr) ++stats->matches_found;
     }

@@ -6,6 +6,7 @@
 #include <unordered_map>
 #include <unordered_set>
 
+#include "common/predicates.h"
 #include "core/parallel_util.h"
 #include "core/ppjb.h"
 #include "core/sppj_d.h"
@@ -22,6 +23,16 @@ struct TopKBetterCmp {
 };
 
 // Bounded best-k container under the TopKBetter total order.
+//
+// Tie semantics at the threshold: a candidate whose score exactly equals
+// the tail's enters iff it beats the tail on the id order (TopKBetter is a
+// total order, so Offer is deterministic and independent of arrival
+// order). Every pruning stage upstream must therefore keep candidates
+// whose score can still *equal* Threshold() — which is why those prunes go
+// through the exact counting predicates of common/predicates.h and never
+// through a rounded quotient: the sequential driver and the parallel
+// driver (thread-local queues merged via Offer at the end) then resolve
+// boundary ties identically.
 class ResultQueue {
  public:
   explicit ResultQueue(size_t k) : k_(k) {}
@@ -74,8 +85,12 @@ std::vector<UserId> OrderByPopularity(const ObjectDatabase& db,
       cell_users[cell.id].push_back(u);  // distinct: one entry per (u, cell)
     }
   }
-  // Cell scores.
-  std::unordered_map<CellId, double> cell_score;
+  // Cell scores. Integer throughout: the scores are user counts, and the
+  // per-user sums below accumulate in cell_users' unordered_map iteration
+  // order — double summation would make the visit order (and thus the
+  // whole TOPK-S-PPJ-S traversal) platform-dependent; integer addition is
+  // associative, so the order is provably irrelevant.
+  std::unordered_map<CellId, uint64_t> cell_score;
   std::vector<CellId> neighbors;
   std::unordered_set<UserId> distinct;
   for (const auto& [cell, users] : cell_users) {
@@ -88,14 +103,13 @@ std::vector<UserId> OrderByPopularity(const ObjectDatabase& db,
       if (it == cell_users.end()) continue;
       distinct.insert(it->second.begin(), it->second.end());
     }
-    cell_score[cell] = static_cast<double>(distinct.size());
+    cell_score[cell] = distinct.size();
   }
   // User scores: every object contributes its cell's score.
-  std::vector<double> user_score(db.num_users(), 0.0);
+  std::vector<uint64_t> user_score(db.num_users(), 0);
   for (UserId u = 0; u < db.num_users(); ++u) {
     for (const UserPartition& cell : grid.UserCells(u)) {
-      user_score[u] += cell_score[cell.id] *
-                       static_cast<double>(cell.objects.size());
+      user_score[u] += cell_score[cell.id] * cell.objects.size();
     }
   }
   std::vector<UserId> order(db.num_users());
@@ -196,9 +210,12 @@ void CollectCandidates(const UserGrid& grid,
 }
 
 // Refines u's candidates against `queue`: the sigma_bar count bound once
-// the queue is full (strict <, so a tie on score can still win on the id
-// order), then the PPJ-B kernel with the queue threshold as eps_u. Any
-// nonzero PPJBPair return is exact, so offered pairs carry exact scores.
+// the queue is full (exact SigmaAtLeast, so a candidate that can still
+// *tie* the tail score survives and Offer settles it on the id order),
+// then the PPJ-B kernel with the queue threshold as eps_u — whose integer
+// Lemma 1 budget likewise never prunes a pair landing exactly on the
+// threshold. Any nonzero PPJBPair return is exact, so offered pairs carry
+// exact scores.
 void RefineCandidates(const ObjectDatabase& db, const UserGrid& grid,
                       const MatchThresholds& t, UserId u,
                       const UserPartitionList& cu, size_t nu,
@@ -219,9 +236,10 @@ void RefineCandidates(const ObjectDatabase& db, const UserGrid& grid,
       for (const CellId c : cells.their_cells) {
         m += PartitionObjectCount(cv, c);
       }
-      const double sigma_bar =
-          static_cast<double>(m) / static_cast<double>(nu + nv);
-      if (sigma_bar < eps_u) {
+      // Prune only when sigma_bar is exactly below the tail score: the
+      // rounded quotient m / (nu + nv) could dip one ULP under eps_u for
+      // a pair whose bound equals it, dropping a legitimate tie.
+      if (!SigmaAtLeast(m, nu + nv, eps_u)) {
         if (stats != nullptr) ++stats->pairs_pruned_count;
         continue;
       }
@@ -265,10 +283,9 @@ std::vector<ScoredUserPair> TopKSTPSJoin(const ObjectDatabase& db,
     if (variant == TopKVariant::kP && queue.full() && max_prev_size > 0) {
       const size_t matchable = EstimateMatchableObjects(
           cu, grid.geometry(), index, /*rank=*/nullptr, /*rank_u=*/0);
-      const double sigma_bar_u =
-          static_cast<double>(matchable + max_prev_size) /
-          static_cast<double>(nu + max_prev_size);
-      if (sigma_bar_u < queue.Threshold()) {
+      // Exact counting form of sigma_bar_u < Threshold() — ties survive.
+      if (!SigmaAtLeast(matchable + max_prev_size, nu + max_prev_size,
+                        queue.Threshold())) {
         index.AddUser(u, cu);
         max_prev_size = std::max(max_prev_size, nu);
         continue;
@@ -332,10 +349,12 @@ std::vector<ScoredUserPair> TopKSTPSJoinParallel(
             const size_t matchable = EstimateMatchableObjects(
                 cu, grid.geometry(), index, &rank,
                 static_cast<uint32_t>(r));
-            const double sigma_bar_u =
-                static_cast<double>(matchable + max_prev_size) /
-                static_cast<double>(nu + max_prev_size);
-            if (sigma_bar_u < local.Threshold()) return;
+            // Same exact counting prune as the sequential driver, so the
+            // two resolve threshold-grazing users identically.
+            if (!SigmaAtLeast(matchable + max_prev_size, nu + max_prev_size,
+                              local.Threshold())) {
+              return;
+            }
           }
         }
 
@@ -417,9 +436,8 @@ std::vector<ScoredUserPair> TopKSPPJD(const ObjectDatabase& db,
         for (const int64_t l : leaves.their_leaves) {
           m += PartitionObjectCount(lv, l);
         }
-        const double sigma_bar =
-            static_cast<double>(m) / static_cast<double>(nu + nv);
-        if (sigma_bar < eps_u) {
+        // Exact counting form of sigma_bar < eps_u (see RefineCandidates).
+        if (!SigmaAtLeast(m, nu + nv, eps_u)) {
           if (stats != nullptr) ++stats->pairs_pruned_count;
           continue;
         }

@@ -3,8 +3,10 @@
 #include <algorithm>
 #include <array>
 
+#include "common/predicates.h"
 #include "common/rng.h"
 #include "common/timer.h"
+#include "core/database.h"
 #include "core/ppjb.h"
 #include "core/sppj_f.h"
 
@@ -104,17 +106,27 @@ TuningResult TuneThresholds(const ObjectDatabase& db,
     std::vector<ScoredUserPair> surviving;
     surviving.reserve(node.pairs.size());
     if (param == 2) {
-      // Only eps_u moved: the stored sigma scores are still exact, so the
-      // step is a pure filter — no per-pair join needed.
+      // Only eps_u moved: the step is a pure filter. The stored score is
+      // sigma's rounded quotient; recover the exact integer numerator from
+      // it (exact while the object counts fit a double's mantissa) so the
+      // filter is the same counting predicate the joins use.
       for (const ScoredUserPair& pair : node.pairs) {
-        if (pair.score >= tightened.eps_u) surviving.push_back(pair);
+        const size_t total =
+            db.UserObjectCount(pair.a) + db.UserObjectCount(pair.b);
+        const size_t matched = MatchedCountFromScore(pair.score, total);
+        if (SigmaAtLeast(matched, total, tightened.eps_u)) {
+          surviving.push_back(pair);
+        }
       }
     } else {
       const MatchThresholds t{tightened.eps_loc, tightened.eps_doc};
       for (const ScoredUserPair& pair : node.pairs) {
-        const double sigma =
-            PairSigma(db.UserObjects(pair.a), db.UserObjects(pair.b), t);
-        if (sigma >= tightened.eps_u) {
+        size_t matched = 0;
+        const double sigma = PairSigma(db.UserObjects(pair.a),
+                                       db.UserObjects(pair.b), t, &matched);
+        const size_t total =
+            db.UserObjectCount(pair.a) + db.UserObjectCount(pair.b);
+        if (SigmaAtLeast(matched, total, tightened.eps_u)) {
           surviving.push_back({pair.a, pair.b, sigma});
         }
       }

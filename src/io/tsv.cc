@@ -43,6 +43,10 @@ Result<ObjectDatabase> ReadTsv(const std::string& path) {
   std::vector<std::string_view> keywords;
   while (std::getline(in, line)) {
     ++line_number;
+    // std::getline splits on '\n' only; files written on Windows (or
+    // transferred with CRLF line endings) leave a trailing '\r' that would
+    // otherwise end up glued onto the last field of every row.
+    if (!line.empty() && line.back() == '\r') line.pop_back();
     if (line.empty() || line[0] == '#') continue;
     // Split into exactly four tab fields.
     size_t pos = 0;

@@ -195,8 +195,11 @@ std::vector<ObjectId> IRTree::BooleanRange(const Point& center,
                                            const TokenVector& required) const {
   std::vector<ObjectId> result;
   if (root_ < 0) return result;
-  const Rect box{center.x - radius, center.y - radius, center.x + radius,
-                 center.y + radius};
+  // Filter box: rounds outward (common/predicates.h) so it provably covers
+  // the radius disc; WithinDistance below is the exact predicate.
+  const Rect box{SubRoundDown(center.x, radius),
+                 SubRoundDown(center.y, radius),
+                 AddRoundUp(center.x, radius), AddRoundUp(center.y, radius)};
   std::vector<int32_t> stack = {root_};
   while (!stack.empty()) {
     const Node& node = nodes_[stack.back()];

@@ -5,6 +5,8 @@
 
 #include <cmath>
 
+#include "common/predicates.h"
+
 namespace stps {
 
 /// A 2-D point (e.g. lon/lat treated as planar coordinates, as in the
@@ -30,9 +32,12 @@ inline double Distance(const Point& a, const Point& b) {
   return std::sqrt(SquaredDistance(a, b));
 }
 
-/// True iff dist(a, b) <= eps, computed without a sqrt.
+/// True iff dist(a, b) <= eps, computed without a sqrt. This is the one
+/// spatial verification predicate (common/predicates.h): every layer
+/// compares the same SquaredDistance form against the same rounded square,
+/// so no two layers can disagree at the eps_loc boundary.
 inline bool WithinDistance(const Point& a, const Point& b, double eps) {
-  return SquaredDistance(a, b) <= eps * eps;
+  return WithinEpsLoc(SquaredDistance(a, b), eps);
 }
 
 /// Axis-aligned rectangle [min_x, max_x] x [min_y, max_y].
@@ -78,9 +83,14 @@ struct Rect {
   void ExpandToInclude(const Rect& other);
 
   /// The rectangle enlarged by `margin` on every side (the paper's
-  /// eps_loc-extended MBR).
+  /// eps_loc-extended MBR). A *filter* box: each side rounds outward one
+  /// ULP (common/predicates.h rounding policy), so the result provably
+  /// covers every point within `margin` of the rectangle — round-to-nearest
+  /// subtraction alone could fall short of `min_x - margin` and silently
+  /// exclude a boundary point from a downstream exact check.
   Rect Extended(double margin) const {
-    return {min_x - margin, min_y - margin, max_x + margin, max_y + margin};
+    return {SubRoundDown(min_x, margin), SubRoundDown(min_y, margin),
+            AddRoundUp(max_x, margin), AddRoundUp(max_y, margin)};
   }
 
   /// Area; 0 for degenerate rectangles.

@@ -2,21 +2,53 @@
 
 #include <algorithm>
 #include <cmath>
+#include <limits>
 
 #include "common/macros.h"
+#include "common/predicates.h"
 
 namespace stps {
 
+namespace {
+
+// Conservatively inflates the requested cell size so that cell assignment
+// is *filter-sound*: two points at distance <= cell_size must land in the
+// same or adjacent rows/columns, or the grid join silently drops the pair
+// before any exact check runs (common/predicates.h rounding policy —
+// filters may only over-approximate).
+//
+// ColumnOf computes floor((x - min_x) / cell). Both the subtraction and
+// the division round to nearest, each off by <= 1/2 ULP of a value no
+// larger in magnitude than the bounds coordinates (the quotient is scaled
+// by 1/cell, so its absolute error in *coordinate* units stays at that
+// same scale). Two points exactly cell_size apart can therefore straddle
+// two column boundaries when each computation rounds the wrong way.
+// Growing the cell by a few ULPs of the largest coordinate magnitude makes
+// every real inter-boundary gap strictly wider than the original
+// cell_size, absorbing the rounding. The margin is absolute, not relative
+// to cell_size: for eps_loc = 1e-3 over a +/-180 domain the rounding error
+// lives at the magnitude of the coordinates, not of the cell.
+double ConservativeCellSize(const Rect& bounds, double cell_size) {
+  const double magnitude =
+      std::max({std::fabs(bounds.min_x), std::fabs(bounds.max_x),
+                std::fabs(bounds.min_y), std::fabs(bounds.max_y), cell_size});
+  const double margin =
+      8.0 * std::numeric_limits<double>::epsilon() * magnitude;
+  return AddRoundUp(cell_size, margin);
+}
+
+}  // namespace
+
 GridGeometry::GridGeometry(const Rect& bounds, double cell_size)
-    : bounds_(bounds), cell_size_(cell_size) {
+    : bounds_(bounds), cell_size_(ConservativeCellSize(bounds, cell_size)) {
   STPS_CHECK(cell_size > 0.0);
   STPS_CHECK(!bounds.IsEmpty());
   columns_ = std::max<int64_t>(
       1, static_cast<int64_t>(
-             std::ceil((bounds.max_x - bounds.min_x) / cell_size)));
+             std::ceil((bounds.max_x - bounds.min_x) / cell_size_)));
   rows_ = std::max<int64_t>(
       1, static_cast<int64_t>(
-             std::ceil((bounds.max_y - bounds.min_y) / cell_size)));
+             std::ceil((bounds.max_y - bounds.min_y) / cell_size_)));
 }
 
 int64_t GridGeometry::ColumnOf(const Point& p) const {

@@ -24,7 +24,12 @@ using CellId = int64_t;
 /// Geometry of a uniform grid over a bounding rectangle.
 class GridGeometry {
  public:
-  /// Covers `bounds` with square cells of side `cell_size`.
+  /// Covers `bounds` with square cells of side `cell_size`, inflated by a
+  /// few ULPs of the coordinate magnitude so that points within
+  /// `cell_size` of each other always land in the same or adjacent
+  /// rows/columns despite floating-point rounding in the cell assignment
+  /// (see grid.cc and the rounding policy in common/predicates.h). A point
+  /// exactly on a cell boundary is therefore assigned the lower cell.
   /// Preconditions: cell_size > 0, !bounds.IsEmpty().
   GridGeometry(const Rect& bounds, double cell_size);
 

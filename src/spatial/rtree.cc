@@ -331,8 +331,10 @@ void RTree::RangeQueryRecursive(int32_t node_id, const Rect& query,
 void RTree::RadiusQuery(const Point& center, double eps,
                         std::vector<uint32_t>* out) const {
   if (root_ < 0) return;
-  const Rect box{center.x - eps, center.y - eps, center.x + eps,
-                 center.y + eps};
+  // Filter box: rounds outward (common/predicates.h) so it provably covers
+  // the eps-disc; the exact WithinDistance check below decides membership.
+  const Rect box{SubRoundDown(center.x, eps), SubRoundDown(center.y, eps),
+                 AddRoundUp(center.x, eps), AddRoundUp(center.y, eps)};
   std::vector<int32_t> stack = {root_};
   while (!stack.empty()) {
     const int32_t node_id = stack.back();

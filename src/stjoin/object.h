@@ -6,11 +6,11 @@
 #ifndef STPS_STJOIN_OBJECT_H_
 #define STPS_STJOIN_OBJECT_H_
 
-#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <span>
 
+#include "common/predicates.h"
 #include "spatial/geometry.h"
 #include "text/intersect.h"
 #include "text/types.h"
@@ -67,7 +67,7 @@ struct MatchThresholds {
 /// the default infinite threshold).
 inline bool TimeCompatible(const STObject& a, const STObject& b,
                            double eps_time) {
-  return std::fabs(a.time - b.time) <= eps_time;
+  return WithinEpsTime(a.time, b.time, eps_time);
 }
 
 /// The paper's matching predicate mu(o, o') extended with the temporal

@@ -20,7 +20,7 @@
 #include <cstdint>
 #include <span>
 
-#include "text/similarity.h"
+#include "common/predicates.h"
 #include "text/types.h"
 
 namespace stps {
@@ -98,14 +98,11 @@ inline bool JaccardAtLeastKernel(std::span<const TokenId> a,
                                  double threshold) {
   if (threshold <= 0.0) return true;
   if (a.empty() || b.empty()) return false;
-  // J(a,b) >= t  <=>  o >= t/(1+t) * (|a|+|b|), where o = |a ∩ b|; the
-  // conservative rounding lives in MinOverlapForJaccard.
+  // MinOverlapForJaccard (common/predicates.h) is the *exact* boundary of
+  // the canonical predicate: J(a,b) >= t <=> o >= required. No trailing
+  // floating-point verification step — the count comparison is the test.
   const size_t required = MinOverlapForJaccard(a.size(), b.size(), threshold);
-  const size_t overlap = IntersectCountAtLeast(a, b, required);
-  if (overlap < required) return false;
-  // Exact predicate: o / (|a|+|b|-o) >= t, evaluated without division.
-  return static_cast<double>(overlap) >=
-         threshold * static_cast<double>(a.size() + b.size() - overlap);
+  return IntersectCountAtLeast(a, b, required) >= required;
 }
 
 /// Signature-gated Jaccard predicate: rejects via the signature bound
@@ -130,10 +127,8 @@ inline bool SignatureGatedJaccardAtLeast(
     if (signature_rejections != nullptr) ++*signature_rejections;
     return false;
   }
-  const size_t overlap = IntersectCountAtLeast(a, b, required);
-  if (overlap < required) return false;
-  return static_cast<double>(overlap) >=
-         threshold * static_cast<double>(a.size() + b.size() - overlap);
+  // `required` is the exact predicate boundary (see JaccardAtLeastKernel).
+  return IntersectCountAtLeast(a, b, required) >= required;
 }
 
 }  // namespace stps

@@ -1,61 +1,16 @@
 // Prefix-filtering bounds for Jaccard similarity joins (Chaudhuri et al.,
-// Bayardo et al., Xiao et al.). All bounds are conservative with respect to
-// the canonical predicate JaccardAtLeast: they may admit false candidates
-// but never reject a true match.
+// Bayardo et al., Xiao et al.).
+//
+// This header is now a forwarding shim: the bounds moved into
+// common/predicates.h, the single audited predicate layer, where they are
+// computed *exactly* (extremal integers of the canonical cross-multiplied
+// predicate) instead of via the historical epsilon-fudged ceil/floor.
+// Text-layer code keeps including "text/similarity.h"; the definitions it
+// gets are the canonical ones.
 
 #ifndef STPS_TEXT_SIMILARITY_H_
 #define STPS_TEXT_SIMILARITY_H_
 
-#include <algorithm>
-#include <cmath>
-#include <cstddef>
-
-namespace stps {
-
-namespace similarity_detail {
-
-/// Conservative ceil: shaves an epsilon first so values that are integral
-/// up to floating-point noise do not get bumped to the next integer, which
-/// would make a filter bound too tight.
-inline size_t CeilConservative(double v) {
-  return static_cast<size_t>(std::max(0.0, std::ceil(v - 1e-9)));
-}
-
-/// Conservative floor in the opposite direction (for upper bounds).
-inline size_t FloorGenerous(double v) {
-  return static_cast<size_t>(std::max(0.0, std::floor(v + 1e-9)));
-}
-
-}  // namespace similarity_detail
-
-/// Minimum overlap o = |x ∩ y| required for Jaccard(x, y) >= t given the
-/// two set sizes: o >= t/(1+t) * (|x|+|y|). Inline: this sits ahead of
-/// every signature gate in the verification hot path.
-inline size_t MinOverlapForJaccard(size_t size_x, size_t size_y,
-                                   double threshold) {
-  if (threshold <= 0.0) return 0;
-  const double v = threshold / (1.0 + threshold) *
-                   static_cast<double>(size_x + size_y);
-  return similarity_detail::CeilConservative(v);
-}
-
-/// Smallest |y| that can still satisfy Jaccard(x, y) >= t: |y| >= t * |x|.
-size_t MinSizeForJaccard(size_t size_x, double threshold);
-
-/// Largest |y| that can still satisfy Jaccard(x, y) >= t: |y| <= |x| / t.
-/// Returns SIZE_MAX when t == 0.
-size_t MaxSizeForJaccard(size_t size_x, double threshold);
-
-/// Probing-prefix length for a record of `size` tokens at Jaccard
-/// threshold t: |x| - ceil(t * |x|) + 1 (clamped to [0, size]). Two
-/// records with Jaccard >= t must share a token inside both prefixes.
-size_t PrefixLengthForJaccard(size_t size, double threshold);
-
-/// Indexing-prefix length |x| - ceil(2t/(1+t) * |x|) + 1, valid when the
-/// probing side is processed in non-decreasing size order (PPJOIN
-/// self-join optimisation).
-size_t IndexPrefixLengthForJaccard(size_t size, double threshold);
-
-}  // namespace stps
+#include "common/predicates.h"  // IWYU pragma: export
 
 #endif  // STPS_TEXT_SIMILARITY_H_

@@ -1,0 +1,241 @@
+// Unit tests for the canonical threshold-predicate layer. The exactness
+// claims are tested two ways: hand-picked boundary cases whose answers are
+// known from the binary representation of the threshold (e.g. the double
+// 0.1 is strictly greater than the rational 1/10), and extremality
+// properties (each derived bound is the extremal integer satisfying its
+// RatioAtLeast condition, verified by checking both sides of the boundary).
+
+#include "common/predicates.h"
+
+#include <cfloat>
+#include <cmath>
+#include <cstdint>
+#include <limits>
+
+#include <gtest/gtest.h>
+
+namespace stps {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+double UlpUp(double x) { return std::nextafter(x, kInf); }
+double UlpDown(double x) { return std::nextafter(x, -kInf); }
+
+TEST(RatioAtLeastTest, ExactlyRepresentableThresholds) {
+  // 0.5, 0.25, 1.0, 1.5 are exact binary rationals: the predicate must
+  // behave like the textbook comparison.
+  EXPECT_TRUE(RatioAtLeast(1, 2, 0.5));
+  EXPECT_FALSE(RatioAtLeast(1, 3, 0.5));
+  EXPECT_TRUE(RatioAtLeast(2, 3, 0.5));
+  EXPECT_TRUE(RatioAtLeast(1, 4, 0.25));
+  EXPECT_FALSE(RatioAtLeast(1, 5, 0.25));
+  EXPECT_TRUE(RatioAtLeast(7, 7, 1.0));
+  EXPECT_FALSE(RatioAtLeast(6, 7, 1.0));
+  EXPECT_TRUE(RatioAtLeast(3, 2, 1.5));
+  EXPECT_FALSE(RatioAtLeast(3, 2, UlpUp(1.5)));
+}
+
+TEST(RatioAtLeastTest, NonRepresentableThresholdsResolveByTrueValue) {
+  // The double literal 0.1 rounds UP in binary: it is strictly greater
+  // than the rational 1/10, so 1/10 does not reach it...
+  EXPECT_FALSE(RatioAtLeast(1, 10, 0.1));
+  // ...but one ULP below the literal is less than 1/10.
+  EXPECT_TRUE(RatioAtLeast(1, 10, UlpDown(0.1)));
+  // The double literal 0.3 rounds DOWN: 3/10 is strictly greater.
+  EXPECT_TRUE(RatioAtLeast(3, 10, 0.3));
+  EXPECT_FALSE(RatioAtLeast(3, 10, UlpUp(0.3)));
+  // 2/3 rounds down as well.
+  EXPECT_TRUE(RatioAtLeast(2, 3, 2.0 / 3.0));
+  EXPECT_FALSE(RatioAtLeast(2, 3, UlpUp(2.0 / 3.0)));
+  // Scaled copies of the same rational decide identically.
+  for (uint64_t m = 1; m <= 1000; m += 37) {
+    EXPECT_FALSE(RatioAtLeast(m, 10 * m, 0.1)) << m;
+    EXPECT_TRUE(RatioAtLeast(m, 10 * m, UlpDown(0.1))) << m;
+    EXPECT_TRUE(RatioAtLeast(3 * m, 10 * m, 0.3)) << m;
+  }
+}
+
+TEST(RatioAtLeastTest, Conventions) {
+  // threshold <= 0: vacuously true (also for num == 0).
+  EXPECT_TRUE(RatioAtLeast(0, 5, 0.0));
+  EXPECT_TRUE(RatioAtLeast(0, 0, -1.0));
+  // num == 0 with positive threshold: false.
+  EXPECT_FALSE(RatioAtLeast(0, 5, 1e-300));
+  // den == 0 with positive threshold: matches the kernels' empty-set
+  // semantics — any positive numerator passes, zero does not.
+  EXPECT_TRUE(RatioAtLeast(1, 0, 0.5));
+  EXPECT_FALSE(RatioAtLeast(0, 0, 0.5));
+  // Non-finite thresholds reject everything.
+  EXPECT_FALSE(RatioAtLeast(5, 1, kInf));
+  EXPECT_FALSE(RatioAtLeast(5, 1, std::numeric_limits<double>::quiet_NaN()));
+}
+
+TEST(RatioAtLeastTest, ExtremeMagnitudes) {
+  const uint64_t big = std::numeric_limits<uint64_t>::max();
+  EXPECT_TRUE(RatioAtLeast(big, big, 1.0));
+  EXPECT_FALSE(RatioAtLeast(big - 1, big, 1.0));
+  EXPECT_TRUE(RatioAtLeast(big, big - 1, 1.0));
+  // Thresholds with large positive exponents (the e >= 0 branch and its
+  // 64-bit overflow guard).
+  EXPECT_TRUE(RatioAtLeast(1ULL << 62, 1, std::ldexp(1.0, 62)));
+  EXPECT_FALSE(RatioAtLeast(1ULL << 62, 1, std::ldexp(1.0, 63)));
+  EXPECT_FALSE(RatioAtLeast(big, 1, std::ldexp(1.0, 64)));
+  EXPECT_FALSE(RatioAtLeast(big, 1, DBL_MAX));
+  // Subnormal thresholds (the deep-negative-exponent shift guard): any
+  // positive count ratio clears the smallest positive double.
+  EXPECT_TRUE(RatioAtLeast(1, big, DBL_TRUE_MIN));
+  EXPECT_TRUE(RatioAtLeast(1, big, DBL_MIN));
+  EXPECT_FALSE(RatioAtLeast(0, big, DBL_TRUE_MIN));
+}
+
+// Exhaustive small-domain check against an error-free long double oracle:
+// for num, den <= 48 and thresholds near every rational in that range, a
+// distinct rational differs from a 53-bit threshold by at least
+// 1/(48 * 2^52) ~ 2^-58, far above the 2^-64 rounding of the 64-bit
+// mantissa division, so the oracle comparison is exact.
+TEST(RatioAtLeastTest, AgreesWithLongDoubleOracleOnSmallDomain) {
+  for (uint64_t den = 1; den <= 48; ++den) {
+    for (uint64_t num = 0; num <= den + 2; ++num) {
+      for (uint64_t tn = 1; tn <= 48; ++tn) {
+        for (uint64_t td = tn; td <= 48; td += 3) {
+          const double base =
+              static_cast<double>(tn) / static_cast<double>(td);
+          for (const double t : {UlpDown(base), base, UlpUp(base)}) {
+            const bool expected = static_cast<long double>(num) / den >=
+                                  static_cast<long double>(t);
+            ASSERT_EQ(RatioAtLeast(num, den, t), expected)
+                << num << "/" << den << " vs " << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(MinCountForRatioTest, IsTheExtremalInteger) {
+  for (uint64_t den = 1; den <= 120; ++den) {
+    for (const double base : {0.1, 0.3, 1.0 / 3, 0.5, 2.0 / 3, 0.9, 1.0}) {
+      for (const double t : {UlpDown(base), base, UlpUp(base)}) {
+        const uint64_t c = MinCountForRatio(den, t);
+        if (t > 1.0) {  // UlpUp(1.0): unattainable sentinel
+          ASSERT_EQ(c, den + 1) << den << " " << t;
+          continue;
+        }
+        ASSERT_LE(c, den) << den << " " << t;  // t <= 1 is always attainable
+        ASSERT_TRUE(RatioAtLeast(c, den, t)) << den << " " << t;
+        if (c > 0) {
+          ASSERT_FALSE(RatioAtLeast(c - 1, den, t)) << den << " " << t;
+        }
+      }
+    }
+    // Unattainable threshold: sentinel den + 1.
+    EXPECT_EQ(MinCountForRatio(den, UlpUp(1.0)), den + 1);
+    EXPECT_EQ(MinCountForRatio(den, 2.0), den + 1);
+  }
+  EXPECT_EQ(MinCountForRatio(0, 0.5), 1u);  // unattainable: 1 > den
+  EXPECT_EQ(MinCountForRatio(0, 0.0), 0u);
+  EXPECT_EQ(MinCountForRatio(17, 0.0), 0u);
+}
+
+TEST(MinOverlapForJaccardTest, IsExactlyTheJaccardPredicateBoundary) {
+  for (size_t sa = 0; sa <= 14; ++sa) {
+    for (size_t sb = 0; sb <= 14; ++sb) {
+      if (sa + sb == 0) continue;  // empties are guarded by callers
+      for (const double base : {0.1, 0.25, 1.0 / 3, 0.5, 2.0 / 3, 0.8, 1.0}) {
+        for (const double t : {UlpDown(base), base, UlpUp(base)}) {
+          const size_t required = MinOverlapForJaccard(sa, sb, t);
+          for (size_t o = 0; o <= std::min(sa, sb); ++o) {
+            ASSERT_EQ(JaccardAtLeast(o, sa, sb, t), o >= required)
+                << sa << " " << sb << " " << o << " " << t;
+          }
+        }
+      }
+    }
+  }
+}
+
+TEST(SizeBoundsForJaccardTest, AreExtremal) {
+  for (size_t sx = 1; sx <= 60; ++sx) {
+    for (const double base : {0.1, 1.0 / 3, 0.5, 0.75, 1.0}) {
+      for (const double t : {UlpDown(base), base, UlpUp(base)}) {
+        if (t > 1.0) continue;
+        const size_t lo = MinSizeForJaccard(sx, t);
+        const size_t hi = MaxSizeForJaccard(sx, t);
+        // The classical size filter: |y| outside [lo, hi] cannot match.
+        // lo is the smallest n with n >= t * sx, hi the largest with
+        // sx >= t * n.
+        ASSERT_TRUE(RatioAtLeast(lo, sx, t)) << sx << " " << t;
+        if (lo > 0) ASSERT_FALSE(RatioAtLeast(lo - 1, sx, t));
+        ASSERT_TRUE(RatioAtLeast(sx, hi, t)) << sx << " " << t;
+        ASSERT_FALSE(RatioAtLeast(sx, hi + 1, t)) << sx << " " << t;
+      }
+    }
+  }
+  EXPECT_EQ(MaxSizeForJaccard(10, 0.0), std::numeric_limits<size_t>::max());
+  // Tiny threshold saturates instead of overflowing.
+  EXPECT_EQ(MaxSizeForJaccard(1000, DBL_TRUE_MIN),
+            std::numeric_limits<size_t>::max());
+}
+
+TEST(SigmaUnmatchedBudgetTest, ExactlyComplementsSigmaAtLeast) {
+  // The Lemma 1 early stop `unmatched > budget` must trigger exactly when
+  // even matching every remaining object cannot reach eps_u.
+  for (size_t total = 0; total <= 90; ++total) {
+    for (const double base : {0.2, 1.0 / 3, 0.5, 0.7, 1.0}) {
+      for (const double eps_u : {UlpDown(base), base, UlpUp(base)}) {
+        const int64_t budget = SigmaUnmatchedBudget(total, eps_u);
+        for (size_t unmatched = 0; unmatched <= total; ++unmatched) {
+          const size_t best_possible_matched = total - unmatched;
+          ASSERT_EQ(static_cast<int64_t>(unmatched) > budget,
+                    !SigmaAtLeast(best_possible_matched, total, eps_u))
+              << total << " " << unmatched << " " << eps_u;
+        }
+      }
+    }
+  }
+}
+
+TEST(DirectedRoundingTest, FilterBoxesNeverRoundInward) {
+  // AddRoundUp / SubRoundDown bound the exact sum/difference: rounding to
+  // nearest is off by at most half a ULP, the extra nextafter step covers
+  // a full ULP.
+  EXPECT_GT(AddRoundUp(1.0, DBL_EPSILON / 4), 1.0);       // 1.0 + eps/4 == 1.0
+  EXPECT_LT(SubRoundDown(1.0, DBL_EPSILON / 4), 1.0);
+  EXPECT_GE(AddRoundUp(0.1, 0.2), 0.3);
+  EXPECT_LE(SubRoundDown(0.3, 0.2), 0.1);
+  // Property over a sweep: the directed result bounds the long double sum.
+  for (int i = 0; i < 200; ++i) {
+    const double a = std::ldexp(1.7 + i * 0.013, i % 11 - 5);
+    const double b = std::ldexp(0.3 + i * 0.029, (i * 7) % 9 - 4);
+    EXPECT_GE(static_cast<long double>(AddRoundUp(a, b)),
+              static_cast<long double>(a) + b);
+    EXPECT_LE(static_cast<long double>(SubRoundDown(a, b)),
+              static_cast<long double>(a) - b);
+  }
+}
+
+TEST(WithinEpsLocTest, SquaredFormBoundary) {
+  // 3-4-5 triangle: distance exactly 5.
+  EXPECT_TRUE(WithinEpsLoc(25.0, 5.0));
+  EXPECT_FALSE(WithinEpsLoc(UlpUp(25.0), 5.0));
+  EXPECT_TRUE(WithinEpsLoc(0.0, 0.0));
+  EXPECT_FALSE(WithinEpsLoc(DBL_TRUE_MIN, 0.0));
+}
+
+TEST(ScoreHelpersTest, MatchedCountRoundTripsAndThresholdReadmits) {
+  for (size_t total = 1; total <= 400; total += 7) {
+    for (size_t m = 0; m <= total; m += 3) {
+      const double score = static_cast<double>(m) / total;
+      EXPECT_EQ(MatchedCountFromScore(score, total), m);
+      // A reported score fed back as a threshold must re-admit its pair.
+      EXPECT_TRUE(SigmaAtLeast(m, total, ThresholdFromScore(score)))
+          << m << "/" << total;
+    }
+  }
+  EXPECT_EQ(ThresholdFromScore(0.0), 0.0);
+  EXPECT_EQ(ThresholdFromScore(-1.0), 0.0);
+}
+
+}  // namespace
+}  // namespace stps

@@ -100,21 +100,28 @@ TEST_P(LeafIndexTest, PPJDPairEqualsExactSigma) {
     for (UserId b = a + 1; b < 15 && b < db.num_users(); ++b) {
       const double expected =
           ExactSigma(db.UserObjects(a), db.UserObjects(b), t);
+      const size_t matched =
+          ExactSigmaMatched(db.UserObjects(a), db.UserObjects(b), t);
+      const size_t total = db.UserObjectCount(a) + db.UserObjectCount(b);
       const double unbounded =
           PPJDPair(index.UserLeaves(a), db.UserObjectCount(a),
                    index.UserLeaves(b), db.UserObjectCount(b), index, t,
                    /*eps_u=*/0.0);
       ASSERT_DOUBLE_EQ(unbounded, expected);
-      // Bounded: exact above the threshold, anything below otherwise.
+      // Bounded: exact when the pair truly meets eps_u, pruned to 0
+      // otherwise. The decision is the exact counting predicate — a
+      // rounded-quotient oracle (expected >= eps_u) would be wrong when
+      // matched/total rounds up across the threshold (e.g. sigma = 1/5
+      // rounds to a double above 0.2, yet 1/5 < the double 0.2).
       for (const double eps_u : {0.2, 0.5}) {
         const double bounded =
             PPJDPair(index.UserLeaves(a), db.UserObjectCount(a),
                      index.UserLeaves(b), db.UserObjectCount(b), index, t,
                      eps_u);
-        if (expected >= eps_u) {
+        if (SigmaAtLeast(matched, total, eps_u)) {
           ASSERT_DOUBLE_EQ(bounded, expected);
         } else {
-          ASSERT_LT(bounded, eps_u);
+          ASSERT_EQ(bounded, 0.0);
         }
       }
     }

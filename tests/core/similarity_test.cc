@@ -2,6 +2,8 @@
 
 #include <gtest/gtest.h>
 
+#include <cmath>
+
 #include "test_util.h"
 
 namespace stps {
@@ -67,10 +69,20 @@ TEST(ExactSigmaTest, IdenticalUsersScoreOne) {
       ExactSigma(db.UserObjects(0), db.UserObjects(1), {0.01, 0.9}), 1.0);
 }
 
-TEST(UnmatchedBoundTest, Lemma1Arithmetic) {
-  // eps_u = 0.3, sizes 10+10: bound = 0.7 * 20 = 14.
-  EXPECT_DOUBLE_EQ(UnmatchedBound(10, 10, 0.3), 14.0);
-  EXPECT_DOUBLE_EQ(UnmatchedBound(5, 3, 1.0), 0.0);
+TEST(SigmaUnmatchedBudgetTest, Lemma1Arithmetic) {
+  // eps_u = 0.3, sizes 10+10: at least ceil(0.3*20) = 6 objects must match,
+  // so at most 20 - 6 = 14 may stay unmatched.
+  EXPECT_EQ(SigmaUnmatchedBudget(20, 0.3), 14);
+  EXPECT_EQ(SigmaUnmatchedBudget(8, 1.0), 0);
+  // eps_u just above an attainable ratio leaves one fewer unmatched slot.
+  EXPECT_EQ(SigmaUnmatchedBudget(10, 0.5), 5);
+  EXPECT_EQ(SigmaUnmatchedBudget(10, std::nextafter(0.5, 1.0)), 4);
+  // Unsatisfiable thresholds report a negative budget: every candidate is
+  // prunable before any object is examined.
+  EXPECT_EQ(SigmaUnmatchedBudget(8, std::nextafter(1.0, 2.0)), -1);
+  EXPECT_EQ(SigmaUnmatchedBudget(0, 0.5), -1);
+  // eps_u <= 0 never prunes.
+  EXPECT_EQ(SigmaUnmatchedBudget(8, 0.0), 8);
 }
 
 TEST(BruteForceSTPSJoinTest, Figure1Join) {

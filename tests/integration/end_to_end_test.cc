@@ -7,6 +7,7 @@
 
 #include <gtest/gtest.h>
 
+#include "common/predicates.h"
 #include "core/stpsjoin.h"
 #include "core/tuning.h"
 #include "datagen/generator.h"
@@ -78,7 +79,12 @@ TEST(EndToEndTest, TopKThresholdConsistency) {
   const TopKQuery topk{0.01, 0.2, 5};
   const auto top = RunTopKSTPSJoin(db, topk, TopKAlgorithm::kP);
   if (top.size() == 5) {
-    STPSQuery query{topk.eps_loc, topk.eps_doc, top.back().score};
+    // Reported scores are round-to-nearest quotients, so a score can sit
+    // half a ULP above the pair's true rational sigma; ThresholdFromScore
+    // steps one ULP down so the threshold join provably re-admits every
+    // top-k pair (common/predicates.h).
+    STPSQuery query{topk.eps_loc, topk.eps_doc,
+                    ThresholdFromScore(top.back().score)};
     const auto joined = RunSTPSJoin(db, query);
     EXPECT_GE(joined.size(), top.size());
     // The top pairs are all contained in the threshold join result.

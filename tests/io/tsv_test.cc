@@ -104,5 +104,67 @@ TEST(TsvTest, SkipsCommentsAndBlankLines) {
   std::remove(path.c_str());
 }
 
+TEST(TsvTest, ReadsCrlfLineEndings) {
+  // Files written on Windows (or transferred in text mode) end lines with
+  // "\r\n"; the reader must strip the '\r' rather than glue it onto the
+  // last field of every row.
+  const std::string path = TempPath("crlf.tsv");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out << "# comment with CR\r\n";
+    out << "\r\n";  // blank CRLF line is still a blank line
+    out << "alice\t1.5\t2.5\tcoffee,park\t3.25\r\n";
+    out << "bob\t-0.5\t4.0\ttea\r\n";  // no time column
+  }
+  const Result<ObjectDatabase> r = ReadTsv(path);
+  ASSERT_TRUE(r.ok()) << r.status().ToString();
+  const ObjectDatabase& db = r.value();
+  ASSERT_EQ(db.num_objects(), 2u);
+  EXPECT_EQ(db.UserName(db.object(0).user), "alice");
+  EXPECT_DOUBLE_EQ(db.object(0).time, 3.25);
+  ASSERT_EQ(db.object(0).doc.size(), 2u);
+  EXPECT_EQ(db.UserName(db.object(1).user), "bob");
+  // The keyword must be exactly "tea", not "tea\r".
+  ASSERT_EQ(db.object(1).doc.size(), 1u);
+  EXPECT_EQ(db.dictionary().TokenString(db.object(1).doc[0]), "tea");
+  EXPECT_DOUBLE_EQ(db.object(1).time, 0.0);
+  std::remove(path.c_str());
+}
+
+TEST(TsvTest, CrlfAndLfReadsAgree) {
+  // Round-trip regression: the same database serialised with LF and with
+  // CRLF endings must load identically.
+  const ObjectDatabase original = BuildRandomDatabase(RandomDbSpec{});
+  const std::string lf_path = TempPath("agree_lf.tsv");
+  ASSERT_TRUE(WriteTsv(original, lf_path).ok());
+  // Rewrite with CRLF endings.
+  const std::string crlf_path = TempPath("agree_crlf.tsv");
+  {
+    std::ifstream in(lf_path);
+    std::ofstream out(crlf_path, std::ios::binary);
+    std::string line;
+    while (std::getline(in, line)) out << line << "\r\n";
+  }
+  Result<ObjectDatabase> from_lf = ReadTsv(lf_path);
+  Result<ObjectDatabase> from_crlf = ReadTsv(crlf_path);
+  ASSERT_TRUE(from_lf.ok());
+  ASSERT_TRUE(from_crlf.ok()) << from_crlf.status().ToString();
+  const ObjectDatabase& a = from_lf.value();
+  const ObjectDatabase& b = from_crlf.value();
+  ASSERT_EQ(a.num_objects(), b.num_objects());
+  ASSERT_EQ(a.num_users(), b.num_users());
+  for (ObjectId i = 0; i < a.num_objects(); ++i) {
+    EXPECT_EQ(a.object(i).loc, b.object(i).loc);
+    // Identical file contents build identical dictionaries, so token ids
+    // are directly comparable.
+    const TokenVector da(a.object(i).doc.begin(), a.object(i).doc.end());
+    const TokenVector db(b.object(i).doc.begin(), b.object(i).doc.end());
+    EXPECT_EQ(da, db);
+    EXPECT_DOUBLE_EQ(a.object(i).time, b.object(i).time);
+  }
+  std::remove(lf_path.c_str());
+  std::remove(crlf_path.c_str());
+}
+
 }  // namespace
 }  // namespace stps

@@ -50,7 +50,17 @@ TEST(RectTest, IntersectionAndExpansion) {
 
 TEST(RectTest, ExtendedGrowsAllSides) {
   const Rect r{1, 2, 3, 4};
-  EXPECT_EQ(r.Extended(0.5), (Rect{0.5, 1.5, 3.5, 4.5}));
+  const Rect e = r.Extended(0.5);
+  EXPECT_DOUBLE_EQ(e.min_x, 0.5);
+  EXPECT_DOUBLE_EQ(e.min_y, 1.5);
+  EXPECT_DOUBLE_EQ(e.max_x, 3.5);
+  EXPECT_DOUBLE_EQ(e.max_y, 4.5);
+  // Extended is a filter box: it must round outward, never inward, so the
+  // box provably covers every point within `margin` of the rectangle.
+  EXPECT_LE(e.min_x, 1.0 - 0.5);
+  EXPECT_LE(e.min_y, 2.0 - 0.5);
+  EXPECT_GE(e.max_x, 3.0 + 0.5);
+  EXPECT_GE(e.max_y, 4.0 + 0.5);
 }
 
 TEST(RectTest, AreaAndEnlargement) {

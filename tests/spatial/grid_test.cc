@@ -1,6 +1,7 @@
 #include "spatial/grid.h"
 
 #include <algorithm>
+#include <cstdlib>
 #include <map>
 #include <set>
 #include <vector>
@@ -109,6 +110,103 @@ TEST(GridGeometryTest, ParityTraversalCoversEachAdjacentPairExactlyOnce) {
     }
   }
   EXPECT_TRUE(covered.empty()) << "non-adjacent pairs were joined";
+}
+
+TEST(GridGeometryTest, BoundaryPointsAreAssignedTheLowerCell) {
+  // The cell extent is inflated by a few ULPs (see grid.cc), so a point
+  // sitting exactly on an interior cell boundary divides to strictly less
+  // than the integer index and lands in the lower cell.
+  const GridGeometry grid({0, 0, 5, 4}, 1.0);
+  EXPECT_EQ(grid.CellOf({1.0, 0.5}), grid.IdOf(0, 0));
+  EXPECT_EQ(grid.CellOf({0.5, 1.0}), grid.IdOf(0, 0));
+  EXPECT_EQ(grid.CellOf({2.0, 2.0}), grid.IdOf(1, 1));
+  EXPECT_EQ(grid.CellOf({4.0, 3.0}), grid.IdOf(3, 2));
+}
+
+TEST(GridGeometryTest, OneCellGrids) {
+  // Domain no larger than a single cell: every query degenerates to cell 0.
+  for (const Rect bounds :
+       {Rect{0, 0, 0.5, 0.5}, Rect{2, 3, 2, 3} /* single point */}) {
+    const GridGeometry grid(bounds, 1.0);
+    EXPECT_EQ(grid.columns(), 1);
+    EXPECT_EQ(grid.rows(), 1);
+    EXPECT_EQ(grid.CellOf({bounds.min_x, bounds.min_y}), 0);
+    EXPECT_EQ(grid.CellOf({bounds.max_x, bounds.max_y}), 0);
+    std::vector<CellId> n;
+    grid.AppendNeighborhood(0, true, &n);
+    EXPECT_EQ(n, (std::vector<CellId>{0}));
+    n.clear();
+    grid.AppendNeighborhood(0, false, &n);
+    EXPECT_TRUE(n.empty());
+    n.clear();
+    grid.AppendLowerNeighbors(0, &n);
+    EXPECT_TRUE(n.empty());
+    n.clear();
+    grid.AppendOddRowNeighbors(0, &n);
+    EXPECT_EQ(n, (std::vector<CellId>{0}));  // self only
+    n.clear();
+    grid.AppendEvenRowNeighbors(0, &n);
+    EXPECT_EQ(n, (std::vector<CellId>{0}));
+  }
+}
+
+TEST(GridGeometryTest, LowerNeighborsClipOnEveryBorder) {
+  const GridGeometry grid({0, 0, 5, 5}, 1.0);
+  std::vector<CellId> n;
+  // Bottom row, interior column: only W survives.
+  grid.AppendLowerNeighbors(grid.IdOf(2, 0), &n);
+  EXPECT_EQ(n, (std::vector<CellId>{grid.IdOf(1, 0)}));
+  // Bottom-right corner: only W.
+  n.clear();
+  grid.AppendLowerNeighbors(grid.IdOf(4, 0), &n);
+  EXPECT_EQ(n, (std::vector<CellId>{grid.IdOf(3, 0)}));
+  // Left column, interior row: S and SE, no W/SW.
+  n.clear();
+  grid.AppendLowerNeighbors(grid.IdOf(0, 2), &n);
+  EXPECT_EQ(n, (std::vector<CellId>{grid.IdOf(0, 1), grid.IdOf(1, 1)}));
+  // Right column, interior row: SW, S, W — no SE.
+  n.clear();
+  grid.AppendLowerNeighbors(grid.IdOf(4, 2), &n);
+  EXPECT_EQ(n, (std::vector<CellId>{grid.IdOf(3, 1), grid.IdOf(4, 1),
+                                    grid.IdOf(3, 2)}));
+  // Top-left corner: S and SE.
+  n.clear();
+  grid.AppendLowerNeighbors(grid.IdOf(0, 4), &n);
+  EXPECT_EQ(n, (std::vector<CellId>{grid.IdOf(0, 3), grid.IdOf(1, 3)}));
+}
+
+// Filter soundness: any two points within cell_size of each other must land
+// in the same or adjacent cells, including points exactly on cell
+// boundaries and domains whose offset magnitude makes the per-cell division
+// inexact. This is the property the conservative cell inflation exists for;
+// without it, a pair at distance exactly cell_size straddling a boundary
+// can end up two columns apart and every grid join silently drops it.
+TEST(GridGeometryTest, AdjacencyIsSoundForPairsWithinCellSize) {
+  const double cell = 0.1;  // not a power of two: division is inexact
+  for (const double offset : {0.0, 1000.0, -777.7}) {
+    const Rect bounds{offset, offset, offset + 10.0, offset + 10.0};
+    const GridGeometry grid(bounds, cell);
+    std::vector<Point> pts;
+    // Adversarial placement: points exactly on multiples of cell_size
+    // from the domain minimum, plus half-cell offsets.
+    for (int i = 0; i < 40; ++i) {
+      const double x = offset + cell * static_cast<double>(i);
+      pts.push_back({x, offset});
+      pts.push_back({x, offset + cell * 0.5});
+      pts.push_back({offset, x});
+    }
+    for (size_t i = 0; i < pts.size(); ++i) {
+      for (size_t j = i + 1; j < pts.size(); ++j) {
+        if (!WithinDistance(pts[i], pts[j], cell)) continue;
+        const CellId ci = grid.CellOf(pts[i]);
+        const CellId cj = grid.CellOf(pts[j]);
+        EXPECT_LE(std::abs(grid.ColumnOf(ci) - grid.ColumnOf(cj)), 1)
+            << "offset=" << offset << " i=" << i << " j=" << j;
+        EXPECT_LE(std::abs(grid.RowOf(ci) - grid.RowOf(cj)), 1)
+            << "offset=" << offset << " i=" << i << " j=" << j;
+      }
+    }
+  }
 }
 
 TEST(GridGeometryTest, SingleRowAndSingleColumnGrids) {

@@ -25,8 +25,13 @@ TEST(SimilarityBoundsTest, SizeBoundsKnownValues) {
 }
 
 TEST(SimilarityBoundsTest, PrefixLengthKnownValues) {
-  // |x|=5, t=0.8: keep ceil(4)=4, prefix = 5-4+1 = 2.
-  EXPECT_EQ(PrefixLengthForJaccard(5, 0.8), 2u);
+  // |x|=5, t=0.8: the double 0.8 is strictly greater than the rational 4/5
+  // (0.8 rounds up in binary), so a match must keep all 5 tokens and a
+  // single-token prefix is sound. The rounded-arithmetic answer (keep
+  // ceil(0.8*5)=4, prefix 2) was conservative but not tight.
+  EXPECT_EQ(PrefixLengthForJaccard(5, 0.8), 1u);
+  // A representable threshold behaves classically: keep ceil(0.75*5)=4.
+  EXPECT_EQ(PrefixLengthForJaccard(5, 0.75), 2u);
   // t -> 1 leaves a single-token prefix.
   EXPECT_EQ(PrefixLengthForJaccard(7, 1.0), 1u);
   EXPECT_EQ(PrefixLengthForJaccard(0, 0.5), 0u);

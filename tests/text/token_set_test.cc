@@ -88,8 +88,14 @@ TEST(TokenSetTest, JaccardAtLeastEdgeCases) {
   EXPECT_TRUE(JaccardAtLeast(TV{}, TV{}, 0.0));
 }
 
-// Property sweep: JaccardAtLeast must agree with the direct computation
-// for random sets across thresholds, including borderline values.
+// Property sweep: JaccardAtLeast must agree with the exact rational
+// comparison overlap/union >= threshold for random sets across thresholds,
+// including borderline values. The oracle divides in long double: with
+// union <= 16, any rational o/u distinct from the 53-bit threshold differs
+// from it by at least 1/(16 * 2^52) ~ 2^-56, far above the 2^-64 rounding
+// error of the 64-bit-mantissa division, so the comparison is error-free.
+// (A double-division oracle would be wrong: e.g. 1.0/10.0 rounds up to the
+// double 0.1, which is strictly greater than the rational 1/10.)
 class JaccardPropertyTest : public ::testing::TestWithParam<double> {};
 
 TEST_P(JaccardPropertyTest, PredicateMatchesDirectComputation) {
@@ -107,9 +113,14 @@ TEST_P(JaccardPropertyTest, PredicateMatchesDirectComputation) {
     }
     NormalizeTokenSet(&a);
     NormalizeTokenSet(&b);
-    const bool expected = Jaccard(a, b) >= threshold;
+    const size_t overlap = OverlapSize(a, b);
+    const size_t unions = a.size() + b.size() - overlap;
+    const bool expected =
+        unions > 0 && static_cast<long double>(overlap) / unions >=
+                          static_cast<long double>(threshold);
     EXPECT_EQ(JaccardAtLeast(a, b, threshold), expected)
-        << "threshold=" << threshold;
+        << "threshold=" << threshold << " overlap=" << overlap
+        << " union=" << unions;
   }
 }
 
