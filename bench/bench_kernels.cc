@@ -9,10 +9,14 @@
 // "low" rows approximate the low-similarity regime where the signature
 // gate pays off and "high" rows bound its overhead when most pairs match.
 //
-// Usage: bench_kernels [output.json]   (default BENCH_kernels.json)
+// Usage: bench_kernels [--smoke] [output.json]   (default BENCH_kernels.json)
+// --smoke shrinks the token budget and repeat count to a seconds-long run
+// for CI smoke checks; its timings are cache-resident and not comparable
+// to a committed full-scale baseline.
 
 #include <cinttypes>
 #include <cstdio>
+#include <cstring>
 #include <string>
 #include <vector>
 
@@ -173,12 +177,20 @@ int main(int argc, char** argv) {
   using namespace stps;
   using namespace stps::bench;
 
-  const std::string out_path = argc > 1 ? argv[1] : "BENCH_kernels.json";
+  bool smoke = false;
+  std::string out_path = "BENCH_kernels.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
   // ~64 MB of token data per workload: far past the LLC, so each pass
   // pays real memory traffic (the verification stage of a large join is
   // exactly such a cold sweep over the CSR arena).
-  constexpr size_t kTokenBudget = 16u << 20;
-  constexpr int kRepeats = 5;
+  const size_t kTokenBudget = smoke ? (256u << 10) : (16u << 20);
+  const int kRepeats = smoke ? 1 : 5;
 
   struct Row {
     size_t base;

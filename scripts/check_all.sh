@@ -12,6 +12,23 @@ cmake -B "$ROOT/build" -S "$ROOT"
 cmake --build "$ROOT/build" -j
 (cd "$ROOT/build" && ctest --output-on-failure)
 
+echo "=== bench smoke: tiny-scale runs + baseline sanity ==="
+# --smoke runs prove the drivers execute and their internal checksums
+# agree; the compare step keeps the committed baselines parseable and
+# holds the spatial bench to its acceptance floor. Full-scale regression
+# diffs (old vs new artifact, >10% gate) are run when regenerating:
+#   scripts/compare_bench.py BENCH_spatial.json /tmp/new.json
+SMOKE_DIR="$(mktemp -d)"
+trap 'rm -rf "$SMOKE_DIR"' EXIT
+cmake --build "$ROOT/build" -j --target bench_spatial bench_kernels
+"$ROOT/build/bench/bench_spatial" --smoke "$SMOKE_DIR/spatial.json"
+"$ROOT/build/bench/bench_kernels" --smoke "$SMOKE_DIR/kernels.json"
+python3 "$ROOT/scripts/compare_bench.py" --require 'high_density_speedup>=1.5' \
+    "$ROOT/BENCH_spatial.json" "$ROOT/BENCH_spatial.json"
+python3 "$ROOT/scripts/compare_bench.py" \
+    --require 'low_similarity_workload_speedup>=1.0' \
+    "$ROOT/BENCH_kernels.json" "$ROOT/BENCH_kernels.json"
+
 echo "=== ASan + UBSan ==="
 "$ROOT/scripts/run_asan_tests.sh" "$ROOT/build-asan"
 

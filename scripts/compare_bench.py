@@ -1,0 +1,158 @@
+#!/usr/bin/env python3
+"""Diff two BENCH_*.json files and fail on regressions of named series.
+
+Usage:
+  compare_bench.py [--threshold 0.10] [--require EXPR ...] BASELINE NEW
+
+Compares the benchmark artifacts the drivers in bench/ emit (an object
+with a "rows" list plus top-level summary series). Two kinds of series
+are checked:
+
+  * top-level numeric fields ending in "_speedup" (higher is better):
+    NEW must not fall more than `threshold` below BASELINE;
+  * per-row timing fields ending in "_ns" or "_ms" (lower is better),
+    matched by the row's identity keys (every non-measurement field):
+    NEW must not exceed BASELINE by more than `threshold`.
+
+Rows present in only one file are reported and ignored (sweeps may grow).
+--require asserts a floor on a top-level field of NEW independent of the
+baseline, e.g. --require high_density_speedup>=1.5 — used by the CI smoke
+stage to keep a committed baseline honest.
+
+Exit status: 0 = no regression, 1 = regression or failed requirement,
+2 = usage/parse error. Stdlib only.
+"""
+
+import argparse
+import json
+import re
+import sys
+
+MEASUREMENT_SUFFIXES = ("_ns", "_ms", "_speedup")
+MEASUREMENT_FIELDS = frozenset(
+    {"matches", "signature_rejections", "scanned", "pairs", "probes",
+     "speedup"}
+)
+
+
+def is_measurement(key):
+    return key.endswith(MEASUREMENT_SUFFIXES) or key in MEASUREMENT_FIELDS
+
+
+def row_identity(row):
+    return tuple(
+        sorted((k, v) for k, v in row.items() if not is_measurement(k))
+    )
+
+
+def fmt_identity(identity):
+    return " ".join(f"{k}={v}" for k, v in identity)
+
+
+def load(path):
+    try:
+        with open(path) as f:
+            return json.load(f)
+    except (OSError, json.JSONDecodeError) as e:
+        print(f"error: cannot read {path}: {e}", file=sys.stderr)
+        sys.exit(2)
+
+
+def compare_rows(base_rows, new_rows, threshold):
+    regressions = []
+    new_by_id = {row_identity(r): r for r in new_rows}
+    base_by_id = {row_identity(r): r for r in base_rows}
+    for identity, base in base_by_id.items():
+        new = new_by_id.get(identity)
+        if new is None:
+            print(f"  note: row dropped in NEW: {fmt_identity(identity)}")
+            continue
+        for key, base_value in base.items():
+            if not key.endswith(("_ns", "_ms")):
+                continue
+            new_value = new.get(key)
+            if not isinstance(new_value, (int, float)) or base_value <= 0:
+                continue
+            ratio = new_value / base_value
+            if ratio > 1.0 + threshold:
+                regressions.append(
+                    f"{key} {base_value:g} -> {new_value:g} "
+                    f"({(ratio - 1.0) * 100:+.1f}%) at {fmt_identity(identity)}"
+                )
+    for identity in new_by_id.keys() - base_by_id.keys():
+        print(f"  note: new row not in BASELINE: {fmt_identity(identity)}")
+    return regressions
+
+
+def compare_summaries(base, new, threshold):
+    regressions = []
+    for key, base_value in base.items():
+        if not key.endswith("_speedup"):
+            continue
+        if not isinstance(base_value, (int, float)) or base_value <= 0:
+            continue
+        new_value = new.get(key)
+        if not isinstance(new_value, (int, float)):
+            print(f"  note: summary series dropped in NEW: {key}")
+            continue
+        ratio = new_value / base_value
+        if ratio < 1.0 - threshold:
+            regressions.append(
+                f"{key} {base_value:g} -> {new_value:g} "
+                f"({(ratio - 1.0) * 100:+.1f}%)"
+            )
+    return regressions
+
+
+def check_requirements(new, requirements):
+    failures = []
+    for expr in requirements:
+        m = re.fullmatch(r"\s*([\w.]+)\s*(>=|<=)\s*([-+0-9.eE]+)\s*", expr)
+        if m is None:
+            print(f"error: cannot parse requirement {expr!r}", file=sys.stderr)
+            sys.exit(2)
+        key, op, bound = m.group(1), m.group(2), float(m.group(3))
+        value = new.get(key)
+        if not isinstance(value, (int, float)):
+            failures.append(f"{key} missing from NEW (required {op} {bound:g})")
+        elif (op == ">=" and value < bound) or (op == "<=" and value > bound):
+            failures.append(f"{key} = {value:g}, required {op} {bound:g}")
+    return failures
+
+
+def main():
+    parser = argparse.ArgumentParser(
+        description=__doc__, formatter_class=argparse.RawDescriptionHelpFormatter
+    )
+    parser.add_argument("--threshold", type=float, default=0.10,
+                        help="allowed relative change (default 0.10)")
+    parser.add_argument("--require", action="append", default=[],
+                        metavar="EXPR",
+                        help="floor on a top-level field of NEW, "
+                             "e.g. high_density_speedup>=1.5")
+    parser.add_argument("baseline")
+    parser.add_argument("new")
+    args = parser.parse_args()
+
+    base = load(args.baseline)
+    new = load(args.new)
+    print(f"comparing {args.baseline} -> {args.new} "
+          f"(threshold {args.threshold:.0%})")
+
+    regressions = compare_rows(base.get("rows", []), new.get("rows", []),
+                               args.threshold)
+    regressions += compare_summaries(base, new, args.threshold)
+    failures = check_requirements(new, args.require)
+
+    for r in regressions:
+        print(f"  REGRESSION: {r}")
+    for f in failures:
+        print(f"  REQUIREMENT FAILED: {f}")
+    if regressions or failures:
+        return 1
+    print("  ok: no regression beyond threshold")
+    return 0
+
+
+if __name__ == "__main__":
+    sys.exit(main())

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "spatial/batch.h"
 #include "text/token_set.h"
 
 namespace stps {
@@ -62,47 +63,73 @@ ObjectDatabase DatabaseBuilder::Build() && {
   db.user_names_ = std::move(user_names_);
 
   const size_t num_users = db.user_names_.size();
-  // Group objects per user with a counting sort (stable within a user).
+  const size_t n = objects_.size();
+  // Bounds first: the Z-order keys quantize against them.
+  for (const PendingObject& o : objects_) db.bounds_.ExpandToInclude(o.loc);
+
+  // Per-user slot ranges (users keep their dense-id order).
   std::vector<uint32_t> counts(num_users, 0);
   for (const PendingObject& o : objects_) ++counts[o.user];
   db.user_begin_.assign(num_users + 1, 0);
   for (size_t u = 0; u < num_users; ++u) {
     db.user_begin_[u + 1] = db.user_begin_[u] + counts[u];
   }
-  db.objects_.resize(objects_.size());
-  std::vector<uint32_t> cursor(db.user_begin_.begin(),
-                               db.user_begin_.end() - 1);
-  // Pass 1: assign each object its slot in the user-grouped order and
-  // remap its tokens into the frequency order (Remap re-sorts, keeping the
-  // set canonical), then size the CSR arena with a prefix sum over slots.
-  std::vector<uint32_t> slots(objects_.size());
-  db.token_begin_.assign(objects_.size() + 1, 0);
-  for (size_t k = 0; k < objects_.size(); ++k) {
-    PendingObject& o = objects_[k];
-    const uint32_t slot = cursor[o.user]++;
-    slots[k] = slot;
+
+  // Physical slot order: (user, Morton key), stable so equal-key objects
+  // keep their insertion order. `order[slot]` is the AddObject sequence
+  // number landing in that slot — the permutation table we also publish.
+  std::vector<uint64_t> zkey(n);
+  for (size_t k = 0; k < n; ++k) {
+    zkey[k] = ZOrderKey(db.bounds_, objects_[k].loc);
+  }
+  std::vector<uint32_t> order(n);
+  std::iota(order.begin(), order.end(), 0u);
+  std::stable_sort(order.begin(), order.end(),
+                   [this, &zkey](uint32_t a, uint32_t b) {
+                     if (objects_[a].user != objects_[b].user) {
+                       return objects_[a].user < objects_[b].user;
+                     }
+                     return zkey[a] < zkey[b];
+                   });
+
+  // Pass 1: walk the slots in order, remap each object's tokens into the
+  // frequency order (Remap re-sorts, keeping the set canonical), and size
+  // the CSR arena with a prefix sum over slots.
+  db.token_begin_.assign(n + 1, 0);
+  for (size_t slot = 0; slot < n; ++slot) {
+    PendingObject& o = objects_[order[slot]];
     Dictionary::Remap(permutation, &o.tokens);
     db.token_begin_[slot + 1] = static_cast<uint32_t>(o.tokens.size());
   }
-  for (size_t i = 0; i < objects_.size(); ++i) {
+  for (size_t i = 0; i < n; ++i) {
     db.token_begin_[i + 1] += db.token_begin_[i];
   }
   db.token_data_.resize(db.token_begin_.back());
-  // Pass 2: copy tokens into the arena and point every object's doc span
-  // (plus its bitmap signature) at its contiguous run.
-  for (size_t k = 0; k < objects_.size(); ++k) {
-    PendingObject& o = objects_[k];
-    const uint32_t slot = slots[k];
+
+  // Pass 2: copy tokens into the arena, point every object's doc span
+  // (plus its bitmap signature) at its contiguous run, and mirror the
+  // slot into the SoA arrays the batch kernels stream.
+  db.objects_.resize(n);
+  db.xs_.resize(n);
+  db.ys_.resize(n);
+  db.users_.resize(n);
+  db.sigs_.resize(n);
+  for (size_t slot = 0; slot < n; ++slot) {
+    PendingObject& o = objects_[order[slot]];
     STObject& out = db.objects_[slot];
-    out.id = slot;
+    out.id = static_cast<ObjectId>(slot);
     out.user = o.user;
     out.loc = o.loc;
     out.time = o.time;
     std::copy(o.tokens.begin(), o.tokens.end(),
               db.token_data_.begin() + db.token_begin_[slot]);
     out.set_doc(db.ObjectTokens(slot));
-    db.bounds_.ExpandToInclude(out.loc);
+    db.xs_[slot] = o.loc.x;
+    db.ys_[slot] = o.loc.y;
+    db.users_[slot] = o.user;
+    db.sigs_[slot] = out.sig;
   }
+  db.insertion_order_ = std::move(order);
   objects_.clear();
   return db;
 }

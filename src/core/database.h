@@ -31,6 +31,17 @@ namespace stps {
 /// tokens in another. The database is move-only: moving a std::vector
 /// keeps its heap buffer, so the spans survive; copying would leave them
 /// dangling into the source.
+///
+/// Physical order is (user, Z-order): within each user's run, objects are
+/// sorted by the Morton key of their quantized coordinates (ties keep
+/// insertion order), so spatially adjacent objects sit in adjacent slots
+/// and the grid cell ranges over them are contiguous. Alongside the AoS
+/// `objects_`, the same slot order is mirrored into SoA arrays (`xs_`,
+/// `ys_`, `users_`, `sigs_`) that the batched spatial kernels
+/// (spatial/batch.h) stream without touching STObject records.
+/// ObjectIds are still physical slots; `insertion_order()` maps a slot
+/// back to its AddObject sequence number, so external consumers can
+/// recover the original input order.
 class ObjectDatabase {
  public:
   ObjectDatabase() = default;
@@ -98,6 +109,20 @@ class ObjectDatabase {
   /// Bounding rectangle of all object locations.
   const Rect& bounds() const { return bounds_; }
 
+  /// SoA mirrors of the object slots (same indexing as AllObjects()):
+  /// xs()[i] == object(i).loc.x etc. The batch kernels stream these.
+  std::span<const double> xs() const { return xs_; }
+  std::span<const double> ys() const { return ys_; }
+  std::span<const UserId> users() const { return users_; }
+  std::span<const TokenSignature> sigs() const { return sigs_; }
+
+  /// Permutation table of the Z-order layout: insertion_order()[slot] is
+  /// the 0-based AddObject sequence number of the object now stored in
+  /// `slot`. Reported ObjectIds are slots; this recovers the input order.
+  std::span<const uint32_t> insertion_order() const {
+    return insertion_order_;
+  }
+
   /// The token dictionary (finalized by frequency). Token ids stored in
   /// objects index into it.
   const Dictionary& dictionary() const { return dictionary_; }
@@ -109,6 +134,11 @@ class ObjectDatabase {
   std::vector<uint32_t> user_begin_;  // size num_users() + 1
   std::vector<TokenId> token_data_;   // CSR token arena, grouped like objects_
   std::vector<uint32_t> token_begin_;  // size num_objects() + 1
+  std::vector<double> xs_;            // SoA mirrors, slot-indexed
+  std::vector<double> ys_;
+  std::vector<UserId> users_;
+  std::vector<TokenSignature> sigs_;
+  std::vector<uint32_t> insertion_order_;  // slot -> AddObject sequence
   std::vector<std::string> user_names_;
   Rect bounds_ = Rect::Empty();
   Dictionary dictionary_;

@@ -25,6 +25,14 @@
 //  * signature_rejections  — object-level Jaccard tests resolved by the
 //                            64-bit bitmap signature bound alone, without
 //                            touching either token list (text/intersect.h).
+//  * batch_distance_calls  — probe invocations of the batched eps_loc
+//                            kernels (spatial/batch.h): one per (probe
+//                            object, cell block) pair.
+//  * batch_lanes_filled    — candidate distances evaluated by those
+//                            invocations (sum of block sizes); divided by
+//                            batch_distance_calls this is the average
+//                            batch width, the measure of how much the
+//                            SoA layout actually amortises.
 //  * matches_found         — result pairs (for top-k: the final k).
 //
 // Invariants (asserted by the consistency fuzz suite):
@@ -49,6 +57,8 @@ struct JoinStats {
   uint64_t pairs_verified = 0;
   uint64_t refine_early_stops = 0;
   uint64_t signature_rejections = 0;
+  uint64_t batch_distance_calls = 0;
+  uint64_t batch_lanes_filled = 0;
   uint64_t matches_found = 0;
 
   /// Sums another accumulator into this one (worker merge).
@@ -61,6 +71,8 @@ struct JoinStats {
     pairs_verified += o.pairs_verified;
     refine_early_stops += o.refine_early_stops;
     signature_rejections += o.signature_rejections;
+    batch_distance_calls += o.batch_distance_calls;
+    batch_lanes_filled += o.batch_lanes_filled;
     matches_found += o.matches_found;
   }
 
@@ -73,16 +85,19 @@ struct JoinStats {
            x.pairs_verified == y.pairs_verified &&
            x.refine_early_stops == y.refine_early_stops &&
            x.signature_rejections == y.signature_rejections &&
+           x.batch_distance_calls == y.batch_distance_calls &&
+           x.batch_lanes_filled == y.batch_lanes_filled &&
            x.matches_found == y.matches_found;
   }
 };
 
 /// One-line rendering for bench / log output.
 inline std::string FormatJoinStats(const JoinStats& s) {
-  char buf[256];
+  char buf[384];
   std::snprintf(buf, sizeof(buf),
                 "cells=%llu prunedS/T/C=%llu/%llu/%llu cand=%llu "
-                "verified=%llu earlystop=%llu sigrej=%llu matches=%llu",
+                "verified=%llu earlystop=%llu sigrej=%llu batch=%llu/%llu "
+                "matches=%llu",
                 static_cast<unsigned long long>(s.cells_visited),
                 static_cast<unsigned long long>(s.pairs_pruned_spatial),
                 static_cast<unsigned long long>(s.pairs_pruned_textual),
@@ -91,6 +106,8 @@ inline std::string FormatJoinStats(const JoinStats& s) {
                 static_cast<unsigned long long>(s.pairs_verified),
                 static_cast<unsigned long long>(s.refine_early_stops),
                 static_cast<unsigned long long>(s.signature_rejections),
+                static_cast<unsigned long long>(s.batch_distance_calls),
+                static_cast<unsigned long long>(s.batch_lanes_filled),
                 static_cast<unsigned long long>(s.matches_found));
   return buf;
 }

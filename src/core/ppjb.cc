@@ -1,6 +1,7 @@
 #include "core/ppjb.h"
 
 #include <algorithm>
+#include <utility>
 #include <vector>
 
 #include "common/predicates.h"
@@ -31,12 +32,30 @@ PairScratch& LocalScratch() {
   return scratch;
 }
 
+// Warms the cache lines of the next merged cell's coordinate blocks while
+// the current cell is being joined — the traversal order is known, so the
+// streamed SoA reads of the batch kernel rarely miss.
+inline void PrefetchMerged(const UserLayout& cu, const UserLayout& cv,
+                           const std::vector<MergedPartition>& merged,
+                           size_t idx) {
+  if (idx + 1 >= merged.size()) return;
+  const MergedPartition& next = merged[idx + 1];
+  if (next.u != nullptr) {
+    __builtin_prefetch(cu.xs.data() + next.u->begin);
+    __builtin_prefetch(cu.ys.data() + next.u->begin);
+  }
+  if (next.v != nullptr) {
+    __builtin_prefetch(cv.xs.data() + next.v->begin);
+    __builtin_prefetch(cv.ys.data() + next.v->begin);
+  }
+}
+
 }  // namespace
 
-double PPJCPair(const UserPartitionList& cu, size_t nu,
-                const UserPartitionList& cv, size_t nv,
-                const GridGeometry& grid, const MatchThresholds& t,
-                JoinStats* stats, size_t* matched_out) {
+double PPJCPair(const UserLayout& cu, size_t nu, const UserLayout& cv,
+                size_t nv, const GridGeometry& grid,
+                const MatchThresholds& t, JoinStats* stats,
+                size_t* matched_out) {
   if (matched_out != nullptr) *matched_out = 0;
   if (nu + nv == 0) return 0.0;
   PairScratch& scratch = LocalScratch();
@@ -48,30 +67,35 @@ double PPJCPair(const UserPartitionList& cu, size_t nu,
   std::vector<CellId>& neighbors = scratch.neighbors;
   neighbors.reserve(9);  // 3x3 neighbourhood
   MergePartitionLists(cu, cv, &scratch.merged);
-  for (const MergedPartition& cell : scratch.merged) {
+  const std::vector<MergedPartition>& merged = scratch.merged;
+  for (size_t idx = 0; idx < merged.size(); ++idx) {
+    const MergedPartition& cell = merged[idx];
+    PrefetchMerged(cu, cv, merged, idx);
     if (stats != nullptr) ++stats->cells_visited;
     neighbors.clear();
     grid.AppendNeighborhood(cell.id, /*include_self=*/true, &neighbors);
     if (cell.u != nullptr) {
+      const CellBlock bu = BlockOf(cu, cell.u);
       // Join Du_c with Dv_n for every adjacent n with id >= c.
       for (const CellId n : neighbors) {
         if (n < cell.id) continue;
         const UserPartition* pv =
             n == cell.id ? cell.v : FindPartition(cv, n);
         if (pv == nullptr) continue;
-        matched_total += PPJCrossMark(PartitionObjects(cell.u), PartitionObjects(pv), t,
-                                      &matched_u, &matched_v, stats);
+        matched_total += PPJCrossMarkBatch(bu, BlockOf(cv, pv), t,
+                                           &matched_u, &matched_v, stats);
       }
     }
     if (cell.v != nullptr) {
+      const CellBlock bv = BlockOf(cv, cell.v);
       // Join Du_n with Dv_c for every adjacent n with id > c (the id == c
       // pair was handled above).
       for (const CellId n : neighbors) {
         if (n <= cell.id) continue;
         const UserPartition* pu = FindPartition(cu, n);
         if (pu == nullptr) continue;
-        matched_total += PPJCrossMark(PartitionObjects(pu), PartitionObjects(cell.v), t,
-                                      &matched_u, &matched_v, stats);
+        matched_total += PPJCrossMarkBatch(BlockOf(cu, pu), bv, t,
+                                           &matched_u, &matched_v, stats);
       }
     }
   }
@@ -79,10 +103,10 @@ double PPJCPair(const UserPartitionList& cu, size_t nu,
   return static_cast<double>(matched_total) / static_cast<double>(nu + nv);
 }
 
-double PPJBPair(const UserPartitionList& cu, size_t nu,
-                const UserPartitionList& cv, size_t nv,
-                const GridGeometry& grid, const MatchThresholds& t,
-                double eps_u, JoinStats* stats, size_t* matched_out) {
+double PPJBPair(const UserLayout& cu, size_t nu, const UserLayout& cv,
+                size_t nv, const GridGeometry& grid,
+                const MatchThresholds& t, double eps_u, JoinStats* stats,
+                size_t* matched_out) {
   if (matched_out != nullptr) *matched_out = 0;
   if (nu + nv == 0) return 0.0;
   const bool bounded = eps_u > 0.0;
@@ -108,6 +132,7 @@ double PPJBPair(const UserPartitionList& cu, size_t nu,
 
   for (size_t idx = 0; idx < merged.size(); ++idx) {
     const MergedPartition& cell = merged[idx];
+    PrefetchMerged(cu, cv, merged, idx);
     const int64_t row = grid.RowOf(cell.id);
     if (row != current_row) {
       // The previous row is complete. Every object seen so far has had all
@@ -139,8 +164,9 @@ double PPJBPair(const UserPartitionList& cu, size_t nu,
     for (const CellId n : neighbors) {
       if (n == cell.id) {
         if (cell.u != nullptr && cell.v != nullptr) {
-          matched_total += PPJCrossMark(PartitionObjects(cell.u), PartitionObjects(cell.v), t,
-                                        &matched_u, &matched_v, stats);
+          matched_total +=
+              PPJCrossMarkBatch(BlockOf(cu, cell.u), BlockOf(cv, cell.v), t,
+                                &matched_u, &matched_v, stats);
         }
         continue;
       }
@@ -149,15 +175,17 @@ double PPJBPair(const UserPartitionList& cu, size_t nu,
       if (cell.u != nullptr) {
         const UserPartition* pv = FindPartition(cv, n);
         if (pv != nullptr) {
-          matched_total += PPJCrossMark(PartitionObjects(cell.u), PartitionObjects(pv), t,
-                                        &matched_u, &matched_v, stats);
+          matched_total +=
+              PPJCrossMarkBatch(BlockOf(cu, cell.u), BlockOf(cv, pv), t,
+                                &matched_u, &matched_v, stats);
         }
       }
       if (cell.v != nullptr) {
         const UserPartition* pu = FindPartition(cu, n);
         if (pu != nullptr) {
-          matched_total += PPJCrossMark(PartitionObjects(pu), PartitionObjects(cell.v), t,
-                                        &matched_u, &matched_v, stats);
+          matched_total +=
+              PPJCrossMarkBatch(BlockOf(cu, pu), BlockOf(cv, cell.v), t,
+                                &matched_u, &matched_v, stats);
         }
       }
     }
@@ -176,23 +204,20 @@ double PairSigma(std::span<const STObject> du, std::span<const STObject> dv,
   const GridGeometry grid(bounds, t.eps_loc);
 
   const auto build = [&grid](std::span<const STObject> objects) {
-    std::vector<std::pair<CellId, uint32_t>> keyed;
+    std::vector<std::pair<int64_t, ObjectRef>> keyed;
     keyed.reserve(objects.size());
     for (uint32_t i = 0; i < objects.size(); ++i) {
-      keyed.emplace_back(grid.CellOf(objects[i].loc), i);
+      keyed.emplace_back(grid.CellOf(objects[i].loc),
+                         ObjectRef{&objects[i], i});
     }
-    std::sort(keyed.begin(), keyed.end());
-    UserPartitionList list;
-    for (const auto& [cell, local] : keyed) {
-      if (list.empty() || list.back().id != cell) {
-        list.push_back(UserPartition{cell, {}});
-      }
-      list.back().objects.push_back(ObjectRef{&objects[local], local});
-    }
-    return list;
+    std::stable_sort(keyed.begin(), keyed.end(),
+                     [](const auto& a, const auto& b) {
+                       return a.first < b.first;
+                     });
+    return MakeUserLayout(keyed);
   };
-  const UserPartitionList cu = build(du);
-  const UserPartitionList cv = build(dv);
+  const UserLayout cu = build(du);
+  const UserLayout cv = build(dv);
   return PPJCPair(cu, du.size(), cv, dv.size(), grid, t, nullptr,
                   matched_out);
 }

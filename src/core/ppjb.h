@@ -29,23 +29,24 @@
 namespace stps {
 
 /// Exact sigma via the PPJ-C cell traversal.
-/// `cu` / `cv` are the users' sorted cell lists; `nu` / `nv` = |Du| / |Dv|.
-/// `stats` (optional) accrues cells_visited for the merged traversal.
-double PPJCPair(const UserPartitionList& cu, size_t nu,
-                const UserPartitionList& cv, size_t nv,
-                const GridGeometry& grid, const MatchThresholds& t,
-                JoinStats* stats = nullptr, size_t* matched_out = nullptr);
+/// `cu` / `cv` are the users' CSR cell layouts; `nu` / `nv` = |Du| / |Dv|.
+/// Cell-vs-cell joins run through the batched SoA mark kernel
+/// (PPJCrossMarkBatch). `stats` (optional) accrues cells_visited for the
+/// merged traversal plus the batch kernel counters.
+double PPJCPair(const UserLayout& cu, size_t nu, const UserLayout& cv,
+                size_t nv, const GridGeometry& grid,
+                const MatchThresholds& t, JoinStats* stats = nullptr,
+                size_t* matched_out = nullptr);
 
 /// Sigma via the PPJ-B traversal with early termination at threshold
 /// eps_u. Returns the exact sigma whenever sigma >= eps_u; returns 0 as
 /// soon as the unmatched-object bound proves sigma < eps_u. With
 /// eps_u <= 0 it is always exact. `stats` (optional) accrues
-/// cells_visited and refine_early_stops.
-double PPJBPair(const UserPartitionList& cu, size_t nu,
-                const UserPartitionList& cv, size_t nv,
-                const GridGeometry& grid, const MatchThresholds& t,
-                double eps_u, JoinStats* stats = nullptr,
-                size_t* matched_out = nullptr);
+/// cells_visited and refine_early_stops plus the batch kernel counters.
+double PPJBPair(const UserLayout& cu, size_t nu, const UserLayout& cv,
+                size_t nv, const GridGeometry& grid,
+                const MatchThresholds& t, double eps_u,
+                JoinStats* stats = nullptr, size_t* matched_out = nullptr);
 
 /// Convenience: exact sigma for two raw object sets, building the
 /// per-pair cell lists on the fly (used by the threshold auto-tuner to

@@ -68,6 +68,12 @@ LeafPartitionIndex::LeafPartitionIndex(const ObjectDatabase& db,
   leaf_users_.resize(num_parts);
   token_users_.resize(num_parts);
 
+  // (leaf ordinal, ref) pairs per user, appended leaf by leaf so every
+  // list stays ordinal-sorted; turned into CSR layouts once all leaves
+  // are in (the spans must point at the final flat arrays).
+  std::vector<std::vector<std::pair<int64_t, ObjectRef>>> keyed(
+      db.num_users());
+  TokenVector tokens;
   for (uint32_t ordinal = 0; ordinal < num_parts; ++ordinal) {
     leaf_mbrs_.push_back(parts.mbrs[ordinal]);
     extended_mbrs_.push_back(parts.mbrs[ordinal].Extended(eps_loc));
@@ -85,17 +91,20 @@ LeafPartitionIndex::LeafPartitionIndex(const ObjectDatabase& db,
     std::sort(users.begin(), users.end());
     auto& leaf_tokens = token_users_[ordinal];
     for (const UserId u : users) {
-      per_user_[u].push_back(UserPartition{ordinal, std::move(by_user[u])});
-      const TokenVector tokens = DistinctTokens(
-          std::span<const ObjectRef>(per_user_[u].back().objects));
+      const std::vector<ObjectRef>& refs = by_user[u];
+      DistinctTokens(std::span<const ObjectRef>(refs), &tokens);
       for (const TokenId t : tokens) {
         leaf_tokens[t].push_back(u);
+      }
+      for (const ObjectRef& ref : refs) {
+        keyed[u].emplace_back(ordinal, ref);
       }
     }
     leaf_users_[ordinal] = std::move(users);
   }
-  // per_user_ lists are already sorted by partition ordinal (partitions
-  // visited in ascending order).
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    per_user_[u] = MakeUserLayout(keyed[u]);
+  }
 
   // Precompute which extended partition MBRs intersect (spatial join).
   adjacency_.resize(num_parts);
@@ -117,22 +126,13 @@ const std::vector<UserId>* LeafPartitionIndex::TokenUsers(uint32_t leaf,
 
 namespace {
 
-// Copies the objects of `p` lying inside `box` into *out.
-void FilterToBox(const UserPartition* p, const Rect& box,
-                 std::vector<ObjectRef>* out) {
-  out->clear();
-  if (p == nullptr) return;
-  for (const ObjectRef& ref : p->objects) {
-    if (box.Contains(ref.object->loc)) out->push_back(ref);
-  }
-}
-
 // Earlier users (< u) sharing a relevant leaf with u, regardless of
 // tokens. The leaf-partitioning analogue of CountColocatedEarlierUsers:
 // splits the filter's prunes into spatial vs textual for JoinStats.
 size_t CountColocatedEarlierUsersD(const LeafPartitionIndex& index,
-                                   const UserPartitionList& lu, UserId u) {
-  std::vector<UserId> colocated;
+                                   const UserLayout& lu, UserId u) {
+  thread_local std::vector<UserId> colocated;
+  colocated.clear();
   for (const UserPartition& leaf : lu) {
     for (const uint32_t other :
          index.RelevantLeaves(static_cast<uint32_t>(leaf.id))) {
@@ -146,11 +146,6 @@ size_t CountColocatedEarlierUsersD(const LeafPartitionIndex& index,
   return colocated.size();
 }
 
-struct CandidateLeaves {
-  std::vector<int64_t> my_leaves;
-  std::vector<int64_t> their_leaves;
-};
-
 // One pass over probing user u: filter via the leaf-level inverted
 // lists, sigma_bar count bound, then PPJ-D refinement. Candidates are
 // restricted to earlier users so every pair is evaluated exactly once;
@@ -158,16 +153,20 @@ struct CandidateLeaves {
 void ProcessUserD(const ObjectDatabase& db, const LeafPartitionIndex& index,
                   const STPSQuery& query, const MatchThresholds& t, UserId u,
                   std::vector<ScoredUserPair>* out, JoinStats* stats) {
-  const UserPartitionList& lu = index.UserLeaves(u);
+  const UserLayout& lu = index.UserLeaves(u);
   const size_t nu = db.UserObjectCount(u);
-  std::unordered_map<UserId, CandidateLeaves> candidates;
+  // Dense epoch-stamped accumulator (user_grid.h): one per pool worker,
+  // reused across probing users with an O(1) reset instead of a map
+  // rehash, and with deterministic ascending refine order.
+  thread_local UserCandidateTable<CandidateCells> candidates;
+  candidates.BeginRound(db.num_users());
 
   // Filter: probe the distinct tokens of every leaf of u against the
   // inverted lists of the relevant leaves; only users earlier in the
   // total order are candidates (the lists are sorted ascending).
   thread_local TokenVector tokens;
   for (const UserPartition& leaf : lu) {
-    DistinctTokens(std::span<const ObjectRef>(leaf.objects), &tokens);
+    DistinctTokens(leaf.objects, &tokens);
     for (const uint32_t other :
          index.RelevantLeaves(static_cast<uint32_t>(leaf.id))) {
       if (stats != nullptr) ++stats->cells_visited;
@@ -176,15 +175,15 @@ void ProcessUserD(const ObjectDatabase& db, const LeafPartitionIndex& index,
         if (users == nullptr) continue;
         for (const UserId candidate : *users) {
           if (candidate >= u) break;  // sorted ascending
-          CandidateLeaves& cl = candidates[candidate];
+          CandidateCells& cl = candidates[candidate];
           // Opportunistic growth limiting only; SortUnique below is the
-          // authoritative dedup (their_leaves interleaves across the
+          // authoritative dedup (their_cells interleaves across the
           // outer leaf loop, so back() checks cannot catch everything).
-          if (cl.my_leaves.empty() || cl.my_leaves.back() != leaf.id) {
-            cl.my_leaves.push_back(leaf.id);
+          if (cl.my_cells.empty() || cl.my_cells.back() != leaf.id) {
+            cl.my_cells.push_back(leaf.id);
           }
-          if (cl.their_leaves.empty() || cl.their_leaves.back() != other) {
-            cl.their_leaves.push_back(other);
+          if (cl.their_cells.empty() || cl.their_cells.back() != other) {
+            cl.their_cells.push_back(other);
           }
         }
       }
@@ -199,17 +198,18 @@ void ProcessUserD(const ObjectDatabase& db, const LeafPartitionIndex& index,
     stats->pairs_pruned_spatial += u - colocated;
   }
 
-  for (auto& [candidate, leaves] : candidates) {
-    const UserPartitionList& lv = index.UserLeaves(candidate);
+  for (const UserId candidate : candidates.SortedTouched()) {
+    CandidateCells& leaves = candidates[candidate];
+    const UserLayout& lv = index.UserLeaves(candidate);
     const size_t nv = db.UserObjectCount(candidate);
-    SortUnique(&leaves.my_leaves);
-    SortUnique(&leaves.their_leaves);
+    SortUnique(&leaves.my_cells);
+    SortUnique(&leaves.their_cells);
     // sigma_bar: assume every object in the supporting leaves matches.
     size_t m = 0;
-    for (const int64_t l : leaves.my_leaves) {
+    for (const int64_t l : leaves.my_cells) {
       m += PartitionObjectCount(lu, l);
     }
-    for (const int64_t l : leaves.their_leaves) {
+    for (const int64_t l : leaves.their_cells) {
       m += PartitionObjectCount(lv, l);
     }
     // sigma_bar >= eps_u as the exact counting predicate: the historical
@@ -241,21 +241,20 @@ LeafPartitionIndex BuildIndex(const ObjectDatabase& db,
 
 }  // namespace
 
-double PPJDPair(const UserPartitionList& lu, size_t nu,
-                const UserPartitionList& lv, size_t nv,
-                const LeafPartitionIndex& index, const MatchThresholds& t,
-                double eps_u, JoinStats* stats, size_t* matched_out) {
+double PPJDPair(const UserLayout& lu, size_t nu, const UserLayout& lv,
+                size_t nv, const LeafPartitionIndex& index,
+                const MatchThresholds& t, double eps_u, JoinStats* stats,
+                size_t* matched_out) {
   if (matched_out != nullptr) *matched_out = 0;
   if (nu + nv == 0) return 0.0;
   const bool bounded = eps_u > 0.0;
   // Exact integer Lemma 1 budget (common/predicates.h): never prunes a
   // pair with sigma exactly eps_u.
   const int64_t budget = SigmaUnmatchedBudget(nu + nv, eps_u);
-  // Per-thread scratch: flags, box-filter buffers, and the merged leaf
-  // traversal survive across user pairs (each pool worker has its own).
+  // Per-thread scratch: flags and the merged leaf traversal survive
+  // across user pairs (each pool worker has its own).
   struct DPairScratch {
     std::vector<uint8_t> matched_u, matched_v;
-    std::vector<ObjectRef> a, b;
     std::vector<MergedPartition> merged;
   };
   thread_local DPairScratch scratch;
@@ -265,31 +264,44 @@ double PPJDPair(const UserPartitionList& lu, size_t nu,
   matched_v.assign(nv, 0);
   uint32_t matched_total = 0;
   size_t processed_objects = 0;
-  std::vector<ObjectRef>& scratch_a = scratch.a;
-  std::vector<ObjectRef>& scratch_b = scratch.b;
 
+  // Leaf-vs-leaf joins go straight to the batched distance sweep. The
+  // historical extended-MBR-intersection box pre-filter is gone: an
+  // object outside box(l, l') is farther than eps_loc from every object
+  // of the other leaf, so the distance kernel rejects exactly the same
+  // pairs before any later filter runs — same matches, same
+  // signature-test set, no per-leaf copy.
   MergePartitionLists(lu, lv, &scratch.merged);
-  for (const MergedPartition& cell : scratch.merged) {
+  const std::vector<MergedPartition>& merged = scratch.merged;
+  for (size_t idx = 0; idx < merged.size(); ++idx) {
+    const MergedPartition& cell = merged[idx];
+    if (idx + 1 < merged.size()) {
+      const MergedPartition& next = merged[idx + 1];
+      if (next.u != nullptr) {
+        __builtin_prefetch(lu.xs.data() + next.u->begin);
+        __builtin_prefetch(lu.ys.data() + next.u->begin);
+      }
+      if (next.v != nullptr) {
+        __builtin_prefetch(lv.xs.data() + next.v->begin);
+        __builtin_prefetch(lv.ys.data() + next.v->begin);
+      }
+    }
     if (stats != nullptr) ++stats->cells_visited;
     const uint32_t leaf = static_cast<uint32_t>(cell.id);
-    const Rect& ext = index.ExtendedMbr(leaf);
     if (cell.u != nullptr) {
+      const CellBlock bu = BlockOf(lu, cell.u);
       // Join Du_l with Dv_l' for every relevant leaf l' >= l.
       for (const uint32_t other : index.RelevantLeaves(leaf)) {
         if (other < leaf) continue;
         const UserPartition* pv =
             other == leaf ? cell.v : FindPartition(lv, other);
         if (pv == nullptr) continue;
-        const Rect box = ext.Intersection(index.ExtendedMbr(other));
-        FilterToBox(cell.u, box, &scratch_a);
-        FilterToBox(pv, box, &scratch_b);
-        matched_total +=
-            PPJCrossMark(std::span<const ObjectRef>(scratch_a),
-                         std::span<const ObjectRef>(scratch_b), t,
-                         &matched_u, &matched_v, stats);
+        matched_total += PPJCrossMarkBatch(bu, BlockOf(lv, pv), t,
+                                           &matched_u, &matched_v, stats);
       }
     }
     if (cell.v != nullptr) {
+      const CellBlock bv = BlockOf(lv, cell.v);
       // Join Du_l' with Dv_l for every relevant leaf l' > l. Note: the
       // paper's Algorithm 3 guards the two sides with an else-if; when a
       // leaf holds objects of both users that would skip join pairs, so
@@ -298,13 +310,8 @@ double PPJDPair(const UserPartitionList& lu, size_t nu,
         if (other <= leaf) continue;
         const UserPartition* pu = FindPartition(lu, other);
         if (pu == nullptr) continue;
-        const Rect box = ext.Intersection(index.ExtendedMbr(other));
-        FilterToBox(pu, box, &scratch_a);
-        FilterToBox(cell.v, box, &scratch_b);
-        matched_total +=
-            PPJCrossMark(std::span<const ObjectRef>(scratch_a),
-                         std::span<const ObjectRef>(scratch_b), t,
-                         &matched_u, &matched_v, stats);
+        matched_total += PPJCrossMarkBatch(BlockOf(lu, pu), bv, t,
+                                           &matched_u, &matched_v, stats);
       }
     }
     processed_objects += (cell.u ? cell.u->objects.size() : 0) +

@@ -72,8 +72,9 @@ class LeafPartitionIndex {
 
   size_t num_leaves() const { return leaf_mbrs_.size(); }
 
-  /// Lu: the leaves (by ordinal) holding objects of user u, ascending.
-  const UserPartitionList& UserLeaves(UserId u) const {
+  /// Lu: the leaves (by ordinal) holding objects of user u, ascending,
+  /// with the CSR object/coordinate arrays behind them.
+  const UserLayout& UserLeaves(UserId u) const {
     STPS_DCHECK(u < per_user_.size());
     return per_user_[u];
   }
@@ -106,7 +107,7 @@ class LeafPartitionIndex {
   std::vector<Rect> leaf_mbrs_;
   std::vector<Rect> extended_mbrs_;
   std::vector<std::vector<uint32_t>> adjacency_;
-  std::vector<UserPartitionList> per_user_;
+  std::vector<UserLayout> per_user_;
   std::vector<std::vector<UserId>> leaf_users_;
   std::vector<std::unordered_map<TokenId, std::vector<UserId>>> token_users_;
 };
@@ -114,14 +115,15 @@ class LeafPartitionIndex {
 /// PPJ-D (Algorithm 3): sigma for a user pair over the leaf partitioning,
 /// with early termination at eps_u (exact whenever sigma >= eps_u; the
 /// Lemma 1 stop uses the integer SigmaUnmatchedBudget of
-/// common/predicates.h). `stats` (optional) accrues cells_visited and
-/// refine_early_stops. `matched_out` (optional) receives sigma's integer
-/// numerator (0 when pruned) for exact SigmaAtLeast decisions.
-double PPJDPair(const UserPartitionList& lu, size_t nu,
-                const UserPartitionList& lv, size_t nv,
-                const LeafPartitionIndex& index, const MatchThresholds& t,
-                double eps_u, JoinStats* stats = nullptr,
-                size_t* matched_out = nullptr);
+/// common/predicates.h). Leaf-vs-leaf joins run through the batched SoA
+/// mark kernel (PPJCrossMarkBatch). `stats` (optional) accrues
+/// cells_visited and refine_early_stops plus the batch kernel counters.
+/// `matched_out` (optional) receives sigma's integer numerator (0 when
+/// pruned) for exact SigmaAtLeast decisions.
+double PPJDPair(const UserLayout& lu, size_t nu, const UserLayout& lv,
+                size_t nv, const LeafPartitionIndex& index,
+                const MatchThresholds& t, double eps_u,
+                JoinStats* stats = nullptr, size_t* matched_out = nullptr);
 
 /// Evaluates the STPSJoin query with S-PPJ-D. Same output contract as
 /// SPPJC. Preconditions: eps_doc > 0, eps_u > 0 (see S-PPJ-F).

@@ -1,7 +1,6 @@
 #include "core/sppj_f.h"
 
 #include <algorithm>
-#include <unordered_map>
 
 #include "common/predicates.h"
 #include "core/parallel_util.h"
@@ -12,24 +11,17 @@ namespace stps {
 
 namespace {
 
-// Cells supporting a candidate pair: the cells of the probing user u whose
-// objects may match the candidate (Mu), and the candidate's own cells
-// (Mu'). Object counts over these cells give the sigma_bar bound — kept as
-// an integer numerator so the prune decision is the exact SigmaAtLeast
-// predicate, not a rounded quotient.
-struct CandidateCells {
-  std::vector<CellId> my_cells;
-  std::vector<CellId> their_cells;
-};
-
+// Object count over the supporting cells of a candidate pair — the
+// sigma_bar bound's integer numerator, so the prune decision is the exact
+// SigmaAtLeast predicate, not a rounded quotient.
 size_t SigmaBoundNumerator(const CandidateCells& cells,
-                           const UserPartitionList& mine,
-                           const UserPartitionList& theirs) {
+                           const UserLayout& mine,
+                           const UserLayout& theirs) {
   size_t m = 0;
-  for (const CellId c : cells.my_cells) {
+  for (const int64_t c : cells.my_cells) {
     m += PartitionObjectCount(mine, c);
   }
-  for (const CellId c : cells.their_cells) {
+  for (const int64_t c : cells.their_cells) {
     m += PartitionObjectCount(theirs, c);
   }
   return m;
@@ -56,18 +48,21 @@ std::vector<ScoredUserPair> SPPJFAblation(const ObjectDatabase& db,
 
   SpatioTextualGridIndex index;
   std::vector<CellId> neighbors;
-  std::unordered_map<UserId, CandidateCells> candidates;
+  TokenVector tokens;
+  // Dense epoch-stamped accumulator (user_grid.h): reused across probing
+  // users with an O(1) reset instead of a map rehash/clear, and with
+  // deterministic ascending refine order.
+  UserCandidateTable<CandidateCells> candidates;
 
   for (UserId u = 0; u < n; ++u) {
-    const UserPartitionList& cu = grid.UserCells(u);
+    const UserLayout& cu = grid.UserCells(u);
     const size_t nu = db.UserObjectCount(u);
-    candidates.clear();
+    candidates.BeginRound(n);
 
     // Filter: probe the distinct tokens of every cell of u against the
     // inverted lists of the cell and its neighbours.
-    TokenVector tokens;
     for (const UserPartition& cell : cu) {
-      DistinctTokens(std::span<const ObjectRef>(cell.objects), &tokens);
+      DistinctTokens(cell.objects, &tokens);
       neighbors.clear();
       grid.geometry().AppendNeighborhood(cell.id, /*include_self=*/true,
                                          &neighbors);
@@ -103,9 +98,10 @@ std::vector<ScoredUserPair> SPPJFAblation(const ObjectDatabase& db,
     }
     index.AddUser(u, cu);
 
-    // Refine each surviving candidate.
-    for (auto& [candidate, cells] : candidates) {
-      const UserPartitionList& cv = grid.UserCells(candidate);
+    // Refine each surviving candidate (ascending by id).
+    for (const UserId candidate : candidates.SortedTouched()) {
+      CandidateCells& cells = candidates[candidate];
+      const UserLayout& cv = grid.UserCells(candidate);
       const size_t nv = db.UserObjectCount(candidate);
       SortUnique(&cells.my_cells);
       SortUnique(&cells.their_cells);

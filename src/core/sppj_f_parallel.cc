@@ -3,7 +3,6 @@
 #include <algorithm>
 #include <atomic>
 #include <thread>
-#include <unordered_map>
 
 #include "common/predicates.h"
 #include "core/parallel_util.h"
@@ -14,11 +13,6 @@ namespace stps {
 
 namespace {
 
-struct CandidateCells {
-  std::vector<CellId> my_cells;
-  std::vector<CellId> their_cells;
-};
-
 // One worker's pass over a user: identical filter/refine logic to the
 // sequential S-PPJ-F, except that the index is complete and candidates
 // are restricted to earlier users in the total order.
@@ -27,14 +21,17 @@ void ProcessUser(const ObjectDatabase& db, const UserGrid& grid,
                  UserId u, std::vector<ScoredUserPair>* out,
                  JoinStats* stats) {
   const MatchThresholds t = query.match_thresholds();
-  const UserPartitionList& cu = grid.UserCells(u);
+  const UserLayout& cu = grid.UserCells(u);
   const size_t nu = db.UserObjectCount(u);
-  std::unordered_map<UserId, CandidateCells> candidates;
-  std::vector<CellId> neighbors;
+  // Per-worker epoch-stamped accumulator and scratch (user_grid.h):
+  // starting a user costs O(1), no map rehash or per-call allocation.
+  thread_local UserCandidateTable<CandidateCells> candidates;
+  candidates.BeginRound(db.num_users());
+  thread_local std::vector<CellId> neighbors;
 
   thread_local TokenVector tokens;
   for (const UserPartition& cell : cu) {
-    DistinctTokens(std::span<const ObjectRef>(cell.objects), &tokens);
+    DistinctTokens(cell.objects, &tokens);
     neighbors.clear();
     grid.geometry().AppendNeighborhood(cell.id, /*include_self=*/true,
                                        &neighbors);
@@ -67,16 +64,17 @@ void ProcessUser(const ObjectDatabase& db, const UserGrid& grid,
     stats->pairs_pruned_spatial += u - colocated;
   }
 
-  for (auto& [candidate, cells] : candidates) {
-    const UserPartitionList& cv = grid.UserCells(candidate);
+  for (const UserId candidate : candidates.SortedTouched()) {
+    CandidateCells& cells = candidates[candidate];
+    const UserLayout& cv = grid.UserCells(candidate);
     const size_t nv = db.UserObjectCount(candidate);
     SortUnique(&cells.my_cells);
     SortUnique(&cells.their_cells);
     size_t m = 0;
-    for (const CellId c : cells.my_cells) {
+    for (const int64_t c : cells.my_cells) {
       m += PartitionObjectCount(cu, c);
     }
-    for (const CellId c : cells.their_cells) {
+    for (const int64_t c : cells.their_cells) {
       m += PartitionObjectCount(cv, c);
     }
     // Exact counting predicates throughout (common/predicates.h): the

@@ -128,18 +128,21 @@ std::vector<UserId> OrderByPopularity(const ObjectDatabase& db,
 // index of the parallel driver, only inverted-list entries of earlier
 // rank count — the lists are in rank order, so checking the front
 // suffices and the estimate equals the incremental one.
-size_t EstimateMatchableObjects(const UserPartitionList& cu,
+size_t EstimateMatchableObjects(const UserLayout& cu,
                                 const GridGeometry& geometry,
                                 const SpatioTextualGridIndex& index,
                                 const std::vector<uint32_t>* rank,
                                 uint32_t rank_u) {
   size_t count = 0;
-  std::vector<CellId> neighbors;
+  // Hoisted per-thread scratch (runs once per probing user in the -P
+  // variants, sequential and pool-parallel alike).
+  thread_local std::vector<CellId> neighbors;
+  thread_local std::vector<CellId> occupied;
   for (const UserPartition& cell : cu) {
     neighbors.clear();
     geometry.AppendNeighborhood(cell.id, /*include_self=*/true, &neighbors);
     // Drop neighbour cells with no indexed objects at all.
-    std::vector<CellId> occupied;
+    occupied.clear();
     for (const CellId n : neighbors) {
       if (index.CellOccupied(n)) occupied.push_back(n);
     }
@@ -162,25 +165,20 @@ size_t EstimateMatchableObjects(const UserPartitionList& cu,
   return count;
 }
 
-struct CandidateCells {
-  std::vector<CellId> my_cells;
-  std::vector<CellId> their_cells;
-};
-
 // Token-probes the cells of u against the index. With `rank` == nullptr
 // (incremental index) every indexed user is a candidate; otherwise only
 // users of earlier rank are, and the rank-ordered inverted lists allow an
-// early break.
+// early break. `candidates` must have had BeginRound called for this user.
 void CollectCandidates(const UserGrid& grid,
                        const SpatioTextualGridIndex& index,
-                       const UserPartitionList& cu,
+                       const UserLayout& cu,
                        const std::vector<uint32_t>* rank, uint32_t rank_u,
-                       std::unordered_map<UserId, CandidateCells>* candidates,
+                       UserCandidateTable<CandidateCells>* candidates,
                        JoinStats* stats) {
-  std::vector<CellId> neighbors;
+  thread_local std::vector<CellId> neighbors;
   thread_local TokenVector tokens;
   for (const UserPartition& cell : cu) {
-    DistinctTokens(std::span<const ObjectRef>(cell.objects), &tokens);
+    DistinctTokens(cell.objects, &tokens);
     neighbors.clear();
     grid.geometry().AppendNeighborhood(cell.id, /*include_self=*/true,
                                        &neighbors);
@@ -218,22 +216,23 @@ void CollectCandidates(const UserGrid& grid,
 // exact scores.
 void RefineCandidates(const ObjectDatabase& db, const UserGrid& grid,
                       const MatchThresholds& t, UserId u,
-                      const UserPartitionList& cu, size_t nu,
-                      std::unordered_map<UserId, CandidateCells>* candidates,
+                      const UserLayout& cu, size_t nu,
+                      UserCandidateTable<CandidateCells>* candidates,
                       ResultQueue* queue, JoinStats* stats) {
   if (stats != nullptr) stats->pairs_candidate += candidates->size();
-  for (auto& [candidate, cells] : *candidates) {
-    const UserPartitionList& cv = grid.UserCells(candidate);
+  for (const UserId candidate : candidates->SortedTouched()) {
+    CandidateCells& cells = (*candidates)[candidate];
+    const UserLayout& cv = grid.UserCells(candidate);
     const size_t nv = db.UserObjectCount(candidate);
     const double eps_u = queue->Threshold();
     if (queue->full()) {
       SortUnique(&cells.my_cells);
       SortUnique(&cells.their_cells);
       size_t m = 0;
-      for (const CellId c : cells.my_cells) {
+      for (const int64_t c : cells.my_cells) {
         m += PartitionObjectCount(cu, c);
       }
-      for (const CellId c : cells.their_cells) {
+      for (const int64_t c : cells.their_cells) {
         m += PartitionObjectCount(cv, c);
       }
       // Prune only when sigma_bar is exactly below the tail score: the
@@ -271,11 +270,11 @@ std::vector<ScoredUserPair> TopKSTPSJoin(const ObjectDatabase& db,
                                         : OrderBySize(db);
 
   SpatioTextualGridIndex index;
-  std::unordered_map<UserId, CandidateCells> candidates;
+  UserCandidateTable<CandidateCells> candidates;
   size_t max_prev_size = 0;
 
   for (const UserId u : order) {
-    const UserPartitionList& cu = grid.UserCells(u);
+    const UserLayout& cu = grid.UserCells(u);
     const size_t nu = db.UserObjectCount(u);
 
     // TOPK-S-PPJ-P: Lemma 2 prefilter. Valid because every previously
@@ -292,7 +291,7 @@ std::vector<ScoredUserPair> TopKSTPSJoin(const ObjectDatabase& db,
       }
     }
 
-    candidates.clear();
+    candidates.BeginRound(db.num_users());
     CollectCandidates(grid, index, cu, /*rank=*/nullptr, /*rank_u=*/0,
                       &candidates, stats);
     index.AddUser(u, cu);
@@ -332,7 +331,7 @@ std::vector<ScoredUserPair> TopKSTPSJoinParallel(
   pool.ParallelForEach(
       0, order.size(), parallel.grain, [&](size_t r, int worker) {
         const UserId u = order[r];
-        const UserPartitionList& cu = grid.UserCells(u);
+        const UserLayout& cu = grid.UserCells(u);
         const size_t nu = db.UserObjectCount(u);
         ResultQueue& local = queues[static_cast<size_t>(worker)];
         JoinStats* ws = stats != nullptr
@@ -358,7 +357,8 @@ std::vector<ScoredUserPair> TopKSTPSJoinParallel(
           }
         }
 
-        std::unordered_map<UserId, CandidateCells> candidates;
+        thread_local UserCandidateTable<CandidateCells> candidates;
+        candidates.BeginRound(db.num_users());
         CollectCandidates(grid, index, cu, &rank,
                           static_cast<uint32_t>(r), &candidates, ws);
         RefineCandidates(db, grid, t, u, cu, nu, &candidates, &local, ws);
@@ -389,19 +389,15 @@ std::vector<ScoredUserPair> TopKSPPJD(const ObjectDatabase& db,
   std::vector<uint32_t> rank(db.num_users(), 0);
   for (uint32_t r = 0; r < order.size(); ++r) rank[order[r]] = r;
 
-  struct CandidateLeaves {
-    std::vector<int64_t> my_leaves;
-    std::vector<int64_t> their_leaves;
-  };
-  std::unordered_map<UserId, CandidateLeaves> candidates;
+  UserCandidateTable<CandidateCells> candidates;
 
   TokenVector tokens;
   for (const UserId u : order) {
-    const UserPartitionList& lu = index.UserLeaves(u);
+    const UserLayout& lu = index.UserLeaves(u);
     const size_t nu = db.UserObjectCount(u);
-    candidates.clear();
+    candidates.BeginRound(db.num_users());
     for (const UserPartition& leaf : lu) {
-      DistinctTokens(std::span<const ObjectRef>(leaf.objects), &tokens);
+      DistinctTokens(leaf.objects, &tokens);
       for (const uint32_t other :
            index.RelevantLeaves(static_cast<uint32_t>(leaf.id))) {
         if (stats != nullptr) ++stats->cells_visited;
@@ -410,30 +406,31 @@ std::vector<ScoredUserPair> TopKSPPJD(const ObjectDatabase& db,
           if (users == nullptr) continue;
           for (const UserId candidate : *users) {
             if (rank[candidate] >= rank[u]) continue;
-            CandidateLeaves& cl = candidates[candidate];
-            if (cl.my_leaves.empty() || cl.my_leaves.back() != leaf.id) {
-              cl.my_leaves.push_back(leaf.id);
+            CandidateCells& cl = candidates[candidate];
+            if (cl.my_cells.empty() || cl.my_cells.back() != leaf.id) {
+              cl.my_cells.push_back(leaf.id);
             }
-            if (cl.their_leaves.empty() || cl.their_leaves.back() != other) {
-              cl.their_leaves.push_back(other);
+            if (cl.their_cells.empty() || cl.their_cells.back() != other) {
+              cl.their_cells.push_back(other);
             }
           }
         }
       }
     }
     if (stats != nullptr) stats->pairs_candidate += candidates.size();
-    for (auto& [candidate, leaves] : candidates) {
-      const UserPartitionList& lv = index.UserLeaves(candidate);
+    for (const UserId candidate : candidates.SortedTouched()) {
+      CandidateCells& leaves = candidates[candidate];
+      const UserLayout& lv = index.UserLeaves(candidate);
       const size_t nv = db.UserObjectCount(candidate);
       const double eps_u = queue.Threshold();
       if (queue.full()) {
-        SortUnique(&leaves.my_leaves);
-        SortUnique(&leaves.their_leaves);
+        SortUnique(&leaves.my_cells);
+        SortUnique(&leaves.their_cells);
         size_t m = 0;
-        for (const int64_t l : leaves.my_leaves) {
+        for (const int64_t l : leaves.my_cells) {
           m += PartitionObjectCount(lu, l);
         }
-        for (const int64_t l : leaves.their_leaves) {
+        for (const int64_t l : leaves.their_cells) {
           m += PartitionObjectCount(lv, l);
         }
         // Exact counting form of sigma_bar < eps_u (see RefineCandidates).

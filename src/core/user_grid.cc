@@ -6,10 +6,39 @@
 
 namespace stps {
 
+UserLayout MakeUserLayout(
+    std::span<const std::pair<int64_t, ObjectRef>> keyed) {
+  UserLayout layout;
+  const size_t n = keyed.size();
+  layout.refs.reserve(n);
+  layout.xs.reserve(n);
+  layout.ys.reserve(n);
+  for (const auto& [id, ref] : keyed) {
+    if (layout.cells.empty() || layout.cells.back().id != id) {
+      layout.cells.push_back(UserPartition{
+          id, {}, static_cast<uint32_t>(layout.refs.size())});
+    }
+    layout.refs.push_back(ref);
+    layout.xs.push_back(ref.object->loc.x);
+    layout.ys.push_back(ref.object->loc.y);
+  }
+  // Fix up the partition spans only now that refs has its final buffer.
+  for (size_t c = 0; c < layout.cells.size(); ++c) {
+    UserPartition& p = layout.cells[c];
+    const uint32_t end = c + 1 < layout.cells.size()
+                             ? layout.cells[c + 1].begin
+                             : static_cast<uint32_t>(layout.refs.size());
+    p.objects = std::span<const ObjectRef>(layout.refs.data() + p.begin,
+                                           end - p.begin);
+  }
+  return layout;
+}
+
 UserGrid::UserGrid(const ObjectDatabase& db, double eps_loc)
     : geometry_(db.bounds(), eps_loc) {
   per_user_.resize(db.num_users());
   std::vector<std::pair<CellId, uint32_t>> scratch;  // (cell, local index)
+  std::vector<std::pair<int64_t, ObjectRef>> keyed;
   for (UserId u = 0; u < db.num_users(); ++u) {
     const std::span<const STObject> objects = db.UserObjects(u);
     scratch.clear();
@@ -17,14 +46,15 @@ UserGrid::UserGrid(const ObjectDatabase& db, double eps_loc)
     for (uint32_t i = 0; i < objects.size(); ++i) {
       scratch.emplace_back(geometry_.CellOf(objects[i].loc), i);
     }
+    // The Z-ordered slots arrive nearly cell-sorted already; the sort key
+    // keeps (cell, local) so a cell's objects stay in slot order.
     std::sort(scratch.begin(), scratch.end());
-    UserPartitionList& cells = per_user_[u];
+    keyed.clear();
+    keyed.reserve(scratch.size());
     for (const auto& [cell, local] : scratch) {
-      if (cells.empty() || cells.back().id != cell) {
-        cells.push_back(UserPartition{cell, {}});
-      }
-      cells.back().objects.push_back(ObjectRef{&objects[local], local});
+      keyed.emplace_back(cell, ObjectRef{&objects[local], local});
     }
+    per_user_[u] = MakeUserLayout(keyed);
   }
 }
 
@@ -84,12 +114,12 @@ TokenVector DistinctTokens(std::span<const ObjectRef> objects) {
   return tokens;
 }
 
-void SpatioTextualGridIndex::AddUser(UserId u,
-                                     const UserPartitionList& cells) {
+void SpatioTextualGridIndex::AddUser(UserId u, const UserLayout& cells) {
+  thread_local TokenVector tokens;
   for (const UserPartition& cell : cells) {
     CellIndex& index = cells_[cell.id];
     index.users.push_back(u);  // cells ascend, so one entry per (u, cell)
-    const TokenVector tokens = DistinctTokens(cell.objects);
+    DistinctTokens(cell.objects, &tokens);
     for (const TokenId t : tokens) {
       index.token_users[t].push_back(u);
     }
@@ -114,9 +144,13 @@ const std::vector<UserId>* SpatioTextualGridIndex::TokenUsers(
 
 size_t CountColocatedEarlierUsers(const GridGeometry& geometry,
                                   const SpatioTextualGridIndex& index,
-                                  const UserPartitionList& cu, UserId u) {
-  std::vector<UserId> colocated;
-  std::vector<CellId> neighbors;
+                                  const UserLayout& cu, UserId u) {
+  // Hoisted per-thread scratch: this runs once per probing user in every
+  // S-PPJ-F driver, and the two buffers otherwise cost an allocation each
+  // per call.
+  thread_local std::vector<UserId> colocated;
+  thread_local std::vector<CellId> neighbors;
+  colocated.clear();
   for (const UserPartition& cell : cu) {
     neighbors.clear();
     geometry.AppendNeighborhood(cell.id, /*include_self=*/true, &neighbors);

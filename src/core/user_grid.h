@@ -6,6 +6,13 @@
 // doubles as the per-leaf partition lists of S-PPJ-D (ids are leaf
 // ordinals instead of grid cell ids).
 //
+// Storage is CSR: a UserLayout owns one flat, cell-grouped array of
+// object refs plus SoA coordinate mirrors, and each UserPartition is just
+// a contiguous range into it. Because the database slots are Z-ordered,
+// a cell's objects are (mostly) adjacent in the source arrays too, and
+// the batched eps_loc kernels (spatial/batch.h) stream a whole cell block
+// per probe instead of chasing one STObject pointer per candidate.
+//
 // SpatioTextualGridIndex is the incremental index of S-PPJ-F (Figure 3):
 // per occupied cell, an inverted list token -> users having an object with
 // that token in the cell.
@@ -16,6 +23,7 @@
 #include <algorithm>
 #include <span>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "core/database.h"
@@ -25,15 +33,55 @@
 namespace stps {
 
 /// The objects of one user inside one spatial partition (grid cell or
-/// R-tree leaf). `id` is the partition id; `objects` carry user-local
-/// indices for matched-flag bookkeeping.
+/// R-tree leaf). `id` is the partition id; `objects` is a view into the
+/// owning UserLayout's CSR ref array starting at offset `begin` (the same
+/// offset addresses the layout's xs/ys coordinate blocks). Refs carry
+/// user-local indices for matched-flag bookkeeping.
 struct UserPartition {
   int64_t id = 0;
-  std::vector<ObjectRef> objects;
+  std::span<const ObjectRef> objects;
+  uint32_t begin = 0;
 };
 
 /// Sorted list of partitions occupied by one user (the paper's Cu / Lu).
 using UserPartitionList = std::vector<UserPartition>;
+
+/// Cell-grouped CSR layout of one user's objects: `refs` (and the aligned
+/// coordinate mirrors `xs`/`ys`) hold the objects partition by partition
+/// in ascending partition-id order; `cells` delimits the ranges.
+/// Move-only: the partition spans point into `refs`' heap buffer, which a
+/// move preserves and a copy would not.
+struct UserLayout {
+  UserPartitionList cells;
+  std::vector<ObjectRef> refs;
+  std::vector<double> xs;
+  std::vector<double> ys;
+
+  UserLayout() = default;
+  UserLayout(const UserLayout&) = delete;
+  UserLayout& operator=(const UserLayout&) = delete;
+  UserLayout(UserLayout&&) = default;
+  UserLayout& operator=(UserLayout&&) = default;
+
+  /// Range-for iterates the partitions, as with a bare UserPartitionList.
+  UserPartitionList::const_iterator begin() const { return cells.begin(); }
+  UserPartitionList::const_iterator end() const { return cells.end(); }
+  bool empty() const { return cells.empty(); }
+};
+
+/// Builds a UserLayout from (partition id, ref) pairs that are already
+/// sorted ascending by id (order within a partition is preserved). The
+/// coordinate mirrors are filled from the refs' STObjects.
+UserLayout MakeUserLayout(
+    std::span<const std::pair<int64_t, ObjectRef>> keyed);
+
+/// The coordinate block of a possibly-absent partition in its layout:
+/// empty for nullptr. This is what the batch kernels consume.
+inline CellBlock BlockOf(const UserLayout& layout, const UserPartition* p) {
+  if (p == nullptr) return CellBlock{};
+  return CellBlock{p->objects, layout.xs.data() + p->begin,
+                   layout.ys.data() + p->begin};
+}
 
 /// Builds the per-user cell lists for a grid with cell extent eps_loc.
 class UserGrid {
@@ -43,8 +91,9 @@ class UserGrid {
 
   const GridGeometry& geometry() const { return geometry_; }
 
-  /// Cu: the cells occupied by user u, ascending by cell id.
-  const UserPartitionList& UserCells(UserId u) const {
+  /// Cu: the cells occupied by user u, ascending by cell id, with the
+  /// CSR object/coordinate arrays behind them.
+  const UserLayout& UserCells(UserId u) const {
     STPS_DCHECK(u < per_user_.size());
     return per_user_[u];
   }
@@ -53,7 +102,7 @@ class UserGrid {
 
  private:
   GridGeometry geometry_;
-  std::vector<UserPartitionList> per_user_;
+  std::vector<UserLayout> per_user_;
 };
 
 /// Returns |Du_p| for partition `id` in a sorted UserPartitionList, or 0
@@ -62,6 +111,15 @@ size_t PartitionObjectCount(const UserPartitionList& list, int64_t id);
 
 /// Finds the partition with the given id; nullptr when absent.
 const UserPartition* FindPartition(const UserPartitionList& list, int64_t id);
+
+/// UserLayout conveniences for the same lookups.
+inline const UserPartition* FindPartition(const UserLayout& layout,
+                                          int64_t id) {
+  return FindPartition(layout.cells, id);
+}
+inline size_t PartitionObjectCount(const UserLayout& layout, int64_t id) {
+  return PartitionObjectCount(layout.cells, id);
+}
 
 /// The distinct tokens appearing in `objects` (ascending).
 TokenVector DistinctTokens(std::span<const ObjectRef> objects);
@@ -101,11 +159,79 @@ void MergePartitionLists(const UserPartitionList& cu,
                          const UserPartitionList& cv,
                          std::vector<MergedPartition>* out);
 
+inline void MergePartitionLists(const UserLayout& cu, const UserLayout& cv,
+                                std::vector<MergedPartition>* out) {
+  MergePartitionLists(cu.cells, cv.cells, out);
+}
+
 /// The objects of a possibly-absent partition (empty span for nullptr).
 inline std::span<const ObjectRef> PartitionObjects(const UserPartition* p) {
-  return p == nullptr ? std::span<const ObjectRef>()
-                      : std::span<const ObjectRef>(p->objects);
+  return p == nullptr ? std::span<const ObjectRef>() : p->objects;
 }
+
+/// The cells of u whose objects may match a candidate (my_cells) and the
+/// candidate's own supporting cells (their_cells) — the inputs of the
+/// sigma_bar count bound. Shared by the S-PPJ-F/-D filters and the top-k
+/// drivers (partition ids are cell ids or leaf ordinals alike).
+struct CandidateCells {
+  std::vector<int64_t> my_cells;
+  std::vector<int64_t> their_cells;
+
+  void Clear() {
+    my_cells.clear();
+    their_cells.clear();
+  }
+};
+
+/// Dense epoch-stamped per-user candidate accumulator, replacing the
+/// unordered_map<UserId, V> tables of the filter loops: operator[] is an
+/// array index plus a stamp compare, and starting a new probing user is
+/// O(1) — no rehash, no per-round clear of the value slots (a slot is
+/// lazily Clear()ed the first time its stamp misses the current round).
+/// SortedTouched() yields this round's candidates ascending by id, making
+/// the refine order deterministic (the maps iterated in hash order).
+template <typename V>
+class UserCandidateTable {
+ public:
+  /// Starts a new round for a universe of `num_users` users.
+  void BeginRound(size_t num_users) {
+    if (stamp_.size() < num_users) {
+      stamp_.resize(num_users, 0);
+      values_.resize(num_users);
+    }
+    touched_.clear();
+    if (++round_ == 0) {  // stamp wraparound: invalidate everything
+      std::fill(stamp_.begin(), stamp_.end(), 0u);
+      round_ = 1;
+    }
+  }
+
+  /// The value slot of user `u`, cleared on first touch this round.
+  V& operator[](UserId u) {
+    STPS_DCHECK(u < stamp_.size());
+    if (stamp_[u] != round_) {
+      stamp_[u] = round_;
+      values_[u].Clear();
+      touched_.push_back(u);
+    }
+    return values_[u];
+  }
+
+  /// Number of users touched this round.
+  size_t size() const { return touched_.size(); }
+
+  /// The users touched this round, sorted ascending (in place).
+  std::span<const UserId> SortedTouched() {
+    std::sort(touched_.begin(), touched_.end());
+    return touched_;
+  }
+
+ private:
+  uint32_t round_ = 0;
+  std::vector<uint32_t> stamp_;
+  std::vector<V> values_;
+  std::vector<UserId> touched_;
+};
 
 /// Incremental per-cell inverted index: token -> users (S-PPJ-F /
 /// TOPK-S-PPJ-*). Users must be added at most once each.
@@ -114,7 +240,7 @@ class SpatioTextualGridIndex {
   SpatioTextualGridIndex() = default;
 
   /// Indexes every (cell, token) of the user's cell list.
-  void AddUser(UserId u, const UserPartitionList& cells);
+  void AddUser(UserId u, const UserLayout& cells);
 
   /// The users (in insertion order) having an object with token `t` in
   /// cell `cell`; nullptr when none.
@@ -145,7 +271,7 @@ class SpatioTextualGridIndex {
 /// order). Only used for the JoinStats spatial/textual breakdown.
 size_t CountColocatedEarlierUsers(const GridGeometry& geometry,
                                   const SpatioTextualGridIndex& index,
-                                  const UserPartitionList& cu, UserId u);
+                                  const UserLayout& cu, UserId u);
 
 }  // namespace stps
 

@@ -1,0 +1,170 @@
+#include "spatial/batch.h"
+
+#include "common/predicates.h"
+
+namespace stps {
+
+namespace {
+
+// Spreads the low 16 bits of v so bit i lands at position 2i.
+uint32_t SpreadBits16(uint32_t v) {
+  v &= 0xffffu;
+  v = (v | (v << 8)) & 0x00ff00ffu;
+  v = (v | (v << 4)) & 0x0f0f0f0fu;
+  v = (v | (v << 2)) & 0x33333333u;
+  v = (v | (v << 1)) & 0x55555555u;
+  return v;
+}
+
+// 16-bit quantization across [lo, hi]. Monotone and total: NaN-free
+// inputs inside the bounds land in [0, 65535]; a degenerate extent (all
+// points share the coordinate) maps everything to 0.
+uint32_t Quantize16(double v, double lo, double hi) {
+  const double extent = hi - lo;
+  if (!(extent > 0.0)) return 0;
+  const double scaled = (v - lo) / extent * 65536.0;
+  if (!(scaled > 0.0)) return 0;
+  if (scaled >= 65535.0) return 65535;
+  return static_cast<uint32_t>(scaled);
+}
+
+}  // namespace
+
+uint64_t ZOrderKey(const Rect& bounds, const Point& p) {
+  const uint32_t qx = Quantize16(p.x, bounds.min_x, bounds.max_x);
+  const uint32_t qy = Quantize16(p.y, bounds.min_y, bounds.max_y);
+  return static_cast<uint64_t>(SpreadBits16(qx)) |
+         (static_cast<uint64_t>(SpreadBits16(qy)) << 1);
+}
+
+// The scalar loops evaluate WithinEpsLoc on the same dx*dx + dy*dy chain
+// as SquaredDistance; in ISO mode (-ffp-contract=off) the compiler may
+// vectorize them but not contract mul+add into FMA, so verdicts stay
+// bitwise identical to the one-at-a-time predicate.
+
+size_t CountWithinEpsLocScalar(const Point& probe, const double* xs,
+                               const double* ys, size_t n, double eps_loc) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = probe.x - xs[i];
+    const double dy = probe.y - ys[i];
+    count += WithinEpsLoc(dx * dx + dy * dy, eps_loc) ? 1 : 0;
+  }
+  return count;
+}
+
+size_t CollectWithinEpsLocScalar(const Point& probe, const double* xs,
+                                 const double* ys, size_t n, double eps_loc,
+                                 uint32_t* out) {
+  size_t count = 0;
+  for (size_t i = 0; i < n; ++i) {
+    const double dx = probe.x - xs[i];
+    const double dy = probe.y - ys[i];
+    // Unconditional store + guarded advance keeps the loop branch-light.
+    out[count] = static_cast<uint32_t>(i);
+    count += WithinEpsLoc(dx * dx + dy * dy, eps_loc) ? 1 : 0;
+  }
+  return count;
+}
+
+size_t CountWithinEpsLocScalar(const Point& probe, const double* xs,
+                               const double* ys,
+                               std::span<const uint32_t> idx,
+                               double eps_loc) {
+  size_t count = 0;
+  for (const uint32_t i : idx) {
+    const double dx = probe.x - xs[i];
+    const double dy = probe.y - ys[i];
+    count += WithinEpsLoc(dx * dx + dy * dy, eps_loc) ? 1 : 0;
+  }
+  return count;
+}
+
+size_t CollectWithinEpsLocScalar(const Point& probe, const double* xs,
+                                 const double* ys,
+                                 std::span<const uint32_t> idx,
+                                 double eps_loc, uint32_t* out) {
+  size_t count = 0;
+  for (const uint32_t i : idx) {
+    const double dx = probe.x - xs[i];
+    const double dy = probe.y - ys[i];
+    out[count] = i;
+    count += WithinEpsLoc(dx * dx + dy * dy, eps_loc) ? 1 : 0;
+  }
+  return count;
+}
+
+#if defined(STPS_BATCH_HAS_AVX2)
+namespace batch_internal {
+// Implemented in batch_avx2.cc (the only translation unit built with
+// -mavx2, so AVX2 code cannot leak into paths run on older CPUs).
+size_t CountWithinEpsLocAvx2(const Point& probe, const double* xs,
+                             const double* ys, size_t n, double eps_loc);
+size_t CollectWithinEpsLocAvx2(const Point& probe, const double* xs,
+                               const double* ys, size_t n, double eps_loc,
+                               uint32_t* out);
+size_t CountWithinEpsLocAvx2(const Point& probe, const double* xs,
+                             const double* ys, std::span<const uint32_t> idx,
+                             double eps_loc);
+size_t CollectWithinEpsLocAvx2(const Point& probe, const double* xs,
+                               const double* ys,
+                               std::span<const uint32_t> idx, double eps_loc,
+                               uint32_t* out);
+}  // namespace batch_internal
+#endif  // STPS_BATCH_HAS_AVX2
+
+bool BatchKernelsUseAvx2() {
+#if defined(STPS_BATCH_HAS_AVX2) && (defined(__x86_64__) || defined(__i386__))
+  static const bool supported = __builtin_cpu_supports("avx2");
+  return supported;
+#else
+  return false;
+#endif
+}
+
+size_t CountWithinEpsLoc(const Point& probe, const double* xs,
+                         const double* ys, size_t n, double eps_loc) {
+#if defined(STPS_BATCH_HAS_AVX2)
+  if (BatchKernelsUseAvx2()) {
+    return batch_internal::CountWithinEpsLocAvx2(probe, xs, ys, n, eps_loc);
+  }
+#endif
+  return CountWithinEpsLocScalar(probe, xs, ys, n, eps_loc);
+}
+
+size_t CollectWithinEpsLoc(const Point& probe, const double* xs,
+                           const double* ys, size_t n, double eps_loc,
+                           uint32_t* out) {
+#if defined(STPS_BATCH_HAS_AVX2)
+  if (BatchKernelsUseAvx2()) {
+    return batch_internal::CollectWithinEpsLocAvx2(probe, xs, ys, n, eps_loc,
+                                                   out);
+  }
+#endif
+  return CollectWithinEpsLocScalar(probe, xs, ys, n, eps_loc, out);
+}
+
+size_t CountWithinEpsLoc(const Point& probe, const double* xs,
+                         const double* ys, std::span<const uint32_t> idx,
+                         double eps_loc) {
+#if defined(STPS_BATCH_HAS_AVX2)
+  if (BatchKernelsUseAvx2()) {
+    return batch_internal::CountWithinEpsLocAvx2(probe, xs, ys, idx, eps_loc);
+  }
+#endif
+  return CountWithinEpsLocScalar(probe, xs, ys, idx, eps_loc);
+}
+
+size_t CollectWithinEpsLoc(const Point& probe, const double* xs,
+                           const double* ys, std::span<const uint32_t> idx,
+                           double eps_loc, uint32_t* out) {
+#if defined(STPS_BATCH_HAS_AVX2)
+  if (BatchKernelsUseAvx2()) {
+    return batch_internal::CollectWithinEpsLocAvx2(probe, xs, ys, idx,
+                                                   eps_loc, out);
+  }
+#endif
+  return CollectWithinEpsLocScalar(probe, xs, ys, idx, eps_loc, out);
+}
+
+}  // namespace stps

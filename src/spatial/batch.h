@@ -1,0 +1,91 @@
+// Data-oriented spatial filter kernels.
+//
+// The S-PPJ grid probes are the hot loop of every join variant: one probe
+// object against the objects of one cell (or leaf) block. This header
+// provides batched forms of the eps_loc predicate that stream the
+// structure-of-arrays coordinate buffers built by DatabaseBuilder /
+// MakeUserLayout instead of chasing STObject pointers, plus the Z-order
+// key those layouts are clustered by.
+//
+// Exactness contract: every kernel returns *identical verdicts* to the
+// scalar predicate chain
+//     WithinEpsLoc(SquaredDistance(probe, q), eps_loc)
+// of common/predicates.h / spatial/geometry.h — the same subtractions,
+// the same two multiplies, the same add, each rounded once, compared
+// against the same once-rounded eps_loc * eps_loc. The AVX2 path uses
+// explicit mul/mul/add (never FMA: contraction would skip a rounding and
+// flip boundary verdicts), and the scalar fallback compiles in ISO mode
+// (-ffp-contract=off), so the boundary-oracle suite holds with zero
+// tolerance on either path.
+//
+// Dispatch policy (mirrors the -mpopcnt handling in the top-level
+// CMakeLists): batch_avx2.cc is compiled with -mavx2 only when the
+// compiler knows the flag (STPS_BATCH_HAS_AVX2), and the AVX2 entry
+// points are selected at runtime via __builtin_cpu_supports("avx2"),
+// cached after the first call. Everything else falls back to the scalar
+// loops below, which GCC auto-vectorizes where profitable.
+
+#ifndef STPS_SPATIAL_BATCH_H_
+#define STPS_SPATIAL_BATCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#include "spatial/geometry.h"
+
+namespace stps {
+
+/// 32-bit Morton (Z-order) key of `p` over `bounds`: each coordinate is
+/// quantized to 16 bits across the bounds extent (degenerate extents map
+/// to 0) and the bits are interleaved, y in the odd positions. Sorting
+/// points by this key clusters spatial neighbours in memory, which is
+/// what makes the cell blocks the batch kernels stream contiguous. The
+/// key is eps_loc-agnostic: one layout serves every query threshold.
+uint64_t ZOrderKey(const Rect& bounds, const Point& p);
+
+/// Number of points among (xs[i], ys[i]), i in [0, n), within eps_loc of
+/// `probe` (boundary inclusive, exact per the contract above).
+size_t CountWithinEpsLoc(const Point& probe, const double* xs,
+                         const double* ys, size_t n, double eps_loc);
+
+/// Writes the positions i (ascending) of every point within eps_loc of
+/// `probe` into out[0..result). `out` must have room for n entries.
+size_t CollectWithinEpsLoc(const Point& probe, const double* xs,
+                           const double* ys, size_t n, double eps_loc,
+                           uint32_t* out);
+
+/// Gather form: counts over the subset xs[idx[j]] for j in [0, idx.size()).
+size_t CountWithinEpsLoc(const Point& probe, const double* xs,
+                         const double* ys, std::span<const uint32_t> idx,
+                         double eps_loc);
+
+/// Gather form: writes the *index values* idx[j] (in idx order) of every
+/// selected point into out[0..result). `out` must have room for
+/// idx.size() entries.
+size_t CollectWithinEpsLoc(const Point& probe, const double* xs,
+                           const double* ys, std::span<const uint32_t> idx,
+                           double eps_loc, uint32_t* out);
+
+/// Scalar reference implementations, always available — the differential
+/// test and the benchmarks compare the dispatched kernels against these.
+size_t CountWithinEpsLocScalar(const Point& probe, const double* xs,
+                               const double* ys, size_t n, double eps_loc);
+size_t CollectWithinEpsLocScalar(const Point& probe, const double* xs,
+                                 const double* ys, size_t n, double eps_loc,
+                                 uint32_t* out);
+size_t CountWithinEpsLocScalar(const Point& probe, const double* xs,
+                               const double* ys,
+                               std::span<const uint32_t> idx, double eps_loc);
+size_t CollectWithinEpsLocScalar(const Point& probe, const double* xs,
+                                 const double* ys,
+                                 std::span<const uint32_t> idx,
+                                 double eps_loc, uint32_t* out);
+
+/// True when the dispatched kernels run the AVX2 path on this machine
+/// (compiled in and supported by the CPU).
+bool BatchKernelsUseAvx2();
+
+}  // namespace stps
+
+#endif  // STPS_SPATIAL_BATCH_H_

@@ -1,0 +1,169 @@
+// AVX2 implementations of the batch eps_loc kernels. This is the only
+// translation unit compiled with -mavx2 (see src/CMakeLists.txt), and it
+// is only reached behind the __builtin_cpu_supports("avx2") dispatch in
+// batch.cc, so nothing here can fault on pre-AVX2 hardware.
+//
+// Numeric contract (see batch.h): sub, mul, mul, add, compare — each
+// operation rounded once, exactly like the scalar WithinEpsLoc chain.
+// _mm256_fmadd_pd would skip the intermediate rounding of dx*dx and flip
+// verdicts at ±1 ULP boundaries, so FMA is deliberately absent (and the
+// file is not compiled with -mfma, so the compiler cannot contract the
+// intrinsics either).
+
+#include "spatial/batch.h"
+
+#if defined(STPS_BATCH_HAS_AVX2)
+
+#include <immintrin.h>
+
+#include "common/predicates.h"
+
+namespace stps {
+namespace batch_internal {
+
+namespace {
+
+// kCompress4[mask][j] = the j-th set lane of the 4-bit mask, ascending.
+// Entries past the popcount are don't-care (overwritten by later stores
+// or past the returned count).
+alignas(16) constexpr uint32_t kCompress4[16][4] = {
+    {0, 0, 0, 0}, {0, 0, 0, 0}, {1, 0, 0, 0}, {0, 1, 0, 0},
+    {2, 0, 0, 0}, {0, 2, 0, 0}, {1, 2, 0, 0}, {0, 1, 2, 0},
+    {3, 0, 0, 0}, {0, 3, 0, 0}, {1, 3, 0, 0}, {0, 1, 3, 0},
+    {2, 3, 0, 0}, {0, 2, 3, 0}, {1, 2, 3, 0}, {0, 1, 2, 3},
+};
+
+// Lane mask of (probe - q)^2 <= eps^2 for 4 points. _CMP_LE_OQ matches
+// the scalar <= (quiet, ordered: NaN compares false).
+inline int WithinMask4(__m256d px, __m256d py, __m256d qx, __m256d qy,
+                       __m256d e2) {
+  const __m256d dx = _mm256_sub_pd(px, qx);
+  const __m256d dy = _mm256_sub_pd(py, qy);
+  const __m256d d2 =
+      _mm256_add_pd(_mm256_mul_pd(dx, dx), _mm256_mul_pd(dy, dy));
+  return _mm256_movemask_pd(_mm256_cmp_pd(d2, e2, _CMP_LE_OQ));
+}
+
+}  // namespace
+
+size_t CountWithinEpsLocAvx2(const Point& probe, const double* xs,
+                             const double* ys, size_t n, double eps_loc) {
+  const __m256d px = _mm256_set1_pd(probe.x);
+  const __m256d py = _mm256_set1_pd(probe.y);
+  // eps^2 rounded once in scalar, then broadcast — the same value the
+  // scalar predicate compares against.
+  const __m256d e2 = _mm256_set1_pd(eps_loc * eps_loc);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int mask = WithinMask4(px, py, _mm256_loadu_pd(xs + i),
+                                 _mm256_loadu_pd(ys + i), e2);
+    count += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(mask)));
+  }
+  for (; i < n; ++i) {
+    const double dx = probe.x - xs[i];
+    const double dy = probe.y - ys[i];
+    count += WithinEpsLoc(dx * dx + dy * dy, eps_loc) ? 1 : 0;
+  }
+  return count;
+}
+
+size_t CollectWithinEpsLocAvx2(const Point& probe, const double* xs,
+                               const double* ys, size_t n, double eps_loc,
+                               uint32_t* out) {
+  const __m256d px = _mm256_set1_pd(probe.x);
+  const __m256d py = _mm256_set1_pd(probe.y);
+  const __m256d e2 = _mm256_set1_pd(eps_loc * eps_loc);
+  size_t count = 0;
+  size_t i = 0;
+  for (; i + 4 <= n; i += 4) {
+    const int mask = WithinMask4(px, py, _mm256_loadu_pd(xs + i),
+                                 _mm256_loadu_pd(ys + i), e2);
+    // Table-compacted store: 4 lanes are always written (count + 4 <=
+    // i + 4 <= n, so the slack stays inside the caller's n-entry buffer),
+    // only popcount(mask) of them survive.
+    const __m128i lanes = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(kCompress4[mask]));
+    const __m128i pos =
+        _mm_add_epi32(lanes, _mm_set1_epi32(static_cast<int>(i)));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + count), pos);
+    count += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(mask)));
+  }
+  for (; i < n; ++i) {
+    const double dx = probe.x - xs[i];
+    const double dy = probe.y - ys[i];
+    out[count] = static_cast<uint32_t>(i);
+    count += WithinEpsLoc(dx * dx + dy * dy, eps_loc) ? 1 : 0;
+  }
+  return count;
+}
+
+size_t CountWithinEpsLocAvx2(const Point& probe, const double* xs,
+                             const double* ys, std::span<const uint32_t> idx,
+                             double eps_loc) {
+  const __m256d px = _mm256_set1_pd(probe.x);
+  const __m256d py = _mm256_set1_pd(probe.y);
+  const __m256d e2 = _mm256_set1_pd(eps_loc * eps_loc);
+  const size_t n = idx.size();
+  size_t count = 0;
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m128i vidx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(idx.data() + j));
+    const __m256d qx = _mm256_i32gather_pd(xs, vidx, 8);
+    const __m256d qy = _mm256_i32gather_pd(ys, vidx, 8);
+    const int mask = WithinMask4(px, py, qx, qy, e2);
+    count += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(mask)));
+  }
+  for (; j < n; ++j) {
+    const uint32_t i = idx[j];
+    const double dx = probe.x - xs[i];
+    const double dy = probe.y - ys[i];
+    count += WithinEpsLoc(dx * dx + dy * dy, eps_loc) ? 1 : 0;
+  }
+  return count;
+}
+
+size_t CollectWithinEpsLocAvx2(const Point& probe, const double* xs,
+                               const double* ys,
+                               std::span<const uint32_t> idx, double eps_loc,
+                               uint32_t* out) {
+  const __m256d px = _mm256_set1_pd(probe.x);
+  const __m256d py = _mm256_set1_pd(probe.y);
+  const __m256d e2 = _mm256_set1_pd(eps_loc * eps_loc);
+  const size_t n = idx.size();
+  size_t count = 0;
+  size_t j = 0;
+  for (; j + 4 <= n; j += 4) {
+    const __m128i vidx = _mm_loadu_si128(
+        reinterpret_cast<const __m128i*>(idx.data() + j));
+    const __m256d qx = _mm256_i32gather_pd(xs, vidx, 8);
+    const __m256d qy = _mm256_i32gather_pd(ys, vidx, 8);
+    const int mask = WithinMask4(px, py, qx, qy, e2);
+    // Compact the surviving *index values*: gather them from vidx via the
+    // same lane table, then store all 4 (slack as above).
+    const __m128i lanes = _mm_load_si128(
+        reinterpret_cast<const __m128i*>(kCompress4[mask]));
+    const __m128i packed = _mm_castps_si128(_mm_permutevar_ps(
+        _mm_castsi128_ps(vidx), lanes));
+    _mm_storeu_si128(reinterpret_cast<__m128i*>(out + count), packed);
+    count += static_cast<size_t>(__builtin_popcount(
+        static_cast<unsigned>(mask)));
+  }
+  for (; j < n; ++j) {
+    const uint32_t i = idx[j];
+    const double dx = probe.x - xs[i];
+    const double dy = probe.y - ys[i];
+    out[count] = i;
+    count += WithinEpsLoc(dx * dx + dy * dy, eps_loc) ? 1 : 0;
+  }
+  return count;
+}
+
+}  // namespace batch_internal
+}  // namespace stps
+
+#endif  // STPS_BATCH_HAS_AVX2

@@ -2,8 +2,10 @@
 
 #include <algorithm>
 #include <unordered_map>
+#include <vector>
 
 #include "common/macros.h"
+#include "spatial/batch.h"
 #include "text/intersect.h"
 #include "text/similarity.h"
 
@@ -203,6 +205,58 @@ uint32_t PPJCrossMark(std::span<const ObjectRef> left,
       const ObjectRef& b = right[c];
       if ((*left_matched)[a.local] && (*right_matched)[b.local]) continue;
       if (!WithinDistance(a.object->loc, b.object->loc, t.eps_loc)) continue;
+      if (!TimeCompatible(*a.object, *b.object, t.eps_time)) continue;
+      if (!SizeCompatible(a.object->doc.size(), b.object->doc.size(),
+                          t.eps_doc)) {
+        continue;
+      }
+      if (SignatureGatedJaccardAtLeast(a.object->doc, a.object->sig,
+                                       b.object->doc, b.object->sig,
+                                       t.eps_doc, sigrej)) {
+        mark(a, b);
+      }
+    }
+  }
+  return newly_matched;
+}
+
+uint32_t PPJCrossMarkBatch(const CellBlock& left, const CellBlock& right,
+                           const MatchThresholds& t,
+                           std::vector<uint8_t>* left_matched,
+                           std::vector<uint8_t>* right_matched,
+                           JoinStats* stats) {
+  if (left.refs.empty() || right.refs.empty()) return 0;
+  uint64_t* const sigrej =
+      stats != nullptr ? &stats->signature_rejections : nullptr;
+  uint32_t newly_matched = 0;
+  const auto mark = [&](const ObjectRef& a, const ObjectRef& b) {
+    if (!(*left_matched)[a.local]) {
+      (*left_matched)[a.local] = 1;
+      ++newly_matched;
+    }
+    if (!(*right_matched)[b.local]) {
+      (*right_matched)[b.local] = 1;
+      ++newly_matched;
+    }
+  };
+  // Per-thread hit buffer: CollectWithinEpsLoc writes at most |right|
+  // positions per probe; reused across every block pair a join touches.
+  thread_local std::vector<uint32_t> hits;
+  if (hits.size() < right.refs.size()) hits.resize(right.refs.size());
+  for (size_t i = 0; i < left.refs.size(); ++i) {
+    const Point probe{left.xs[i], left.ys[i]};
+    const size_t hit_count = CollectWithinEpsLoc(
+        probe, right.xs, right.ys, right.refs.size(), t.eps_loc,
+        hits.data());
+    if (stats != nullptr) {
+      ++stats->batch_distance_calls;
+      stats->batch_lanes_filled += right.refs.size();
+    }
+    if (hit_count == 0) continue;
+    const ObjectRef& a = left.refs[i];
+    for (size_t h = 0; h < hit_count; ++h) {
+      const ObjectRef& b = right.refs[hits[h]];
+      if ((*left_matched)[a.local] && (*right_matched)[b.local]) continue;
       if (!TimeCompatible(*a.object, *b.object, t.eps_time)) continue;
       if (!SizeCompatible(a.object->doc.size(), b.object->doc.size(),
                           t.eps_doc)) {

@@ -32,6 +32,16 @@ struct ObjectRef {
   uint32_t local = 0;
 };
 
+/// A contiguous cell (or leaf) block in SoA form: the refs of one
+/// UserPartition plus the matching slices of the owning layout's
+/// coordinate arrays (xs[i] == refs[i].object->loc.x). Built by
+/// BlockOf() in core/user_grid.h; consumed by the batched mark kernel.
+struct CellBlock {
+  std::span<const ObjectRef> refs;
+  const double* xs = nullptr;
+  const double* ys = nullptr;
+};
+
 /// All matching object-id pairs between `left` and `right` (cross join).
 /// When `stats` is given, signature-filter rejections are counted into it.
 std::vector<std::pair<ObjectId, ObjectId>> PPJCrossPairs(
@@ -57,6 +67,20 @@ uint32_t PPJCrossMark(std::span<const ObjectRef> left,
                       std::vector<uint8_t>* left_matched,
                       std::vector<uint8_t>* right_matched,
                       JoinStats* stats = nullptr);
+
+/// Batched form of PPJCrossMark over SoA cell blocks: per probe object of
+/// `left`, one CollectWithinEpsLoc sweep over `right`'s coordinate block
+/// (spatial/batch.h) selects the within-eps_loc candidates, then the
+/// time/size/signature/Jaccard chain runs on the survivors only. Flag and
+/// counter semantics are identical to PPJCrossMark's nested-loop form —
+/// the spatial predicate is evaluated first either way, so
+/// signature_rejections counts the same tests — plus batch_distance_calls
+/// / batch_lanes_filled accounting when `stats` is given.
+uint32_t PPJCrossMarkBatch(const CellBlock& left, const CellBlock& right,
+                           const MatchThresholds& t,
+                           std::vector<uint8_t>* left_matched,
+                           std::vector<uint8_t>* right_matched,
+                           JoinStats* stats = nullptr);
 
 }  // namespace stps
 

@@ -1,10 +1,12 @@
 #include "core/database.h"
 
+#include <cstdint>
 #include <string>
 #include <vector>
 
 #include <gtest/gtest.h>
 
+#include "spatial/batch.h"
 #include "text/token_set.h"
 
 namespace stps {
@@ -33,7 +35,8 @@ TEST(DatabaseBuilderTest, GroupsObjectsPerUser) {
   EXPECT_EQ(db.UserObjectCount(0), 2u);
   EXPECT_EQ(db.UserObjectCount(1), 1u);
   EXPECT_EQ(db.UserObjectCount(2), 1u);
-  // Alice's objects keep insertion order within the user.
+  // Alice's objects are Z-ordered within the user; for these coordinates
+  // the Morton keys ascend with the insertion order.
   const auto alice = db.UserObjects(0);
   EXPECT_EQ(alice[0].loc, (Point{1, 2}));
   EXPECT_EQ(alice[1].loc, (Point{5, 6}));
@@ -83,6 +86,68 @@ TEST(DatabaseBuilderTest, BoundsCoverAllObjects) {
   EXPECT_EQ(db.bounds(), (Rect{1, 2, 7, 8}));
   for (const STObject& o : db.AllObjects()) {
     EXPECT_TRUE(db.bounds().Contains(o.loc));
+  }
+}
+
+// A larger scattered database for the layout tests below.
+ObjectDatabase ScatteredDb() {
+  DatabaseBuilder builder;
+  uint64_t state = 12345;
+  const auto next = [&state]() {
+    state = state * 6364136223846793005ull + 1442695040888963407ull;
+    return state >> 33;
+  };
+  for (int i = 0; i < 60; ++i) {
+    const std::string user = "u" + std::to_string(next() % 7);
+    const Point loc{static_cast<double>(next() % 1000) / 10.0,
+                    static_cast<double>(next() % 1000) / 10.0};
+    const std::vector<std::string> kws = {"k" + std::to_string(next() % 9)};
+    builder.AddObject(user, loc, std::span<const std::string>(kws));
+  }
+  return std::move(builder).Build();
+}
+
+TEST(DatabaseLayoutTest, SoAMirrorsMatchObjectSlots) {
+  const ObjectDatabase db = ScatteredDb();
+  ASSERT_EQ(db.xs().size(), db.num_objects());
+  ASSERT_EQ(db.ys().size(), db.num_objects());
+  ASSERT_EQ(db.users().size(), db.num_objects());
+  ASSERT_EQ(db.sigs().size(), db.num_objects());
+  for (ObjectId id = 0; id < db.num_objects(); ++id) {
+    const STObject& o = db.object(id);
+    EXPECT_EQ(db.xs()[id], o.loc.x);
+    EXPECT_EQ(db.ys()[id], o.loc.y);
+    EXPECT_EQ(db.users()[id], o.user);
+    EXPECT_EQ(db.sigs()[id], o.sig);
+  }
+}
+
+TEST(DatabaseLayoutTest, SlotsAreZOrderedWithinEachUser) {
+  const ObjectDatabase db = ScatteredDb();
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    const auto objects = db.UserObjects(u);
+    for (size_t i = 1; i < objects.size(); ++i) {
+      const uint64_t prev = ZOrderKey(db.bounds(), objects[i - 1].loc);
+      const uint64_t cur = ZOrderKey(db.bounds(), objects[i].loc);
+      EXPECT_LE(prev, cur) << "user " << u << " slot " << i;
+      if (prev == cur) {
+        // Ties keep insertion order (the sort is stable).
+        EXPECT_LT(db.insertion_order()[objects[i - 1].id],
+                  db.insertion_order()[objects[i].id]);
+      }
+    }
+  }
+}
+
+TEST(DatabaseLayoutTest, InsertionOrderIsAPermutation) {
+  const ObjectDatabase db = ScatteredDb();
+  const auto order = db.insertion_order();
+  ASSERT_EQ(order.size(), db.num_objects());
+  std::vector<bool> seen(order.size(), false);
+  for (const uint32_t seq : order) {
+    ASSERT_LT(seq, order.size());
+    EXPECT_FALSE(seen[seq]);  // bijective
+    seen[seq] = true;
   }
 }
 

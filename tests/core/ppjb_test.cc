@@ -134,9 +134,10 @@ TEST(UserGridTest, CellListsArePartitionOfUserObjects) {
 }
 
 TEST(UserGridHelpersTest, FindAndCount) {
+  static const ObjectRef refs[] = {{nullptr, 0}, {nullptr, 1}};
   UserPartitionList list;
   list.push_back({3, {}});
-  list.push_back({7, {{nullptr, 0}, {nullptr, 1}}});
+  list.push_back({7, refs});
   EXPECT_EQ(FindPartition(list, 3), &list[0]);
   EXPECT_EQ(FindPartition(list, 7), &list[1]);
   EXPECT_EQ(FindPartition(list, 5), nullptr);

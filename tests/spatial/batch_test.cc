@@ -1,0 +1,250 @@
+// Differential tests for the batched eps_loc kernels (spatial/batch.h):
+// the dispatched (possibly AVX2) kernels, the scalar reference loops, and
+// the per-point WithinDistance predicate must agree verdict-for-verdict on
+// adversarial inputs — unaligned block starts, tail lengths covering every
+// residue of the vector width, and lattice coordinates nudged one ULP
+// across the eps_loc boundary (the boundary-oracle recipe).
+
+#include "spatial/batch.h"
+
+#include <cmath>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+#include <vector>
+
+#include <gtest/gtest.h>
+
+#include "common/rng.h"
+#include "spatial/geometry.h"
+
+namespace stps {
+namespace {
+
+constexpr double kInf = std::numeric_limits<double>::infinity();
+
+// Lattice points at exact multiples of `pitch`, a third of them nudged
+// one ULP in x — the same construction the boundary-oracle suite uses, so
+// probe-to-point distances land exactly on, one ULP above, and one ULP
+// below eps_loc.
+struct TestPoints {
+  std::vector<double> xs;
+  std::vector<double> ys;
+};
+
+TestPoints MakeBoundaryPoints(size_t n, double pitch, uint64_t seed) {
+  Rng rng(seed);
+  TestPoints pts;
+  pts.xs.reserve(n);
+  pts.ys.reserve(n);
+  for (size_t i = 0; i < n; ++i) {
+    double x = pitch * static_cast<double>(rng.NextBelow(7));
+    const double y = pitch * static_cast<double>(rng.NextBelow(7));
+    const uint64_t nudge = rng.NextBelow(3);
+    if (nudge == 1) x = std::nextafter(x, kInf);
+    if (nudge == 2) x = std::nextafter(x, -kInf);
+    pts.xs.push_back(x);
+    pts.ys.push_back(y);
+  }
+  return pts;
+}
+
+// Probes on and next to lattice sites, so distances to the points above
+// hit the exact-eps_loc cases.
+std::vector<Point> MakeProbes(double pitch) {
+  return {
+      {0.0, 0.0},
+      {pitch, 0.0},
+      {pitch, pitch},
+      {std::nextafter(pitch, kInf), 0.0},
+      {std::nextafter(pitch, -kInf), pitch},
+      {3.0 * pitch, 2.0 * pitch},
+  };
+}
+
+// Thresholds on both sides of the realisable distances.
+std::vector<double> MakeThresholds(double pitch) {
+  return {
+      pitch,
+      std::nextafter(pitch, 0.0),
+      std::nextafter(pitch, kInf),
+      std::sqrt(2.0) * pitch,
+      2.0 * pitch,
+      0.0,
+  };
+}
+
+class BatchKernelTest : public ::testing::TestWithParam<double> {};
+
+// Dispatched contiguous kernels vs the scalar reference vs the per-point
+// predicate, over every alignment offset and tail length 0..11 (covers
+// every residue of the 4-lane AVX2 width, misaligned starts included).
+TEST_P(BatchKernelTest, ContiguousMatchesScalarAndPredicate) {
+  const double pitch = GetParam();
+  const TestPoints pts = MakeBoundaryPoints(64, pitch, /*seed=*/11);
+  std::vector<uint32_t> got(pts.xs.size());
+  std::vector<uint32_t> want(pts.xs.size());
+  for (const Point& probe : MakeProbes(pitch)) {
+    for (const double eps : MakeThresholds(pitch)) {
+      for (size_t offset = 0; offset < 8; ++offset) {
+        for (size_t len = 0; len <= 11; ++len) {
+          ASSERT_LE(offset + len, pts.xs.size());
+          const double* xs = pts.xs.data() + offset;
+          const double* ys = pts.ys.data() + offset;
+          // Ground truth from the per-point predicate.
+          size_t expected_count = 0;
+          for (size_t i = 0; i < len; ++i) {
+            want[expected_count] = static_cast<uint32_t>(i);
+            if (WithinDistance(probe, {xs[i], ys[i]}, eps)) {
+              ++expected_count;
+            }
+          }
+          ASSERT_EQ(CountWithinEpsLoc(probe, xs, ys, len, eps),
+                    expected_count)
+              << "offset=" << offset << " len=" << len << " eps=" << eps;
+          ASSERT_EQ(CountWithinEpsLocScalar(probe, xs, ys, len, eps),
+                    expected_count);
+          const size_t collected =
+              CollectWithinEpsLoc(probe, xs, ys, len, eps, got.data());
+          ASSERT_EQ(collected, expected_count);
+          size_t w = 0;
+          for (size_t i = 0; i < len; ++i) {
+            if (WithinDistance(probe, {xs[i], ys[i]}, eps)) {
+              ASSERT_EQ(got[w], static_cast<uint32_t>(i))
+                  << "offset=" << offset << " len=" << len;
+              ++w;
+            }
+          }
+          ASSERT_EQ(
+              CollectWithinEpsLocScalar(probe, xs, ys, len, eps, want.data()),
+              expected_count);
+          for (size_t i = 0; i < expected_count; ++i) {
+            ASSERT_EQ(got[i], want[i]);
+          }
+        }
+      }
+    }
+  }
+}
+
+// Gather kernels: arbitrary index subsets (repeats and out-of-order
+// included) must agree with the per-point predicate, preserving idx order
+// in the collected output.
+TEST_P(BatchKernelTest, GatherMatchesScalarAndPredicate) {
+  const double pitch = GetParam();
+  const TestPoints pts = MakeBoundaryPoints(48, pitch, /*seed=*/23);
+  Rng rng(29);
+  for (const Point& probe : MakeProbes(pitch)) {
+    for (const double eps : MakeThresholds(pitch)) {
+      for (size_t len = 0; len <= 11; ++len) {
+        std::vector<uint32_t> idx(len);
+        for (size_t i = 0; i < len; ++i) {
+          idx[i] = static_cast<uint32_t>(rng.NextBelow(pts.xs.size()));
+        }
+        size_t expected_count = 0;
+        std::vector<uint32_t> expected;
+        for (const uint32_t j : idx) {
+          if (WithinDistance(probe, {pts.xs[j], pts.ys[j]}, eps)) {
+            ++expected_count;
+            expected.push_back(j);
+          }
+        }
+        ASSERT_EQ(CountWithinEpsLoc(probe, pts.xs.data(), pts.ys.data(),
+                                    std::span<const uint32_t>(idx), eps),
+                  expected_count)
+            << "len=" << len << " eps=" << eps;
+        ASSERT_EQ(
+            CountWithinEpsLocScalar(probe, pts.xs.data(), pts.ys.data(),
+                                    std::span<const uint32_t>(idx), eps),
+            expected_count);
+        std::vector<uint32_t> got(len + 1, 0xdeadbeefu);
+        ASSERT_EQ(CollectWithinEpsLoc(probe, pts.xs.data(), pts.ys.data(),
+                                      std::span<const uint32_t>(idx), eps,
+                                      got.data()),
+                  expected_count);
+        for (size_t i = 0; i < expected_count; ++i) {
+          ASSERT_EQ(got[i], expected[i]) << "len=" << len;
+        }
+        std::vector<uint32_t> got_scalar(len + 1, 0u);
+        ASSERT_EQ(
+            CollectWithinEpsLocScalar(probe, pts.xs.data(), pts.ys.data(),
+                                      std::span<const uint32_t>(idx), eps,
+                                      got_scalar.data()),
+            expected_count);
+        for (size_t i = 0; i < expected_count; ++i) {
+          ASSERT_EQ(got_scalar[i], expected[i]);
+        }
+      }
+    }
+  }
+}
+
+// Random (non-lattice) coordinates at larger block sizes: the dispatched
+// and scalar kernels must stay bit-identical well past the tail logic.
+TEST_P(BatchKernelTest, RandomBlocksDispatchEqualsScalar) {
+  const double pitch = GetParam();
+  Rng rng(101);
+  for (const size_t n : {1u, 4u, 5u, 31u, 64u, 257u}) {
+    TestPoints pts;
+    for (size_t i = 0; i < n; ++i) {
+      pts.xs.push_back(rng.NextDouble() * 10.0 * pitch);
+      pts.ys.push_back(rng.NextDouble() * 10.0 * pitch);
+    }
+    const Point probe{rng.NextDouble() * 10.0 * pitch,
+                      rng.NextDouble() * 10.0 * pitch};
+    for (const double eps : MakeThresholds(pitch)) {
+      const size_t want_count =
+          CountWithinEpsLocScalar(probe, pts.xs.data(), pts.ys.data(), n, eps);
+      ASSERT_EQ(CountWithinEpsLoc(probe, pts.xs.data(), pts.ys.data(), n, eps),
+                want_count)
+          << "n=" << n << " eps=" << eps;
+      std::vector<uint32_t> got(n), want(n);
+      ASSERT_EQ(CollectWithinEpsLoc(probe, pts.xs.data(), pts.ys.data(), n,
+                                    eps, got.data()),
+                want_count);
+      ASSERT_EQ(CollectWithinEpsLocScalar(probe, pts.xs.data(), pts.ys.data(),
+                                          n, eps, want.data()),
+                want_count);
+      for (size_t i = 0; i < want_count; ++i) ASSERT_EQ(got[i], want[i]);
+    }
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Pitches, BatchKernelTest,
+                         ::testing::Values(0.125, 0.1, 0.3, 0.07));
+
+TEST(ZOrderKeyTest, InterleavesAndOrdersNeighbours) {
+  const Rect bounds{0.0, 0.0, 1.0, 1.0};
+  // Corners: min maps to key 0; max maps to all 32 bits set.
+  EXPECT_EQ(ZOrderKey(bounds, {0.0, 0.0}), 0u);
+  EXPECT_EQ(ZOrderKey(bounds, {1.0, 1.0}), 0xffffffffu);
+  // y occupies the odd bit positions: a pure-y point has only odd bits.
+  const uint64_t y_only = ZOrderKey(bounds, {0.0, 1.0});
+  EXPECT_EQ(y_only & 0x55555555u, 0u);
+  EXPECT_EQ(y_only, 0xaaaaaaaau);
+  const uint64_t x_only = ZOrderKey(bounds, {1.0, 0.0});
+  EXPECT_EQ(x_only, 0x55555555u);
+  // Quadrants sort in Z order: (lo,lo) < (hi,lo) < (lo,hi) < (hi,hi).
+  const uint64_t q00 = ZOrderKey(bounds, {0.2, 0.2});
+  const uint64_t q10 = ZOrderKey(bounds, {0.7, 0.2});
+  const uint64_t q01 = ZOrderKey(bounds, {0.2, 0.7});
+  const uint64_t q11 = ZOrderKey(bounds, {0.7, 0.7});
+  EXPECT_LT(q00, q10);
+  EXPECT_LT(q10, q01);
+  EXPECT_LT(q01, q11);
+}
+
+TEST(ZOrderKeyTest, DegenerateBoundsAreSafe) {
+  // Zero-extent bounds quantize everything to 0 instead of dividing by 0.
+  const Rect degenerate{2.0, 3.0, 2.0, 3.0};
+  EXPECT_EQ(ZOrderKey(degenerate, {2.0, 3.0}), 0u);
+  EXPECT_EQ(ZOrderKey(degenerate, {5.0, -1.0}), 0u);
+}
+
+TEST(BatchDispatchTest, ReportsAPath) {
+  // Smoke: the dispatch query must be callable and stable.
+  EXPECT_EQ(BatchKernelsUseAvx2(), BatchKernelsUseAvx2());
+}
+
+}  // namespace
+}  // namespace stps
