@@ -20,14 +20,22 @@ echo "=== bench smoke: tiny-scale runs + baseline sanity ==="
 #   scripts/compare_bench.py BENCH_spatial.json /tmp/new.json
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
-cmake --build "$ROOT/build" -j --target bench_spatial bench_kernels
+cmake --build "$ROOT/build" -j --target bench_spatial bench_kernels bench_sketch
 "$ROOT/build/bench/bench_spatial" --smoke "$SMOKE_DIR/spatial.json"
 "$ROOT/build/bench/bench_kernels" --smoke "$SMOKE_DIR/kernels.json"
+"$ROOT/build/bench/bench_sketch" --smoke "$SMOKE_DIR/sketch.json"
 python3 "$ROOT/scripts/compare_bench.py" --require 'high_density_speedup>=1.5' \
     "$ROOT/BENCH_spatial.json" "$ROOT/BENCH_spatial.json"
 python3 "$ROOT/scripts/compare_bench.py" \
     --require 'low_similarity_workload_speedup>=1.0' \
     "$ROOT/BENCH_kernels.json" "$ROOT/BENCH_kernels.json"
+# The sketch gates are work counters (exact on any machine): sketch
+# verifications must undercut brute force >= 3x at the largest sweep
+# point and grow sub-quadratically in the user count.
+python3 "$ROOT/scripts/compare_bench.py" \
+    --require 'verify_reduction_at_max>=3' \
+    --require 'candidate_growth_exponent<=1.95' \
+    "$ROOT/BENCH_sketch.json" "$ROOT/BENCH_sketch.json"
 
 echo "=== ASan + UBSan ==="
 "$ROOT/scripts/run_asan_tests.sh" "$ROOT/build-asan"
@@ -40,6 +48,6 @@ cmake -B "$ROOT/build-ubsan" -S "$ROOT" -DSTPS_UBSAN=ON
 cmake --build "$ROOT/build-ubsan" -j
 (cd "$ROOT/build-ubsan" && \
      UBSAN_OPTIONS=print_stacktrace=1 \
-     ctest --output-on-failure -R 'boundary_oracle|predicates')
+     ctest --output-on-failure -R 'boundary_oracle|predicates|sketch')
 
 echo "=== all checks passed ==="

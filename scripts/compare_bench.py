@@ -31,7 +31,8 @@ import sys
 MEASUREMENT_SUFFIXES = ("_ns", "_ms", "_speedup")
 MEASUREMENT_FIELDS = frozenset(
     {"matches", "signature_rejections", "scanned", "pairs", "probes",
-     "speedup"}
+     "speedup", "brute_pairs", "baseline_verified", "sketch_candidates",
+     "sketch_rejections"}
 )
 
 

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "sketch/sketch.h"
 #include "spatial/batch.h"
 #include "text/token_set.h"
 
@@ -131,6 +132,10 @@ ObjectDatabase DatabaseBuilder::Build() && {
   }
   db.insertion_order_ = std::move(order);
   objects_.clear();
+  // The sketch layer reads the finished database (bounds, user spans,
+  // token arena), so it is the last construction step; io/binary.cc
+  // round-trips rebuild it automatically by funnelling through here.
+  db.sketches_ = BuildUserSketches(db);
   return db;
 }
 

@@ -9,6 +9,7 @@
 #ifndef STPS_CORE_DATABASE_H_
 #define STPS_CORE_DATABASE_H_
 
+#include <memory>
 #include <span>
 #include <string>
 #include <string_view>
@@ -21,6 +22,8 @@
 #include "text/dictionary.h"
 
 namespace stps {
+
+class UserSketchIndex;  // sketch/sketch.h
 
 /// Immutable database of spatio-textual objects grouped by user.
 ///
@@ -127,6 +130,16 @@ class ObjectDatabase {
   /// objects index into it.
   const Dictionary& dictionary() const { return dictionary_; }
 
+  /// The per-user sketch layer (MinHash signatures, occupancy bitmaps,
+  /// and the band index; sketch/sketch.h), built once at Build time —
+  /// query-independent, like the SoA mirrors. Present on every built
+  /// database; a default-constructed (empty) database has none.
+  const UserSketchIndex& sketches() const {
+    STPS_DCHECK(sketches_ != nullptr);
+    return *sketches_;
+  }
+  bool has_sketches() const { return sketches_ != nullptr; }
+
  private:
   friend class DatabaseBuilder;
 
@@ -142,6 +155,9 @@ class ObjectDatabase {
   std::vector<std::string> user_names_;
   Rect bounds_ = Rect::Empty();
   Dictionary dictionary_;
+  // shared_ptr (not unique_ptr): the deleter is type-erased, so the
+  // forward declaration above suffices for the implicit special members.
+  std::shared_ptr<const UserSketchIndex> sketches_;
 };
 
 /// Accumulates raw objects and produces an ObjectDatabase.

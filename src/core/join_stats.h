@@ -34,10 +34,20 @@
 //                            batch width, the measure of how much the
 //                            SoA layout actually amortises.
 //  * matches_found         — result pairs (for top-k: the final k).
+//  * sketch_candidate_pairs — user pairs surfaced by the per-user sketch
+//                            layer's band index (sketch/sketch.h); every
+//                            one of them flows into the exact verify
+//                            path, so for the sketch drivers this equals
+//                            pairs_candidate.
+//  * sketch_rejections     — band-index pairs disproven by the occupancy
+//                            sketches before verification (each such
+//                            rejection is an exact spatial separation
+//                            proof; rejected pairs are never candidates).
 //
 // Invariants (asserted by the consistency fuzz suite):
 //   pairs_candidate == pairs_pruned_count + pairs_verified
 //   pairs_verified  >= matches_found
+//   sketch_candidate_pairs >= matches_found   (sketch drivers)
 
 #ifndef STPS_CORE_JOIN_STATS_H_
 #define STPS_CORE_JOIN_STATS_H_
@@ -60,6 +70,8 @@ struct JoinStats {
   uint64_t batch_distance_calls = 0;
   uint64_t batch_lanes_filled = 0;
   uint64_t matches_found = 0;
+  uint64_t sketch_candidate_pairs = 0;
+  uint64_t sketch_rejections = 0;
 
   /// Sums another accumulator into this one (worker merge).
   void Merge(const JoinStats& o) {
@@ -74,6 +86,8 @@ struct JoinStats {
     batch_distance_calls += o.batch_distance_calls;
     batch_lanes_filled += o.batch_lanes_filled;
     matches_found += o.matches_found;
+    sketch_candidate_pairs += o.sketch_candidate_pairs;
+    sketch_rejections += o.sketch_rejections;
   }
 
   friend bool operator==(const JoinStats& x, const JoinStats& y) {
@@ -87,7 +101,9 @@ struct JoinStats {
            x.signature_rejections == y.signature_rejections &&
            x.batch_distance_calls == y.batch_distance_calls &&
            x.batch_lanes_filled == y.batch_lanes_filled &&
-           x.matches_found == y.matches_found;
+           x.matches_found == y.matches_found &&
+           x.sketch_candidate_pairs == y.sketch_candidate_pairs &&
+           x.sketch_rejections == y.sketch_rejections;
   }
 };
 
@@ -97,7 +113,7 @@ inline std::string FormatJoinStats(const JoinStats& s) {
   std::snprintf(buf, sizeof(buf),
                 "cells=%llu prunedS/T/C=%llu/%llu/%llu cand=%llu "
                 "verified=%llu earlystop=%llu sigrej=%llu batch=%llu/%llu "
-                "matches=%llu",
+                "matches=%llu sketch=%llu/%llu",
                 static_cast<unsigned long long>(s.cells_visited),
                 static_cast<unsigned long long>(s.pairs_pruned_spatial),
                 static_cast<unsigned long long>(s.pairs_pruned_textual),
@@ -108,7 +124,9 @@ inline std::string FormatJoinStats(const JoinStats& s) {
                 static_cast<unsigned long long>(s.signature_rejections),
                 static_cast<unsigned long long>(s.batch_distance_calls),
                 static_cast<unsigned long long>(s.batch_lanes_filled),
-                static_cast<unsigned long long>(s.matches_found));
+                static_cast<unsigned long long>(s.matches_found),
+                static_cast<unsigned long long>(s.sketch_candidate_pairs),
+                static_cast<unsigned long long>(s.sketch_rejections));
   return buf;
 }
 

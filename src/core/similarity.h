@@ -11,20 +11,24 @@
 
 #include "common/thread_pool.h"
 #include "core/database.h"
+#include "sketch/options.h"
 #include "stjoin/object.h"
 
 namespace stps {
 
 /// An STPSJoin query Q = <eps_loc, eps_doc, eps_u> (Definition 1), plus
 /// the optional temporal threshold of the future-work extension
-/// (infinite by default, i.e. disabled) and the parallel-execution knobs
-/// (sequential by default; see common/thread_pool.h).
+/// (infinite by default, i.e. disabled), the parallel-execution knobs
+/// (sequential by default; see common/thread_pool.h), and the sketch
+/// candidate-generation opt-in (off by default; see sketch/options.h —
+/// enabling it never changes results).
 struct STPSQuery {
   double eps_loc = 0.0;
   double eps_doc = 0.0;
   double eps_u = 0.0;
   double eps_time = std::numeric_limits<double>::infinity();
   ParallelOptions parallel = {};
+  SketchOptions sketch = {};
 
   MatchThresholds match_thresholds() const {
     return {eps_loc, eps_doc, eps_time};
@@ -38,6 +42,7 @@ struct TopKQuery {
   size_t k = 10;
   double eps_time = std::numeric_limits<double>::infinity();
   ParallelOptions parallel = {};
+  SketchOptions sketch = {};
 
   MatchThresholds match_thresholds() const {
     return {eps_loc, eps_doc, eps_time};

@@ -7,6 +7,7 @@
 #include "core/sppj_d.h"
 #include "core/sppj_f.h"
 #include "core/sppj_f_parallel.h"
+#include "sketch/sketch_join.h"
 
 namespace stps {
 
@@ -18,6 +19,16 @@ std::vector<ScoredUserPair> RunSTPSJoin(const ObjectDatabase& db,
   const int threads =
       std::max(options.threads, query.parallel.num_threads);
   const ParallelOptions parallel{threads, query.parallel.grain};
+  // Sketch-generated candidates replace the per-algorithm filter stage
+  // for every non-brute algorithm (verification is the shared PPJ-B
+  // kernel, so results stay bit-identical). The band index is only a
+  // sound filter when a match implies a common token, i.e. eps_doc > 0
+  // with a real threshold eps_u > 0; otherwise fall through to the
+  // requested algorithm unchanged.
+  if (query.sketch.enabled && options.algorithm != JoinAlgorithm::kBruteForce &&
+      query.eps_doc > 0.0 && query.eps_u > 0.0) {
+    return SketchSTPSJoin(db, query, parallel, stats);
+  }
   switch (options.algorithm) {
     case JoinAlgorithm::kBruteForce:
       return BruteForceSTPSJoin(db, query);
@@ -45,6 +56,12 @@ std::vector<ScoredUserPair> RunTopKSTPSJoin(const ObjectDatabase& db,
                                             const TopKQuery& query,
                                             TopKAlgorithm algorithm,
                                             JoinStats* stats) {
+  // Sketch candidates with the heavy-hitters verification order stand in
+  // for every index-based variant (kF/kS/kP differ only in traversal
+  // order, which sketches supersede; brute force stays brute force).
+  if (query.sketch.enabled && algorithm != TopKAlgorithm::kBruteForce) {
+    return SketchTopKSTPSJoin(db, query, query.parallel, stats);
+  }
   const bool parallel = query.parallel.num_threads > 1;
   switch (algorithm) {
     case TopKAlgorithm::kBruteForce:

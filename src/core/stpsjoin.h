@@ -50,6 +50,13 @@ struct JoinOptions {
 /// bit-identical at any thread count. Preconditions for the filter-based
 /// algorithms (F, D): eps_doc > 0 and eps_u > 0. `stats` (optional)
 /// receives the per-stage filter counters of the run.
+///
+/// When query.sketch.enabled (and eps_doc > 0, eps_u > 0), candidate
+/// pairs come from the per-user sketch layer instead of the chosen
+/// algorithm's filter stage and are settled by the exact PPJ-B kernel:
+/// same results, same order, same scores — only the work differs (see
+/// sketch/sketch.h; JoinStats::sketch_* report the candidate flow).
+/// Brute force ignores the knob.
 std::vector<ScoredUserPair> RunSTPSJoin(const ObjectDatabase& db,
                                         const STPSQuery& query,
                                         const JoinOptions& options = {},
@@ -58,7 +65,10 @@ std::vector<ScoredUserPair> RunSTPSJoin(const ObjectDatabase& db,
 /// Evaluates the top-k query; results best-first under TopKBetter.
 /// Precondition for the index-based variants: eps_doc > 0. When
 /// query.parallel.num_threads > 1, the index-based variants run on the
-/// work-stealing pool (identical results at any thread count).
+/// work-stealing pool (identical results at any thread count). When
+/// query.sketch.enabled, every index-based variant verifies the sketch
+/// layer's candidates in count-min heavy-hitters order instead —
+/// bit-identical results, work reported via JoinStats::sketch_*.
 std::vector<ScoredUserPair> RunTopKSTPSJoin(
     const ObjectDatabase& db, const TopKQuery& query,
     TopKAlgorithm algorithm = TopKAlgorithm::kP, JoinStats* stats = nullptr);

@@ -9,56 +9,13 @@
 #include "common/predicates.h"
 #include "core/parallel_util.h"
 #include "core/ppjb.h"
+#include "core/result_queue.h"
 #include "core/sppj_d.h"
 #include "core/user_grid.h"
 
 namespace stps {
 
 namespace {
-
-struct TopKBetterCmp {
-  bool operator()(const ScoredUserPair& x, const ScoredUserPair& y) const {
-    return TopKBetter(x, y);
-  }
-};
-
-// Bounded best-k container under the TopKBetter total order.
-//
-// Tie semantics at the threshold: a candidate whose score exactly equals
-// the tail's enters iff it beats the tail on the id order (TopKBetter is a
-// total order, so Offer is deterministic and independent of arrival
-// order). Every pruning stage upstream must therefore keep candidates
-// whose score can still *equal* Threshold() — which is why those prunes go
-// through the exact counting predicates of common/predicates.h and never
-// through a rounded quotient: the sequential driver and the parallel
-// driver (thread-local queues merged via Offer at the end) then resolve
-// boundary ties identically.
-class ResultQueue {
- public:
-  explicit ResultQueue(size_t k) : k_(k) {}
-
-  bool full() const { return pairs_.size() >= k_; }
-
-  /// The score a pair must reach to possibly enter (0 until full).
-  double Threshold() const { return full() ? Tail().score : 0.0; }
-
-  /// Offers a pair; keeps only the best k.
-  void Offer(const ScoredUserPair& pair) {
-    if (full() && !TopKBetter(pair, Tail())) return;
-    pairs_.insert(pair);
-    if (pairs_.size() > k_) pairs_.erase(std::prev(pairs_.end()));
-  }
-
-  std::vector<ScoredUserPair> TakeSorted() const {
-    return std::vector<ScoredUserPair>(pairs_.begin(), pairs_.end());
-  }
-
- private:
-  const ScoredUserPair& Tail() const { return *pairs_.rbegin(); }
-
-  size_t k_;
-  std::set<ScoredUserPair, TopKBetterCmp> pairs_;
-};
 
 // Ascending |Du| (ties: ascending id) — the order of TOPK-S-PPJ-F / -P.
 std::vector<UserId> OrderBySize(const ObjectDatabase& db) {

@@ -89,6 +89,35 @@ DatasetSpec PresetSpec(DatasetKind kind, size_t num_users, uint64_t seed) {
       spec.twin_jitter = 0.0004;
       break;
     }
+    case DatasetKind::kCheckinSparse: {
+      // Country-extent check-in corpus engineered so spatial density per
+      // city stays constant as num_users grows: the city count scales
+      // linearly with users, so brute force degrades quadratically while
+      // the real close-pair graph grows near-linearly — the regime where
+      // sub-quadratic candidate generation pays off.
+      spec.name = "CheckinSparse";
+      spec.extent = {-125.0, 25.0, -67.0, 49.0};
+      spec.num_user_clusters = std::max<size_t>(32, num_users / 8);
+      spec.cluster_sigma = 0.05;
+      spec.num_pois = std::max<size_t>(200, num_users / 4);
+      spec.poi_zipf_theta = 0.8;
+      spec.poi_sigma = 0.001;
+      spec.poi_probability = 0.4;
+      spec.user_radius = 0.02;
+      spec.vocabulary_size = std::max<size_t>(2000, 20 * num_users);
+      spec.token_zipf_theta = 0.9;
+      spec.tokens_per_object_mean = 2.5;
+      spec.tokens_per_object_stddev = 1.5;
+      spec.poi_pool_size = 6;
+      spec.poi_token_probability = 0.7;
+      spec.objects_per_user_mean = 8.0;
+      spec.objects_per_user_stddev = 6.0;
+      spec.max_objects_per_user = 64;
+      spec.twin_fraction = 0.05;
+      spec.twin_copy_probability = 0.85;
+      spec.twin_jitter = 0.0004;
+      break;
+    }
   }
   return spec;
 }
@@ -101,6 +130,8 @@ STPSQuery DefaultQuery(DatasetKind kind) {
       return {0.001, 0.4, 0.4};
     case DatasetKind::kGeoTextLike:
       return {0.001, 0.3, 0.3};
+    case DatasetKind::kCheckinSparse:
+      return {0.001, 0.4, 0.4};
   }
   return {0.001, 0.4, 0.4};
 }
@@ -113,6 +144,8 @@ const char* DatasetKindName(DatasetKind kind) {
       return "TwitterLike";
     case DatasetKind::kGeoTextLike:
       return "GeoTextLike";
+    case DatasetKind::kCheckinSparse:
+      return "CheckinSparse";
   }
   return "unknown";
 }

@@ -14,9 +14,12 @@ namespace stps {
 
 /// The three evaluation regimes.
 enum class DatasetKind {
-  kFlickrLike,   // city extent, POI-dominated, rich near-duplicate tags
-  kTwitterLike,  // city extent, diverse short texts, many objects/user
-  kGeoTextLike,  // country extent, sparse short posts
+  kFlickrLike,    // city extent, POI-dominated, rich near-duplicate tags
+  kTwitterLike,   // city extent, diverse short texts, many objects/user
+  kGeoTextLike,   // country extent, sparse short posts
+  kCheckinSparse, // country extent, city count scales with users: the
+                  // close-pair graph grows near-linearly, not
+                  // quadratically (sketch benchmark regime)
 };
 
 /// The generator spec for `kind` at the given scale.

@@ -1,0 +1,102 @@
+// Count-min sketch: a fixed-size frequency summary with a one-sided
+// error guarantee — Estimate(key) >= true count, always (each of the
+// `depth` rows stores the true count plus whatever collided into the same
+// cell, and the minimum over rows is still an over-count). The candidate
+// generator uses it to rank pair co-occurrence counts for the top-k
+// heavy-hitters pass without a per-pair hash map; the one-sidedness means
+// a genuinely heavy pair can never be under-ranked by more than the
+// collision noise, and (as with every sketch in this library) the ranking
+// only orders exact verification — it never decides membership.
+
+#ifndef STPS_SKETCH_COUNT_MIN_H_
+#define STPS_SKETCH_COUNT_MIN_H_
+
+#include <cstdint>
+#include <limits>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace stps {
+
+/// SplitMix64 finalizer: the shared bit-mixer of the sketch layer. Maps
+/// any 64-bit key to a well-distributed 64-bit value; distinct salts give
+/// independent-enough hash functions for minhash rows, LSH bands, and
+/// count-min rows alike.
+inline uint64_t SketchMix64(uint64_t x) {
+  x ^= x >> 30;
+  x *= 0xBF58476D1CE4E5B9ull;
+  x ^= x >> 27;
+  x *= 0x94D049BB133111EBull;
+  x ^= x >> 31;
+  return x;
+}
+
+/// Deterministic salt stream for deriving per-row / per-band seeds from
+/// one master seed (SplitMix64's state update + finalizer).
+class SketchSaltStream {
+ public:
+  explicit SketchSaltStream(uint64_t seed) : state_(seed) {}
+
+  uint64_t Next() {
+    state_ += 0x9E3779B97F4A7C15ull;
+    return SketchMix64(state_);
+  }
+
+ private:
+  uint64_t state_;
+};
+
+/// depth x 2^log2_width counter matrix. Saturating adds keep the
+/// never-under-count guarantee even at (absurd) counter overflow.
+class CountMinSketch {
+ public:
+  CountMinSketch(uint32_t log2_width, uint32_t depth, uint64_t seed)
+      : mask_((1ull << log2_width) - 1),
+        depth_(depth),
+        cells_(static_cast<size_t>(depth) << log2_width, 0) {
+    STPS_CHECK(log2_width >= 1 && log2_width < 32);
+    STPS_CHECK(depth >= 1);
+    SketchSaltStream salts(seed);
+    salts_.reserve(depth);
+    for (uint32_t d = 0; d < depth; ++d) salts_.push_back(salts.Next());
+  }
+
+  /// Adds `count` occurrences of `key`.
+  void Add(uint64_t key, uint64_t count) {
+    for (uint32_t d = 0; d < depth_; ++d) {
+      uint64_t& cell = cells_[Slot(d, key)];
+      const uint64_t room = std::numeric_limits<uint64_t>::max() - cell;
+      cell += count < room ? count : room;
+    }
+  }
+
+  /// An upper bound on the total count added for `key` (exact when no
+  /// row collided; never below the true count).
+  uint64_t Estimate(uint64_t key) const {
+    uint64_t best = std::numeric_limits<uint64_t>::max();
+    for (uint32_t d = 0; d < depth_; ++d) {
+      const uint64_t cell = cells_[Slot(d, key)];
+      if (cell < best) best = cell;
+    }
+    return best;
+  }
+
+  size_t width() const { return mask_ + 1; }
+  uint32_t depth() const { return depth_; }
+
+ private:
+  size_t Slot(uint32_t d, uint64_t key) const {
+    return (static_cast<size_t>(d) * (mask_ + 1)) +
+           (SketchMix64(key ^ salts_[d]) & mask_);
+  }
+
+  uint64_t mask_;
+  uint32_t depth_;
+  std::vector<uint64_t> salts_;
+  std::vector<uint64_t> cells_;
+};
+
+}  // namespace stps
+
+#endif  // STPS_SKETCH_COUNT_MIN_H_

@@ -1,0 +1,334 @@
+#include "sketch/sketch.h"
+
+#include <algorithm>
+#include <cstdint>
+#include <limits>
+#include <numeric>
+
+#include "common/macros.h"
+#include "core/database.h"
+#include "core/user_grid.h"
+#include "sketch/count_min.h"
+
+namespace stps {
+
+namespace {
+
+// Clamped cell coordinate of `v` on an n-cell axis over [lo, lo + width].
+// Degenerate axes (width == 0, every point identical) collapse to cell 0.
+uint32_t CellCoord(double v, double lo, double width, uint32_t n) {
+  if (!(width > 0.0)) return 0;
+  const double f = (v - lo) * static_cast<double>(n) / width;
+  if (!(f > 0.0)) return 0;
+  if (f >= static_cast<double>(n)) return n - 1;
+  return static_cast<uint32_t>(f);
+}
+
+// Conservative per-axis probe radius in cells: two points within `eps`
+// of each other on this axis have cell coordinates differing by at most
+// floor(eps * n / width) + 1 in exact arithmetic; one more cell absorbs
+// the floating-point rounding of the cell assignment (the same
+// always-over policy as Rect::Extended — see common/predicates.h).
+int64_t RadiusCells(double eps, double width, uint32_t n) {
+  if (!(width > 0.0)) return n;  // degenerate axis: everything co-located
+  const double cells = eps * static_cast<double>(n) / width;
+  if (!(cells < static_cast<double>(n))) return n;
+  return static_cast<int64_t>(cells) + 2;
+}
+
+// Dilates an 8x8 occupancy bitmap by rx columns and ry rows (saturating
+// at the grid border; radii >= 8 flood the mask).
+uint64_t DilateMask(uint64_t m, int64_t rx, int64_t ry) {
+  constexpr uint64_t kCol0 = 0x0101010101010101ull;
+  constexpr uint64_t kCol7 = 0x8080808080808080ull;
+  if (rx >= 8 || ry >= 8) return m != 0 ? ~0ull : 0ull;
+  for (int64_t i = 0; i < rx; ++i) {
+    m |= ((m & ~kCol7) << 1) | ((m & ~kCol0) >> 1);
+  }
+  for (int64_t i = 0; i < ry; ++i) {
+    m |= (m << 8) | (m >> 8);
+  }
+  return m;
+}
+
+// True when some cell of `au` is within the (rx, ry) window of some cell
+// of `av` on the G x G occupancy grid. Probes the longer sorted list with
+// one binary search per (cell, row) window of the shorter.
+bool CellListsClose(std::span<const uint32_t> au, std::span<const uint32_t> av,
+                    int64_t rx, int64_t ry, uint32_t g) {
+  if (au.empty() || av.empty()) return false;
+  if (au.size() > av.size()) std::swap(au, av);
+  const int64_t last = static_cast<int64_t>(g) - 1;
+  for (const uint32_t cell : au) {
+    const int64_t row = cell / g;
+    const int64_t col = cell % g;
+    const int64_t r1 = std::min(last, row + ry);
+    const int64_t c0 = std::max<int64_t>(0, col - rx);
+    const int64_t c1 = std::min(last, col + rx);
+    for (int64_t r = std::max<int64_t>(0, row - ry); r <= r1; ++r) {
+      const uint32_t lo = static_cast<uint32_t>(r * g + c0);
+      const uint32_t hi = static_cast<uint32_t>(r * g + c1);
+      const auto it = std::lower_bound(av.begin(), av.end(), lo);
+      if (it != av.end() && *it <= hi) return true;
+    }
+  }
+  return false;
+}
+
+template <typename T>
+void SortUniqueVec(std::vector<T>* v) {
+  std::sort(v->begin(), v->end());
+  v->erase(std::unique(v->begin(), v->end()), v->end());
+}
+
+// Co-occurrence accumulator slot for UserCandidateTable.
+struct PairHits {
+  uint32_t hits = 0;
+  void Clear() { hits = 0; }
+};
+
+uint64_t PairKey(UserId a, UserId b) {
+  return (static_cast<uint64_t>(a) << 32) | b;
+}
+
+}  // namespace
+
+UserSketchIndex::UserSketchIndex(const ObjectDatabase& db,
+                                 const SketchParams& params)
+    : params_(params), num_users_(db.num_users()) {
+  STPS_CHECK(params_.num_hashes >= 1);
+  STPS_CHECK(params_.num_bands >= 1);
+  STPS_CHECK(params_.index_grid_bits >= 1 && params_.index_grid_bits <= 15);
+  STPS_CHECK(params_.occupancy_grid_bits >= 3 &&
+             params_.occupancy_grid_bits <= 15);
+
+  SketchSaltStream salts(params_.seed);
+  band_salt_ = salts.Next();
+  row_salts_.reserve(params_.num_hashes);
+  for (uint32_t i = 0; i < params_.num_hashes; ++i) {
+    row_salts_.push_back(salts.Next());
+  }
+
+  const Rect& bounds = db.bounds();
+  if (!bounds.IsEmpty()) {
+    min_x_ = bounds.min_x;
+    min_y_ = bounds.min_y;
+    width_x_ = bounds.max_x - bounds.min_x;
+    width_y_ = bounds.max_y - bounds.min_y;
+  }
+
+  const uint32_t g = 1u << params_.occupancy_grid_bits;
+  const uint32_t ic = 1u << params_.index_grid_bits;
+  const uint32_t fold = params_.occupancy_grid_bits - 3;
+
+  minhash_.assign(num_users_ * params_.num_hashes,
+                  std::numeric_limits<uint64_t>::max());
+  masks_.assign(num_users_, 0);
+  occ_begin_.assign(num_users_ + 1, 0);
+  user_key_begin_.assign(num_users_ + 1, 0);
+
+  std::vector<uint32_t> cells;
+  std::vector<uint64_t> keys;
+  TokenVector union_tokens;
+  for (UserId u = 0; u < num_users_; ++u) {
+    cells.clear();
+    keys.clear();
+    union_tokens.clear();
+    for (const STObject& o : db.UserObjects(u)) {
+      const uint32_t col = CellCoord(o.loc.x, min_x_, width_x_, g);
+      const uint32_t row = CellCoord(o.loc.y, min_y_, width_y_, g);
+      cells.push_back(row * g + col);
+      const uint64_t icell =
+          static_cast<uint64_t>(CellCoord(o.loc.y, min_y_, width_y_, ic)) *
+              ic +
+          CellCoord(o.loc.x, min_x_, width_x_, ic);
+      for (const TokenId t : o.doc) {
+        union_tokens.push_back(t);
+        const uint64_t band =
+            SketchMix64(static_cast<uint64_t>(t) ^ band_salt_) %
+            params_.num_bands;
+        keys.push_back(icell * params_.num_bands + band);
+      }
+    }
+    SortUniqueVec(&cells);
+    SortUniqueVec(&keys);
+    SortUniqueVec(&union_tokens);
+
+    occ_cells_.insert(occ_cells_.end(), cells.begin(), cells.end());
+    occ_begin_[u + 1] = static_cast<uint32_t>(occ_cells_.size());
+    user_keys_.insert(user_keys_.end(), keys.begin(), keys.end());
+    user_key_begin_[u + 1] = static_cast<uint32_t>(user_keys_.size());
+
+    uint64_t mask = 0;
+    for (const uint32_t cell : cells) {
+      const uint32_t mrow = (cell / g) >> fold;
+      const uint32_t mcol = (cell % g) >> fold;
+      mask |= 1ull << (mrow * 8 + mcol);
+    }
+    masks_[u] = mask;
+
+    uint64_t* rows = minhash_.data() + static_cast<size_t>(u) *
+                                           params_.num_hashes;
+    for (const TokenId t : union_tokens) {
+      for (uint32_t i = 0; i < params_.num_hashes; ++i) {
+        const uint64_t h =
+            SketchMix64(static_cast<uint64_t>(t) ^ row_salts_[i]);
+        if (h < rows[i]) rows[i] = h;
+      }
+    }
+  }
+
+  // Invert the per-user key lists into flat postings: sort by (key, user)
+  // — users were appended in ascending id order per key already, but the
+  // pair sort makes that an invariant rather than an accident.
+  std::vector<std::pair<uint64_t, UserId>> flat;
+  flat.reserve(user_keys_.size());
+  for (UserId u = 0; u < num_users_; ++u) {
+    for (const uint64_t key : UserKeys(u)) flat.emplace_back(key, u);
+  }
+  std::sort(flat.begin(), flat.end());
+  post_users_.reserve(flat.size());
+  for (const auto& [key, u] : flat) {
+    if (post_keys_.empty() || post_keys_.back() != key) {
+      post_keys_.push_back(key);
+      post_begin_.push_back(static_cast<uint32_t>(post_users_.size()));
+    }
+    post_users_.push_back(u);
+  }
+  post_begin_.push_back(static_cast<uint32_t>(post_users_.size()));
+}
+
+std::span<const UserId> UserSketchIndex::Postings(uint64_t key) const {
+  const auto it = std::lower_bound(post_keys_.begin(), post_keys_.end(), key);
+  if (it == post_keys_.end() || *it != key) return {};
+  const size_t i = static_cast<size_t>(it - post_keys_.begin());
+  return {post_users_.data() + post_begin_[i],
+          post_begin_[i + 1] - post_begin_[i]};
+}
+
+double UserSketchIndex::EstimateUnionJaccard(UserId u, UserId v) const {
+  // Empty union token sets have sentinel-only signatures; their Jaccard
+  // is 0 by convention, not the 1.0 the all-equal rows would suggest.
+  if (UserKeys(u).empty() || UserKeys(v).empty()) return 0.0;
+  const std::span<const uint64_t> a = MinHash(u);
+  const std::span<const uint64_t> b = MinHash(v);
+  uint32_t equal = 0;
+  for (size_t i = 0; i < a.size(); ++i) equal += a[i] == b[i] ? 1 : 0;
+  return static_cast<double>(equal) / static_cast<double>(a.size());
+}
+
+bool UserSketchIndex::OccupancyClose(UserId u, UserId v,
+                                     double eps_loc) const {
+  const uint32_t g = 1u << params_.occupancy_grid_bits;
+  const uint64_t dilated = DilateMask(masks_[u],
+                                      RadiusCells(eps_loc, width_x_, 8),
+                                      RadiusCells(eps_loc, width_y_, 8));
+  if ((dilated & masks_[v]) == 0) return false;
+  return CellListsClose(OccupancyCells(u), OccupancyCells(v),
+                        RadiusCells(eps_loc, width_x_, g),
+                        RadiusCells(eps_loc, width_y_, g), g);
+}
+
+SketchCandidates UserSketchIndex::GenerateCandidates(
+    double eps_loc, const SketchOptions& options) const {
+  SketchCandidates out;
+  if (num_users_ == 0 || post_keys_.empty()) return out;
+
+  const uint64_t bands = params_.num_bands;
+  const uint32_t g = 1u << params_.occupancy_grid_bits;
+  const int64_t ic = int64_t{1} << params_.index_grid_bits;
+  const int64_t irx = RadiusCells(eps_loc, width_x_, static_cast<uint32_t>(ic));
+  const int64_t iry = RadiusCells(eps_loc, width_y_, static_cast<uint32_t>(ic));
+  const int64_t mrx = RadiusCells(eps_loc, width_x_, 8);
+  const int64_t mry = RadiusCells(eps_loc, width_y_, 8);
+  const int64_t frx = RadiusCells(eps_loc, width_x_, g);
+  const int64_t fry = RadiusCells(eps_loc, width_y_, g);
+
+  struct Cand {
+    UserId a = 0;
+    UserId b = 0;
+    uint64_t estimate = 0;
+  };
+  std::vector<Cand> cands;
+  UserCandidateTable<PairHits> table;
+  CountMinSketch cms(/*log2_width=*/12, /*depth=*/4,
+                     params_.seed ^ 0xC0117E57ull);
+
+  for (UserId u = 0; u < num_users_; ++u) {
+    table.BeginRound(num_users_);
+    for (const uint64_t key : UserKeys(u)) {
+      const uint64_t band = key % bands;
+      const int64_t icell = static_cast<int64_t>(key / bands);
+      const int64_t irow = icell / ic;
+      const int64_t icol = icell % ic;
+      const int64_t r1 = std::min(ic - 1, irow + iry);
+      const int64_t c0 = std::max<int64_t>(0, icol - irx);
+      const int64_t c1 = std::min(ic - 1, icol + irx);
+      for (int64_t r = std::max<int64_t>(0, irow - iry); r <= r1; ++r) {
+        for (int64_t c = c0; c <= c1; ++c) {
+          const uint64_t probe =
+              static_cast<uint64_t>(r * ic + c) * bands + band;
+          for (const UserId v : Postings(probe)) {
+            if (v >= u) break;  // postings ascend by user id
+            ++table[v].hits;
+          }
+        }
+      }
+    }
+    if (table.size() == 0) continue;
+    const uint64_t dilated = DilateMask(masks_[u], mrx, mry);
+    for (const UserId v : table.SortedTouched()) {
+      // Occupancy rejection is exact spatial disproof: the bitmap first
+      // (one AND), then the fine cell lists. Dilation radii round
+      // outward, so a rejected pair provably has no object pair within
+      // eps_loc — rejection can never drop a result.
+      if ((dilated & masks_[v]) == 0 ||
+          !CellListsClose(OccupancyCells(u), OccupancyCells(v), frx, fry,
+                          g)) {
+        ++out.rejections;
+        continue;
+      }
+      const uint32_t hits = table[v].hits;
+      const uint64_t key = PairKey(v, u);
+      cms.Add(key, hits);
+      cands.push_back({v, u, cms.Estimate(key)});
+    }
+  }
+
+  // Canonical (a, b) order for the pair list; the priority permutation
+  // carries the heavy-hitters-first verification order on top of it.
+  std::sort(cands.begin(), cands.end(), [](const Cand& x, const Cand& y) {
+    if (x.a != y.a) return x.a < y.a;
+    return x.b < y.b;
+  });
+  const uint32_t total = static_cast<uint32_t>(cands.size());
+  out.pairs.reserve(total);
+  for (const Cand& c : cands) out.pairs.emplace_back(c.a, c.b);
+
+  out.priority.resize(total);
+  std::iota(out.priority.begin(), out.priority.end(), 0u);
+  const auto heavier = [&cands](uint32_t i, uint32_t j) {
+    if (cands[i].estimate != cands[j].estimate) {
+      return cands[i].estimate > cands[j].estimate;
+    }
+    return i < j;  // ties: ascending (a, b)
+  };
+  const uint32_t heavy =
+      std::min<uint32_t>(options.heavy_capacity, total);
+  if (heavy < total) {
+    std::nth_element(out.priority.begin(), out.priority.begin() + heavy,
+                     out.priority.end(), heavier);
+    std::sort(out.priority.begin(), out.priority.begin() + heavy, heavier);
+    std::sort(out.priority.begin() + heavy, out.priority.end());
+  } else {
+    std::sort(out.priority.begin(), out.priority.end(), heavier);
+  }
+  return out;
+}
+
+std::shared_ptr<const UserSketchIndex> BuildUserSketches(
+    const ObjectDatabase& db, const SketchParams& params) {
+  return std::make_shared<const UserSketchIndex>(db, params);
+}
+
+}  // namespace stps

@@ -167,6 +167,26 @@ TEST_P(BoundaryOracleTest, AllJoinVariantsMatchBruteForce) {
             << " seed=" << seed << " eps_doc=" << query.eps_doc
             << " eps_u=" << query.eps_u;
         query.parallel = ParallelOptions{};
+        // Sketch-accelerated candidate generation must survive the same
+        // ULP-adversarial boundaries: the band index may only widen the
+        // candidate set, so the verified results stay bit-identical at
+        // every thread count.
+        query.sketch.enabled = true;
+        for (const int threads : {1, 2, 8}) {
+          query.parallel = ParallelOptions{threads, 1};
+          JoinStats sketch_stats;
+          ASSERT_TRUE(SameResults(RunSTPSJoin(db, query, options,
+                                              &sketch_stats),
+                                  expected, /*tolerance=*/0.0))
+              << "sketch " << JoinAlgorithmName(algorithm)
+              << " threads=" << threads << " seed=" << seed
+              << " eps_doc=" << query.eps_doc << " eps_u=" << query.eps_u;
+          EXPECT_EQ(sketch_stats.matches_found, expected.size());
+          EXPECT_GE(sketch_stats.sketch_candidate_pairs,
+                    sketch_stats.matches_found);
+        }
+        query.sketch = SketchOptions{};
+        query.parallel = ParallelOptions{};
       }
       // The quadtree backend of S-PPJ-D routes through different
       // partition geometry; same boundaries, same answer.
@@ -203,6 +223,25 @@ TEST_P(BoundaryOracleTest, AllTopKVariantsMatchBruteForce) {
                                   expected, /*tolerance=*/0.0))
               << "parallel " << TopKAlgorithmName(algorithm)
               << " seed=" << seed << " eps_doc=" << eps_doc << " k=" << k;
+          query.parallel = ParallelOptions{};
+          // Sketch candidates arrive in heavy-hitters order; the queue's
+          // tie semantics must still produce the brute-force top-k on
+          // the exactly-tied score bands, at every thread count.
+          query.sketch.enabled = true;
+          for (const int threads : {1, 2, 8}) {
+            query.parallel = ParallelOptions{threads, 0};
+            JoinStats sketch_stats;
+            ASSERT_TRUE(
+                SameResults(RunTopKSTPSJoin(db, query, algorithm,
+                                            &sketch_stats),
+                            expected, /*tolerance=*/0.0))
+                << "sketch " << TopKAlgorithmName(algorithm)
+                << " threads=" << threads << " seed=" << seed
+                << " eps_doc=" << eps_doc << " k=" << k;
+            EXPECT_GE(sketch_stats.sketch_candidate_pairs,
+                      sketch_stats.matches_found);
+          }
+          query.sketch = SketchOptions{};
           query.parallel = ParallelOptions{};
         }
         ASSERT_TRUE(SameResults(TopKSPPJD(db, query, /*fanout=*/16),

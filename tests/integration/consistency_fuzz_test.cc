@@ -34,6 +34,15 @@ void CheckStatsInvariants(const JoinStats& stats, int64_t matches,
   }
 }
 
+// Sketch-driver accounting: every band-index candidate flows into the
+// exact verify path (so the sketch counter IS the candidate counter) and
+// candidates dominate survivors — the monotone chain
+// sketch_candidate_pairs == pairs_candidate >= matches_found.
+void CheckSketchInvariants(const JoinStats& stats, const char* label) {
+  EXPECT_EQ(stats.sketch_candidate_pairs, stats.pairs_candidate) << label;
+  EXPECT_GE(stats.sketch_candidate_pairs, stats.matches_found) << label;
+}
+
 class ConsistencyFuzzTest : public ::testing::TestWithParam<uint64_t> {};
 
 TEST_P(ConsistencyFuzzTest, AllJoinAlgorithmsAgreeOnRandomConfigs) {
@@ -107,6 +116,37 @@ TEST_P(ConsistencyFuzzTest, AllJoinAlgorithmsAgreeOnRandomConfigs) {
       EXPECT_EQ(parallel_stats, stats)
           << "parallel " << JoinAlgorithmName(algorithm)
           << " seed=" << spec.seed;
+
+      // Sketch-accelerated candidate generation: bit-identical results
+      // and identical counters at 1, 2, and 8 threads (the sketch driver
+      // verifies a fixed candidate list, so not even matches_found may
+      // depend on the thread count).
+      query.sketch.enabled = true;
+      JoinStats first_sketch_stats;
+      for (const int threads : {1, 2, 8}) {
+        query.parallel =
+            ParallelOptions{threads, static_cast<size_t>(round % 3)};
+        JoinStats sketch_stats;
+        const auto sketched =
+            RunSTPSJoin(db, query, options, &sketch_stats);
+        ASSERT_TRUE(SameResults(sketched, expected, /*tolerance=*/0.0))
+            << "sketch " << JoinAlgorithmName(algorithm)
+            << " threads=" << threads << " seed=" << spec.seed;
+        CheckStatsInvariants(sketch_stats,
+                             static_cast<int64_t>(expected.size()),
+                             JoinAlgorithmName(algorithm).data());
+        CheckSketchInvariants(sketch_stats,
+                              JoinAlgorithmName(algorithm).data());
+        if (threads == 1) {
+          first_sketch_stats = sketch_stats;
+        } else {
+          EXPECT_EQ(sketch_stats, first_sketch_stats)
+              << "sketch " << JoinAlgorithmName(algorithm)
+              << " threads=" << threads << " seed=" << spec.seed;
+        }
+      }
+      query.sketch = SketchOptions{};
+      query.parallel = ParallelOptions{};
     }
   }
 }
@@ -163,6 +203,26 @@ TEST(ConsistencyDuplicateLocationsTest, AllAlgorithmsAgree) {
           << JoinAlgorithmName(algorithm) << " eps_doc=" << eps_doc;
       EXPECT_EQ(parallel_stats, stats)
           << JoinAlgorithmName(algorithm) << " eps_doc=" << eps_doc;
+
+      // Duplicate locations collapse many pairs into one sketch cell and
+      // band; the candidate superset must still cover every match.
+      query.sketch.enabled = true;
+      for (const int threads : {1, 3}) {
+        query.parallel = ParallelOptions{threads, 1};
+        JoinStats sketch_stats;
+        ASSERT_TRUE(SameResults(RunSTPSJoin(db, query, options,
+                                            &sketch_stats),
+                                expected, /*tolerance=*/0.0))
+            << "sketch " << JoinAlgorithmName(algorithm)
+            << " threads=" << threads << " eps_doc=" << eps_doc;
+        CheckStatsInvariants(sketch_stats,
+                             static_cast<int64_t>(expected.size()),
+                             JoinAlgorithmName(algorithm).data());
+        CheckSketchInvariants(sketch_stats,
+                              JoinAlgorithmName(algorithm).data());
+      }
+      query.sketch = SketchOptions{};
+      query.parallel = ParallelOptions{};
     }
   }
 }
@@ -201,6 +261,28 @@ TEST_P(ConsistencyFuzzTest, AllTopKVariantsAgreeOnRandomConfigs) {
           << " seed=" << spec.seed << " k=" << query.k;
       CheckStatsInvariants(parallel_stats, /*matches=*/-1,
                            TopKAlgorithmName(algorithm).data());
+
+      // Sketch candidates in heavy-hitters order: bit-identical top-k at
+      // 1, 2, and 8 threads, at a round-varying heavy-list capacity (the
+      // verification order must never leak into the results).
+      query.sketch.enabled = true;
+      query.sketch.heavy_capacity = 1 + static_cast<uint32_t>(round) * 7;
+      for (const int threads : {1, 2, 8}) {
+        query.parallel = ParallelOptions{threads, 0};
+        JoinStats sketch_stats;
+        ASSERT_TRUE(
+            SameResults(RunTopKSTPSJoin(db, query, algorithm, &sketch_stats),
+                        expected, /*tolerance=*/0.0))
+            << "sketch " << TopKAlgorithmName(algorithm)
+            << " threads=" << threads << " seed=" << spec.seed
+            << " k=" << query.k;
+        CheckStatsInvariants(sketch_stats, /*matches=*/-1,
+                             TopKAlgorithmName(algorithm).data());
+        CheckSketchInvariants(sketch_stats,
+                              TopKAlgorithmName(algorithm).data());
+      }
+      query.sketch = SketchOptions{};
+      query.parallel = ParallelOptions{};
     }
   }
 }

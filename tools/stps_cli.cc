@@ -1,13 +1,16 @@
 // stps_cli — command-line front end for the library.
 //
 //   stps_cli generate <kind> <num_users> <out.tsv> [seed]
-//       Generate a synthetic dataset (kind: flickr | twitter | geotext).
+//       Generate a synthetic dataset (kind: flickr | twitter | geotext |
+//       checkin).
 //   stps_cli stats <data.tsv>
 //       Print Table-1-style descriptive statistics.
-//   stps_cli join <data.tsv> <eps_loc> <eps_doc> <eps_u> [algorithm]
+//   stps_cli join <data.tsv> <eps_loc> <eps_doc> <eps_u> [--sketch]
+//       [algorithm]
 //       Run STPSJoin (algorithm: sppjc | sppjb | sppjf | sppjd | brute;
 //       default sppjf). Prints one "userA userB sigma" row per pair.
-//   stps_cli topk <data.tsv> <eps_loc> <eps_doc> <k> [variant]
+//       --sketch draws candidates from the sketch layer (same results).
+//   stps_cli topk <data.tsv> <eps_loc> <eps_doc> <k> [--sketch] [variant]
 //       Run top-k STPSJoin (variant: f | s | p | brute; default p).
 //   stps_cli tune <data.tsv> <target_size> <eps_loc0> <eps_doc0> <eps_u0>
 //       Auto-tune thresholds toward a result-set size.
@@ -34,13 +37,15 @@ int Usage() {
   std::fprintf(
       stderr,
       "usage:\n"
-      "  stps_cli generate <flickr|twitter|geotext> <num_users> <out.tsv> "
+      "  stps_cli generate <flickr|twitter|geotext|checkin> <num_users> "
+      "<out.tsv> "
       "[seed]\n"
       "  stps_cli stats <data.tsv>\n"
       "  stps_cli convert <in.tsv|in.stpsdb> <out.tsv|out.stpsdb>\n"
-      "  stps_cli join <data.tsv> <eps_loc> <eps_doc> <eps_u> "
+      "  stps_cli join <data.tsv> <eps_loc> <eps_doc> <eps_u> [--sketch] "
       "[sppjc|sppjb|sppjf|sppjd|brute]\n"
-      "  stps_cli topk <data.tsv> <eps_loc> <eps_doc> <k> [f|s|p|brute]\n"
+      "  stps_cli topk <data.tsv> <eps_loc> <eps_doc> <k> [--sketch] "
+      "[f|s|p|brute]\n"
       "  stps_cli tune <data.tsv> <target_size> <eps_loc0> <eps_doc0> "
       "<eps_u0>\n");
   return 2;
@@ -53,6 +58,8 @@ bool ParseKind(const std::string& name, DatasetKind* kind) {
     *kind = DatasetKind::kTwitterLike;
   } else if (name == "geotext") {
     *kind = DatasetKind::kGeoTextLike;
+  } else if (name == "checkin") {
+    *kind = DatasetKind::kCheckinSparse;
   } else {
     return false;
   }
@@ -138,8 +145,8 @@ int CmdJoin(int argc, char** argv) {
   query.eps_doc = std::strtod(argv[4], nullptr);
   query.eps_u = std::strtod(argv[5], nullptr);
   JoinOptions options;
-  if (argc > 6) {
-    const std::string name = argv[6];
+  for (int i = 6; i < argc; ++i) {
+    const std::string name = argv[i];
     if (name == "sppjc") {
       options.algorithm = JoinAlgorithm::kSPPJC;
     } else if (name == "sppjb") {
@@ -150,6 +157,8 @@ int CmdJoin(int argc, char** argv) {
       options.algorithm = JoinAlgorithm::kSPPJD;
     } else if (name == "brute") {
       options.algorithm = JoinAlgorithm::kBruteForce;
+    } else if (name == "--sketch") {
+      query.sketch.enabled = true;
     } else {
       return Usage();
     }
@@ -175,8 +184,8 @@ int CmdTopK(int argc, char** argv) {
   query.eps_doc = std::strtod(argv[4], nullptr);
   query.k = std::strtoul(argv[5], nullptr, 10);
   TopKAlgorithm algorithm = TopKAlgorithm::kP;
-  if (argc > 6) {
-    const std::string name = argv[6];
+  for (int i = 6; i < argc; ++i) {
+    const std::string name = argv[i];
     if (name == "f") {
       algorithm = TopKAlgorithm::kF;
     } else if (name == "s") {
@@ -185,6 +194,8 @@ int CmdTopK(int argc, char** argv) {
       algorithm = TopKAlgorithm::kP;
     } else if (name == "brute") {
       algorithm = TopKAlgorithm::kBruteForce;
+    } else if (name == "--sketch") {
+      query.sketch.enabled = true;
     } else {
       return Usage();
     }
