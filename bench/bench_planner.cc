@@ -1,0 +1,223 @@
+// Planner-regret benchmark: how close does kAuto get to the best static
+// choice, and does it beat the static default (S-PPJ-F)?
+//
+// Sweeps three dataset regimes (GeoText-like sparse country extent,
+// CheckinSparse near-linear close-pair growth, Flickr-like POI hotspots)
+// at two spatial densities each (the paper's default eps_loc and 4x
+// looser). Per configuration:
+//
+//   * every static variant (S-PPJ-C/B/F/D) runs twice, best-of-two; the
+//     minimum over variants is the oracle, S-PPJ-F's time is the static
+//     default. These runs also warm PlannerFeedback's per-shape EWMAs —
+//     by design, since explicit runs feed the planner too.
+//   * kAuto runs three times; the converged time is the best of runs 2-3
+//     (run 1 may re-plan once as the feedback settles).
+//
+// Brute force is omitted from the oracle: it is dominated by >10x at
+// every sweep point here and would triple the wall-clock.
+//
+// Every run's result list is checksummed against the first variant's —
+// all plans are exact, so any divergence aborts the bench.
+//
+// Summary gates (committed in BENCH_planner.json, held by check_all.sh):
+//   planner_regret_vs_oracle     geomean over configs of auto/oracle,
+//                                required <= 1.25
+//   planner_beats_static_default geomean of default/auto, required >= 1.0
+//
+// Usage: bench_planner [--smoke] [output.json] (default BENCH_planner.json)
+
+#include <bit>
+#include <cinttypes>
+#include <cmath>
+#include <cstdio>
+#include <cstring>
+#include <string>
+#include <vector>
+
+#include "bench_util.h"
+#include "common/timer.h"
+#include "core/join_stats.h"
+#include "core/stpsjoin.h"
+#include "planner/feedback.h"
+
+namespace stps::bench {
+namespace {
+
+uint64_t ResultChecksum(const std::vector<ScoredUserPair>& result) {
+  uint64_t h = 0x9E3779B97F4A7C15ull;
+  for (const ScoredUserPair& p : result) {
+    uint64_t x = (static_cast<uint64_t>(p.a) << 32) | p.b;
+    x ^= std::bit_cast<uint64_t>(p.score) + 0x9E3779B97F4A7C15ull +
+         (h << 6) + (h >> 2);
+    h ^= x * 0xBF58476D1CE4E5B9ull;
+    h = (h << 13) | (h >> 51);
+  }
+  return h ^ result.size();
+}
+
+struct ConfigRow {
+  const char* dataset = "";
+  double eps_loc = 0;
+  double eps_doc = 0;
+  double eps_u = 0;
+  uint64_t matches = 0;
+  double default_ms = 0;  // static S-PPJ-F, best of 2
+  double oracle_ms = 0;   // min over static variants, best of 2 each
+  double auto_ms = 0;     // kAuto, best of converged runs 2-3
+  std::string oracle_algorithm;
+};
+
+constexpr int kThreadBudget = 4;
+
+// One timed run through the umbrella; aborts on result divergence.
+double TimedRun(const ObjectDatabase& db, const STPSQuery& query,
+                JoinAlgorithm algorithm, uint64_t* checksum,
+                uint64_t* matches) {
+  JoinOptions options;
+  options.algorithm = algorithm;
+  JoinStats stats;
+  Timer timer;
+  const auto result = RunSTPSJoin(db, query, options, &stats);
+  const double ms = timer.ElapsedMillis();
+  RecordJoinStats(JoinAlgorithmName(algorithm), stats);
+  const uint64_t sum = ResultChecksum(result);
+  if (*checksum == 0) {
+    *checksum = sum;
+    *matches = result.size();
+  } else if (sum != *checksum) {
+    std::fprintf(stderr, "checksum mismatch: %s returned %zu matches\n",
+                 std::string(JoinAlgorithmName(algorithm)).c_str(),
+                 result.size());
+    std::abort();
+  }
+  return ms;
+}
+
+ConfigRow RunConfig(DatasetKind kind, size_t users, double eps_loc_scale) {
+  const ObjectDatabase& db = GetDataset(kind, users);
+  STPSQuery query = DefaultQuery(kind);
+  query.eps_loc *= eps_loc_scale;
+  query.parallel.num_threads = kThreadBudget;
+
+  ConfigRow row;
+  row.dataset = DatasetKindName(kind);
+  row.eps_loc = query.eps_loc;
+  row.eps_doc = query.eps_doc;
+  row.eps_u = query.eps_u;
+
+  uint64_t checksum = 0;
+  row.oracle_ms = 1e300;
+  for (const JoinAlgorithm algorithm :
+       {JoinAlgorithm::kSPPJF, JoinAlgorithm::kSPPJC, JoinAlgorithm::kSPPJB,
+        JoinAlgorithm::kSPPJD}) {
+    double best = 1e300;
+    for (int rep = 0; rep < 2; ++rep) {
+      best = std::min(
+          best, TimedRun(db, query, algorithm, &checksum, &row.matches));
+    }
+    if (algorithm == JoinAlgorithm::kSPPJF) row.default_ms = best;
+    if (best < row.oracle_ms) {
+      row.oracle_ms = best;
+      row.oracle_algorithm = JoinAlgorithmName(algorithm);
+    }
+  }
+
+  row.auto_ms = 1e300;
+  for (int rep = 0; rep < 3; ++rep) {
+    const double ms =
+        TimedRun(db, query, JoinAlgorithm::kAuto, &checksum, &row.matches);
+    if (rep >= 1) row.auto_ms = std::min(row.auto_ms, ms);
+  }
+  return row;
+}
+
+double Geomean(const std::vector<double>& values) {
+  double log_sum = 0;
+  for (const double v : values) log_sum += std::log(std::max(v, 1e-12));
+  return values.empty() ? 1.0 : std::exp(log_sum / values.size());
+}
+
+}  // namespace
+}  // namespace stps::bench
+
+int main(int argc, char** argv) {
+  using namespace stps;
+  using namespace stps::bench;
+
+  bool smoke = false;
+  std::string out_path = "BENCH_planner.json";
+  for (int i = 1; i < argc; ++i) {
+    if (std::strcmp(argv[i], "--smoke") == 0) {
+      smoke = true;
+    } else {
+      out_path = argv[i];
+    }
+  }
+
+  const size_t users = smoke ? 120 : 700;
+  // Fresh process, fresh coefficients: the oracle sweep below is the only
+  // calibration kAuto gets.
+  PlannerFeedback::Global().Reset();
+
+  const std::vector<DatasetKind> kinds = {DatasetKind::kGeoTextLike,
+                                          DatasetKind::kCheckinSparse,
+                                          DatasetKind::kFlickrLike};
+  const std::vector<double> density_scales = {1.0, 4.0};
+
+  std::printf("%14s %9s %8s %7s %9s %11s %10s %9s %7s %8s\n", "dataset",
+              "eps_loc", "eps_doc", "eps_u", "matches", "default_ms",
+              "oracle_ms", "auto_ms", "regret", "vs_def");
+
+  std::vector<ConfigRow> rows;
+  std::vector<double> regrets;
+  std::vector<double> vs_default;
+  for (const DatasetKind kind : kinds) {
+    for (const double scale : density_scales) {
+      rows.push_back(RunConfig(kind, users, scale));
+      const ConfigRow& r = rows.back();
+      const double regret = r.auto_ms / std::max(r.oracle_ms, 1e-6);
+      const double beats = r.default_ms / std::max(r.auto_ms, 1e-6);
+      regrets.push_back(regret);
+      vs_default.push_back(beats);
+      std::printf("%14s %9.4f %8.2f %7.2f %9" PRIu64
+                  " %11.1f %10.1f %9.1f %7.2f %8.2f\n",
+                  r.dataset, r.eps_loc, r.eps_doc, r.eps_u, r.matches,
+                  r.default_ms, r.oracle_ms, r.auto_ms, regret, beats);
+    }
+  }
+
+  const double regret_geomean = Geomean(regrets);
+  const double beats_geomean = Geomean(vs_default);
+
+  std::FILE* json = std::fopen(out_path.c_str(), "w");
+  if (json == nullptr) {
+    std::fprintf(stderr, "cannot open %s\n", out_path.c_str());
+    return 1;
+  }
+  std::fprintf(json,
+               "{\n  \"bench\": \"planner\",\n  \"users\": %zu,\n"
+               "  \"thread_budget\": %d,\n  \"rows\": [\n",
+               users, kThreadBudget);
+  for (size_t i = 0; i < rows.size(); ++i) {
+    const ConfigRow& r = rows[i];
+    std::fprintf(json,
+                 "%s    {\"dataset\": \"%s\", \"eps_loc\": %.4f, "
+                 "\"eps_doc\": %.2f, \"eps_u\": %.2f, \"matches\": %" PRIu64
+                 ", \"oracle_algorithm\": \"%s\", \"default_ms\": %.2f, "
+                 "\"oracle_ms\": %.2f, \"auto_ms\": %.2f}",
+                 i == 0 ? "" : ",\n", r.dataset, r.eps_loc, r.eps_doc,
+                 r.eps_u, r.matches, r.oracle_algorithm.c_str(),
+                 r.default_ms, r.oracle_ms, r.auto_ms);
+  }
+  std::fprintf(json,
+               "\n  ],\n  \"planner_regret_vs_oracle\": %.3f,\n"
+               "  \"planner_beats_static_default\": %.3f\n}\n",
+               regret_geomean, beats_geomean);
+  std::fclose(json);
+
+  std::printf("\ngeomean regret vs oracle: %.3f (gate <= 1.25)\n"
+              "geomean speedup vs static default: %.3f (gate >= 1.0)\n",
+              regret_geomean, beats_geomean);
+  std::printf("wrote %s\n", out_path.c_str());
+  return 0;
+}

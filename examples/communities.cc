@@ -52,7 +52,9 @@ int main(int argc, char** argv) {
   stps::STPSQuery query =
       stps::DefaultQuery(stps::DatasetKind::kGeoTextLike);
   query.eps_u = 0.2;  // community edges need moderate similarity
-  const auto pairs = stps::RunSTPSJoin(db, query);
+  stps::JoinOptions join_options;
+  join_options.algorithm = stps::JoinAlgorithm::kAuto;
+  const auto pairs = stps::RunSTPSJoin(db, query, join_options);
   std::printf("similarity graph: %zu edges at sigma >= %.2f\n",
               pairs.size(), query.eps_u);
 

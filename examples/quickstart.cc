@@ -42,7 +42,11 @@ int main() {
   // matched, where objects match within 0.05 distance and 1/3 Jaccard.
   const stps::STPSQuery query{/*eps_loc=*/0.05, /*eps_doc=*/1.0 / 3,
                               /*eps_u=*/0.3};
-  const auto pairs = stps::RunSTPSJoin(db, query);
+  // kAuto lets the cost-model planner pick the execution strategy; every
+  // strategy is exact, so the result does not depend on the choice.
+  stps::JoinOptions join_options;
+  join_options.algorithm = stps::JoinAlgorithm::kAuto;
+  const auto pairs = stps::RunSTPSJoin(db, query, join_options);
   std::printf("\nSTPSJoin(eps_loc=%.2f, eps_doc=%.2f, eps_u=%.2f):\n",
               query.eps_loc, query.eps_doc, query.eps_u);
   for (const stps::ScoredUserPair& pair : pairs) {
@@ -55,7 +59,7 @@ int main() {
   // Top-k: the 3 most similar user pairs, no eps_u needed.
   const stps::TopKQuery topk{/*eps_loc=*/0.05, /*eps_doc=*/1.0 / 3,
                              /*k=*/3};
-  const auto best = stps::RunTopKSTPSJoin(db, topk);
+  const auto best = stps::RunTopKSTPSJoin(db, topk, stps::TopKAlgorithm::kAuto);
   std::printf("\ntop-%zu STPSJoin:\n", topk.k);
   for (const stps::ScoredUserPair& pair : best) {
     std::printf("  %s ~ %s  (sigma = %.3f)\n",

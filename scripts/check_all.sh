@@ -20,10 +20,11 @@ echo "=== bench smoke: tiny-scale runs + baseline sanity ==="
 #   scripts/compare_bench.py BENCH_spatial.json /tmp/new.json
 SMOKE_DIR="$(mktemp -d)"
 trap 'rm -rf "$SMOKE_DIR"' EXIT
-cmake --build "$ROOT/build" -j --target bench_spatial bench_kernels bench_sketch
+cmake --build "$ROOT/build" -j --target bench_spatial bench_kernels bench_sketch bench_planner
 "$ROOT/build/bench/bench_spatial" --smoke "$SMOKE_DIR/spatial.json"
 "$ROOT/build/bench/bench_kernels" --smoke "$SMOKE_DIR/kernels.json"
 "$ROOT/build/bench/bench_sketch" --smoke "$SMOKE_DIR/sketch.json"
+"$ROOT/build/bench/bench_planner" --smoke "$SMOKE_DIR/planner.json"
 python3 "$ROOT/scripts/compare_bench.py" --require 'high_density_speedup>=1.5' \
     "$ROOT/BENCH_spatial.json" "$ROOT/BENCH_spatial.json"
 python3 "$ROOT/scripts/compare_bench.py" \
@@ -36,6 +37,12 @@ python3 "$ROOT/scripts/compare_bench.py" \
     --require 'verify_reduction_at_max>=3' \
     --require 'candidate_growth_exponent<=1.95' \
     "$ROOT/BENCH_sketch.json" "$ROOT/BENCH_sketch.json"
+# Planner gates: kAuto within 25% of the best static plan (geomean) and
+# no slower than always picking the static default.
+python3 "$ROOT/scripts/compare_bench.py" \
+    --require 'planner_regret_vs_oracle<=1.25' \
+    --require 'planner_beats_static_default>=1.0' \
+    "$ROOT/BENCH_planner.json" "$ROOT/BENCH_planner.json"
 
 echo "=== ASan + UBSan ==="
 "$ROOT/scripts/run_asan_tests.sh" "$ROOT/build-asan"

@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <numeric>
 
+#include "planner/planner_stats.h"
 #include "sketch/sketch.h"
 #include "spatial/batch.h"
 #include "text/token_set.h"
@@ -136,6 +137,11 @@ ObjectDatabase DatabaseBuilder::Build() && {
   // token arena), so it is the last construction step; io/binary.cc
   // round-trips rebuild it automatically by funnelling through here.
   db.sketches_ = BuildUserSketches(db);
+  // Planner statistics likewise read the finished database; caching them
+  // here is what lets ComputeDatasetStats and the query planner skip
+  // their own scans (and io/binary.cc serialize the summary).
+  db.planner_stats_ =
+      std::make_shared<const PlannerStats>(ComputePlannerStats(db));
   return db;
 }
 

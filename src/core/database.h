@@ -24,6 +24,7 @@
 namespace stps {
 
 class UserSketchIndex;  // sketch/sketch.h
+struct PlannerStats;    // planner/planner_stats.h
 
 /// Immutable database of spatio-textual objects grouped by user.
 ///
@@ -140,6 +141,17 @@ class ObjectDatabase {
   }
   bool has_sketches() const { return sketches_ != nullptr; }
 
+  /// The build-time statistics summary the query planner reads (dyadic
+  /// occupancy ladder, token skew, Table-1 dataset stats; see
+  /// planner/planner_stats.h). Computed once by DatabaseBuilder::Build —
+  /// ComputeDatasetStats and the planner both read this cache instead of
+  /// rescanning. A default-constructed (empty) database has none.
+  const PlannerStats& planner_stats() const {
+    STPS_DCHECK(planner_stats_ != nullptr);
+    return *planner_stats_;
+  }
+  bool has_planner_stats() const { return planner_stats_ != nullptr; }
+
  private:
   friend class DatabaseBuilder;
 
@@ -158,6 +170,7 @@ class ObjectDatabase {
   // shared_ptr (not unique_ptr): the deleter is type-erased, so the
   // forward declaration above suffices for the implicit special members.
   std::shared_ptr<const UserSketchIndex> sketches_;
+  std::shared_ptr<const PlannerStats> planner_stats_;
 };
 
 /// Accumulates raw objects and produces an ObjectDatabase.

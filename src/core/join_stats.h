@@ -43,6 +43,17 @@
 //                            sketches before verification (each such
 //                            rejection is an exact spatial separation
 //                            proof; rejected pairs are never candidates).
+//  * planner_estimated_candidates — the query planner's pre-run estimate
+//                            of pairs_candidate (planner/cost_model.h);
+//                            comparing it against the measured counter is
+//                            how Explain and the feedback loop judge the
+//                            selectivity model. 0 when the run bypassed
+//                            the planner (no cached PlannerStats).
+//  * planner_plan_switches — 1 when a kAuto run chose a different plan
+//                            shape than the previous kAuto run of the
+//                            same query signature (0 otherwise, and for
+//                            explicit algorithm choices). Summed across
+//                            runs it measures planner convergence.
 //
 // Invariants (asserted by the consistency fuzz suite):
 //   pairs_candidate == pairs_pruned_count + pairs_verified
@@ -72,6 +83,8 @@ struct JoinStats {
   uint64_t matches_found = 0;
   uint64_t sketch_candidate_pairs = 0;
   uint64_t sketch_rejections = 0;
+  uint64_t planner_estimated_candidates = 0;
+  uint64_t planner_plan_switches = 0;
 
   /// Sums another accumulator into this one (worker merge).
   void Merge(const JoinStats& o) {
@@ -88,6 +101,8 @@ struct JoinStats {
     matches_found += o.matches_found;
     sketch_candidate_pairs += o.sketch_candidate_pairs;
     sketch_rejections += o.sketch_rejections;
+    planner_estimated_candidates += o.planner_estimated_candidates;
+    planner_plan_switches += o.planner_plan_switches;
   }
 
   friend bool operator==(const JoinStats& x, const JoinStats& y) {
@@ -103,17 +118,19 @@ struct JoinStats {
            x.batch_lanes_filled == y.batch_lanes_filled &&
            x.matches_found == y.matches_found &&
            x.sketch_candidate_pairs == y.sketch_candidate_pairs &&
-           x.sketch_rejections == y.sketch_rejections;
+           x.sketch_rejections == y.sketch_rejections &&
+           x.planner_estimated_candidates == y.planner_estimated_candidates &&
+           x.planner_plan_switches == y.planner_plan_switches;
   }
 };
 
 /// One-line rendering for bench / log output.
 inline std::string FormatJoinStats(const JoinStats& s) {
-  char buf[384];
+  char buf[512];
   std::snprintf(buf, sizeof(buf),
                 "cells=%llu prunedS/T/C=%llu/%llu/%llu cand=%llu "
                 "verified=%llu earlystop=%llu sigrej=%llu batch=%llu/%llu "
-                "matches=%llu sketch=%llu/%llu",
+                "matches=%llu sketch=%llu/%llu plan_est=%llu switches=%llu",
                 static_cast<unsigned long long>(s.cells_visited),
                 static_cast<unsigned long long>(s.pairs_pruned_spatial),
                 static_cast<unsigned long long>(s.pairs_pruned_textual),
@@ -126,7 +143,9 @@ inline std::string FormatJoinStats(const JoinStats& s) {
                 static_cast<unsigned long long>(s.batch_lanes_filled),
                 static_cast<unsigned long long>(s.matches_found),
                 static_cast<unsigned long long>(s.sketch_candidate_pairs),
-                static_cast<unsigned long long>(s.sketch_rejections));
+                static_cast<unsigned long long>(s.sketch_rejections),
+                static_cast<unsigned long long>(s.planner_estimated_candidates),
+                static_cast<unsigned long long>(s.planner_plan_switches));
   return buf;
 }
 

@@ -1,37 +1,50 @@
 #include "core/stpsjoin.h"
 
 #include <algorithm>
+#include <chrono>
+#include <cmath>
 
 #include "core/sppj_b.h"
 #include "core/sppj_c.h"
 #include "core/sppj_d.h"
 #include "core/sppj_f.h"
 #include "core/sppj_f_parallel.h"
+#include "planner/feedback.h"
+#include "planner/planner.h"
 #include "sketch/sketch_join.h"
 
 namespace stps {
 
-std::vector<ScoredUserPair> RunSTPSJoin(const ObjectDatabase& db,
-                                        const STPSQuery& query,
-                                        const JoinOptions& options,
-                                        JoinStats* stats) {
-  // Either knob may request parallelism; take the stronger one.
-  const int threads =
-      std::max(options.threads, query.parallel.num_threads);
-  const ParallelOptions parallel{threads, query.parallel.grain};
-  // Sketch-generated candidates replace the per-algorithm filter stage
-  // for every non-brute algorithm (verification is the shared PPJ-B
-  // kernel, so results stay bit-identical). The band index is only a
-  // sound filter when a match implies a common token, i.e. eps_doc > 0
-  // with a real threshold eps_u > 0; otherwise fall through to the
-  // requested algorithm unchanged.
-  if (query.sketch.enabled && options.algorithm != JoinAlgorithm::kBruteForce &&
-      query.eps_doc > 0.0 && query.eps_u > 0.0) {
-    return SketchSTPSJoin(db, query, parallel, stats);
-  }
+namespace {
+
+uint64_t RoundCount(double v) {
+  if (!std::isfinite(v) || v <= 0.0) return 0;
+  return static_cast<uint64_t>(std::llround(v));
+}
+
+/// Executes a concrete (non-auto) join shape. Factored out so the
+/// umbrella can time the execution and feed the planner.
+std::vector<ScoredUserPair> DispatchJoin(const ObjectDatabase& db,
+                                         const STPSQuery& query,
+                                         const JoinOptions& options,
+                                         int threads,
+                                         const ParallelOptions& parallel,
+                                         bool use_sketch, JoinStats* stats) {
+  if (use_sketch) return SketchSTPSJoin(db, query, parallel, stats);
   switch (options.algorithm) {
-    case JoinAlgorithm::kBruteForce:
-      return BruteForceSTPSJoin(db, query);
+    case JoinAlgorithm::kBruteForce: {
+      std::vector<ScoredUserPair> result = BruteForceSTPSJoin(db, query);
+      if (stats != nullptr) {
+        // Brute force considers and verifies every user pair; account for
+        // it so kAuto-resolved runs keep the counter invariants.
+        const uint64_t users = db.num_users();
+        const uint64_t all_pairs = users < 2 ? 0 : users * (users - 1) / 2;
+        stats->pairs_candidate += all_pairs;
+        stats->pairs_verified += all_pairs;
+        stats->matches_found += result.size();
+      }
+      return result;
+    }
     case JoinAlgorithm::kSPPJC:
       if (threads > 1) return SPPJCParallel(db, query, parallel, stats);
       return SPPJC(db, query, stats);
@@ -47,25 +60,32 @@ std::vector<ScoredUserPair> RunSTPSJoin(const ObjectDatabase& db,
                              parallel, stats);
       }
       return SPPJD(db, query, SPPJDOptions{options.rtree_fanout}, stats);
+    case JoinAlgorithm::kAuto:
+      break;  // resolved by RunSTPSJoin before dispatch
   }
   STPS_CHECK(false);
   return {};
 }
 
-std::vector<ScoredUserPair> RunTopKSTPSJoin(const ObjectDatabase& db,
-                                            const TopKQuery& query,
-                                            TopKAlgorithm algorithm,
-                                            JoinStats* stats) {
-  // Sketch candidates with the heavy-hitters verification order stand in
-  // for every index-based variant (kF/kS/kP differ only in traversal
-  // order, which sketches supersede; brute force stays brute force).
-  if (query.sketch.enabled && algorithm != TopKAlgorithm::kBruteForce) {
-    return SketchTopKSTPSJoin(db, query, query.parallel, stats);
-  }
+/// Executes a concrete (non-auto) top-k shape.
+std::vector<ScoredUserPair> DispatchTopK(const ObjectDatabase& db,
+                                         const TopKQuery& query,
+                                         TopKAlgorithm algorithm,
+                                         bool use_sketch, JoinStats* stats) {
+  if (use_sketch) return SketchTopKSTPSJoin(db, query, query.parallel, stats);
   const bool parallel = query.parallel.num_threads > 1;
   switch (algorithm) {
-    case TopKAlgorithm::kBruteForce:
-      return BruteForceTopK(db, query);
+    case TopKAlgorithm::kBruteForce: {
+      std::vector<ScoredUserPair> result = BruteForceTopK(db, query);
+      if (stats != nullptr) {
+        const uint64_t users = db.num_users();
+        const uint64_t all_pairs = users < 2 ? 0 : users * (users - 1) / 2;
+        stats->pairs_candidate += all_pairs;
+        stats->pairs_verified += all_pairs;
+        stats->matches_found += result.size();
+      }
+      return result;
+    }
     case TopKAlgorithm::kF:
       if (parallel) {
         return TopKSTPSJoinParallel(db, query, TopKVariant::kF,
@@ -84,9 +104,152 @@ std::vector<ScoredUserPair> RunTopKSTPSJoin(const ObjectDatabase& db,
                                     query.parallel, stats);
       }
       return TopKSTPSJoin(db, query, TopKVariant::kP, stats);
+    case TopKAlgorithm::kAuto:
+      break;  // resolved by RunTopKSTPSJoin before dispatch
   }
   STPS_CHECK(false);
   return {};
+}
+
+double ElapsedMs(std::chrono::steady_clock::time_point start) {
+  return std::chrono::duration<double, std::milli>(
+             std::chrono::steady_clock::now() - start)
+      .count();
+}
+
+}  // namespace
+
+std::vector<ScoredUserPair> RunSTPSJoin(const ObjectDatabase& db,
+                                        const STPSQuery& query,
+                                        const JoinOptions& options,
+                                        JoinStats* stats) {
+  if (options.algorithm == JoinAlgorithm::kAuto) {
+    const PhysicalPlan plan = PlanSTPSJoin(db, query, options);
+    STPSQuery resolved = query;
+    resolved.sketch.enabled = plan.shape.sketch;
+    resolved.parallel.num_threads = plan.shape.threads;
+    resolved.parallel.grain = plan.grain;
+    JoinOptions ropts = options;
+    ropts.algorithm = plan.shape.join;
+    ropts.threads = plan.shape.threads;
+    ropts.rtree_fanout = plan.rtree_fanout;
+    // The recursive call times the run and records the feedback; here we
+    // only track whether the choice moved since the last identical query.
+    std::vector<ScoredUserPair> result =
+        RunSTPSJoin(db, resolved, ropts, stats);
+    const bool switched = PlannerFeedback::Global().NoteChosenPlan(
+        plan.query_signature, plan.shape);
+    if (stats != nullptr) {
+      stats->planner_estimated_candidates =
+          RoundCount(plan.estimate.candidate_pairs);
+      stats->planner_plan_switches = switched ? 1 : 0;
+    }
+    return result;
+  }
+
+  // Either knob may request parallelism; take the stronger one.
+  const int threads = std::max(options.threads, query.parallel.num_threads);
+  const ParallelOptions parallel{threads, query.parallel.grain};
+  // Sketch-generated candidates replace the per-algorithm filter stage
+  // for every non-brute algorithm (verification is the shared PPJ-B
+  // kernel, so results stay bit-identical). The band index is only a
+  // sound filter when a match implies a common token, i.e. eps_doc > 0
+  // with a real threshold eps_u > 0; otherwise fall through to the
+  // requested algorithm unchanged.
+  const bool use_sketch = query.sketch.enabled &&
+                          options.algorithm != JoinAlgorithm::kBruteForce &&
+                          query.eps_doc > 0.0 && query.eps_u > 0.0;
+
+  // Time the run and fold the measurement into the planner's feedback —
+  // for explicit choices too, so benchmark sweeps over the static
+  // variants calibrate kAuto as a side effect.
+  const bool record = db.has_planner_stats();
+  PlanShape shape;
+  shape.topk = false;
+  shape.join = options.algorithm;
+  shape.sketch = use_sketch;
+  shape.threads = threads > 1 ? threads : 1;
+  PlanEstimate estimate;
+  double cost_units = 0.0;
+  if (record) {
+    estimate = EstimateJoinStages(db.planner_stats(), query.eps_loc,
+                                  query.eps_doc, query.eps_u);
+    cost_units = EstimateShapeCost(db.planner_stats(), shape, estimate);
+  }
+  JoinStats local;
+  JoinStats* sink = stats != nullptr ? stats : &local;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<ScoredUserPair> result =
+      DispatchJoin(db, query, options, threads, parallel, use_sketch, sink);
+  if (record) {
+    PlannerFeedback::Global().Record(shape, estimate, cost_units, *sink,
+                                     ElapsedMs(start));
+    if (stats != nullptr) {
+      stats->planner_estimated_candidates =
+          RoundCount(estimate.candidate_pairs);
+    }
+  }
+  return result;
+}
+
+std::vector<ScoredUserPair> RunTopKSTPSJoin(const ObjectDatabase& db,
+                                            const TopKQuery& query,
+                                            TopKAlgorithm algorithm,
+                                            JoinStats* stats) {
+  if (algorithm == TopKAlgorithm::kAuto) {
+    const PhysicalPlan plan = PlanTopKSTPSJoin(db, query);
+    TopKQuery resolved = query;
+    resolved.sketch.enabled = plan.shape.sketch;
+    resolved.parallel.num_threads = plan.shape.threads;
+    resolved.parallel.grain = plan.grain;
+    std::vector<ScoredUserPair> result =
+        RunTopKSTPSJoin(db, resolved, plan.shape.topk_algorithm, stats);
+    const bool switched = PlannerFeedback::Global().NoteChosenPlan(
+        plan.query_signature, plan.shape);
+    if (stats != nullptr) {
+      stats->planner_estimated_candidates =
+          RoundCount(plan.estimate.candidate_pairs);
+      stats->planner_plan_switches = switched ? 1 : 0;
+    }
+    return result;
+  }
+
+  // Sketch candidates with the heavy-hitters verification order stand in
+  // for every index-based variant (kF/kS/kP differ only in traversal
+  // order, which sketches supersede; brute force stays brute force).
+  const bool use_sketch =
+      query.sketch.enabled && algorithm != TopKAlgorithm::kBruteForce;
+
+  const bool record = db.has_planner_stats();
+  PlanShape shape;
+  shape.topk = true;
+  shape.topk_algorithm = algorithm;
+  shape.sketch = use_sketch;
+  shape.threads = query.parallel.num_threads > 1 ? query.parallel.num_threads
+                                                 : 1;
+  PlanEstimate estimate;
+  double cost_units = 0.0;
+  if (record) {
+    // Top-k discovers its similarity threshold at run time; estimate
+    // with open textual/count thresholds, matching PlanTopKSTPSJoin.
+    estimate = EstimateJoinStages(db.planner_stats(), query.eps_loc,
+                                  query.eps_doc, 0.0);
+    cost_units = EstimateShapeCost(db.planner_stats(), shape, estimate);
+  }
+  JoinStats local;
+  JoinStats* sink = stats != nullptr ? stats : &local;
+  const auto start = std::chrono::steady_clock::now();
+  std::vector<ScoredUserPair> result =
+      DispatchTopK(db, query, algorithm, use_sketch, sink);
+  if (record) {
+    PlannerFeedback::Global().Record(shape, estimate, cost_units, *sink,
+                                     ElapsedMs(start));
+    if (stats != nullptr) {
+      stats->planner_estimated_candidates =
+          RoundCount(estimate.candidate_pairs);
+    }
+  }
+  return result;
 }
 
 std::string_view JoinAlgorithmName(JoinAlgorithm algorithm) {
@@ -101,6 +264,8 @@ std::string_view JoinAlgorithmName(JoinAlgorithm algorithm) {
       return "S-PPJ-F";
     case JoinAlgorithm::kSPPJD:
       return "S-PPJ-D";
+    case JoinAlgorithm::kAuto:
+      return "Auto";
   }
   return "unknown";
 }
@@ -115,6 +280,8 @@ std::string_view TopKAlgorithmName(TopKAlgorithm algorithm) {
       return "TOPK-S-PPJ-S";
     case TopKAlgorithm::kP:
       return "TOPK-S-PPJ-P";
+    case TopKAlgorithm::kAuto:
+      return "TOPK-Auto";
   }
   return "unknown";
 }

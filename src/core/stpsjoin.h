@@ -15,21 +15,29 @@
 
 namespace stps {
 
-/// STPSJoin evaluation strategies (Section 4.1 + brute force).
+/// STPSJoin evaluation strategies (Section 4.1 + brute force). kAuto
+/// defers the choice to the cost-model planner (planner/planner.h):
+/// the plan decides the concrete algorithm, sketch candidate generation,
+/// and sequential-vs-pooled execution within the caller's thread budget.
+/// All strategies are exact, so kAuto returns bit-identical results to
+/// every explicit choice — only the work differs.
 enum class JoinAlgorithm {
   kBruteForce,
   kSPPJC,
   kSPPJB,
   kSPPJF,
   kSPPJD,
+  kAuto,
 };
 
-/// Top-k evaluation strategies (Section 4.2 + brute force).
+/// Top-k evaluation strategies (Section 4.2 + brute force). kAuto routes
+/// through the planner, as above.
 enum class TopKAlgorithm {
   kBruteForce,
   kF,
   kS,
   kP,
+  kAuto,
 };
 
 /// Options for RunSTPSJoin.
@@ -56,7 +64,12 @@ struct JoinOptions {
 /// algorithm's filter stage and are settled by the exact PPJ-B kernel:
 /// same results, same order, same scores — only the work differs (see
 /// sketch/sketch.h; JoinStats::sketch_* report the candidate flow).
-/// Brute force ignores the knob.
+/// Brute force ignores the knob; kAuto decides it per query (the planner
+/// may turn sketches on even when the query left them off).
+///
+/// Every run — explicit algorithms included — feeds its measured
+/// JoinStats and wall-clock back into PlannerFeedback, so kAuto's cost
+/// coefficients converge onto this machine's observed per-shape speeds.
 std::vector<ScoredUserPair> RunSTPSJoin(const ObjectDatabase& db,
                                         const STPSQuery& query,
                                         const JoinOptions& options = {},

@@ -8,7 +8,7 @@
 #include "common/timer.h"
 #include "core/database.h"
 #include "core/ppjb.h"
-#include "core/sppj_f.h"
+#include "core/stpsjoin.h"
 
 namespace stps {
 
@@ -58,7 +58,13 @@ TuningResult TuneThresholds(const ObjectDatabase& db,
   result.thresholds = options.initial;
 
   Timer initial_timer;
-  std::vector<ScoredUserPair> initial_pairs = SPPJF(db, options.initial);
+  // The initial full join is the expensive step of the search; let the
+  // planner pick how to run it. Every algorithm is exact, so the tuned
+  // thresholds cannot depend on the choice (pinned by tuning_test).
+  JoinOptions join_options;
+  join_options.algorithm = JoinAlgorithm::kAuto;
+  std::vector<ScoredUserPair> initial_pairs =
+      RunSTPSJoin(db, options.initial, join_options);
   result.initial_join_millis = initial_timer.ElapsedMillis();
   result.result = initial_pairs;
 

@@ -3,10 +3,16 @@
 #include <cstdio>
 
 #include "common/stats.h"
+#include "planner/planner_stats.h"
 
 namespace stps {
 
 DatasetStats ComputeDatasetStats(const ObjectDatabase& db) {
+  if (db.has_planner_stats()) return db.planner_stats().dataset;
+  return ComputeDatasetStatsUncached(db);
+}
+
+DatasetStats ComputeDatasetStatsUncached(const ObjectDatabase& db) {
   DatasetStats stats;
   stats.num_objects = db.num_objects();
   stats.num_users = db.num_users();

@@ -1,4 +1,9 @@
 // Descriptive dataset statistics — the metrics of the paper's Table 1.
+//
+// Since the planner PR these are computed once at DatabaseBuilder::Build
+// time and cached on the ObjectDatabase (inside PlannerStats, see
+// planner/planner_stats.h); ComputeDatasetStats returns the cached copy
+// when present, so callers pay a struct copy, not a database scan.
 
 #ifndef STPS_DATAGEN_DATASET_STATS_H_
 #define STPS_DATAGEN_DATASET_STATS_H_
@@ -25,10 +30,27 @@ struct DatasetStats {
 
   /// One line in the format of Table 1.
   std::string ToTableRow(const std::string& name) const;
+
+  friend bool operator==(const DatasetStats& a, const DatasetStats& b) {
+    return a.num_objects == b.num_objects && a.num_users == b.num_users &&
+           a.num_distinct_tokens == b.num_distinct_tokens &&
+           a.tokens_per_object_mean == b.tokens_per_object_mean &&
+           a.tokens_per_object_stddev == b.tokens_per_object_stddev &&
+           a.objects_per_token_mean == b.objects_per_token_mean &&
+           a.objects_per_token_stddev == b.objects_per_token_stddev &&
+           a.objects_per_user_mean == b.objects_per_user_mean &&
+           a.objects_per_user_stddev == b.objects_per_user_stddev;
+  }
 };
 
-/// Computes the metrics over a database.
+/// The metrics of a database: the copy cached at build time when the
+/// database has one (every DatabaseBuilder::Build product does), else a
+/// fresh scan.
 DatasetStats ComputeDatasetStats(const ObjectDatabase& db);
+
+/// Always scans. Only DatabaseBuilder::Build (via ComputePlannerStats)
+/// and tests verifying the cache should need this.
+DatasetStats ComputeDatasetStatsUncached(const ObjectDatabase& db);
 
 }  // namespace stps
 

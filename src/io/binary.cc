@@ -4,11 +4,15 @@
 #include <fstream>
 #include <vector>
 
+#include "planner/planner_stats.h"
+
 namespace stps {
 
 namespace {
 
-constexpr char kMagic[8] = {'S', 'T', 'P', 'S', 'D', 'B', '0', '1'};
+constexpr char kMagic[8] = {'S', 'T', 'P', 'S', 'D', 'B', '0', '2'};
+// Legacy snapshots without the planner-stats block; still readable.
+constexpr char kMagicV1[8] = {'S', 'T', 'P', 'S', 'D', 'B', '0', '1'};
 
 // Incremental FNV-1a over the serialized byte stream.
 class Checksum {
@@ -102,6 +106,55 @@ class Reader {
   bool failed_ = false;
 };
 
+void WriteStats(Writer* writer, const PlannerStats& s) {
+  writer->U64(s.dataset.num_objects);
+  writer->U64(s.dataset.num_users);
+  writer->U64(s.dataset.num_distinct_tokens);
+  writer->F64(s.dataset.tokens_per_object_mean);
+  writer->F64(s.dataset.tokens_per_object_stddev);
+  writer->F64(s.dataset.objects_per_token_mean);
+  writer->F64(s.dataset.objects_per_token_stddev);
+  writer->F64(s.dataset.objects_per_user_mean);
+  writer->F64(s.dataset.objects_per_user_stddev);
+  for (const OccupancyLevel& level : s.occupancy) {
+    writer->U64(level.occupied_cells);
+    writer->U64(level.sum_sq_counts);
+    writer->U64(level.max_cell_count);
+  }
+  writer->F64(s.extent_x);
+  writer->F64(s.extent_y);
+  writer->U64(s.total_token_occurrences);
+  writer->F64(s.token_collision_rate);
+  writer->F64(s.token_top_frequency);
+}
+
+bool ReadStats(Reader* reader, PlannerStats* s) {
+  uint64_t num_objects = 0, num_users = 0, num_tokens = 0;
+  bool ok = reader->U64(&num_objects) && reader->U64(&num_users) &&
+            reader->U64(&num_tokens) &&
+            reader->F64(&s->dataset.tokens_per_object_mean) &&
+            reader->F64(&s->dataset.tokens_per_object_stddev) &&
+            reader->F64(&s->dataset.objects_per_token_mean) &&
+            reader->F64(&s->dataset.objects_per_token_stddev) &&
+            reader->F64(&s->dataset.objects_per_user_mean) &&
+            reader->F64(&s->dataset.objects_per_user_stddev);
+  if (!ok) return false;
+  s->dataset.num_objects = static_cast<size_t>(num_objects);
+  s->dataset.num_users = static_cast<size_t>(num_users);
+  s->dataset.num_distinct_tokens = static_cast<size_t>(num_tokens);
+  for (OccupancyLevel& level : s->occupancy) {
+    if (!reader->U64(&level.occupied_cells) ||
+        !reader->U64(&level.sum_sq_counts) ||
+        !reader->U64(&level.max_cell_count)) {
+      return false;
+    }
+  }
+  return reader->F64(&s->extent_x) && reader->F64(&s->extent_y) &&
+         reader->U64(&s->total_token_occurrences) &&
+         reader->F64(&s->token_collision_rate) &&
+         reader->F64(&s->token_top_frequency);
+}
+
 }  // namespace
 
 Status WriteBinary(const ObjectDatabase& db, const std::string& path) {
@@ -130,6 +183,14 @@ Status WriteBinary(const ObjectDatabase& db, const std::string& path) {
       writer.U32(t);
     }
   }
+  // The planner-stats block (v2). Every built database carries one; a
+  // default-constructed (empty) database does not.
+  if (db.has_planner_stats()) {
+    writer.U32(1);
+    WriteStats(&writer, db.planner_stats());
+  } else {
+    writer.U32(0);
+  }
   writer.Finish();
   if (!writer.ok()) {
     return Status::IOError("write failed: " + path);
@@ -143,8 +204,13 @@ Result<ObjectDatabase> ReadBinary(const std::string& path) {
     return Status::IOError("cannot open for reading: " + path);
   }
   char magic[sizeof(kMagic)];
-  if (!reader.Raw(magic, sizeof(magic)) ||
-      std::memcmp(magic, kMagic, sizeof(kMagic)) != 0) {
+  if (!reader.Raw(magic, sizeof(magic))) {
+    return Status::Corruption("bad magic: not an stps binary snapshot");
+  }
+  const bool has_stats_block =
+      std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+  if (!has_stats_block &&
+      std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
     return Status::Corruption("bad magic: not an stps binary snapshot");
   }
   uint64_t user_count = 0, object_count = 0, token_count = 0;
@@ -202,10 +268,33 @@ Result<ObjectDatabase> ReadBinary(const std::string& path) {
                         std::span<const std::string_view>(keywords), time);
     }
   }
+  PlannerStats stored_stats;
+  bool compare_stats = false;
+  if (has_stats_block) {
+    uint32_t present = 0;
+    if (!reader.U32(&present) || present > 1) {
+      return Status::Corruption("truncated planner-stats block");
+    }
+    if (present == 1) {
+      if (!ReadStats(&reader, &stored_stats)) {
+        return Status::Corruption("truncated planner-stats block");
+      }
+      compare_stats = true;
+    }
+  }
   if (!reader.VerifyChecksum()) {
     return Status::Corruption("checksum mismatch");
   }
-  return std::move(builder).Build();
+  ObjectDatabase db = std::move(builder).Build();
+  // Build() recomputed the summary from the decoded objects; agreeing
+  // with the serialized copy proves the object payload decoded to the
+  // same database the writer saw (a structural check the byte checksum
+  // cannot give us on its own).
+  if (compare_stats && (!db.has_planner_stats() ||
+                        !(db.planner_stats() == stored_stats))) {
+    return Status::Corruption("planner stats disagree with rebuilt database");
+  }
+  return db;
 }
 
 }  // namespace stps

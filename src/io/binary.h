@@ -1,16 +1,23 @@
 // Binary snapshot format for ObjectDatabase — the fast-reload companion
 // to the human-readable TSV format. Layout (little-endian):
 //
-//   magic "STPSDB01" | u64 user_count | u64 object_count | u64 token_count
+//   magic "STPSDB02" | u64 user_count | u64 object_count | u64 token_count
 //   dictionary: token_count x (u32 len, bytes)   -- in token-id order
 //   users:      user_count  x (u32 len, bytes, u32 object_count)
 //   objects:    object_count x (f64 x, f64 y, f64 time,
 //                               u32 doc_len, doc_len x u32 token_id)
 //               -- grouped by user, in user order
+//   stats:      u32 present | when present, the PlannerStats block
+//               (dataset metrics, dyadic occupancy ladder, token skew;
+//               see planner/planner_stats.h) in field order
 //   u64 checksum (FNV-1a over everything before it)
 //
 // Readers validate the magic, all counts, token-id ranges and the
-// checksum, and report Status::Corruption on any mismatch.
+// checksum, and report Status::Corruption on any mismatch. The reader
+// rebuilds the database through DatabaseBuilder (which recomputes the
+// planner statistics), then cross-checks the recomputed summary against
+// the serialized block — a structural integrity check on top of the byte
+// checksum. "STPSDB01" snapshots (no stats block) are still read.
 
 #ifndef STPS_IO_BINARY_H_
 #define STPS_IO_BINARY_H_

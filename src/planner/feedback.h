@@ -1,0 +1,99 @@
+// Online feedback for the query planner.
+//
+// Every run routed through RunSTPSJoin / RunTopKSTPSJoin — explicit
+// algorithm choices included, not just kAuto — records (plan shape,
+// estimated stages, measured JoinStats, elapsed ms) here. The planner
+// then prices a shape as `estimated units x EWMA(measured ms / estimated
+// units)` and scales its candidate estimates by the learned
+// actual/estimated ratio, so repeated queries on a live database converge
+// onto the measured-fastest variant instead of the a-priori model: the
+// paper's Sec. 5.6 discipline (tune from observed runs) extended from
+// thresholds to physical-plan choice.
+//
+// The map is process-global shared mutable state guarded by one mutex;
+// joins are ms-scale, so one lock per run is noise. The TSan stage of
+// scripts/check_all.sh runs the planner differential suite, which hammers
+// Record/Predict/NoteChosenPlan from concurrent threads.
+
+#ifndef STPS_PLANNER_FEEDBACK_H_
+#define STPS_PLANNER_FEEDBACK_H_
+
+#include <cstdint>
+#include <mutex>
+#include <unordered_map>
+
+#include "core/join_stats.h"
+#include "planner/cost_model.h"
+
+namespace stps {
+
+class PlannerFeedback {
+ public:
+  /// The process-wide instance the umbrella entry points feed.
+  static PlannerFeedback& Global();
+
+  PlannerFeedback() = default;
+
+  /// Predicted wall-clock for `cost_units` of work under `shape`: the
+  /// shape's learned ms-per-unit EWMA when the shape has been observed,
+  /// else the cross-shape global EWMA (so one measured run calibrates the
+  /// machine's overall speed and unobserved shapes are ranked purely by
+  /// their cost units — no optimistic prior to chase), else the
+  /// calibration default.
+  double PredictMillis(const PlanShape& shape, double cost_units) const;
+
+  /// Learned actual/estimated candidate-pair ratio for `shape` (1 until
+  /// observed). The planner passes this to EstimateShapeCost so count
+  /// mispredictions self-correct.
+  double CandidateCorrection(const PlanShape& shape) const;
+
+  /// Folds one measured run into the shape's coefficients. `cost_units`
+  /// is EstimateShapeCost for this shape with correction 1 (the raw model
+  /// output, so the ms-per-unit EWMA stays comparable across runs).
+  void Record(const PlanShape& shape, const PlanEstimate& estimate,
+              double cost_units, const JoinStats& stats, double elapsed_ms);
+
+  /// Remembers the plan chosen for a query signature; returns true when
+  /// it differs from the previous choice for the same signature (a "plan
+  /// switch" — the convergence signal JoinStats surfaces).
+  bool NoteChosenPlan(uint64_t query_signature, const PlanShape& shape);
+
+  /// Number of runs folded in so far.
+  uint64_t total_records() const;
+
+  /// Drops all learned state (tests; a fresh process starts empty).
+  void Reset();
+
+ private:
+  struct ShapeKey {
+    // Canonical small-int encoding of a PlanShape.
+    uint32_t bits = 0;
+    friend bool operator==(const ShapeKey& a, const ShapeKey& b) {
+      return a.bits == b.bits;
+    }
+  };
+  struct ShapeKeyHash {
+    size_t operator()(const ShapeKey& k) const {
+      uint64_t x = k.bits * 0x9E3779B97F4A7C15ull;
+      x ^= x >> 32;
+      return static_cast<size_t>(x);
+    }
+  };
+  struct Entry {
+    double ewma_ms_per_unit = 0.0;
+    double ewma_candidate_ratio = 1.0;
+    uint64_t runs = 0;
+  };
+
+  static ShapeKey KeyOf(const PlanShape& shape);
+
+  mutable std::mutex mutex_;
+  std::unordered_map<ShapeKey, Entry, ShapeKeyHash> entries_;
+  std::unordered_map<uint64_t, ShapeKey> last_plan_;
+  double global_ms_per_unit_ = 0.0;  // cross-shape EWMA
+  uint64_t total_records_ = 0;
+};
+
+}  // namespace stps
+
+#endif  // STPS_PLANNER_FEEDBACK_H_

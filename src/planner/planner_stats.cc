@@ -1,0 +1,69 @@
+#include "planner/planner_stats.h"
+
+#include <algorithm>
+#include <vector>
+
+#include "spatial/batch.h"
+#include "text/dictionary.h"
+
+namespace stps {
+
+PlannerStats ComputePlannerStats(const ObjectDatabase& db) {
+  PlannerStats stats;
+  stats.dataset = ComputeDatasetStatsUncached(db);
+
+  const Rect& bounds = db.bounds();
+  if (!bounds.IsEmpty()) {
+    stats.extent_x = bounds.max_x - bounds.min_x;
+    stats.extent_y = bounds.max_y - bounds.min_y;
+  }
+
+  // Occupancy ladder: one Morton key per object, sorted once; at level L
+  // a dyadic cell is the top 2L bits of the key, so each level is a
+  // run-length walk over the sorted keys.
+  const size_t n = db.num_objects();
+  std::vector<uint64_t> keys;
+  keys.reserve(n);
+  for (const STObject& o : db.AllObjects()) {
+    keys.push_back(ZOrderKey(bounds, o.loc));
+  }
+  std::sort(keys.begin(), keys.end());
+  for (int level = 0; level < PlannerStats::kLevels; ++level) {
+    OccupancyLevel& occ = stats.occupancy[level];
+    // 2 bits per level; keys are 32-bit Morton values held in uint64, so
+    // the level-0 shift of 32 cleanly yields prefix 0 for every key.
+    const int shift = 32 - 2 * level;
+    size_t i = 0;
+    while (i < n) {
+      const uint64_t prefix = keys[i] >> shift;
+      size_t j = i;
+      while (j < n && (keys[j] >> shift) == prefix) ++j;
+      const uint64_t count = j - i;
+      occ.occupied_cells += 1;
+      occ.sum_sq_counts += count * count;
+      occ.max_cell_count = std::max(occ.max_cell_count, count);
+      i = j;
+    }
+  }
+
+  // Token skew from the dictionary's document frequencies.
+  const Dictionary& dict = db.dictionary();
+  uint64_t total = 0;
+  uint64_t max_df = 0;
+  double sum_sq = 0.0;
+  for (TokenId t = 0; t < dict.size(); ++t) {
+    const uint64_t df = dict.Frequency(t);
+    total += df;
+    max_df = std::max(max_df, df);
+    sum_sq += static_cast<double>(df) * static_cast<double>(df);
+  }
+  stats.total_token_occurrences = total;
+  if (total > 0) {
+    const double total_d = static_cast<double>(total);
+    stats.token_collision_rate = sum_sq / (total_d * total_d);
+    stats.token_top_frequency = static_cast<double>(max_df) / total_d;
+  }
+  return stats;
+}
+
+}  // namespace stps

@@ -1,0 +1,88 @@
+// Build-time statistics backing the cost-model query planner.
+//
+// `PlannerStats` is the query-independent summary the planner's
+// selectivity estimator reads: a multi-resolution spatial occupancy
+// histogram (dyadic Morton-prefix cells, so one pass at build time serves
+// every query eps_loc), the token-frequency skew of the dictionary, and
+// the Table-1 dataset statistics (per-user set sizes, tokens per object)
+// it embeds. Every `DatabaseBuilder::Build` computes one and caches it on
+// the `ObjectDatabase`; `io/binary.cc` serializes it into the snapshot so
+// external tools can read the summary without scanning the objects.
+//
+// The occupancy ladder: level L partitions the database bounds into
+// 2^L x 2^L dyadic cells (a cell is a 2L-bit Morton-key prefix; level 0
+// is the whole extent, level 16 the full 16-bit quantization of
+// spatial/batch.h's ZOrderKey). Per level we keep the number of occupied
+// cells, the sum of squared per-cell counts (the Σ n_c² term that
+// estimates co-located object pairs), and the densest cell. Coarsening
+// is monotone — merging cells can only grow Σ n_c² — which is what makes
+// the derived candidate estimates monotone in eps_loc.
+
+#ifndef STPS_PLANNER_PLANNER_STATS_H_
+#define STPS_PLANNER_PLANNER_STATS_H_
+
+#include <array>
+#include <cstdint>
+
+#include "core/database.h"
+#include "datagen/dataset_stats.h"
+
+namespace stps {
+
+/// One rung of the dyadic occupancy ladder.
+struct OccupancyLevel {
+  uint64_t occupied_cells = 0;  // non-empty cells at this resolution
+  uint64_t sum_sq_counts = 0;   // Σ over cells of (objects in cell)²
+  uint64_t max_cell_count = 0;  // densest cell
+
+  friend bool operator==(const OccupancyLevel& a, const OccupancyLevel& b) {
+    return a.occupied_cells == b.occupied_cells &&
+           a.sum_sq_counts == b.sum_sq_counts &&
+           a.max_cell_count == b.max_cell_count;
+  }
+};
+
+/// The planner's view of a database. Plain data, deterministic in the
+/// database contents, cheap to serialize (fixed-size block).
+struct PlannerStats {
+  /// Dyadic levels 0..16: level L cuts each axis into 2^L strips.
+  static constexpr int kLevels = 17;
+
+  /// Table-1 metrics (objects/user, tokens/object, df distribution) —
+  /// the cached copy `ComputeDatasetStats` returns (satellite: computed
+  /// once at build, not per caller).
+  DatasetStats dataset;
+
+  std::array<OccupancyLevel, kLevels> occupancy = {};
+
+  /// Bounds extent per axis (level-L cell size is extent / 2^L).
+  double extent_x = 0.0;
+  double extent_y = 0.0;
+
+  /// Σ over tokens of df (total stored token occurrences, by document
+  /// frequency — duplicates within an object collapsed).
+  uint64_t total_token_occurrences = 0;
+  /// Σ df² / (Σ df)²: the probability that two token occurrences drawn
+  /// at random are the same token. The textual-collision knob of the
+  /// selectivity estimator; 0 for an empty dictionary.
+  double token_collision_rate = 0.0;
+  /// max df / Σ df: head skew of the token distribution.
+  double token_top_frequency = 0.0;
+
+  friend bool operator==(const PlannerStats& a, const PlannerStats& b) {
+    return a.dataset == b.dataset && a.occupancy == b.occupancy &&
+           a.extent_x == b.extent_x && a.extent_y == b.extent_y &&
+           a.total_token_occurrences == b.total_token_occurrences &&
+           a.token_collision_rate == b.token_collision_rate &&
+           a.token_top_frequency == b.token_top_frequency;
+  }
+};
+
+/// Computes the full summary by scanning the database once (plus one
+/// key sort). Called by DatabaseBuilder::Build; everyone else should
+/// read the cached copy via ObjectDatabase::planner_stats().
+PlannerStats ComputePlannerStats(const ObjectDatabase& db);
+
+}  // namespace stps
+
+#endif  // STPS_PLANNER_PLANNER_STATS_H_

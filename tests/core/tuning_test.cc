@@ -4,6 +4,9 @@
 
 #include "core/ppjb.h"
 #include "core/similarity.h"
+#include "core/stpsjoin.h"
+#include "planner/cost_model.h"
+#include "planner/feedback.h"
 #include "test_util.h"
 
 namespace stps {
@@ -128,6 +131,61 @@ TEST(TuningTest, BacktracksInsteadOfDying) {
   EXPECT_LE(result.result.size(), 2u);
   // eps_doc can never have been tightened (any step crosses 1/3).
   EXPECT_LT(result.thresholds.eps_doc, 1.0 / 3);
+}
+
+// The initial join now routes through the planner (kAuto). Every shape
+// the planner can pick is exact, so the tuned thresholds must not depend
+// on the planner's mood — pin that by poisoning the feedback map between
+// two searches and requiring identical TuningResults.
+TEST(TuningTest, ResultIndependentOfPlannerChoice) {
+  const ObjectDatabase db = DenseDb(6);
+  TuningOptions options;
+  options.initial = {0.2, 0.1, 0.05};
+  options.target_size = 5;
+  options.seed = 7;
+
+  PlannerFeedback::Global().Reset();
+  const TuningResult baseline = TuneThresholds(db, options);
+
+  // Steer the planner toward each algorithm in turn; thresholds, result
+  // pairs, and iteration count must not move.
+  const PlanEstimate estimate =
+      EstimateJoinStages(db.planner_stats(), options.initial.eps_loc,
+                         options.initial.eps_doc, options.initial.eps_u);
+  JoinStats fake;
+  for (const JoinAlgorithm fast :
+       {JoinAlgorithm::kSPPJC, JoinAlgorithm::kSPPJB,
+        JoinAlgorithm::kBruteForce}) {
+    PlannerFeedback::Global().Reset();
+    for (const JoinAlgorithm algorithm :
+         {JoinAlgorithm::kSPPJC, JoinAlgorithm::kSPPJB, JoinAlgorithm::kSPPJF,
+          JoinAlgorithm::kSPPJD, JoinAlgorithm::kBruteForce}) {
+      PlanShape shape;
+      shape.join = algorithm;
+      const double cost =
+          EstimateShapeCost(db.planner_stats(), shape, estimate);
+      for (int i = 0; i < 8; ++i) {
+        PlannerFeedback::Global().Record(shape, estimate, cost, fake,
+                                         algorithm == fast ? 1e-3 : 1e5);
+      }
+    }
+    const TuningResult steered = TuneThresholds(db, options);
+    EXPECT_DOUBLE_EQ(steered.thresholds.eps_loc, baseline.thresholds.eps_loc)
+        << "steered toward " << JoinAlgorithmName(fast);
+    EXPECT_DOUBLE_EQ(steered.thresholds.eps_doc, baseline.thresholds.eps_doc)
+        << "steered toward " << JoinAlgorithmName(fast);
+    EXPECT_DOUBLE_EQ(steered.thresholds.eps_u, baseline.thresholds.eps_u)
+        << "steered toward " << JoinAlgorithmName(fast);
+    EXPECT_EQ(steered.iterations, baseline.iterations);
+    EXPECT_EQ(steered.converged, baseline.converged);
+    ASSERT_EQ(steered.result.size(), baseline.result.size());
+    for (size_t i = 0; i < steered.result.size(); ++i) {
+      EXPECT_EQ(steered.result[i].a, baseline.result[i].a);
+      EXPECT_EQ(steered.result[i].b, baseline.result[i].b);
+      EXPECT_DOUBLE_EQ(steered.result[i].score, baseline.result[i].score);
+    }
+  }
+  PlannerFeedback::Global().Reset();
 }
 
 TEST(TuningTest, MaxIterationsBoundsTheSearch) {

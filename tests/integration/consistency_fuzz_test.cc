@@ -148,6 +148,23 @@ TEST_P(ConsistencyFuzzTest, AllJoinAlgorithmsAgreeOnRandomConfigs) {
       query.sketch = SketchOptions{};
       query.parallel = ParallelOptions{};
     }
+
+    // The planner route: whatever shape kAuto resolves to (the choice
+    // may vary with thread budget and learned feedback), the results must
+    // be the brute-force results, bit for bit.
+    for (const int threads : {1, 2, 8}) {
+      query.parallel = ParallelOptions{threads, 0};
+      JoinOptions auto_options;
+      auto_options.algorithm = JoinAlgorithm::kAuto;
+      JoinStats auto_stats;
+      ASSERT_TRUE(SameResults(RunSTPSJoin(db, query, auto_options,
+                                          &auto_stats),
+                              expected, /*tolerance=*/0.0))
+          << "kAuto threads=" << threads << " seed=" << spec.seed;
+      CheckStatsInvariants(auto_stats, static_cast<int64_t>(expected.size()),
+                           "kAuto");
+    }
+    query.parallel = ParallelOptions{};
   }
 }
 
@@ -284,6 +301,18 @@ TEST_P(ConsistencyFuzzTest, AllTopKVariantsAgreeOnRandomConfigs) {
       query.sketch = SketchOptions{};
       query.parallel = ParallelOptions{};
     }
+
+    // kAuto top-k resolves through the planner; the unique top-k under
+    // the TopKBetter order must come back whatever shape it picks.
+    for (const int threads : {1, 2, 8}) {
+      query.parallel = ParallelOptions{threads, 0};
+      ASSERT_TRUE(
+          SameResults(RunTopKSTPSJoin(db, query, TopKAlgorithm::kAuto),
+                      expected, /*tolerance=*/0.0))
+          << "kAuto topk threads=" << threads << " seed=" << spec.seed
+          << " k=" << query.k;
+    }
+    query.parallel = ParallelOptions{};
   }
 }
 

@@ -10,6 +10,7 @@
 
 #include "datagen/generator.h"
 #include "datagen/presets.h"
+#include "planner/planner_stats.h"
 #include "test_util.h"
 
 namespace stps {
@@ -76,6 +77,39 @@ TEST(BinaryIoTest, RoundTripEmptyDatabase) {
   Result<ObjectDatabase> loaded = ReadBinary(path);
   ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
   EXPECT_EQ(loaded.value().num_objects(), 0u);
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTripPreservesPlannerStats) {
+  RandomDbSpec spec;
+  spec.seed = 77;
+  const ObjectDatabase original = BuildRandomDatabase(spec);
+  ASSERT_TRUE(original.has_planner_stats());
+  const std::string path = TempPath("stats.stpsdb");
+  ASSERT_TRUE(WriteBinary(original, path).ok());
+  Result<ObjectDatabase> loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  // The snapshot carries the stats block and the reader cross-checks it
+  // against the rebuilt database, so a successful load means the cached
+  // summary is byte-equal to a fresh computation.
+  ASSERT_TRUE(loaded.value().has_planner_stats());
+  EXPECT_TRUE(loaded.value().planner_stats() == original.planner_stats());
+  EXPECT_TRUE(loaded.value().planner_stats() ==
+              ComputePlannerStats(loaded.value()));
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, EmptyDatabaseStatsRoundTrip) {
+  DatabaseBuilder builder;
+  const ObjectDatabase original = std::move(builder).Build();
+  const std::string path = TempPath("emptystats.stpsdb");
+  ASSERT_TRUE(WriteBinary(original, path).ok());
+  Result<ObjectDatabase> loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  if (original.has_planner_stats()) {
+    ASSERT_TRUE(loaded.value().has_planner_stats());
+    EXPECT_TRUE(loaded.value().planner_stats() == original.planner_stats());
+  }
   std::remove(path.c_str());
 }
 

@@ -6,12 +6,17 @@
 //   stps_cli stats <data.tsv>
 //       Print Table-1-style descriptive statistics.
 //   stps_cli join <data.tsv> <eps_loc> <eps_doc> <eps_u> [--sketch]
-//       [algorithm]
-//       Run STPSJoin (algorithm: sppjc | sppjb | sppjf | sppjd | brute;
-//       default sppjf). Prints one "userA userB sigma" row per pair.
-//       --sketch draws candidates from the sketch layer (same results).
-//   stps_cli topk <data.tsv> <eps_loc> <eps_doc> <k> [--sketch] [variant]
-//       Run top-k STPSJoin (variant: f | s | p | brute; default p).
+//       [--explain] [algorithm]
+//       Run STPSJoin (algorithm: auto | sppjc | sppjb | sppjf | sppjd |
+//       brute; default auto — the cost-model planner picks). Prints one
+//       "userA userB sigma" row per pair. --sketch draws candidates from
+//       the sketch layer (same results). --explain prints the chosen
+//       plan and an estimated-vs-actual counter table as JSON instead of
+//       the pairs.
+//   stps_cli topk <data.tsv> <eps_loc> <eps_doc> <k> [--sketch]
+//       [--explain] [variant]
+//       Run top-k STPSJoin (variant: auto | f | s | p | brute; default
+//       auto).
 //   stps_cli tune <data.tsv> <target_size> <eps_loc0> <eps_doc0> <eps_u0>
 //       Auto-tune thresholds toward a result-set size.
 
@@ -23,6 +28,7 @@
 #include "common/timer.h"
 #include "core/stpsjoin.h"
 #include "core/tuning.h"
+#include "planner/planner.h"
 #include "datagen/dataset_stats.h"
 #include "datagen/generator.h"
 #include "datagen/presets.h"
@@ -43,9 +49,9 @@ int Usage() {
       "  stps_cli stats <data.tsv>\n"
       "  stps_cli convert <in.tsv|in.stpsdb> <out.tsv|out.stpsdb>\n"
       "  stps_cli join <data.tsv> <eps_loc> <eps_doc> <eps_u> [--sketch] "
-      "[sppjc|sppjb|sppjf|sppjd|brute]\n"
+      "[--explain] [auto|sppjc|sppjb|sppjf|sppjd|brute]\n"
       "  stps_cli topk <data.tsv> <eps_loc> <eps_doc> <k> [--sketch] "
-      "[f|s|p|brute]\n"
+      "[--explain] [auto|f|s|p|brute]\n"
       "  stps_cli tune <data.tsv> <target_size> <eps_loc0> <eps_doc0> "
       "<eps_u0>\n");
   return 2;
@@ -136,6 +142,49 @@ int CmdStats(int argc, char** argv) {
   return 0;
 }
 
+// Emits the --explain JSON document: the executed plan, the planner's
+// candidate table, and the estimated-vs-actual counter comparison.
+void PrintExplainJson(const char* command, const PhysicalPlan& plan,
+                      const JoinStats& stats, size_t result_pairs,
+                      double elapsed_ms) {
+  std::printf("{\n  \"command\": \"%s\",\n", command);
+  std::printf(
+      "  \"plan\": {\"shape\": \"%s\", \"threads\": %d, \"grain\": %zu, "
+      "\"rtree_fanout\": %d, \"cost_units\": %.6g, \"predicted_ms\": "
+      "%.6g},\n",
+      PlanShapeName(plan.shape).c_str(), plan.shape.threads, plan.grain,
+      plan.rtree_fanout, plan.cost_units, plan.predicted_ms);
+  std::printf("  \"considered\": [");
+  for (size_t i = 0; i < plan.considered.size(); ++i) {
+    const PlanCandidate& c = plan.considered[i];
+    std::printf(
+        "%s\n    {\"shape\": \"%s\", \"threads\": %d, \"cost_units\": "
+        "%.6g, \"predicted_ms\": %.6g}",
+        i == 0 ? "" : ",", PlanShapeName(c.shape).c_str(), c.shape.threads,
+        c.cost_units, c.predicted_ms);
+  }
+  std::printf("\n  ],\n");
+  std::printf(
+      "  \"estimated\": {\"cells_visited\": %.6g, \"candidate_pairs\": "
+      "%.6g, \"text_survivors\": %.6g, \"verified_pairs\": %.6g},\n",
+      plan.estimate.cells_visited, plan.estimate.candidate_pairs,
+      plan.estimate.text_survivors, plan.estimate.verified_pairs);
+  std::printf(
+      "  \"actual\": {\"cells_visited\": %llu, \"pairs_candidate\": %llu, "
+      "\"pairs_verified\": %llu, \"matches_found\": %llu, "
+      "\"sketch_candidate_pairs\": %llu, \"planner_estimated_candidates\": "
+      "%llu, \"planner_plan_switches\": %llu},\n",
+      static_cast<unsigned long long>(stats.cells_visited),
+      static_cast<unsigned long long>(stats.pairs_candidate),
+      static_cast<unsigned long long>(stats.pairs_verified),
+      static_cast<unsigned long long>(stats.matches_found),
+      static_cast<unsigned long long>(stats.sketch_candidate_pairs),
+      static_cast<unsigned long long>(stats.planner_estimated_candidates),
+      static_cast<unsigned long long>(stats.planner_plan_switches));
+  std::printf("  \"result_pairs\": %zu,\n  \"elapsed_ms\": %.3f\n}\n",
+              result_pairs, elapsed_ms);
+}
+
 int CmdJoin(int argc, char** argv) {
   if (argc < 6) return Usage();
   ObjectDatabase db;
@@ -145,9 +194,13 @@ int CmdJoin(int argc, char** argv) {
   query.eps_doc = std::strtod(argv[4], nullptr);
   query.eps_u = std::strtod(argv[5], nullptr);
   JoinOptions options;
+  options.algorithm = JoinAlgorithm::kAuto;
+  bool explain = false;
   for (int i = 6; i < argc; ++i) {
     const std::string name = argv[i];
-    if (name == "sppjc") {
+    if (name == "auto") {
+      options.algorithm = JoinAlgorithm::kAuto;
+    } else if (name == "sppjc") {
       options.algorithm = JoinAlgorithm::kSPPJC;
     } else if (name == "sppjb") {
       options.algorithm = JoinAlgorithm::kSPPJB;
@@ -159,15 +212,28 @@ int CmdJoin(int argc, char** argv) {
       options.algorithm = JoinAlgorithm::kBruteForce;
     } else if (name == "--sketch") {
       query.sketch.enabled = true;
+    } else if (name == "--explain") {
+      explain = true;
     } else {
       return Usage();
     }
   }
+  const PhysicalPlan plan = PlanSTPSJoin(db, query, options);
+  JoinStats stats;
   Timer timer;
-  const auto result = RunSTPSJoin(db, query, options);
-  std::fprintf(stderr, "%s: %zu pairs in %.1f ms\n",
-               std::string(JoinAlgorithmName(options.algorithm)).c_str(),
-               result.size(), timer.ElapsedMillis());
+  const auto result = RunSTPSJoin(db, query, options, &stats);
+  const double elapsed_ms = timer.ElapsedMillis();
+  const std::string executed =
+      options.algorithm == JoinAlgorithm::kAuto
+          ? PlanShapeName(plan.shape)
+          : std::string(JoinAlgorithmName(options.algorithm));
+  std::fprintf(stderr, "%s: %zu pairs in %.1f ms\n", executed.c_str(),
+               result.size(), elapsed_ms);
+  if (explain) {
+    std::fprintf(stderr, "%s", ExplainPlan(plan, &stats).c_str());
+    PrintExplainJson("join", plan, stats, result.size(), elapsed_ms);
+    return 0;
+  }
   for (const ScoredUserPair& pair : result) {
     std::printf("%s\t%s\t%.6f\n", db.UserName(pair.a).c_str(),
                 db.UserName(pair.b).c_str(), pair.score);
@@ -183,10 +249,13 @@ int CmdTopK(int argc, char** argv) {
   query.eps_loc = std::strtod(argv[3], nullptr);
   query.eps_doc = std::strtod(argv[4], nullptr);
   query.k = std::strtoul(argv[5], nullptr, 10);
-  TopKAlgorithm algorithm = TopKAlgorithm::kP;
+  TopKAlgorithm algorithm = TopKAlgorithm::kAuto;
+  bool explain = false;
   for (int i = 6; i < argc; ++i) {
     const std::string name = argv[i];
-    if (name == "f") {
+    if (name == "auto") {
+      algorithm = TopKAlgorithm::kAuto;
+    } else if (name == "f") {
       algorithm = TopKAlgorithm::kF;
     } else if (name == "s") {
       algorithm = TopKAlgorithm::kS;
@@ -196,15 +265,27 @@ int CmdTopK(int argc, char** argv) {
       algorithm = TopKAlgorithm::kBruteForce;
     } else if (name == "--sketch") {
       query.sketch.enabled = true;
+    } else if (name == "--explain") {
+      explain = true;
     } else {
       return Usage();
     }
   }
+  const PhysicalPlan plan = PlanTopKSTPSJoin(db, query);
+  JoinStats stats;
   Timer timer;
-  const auto result = RunTopKSTPSJoin(db, query, algorithm);
-  std::fprintf(stderr, "%s: %zu pairs in %.1f ms\n",
-               std::string(TopKAlgorithmName(algorithm)).c_str(),
-               result.size(), timer.ElapsedMillis());
+  const auto result = RunTopKSTPSJoin(db, query, algorithm, &stats);
+  const double elapsed_ms = timer.ElapsedMillis();
+  const std::string executed = algorithm == TopKAlgorithm::kAuto
+                                   ? PlanShapeName(plan.shape)
+                                   : std::string(TopKAlgorithmName(algorithm));
+  std::fprintf(stderr, "%s: %zu pairs in %.1f ms\n", executed.c_str(),
+               result.size(), elapsed_ms);
+  if (explain) {
+    std::fprintf(stderr, "%s", ExplainPlan(plan, &stats).c_str());
+    PrintExplainJson("topk", plan, stats, result.size(), elapsed_ms);
+    return 0;
+  }
   for (const ScoredUserPair& pair : result) {
     std::printf("%s\t%s\t%.6f\n", db.UserName(pair.a).c_str(),
                 db.UserName(pair.b).c_str(), pair.score);
@@ -223,7 +304,7 @@ int CmdTune(int argc, char** argv) {
   options.initial.eps_u = std::strtod(argv[6], nullptr);
   const TuningResult result = TuneThresholds(db, options);
   std::fprintf(stderr,
-               "initial S-PPJ-F: %.1f ms; tuning: %zu iterations in %.1f "
+               "initial join (planner): %.1f ms; tuning: %zu iterations in %.1f "
                "ms; %s\n",
                result.initial_join_millis, result.iterations,
                result.tuning_millis,
