@@ -44,6 +44,14 @@ python3 "$ROOT/scripts/compare_bench.py" \
     --require 'planner_beats_static_default>=1.0' \
     "$ROOT/BENCH_planner.json" "$ROOT/BENCH_planner.json"
 
+echo "=== update fuzz + server smoke ==="
+# The differential insert/delete fuzz (snapshot vs rebuild-from-scratch
+# oracle across every join/top-k variant) and the live server end to end:
+# concurrent socket clients, publish visibility, graceful shutdown.
+(cd "$ROOT/build" && ctest --output-on-failure -R 'update_test|server_test')
+cmake --build "$ROOT/build" -j --target stps_cli
+python3 "$ROOT/scripts/server_smoke.py" "$ROOT/build/tools/stps_cli"
+
 echo "=== ASan + UBSan ==="
 "$ROOT/scripts/run_asan_tests.sh" "$ROOT/build-asan"
 

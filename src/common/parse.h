@@ -1,0 +1,72 @@
+// Strict numeric parsing for user-facing inputs (CLI arguments, server
+// protocol fields, TSV cells).
+//
+// The C strtod/strtoul family silently accepts trailing garbage
+// ("1.5abc" -> 1.5), negative values for unsigned conversions ("-1"
+// wraps), and returns 0 on totally non-numeric input — so a mistyped
+// command line like `join db x y z` would quietly run with eps = 0.
+// These helpers succeed only when the *entire* field is a valid number
+// in range, and leave *out untouched on failure.
+
+#ifndef STPS_COMMON_PARSE_H_
+#define STPS_COMMON_PARSE_H_
+
+#include <charconv>
+#include <cstdint>
+#include <limits>
+#include <string_view>
+#include <system_error>
+
+namespace stps {
+
+/// Full-string floating-point parse. Accepts an optional leading '+'
+/// (from_chars itself does not); rejects empty fields, trailing garbage,
+/// and out-of-range magnitudes.
+inline bool ParseDouble(std::string_view s, double* out) {
+  if (!s.empty() && s.front() == '+') s.remove_prefix(1);
+  if (s.empty()) return false;
+  double value = 0.0;
+  const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  *out = value;
+  return true;
+}
+
+/// Full-string unsigned decimal parse. Rejects signs entirely: "-1" is
+/// an error, never a wraparound.
+inline bool ParseUint64(std::string_view s, uint64_t* out) {
+  if (s.empty()) return false;
+  uint64_t value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value, 10);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  *out = value;
+  return true;
+}
+
+/// Full-string size_t parse via ParseUint64 with a range check.
+inline bool ParseSize(std::string_view s, size_t* out) {
+  uint64_t value = 0;
+  if (!ParseUint64(s, &value)) return false;
+  if (value > std::numeric_limits<size_t>::max()) return false;
+  *out = static_cast<size_t>(value);
+  return true;
+}
+
+/// Full-string signed int parse with an inclusive range gate.
+inline bool ParseInt(std::string_view s, int min_value, int max_value,
+                     int* out) {
+  if (!s.empty() && s.front() == '+') s.remove_prefix(1);
+  if (s.empty()) return false;
+  int value = 0;
+  const auto [ptr, ec] =
+      std::from_chars(s.data(), s.data() + s.size(), value, 10);
+  if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  if (value < min_value || value > max_value) return false;
+  *out = value;
+  return true;
+}
+
+}  // namespace stps
+
+#endif  // STPS_COMMON_PARSE_H_

@@ -252,6 +252,29 @@ std::vector<ScoredUserPair> RunTopKSTPSJoin(const ObjectDatabase& db,
   return result;
 }
 
+std::vector<ScoredUserPair> FindSimilarUsers(const ObjectDatabase& db,
+                                             UserId u,
+                                             const STPSQuery& query) {
+  std::vector<ScoredUserPair> result;
+  if (u >= db.num_users()) return result;
+  const MatchThresholds t = query.match_thresholds();
+  const std::span<const STObject> du = db.UserObjects(u);
+  for (UserId v = 0; v < db.num_users(); ++v) {
+    if (v == u) continue;
+    const std::span<const STObject> dv = db.UserObjects(v);
+    const size_t total = du.size() + dv.size();
+    if (total == 0) continue;
+    const size_t matched = ExactSigmaMatched(du, dv, t);
+    if (SigmaAtLeast(matched, total, query.eps_u)) {
+      result.push_back({std::min(u, v), std::max(u, v),
+                        static_cast<double>(matched) /
+                            static_cast<double>(total)});
+    }
+  }
+  std::sort(result.begin(), result.end(), TopKBetter);
+  return result;
+}
+
 std::string_view JoinAlgorithmName(JoinAlgorithm algorithm) {
   switch (algorithm) {
     case JoinAlgorithm::kBruteForce:

@@ -86,6 +86,16 @@ std::vector<ScoredUserPair> RunTopKSTPSJoin(
     const ObjectDatabase& db, const TopKQuery& query,
     TopKAlgorithm algorithm = TopKAlgorithm::kP, JoinStats* stats = nullptr);
 
+/// Single-user probe ("find users similar to u"): every user v != u with
+/// sigma(Du, Dv) >= eps_u under the query's match thresholds, scored
+/// exactly and sorted best-first under the TopKBetter total order (pairs
+/// carry a < b like the join results). The exact per-pair kernel is the
+/// same ExactSigmaMatched/SigmaAtLeast discipline as the joins, so a
+/// probe result is exactly the u-rows of RunSTPSJoin's output.
+std::vector<ScoredUserPair> FindSimilarUsers(const ObjectDatabase& db,
+                                             UserId u,
+                                             const STPSQuery& query);
+
 /// Display names ("S-PPJ-F", "TOPK-S-PPJ-P", ...) for reports.
 std::string_view JoinAlgorithmName(JoinAlgorithm algorithm);
 std::string_view TopKAlgorithmName(TopKAlgorithm algorithm);

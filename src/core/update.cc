@@ -1,0 +1,274 @@
+#include "core/update.h"
+
+#include <algorithm>
+#include <utility>
+
+#include "text/dictionary.h"
+#include "text/token_set.h"
+
+namespace stps {
+
+UpdatableDatabase::UpdatableDatabase(UpdateOptions options)
+    : options_(options) {
+  // Epoch 0 is a *built* empty database, not a default-constructed one:
+  // queries rely on Build()'s invariants (user_begin_ sentinel, planner
+  // stats, sketch index) even when the database holds nothing yet.
+  auto initial = std::make_shared<DatabaseSnapshot>();
+  DatabaseBuilder builder;
+  initial->db = std::move(builder).Build();
+  snapshot_ = std::move(initial);
+}
+
+uint32_t UpdatableDatabase::InternUser(std::string_view key) {
+  auto [it, inserted] = user_index_.try_emplace(
+      std::string(key), static_cast<uint32_t>(users_.size()));
+  if (inserted) {
+    users_.push_back(UserEntry{std::string(key), {}});
+  }
+  return it->second;
+}
+
+uint32_t UpdatableDatabase::InternToken(std::string_view token) {
+  auto [it, inserted] = token_index_.try_emplace(
+      std::string(token), static_cast<uint32_t>(token_strings_.size()));
+  if (inserted) {
+    token_strings_.emplace_back(token);
+  }
+  return it->second;
+}
+
+void UpdatableDatabase::InsertLocked(const RawObject& object) {
+  // Intern, sort, and dedup the keyword set up front (AddObject collapses
+  // duplicates the same way, so publishing the normalized set builds the
+  // same database as publishing the raw one).
+  TokenVector tokens;
+  tokens.reserve(object.keywords.size());
+  for (const std::string& kw : object.keywords) {
+    tokens.push_back(InternToken(kw));
+  }
+  NormalizeTokenSet(&tokens);
+
+  uint32_t slot_id;
+  if (!free_slots_.empty()) {
+    slot_id = free_slots_.back();
+    free_slots_.pop_back();
+  } else {
+    slot_id = static_cast<uint32_t>(slots_.size());
+    slots_.emplace_back();
+  }
+  Slot& slot = slots_[slot_id];
+  slot.user = InternUser(object.user);
+  slot.loc = object.loc;
+  slot.time = object.time;
+  slot.seq = next_seq_++;
+  slot.token_begin = static_cast<uint32_t>(token_arena_.size());
+  slot.token_count = static_cast<uint32_t>(tokens.size());
+  slot.live = true;
+  token_arena_.insert(token_arena_.end(), tokens.begin(), tokens.end());
+  users_[slot.user].slots.push_back(slot_id);
+  ++stats_.objects_inserted;
+  ++pending_mutations_;
+}
+
+void UpdatableDatabase::InsertObject(const RawObject& object) {
+  InsertObjects(std::span<const RawObject>(&object, 1));
+}
+
+void UpdatableDatabase::InsertObjects(std::span<const RawObject> objects) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (const RawObject& object : objects) InsertLocked(object);
+  PublishThresholdLocked();
+}
+
+bool UpdatableDatabase::DeleteUser(std::string_view user_key) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = user_index_.find(std::string(user_key));
+  if (it == user_index_.end()) return false;
+  UserEntry& user = users_[it->second];
+  if (user.slots.empty()) return false;
+  for (const uint32_t slot_id : user.slots) {
+    Slot& slot = slots_[slot_id];
+    STPS_DCHECK(slot.live);
+    slot.live = false;
+    dead_tokens_ += slot.token_count;
+    free_slots_.push_back(slot_id);
+    ++stats_.objects_deleted;
+    ++pending_mutations_;
+  }
+  user.slots.clear();
+  ++stats_.users_deleted;
+  MaybeCompactLocked();
+  PublishThresholdLocked();
+  return true;
+}
+
+void UpdatableDatabase::MaybeCompactLocked() {
+  if (dead_tokens_ >
+      options_.compact_fraction * static_cast<double>(token_arena_.size())) {
+    CompactArenaLocked();
+  }
+  if (static_cast<double>(free_slots_.size()) >
+      options_.compact_fraction * static_cast<double>(slots_.size())) {
+    CompactSlotsLocked();
+  }
+}
+
+void UpdatableDatabase::CompactArenaLocked() {
+  // Rewrite the arena keeping only live extents. Live runs are copied in
+  // slot order (the arena's order is irrelevant to publishing, which
+  // walks slots); extents shrink-to-front so no slot ever overlaps the
+  // region still to be copied.
+  std::vector<TokenId> packed;
+  packed.reserve(token_arena_.size() - dead_tokens_);
+  for (Slot& slot : slots_) {
+    if (!slot.live) continue;
+    const uint32_t begin = static_cast<uint32_t>(packed.size());
+    packed.insert(packed.end(), token_arena_.begin() + slot.token_begin,
+                  token_arena_.begin() + slot.token_begin + slot.token_count);
+    slot.token_begin = begin;
+  }
+  token_arena_ = std::move(packed);
+  dead_tokens_ = 0;
+  ++stats_.arena_compactions;
+}
+
+void UpdatableDatabase::CompactSlotsLocked() {
+  // Drop dead slots, renumbering the live ones in place (stable, so seq
+  // order within the array is preserved) and rewriting the per-user slot
+  // lists to the new ids.
+  std::vector<uint32_t> remap(slots_.size(), 0);
+  size_t next = 0;
+  for (size_t i = 0; i < slots_.size(); ++i) {
+    if (!slots_[i].live) continue;
+    remap[i] = static_cast<uint32_t>(next);
+    if (next != i) slots_[next] = std::move(slots_[i]);
+    ++next;
+  }
+  slots_.resize(next);
+  free_slots_.clear();
+  for (UserEntry& user : users_) {
+    for (uint32_t& slot_id : user.slots) slot_id = remap[slot_id];
+  }
+  ++stats_.slot_compactions;
+}
+
+std::shared_ptr<const DatabaseSnapshot> UpdatableDatabase::PublishLocked() {
+  // Surviving objects replay through DatabaseBuilder in their original
+  // insertion order, which makes the published database definitionally
+  // identical to a fresh build of the survivors — Build() refreshes the
+  // Z-order layout, CSR arena, SoA mirrors, signatures, sketch index,
+  // and PlannerStats in one pass.
+  std::vector<const Slot*> live;
+  live.reserve(slots_.size() - free_slots_.size());
+  for (const Slot& slot : slots_) {
+    if (slot.live) live.push_back(&slot);
+  }
+  std::sort(live.begin(), live.end(),
+            [](const Slot* a, const Slot* b) { return a->seq < b->seq; });
+
+  DatabaseBuilder builder;
+  std::vector<std::string_view> keywords;
+  for (const Slot* slot : live) {
+    keywords.clear();
+    for (uint32_t i = 0; i < slot->token_count; ++i) {
+      keywords.push_back(token_strings_[token_arena_[slot->token_begin + i]]);
+    }
+    builder.AddObject(users_[slot->user].key, slot->loc,
+                      std::span<const std::string_view>(keywords),
+                      slot->time);
+  }
+
+  auto next = std::make_shared<DatabaseSnapshot>();
+  // Safe without snapshot_mutex_: snapshot_ is only ever reassigned under
+  // mutex_, which this thread holds.
+  next->epoch = snapshot_->epoch + 1;
+  next->db = std::move(builder).Build();
+  pending_mutations_ = 0;
+  ++stats_.publishes;
+  std::shared_ptr<const DatabaseSnapshot> published = std::move(next);
+  {
+    std::lock_guard<std::mutex> lock(snapshot_mutex_);
+    snapshot_ = published;
+  }
+  return published;
+}
+
+void UpdatableDatabase::PublishThresholdLocked() {
+  if (options_.publish_threshold > 0 &&
+      pending_mutations_ >= options_.publish_threshold) {
+    PublishLocked();
+  }
+}
+
+std::shared_ptr<const DatabaseSnapshot> UpdatableDatabase::snapshot() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_;
+}
+
+std::shared_ptr<const DatabaseSnapshot> UpdatableDatabase::Publish() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return PublishLocked();
+}
+
+std::shared_ptr<const DatabaseSnapshot> UpdatableDatabase::PublishIfDirty() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (pending_mutations_ == 0) return snapshot();
+  return PublishLocked();
+}
+
+bool UpdatableDatabase::dirty() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return pending_mutations_ > 0;
+}
+
+size_t UpdatableDatabase::live_objects() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return slots_.size() - free_slots_.size();
+}
+
+size_t UpdatableDatabase::live_users() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  size_t count = 0;
+  for (const UserEntry& user : users_) {
+    if (!user.slots.empty()) ++count;
+  }
+  return count;
+}
+
+uint64_t UpdatableDatabase::epoch() const {
+  std::lock_guard<std::mutex> lock(snapshot_mutex_);
+  return snapshot_->epoch;
+}
+
+UpdateStats UpdatableDatabase::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void UpdatableDatabase::SeedFrom(const ObjectDatabase& db) {
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    // Walk slots in AddObject sequence order so the store replays the
+    // exact insertion history of `db`.
+    const std::span<const uint32_t> seq = db.insertion_order();
+    std::vector<uint32_t> by_seq(db.num_objects());
+    for (uint32_t slot = 0; slot < by_seq.size(); ++slot) {
+      STPS_DCHECK(seq[slot] < by_seq.size());
+      by_seq[seq[slot]] = slot;
+    }
+    const Dictionary& dict = db.dictionary();
+    RawObject raw;
+    for (const uint32_t slot : by_seq) {
+      const STObject& o = db.object(slot);
+      raw.user = db.UserName(o.user);
+      raw.loc = o.loc;
+      raw.time = o.time;
+      raw.keywords.clear();
+      for (const TokenId t : o.doc) raw.keywords.push_back(dict.TokenString(t));
+      InsertLocked(raw);
+    }
+  }
+  Publish();
+}
+
+}  // namespace stps

@@ -1,0 +1,193 @@
+// UpdatableDatabase: incremental insert/delete on top of the immutable
+// ObjectDatabase, with epoch/RCU-style snapshots.
+//
+// The paper's join algorithms run against an immutable, heavily
+// layout-optimised ObjectDatabase (user-grouped Z-order slots, CSR token
+// arena, SoA mirrors, grid cells, sketches, planner stats — see
+// DESIGN.md). Those structures are interlinked by spans and prefix sums;
+// mutating them in place would invalidate every reader. Instead this
+// layer splits the lifecycle in two:
+//
+//  * A mutable *store* absorbs writes in O(1) amortised per object:
+//    per-user slot lists, a slot free list recycling deleted entries, and
+//    an interned-token arena whose holes are tracked and periodically
+//    compacted. No query ever reads the store.
+//  * Publish() compacts the store's surviving objects (in original
+//    insertion order) through DatabaseBuilder::Build into a fresh
+//    immutable ObjectDatabase — token signatures, sketch index, and
+//    PlannerStats are refreshed as part of the build — and swaps it in as
+//    the next epoch's snapshot.
+//
+// Readers obtain `shared_ptr<const DatabaseSnapshot>` and keep it for the
+// whole query: writers never block readers, readers never block writers,
+// and superseded snapshots stay alive until the last in-flight query
+// drops its reference (RCU grace period by shared_ptr refcount).
+//
+// Correctness contract (enforced by tests/core/update_test.cc): after any
+// interleaving of InsertObjects/DeleteUser, the published snapshot is
+// *the same database* a fresh DatabaseBuilder::Build over the surviving
+// raw objects (in first-insertion order) would produce — so every join /
+// top-k variant returns bit-identical results on either.
+
+#ifndef STPS_CORE_UPDATE_H_
+#define STPS_CORE_UPDATE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <vector>
+
+#include "common/macros.h"
+#include "core/database.h"
+
+namespace stps {
+
+/// One incoming raw object (a check-in): the external user key plus the
+/// object payload, exactly what DatabaseBuilder::AddObject accepts.
+struct RawObject {
+  std::string user;
+  Point loc;
+  std::vector<std::string> keywords;
+  double time = 0.0;
+};
+
+/// An immutable, epoch-stamped view of the database. Queries hold the
+/// shared_ptr for their whole run; the view never changes underneath
+/// them. Epoch 0 is the empty database before the first Publish().
+struct DatabaseSnapshot {
+  uint64_t epoch = 0;
+  ObjectDatabase db;
+};
+
+/// Write-side tuning knobs.
+struct UpdateOptions {
+  /// Auto-publish when this many mutations (inserted or deleted objects)
+  /// accumulate since the last publish. 0 disables auto-publish; callers
+  /// then control epochs explicitly via Publish().
+  size_t publish_threshold = 0;
+  /// Compact the token arena / slot array when dead entries exceed this
+  /// fraction of their capacity. Compaction is O(live) and amortised by
+  /// the fraction; 0 compacts on every delete (useful in tests).
+  double compact_fraction = 0.5;
+};
+
+/// Write-side observability counters (monotone).
+struct UpdateStats {
+  uint64_t objects_inserted = 0;
+  uint64_t objects_deleted = 0;
+  uint64_t users_deleted = 0;
+  uint64_t publishes = 0;
+  uint64_t arena_compactions = 0;
+  uint64_t slot_compactions = 0;
+};
+
+/// Mutable database front end. Thread safety: any number of concurrent
+/// readers (snapshot()) against any number of concurrent writers
+/// (InsertObjects / DeleteUser / Publish); writers serialise on an
+/// internal mutex, readers only touch the snapshot pointer.
+class UpdatableDatabase {
+ public:
+  explicit UpdatableDatabase(UpdateOptions options = {});
+  ~UpdatableDatabase() = default;
+  STPS_DISALLOW_COPY_AND_ASSIGN(UpdatableDatabase);
+
+  /// Seeds the store with every object of `db` (in its original insertion
+  /// order, recovered through db.insertion_order()) and publishes a new
+  /// epoch, which is equivalent to `db` itself. Intended for loading an
+  /// initial dataset into a fresh instance.
+  void SeedFrom(const ObjectDatabase& db);
+
+  /// Inserts one object / a batch of objects. O(tokens) each, amortised.
+  void InsertObject(const RawObject& object);
+  void InsertObjects(std::span<const RawObject> objects);
+
+  /// Deletes a user's entire point set. Returns false when the user does
+  /// not exist (or holds no live objects); the store is unchanged then.
+  /// Freed slots and token ranges go onto free lists for reuse; heavily
+  /// fragmented storage is compacted per UpdateOptions::compact_fraction.
+  bool DeleteUser(std::string_view user_key);
+
+  /// The latest published snapshot. Never null; epoch 0 / empty database
+  /// before the first Publish. Wait-free with respect to writers apart
+  /// from the pointer copy.
+  std::shared_ptr<const DatabaseSnapshot> snapshot() const;
+
+  /// Builds and publishes a new epoch from the current store contents,
+  /// even when nothing changed. Returns the new snapshot.
+  std::shared_ptr<const DatabaseSnapshot> Publish();
+
+  /// Publishes only when mutations happened since the last publish;
+  /// otherwise returns the current snapshot unchanged.
+  std::shared_ptr<const DatabaseSnapshot> PublishIfDirty();
+
+  /// True when mutations are pending that no snapshot reflects yet.
+  bool dirty() const;
+
+  /// Live (surviving) object count in the store — counts pending
+  /// mutations, unlike snapshot()->db.num_objects().
+  size_t live_objects() const;
+
+  /// Number of users with at least one live object.
+  size_t live_users() const;
+
+  /// Epoch of the latest published snapshot.
+  uint64_t epoch() const;
+
+  /// Copy of the write-side counters.
+  UpdateStats stats() const;
+
+ private:
+  // One stored object. Tokens live in token_arena_[token_begin,
+  // token_begin + token_count) as sorted unique interned ids; dead slots
+  // keep their extents until compaction reclaims them.
+  struct Slot {
+    uint32_t user = 0;        // index into users_
+    Point loc;
+    double time = 0.0;
+    uint64_t seq = 0;         // global insertion sequence number
+    uint32_t token_begin = 0;
+    uint32_t token_count = 0;
+    bool live = false;
+  };
+
+  struct UserEntry {
+    std::string key;
+    std::vector<uint32_t> slots;  // live slot ids of this user's set
+  };
+
+  // All private helpers expect mutex_ held.
+  uint32_t InternUser(std::string_view key);
+  uint32_t InternToken(std::string_view token);
+  void InsertLocked(const RawObject& object);
+  void MaybeCompactLocked();
+  void CompactArenaLocked();
+  void CompactSlotsLocked();
+  std::shared_ptr<const DatabaseSnapshot> PublishLocked();
+  void PublishThresholdLocked();
+
+  const UpdateOptions options_;
+
+  mutable std::mutex mutex_;  // guards the store (everything below)
+  std::vector<Slot> slots_;
+  std::vector<uint32_t> free_slots_;   // recycled dead slot ids
+  std::vector<TokenId> token_arena_;   // store-local interned token ids
+  size_t dead_tokens_ = 0;             // arena entries owned by dead slots
+  std::vector<UserEntry> users_;
+  std::unordered_map<std::string, uint32_t> user_index_;
+  std::vector<std::string> token_strings_;  // store-local id -> string
+  std::unordered_map<std::string, uint32_t> token_index_;
+  uint64_t next_seq_ = 0;
+  size_t pending_mutations_ = 0;
+  UpdateStats stats_;
+
+  mutable std::mutex snapshot_mutex_;  // guards snapshot_ only
+  std::shared_ptr<const DatabaseSnapshot> snapshot_;
+};
+
+}  // namespace stps
+
+#endif  // STPS_CORE_UPDATE_H_

@@ -49,10 +49,15 @@ class Writer {
     U32(static_cast<uint32_t>(s.size()));
     Raw(s.data(), s.size());
   }
+  // Writes the trailing checksum, then flushes and closes, folding any
+  // deferred write error (ENOSPC surfacing at flush/close time) into the
+  // stream state so ok() reflects it. A Status is only as good as this
+  // check: without it a full disk still returned OkStatus.
   void Finish() {
     const uint64_t sum = checksum_.value();
     out_.write(reinterpret_cast<const char*>(&sum), sizeof(sum));
     out_.flush();
+    if (out_.is_open()) out_.close();  // close() sets failbit on failure
   }
 
  private:

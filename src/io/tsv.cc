@@ -1,10 +1,9 @@
 #include "io/tsv.h"
 
-#include <cerrno>
-#include <cstring>
 #include <fstream>
-#include <sstream>
 #include <vector>
+
+#include "common/parse.h"
 
 namespace stps {
 
@@ -26,6 +25,9 @@ Status WriteTsv(const ObjectDatabase& db, const std::string& path) {
     out << '\t' << o.time << '\n';
   }
   out.flush();
+  // Fold close-time errors into the stream state too: buffered bytes can
+  // still hit ENOSPC when the descriptor drains on close.
+  if (out.is_open()) out.close();
   if (!out) {
     return Status::IOError("write failed: " + path);
   }
@@ -65,16 +67,14 @@ Result<ObjectDatabase> ReadTsv(const std::string& path) {
         fields[f] = view.substr(pos);
       }
     }
-    char* end = nullptr;
-    errno = 0;
-    const double x = std::strtod(fields[1].data(), &end);
-    if (errno != 0 || end == fields[1].data()) {
+    // Full-field parses (common/parse.h): strtod would accept "1.5abc"
+    // and silently drop the garbage tail.
+    double x = 0.0, y = 0.0;
+    if (!ParseDouble(fields[1], &x)) {
       return Status::Corruption("line " + std::to_string(line_number) +
                                 ": bad x coordinate");
     }
-    errno = 0;
-    const double y = std::strtod(fields[2].data(), &end);
-    if (errno != 0 || end == fields[2].data()) {
+    if (!ParseDouble(fields[2], &y)) {
       return Status::Corruption("line " + std::to_string(line_number) +
                                 ": bad y coordinate");
     }
@@ -85,9 +85,7 @@ Result<ObjectDatabase> ReadTsv(const std::string& path) {
     if (time_tab != std::string_view::npos) {
       const std::string_view time_field = kw.substr(time_tab + 1);
       kw = kw.substr(0, time_tab);
-      errno = 0;
-      time = std::strtod(time_field.data(), &end);
-      if (errno != 0 || end == time_field.data()) {
+      if (!ParseDouble(time_field, &time)) {
         return Status::Corruption("line " + std::to_string(line_number) +
                                   ": bad time value");
       }
@@ -105,6 +103,11 @@ Result<ObjectDatabase> ReadTsv(const std::string& path) {
     }
     builder.AddObject(fields[0], Point{x, y},
                       std::span<const std::string_view>(keywords), time);
+  }
+  // getline() reports a device-level read error the same way as EOF;
+  // without this check a failing disk truncates the dataset silently.
+  if (in.bad()) {
+    return Status::IOError("read failed: " + path);
   }
   return std::move(builder).Build();
 }

@@ -74,12 +74,22 @@ void PlannerFeedback::Record(const PlanShape& shape,
   if (!std::isfinite(elapsed_ms) || elapsed_ms < 0.0) return;
   if (!std::isfinite(cost_units) || cost_units < 0.0) return;
 
-  const double estimated_candidates = std::max(1.0, estimate.candidate_pairs);
-  const double actual_candidates = std::max(
-      1.0, static_cast<double>(std::max(stats.pairs_candidate,
-                                        stats.sketch_candidate_pairs)));
-  const double ratio = std::clamp(actual_candidates / estimated_candidates,
-                                  kMinRatio, kMaxRatio);
+  // The actual/estimated ratio only means something when the estimator
+  // produced a real positive count. Guard the denominator *before*
+  // forming the quotient: a zero estimate (empty database, fully pruned
+  // plan) or a non-finite one must not enter the EWMA at all — clamping
+  // actual/max(1, 0) would fabricate a ratio of up to kMaxRatio and
+  // poison the learned correction for every later query of this shape.
+  const bool has_estimate = std::isfinite(estimate.candidate_pairs) &&
+                            estimate.candidate_pairs >= 1.0;
+  double ratio = 1.0;
+  if (has_estimate) {
+    const double actual_candidates = std::max(
+        1.0, static_cast<double>(std::max(stats.pairs_candidate,
+                                          stats.sketch_candidate_pairs)));
+    ratio = std::clamp(actual_candidates / estimate.candidate_pairs,
+                       kMinRatio, kMaxRatio);
+  }
 
   const double units = std::max(1.0, cost_units);
   const double per_unit =
@@ -89,12 +99,14 @@ void PlannerFeedback::Record(const PlanShape& shape,
   Entry& entry = entries_[KeyOf(shape)];
   if (entry.runs == 0) {
     entry.ewma_ms_per_unit = per_unit;
-    entry.ewma_candidate_ratio = ratio;
+    if (has_estimate) entry.ewma_candidate_ratio = ratio;
   } else {
     entry.ewma_ms_per_unit =
         (1.0 - kAlpha) * entry.ewma_ms_per_unit + kAlpha * per_unit;
-    entry.ewma_candidate_ratio =
-        (1.0 - kAlpha) * entry.ewma_candidate_ratio + kAlpha * ratio;
+    if (has_estimate) {
+      entry.ewma_candidate_ratio =
+          (1.0 - kAlpha) * entry.ewma_candidate_ratio + kAlpha * ratio;
+    }
   }
   ++entry.runs;
   global_ms_per_unit_ = total_records_ == 0

@@ -175,5 +175,20 @@ TEST(BinaryIoTest, DetectsBitFlips) {
   std::remove(path.c_str());
 }
 
+TEST(BinaryIoTest, WriteToUnwritablePathFails) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  // Nonexistent directory: the open itself fails.
+  const Status missing = WriteBinary(
+      db, std::string(::testing::TempDir()) + "/no_such_dir/out.stpsdb");
+  EXPECT_FALSE(missing.ok());
+  // /dev/full (when present) accepts the open but fails every flush with
+  // ENOSPC — the disk-full case. Before the close-time stream check the
+  // writer reported OkStatus here and the caller shipped a torn file.
+  if (std::ifstream("/dev/full").good()) {
+    const Status full = WriteBinary(db, "/dev/full");
+    EXPECT_FALSE(full.ok());
+  }
+}
+
 }  // namespace
 }  // namespace stps

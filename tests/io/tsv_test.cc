@@ -166,5 +166,46 @@ TEST(TsvTest, CrlfAndLfReadsAgree) {
   std::remove(crlf_path.c_str());
 }
 
+TEST(TsvTest, RejectsTrailingGarbageInNumericFields) {
+  // strtod-style parsing accepted "1.5abc" and silently dropped the
+  // tail; the strict full-field parse must reject every such row.
+  const struct {
+    const char* name;
+    const char* row;
+  } cases[] = {
+      {"bad_x.tsv", "u1\t1.5abc\t0.2\tcoffee\n"},
+      {"bad_y.tsv", "u1\t0.1\t0.2 0.3\tcoffee\n"},
+      {"bad_time.tsv", "u1\t0.1\t0.2\tcoffee\t7.0h\n"},
+      {"empty_x.tsv", "u1\t\t0.2\tcoffee\n"},
+  };
+  for (const auto& c : cases) {
+    const std::string path = TempPath(c.name);
+    {
+      std::ofstream out(path);
+      out << c.row;
+    }
+    const Result<ObjectDatabase> r = ReadTsv(path);
+    EXPECT_FALSE(r.ok()) << c.name;
+    std::remove(path.c_str());
+  }
+  // A well-formed row with the same shape still parses.
+  const std::string good = TempPath("good_row.tsv");
+  {
+    std::ofstream out(good);
+    out << "u1\t1.5\t0.2\tcoffee\t7.0\n";
+  }
+  EXPECT_TRUE(ReadTsv(good).ok());
+  std::remove(good.c_str());
+}
+
+TEST(TsvTest, WriteToFullDeviceFails) {
+  // Disk-full path: /dev/full accepts the open but fails every flush
+  // with ENOSPC. Before the close-time stream check WriteTsv reported
+  // OkStatus here and the caller shipped a torn file.
+  if (!std::ifstream("/dev/full").good()) GTEST_SKIP() << "no /dev/full";
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  EXPECT_FALSE(WriteTsv(db, "/dev/full").ok());
+}
+
 }  // namespace
 }  // namespace stps

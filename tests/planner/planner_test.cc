@@ -513,6 +513,42 @@ TEST(PlannerConcurrencyTest, SharedFeedbackSurvivesParallelUse) {
   PlannerFeedback::Global().Reset();
 }
 
+// Regression: a zero (or non-finite) candidate estimate must not enter
+// the actual/estimated EWMA. Before the guard, Record() divided by
+// max(1.0, 0.0) and pushed a fabricated ratio of up to 64x into the
+// learned correction, poisoning every later query of the same shape.
+TEST(PlannerFeedbackTest, ZeroEstimateDoesNotPoisonCandidateRatio) {
+  PlannerFeedback::Global().Reset();
+  PlanShape shape;
+  shape.join = JoinAlgorithm::kSPPJB;
+  JoinStats stats;
+  stats.pairs_candidate = 5000;  // huge "actual" against a zero estimate
+
+  PlanEstimate zero;
+  zero.candidate_pairs = 0.0;
+  PlannerFeedback::Global().Record(shape, zero, 1e4, stats, 0.5);
+  EXPECT_DOUBLE_EQ(PlannerFeedback::Global().CandidateCorrection(shape), 1.0);
+
+  PlanEstimate bogus;
+  bogus.candidate_pairs = std::nan("");
+  PlannerFeedback::Global().Record(shape, bogus, 1e4, stats, 0.5);
+  EXPECT_DOUBLE_EQ(PlannerFeedback::Global().CandidateCorrection(shape), 1.0);
+
+  // Timing feedback from those runs still lands, and predictions stay
+  // finite and non-negative.
+  EXPECT_GT(PlannerFeedback::Global().total_records(), 0u);
+  const double predicted = PlannerFeedback::Global().PredictMillis(shape, 1e4);
+  EXPECT_TRUE(std::isfinite(predicted));
+  EXPECT_GE(predicted, 0.0);
+
+  // A later real estimate learns the ratio normally.
+  PlanEstimate real;
+  real.candidate_pairs = 1000.0;
+  PlannerFeedback::Global().Record(shape, real, 1e4, stats, 0.5);
+  EXPECT_GT(PlannerFeedback::Global().CandidateCorrection(shape), 1.0);
+  PlannerFeedback::Global().Reset();
+}
+
 INSTANTIATE_TEST_SUITE_P(Seeds, PlannerDifferentialTest,
                          ::testing::Values(101, 202, 303));
 

@@ -19,21 +19,33 @@
 //       auto).
 //   stps_cli tune <data.tsv> <target_size> <eps_loc0> <eps_doc0> <eps_u0>
 //       Auto-tune thresholds toward a result-set size.
+//   stps_cli serve <data.tsv|data.stpsdb|-> <port> [--workers N]
+//       [--queue N] [--publish-every N]
+//       Long-running concurrent query server over an updatable database
+//       (line protocol; see server/server.h). "-" starts empty; inserts
+//       auto-publish a new epoch every N mutations (default 256).
 
+#include <atomic>
+#include <chrono>
+#include <csignal>
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
 #include <string>
+#include <thread>
 
+#include "common/parse.h"
 #include "common/timer.h"
 #include "core/stpsjoin.h"
 #include "core/tuning.h"
+#include "core/update.h"
 #include "planner/planner.h"
 #include "datagen/dataset_stats.h"
 #include "datagen/generator.h"
 #include "datagen/presets.h"
 #include "io/binary.h"
 #include "io/tsv.h"
+#include "server/server.h"
 
 namespace {
 
@@ -53,8 +65,39 @@ int Usage() {
       "  stps_cli topk <data.tsv> <eps_loc> <eps_doc> <k> [--sketch] "
       "[--explain] [auto|f|s|p|brute]\n"
       "  stps_cli tune <data.tsv> <target_size> <eps_loc0> <eps_doc0> "
-      "<eps_u0>\n");
+      "<eps_u0>\n"
+      "  stps_cli serve <data.tsv|data.stpsdb|-> <port> [--workers N] "
+      "[--queue N] [--publish-every N]\n");
   return 2;
+}
+
+// Strict argv parsing (common/parse.h): the strtod/strtoul family would
+// quietly turn a mistyped `join db x y z` into eps = 0.0. Each wrapper
+// names the offending argument before the usage text goes out.
+bool ParseDoubleArg(const char* what, const char* arg, double* out) {
+  if (ParseDouble(arg, out)) return true;
+  std::fprintf(stderr, "error: invalid %s: '%s'\n", what, arg);
+  return false;
+}
+
+bool ParseSizeArg(const char* what, const char* arg, size_t* out) {
+  if (ParseSize(arg, out)) return true;
+  std::fprintf(stderr, "error: invalid %s: '%s'\n", what, arg);
+  return false;
+}
+
+bool ParseUint64Arg(const char* what, const char* arg, uint64_t* out) {
+  if (ParseUint64(arg, out)) return true;
+  std::fprintf(stderr, "error: invalid %s: '%s'\n", what, arg);
+  return false;
+}
+
+bool ParseIntArg(const char* what, const char* arg, int min_value,
+                 int max_value, int* out) {
+  if (ParseInt(arg, min_value, max_value, out)) return true;
+  std::fprintf(stderr, "error: invalid %s: '%s' (expected %d..%d)\n", what,
+               arg, min_value, max_value);
+  return false;
 }
 
 bool ParseKind(const std::string& name, DatasetKind* kind) {
@@ -95,10 +138,13 @@ int CmdGenerate(int argc, char** argv) {
   if (argc < 5) return Usage();
   DatasetKind kind;
   if (!ParseKind(argv[2], &kind)) return Usage();
-  const size_t num_users = std::strtoul(argv[3], nullptr, 10);
+  size_t num_users = 0;
+  uint64_t seed = 42;
+  if (!ParseSizeArg("num_users", argv[3], &num_users) || num_users == 0) {
+    return Usage();
+  }
   const std::string out_path = argv[4];
-  const uint64_t seed = argc > 5 ? std::strtoull(argv[5], nullptr, 10) : 42;
-  if (num_users == 0) return Usage();
+  if (argc > 5 && !ParseUint64Arg("seed", argv[5], &seed)) return Usage();
   const ObjectDatabase db =
       GenerateDataset(PresetSpec(kind, num_users, seed));
   const Status status = HasSuffix(out_path, ".stpsdb")
@@ -190,9 +236,11 @@ int CmdJoin(int argc, char** argv) {
   ObjectDatabase db;
   if (!LoadDatabase(argv[2], &db)) return 1;
   STPSQuery query;
-  query.eps_loc = std::strtod(argv[3], nullptr);
-  query.eps_doc = std::strtod(argv[4], nullptr);
-  query.eps_u = std::strtod(argv[5], nullptr);
+  if (!ParseDoubleArg("eps_loc", argv[3], &query.eps_loc) ||
+      !ParseDoubleArg("eps_doc", argv[4], &query.eps_doc) ||
+      !ParseDoubleArg("eps_u", argv[5], &query.eps_u)) {
+    return Usage();
+  }
   JoinOptions options;
   options.algorithm = JoinAlgorithm::kAuto;
   bool explain = false;
@@ -246,9 +294,11 @@ int CmdTopK(int argc, char** argv) {
   ObjectDatabase db;
   if (!LoadDatabase(argv[2], &db)) return 1;
   TopKQuery query;
-  query.eps_loc = std::strtod(argv[3], nullptr);
-  query.eps_doc = std::strtod(argv[4], nullptr);
-  query.k = std::strtoul(argv[5], nullptr, 10);
+  if (!ParseDoubleArg("eps_loc", argv[3], &query.eps_loc) ||
+      !ParseDoubleArg("eps_doc", argv[4], &query.eps_doc) ||
+      !ParseSizeArg("k", argv[5], &query.k) || query.k == 0) {
+    return Usage();
+  }
   TopKAlgorithm algorithm = TopKAlgorithm::kAuto;
   bool explain = false;
   for (int i = 6; i < argc; ++i) {
@@ -298,10 +348,12 @@ int CmdTune(int argc, char** argv) {
   ObjectDatabase db;
   if (!LoadDatabase(argv[2], &db)) return 1;
   TuningOptions options;
-  options.target_size = std::strtoul(argv[3], nullptr, 10);
-  options.initial.eps_loc = std::strtod(argv[4], nullptr);
-  options.initial.eps_doc = std::strtod(argv[5], nullptr);
-  options.initial.eps_u = std::strtod(argv[6], nullptr);
+  if (!ParseSizeArg("target_size", argv[3], &options.target_size) ||
+      !ParseDoubleArg("eps_loc0", argv[4], &options.initial.eps_loc) ||
+      !ParseDoubleArg("eps_doc0", argv[5], &options.initial.eps_doc) ||
+      !ParseDoubleArg("eps_u0", argv[6], &options.initial.eps_u)) {
+    return Usage();
+  }
   const TuningResult result = TuneThresholds(db, options);
   std::fprintf(stderr,
                "initial join (planner): %.1f ms; tuning: %zu iterations in %.1f "
@@ -319,6 +371,87 @@ int CmdTune(int argc, char** argv) {
   return 0;
 }
 
+std::atomic<bool> g_interrupted{false};
+
+void HandleSignal(int) { g_interrupted.store(true); }
+
+// serve: long-running concurrent query server (see server/server.h for
+// the line protocol). "-" starts with an empty database; otherwise the
+// dataset is loaded and seeded into the updatable store as epoch 1.
+// Prints "LISTENING <port>" on stdout once ready. Stops on SIGINT/
+// SIGTERM or a client's SHUTDOWN command.
+int CmdServe(int argc, char** argv) {
+  if (argc < 4) return Usage();
+  const std::string data_path = argv[2];
+  ServerOptions server_options;
+  if (!ParseIntArg("port", argv[3], 0, 65535, &server_options.port)) {
+    return Usage();
+  }
+  size_t publish_every = 256;
+  for (int i = 4; i < argc; ++i) {
+    const std::string flag = argv[i];
+    if (flag == "--workers" && i + 1 < argc) {
+      if (!ParseIntArg("workers", argv[++i], 1, 64,
+                       &server_options.num_workers)) {
+        return Usage();
+      }
+    } else if (flag == "--queue" && i + 1 < argc) {
+      size_t queue = 0;
+      if (!ParseSizeArg("queue", argv[++i], &queue) || queue == 0) {
+        return Usage();
+      }
+      server_options.max_pending = queue;
+    } else if (flag == "--publish-every" && i + 1 < argc) {
+      if (!ParseSizeArg("publish-every", argv[++i], &publish_every)) {
+        return Usage();
+      }
+    } else {
+      return Usage();
+    }
+  }
+
+  UpdateOptions update_options;
+  update_options.publish_threshold = publish_every;
+  UpdatableDatabase updatable(update_options);
+  if (data_path != "-") {
+    ObjectDatabase db;
+    if (!LoadDatabase(data_path, &db)) return 1;
+    updatable.SeedFrom(db);
+  }
+
+  QueryServer server(&updatable, server_options);
+  const Status status = server.Start();
+  if (!status.ok()) {
+    std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
+    return 1;
+  }
+  std::printf("LISTENING %d\n", server.port());
+  std::fflush(stdout);
+  std::fprintf(stderr,
+               "serving epoch %llu (%zu objects) on %s:%d — SHUTDOWN "
+               "command or SIGINT stops\n",
+               static_cast<unsigned long long>(updatable.epoch()),
+               updatable.live_objects(), server_options.host.c_str(),
+               server.port());
+
+  std::signal(SIGINT, HandleSignal);
+  std::signal(SIGTERM, HandleSignal);
+  while (!server.shutdown_requested() && !g_interrupted.load()) {
+    std::this_thread::sleep_for(std::chrono::milliseconds(50));
+  }
+  server.Shutdown();
+  const ServerStats stats = server.stats();
+  std::fprintf(stderr,
+               "shut down cleanly: %llu connections (%llu rejected), %llu "
+               "requests (%llu failed), final epoch %llu\n",
+               static_cast<unsigned long long>(stats.connections_accepted),
+               static_cast<unsigned long long>(stats.connections_rejected),
+               static_cast<unsigned long long>(stats.requests_served),
+               static_cast<unsigned long long>(stats.requests_failed),
+               static_cast<unsigned long long>(updatable.epoch()));
+  return 0;
+}
+
 }  // namespace
 
 int main(int argc, char** argv) {
@@ -330,5 +463,6 @@ int main(int argc, char** argv) {
   if (command == "join") return CmdJoin(argc, argv);
   if (command == "topk") return CmdTopK(argc, argv);
   if (command == "tune") return CmdTune(argc, argv);
+  if (command == "serve") return CmdServe(argc, argv);
   return Usage();
 }
