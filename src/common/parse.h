@@ -12,6 +12,7 @@
 #define STPS_COMMON_PARSE_H_
 
 #include <charconv>
+#include <cmath>
 #include <cstdint>
 #include <limits>
 #include <string_view>
@@ -21,13 +22,16 @@ namespace stps {
 
 /// Full-string floating-point parse. Accepts an optional leading '+'
 /// (from_chars itself does not); rejects empty fields, trailing garbage,
-/// and out-of-range magnitudes.
+/// out-of-range magnitudes, and non-finite values ("nan"/"inf", which
+/// from_chars accepts — a NaN threshold slips past every ordered range
+/// check downstream, so it must die here).
 inline bool ParseDouble(std::string_view s, double* out) {
   if (!s.empty() && s.front() == '+') s.remove_prefix(1);
   if (s.empty()) return false;
   double value = 0.0;
   const auto [ptr, ec] = std::from_chars(s.data(), s.data() + s.size(), value);
   if (ec != std::errc() || ptr != s.data() + s.size()) return false;
+  if (!std::isfinite(value)) return false;
   *out = value;
   return true;
 }

@@ -63,6 +63,7 @@ ObjectDatabase DatabaseBuilder::Build() && {
   const std::vector<TokenId> permutation = dictionary_.FinalizeByFrequency();
   db.dictionary_ = std::move(dictionary_);
   db.user_names_ = std::move(user_names_);
+  db.user_index_ = std::move(user_index_);
 
   const size_t num_users = db.user_names_.size();
   const size_t n = objects_.size();

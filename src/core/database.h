@@ -99,6 +99,15 @@ class ObjectDatabase {
     return user_names_[u];
   }
 
+  /// Resolves an external user key back to its dense id in O(1) (the
+  /// inverse of UserName). Returns false for unknown keys.
+  bool FindUser(std::string_view user_key, UserId* out) const {
+    const auto it = user_index_.find(std::string(user_key));
+    if (it == user_index_.end()) return false;
+    *out = it->second;
+    return true;
+  }
+
   /// The token set of an object as a view into the CSR arena (same span
   /// as object(id).doc).
   std::span<const TokenId> ObjectTokens(ObjectId id) const {
@@ -165,6 +174,7 @@ class ObjectDatabase {
   std::vector<TokenSignature> sigs_;
   std::vector<uint32_t> insertion_order_;  // slot -> AddObject sequence
   std::vector<std::string> user_names_;
+  std::unordered_map<std::string, uint32_t> user_index_;  // name -> UserId
   Rect bounds_ = Rect::Empty();
   Dictionary dictionary_;
   // shared_ptr (not unique_ptr): the deleter is type-erased, so the

@@ -96,6 +96,7 @@ QueryServer::QueryServer(UpdatableDatabase* db, ServerOptions options)
 QueryServer::~QueryServer() { Shutdown(); }
 
 Status QueryServer::Start() {
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
   STPS_CHECK(!started_);
   listen_fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
   if (listen_fd_ < 0) {
@@ -157,11 +158,13 @@ void QueryServer::WaitForShutdownRequest() {
 }
 
 void QueryServer::Shutdown() {
-  if (!started_ || joined_) {
-    RequestShutdown();
-    return;
-  }
   RequestShutdown();
+  // One caller joins; concurrent or repeated calls see started_/joined_
+  // under the lock and return without touching the threads. Workers never
+  // call Shutdown (the SHUTDOWN command only flags RequestShutdown), so
+  // holding the lock across the joins cannot deadlock.
+  std::lock_guard<std::mutex> lock(lifecycle_mutex_);
+  if (!started_ || joined_) return;
   if (accept_thread_.joinable()) accept_thread_.join();
   // Turn away connections that were admitted but never reached a worker.
   {
@@ -196,9 +199,12 @@ void QueryServer::AcceptLoop() {
     const int fd = ::accept(listen_fd_, nullptr, nullptr);
     if (fd < 0) continue;
     bool admitted = false;
+    bool shutting_down = false;
     {
       std::lock_guard<std::mutex> lock(queue_mutex_);
-      if (pending_.size() < options_.max_pending && !shutdown_requested()) {
+      if (shutdown_requested()) {
+        shutting_down = true;
+      } else if (pending_.size() < options_.max_pending) {
         pending_.push_back(fd);
         admitted = true;
       }
@@ -208,8 +214,9 @@ void QueryServer::AcceptLoop() {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.connections_accepted;
     } else {
-      // Backpressure: tell the client, don't make it wait.
-      SendAll(fd, "ERR busy\n");
+      // Backpressure: tell the client why, don't make it wait. "busy"
+      // invites a retry; "shutting down" tells it not to bother.
+      SendAll(fd, shutting_down ? "ERR shutting down\n" : "ERR busy\n");
       ::close(fd);
       std::lock_guard<std::mutex> lock(stats_mutex_);
       ++stats_.connections_rejected;
@@ -434,17 +441,14 @@ bool QueryServer::HandleRequest(const std::string& line, std::string* out) {
         out->append("ERR usage: PROBE <user> <eps_loc> <eps_doc> <eps_u>\n");
         return true;
       }
+      if (query.eps_loc < 0 || query.eps_doc < 0 || query.eps_doc > 1 ||
+          query.eps_u < 0 || query.eps_u > 1) {
+        out->append("ERR thresholds out of range\n");
+        return true;
+      }
       // Resolve the external key to the snapshot's dense id.
       UserId user = 0;
-      bool found = false;
-      for (UserId u = 0; u < db.num_users(); ++u) {
-        if (db.UserName(u) == fields[1]) {
-          user = u;
-          found = true;
-          break;
-        }
-      }
-      if (!found) {
+      if (!db.FindUser(fields[1], &user)) {
         out->append("ERR unknown user\n");
         return true;
       }

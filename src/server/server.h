@@ -135,8 +135,12 @@ class QueryServer {
   std::atomic<bool> stopping_{false};
   std::thread accept_thread_;
   std::vector<std::thread> workers_;
-  bool started_ = false;
-  bool joined_ = false;
+  // Serializes Start/Shutdown and guards the lifecycle flags below, so
+  // concurrent Shutdown calls (destructor racing a signal thread) cannot
+  // double-join the worker threads.
+  std::mutex lifecycle_mutex_;
+  bool started_ = false;   // guarded by lifecycle_mutex_
+  bool joined_ = false;    // guarded by lifecycle_mutex_
 
   std::mutex queue_mutex_;
   std::condition_variable queue_cv_;

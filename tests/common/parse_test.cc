@@ -1,0 +1,71 @@
+// Strict-parse helpers: whole-field validation, range gates, and the
+// non-finite rejection that keeps "nan"/"inf" out of threshold checks
+// (a NaN epsilon compares false against every range bound, so it would
+// sail through server-side validation straight into STPS_CHECK aborts).
+
+#include "common/parse.h"
+
+#include <gtest/gtest.h>
+
+namespace stps {
+namespace {
+
+TEST(ParseDoubleTest, AcceptsOrdinaryNumbers) {
+  double value = -1.0;
+  EXPECT_TRUE(ParseDouble("0", &value));
+  EXPECT_EQ(value, 0.0);
+  EXPECT_TRUE(ParseDouble("0.25", &value));
+  EXPECT_EQ(value, 0.25);
+  EXPECT_TRUE(ParseDouble("-3.5e2", &value));
+  EXPECT_EQ(value, -350.0);
+  EXPECT_TRUE(ParseDouble("+1.5", &value));
+  EXPECT_EQ(value, 1.5);
+}
+
+TEST(ParseDoubleTest, RejectsMalformedFields) {
+  double value = 42.0;
+  EXPECT_FALSE(ParseDouble("", &value));
+  EXPECT_FALSE(ParseDouble("abc", &value));
+  EXPECT_FALSE(ParseDouble("1.5abc", &value));
+  EXPECT_FALSE(ParseDouble("1e999", &value));  // overflow
+  EXPECT_EQ(value, 42.0) << "*out must be untouched on failure";
+}
+
+TEST(ParseDoubleTest, RejectsNonFiniteValues) {
+  double value = 42.0;
+  EXPECT_FALSE(ParseDouble("nan", &value));
+  EXPECT_FALSE(ParseDouble("NaN", &value));
+  EXPECT_FALSE(ParseDouble("-nan", &value));
+  EXPECT_FALSE(ParseDouble("nan(0x1)", &value));
+  EXPECT_FALSE(ParseDouble("inf", &value));
+  EXPECT_FALSE(ParseDouble("INF", &value));
+  EXPECT_FALSE(ParseDouble("-inf", &value));
+  EXPECT_FALSE(ParseDouble("infinity", &value));
+  EXPECT_FALSE(ParseDouble("+inf", &value));
+  EXPECT_EQ(value, 42.0) << "*out must be untouched on failure";
+}
+
+TEST(ParseUint64Test, RejectsSignsAndGarbage) {
+  uint64_t value = 7;
+  EXPECT_TRUE(ParseUint64("123", &value));
+  EXPECT_EQ(value, 123u);
+  EXPECT_FALSE(ParseUint64("", &value));
+  EXPECT_FALSE(ParseUint64("-1", &value));
+  EXPECT_FALSE(ParseUint64("+1", &value));
+  EXPECT_FALSE(ParseUint64("12x", &value));
+  EXPECT_FALSE(ParseUint64("99999999999999999999999", &value));  // overflow
+}
+
+TEST(ParseIntTest, EnforcesInclusiveRange) {
+  int value = -1;
+  EXPECT_TRUE(ParseInt("4", 1, 8, &value));
+  EXPECT_EQ(value, 4);
+  EXPECT_TRUE(ParseInt("1", 1, 8, &value));
+  EXPECT_TRUE(ParseInt("8", 1, 8, &value));
+  EXPECT_FALSE(ParseInt("0", 1, 8, &value));
+  EXPECT_FALSE(ParseInt("9", 1, 8, &value));
+  EXPECT_FALSE(ParseInt("4.5", 1, 8, &value));
+}
+
+}  // namespace
+}  // namespace stps

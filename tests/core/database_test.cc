@@ -158,6 +158,17 @@ TEST(DatabaseBuilderTest, EmptyBuilderYieldsEmptyDatabase) {
   EXPECT_EQ(db.num_objects(), 0u);
 }
 
+TEST(DatabaseBuilderTest, FindUserInvertsUserName) {
+  const ObjectDatabase db = SmallDb();
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    UserId found = db.num_users();
+    ASSERT_TRUE(db.FindUser(db.UserName(u), &found)) << db.UserName(u);
+    EXPECT_EQ(found, u);
+  }
+  UserId found = 0;
+  EXPECT_FALSE(db.FindUser("nosuchuser", &found));
+}
+
 TEST(DatabaseBuilderTest, StringViewOverload) {
   DatabaseBuilder builder;
   const std::vector<std::string_view> kws = {"a", "b"};

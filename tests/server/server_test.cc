@@ -210,9 +210,18 @@ TEST_F(ServerTest, MalformedRequestsGetUsageErrors) {
   expect_err("JOIN 0.1 0 0 ALGO sppjf");    // filter algo needs eps_doc > 0
   expect_err("JOIN 0.1 0.2 0.3 THREADS 0"); // threads below minimum
   expect_err("JOIN 0.1 0.2 0.3 BOGUS");     // unknown option token
+  // Non-finite thresholds must be parse errors: NaN compares false
+  // against every range bound, so letting it through would reach the
+  // STPS_CHECKs inside the join algorithms and abort the server.
+  expect_err("JOIN 1 nan 1 ALGO sppjf");
+  expect_err("JOIN inf 0.2 0.3");
+  expect_err("TOPK nan 0.2 5");
+  expect_err("INSERT u nan nan -");
   expect_err("TOPK 0.1 0.2 0");             // k = 0
   expect_err("TOPK 0.1 0.2 -3");            // negative k must not wrap
   expect_err("PROBE nosuchuser 0.1 0.2 0.3");
+  expect_err("PROBE nosuchuser -0.1 0.2 0.3");  // thresholds out of range
+  expect_err("PROBE nosuchuser 0.1 2.0 0.3");   // eps_doc > 1
   expect_err("DELETE nosuchuser");
   expect_err("INSERT onlyuser");            // too few fields
   expect_err("INSERT u 1.0zz 2.0 a,b");     // trailing garbage in number
