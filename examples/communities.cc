@@ -80,7 +80,7 @@ int main(int argc, char** argv) {
     if (shown++ >= 8) break;
     std::printf("  [%zu members]", members->size());
     for (size_t i = 0; i < std::min<size_t>(6, members->size()); ++i) {
-      std::printf(" %s", db.UserName((*members)[i]).c_str());
+      std::printf(" %s", std::string(db.UserName((*members)[i])).c_str());
     }
     if (members->size() > 6) std::printf(" ...");
     std::printf("\n");

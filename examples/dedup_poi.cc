@@ -43,14 +43,14 @@ int main(int argc, char** argv) {
     const stps::STObject& oa = db.object(a);
     const stps::STObject& ob = db.object(b);
     std::printf("  photo %u (%s) at (%.4f, %.4f) tags:", oa.id,
-                db.UserName(oa.user).c_str(), oa.loc.x, oa.loc.y);
+                std::string(db.UserName(oa.user)).c_str(), oa.loc.x, oa.loc.y);
     for (const stps::TokenId tok : oa.doc) {
-      std::printf(" %s", dict.TokenString(tok).c_str());
+      std::printf(" %s", std::string(dict.TokenString(tok)).c_str());
     }
     std::printf("\n  photo %u (%s) at (%.4f, %.4f) tags:", ob.id,
-                db.UserName(ob.user).c_str(), ob.loc.x, ob.loc.y);
+                std::string(db.UserName(ob.user)).c_str(), ob.loc.x, ob.loc.y);
     for (const stps::TokenId tok : ob.doc) {
-      std::printf(" %s", dict.TokenString(tok).c_str());
+      std::printf(" %s", std::string(dict.TokenString(tok)).c_str());
     }
     std::printf("\n  --\n");
   }

@@ -48,7 +48,7 @@ int main(int argc, char** argv) {
   for (size_t i = 0; i < std::min<size_t>(3, in_range.size()); ++i) {
     const stps::STObject& o = db.object(in_range[i]);
     std::printf("  photo %u by %s at (%.4f, %.4f)\n", o.id,
-                db.UserName(o.user).c_str(), o.loc.x, o.loc.y);
+                std::string(db.UserName(o.user)).c_str(), o.loc.x, o.loc.y);
   }
 
   stps::Timer topk_timer;
@@ -59,9 +59,9 @@ int main(int argc, char** argv) {
   for (const auto& hit : best) {
     const stps::STObject& o = db.object(hit.id);
     std::printf("  score %.3f photo %u (%s) tags:", hit.score, o.id,
-                db.UserName(o.user).c_str());
+                std::string(db.UserName(o.user)).c_str());
     for (const stps::TokenId t : o.doc) {
-      std::printf(" %s", dict.TokenString(t).c_str());
+      std::printf(" %s", std::string(dict.TokenString(t)).c_str());
     }
     std::printf("\n");
   }

@@ -51,7 +51,7 @@ int main() {
               query.eps_loc, query.eps_doc, query.eps_u);
   for (const stps::ScoredUserPair& pair : pairs) {
     std::printf("  %s ~ %s  (sigma = %.3f)\n",
-                db.UserName(pair.a).c_str(), db.UserName(pair.b).c_str(),
+                std::string(db.UserName(pair.a)).c_str(), std::string(db.UserName(pair.b)).c_str(),
                 pair.score);
   }
   if (pairs.empty()) std::printf("  (no pairs)\n");
@@ -63,7 +63,7 @@ int main() {
   std::printf("\ntop-%zu STPSJoin:\n", topk.k);
   for (const stps::ScoredUserPair& pair : best) {
     std::printf("  %s ~ %s  (sigma = %.3f)\n",
-                db.UserName(pair.a).c_str(), db.UserName(pair.b).c_str(),
+                std::string(db.UserName(pair.a)).c_str(), std::string(db.UserName(pair.b)).c_str(),
                 pair.score);
   }
   return 0;

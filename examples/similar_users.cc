@@ -50,7 +50,7 @@ int main(int argc, char** argv) {
   for (const stps::ScoredUserPair& pair : result) {
     if (shown++ >= 10) break;
     std::printf("  %-6s ~ %-6s sigma=%.3f  (%zu vs %zu objects)\n",
-                db.UserName(pair.a).c_str(), db.UserName(pair.b).c_str(),
+                std::string(db.UserName(pair.a)).c_str(), std::string(db.UserName(pair.b)).c_str(),
                 pair.score, db.UserObjectCount(pair.a),
                 db.UserObjectCount(pair.b));
   }

@@ -39,8 +39,8 @@ int main(int argc, char** argv) {
               result.thresholds.eps_loc, result.thresholds.eps_doc,
               result.thresholds.eps_u, result.result.size());
   for (const stps::ScoredUserPair& pair : result.result) {
-    std::printf("  %-6s ~ %-6s sigma=%.3f\n", db.UserName(pair.a).c_str(),
-                db.UserName(pair.b).c_str(), pair.score);
+    std::printf("  %-6s ~ %-6s sigma=%.3f\n", std::string(db.UserName(pair.a)).c_str(),
+                std::string(db.UserName(pair.b)).c_str(), pair.score);
   }
   return 0;
 }

@@ -44,6 +44,22 @@ python3 "$ROOT/scripts/compare_bench.py" \
     --require 'planner_beats_static_default>=1.0' \
     "$ROOT/BENCH_planner.json" "$ROOT/BENCH_planner.json"
 
+echo "=== snapshot robustness: fuzz + mmap differential + io bench ==="
+# Bit-flip/truncation/trailing-garbage corruption fuzz, heap-vs-mapped
+# differential joins, sharded-join determinism, and the binary round
+# trips; then the io bench smoke (cold-open + paged joins, internal
+# checksums abort on any divergence) and the committed baseline's
+# mmap-open gate.
+(cd "$ROOT/build" && \
+     ctest --output-on-failure \
+         -R 'snapshot_fuzz|mapped_differential|sharded_join|binary_test')
+cmake --build "$ROOT/build" -j --target bench_io
+"$ROOT/build/bench/bench_io" --smoke "$SMOKE_DIR/io.json"
+python3 "$ROOT/scripts/compare_bench.py" \
+    --require 'mapped_open_speedup>=10' \
+    --require 'sharded_checksum_match>=1.0' \
+    "$ROOT/BENCH_io.json" "$ROOT/BENCH_io.json"
+
 echo "=== update fuzz + server smoke ==="
 # The differential insert/delete fuzz (snapshot vs rebuild-from-scratch
 # oracle across every join/top-k variant) and the live server end to end:
@@ -63,6 +79,7 @@ cmake -B "$ROOT/build-ubsan" -S "$ROOT" -DSTPS_UBSAN=ON
 cmake --build "$ROOT/build-ubsan" -j
 (cd "$ROOT/build-ubsan" && \
      UBSAN_OPTIONS=print_stacktrace=1 \
-     ctest --output-on-failure -R 'boundary_oracle|predicates|sketch')
+     ctest --output-on-failure \
+         -R 'boundary_oracle|predicates|sketch|snapshot_fuzz|mapped_differential|sharded_join')
 
 echo "=== all checks passed ==="

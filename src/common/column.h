@@ -1,0 +1,83 @@
+// Column<T>: an immutable array that either owns its storage (a
+// std::vector filled at build time) or borrows it (a span into an
+// external arena, e.g. an mmap'd snapshot — see io/binary.h).
+//
+// The read side is uniform: every accessor goes through the span view, so
+// consumers cannot tell (and must not care) which mode a column is in.
+// Moving a column is safe in both modes: moving a std::vector keeps its
+// heap buffer, so an owned column's view stays valid, and a borrowed view
+// never pointed into the object at all. Whoever creates a borrowed column
+// is responsible for keeping the backing arena alive (ObjectDatabase pins
+// it with a shared_ptr).
+
+#ifndef STPS_COMMON_COLUMN_H_
+#define STPS_COMMON_COLUMN_H_
+
+#include <cstddef>
+#include <span>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace stps {
+
+template <typename T>
+class Column {
+ public:
+  Column() = default;
+
+  /// Owned mode: adopts the vector.
+  Column(std::vector<T> values)  // NOLINT(google-explicit-constructor)
+      : owned_(std::move(values)), view_(owned_) {}
+
+  Column& operator=(std::vector<T> values) {
+    owned_ = std::move(values);
+    view_ = owned_;
+    return *this;
+  }
+
+  /// Borrowed mode: a view into storage someone else keeps alive.
+  static Column Borrow(std::span<const T> view) {
+    Column column;
+    column.view_ = view;
+    return column;
+  }
+
+  Column(const Column&) = delete;
+  Column& operator=(const Column&) = delete;
+  Column(Column&& other) noexcept
+      : owned_(std::move(other.owned_)), view_(other.view_) {
+    other.view_ = {};
+  }
+  Column& operator=(Column&& other) noexcept {
+    owned_ = std::move(other.owned_);
+    view_ = other.view_;
+    other.view_ = {};
+    return *this;
+  }
+
+  size_t size() const { return view_.size(); }
+  bool empty() const { return view_.empty(); }
+  const T* data() const { return view_.data(); }
+  const T* begin() const { return view_.data(); }
+  const T* end() const { return view_.data() + view_.size(); }
+  const T& operator[](size_t i) const {
+    STPS_DCHECK(i < view_.size());
+    return view_[i];
+  }
+  const T& back() const {
+    STPS_DCHECK(!view_.empty());
+    return view_[view_.size() - 1];
+  }
+  std::span<const T> span() const { return view_; }
+  operator std::span<const T>() const { return view_; }  // NOLINT
+
+ private:
+  std::vector<T> owned_;
+  std::span<const T> view_;
+};
+
+}  // namespace stps
+
+#endif  // STPS_COMMON_COLUMN_H_

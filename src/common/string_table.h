@@ -1,0 +1,105 @@
+// StringTable: an immutable id -> string table that either owns its
+// strings (std::vector<std::string>, the DatabaseBuilder path) or borrows
+// them as an offsets-plus-blob view into an external arena (the mmap'd
+// snapshot path — see io/binary.h). The borrowed layout is the on-disk
+// layout: `offsets` has size()+1 entries and string i occupies
+// blob[offsets[i], offsets[i+1]).
+//
+// The reverse mapping (Find) is built lazily on first use, so opening a
+// mapped snapshot never touches the string payload; the index state lives
+// behind a shared_ptr so the table stays movable (ObjectDatabase moves).
+
+#ifndef STPS_COMMON_STRING_TABLE_H_
+#define STPS_COMMON_STRING_TABLE_H_
+
+#include <cstdint>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <string>
+#include <string_view>
+#include <unordered_map>
+#include <utility>
+#include <vector>
+
+#include "common/macros.h"
+
+namespace stps {
+
+class StringTable {
+ public:
+  StringTable() = default;
+
+  /// Owned mode. `prebuilt_index` (name -> id) is adopted when provided,
+  /// so builders that interned through a map anyway pay nothing extra.
+  explicit StringTable(std::vector<std::string> strings)
+      : owned_(std::move(strings)), index_(std::make_shared<FindIndex>()) {}
+
+  StringTable(std::vector<std::string> strings,
+              std::unordered_map<std::string, uint32_t> prebuilt_index)
+      : owned_(std::move(strings)), index_(std::make_shared<FindIndex>()) {
+    index_->map = std::move(prebuilt_index);
+    std::call_once(index_->once, [] {});  // mark the lazy build as done
+  }
+
+  /// Borrowed mode: `offsets` must hold n+1 monotone entries ending at
+  /// blob.size() (the caller validates; accessors only DCHECK).
+  static StringTable Borrow(std::span<const uint64_t> offsets,
+                            std::span<const char> blob) {
+    StringTable table;
+    table.offsets_ = offsets;
+    table.blob_ = blob;
+    table.borrowed_ = true;
+    table.index_ = std::make_shared<FindIndex>();
+    return table;
+  }
+
+  size_t size() const {
+    if (borrowed_) return offsets_.empty() ? 0 : offsets_.size() - 1;
+    return owned_.size();
+  }
+
+  std::string_view operator[](size_t i) const {
+    STPS_DCHECK(i < size());
+    if (!borrowed_) return owned_[i];
+    const uint64_t begin = offsets_[i];
+    const uint64_t end = offsets_[i + 1];
+    STPS_DCHECK(begin <= end && end <= blob_.size());
+    return std::string_view(blob_.data() + begin,
+                            static_cast<size_t>(end - begin));
+  }
+
+  /// Resolves a string back to its id. The name -> id map is built once,
+  /// on the first call (thread-safe); ids are dense [0, size()).
+  bool Find(std::string_view key, uint32_t* id) const {
+    if (size() == 0) return false;
+    FindIndex& index = *index_;
+    std::call_once(index.once, [&] {
+      index.map.reserve(size());
+      for (size_t i = 0; i < size(); ++i) {
+        index.map.emplace((*this)[i], static_cast<uint32_t>(i));
+      }
+    });
+    const auto it = index.map.find(std::string(key));
+    if (it == index.map.end()) return false;
+    *id = it->second;
+    return true;
+  }
+
+ private:
+  struct FindIndex {
+    std::once_flag once;
+    std::unordered_map<std::string, uint32_t> map;
+  };
+
+  std::vector<std::string> owned_;
+  std::span<const uint64_t> offsets_;  // borrowed mode only
+  std::span<const char> blob_;
+  bool borrowed_ = false;
+  // shared_ptr keeps the table movable (once_flag is not).
+  std::shared_ptr<FindIndex> index_;
+};
+
+}  // namespace stps
+
+#endif  // STPS_COMMON_STRING_TABLE_H_

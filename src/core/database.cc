@@ -62,8 +62,7 @@ ObjectDatabase DatabaseBuilder::Build() && {
   ObjectDatabase db;
   const std::vector<TokenId> permutation = dictionary_.FinalizeByFrequency();
   db.dictionary_ = std::move(dictionary_);
-  db.user_names_ = std::move(user_names_);
-  db.user_index_ = std::move(user_index_);
+  db.user_names_ = StringTable(std::move(user_names_), std::move(user_index_));
 
   const size_t num_users = db.user_names_.size();
   const size_t n = objects_.size();
@@ -73,10 +72,11 @@ ObjectDatabase DatabaseBuilder::Build() && {
   // Per-user slot ranges (users keep their dense-id order).
   std::vector<uint32_t> counts(num_users, 0);
   for (const PendingObject& o : objects_) ++counts[o.user];
-  db.user_begin_.assign(num_users + 1, 0);
+  std::vector<uint32_t> user_begin(num_users + 1, 0);
   for (size_t u = 0; u < num_users; ++u) {
-    db.user_begin_[u + 1] = db.user_begin_[u] + counts[u];
+    user_begin[u + 1] = user_begin[u] + counts[u];
   }
+  db.user_begin_ = std::move(user_begin);
 
   // Physical slot order: (user, Morton key), stable so equal-key objects
   // keep their insertion order. `order[slot]` is the AddObject sequence
@@ -96,42 +96,52 @@ ObjectDatabase DatabaseBuilder::Build() && {
                    });
 
   // Pass 1: walk the slots in order, remap each object's tokens into the
-  // frequency order (Remap re-sorts, keeping the set canonical), and size
-  // the CSR arena with a prefix sum over slots.
-  db.token_begin_.assign(n + 1, 0);
+  // frequency order (Remap re-sorts, keeping the set canonical), size the
+  // CSR arena with a prefix sum over slots, and copy the tokens in. The
+  // arena is complete before it moves into its column: pass 2's doc spans
+  // point at the column's final storage.
+  std::vector<uint32_t> token_begin(n + 1, 0);
   for (size_t slot = 0; slot < n; ++slot) {
     PendingObject& o = objects_[order[slot]];
     Dictionary::Remap(permutation, &o.tokens);
-    db.token_begin_[slot + 1] = static_cast<uint32_t>(o.tokens.size());
+    token_begin[slot + 1] = static_cast<uint32_t>(o.tokens.size());
   }
   for (size_t i = 0; i < n; ++i) {
-    db.token_begin_[i + 1] += db.token_begin_[i];
+    token_begin[i + 1] += token_begin[i];
   }
-  db.token_data_.resize(db.token_begin_.back());
-
-  // Pass 2: copy tokens into the arena, point every object's doc span
-  // (plus its bitmap signature) at its contiguous run, and mirror the
-  // slot into the SoA arrays the batch kernels stream.
-  db.objects_.resize(n);
-  db.xs_.resize(n);
-  db.ys_.resize(n);
-  db.users_.resize(n);
-  db.sigs_.resize(n);
+  std::vector<TokenId> token_data(token_begin.back());
   for (size_t slot = 0; slot < n; ++slot) {
-    PendingObject& o = objects_[order[slot]];
+    const PendingObject& o = objects_[order[slot]];
+    std::copy(o.tokens.begin(), o.tokens.end(),
+              token_data.begin() + token_begin[slot]);
+  }
+  db.token_begin_ = std::move(token_begin);
+  db.token_data_ = std::move(token_data);
+
+  // Pass 2: point every object's doc span (plus its bitmap signature) at
+  // its contiguous arena run, and mirror the slot into the SoA arrays the
+  // batch kernels stream.
+  std::vector<double> xs(n), ys(n);
+  std::vector<UserId> users(n);
+  std::vector<TokenSignature> sigs(n);
+  db.objects_.resize(n);
+  for (size_t slot = 0; slot < n; ++slot) {
+    const PendingObject& o = objects_[order[slot]];
     STObject& out = db.objects_[slot];
     out.id = static_cast<ObjectId>(slot);
     out.user = o.user;
     out.loc = o.loc;
     out.time = o.time;
-    std::copy(o.tokens.begin(), o.tokens.end(),
-              db.token_data_.begin() + db.token_begin_[slot]);
     out.set_doc(db.ObjectTokens(slot));
-    db.xs_[slot] = o.loc.x;
-    db.ys_[slot] = o.loc.y;
-    db.users_[slot] = o.user;
-    db.sigs_[slot] = out.sig;
+    xs[slot] = o.loc.x;
+    ys[slot] = o.loc.y;
+    users[slot] = o.user;
+    sigs[slot] = out.sig;
   }
+  db.xs_ = std::move(xs);
+  db.ys_ = std::move(ys);
+  db.users_ = std::move(users);
+  db.sigs_ = std::move(sigs);
   db.insertion_order_ = std::move(order);
   objects_.clear();
   // The sketch layer reads the finished database (bounds, user spans,

@@ -16,7 +16,9 @@
 #include <unordered_map>
 #include <vector>
 
+#include "common/column.h"
 #include "common/macros.h"
+#include "common/string_table.h"
 #include "spatial/geometry.h"
 #include "stjoin/object.h"
 #include "text/dictionary.h"
@@ -25,6 +27,7 @@ namespace stps {
 
 class UserSketchIndex;  // sketch/sketch.h
 struct PlannerStats;    // planner/planner_stats.h
+class SnapshotLoader;   // io/snapshot_v3.cc
 
 /// Immutable database of spatio-textual objects grouped by user.
 ///
@@ -46,6 +49,12 @@ struct PlannerStats;    // planner/planner_stats.h
 /// ObjectIds are still physical slots; `insertion_order()` maps a slot
 /// back to its AddObject sequence number, so external consumers can
 /// recover the original input order.
+///
+/// The flat arrays are Column<T>: owned vectors when built by
+/// DatabaseBuilder, borrowed arena views when loaded from an mmap'd v3
+/// snapshot (io/binary.h). In the borrowed case `arena_` pins the mapping
+/// for the database's lifetime; only the AoS object headers are
+/// materialized at load, everything else pages on demand.
 class ObjectDatabase {
  public:
   ObjectDatabase() = default;
@@ -55,7 +64,9 @@ class ObjectDatabase {
   ObjectDatabase& operator=(ObjectDatabase&&) = default;
 
   /// Number of users |U|.
-  size_t num_users() const { return user_begin_.size() - 1; }
+  size_t num_users() const {
+    return user_begin_.empty() ? 0 : user_begin_.size() - 1;
+  }
 
   /// Number of objects |D|.
   size_t num_objects() const { return objects_.size(); }
@@ -93,19 +104,18 @@ class ObjectDatabase {
   }
 
   /// The external label of a user (the key passed to AddObject), useful
-  /// for presenting results.
-  const std::string& UserName(UserId u) const {
+  /// for presenting results. The view points into the database's storage
+  /// (owned or mapped) and is valid for the database's lifetime.
+  std::string_view UserName(UserId u) const {
     STPS_DCHECK(u < user_names_.size());
     return user_names_[u];
   }
 
-  /// Resolves an external user key back to its dense id in O(1) (the
-  /// inverse of UserName). Returns false for unknown keys.
+  /// Resolves an external user key back to its dense id (the inverse of
+  /// UserName; amortized O(1) — the reverse index is built on first use).
+  /// Returns false for unknown keys.
   bool FindUser(std::string_view user_key, UserId* out) const {
-    const auto it = user_index_.find(std::string(user_key));
-    if (it == user_index_.end()) return false;
-    *out = it->second;
-    return true;
+    return user_names_.Find(user_key, out);
   }
 
   /// The token set of an object as a view into the CSR arena (same span
@@ -163,24 +173,27 @@ class ObjectDatabase {
 
  private:
   friend class DatabaseBuilder;
+  friend class SnapshotLoader;  // io/snapshot_v3.cc: arena-view loads
 
-  std::vector<STObject> objects_;
-  std::vector<uint32_t> user_begin_;  // size num_users() + 1
-  std::vector<TokenId> token_data_;   // CSR token arena, grouped like objects_
-  std::vector<uint32_t> token_begin_;  // size num_objects() + 1
-  std::vector<double> xs_;            // SoA mirrors, slot-indexed
-  std::vector<double> ys_;
-  std::vector<UserId> users_;
-  std::vector<TokenSignature> sigs_;
-  std::vector<uint32_t> insertion_order_;  // slot -> AddObject sequence
-  std::vector<std::string> user_names_;
-  std::unordered_map<std::string, uint32_t> user_index_;  // name -> UserId
+  std::vector<STObject> objects_;  // always owned (doc spans -> columns)
+  Column<uint32_t> user_begin_;    // size num_users() + 1
+  Column<TokenId> token_data_;     // CSR token arena, grouped like objects_
+  Column<uint32_t> token_begin_;   // size num_objects() + 1
+  Column<double> xs_;              // SoA mirrors, slot-indexed
+  Column<double> ys_;
+  Column<UserId> users_;
+  Column<TokenSignature> sigs_;
+  Column<uint32_t> insertion_order_;  // slot -> AddObject sequence
+  StringTable user_names_;
   Rect bounds_ = Rect::Empty();
   Dictionary dictionary_;
   // shared_ptr (not unique_ptr): the deleter is type-erased, so the
   // forward declaration above suffices for the implicit special members.
   std::shared_ptr<const UserSketchIndex> sketches_;
   std::shared_ptr<const PlannerStats> planner_stats_;
+  // Keep-alive for borrowed columns (the mmap'd region). Destruction
+  // order is irrelevant: no member destructor dereferences a view.
+  std::shared_ptr<const void> arena_;
 };
 
 /// Accumulates raw objects and produces an ObjectDatabase.

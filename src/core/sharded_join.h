@@ -1,0 +1,57 @@
+// Sharded STPSJoin execution: partition the join by contiguous user-id
+// range into independent shards that run on separate cores, then merge
+// deterministically.
+//
+// Built for the out-of-core path (an mmap'd v3 snapshot, io/binary.h):
+// each shard streams its own user range of the arena, so the page
+// working sets of the shards are mostly disjoint and a join over a
+// database larger than RAM degrades to sequential-ish paging instead of
+// thrash. The UserGrid and the full spatio-textual index are built once
+// and shared read-only.
+//
+// Determinism argument (why `--shards N` is bit-identical to the
+// unsharded result for every N): the unit of work is SPPJFProcessUser,
+// the exact per-user pass SPPJFParallel runs — a user's pass evaluates
+// only pairs (candidate, u) with candidate < u, so every pair belongs to
+// exactly one user and therefore to exactly one shard, whatever the
+// partition. Pair scores depend only on (db, query), never on the shard
+// layout; the merge concatenates and sorts by the canonical (a, b) order
+// (unique keys, so the sort is a total order); JoinStats counters are
+// per-shard sums of the same per-user increments, reassociated by
+// integer addition — order-independent. Hence results AND stats are
+// byte-for-byte equal to SPPJFParallel at any shard/thread count.
+
+#ifndef STPS_CORE_SHARDED_JOIN_H_
+#define STPS_CORE_SHARDED_JOIN_H_
+
+#include <vector>
+
+#include "core/database.h"
+#include "core/join_stats.h"
+#include "core/similarity.h"
+
+namespace stps {
+
+/// One shard's contiguous user-id range [begin, end).
+struct ShardRange {
+  UserId begin = 0;
+  UserId end = 0;
+};
+
+/// Splits the users into at most `shards` contiguous ranges, balanced by
+/// cumulative object count (a proxy for per-user join cost). Ranges
+/// cover [0, num_users) exactly; fewer ranges are returned when there
+/// are not enough users. Precondition: shards >= 1.
+std::vector<ShardRange> PlanUserShards(const ObjectDatabase& db, int shards);
+
+/// Evaluates the STPSJoin query with one thread per shard. Bit-identical
+/// to SPPJFParallel / the sequential S-PPJ-F (see the determinism
+/// argument above). Preconditions: eps_doc > 0, eps_u > 0, shards >= 1.
+std::vector<ScoredUserPair> ShardedSTPSJoin(const ObjectDatabase& db,
+                                            const STPSQuery& query,
+                                            int shards,
+                                            JoinStats* stats = nullptr);
+
+}  // namespace stps
+
+#endif  // STPS_CORE_SHARDED_JOIN_H_

@@ -11,15 +11,13 @@
 
 namespace stps {
 
-namespace {
-
 // One worker's pass over a user: identical filter/refine logic to the
 // sequential S-PPJ-F, except that the index is complete and candidates
 // are restricted to earlier users in the total order.
-void ProcessUser(const ObjectDatabase& db, const UserGrid& grid,
-                 const SpatioTextualGridIndex& index, const STPSQuery& query,
-                 UserId u, std::vector<ScoredUserPair>* out,
-                 JoinStats* stats) {
+void SPPJFProcessUser(const ObjectDatabase& db, const UserGrid& grid,
+                      const SpatioTextualGridIndex& index,
+                      const STPSQuery& query, UserId u,
+                      std::vector<ScoredUserPair>* out, JoinStats* stats) {
   const MatchThresholds t = query.match_thresholds();
   const UserLayout& cu = grid.UserCells(u);
   const size_t nu = db.UserObjectCount(u);
@@ -98,14 +96,12 @@ void ProcessUser(const ObjectDatabase& db, const UserGrid& grid,
 
 // Builds the complete spatio-textual index (users in id order, so the
 // inverted lists are ascending and the u' < u filter can stop early).
-void BuildFullIndex(const ObjectDatabase& db, const UserGrid& grid,
-                    SpatioTextualGridIndex* index) {
+void SPPJFBuildFullIndex(const ObjectDatabase& db, const UserGrid& grid,
+                         SpatioTextualGridIndex* index) {
   for (UserId u = 0; u < db.num_users(); ++u) {
     index->AddUser(u, grid.UserCells(u));
   }
 }
-
-}  // namespace
 
 std::vector<ScoredUserPair> SPPJFParallel(const ObjectDatabase& db,
                                           const STPSQuery& query,
@@ -118,7 +114,7 @@ std::vector<ScoredUserPair> SPPJFParallel(const ObjectDatabase& db,
 
   const UserGrid grid(db, query.eps_loc);
   SpatioTextualGridIndex index;
-  BuildFullIndex(db, grid, &index);
+  SPPJFBuildFullIndex(db, grid, &index);
 
   ThreadPool pool(parallel.num_threads);
   const size_t slots = static_cast<size_t>(pool.num_threads());
@@ -126,11 +122,11 @@ std::vector<ScoredUserPair> SPPJFParallel(const ObjectDatabase& db,
   std::vector<JoinStats> worker_stats(slots);
   pool.ParallelForEach(
       0, db.num_users(), parallel.grain, [&](size_t u, int worker) {
-        ProcessUser(db, grid, index, query, static_cast<UserId>(u),
-                    &per_worker[static_cast<size_t>(worker)],
-                    stats != nullptr
-                        ? &worker_stats[static_cast<size_t>(worker)]
-                        : nullptr);
+        SPPJFProcessUser(db, grid, index, query, static_cast<UserId>(u),
+                         &per_worker[static_cast<size_t>(worker)],
+                         stats != nullptr
+                             ? &worker_stats[static_cast<size_t>(worker)]
+                             : nullptr);
       });
   MergeWorkerStats(stats, worker_stats);
   return MergeSortedPairs(&per_worker);
@@ -153,7 +149,7 @@ std::vector<ScoredUserPair> SPPJFParallelHandRolled(const ObjectDatabase& db,
 
   const UserGrid grid(db, query.eps_loc);
   SpatioTextualGridIndex index;
-  BuildFullIndex(db, grid, &index);
+  SPPJFBuildFullIndex(db, grid, &index);
 
   const size_t n = db.num_users();
   std::atomic<uint32_t> next_user{0};
@@ -164,7 +160,7 @@ std::vector<ScoredUserPair> SPPJFParallelHandRolled(const ObjectDatabase& db,
     for (;;) {
       const uint32_t u = next_user.fetch_add(1, std::memory_order_relaxed);
       if (u >= n) break;
-      ProcessUser(db, grid, index, query, u, &out, nullptr);
+      SPPJFProcessUser(db, grid, index, query, u, &out, nullptr);
     }
   };
   if (num_threads == 1) {

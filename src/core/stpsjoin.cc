@@ -6,6 +6,7 @@
 
 #include "core/sppj_b.h"
 #include "core/sppj_c.h"
+#include "core/sharded_join.h"
 #include "core/sppj_d.h"
 #include "core/sppj_f.h"
 #include "core/sppj_f_parallel.h"
@@ -159,6 +160,18 @@ std::vector<ScoredUserPair> RunSTPSJoin(const ObjectDatabase& db,
   const bool use_sketch = query.sketch.enabled &&
                           options.algorithm != JoinAlgorithm::kBruteForce &&
                           query.eps_doc > 0.0 && query.eps_u > 0.0;
+
+  // Sharded execution (core/sharded_join.h): one thread per contiguous
+  // user range, built for paging over mmap'd snapshots. It runs the
+  // S-PPJ-F pipeline whatever exact algorithm was requested — all
+  // non-brute algorithms return bit-identical results, so this only
+  // changes the work, not the answer. Skips planner feedback: shard
+  // timings would poison the per-shape cost coefficients.
+  if (options.shards > 1 && !use_sketch &&
+      options.algorithm != JoinAlgorithm::kBruteForce &&
+      query.eps_doc > 0.0 && query.eps_u > 0.0) {
+    return ShardedSTPSJoin(db, query, options.shards, stats);
+  }
 
   // Time the run and fold the measurement into the planner's feedback —
   // for explicit choices too, so benchmark sweeps over the static

@@ -51,6 +51,13 @@ struct JoinOptions {
   /// leaf-based algorithm dispatches to its pool-parallel driver (brute
   /// force always runs sequentially).
   int threads = 1;
+  /// When > 1 (and the query is eligible: S-PPJ-F-shaped, no sketch
+  /// candidate generation), the join runs on the sharded driver
+  /// (core/sharded_join.h): users are partitioned into `shards`
+  /// contiguous ranges, one thread per shard, merged deterministically.
+  /// Bit-identical to shards == 1. Meant for mmap'd snapshots whose
+  /// working set exceeds RAM — shards page mostly disjoint arena ranges.
+  int shards = 1;
 };
 
 /// Evaluates Q = <eps_loc, eps_doc, eps_u>: all user pairs with

@@ -264,7 +264,7 @@ void UpdatableDatabase::SeedFrom(const ObjectDatabase& db) {
       raw.loc = o.loc;
       raw.time = o.time;
       raw.keywords.clear();
-      for (const TokenId t : o.doc) raw.keywords.push_back(dict.TokenString(t));
+      for (const TokenId t : o.doc) raw.keywords.emplace_back(dict.TokenString(t));
       InsertLocked(raw);
     }
   }

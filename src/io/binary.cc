@@ -4,6 +4,9 @@
 #include <fstream>
 #include <vector>
 
+#include "io/format_v3.h"
+#include "io/snapshot_v3.h"
+#include "io/stats_codec.h"
 #include "planner/planner_stats.h"
 
 namespace stps {
@@ -18,16 +21,12 @@ constexpr char kMagicV1[8] = {'S', 'T', 'P', 'S', 'D', 'B', '0', '1'};
 class Checksum {
  public:
   void Update(const void* data, size_t size) {
-    const auto* bytes = static_cast<const unsigned char*>(data);
-    for (size_t i = 0; i < size; ++i) {
-      hash_ ^= bytes[i];
-      hash_ *= 0x100000001B3ULL;
-    }
+    hash_ = FnvUpdate(hash_, data, size);
   }
   uint64_t value() const { return hash_; }
 
  private:
-  uint64_t hash_ = 0xCBF29CE484222325ULL;
+  uint64_t hash_ = kFnvSeed;
 };
 
 class Writer {
@@ -45,7 +44,7 @@ class Writer {
   void U32(uint32_t v) { Raw(&v, sizeof(v)); }
   void U64(uint64_t v) { Raw(&v, sizeof(v)); }
   void F64(double v) { Raw(&v, sizeof(v)); }
-  void Str(const std::string& s) {
+  void Str(std::string_view s) {
     U32(static_cast<uint32_t>(s.size()));
     Raw(s.data(), s.size());
   }
@@ -68,10 +67,18 @@ class Writer {
 class Reader {
  public:
   explicit Reader(const std::string& path)
-      : in_(path, std::ios::binary) {}
+      : in_(path, std::ios::binary) {
+    if (in_) {
+      in_.seekg(0, std::ios::end);
+      const auto end = in_.tellg();
+      file_size_ = end < 0 ? 0 : static_cast<uint64_t>(end);
+      in_.seekg(0, std::ios::beg);
+    }
+  }
 
   bool ok() const { return static_cast<bool>(in_) && !failed_; }
   bool failed() const { return failed_; }
+  uint64_t file_size() const { return file_size_; }
 
   bool Raw(void* data, size_t size) {
     in_.read(static_cast<char*>(data), static_cast<std::streamsize>(size));
@@ -95,74 +102,43 @@ class Reader {
     s->resize(len);
     return len == 0 || Raw(s->data(), len);
   }
-  // Reads the trailing checksum (not folded into the running hash) and
-  // compares it with the accumulated value.
+  // Reads the trailing checksum (not folded into the running hash),
+  // compares it with the accumulated value, and requires EOF right after
+  // it: a snapshot with trailing garbage is corrupt, not clean — the
+  // appended bytes are unchecksummed and a concatenation would otherwise
+  // read as the first file.
   bool VerifyChecksum() {
     const uint64_t expected = checksum_.value();
     uint64_t stored = 0;
     in_.read(reinterpret_cast<char*>(&stored), sizeof(stored));
     if (static_cast<size_t>(in_.gcount()) != sizeof(stored)) return false;
-    return stored == expected;
+    if (stored != expected) return false;
+    in_.peek();
+    return in_.eof();
   }
 
  private:
   std::ifstream in_;
   Checksum checksum_;
+  uint64_t file_size_ = 0;
   bool failed_ = false;
 };
 
-void WriteStats(Writer* writer, const PlannerStats& s) {
-  writer->U64(s.dataset.num_objects);
-  writer->U64(s.dataset.num_users);
-  writer->U64(s.dataset.num_distinct_tokens);
-  writer->F64(s.dataset.tokens_per_object_mean);
-  writer->F64(s.dataset.tokens_per_object_stddev);
-  writer->F64(s.dataset.objects_per_token_mean);
-  writer->F64(s.dataset.objects_per_token_stddev);
-  writer->F64(s.dataset.objects_per_user_mean);
-  writer->F64(s.dataset.objects_per_user_stddev);
-  for (const OccupancyLevel& level : s.occupancy) {
-    writer->U64(level.occupied_cells);
-    writer->U64(level.sum_sq_counts);
-    writer->U64(level.max_cell_count);
-  }
-  writer->F64(s.extent_x);
-  writer->F64(s.extent_y);
-  writer->U64(s.total_token_occurrences);
-  writer->F64(s.token_collision_rate);
-  writer->F64(s.token_top_frequency);
-}
-
-bool ReadStats(Reader* reader, PlannerStats* s) {
-  uint64_t num_objects = 0, num_users = 0, num_tokens = 0;
-  bool ok = reader->U64(&num_objects) && reader->U64(&num_users) &&
-            reader->U64(&num_tokens) &&
-            reader->F64(&s->dataset.tokens_per_object_mean) &&
-            reader->F64(&s->dataset.tokens_per_object_stddev) &&
-            reader->F64(&s->dataset.objects_per_token_mean) &&
-            reader->F64(&s->dataset.objects_per_token_stddev) &&
-            reader->F64(&s->dataset.objects_per_user_mean) &&
-            reader->F64(&s->dataset.objects_per_user_stddev);
-  if (!ok) return false;
-  s->dataset.num_objects = static_cast<size_t>(num_objects);
-  s->dataset.num_users = static_cast<size_t>(num_users);
-  s->dataset.num_distinct_tokens = static_cast<size_t>(num_tokens);
-  for (OccupancyLevel& level : s->occupancy) {
-    if (!reader->U64(&level.occupied_cells) ||
-        !reader->U64(&level.sum_sq_counts) ||
-        !reader->U64(&level.max_cell_count)) {
-      return false;
+Status WriteBinaryV2(const ObjectDatabase& db, const std::string& path) {
+  // The on-disk counts are 32-bit: refuse to write what would silently
+  // truncate (and decode to wrong data while passing its own checksum).
+  for (UserId u = 0; u < db.num_users(); ++u) {
+    if (!FitsU32(db.UserObjectCount(u))) {
+      return Status::InvalidArgument(
+          "user object count exceeds 32-bit snapshot field");
     }
   }
-  return reader->F64(&s->extent_x) && reader->F64(&s->extent_y) &&
-         reader->U64(&s->total_token_occurrences) &&
-         reader->F64(&s->token_collision_rate) &&
-         reader->F64(&s->token_top_frequency);
-}
-
-}  // namespace
-
-Status WriteBinary(const ObjectDatabase& db, const std::string& path) {
+  for (const STObject& o : db.AllObjects()) {
+    if (!FitsU32(o.doc.size())) {
+      return Status::InvalidArgument(
+          "object keyword count exceeds 32-bit snapshot field");
+    }
+  }
   Writer writer(path);
   if (!writer.ok()) {
     return Status::IOError("cannot open for writing: " + path);
@@ -203,29 +179,18 @@ Status WriteBinary(const ObjectDatabase& db, const std::string& path) {
   return Status::OK();
 }
 
-Result<ObjectDatabase> ReadBinary(const std::string& path) {
-  Reader reader(path);
-  if (!reader.ok()) {
-    return Status::IOError("cannot open for reading: " + path);
-  }
-  char magic[sizeof(kMagic)];
-  if (!reader.Raw(magic, sizeof(magic))) {
-    return Status::Corruption("bad magic: not an stps binary snapshot");
-  }
-  const bool has_stats_block =
-      std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
-  if (!has_stats_block &&
-      std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
-    return Status::Corruption("bad magic: not an stps binary snapshot");
-  }
+Result<ObjectDatabase> ReadBinaryV2(Reader& reader, bool has_stats_block) {
   uint64_t user_count = 0, object_count = 0, token_count = 0;
   if (!reader.U64(&user_count) || !reader.U64(&object_count) ||
       !reader.U64(&token_count)) {
     return Status::Corruption("truncated header");
   }
-  constexpr uint64_t kSanityLimit = 1ULL << 40;
-  if (user_count > kSanityLimit || object_count > kSanityLimit ||
-      token_count > kSanityLimit) {
+  // Every serialized token, user, and object costs at least one byte of
+  // payload, so counts are bounded by the file size. Checking that
+  // *before* the count-sized allocations below keeps a 32-byte corrupt
+  // file from demanding terabytes of heap.
+  const uint64_t limit = reader.file_size();
+  if (user_count > limit || object_count > limit || token_count > limit) {
     return Status::Corruption("implausible counts in header");
   }
   std::vector<std::string> tokens(token_count);
@@ -300,6 +265,49 @@ Result<ObjectDatabase> ReadBinary(const std::string& path) {
     return Status::Corruption("planner stats disagree with rebuilt database");
   }
   return db;
+}
+
+}  // namespace
+
+Status WriteBinary(const ObjectDatabase& db, const std::string& path,
+                   SnapshotFormat format) {
+  if (format == SnapshotFormat::kV3Arena) {
+    return SnapshotLoader::Write(db, path);
+  }
+  return WriteBinaryV2(db, path);
+}
+
+Result<ObjectDatabase> ReadBinary(const std::string& path) {
+  Reader reader(path);
+  if (!reader.ok()) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  char magic[sizeof(kMagic)];
+  if (!reader.Raw(magic, sizeof(magic))) {
+    return Status::Corruption("bad magic: not an stps binary snapshot");
+  }
+  if (std::memcmp(magic, kMagicV3, sizeof(kMagicV3)) == 0) {
+    // v3 arena: read the file to heap and run the fully-verifying load
+    // (every section checksum plus the structural cross-checks).
+    std::ifstream in(path, std::ios::binary);
+    auto buffer = std::make_shared<std::vector<char>>(
+        static_cast<size_t>(reader.file_size()));
+    if (!in.read(buffer->data(),
+                 static_cast<std::streamsize>(buffer->size()))) {
+      return Status::IOError("short read: " + path);
+    }
+    const char* data = buffer->data();
+    const size_t size = buffer->size();
+    return SnapshotLoader::Load(std::move(buffer), data, size,
+                                /*verify=*/true);
+  }
+  const bool has_stats_block =
+      std::memcmp(magic, kMagic, sizeof(kMagic)) == 0;
+  if (!has_stats_block &&
+      std::memcmp(magic, kMagicV1, sizeof(kMagicV1)) != 0) {
+    return Status::Corruption("bad magic: not an stps binary snapshot");
+  }
+  return ReadBinaryV2(reader, has_stats_block);
 }
 
 }  // namespace stps

@@ -1,27 +1,32 @@
-// Binary snapshot format for ObjectDatabase — the fast-reload companion
-// to the human-readable TSV format. Layout (little-endian):
+// Binary snapshot formats for ObjectDatabase — the fast-reload companion
+// to the human-readable TSV format.
 //
-//   magic "STPSDB02" | u64 user_count | u64 object_count | u64 token_count
-//   dictionary: token_count x (u32 len, bytes)   -- in token-id order
-//   users:      user_count  x (u32 len, bytes, u32 object_count)
-//   objects:    object_count x (f64 x, f64 y, f64 time,
-//                               u32 doc_len, doc_len x u32 token_id)
-//               -- grouped by user, in user order
-//   stats:      u32 present | when present, the PlannerStats block
-//               (dataset metrics, dyadic occupancy ladder, token skew;
-//               see planner/planner_stats.h) in field order
-//   u64 checksum (FNV-1a over everything before it)
+// Two formats share one API:
 //
-// Readers validate the magic, all counts, token-id ranges and the
-// checksum, and report Status::Corruption on any mismatch. The reader
-// rebuilds the database through DatabaseBuilder (which recomputes the
-// planner statistics), then cross-checks the recomputed summary against
-// the serialized block — a structural integrity check on top of the byte
-// checksum. "STPSDB01" snapshots (no stats block) are still read.
+//  * v2 "STPSDB02" — the legacy sequential stream (dictionary, user
+//    table, objects, planner-stats block, trailing FNV-1a checksum).
+//    Readers rebuild the database through DatabaseBuilder and
+//    cross-check the recomputed planner stats against the serialized
+//    block. "STPSDB01" (no stats block) is still read.
+//
+//  * v3 "STPSDB03" — a relocatable, 64-byte-aligned arena that *is* the
+//    in-memory layout: the CSR token arena, SoA mirrors, per-user spans,
+//    dictionary, planner stats, and sketch layer as flat sections
+//    addressed by offsets (see io/format_v3.h for the byte layout and
+//    DESIGN.md §10 for the design). ReadBinaryMapped opens a v3 file
+//    with mmap in O(1) and pages on demand; ReadBinary reads it to heap
+//    and fully verifies every section checksum plus the structural
+//    cross-checks (planner-stats and sketch rebuild comparison).
+//
+// WriteBinary defaults to v3; pass SnapshotFormat::kV2Stream for the
+// legacy stream. ReadBinary dispatches on the magic, so existing callers
+// read either format transparently.
 
 #ifndef STPS_IO_BINARY_H_
 #define STPS_IO_BINARY_H_
 
+#include <cstddef>
+#include <memory>
 #include <string>
 
 #include "common/status.h"
@@ -29,11 +34,59 @@
 
 namespace stps {
 
-/// Writes `db` to `path` in the binary snapshot format.
-Status WriteBinary(const ObjectDatabase& db, const std::string& path);
+enum class SnapshotFormat {
+  kV2Stream,  // legacy sequential stream ("STPSDB02")
+  kV3Arena,   // mmap-able relocatable arena ("STPSDB03")
+};
 
-/// Reads a database from a binary snapshot.
+/// Writes `db` to `path` in the selected snapshot format.
+Status WriteBinary(const ObjectDatabase& db, const std::string& path,
+                   SnapshotFormat format = SnapshotFormat::kV3Arena);
+
+/// Reads a database from a binary snapshot (any format version). This is
+/// the *verifying* path: every byte is read and checksummed, and the
+/// structural cross-checks run before the database is returned.
 Result<ObjectDatabase> ReadBinary(const std::string& path);
+
+/// An open, memory-mapped v3 snapshot. Open() is O(1) in the file size:
+/// it maps the file and validates only the fixed-size header and the
+/// section table; section payloads page in on first touch. Databases
+/// returned by Load() borrow the mapping (the MappedSnapshot may be
+/// destroyed; the mapping lives until the last database drops it).
+class MappedSnapshot {
+ public:
+  MappedSnapshot() = default;
+
+  /// Maps `path`. Fails with Status::Corruption unless the file is a
+  /// well-formed v3 snapshot (header + section table checks only).
+  static Result<MappedSnapshot> Open(const std::string& path);
+
+  /// Materializes a database view over the mapping. O(objects + users):
+  /// builds the AoS object headers and validates the structural
+  /// invariants (CSR monotonicity, permutation, grouping) that keep
+  /// every later access in bounds — but *trusts* the payload bytes (no
+  /// checksum pass, nothing token-scale is touched). Use LoadVerified()
+  /// or ReadBinary() for untrusted files.
+  Result<ObjectDatabase> Load() const;
+
+  /// Like Load() but additionally verifies every section checksum, the
+  /// whole-file checksum, recomputed signatures, planner stats, and a
+  /// sketch-layer rebuild comparison. Reads the entire file.
+  Result<ObjectDatabase> LoadVerified() const;
+
+  /// Size of the mapped file in bytes. Zero for a default-constructed
+  /// (unopened) snapshot.
+  size_t file_size() const { return size_; }
+
+ private:
+  std::shared_ptr<const void> region_;  // munmap deleter
+  const char* data_ = nullptr;
+  size_t size_ = 0;
+};
+
+/// Convenience: MappedSnapshot::Open + Load. The returned database keeps
+/// the mapping alive.
+Result<ObjectDatabase> ReadBinaryMapped(const std::string& path);
 
 }  // namespace stps
 

@@ -1,0 +1,706 @@
+// STPSDB03 arena writer and loader (see io/format_v3.h for the byte
+// layout, io/binary.h for the trust-vs-verify loading model).
+
+#include "io/snapshot_v3.h"
+
+#include <fcntl.h>
+#include <sys/mman.h>
+#include <sys/stat.h>
+#include <unistd.h>
+
+#include <algorithm>
+#include <cstddef>
+#include <cstring>
+#include <fstream>
+#include <string>
+#include <vector>
+
+#include "io/binary.h"
+#include "io/format_v3.h"
+#include "io/stats_codec.h"
+#include "planner/planner_stats.h"
+#include "sketch/sketch.h"
+
+namespace stps {
+
+namespace {
+
+uint64_t RoundUp(uint64_t v, uint64_t align) {
+  return (v + align - 1) / align * align;
+}
+
+// Sequential file writer tracking position and the running whole-file
+// FNV; deferred write errors (ENOSPC) fold into ok() at Finish.
+class StreamOut {
+ public:
+  explicit StreamOut(const std::string& path)
+      : out_(path, std::ios::binary | std::ios::trunc) {}
+
+  bool ok() const { return static_cast<bool>(out_); }
+
+  void Write(const void* p, size_t n) {
+    out_.write(static_cast<const char*>(p), static_cast<std::streamsize>(n));
+    fnv_ = FnvUpdate(fnv_, p, n);
+    pos_ += n;
+  }
+
+  void PadTo(uint64_t target) {
+    static constexpr char kZeros[kV3Alignment] = {};
+    while (pos_ < target) {
+      const size_t chunk = static_cast<size_t>(
+          std::min<uint64_t>(sizeof(kZeros), target - pos_));
+      Write(kZeros, chunk);
+    }
+  }
+
+  uint64_t pos() const { return pos_; }
+  uint64_t fnv() const { return fnv_; }
+
+  // Writes the trailing checksum (not part of the hashed range), then
+  // flushes and closes so ok() reflects deferred errors.
+  void Finish(uint64_t trailing) {
+    out_.write(reinterpret_cast<const char*>(&trailing), sizeof(trailing));
+    out_.flush();
+    if (out_.is_open()) out_.close();
+  }
+
+ private:
+  std::ofstream out_;
+  uint64_t fnv_ = kFnvSeed;
+  uint64_t pos_ = 0;
+};
+
+// In-memory field writer/reader for the fixed-size planner-stats block.
+class MemWriter {
+ public:
+  void U64(uint64_t v) { Raw(&v, sizeof(v)); }
+  void F64(double v) { Raw(&v, sizeof(v)); }
+  const std::string& bytes() const { return buf_; }
+
+ private:
+  void Raw(const void* p, size_t n) {
+    buf_.append(static_cast<const char*>(p), n);
+  }
+  std::string buf_;
+};
+
+class MemReader {
+ public:
+  MemReader(const char* p, size_t n) : p_(p), end_(p + n) {}
+  bool U64(uint64_t* v) { return Raw(v, sizeof(*v)); }
+  bool F64(double* v) { return Raw(v, sizeof(*v)); }
+
+ private:
+  bool Raw(void* d, size_t n) {
+    if (static_cast<size_t>(end_ - p_) < n) return false;
+    std::memcpy(d, p_, n);
+    p_ += n;
+    return true;
+  }
+  const char* p_;
+  const char* end_;
+};
+
+// Parsed + validated header and section table (the O(1) open checks).
+struct ParsedArena {
+  HeaderV3 header;
+  SectionEntry sec[kSecMaxKind + 1] = {};
+  bool present[kSecMaxKind + 1] = {};
+};
+
+Status ParseArena(const char* data, size_t size, ParsedArena* out) {
+  if (size < sizeof(HeaderV3) + 2 * sizeof(uint64_t)) {
+    return Status::Corruption("file too small for v3 snapshot");
+  }
+  HeaderV3& h = out->header;
+  std::memcpy(&h, data, sizeof(h));
+  if (std::memcmp(h.magic, kMagicV3, sizeof(kMagicV3)) != 0) {
+    return Status::Corruption("bad magic: not a v3 snapshot");
+  }
+  if (Fnv(data, offsetof(HeaderV3, header_checksum)) != h.header_checksum) {
+    return Status::Corruption("header checksum mismatch");
+  }
+  if (h.file_size != size) {
+    return Status::Corruption("file size disagrees with header");
+  }
+  if (h.table_offset != sizeof(HeaderV3)) {
+    return Status::Corruption("bad section table offset");
+  }
+  if (h.section_count == 0 || h.section_count > kSecMaxKind) {
+    return Status::Corruption("bad section count");
+  }
+  // Every count costs >= 4 bytes per element somewhere in the file, so a
+  // header claiming more elements than bytes is corrupt — checked before
+  // any count-sized allocation or arithmetic (overflow guard).
+  if (h.num_users > h.file_size || h.num_objects > h.file_size ||
+      h.num_dict_tokens > h.file_size || h.total_tokens > h.file_size) {
+    return Status::Corruption("implausible counts in header");
+  }
+  const uint64_t table_bytes = h.section_count * sizeof(SectionEntry);
+  const uint64_t body_begin = h.table_offset + table_bytes + sizeof(uint64_t);
+  if (body_begin + sizeof(uint64_t) > size) {
+    return Status::Corruption("section table exceeds file");
+  }
+  uint64_t stored_table_sum = 0;
+  std::memcpy(&stored_table_sum, data + h.table_offset + table_bytes,
+              sizeof(stored_table_sum));
+  if (Fnv(data + h.table_offset, table_bytes) != stored_table_sum) {
+    return Status::Corruption("section table checksum mismatch");
+  }
+  for (uint64_t i = 0; i < h.section_count; ++i) {
+    SectionEntry e;
+    std::memcpy(&e, data + h.table_offset + i * sizeof(SectionEntry),
+                sizeof(e));
+    const size_t elem = ElementSize(e.kind);
+    if (elem == 0) return Status::Corruption("unknown section kind");
+    if (e.reserved != 0) return Status::Corruption("bad section entry");
+    if (out->present[e.kind]) return Status::Corruption("duplicate section");
+    if (e.count > h.file_size) {
+      return Status::Corruption("implausible section count");
+    }
+    if (e.size != e.count * elem) {
+      return Status::Corruption("section size disagrees with count");
+    }
+    if (e.offset % kV3Alignment != 0 || e.offset < body_begin ||
+        e.offset + e.size > h.file_size - sizeof(uint64_t) ||
+        e.offset + e.size < e.offset) {
+      return Status::Corruption("section out of bounds");
+    }
+    out->sec[e.kind] = e;
+    out->present[e.kind] = true;
+  }
+
+  // Presence and fixed counts. Variable-count sections (blobs, sketch
+  // CSR data) are cross-checked against payload contents at Load time.
+  const auto need = [&](uint32_t kind, uint64_t count) -> bool {
+    return out->present[kind] && out->sec[kind].count == count;
+  };
+  const bool core_ok =
+      need(kSecUserBegin, h.num_users + 1) &&
+      need(kSecTokenBegin, h.num_objects + 1) &&
+      need(kSecTokenData, h.total_tokens) && need(kSecXs, h.num_objects) &&
+      need(kSecYs, h.num_objects) && need(kSecTimes, h.num_objects) &&
+      need(kSecUsers, h.num_objects) && need(kSecSigs, h.num_objects) &&
+      need(kSecInsertionOrder, h.num_objects) &&
+      need(kSecUserNameOffsets, h.num_users + 1) &&
+      out->present[kSecUserNameBlob] &&
+      need(kSecDictOffsets, h.num_dict_tokens + 1) &&
+      out->present[kSecDictBlob] && need(kSecDictFreq, h.num_dict_tokens);
+  if (!core_ok) return Status::Corruption("missing or missized section");
+  const bool want_stats = (h.flags & kFlagPlannerStats) != 0;
+  const bool want_sketch = (h.flags & kFlagSketches) != 0;
+  if (want_stats != need(kSecPlannerStats, 1)) {
+    return Status::Corruption("planner-stats section disagrees with flags");
+  }
+  for (uint32_t kind = kSecSketchMeta; kind <= kSecSketchRowSalts; ++kind) {
+    if (out->present[kind] != want_sketch) {
+      return Status::Corruption("sketch sections disagree with flags");
+    }
+  }
+  const uint64_t expected_sections = 14 + (want_stats ? 1 : 0) +
+                                     (want_sketch ? 11 : 0);
+  if (h.section_count != expected_sections) {
+    return Status::Corruption("unexpected section count");
+  }
+  return Status::OK();
+}
+
+template <typename T>
+std::span<const T> SecSpan(const char* data, const SectionEntry& e) {
+  return {reinterpret_cast<const T*>(data + e.offset),
+          static_cast<size_t>(e.count)};
+}
+
+// begin[0] == 0, nondecreasing, begin.back() == total. The check that
+// keeps every CSR access in bounds, in trust mode too.
+bool ValidBegins(std::span<const uint32_t> begin, uint64_t total) {
+  if (begin.empty() || begin.front() != 0) return false;
+  for (size_t i = 1; i < begin.size(); ++i) {
+    if (begin[i] < begin[i - 1]) return false;
+  }
+  return begin.back() == total;
+}
+
+bool ValidOffsets(std::span<const uint64_t> offsets, uint64_t total) {
+  if (offsets.empty() || offsets.front() != 0) return false;
+  for (size_t i = 1; i < offsets.size(); ++i) {
+    if (offsets[i] < offsets[i - 1]) return false;
+  }
+  return offsets.back() == total;
+}
+
+template <typename T>
+bool SpanEq(std::span<const T> a, std::span<const T> b) {
+  return a.size() == b.size() && std::equal(a.begin(), a.end(), b.begin());
+}
+
+}  // namespace
+
+Status SnapshotLoader::Write(const ObjectDatabase& db,
+                             const std::string& path) {
+  const size_t n = db.num_objects();
+  const size_t nu = db.num_users();
+  // The CSR begin-arrays store 32-bit offsets: refuse to write a database
+  // they cannot index instead of truncating (mirrors the v2 check).
+  if (!FitsU32(n) || !FitsU32(db.total_tokens())) {
+    return Status::InvalidArgument(
+        "database too large for 32-bit CSR offsets");
+  }
+
+  // Side arrays the in-memory layout does not keep flat.
+  std::vector<uint32_t> begin_fallback{0};
+  std::span<const uint32_t> user_begin = db.user_begin_.span();
+  if (user_begin.empty()) user_begin = begin_fallback;
+  std::span<const uint32_t> token_begin = db.token_begin_.span();
+  if (token_begin.empty()) token_begin = begin_fallback;
+
+  std::vector<double> times(n);
+  for (size_t i = 0; i < n; ++i) times[i] = db.objects_[i].time;
+
+  std::vector<uint64_t> name_offsets(nu + 1, 0);
+  std::string name_blob;
+  for (UserId u = 0; u < nu; ++u) {
+    name_blob.append(db.UserName(u));
+    name_offsets[u + 1] = name_blob.size();
+  }
+
+  const Dictionary& dict = db.dictionary();
+  const size_t nd = dict.size();
+  std::vector<uint64_t> dict_offsets(nd + 1, 0);
+  std::vector<uint64_t> dict_freq(nd, 0);
+  std::string dict_blob;
+  for (TokenId t = 0; t < nd; ++t) {
+    dict_blob.append(dict.TokenString(t));
+    dict_offsets[t + 1] = dict_blob.size();
+    dict_freq[t] = dict.Frequency(t);
+  }
+
+  MemWriter stats_block;
+  if (db.has_planner_stats()) {
+    WriteStats(&stats_block, db.planner_stats());
+    STPS_CHECK(stats_block.bytes().size() == kPlannerStatsBlockSize);
+  }
+
+  SketchMetaV3 meta = {};
+  SketchParts parts;
+  const bool have_sketch = db.has_sketches();
+  if (have_sketch) {
+    parts = db.sketches().parts();
+    meta.num_hashes = parts.params.num_hashes;
+    meta.num_bands = parts.params.num_bands;
+    meta.index_grid_bits = parts.params.index_grid_bits;
+    meta.occupancy_grid_bits = parts.params.occupancy_grid_bits;
+    meta.seed = parts.params.seed;
+    meta.band_salt = parts.band_salt;
+    meta.num_users = parts.num_users;
+    meta.min_x = parts.min_x;
+    meta.min_y = parts.min_y;
+    meta.width_x = parts.width_x;
+    meta.width_y = parts.width_y;
+  }
+
+  struct Payload {
+    uint32_t kind;
+    const void* data;
+    uint64_t count;
+  };
+  std::vector<Payload> payloads;
+  const auto add = [&payloads](uint32_t kind, const void* data,
+                               uint64_t count) {
+    payloads.push_back({kind, data, count});
+  };
+  add(kSecUserBegin, user_begin.data(), user_begin.size());
+  add(kSecTokenBegin, token_begin.data(), token_begin.size());
+  add(kSecTokenData, db.token_data_.data(), db.token_data_.size());
+  add(kSecXs, db.xs_.data(), n);
+  add(kSecYs, db.ys_.data(), n);
+  add(kSecTimes, times.data(), n);
+  add(kSecUsers, db.users_.data(), n);
+  add(kSecSigs, db.sigs_.data(), n);
+  add(kSecInsertionOrder, db.insertion_order_.data(), n);
+  add(kSecUserNameOffsets, name_offsets.data(), name_offsets.size());
+  add(kSecUserNameBlob, name_blob.data(), name_blob.size());
+  add(kSecDictOffsets, dict_offsets.data(), dict_offsets.size());
+  add(kSecDictBlob, dict_blob.data(), dict_blob.size());
+  add(kSecDictFreq, dict_freq.data(), dict_freq.size());
+  if (db.has_planner_stats()) {
+    add(kSecPlannerStats, stats_block.bytes().data(), 1);
+  }
+  if (have_sketch) {
+    add(kSecSketchMeta, &meta, 1);
+    add(kSecSketchMinhash, parts.minhash.data(), parts.minhash.size());
+    add(kSecSketchOccCells, parts.occ_cells.data(), parts.occ_cells.size());
+    add(kSecSketchOccBegin, parts.occ_begin.data(), parts.occ_begin.size());
+    add(kSecSketchMasks, parts.masks.data(), parts.masks.size());
+    add(kSecSketchUserKeys, parts.user_keys.data(), parts.user_keys.size());
+    add(kSecSketchUserKeyBegin, parts.user_key_begin.data(),
+        parts.user_key_begin.size());
+    add(kSecSketchPostKeys, parts.post_keys.data(), parts.post_keys.size());
+    add(kSecSketchPostBegin, parts.post_begin.data(),
+        parts.post_begin.size());
+    add(kSecSketchPostUsers, parts.post_users.data(),
+        parts.post_users.size());
+    add(kSecSketchRowSalts, parts.row_salts.data(), parts.row_salts.size());
+  }
+
+  // Precompute the layout, then stream it out in one pass.
+  const uint64_t table_offset = sizeof(HeaderV3);
+  const uint64_t table_bytes = payloads.size() * sizeof(SectionEntry);
+  uint64_t cursor = table_offset + table_bytes + sizeof(uint64_t);
+  std::vector<SectionEntry> entries;
+  entries.reserve(payloads.size());
+  for (const Payload& p : payloads) {
+    cursor = RoundUp(cursor, kV3Alignment);
+    SectionEntry e = {};
+    e.kind = p.kind;
+    e.offset = cursor;
+    e.count = p.count;
+    e.size = p.count * ElementSize(p.kind);
+    e.checksum = Fnv(p.data, static_cast<size_t>(e.size));
+    entries.push_back(e);
+    cursor += e.size;
+  }
+  const uint64_t file_size = cursor + sizeof(uint64_t);
+
+  HeaderV3 header = {};
+  std::memcpy(header.magic, kMagicV3, sizeof(kMagicV3));
+  header.file_size = file_size;
+  header.flags = (db.has_planner_stats() ? kFlagPlannerStats : 0) |
+                 (have_sketch ? kFlagSketches : 0);
+  header.num_users = nu;
+  header.num_objects = n;
+  header.num_dict_tokens = nd;
+  header.total_tokens = db.total_tokens();
+  header.min_x = db.bounds_.min_x;
+  header.min_y = db.bounds_.min_y;
+  header.max_x = db.bounds_.max_x;
+  header.max_y = db.bounds_.max_y;
+  header.section_count = payloads.size();
+  header.table_offset = table_offset;
+  header.header_checksum = Fnv(&header, offsetof(HeaderV3, header_checksum));
+
+  StreamOut out(path);
+  if (!out.ok()) {
+    return Status::IOError("cannot open for writing: " + path);
+  }
+  out.Write(&header, sizeof(header));
+  out.Write(entries.data(), static_cast<size_t>(table_bytes));
+  const uint64_t table_sum =
+      Fnv(entries.data(), static_cast<size_t>(table_bytes));
+  out.Write(&table_sum, sizeof(table_sum));
+  for (size_t i = 0; i < payloads.size(); ++i) {
+    out.PadTo(entries[i].offset);
+    out.Write(payloads[i].data, static_cast<size_t>(entries[i].size));
+  }
+  STPS_CHECK(out.pos() == file_size - sizeof(uint64_t));
+  out.Finish(out.fnv());
+  if (!out.ok()) {
+    return Status::IOError("write failed: " + path);
+  }
+  return Status::OK();
+}
+
+Status SnapshotLoader::CheckHeader(const char* data, size_t size) {
+  ParsedArena parsed;
+  return ParseArena(data, size, &parsed);
+}
+
+Result<ObjectDatabase> SnapshotLoader::Load(std::shared_ptr<const void> owner,
+                                            const char* data, size_t size,
+                                            bool verify) {
+  ParsedArena a;
+  if (Status s = ParseArena(data, size, &a); !s.ok()) return s;
+  const HeaderV3& h = a.header;
+  const size_t n = static_cast<size_t>(h.num_objects);
+  const size_t nu = static_cast<size_t>(h.num_users);
+  const size_t nd = static_cast<size_t>(h.num_dict_tokens);
+
+  if (verify) {
+    for (uint32_t kind = 1; kind <= kSecMaxKind; ++kind) {
+      if (!a.present[kind]) continue;
+      const SectionEntry& e = a.sec[kind];
+      if (Fnv(data + e.offset, static_cast<size_t>(e.size)) != e.checksum) {
+        return Status::Corruption("section checksum mismatch");
+      }
+    }
+    uint64_t trailing = 0;
+    std::memcpy(&trailing, data + size - sizeof(trailing), sizeof(trailing));
+    if (Fnv(data, size - sizeof(trailing)) != trailing) {
+      return Status::Corruption("file checksum mismatch");
+    }
+  }
+
+  const auto user_begin = SecSpan<uint32_t>(data, a.sec[kSecUserBegin]);
+  const auto token_begin = SecSpan<uint32_t>(data, a.sec[kSecTokenBegin]);
+  const auto token_data = SecSpan<TokenId>(data, a.sec[kSecTokenData]);
+  const auto xs = SecSpan<double>(data, a.sec[kSecXs]);
+  const auto ys = SecSpan<double>(data, a.sec[kSecYs]);
+  const auto times = SecSpan<double>(data, a.sec[kSecTimes]);
+  const auto users = SecSpan<UserId>(data, a.sec[kSecUsers]);
+  const auto sigs = SecSpan<TokenSignature>(data, a.sec[kSecSigs]);
+  const auto order = SecSpan<uint32_t>(data, a.sec[kSecInsertionOrder]);
+  const auto name_offsets =
+      SecSpan<uint64_t>(data, a.sec[kSecUserNameOffsets]);
+  const auto name_blob = SecSpan<char>(data, a.sec[kSecUserNameBlob]);
+  const auto dict_offsets = SecSpan<uint64_t>(data, a.sec[kSecDictOffsets]);
+  const auto dict_blob = SecSpan<char>(data, a.sec[kSecDictBlob]);
+  const auto dict_freq = SecSpan<uint64_t>(data, a.sec[kSecDictFreq]);
+
+  // Structural validation: everything a later accessor indexes with must
+  // be proven in bounds here, in trust mode too (O(objects + users);
+  // token-scale payloads stay untouched).
+  if (!ValidBegins(user_begin, h.num_objects)) {
+    return Status::Corruption("bad user CSR layout");
+  }
+  if (!ValidBegins(token_begin, h.total_tokens)) {
+    return Status::Corruption("bad token CSR layout");
+  }
+  if (!ValidOffsets(name_offsets, a.sec[kSecUserNameBlob].count)) {
+    return Status::Corruption("bad user-name offsets");
+  }
+  if (!ValidOffsets(dict_offsets, a.sec[kSecDictBlob].count)) {
+    return Status::Corruption("bad dictionary offsets");
+  }
+  {
+    std::vector<bool> seen(n, false);
+    for (const uint32_t src : order) {
+      if (src >= n || seen[src]) {
+        return Status::Corruption("insertion order is not a permutation");
+      }
+      seen[src] = true;
+    }
+  }
+
+  ObjectDatabase db;
+  db.arena_ = std::move(owner);
+  db.user_begin_ = Column<uint32_t>::Borrow(user_begin);
+  db.token_begin_ = Column<uint32_t>::Borrow(token_begin);
+  db.token_data_ = Column<TokenId>::Borrow(token_data);
+  db.xs_ = Column<double>::Borrow(xs);
+  db.ys_ = Column<double>::Borrow(ys);
+  db.users_ = Column<UserId>::Borrow(users);
+  db.sigs_ = Column<TokenSignature>::Borrow(sigs);
+  db.insertion_order_ = Column<uint32_t>::Borrow(order);
+  db.user_names_ = StringTable::Borrow(name_offsets, name_blob);
+  db.dictionary_ = Dictionary::Borrowed(dict_offsets, dict_blob, dict_freq);
+  db.bounds_ = Rect{h.min_x, h.min_y, h.max_x, h.max_y};
+
+  // Materialize the AoS object headers (the only O(objects) allocation
+  // of a mapped load). Trust mode copies the stored signatures; verify
+  // mode recomputes them from the token arena and compares.
+  db.objects_.resize(n);
+  for (UserId u = 0; u < nu; ++u) {
+    for (uint32_t slot = user_begin[u]; slot < user_begin[u + 1]; ++slot) {
+      if (users[slot] != u) {
+        return Status::Corruption("objects not grouped by user");
+      }
+      STObject& o = db.objects_[slot];
+      o.id = slot;
+      o.user = u;
+      o.loc = Point{xs[slot], ys[slot]};
+      o.time = times[slot];
+      const std::span<const TokenId> doc{
+          token_data.data() + token_begin[slot],
+          token_begin[slot + 1] - token_begin[slot]};
+      if (verify) {
+        for (size_t k = 0; k < doc.size(); ++k) {
+          if (doc[k] >= nd || (k > 0 && doc[k] <= doc[k - 1])) {
+            return Status::Corruption("token set not canonical");
+          }
+        }
+        o.set_doc(doc);
+        if (o.sig != sigs[slot]) {
+          return Status::Corruption("signature mismatch");
+        }
+      } else {
+        o.doc = doc;
+        o.sig = sigs[slot];
+      }
+    }
+  }
+
+  if ((h.flags & kFlagPlannerStats) != 0) {
+    MemReader reader(data + a.sec[kSecPlannerStats].offset,
+                     kPlannerStatsBlockSize);
+    PlannerStats stats;
+    if (!ReadStats(&reader, &stats)) {
+      return Status::Corruption("bad planner-stats block");
+    }
+    db.planner_stats_ = std::make_shared<const PlannerStats>(stats);
+  }
+
+  SketchParams sketch_params;
+  if ((h.flags & kFlagSketches) != 0) {
+    SketchMetaV3 meta;
+    std::memcpy(&meta, data + a.sec[kSecSketchMeta].offset, sizeof(meta));
+    // The borrowed UserSketchIndex ctor skips the building ctor's CHECKs,
+    // so enforce the same parameter envelope (plus count consistency)
+    // here as Corruption instead of aborting later.
+    if (meta.num_users != h.num_users || meta.num_hashes == 0 ||
+        !FitsU32(meta.num_hashes) || meta.num_bands == 0 ||
+        !FitsU32(meta.num_bands) || meta.index_grid_bits < 1 ||
+        meta.index_grid_bits > 15 || meta.occupancy_grid_bits < 3 ||
+        meta.occupancy_grid_bits > 15) {
+      return Status::Corruption("bad sketch parameters");
+    }
+    const auto minhash = SecSpan<uint64_t>(data, a.sec[kSecSketchMinhash]);
+    const auto occ_cells =
+        SecSpan<uint32_t>(data, a.sec[kSecSketchOccCells]);
+    const auto occ_begin =
+        SecSpan<uint32_t>(data, a.sec[kSecSketchOccBegin]);
+    const auto masks = SecSpan<uint64_t>(data, a.sec[kSecSketchMasks]);
+    const auto user_keys =
+        SecSpan<uint64_t>(data, a.sec[kSecSketchUserKeys]);
+    const auto user_key_begin =
+        SecSpan<uint32_t>(data, a.sec[kSecSketchUserKeyBegin]);
+    const auto post_keys =
+        SecSpan<uint64_t>(data, a.sec[kSecSketchPostKeys]);
+    const auto post_begin =
+        SecSpan<uint32_t>(data, a.sec[kSecSketchPostBegin]);
+    const auto post_users = SecSpan<UserId>(data, a.sec[kSecSketchPostUsers]);
+    const auto row_salts =
+        SecSpan<uint64_t>(data, a.sec[kSecSketchRowSalts]);
+    if (minhash.size() != nu * meta.num_hashes ||
+        row_salts.size() != meta.num_hashes || masks.size() != nu ||
+        occ_begin.size() != nu + 1 || user_key_begin.size() != nu + 1 ||
+        post_begin.size() != post_keys.size() + 1) {
+      return Status::Corruption("missized sketch section");
+    }
+    if (!ValidBegins(occ_begin, occ_cells.size()) ||
+        !ValidBegins(user_key_begin, user_keys.size()) ||
+        !ValidBegins(post_begin, post_users.size())) {
+      return Status::Corruption("bad sketch CSR layout");
+    }
+    SketchParts parts;
+    parts.params.num_hashes = static_cast<uint32_t>(meta.num_hashes);
+    parts.params.num_bands = static_cast<uint32_t>(meta.num_bands);
+    parts.params.index_grid_bits =
+        static_cast<uint32_t>(meta.index_grid_bits);
+    parts.params.occupancy_grid_bits =
+        static_cast<uint32_t>(meta.occupancy_grid_bits);
+    parts.params.seed = meta.seed;
+    parts.num_users = meta.num_users;
+    parts.band_salt = meta.band_salt;
+    parts.min_x = meta.min_x;
+    parts.min_y = meta.min_y;
+    parts.width_x = meta.width_x;
+    parts.width_y = meta.width_y;
+    parts.minhash = minhash;
+    parts.occ_cells = occ_cells;
+    parts.occ_begin = occ_begin;
+    parts.masks = masks;
+    parts.user_keys = user_keys;
+    parts.user_key_begin = user_key_begin;
+    parts.post_keys = post_keys;
+    parts.post_begin = post_begin;
+    parts.post_users = post_users;
+    parts.row_salts = row_salts;
+    sketch_params = parts.params;
+    db.sketches_ = std::make_shared<const UserSketchIndex>(parts);
+  }
+
+  if (verify) {
+    // Structural cross-checks: rebuild what the writer derived and
+    // compare. Agreement proves the payload decodes to the database the
+    // writer saw — the same discipline as the v2 planner-stats check.
+    if (db.has_planner_stats() &&
+        !(ComputePlannerStats(db) == db.planner_stats())) {
+      return Status::Corruption(
+          "planner stats disagree with loaded database");
+    }
+    if (db.has_sketches()) {
+      const UserSketchIndex rebuilt(db, sketch_params);
+      const SketchParts got = db.sketches().parts();
+      const SketchParts want = rebuilt.parts();
+      const bool same =
+          got.num_users == want.num_users &&
+          got.band_salt == want.band_salt && got.min_x == want.min_x &&
+          got.min_y == want.min_y && got.width_x == want.width_x &&
+          got.width_y == want.width_y && SpanEq(got.minhash, want.minhash) &&
+          SpanEq(got.occ_cells, want.occ_cells) &&
+          SpanEq(got.occ_begin, want.occ_begin) &&
+          SpanEq(got.masks, want.masks) &&
+          SpanEq(got.user_keys, want.user_keys) &&
+          SpanEq(got.user_key_begin, want.user_key_begin) &&
+          SpanEq(got.post_keys, want.post_keys) &&
+          SpanEq(got.post_begin, want.post_begin) &&
+          SpanEq(got.post_users, want.post_users) &&
+          SpanEq(got.row_salts, want.row_salts);
+      if (!same) {
+        return Status::Corruption(
+            "sketch layer disagrees with loaded database");
+      }
+    }
+    // Dictionary invariants the id order depends on: ascending document
+    // frequency, ties strictly lexicographic (also rules out duplicate
+    // strings). User names must be unique for FindUser to be total.
+    for (TokenId t = 1; t < nd; ++t) {
+      if (dict_freq[t - 1] > dict_freq[t] ||
+          (dict_freq[t - 1] == dict_freq[t] &&
+           db.dictionary().TokenString(t - 1) >=
+               db.dictionary().TokenString(t))) {
+        return Status::Corruption("dictionary order violated");
+      }
+    }
+    std::vector<std::string_view> names(nu);
+    for (UserId u = 0; u < nu; ++u) names[u] = db.UserName(u);
+    std::sort(names.begin(), names.end());
+    if (std::adjacent_find(names.begin(), names.end()) != names.end()) {
+      return Status::Corruption("duplicate user name");
+    }
+  }
+  return db;
+}
+
+Result<MappedSnapshot> MappedSnapshot::Open(const std::string& path) {
+  const int fd = ::open(path.c_str(), O_RDONLY | O_CLOEXEC);
+  if (fd < 0) {
+    return Status::IOError("cannot open for reading: " + path);
+  }
+  struct stat st = {};
+  if (::fstat(fd, &st) != 0 || st.st_size < 0) {
+    ::close(fd);
+    return Status::IOError("cannot stat: " + path);
+  }
+  const size_t size = static_cast<size_t>(st.st_size);
+  if (size < sizeof(HeaderV3) + 2 * sizeof(uint64_t)) {
+    ::close(fd);
+    return Status::Corruption("file too small for v3 snapshot");
+  }
+  void* mem = ::mmap(nullptr, size, PROT_READ, MAP_PRIVATE, fd, 0);
+  ::close(fd);
+  if (mem == MAP_FAILED) {
+    return Status::IOError("mmap failed: " + path);
+  }
+  std::shared_ptr<const void> region(
+      mem, [size](const void* p) { ::munmap(const_cast<void*>(p), size); });
+  const char* data = static_cast<const char*>(mem);
+  if (Status s = SnapshotLoader::CheckHeader(data, size); !s.ok()) return s;
+  MappedSnapshot snapshot;
+  snapshot.region_ = std::move(region);
+  snapshot.data_ = data;
+  snapshot.size_ = size;
+  return snapshot;
+}
+
+Result<ObjectDatabase> MappedSnapshot::Load() const {
+  if (data_ == nullptr) {
+    return Status::InvalidArgument("snapshot not open");
+  }
+  return SnapshotLoader::Load(region_, data_, size_, /*verify=*/false);
+}
+
+Result<ObjectDatabase> MappedSnapshot::LoadVerified() const {
+  if (data_ == nullptr) {
+    return Status::InvalidArgument("snapshot not open");
+  }
+  return SnapshotLoader::Load(region_, data_, size_, /*verify=*/true);
+}
+
+Result<ObjectDatabase> ReadBinaryMapped(const std::string& path) {
+  Result<MappedSnapshot> snapshot = MappedSnapshot::Open(path);
+  if (!snapshot.ok()) return snapshot.status();
+  return snapshot.value().Load();
+}
+
+}  // namespace stps

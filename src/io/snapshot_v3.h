@@ -1,0 +1,41 @@
+// Internal interface between io/binary.cc (the public snapshot API) and
+// io/snapshot_v3.cc (the v3 arena writer/loader). Not installed; tests
+// include it to drive the loader over in-memory buffers.
+
+#ifndef STPS_IO_SNAPSHOT_V3_H_
+#define STPS_IO_SNAPSHOT_V3_H_
+
+#include <memory>
+#include <string>
+
+#include "common/status.h"
+#include "core/database.h"
+
+namespace stps {
+
+/// The v3 writer/loader. A class (not free functions) so ObjectDatabase
+/// can befriend it: arena-view loads assign the private columns
+/// directly, bypassing DatabaseBuilder.
+class SnapshotLoader {
+ public:
+  /// Writes `db` to `path` as an STPSDB03 arena.
+  static Status Write(const ObjectDatabase& db, const std::string& path);
+
+  /// Builds a database over an arena held in memory (heap buffer or mmap
+  /// region). `owner` keeps [data, data + size) alive and is pinned by
+  /// the returned database. With verify=false this is the trusting O(1)
+  /// mapped path (structural validation only); with verify=true every
+  /// checksum and structural cross-check runs (see io/binary.h).
+  static Result<ObjectDatabase> Load(std::shared_ptr<const void> owner,
+                                     const char* data, size_t size,
+                                     bool verify);
+
+  /// Validates the fixed-size header and section table of a candidate v3
+  /// arena — the O(1) part of Load, exposed so MappedSnapshot::Open can
+  /// fail fast without touching section payloads.
+  static Status CheckHeader(const char* data, size_t size);
+};
+
+}  // namespace stps
+
+#endif  // STPS_IO_SNAPSHOT_V3_H_

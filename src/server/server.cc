@@ -91,7 +91,21 @@ bool SendAll(int fd, std::string_view data) {
 }  // namespace
 
 QueryServer::QueryServer(UpdatableDatabase* db, ServerOptions options)
-    : db_(db), options_(std::move(options)) {}
+    : db_(db), options_(std::move(options)) {
+  STPS_CHECK(db != nullptr);
+}
+
+QueryServer::QueryServer(std::shared_ptr<const DatabaseSnapshot> snapshot,
+                         ServerOptions options)
+    : db_(nullptr),
+      fixed_snapshot_(std::move(snapshot)),
+      options_(std::move(options)) {
+  STPS_CHECK(fixed_snapshot_ != nullptr);
+}
+
+std::shared_ptr<const DatabaseSnapshot> QueryServer::CurrentSnapshot() const {
+  return db_ != nullptr ? db_->snapshot() : fixed_snapshot_;
+}
 
 QueryServer::~QueryServer() { Shutdown(); }
 
@@ -329,19 +343,23 @@ bool QueryServer::HandleRequest(const std::string& line, std::string* out) {
   }
 
   if (command == "EPOCH") {
-    out->append("OK " + std::to_string(db_->epoch()) + "\n");
+    out->append("OK " + std::to_string(CurrentSnapshot()->epoch) + "\n");
     return true;
   }
 
   if (command == "PUBLISH") {
+    if (read_only()) {
+      out->append("ERR read-only server\n");
+      return true;
+    }
     const auto snapshot = db_->Publish();
     out->append("OK " + std::to_string(snapshot->epoch) + "\n");
     return true;
   }
 
   if (command == "STATS") {
-    const auto snapshot = db_->snapshot();
-    const UpdateStats update = db_->stats();
+    const auto snapshot = CurrentSnapshot();
+    const UpdateStats update = read_only() ? UpdateStats{} : db_->stats();
     ServerStats server;
     {
       std::lock_guard<std::mutex> lock(stats_mutex_);
@@ -355,7 +373,7 @@ bool QueryServer::HandleRequest(const std::string& line, std::string* out) {
         "rejected=%llu served=%llu failed=%llu\n",
         static_cast<unsigned long long>(snapshot->epoch),
         snapshot->db.num_objects(), snapshot->db.num_users(),
-        db_->live_objects(),
+        read_only() ? snapshot->db.num_objects() : db_->live_objects(),
         static_cast<unsigned long long>(update.objects_inserted),
         static_cast<unsigned long long>(update.objects_deleted),
         static_cast<unsigned long long>(update.publishes),
@@ -379,6 +397,10 @@ bool QueryServer::HandleRequest(const std::string& line, std::string* out) {
   }
 
   if (command == "INSERT") {
+    if (read_only()) {
+      out->append("ERR read-only server\n");
+      return true;
+    }
     if (fields.size() < 5 || fields.size() > 6) {
       out->append("ERR usage: INSERT <user> <x> <y> <kw1,kw2,...|-> [time]\n");
       return true;
@@ -414,6 +436,10 @@ bool QueryServer::HandleRequest(const std::string& line, std::string* out) {
   }
 
   if (command == "DELETE") {
+    if (read_only()) {
+      out->append("ERR read-only server\n");
+      return true;
+    }
     if (fields.size() != 2) {
       out->append("ERR usage: DELETE <user>\n");
       return true;
@@ -429,8 +455,9 @@ bool QueryServer::HandleRequest(const std::string& line, std::string* out) {
 
   if (command == "JOIN" || command == "TOPK" || command == "PROBE") {
     // Every query runs against the snapshot taken here; concurrent
-    // writers publish new epochs without disturbing it.
-    const auto snapshot = db_->snapshot();
+    // writers publish new epochs without disturbing it (read-only mode
+    // always serves the one fixed snapshot).
+    const auto snapshot = CurrentSnapshot();
     const ObjectDatabase& db = snapshot->db;
 
     if (command == "PROBE") {

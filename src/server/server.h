@@ -28,6 +28,12 @@
 //     -> OK <live_objects> <epoch> | ERR unknown user
 //   PUBLISH
 //     -> OK <epoch>   (epoch of the snapshot now served)
+//
+// Read-only mode: constructed from a fixed DatabaseSnapshot (e.g. an
+// mmap'd v3 snapshot opened via ReadBinaryMapped) the server answers
+// every query against that one snapshot and rejects INSERT / DELETE /
+// PUBLISH with "ERR read-only server". Queries page the arena on demand;
+// nothing is copied per connection.
 //   EPOCH
 //     -> OK <epoch>
 //   STATS
@@ -51,6 +57,7 @@
 #include <condition_variable>
 #include <cstdint>
 #include <deque>
+#include <memory>
 #include <mutex>
 #include <string>
 #include <thread>
@@ -91,6 +98,12 @@ class QueryServer {
  public:
   /// The server serves and mutates `db`, which must outlive it.
   explicit QueryServer(UpdatableDatabase* db, ServerOptions options = {});
+
+  /// Read-only server over one fixed snapshot (see the header comment).
+  /// The snapshot is shared, not copied — an mmap'd database stays
+  /// mapped, not materialised.
+  explicit QueryServer(std::shared_ptr<const DatabaseSnapshot> snapshot,
+                       ServerOptions options = {});
   ~QueryServer();
   STPS_DISALLOW_COPY_AND_ASSIGN(QueryServer);
 
@@ -116,6 +129,9 @@ class QueryServer {
   /// Full graceful shutdown: stop accepting, drain, join. Idempotent.
   void Shutdown();
 
+  /// True when constructed over a fixed snapshot (no write commands).
+  bool read_only() const { return db_ == nullptr; }
+
   ServerStats stats() const;
 
  private:
@@ -126,8 +142,12 @@ class QueryServer {
   // '\n'-terminated lines) to *out. Returns false when the connection
   // should close after the response is sent.
   bool HandleRequest(const std::string& line, std::string* out);
+  // The snapshot queries run against: the live epoch in read-write mode,
+  // the fixed one in read-only mode.
+  std::shared_ptr<const DatabaseSnapshot> CurrentSnapshot() const;
 
-  UpdatableDatabase* const db_;
+  UpdatableDatabase* const db_;  // null in read-only mode
+  const std::shared_ptr<const DatabaseSnapshot> fixed_snapshot_;
   const ServerOptions options_;
 
   int listen_fd_ = -1;

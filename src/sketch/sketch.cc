@@ -104,9 +104,10 @@ UserSketchIndex::UserSketchIndex(const ObjectDatabase& db,
 
   SketchSaltStream salts(params_.seed);
   band_salt_ = salts.Next();
-  row_salts_.reserve(params_.num_hashes);
+  std::vector<uint64_t> row_salts;
+  row_salts.reserve(params_.num_hashes);
   for (uint32_t i = 0; i < params_.num_hashes; ++i) {
-    row_salts_.push_back(salts.Next());
+    row_salts.push_back(salts.Next());
   }
 
   const Rect& bounds = db.bounds();
@@ -121,11 +122,17 @@ UserSketchIndex::UserSketchIndex(const ObjectDatabase& db,
   const uint32_t ic = 1u << params_.index_grid_bits;
   const uint32_t fold = params_.occupancy_grid_bits - 3;
 
-  minhash_.assign(num_users_ * params_.num_hashes,
-                  std::numeric_limits<uint64_t>::max());
-  masks_.assign(num_users_, 0);
-  occ_begin_.assign(num_users_ + 1, 0);
-  user_key_begin_.assign(num_users_ + 1, 0);
+  // Build into locals, then move into the (immutable) columns at the end.
+  std::vector<uint64_t> minhash(num_users_ * params_.num_hashes,
+                                std::numeric_limits<uint64_t>::max());
+  std::vector<uint64_t> masks(num_users_, 0);
+  std::vector<uint32_t> occ_begin(num_users_ + 1, 0);
+  std::vector<uint32_t> user_key_begin(num_users_ + 1, 0);
+  std::vector<uint32_t> occ_cells;
+  std::vector<uint64_t> user_keys;
+  std::vector<uint64_t> post_keys;
+  std::vector<uint32_t> post_begin;
+  std::vector<UserId> post_users;
 
   std::vector<uint32_t> cells;
   std::vector<uint64_t> keys;
@@ -154,10 +161,10 @@ UserSketchIndex::UserSketchIndex(const ObjectDatabase& db,
     SortUniqueVec(&keys);
     SortUniqueVec(&union_tokens);
 
-    occ_cells_.insert(occ_cells_.end(), cells.begin(), cells.end());
-    occ_begin_[u + 1] = static_cast<uint32_t>(occ_cells_.size());
-    user_keys_.insert(user_keys_.end(), keys.begin(), keys.end());
-    user_key_begin_[u + 1] = static_cast<uint32_t>(user_keys_.size());
+    occ_cells.insert(occ_cells.end(), cells.begin(), cells.end());
+    occ_begin[u + 1] = static_cast<uint32_t>(occ_cells.size());
+    user_keys.insert(user_keys.end(), keys.begin(), keys.end());
+    user_key_begin[u + 1] = static_cast<uint32_t>(user_keys.size());
 
     uint64_t mask = 0;
     for (const uint32_t cell : cells) {
@@ -165,14 +172,14 @@ UserSketchIndex::UserSketchIndex(const ObjectDatabase& db,
       const uint32_t mcol = (cell % g) >> fold;
       mask |= 1ull << (mrow * 8 + mcol);
     }
-    masks_[u] = mask;
+    masks[u] = mask;
 
-    uint64_t* rows = minhash_.data() + static_cast<size_t>(u) *
-                                           params_.num_hashes;
+    uint64_t* rows = minhash.data() + static_cast<size_t>(u) *
+                                          params_.num_hashes;
     for (const TokenId t : union_tokens) {
       for (uint32_t i = 0; i < params_.num_hashes; ++i) {
         const uint64_t h =
-            SketchMix64(static_cast<uint64_t>(t) ^ row_salts_[i]);
+            SketchMix64(static_cast<uint64_t>(t) ^ row_salts[i]);
         if (h < rows[i]) rows[i] = h;
       }
     }
@@ -182,20 +189,74 @@ UserSketchIndex::UserSketchIndex(const ObjectDatabase& db,
   // — users were appended in ascending id order per key already, but the
   // pair sort makes that an invariant rather than an accident.
   std::vector<std::pair<uint64_t, UserId>> flat;
-  flat.reserve(user_keys_.size());
+  flat.reserve(user_keys.size());
   for (UserId u = 0; u < num_users_; ++u) {
-    for (const uint64_t key : UserKeys(u)) flat.emplace_back(key, u);
+    for (uint32_t i = user_key_begin[u]; i < user_key_begin[u + 1]; ++i) {
+      flat.emplace_back(user_keys[i], u);
+    }
   }
   std::sort(flat.begin(), flat.end());
-  post_users_.reserve(flat.size());
+  post_users.reserve(flat.size());
   for (const auto& [key, u] : flat) {
-    if (post_keys_.empty() || post_keys_.back() != key) {
-      post_keys_.push_back(key);
-      post_begin_.push_back(static_cast<uint32_t>(post_users_.size()));
+    if (post_keys.empty() || post_keys.back() != key) {
+      post_keys.push_back(key);
+      post_begin.push_back(static_cast<uint32_t>(post_users.size()));
     }
-    post_users_.push_back(u);
+    post_users.push_back(u);
   }
-  post_begin_.push_back(static_cast<uint32_t>(post_users_.size()));
+  post_begin.push_back(static_cast<uint32_t>(post_users.size()));
+
+  minhash_ = std::move(minhash);
+  occ_cells_ = std::move(occ_cells);
+  occ_begin_ = std::move(occ_begin);
+  masks_ = std::move(masks);
+  user_keys_ = std::move(user_keys);
+  user_key_begin_ = std::move(user_key_begin);
+  post_keys_ = std::move(post_keys);
+  post_begin_ = std::move(post_begin);
+  post_users_ = std::move(post_users);
+  row_salts_ = std::move(row_salts);
+}
+
+UserSketchIndex::UserSketchIndex(const SketchParts& parts)
+    : params_(parts.params),
+      num_users_(parts.num_users),
+      min_x_(parts.min_x),
+      min_y_(parts.min_y),
+      width_x_(parts.width_x),
+      width_y_(parts.width_y),
+      minhash_(Column<uint64_t>::Borrow(parts.minhash)),
+      occ_cells_(Column<uint32_t>::Borrow(parts.occ_cells)),
+      occ_begin_(Column<uint32_t>::Borrow(parts.occ_begin)),
+      masks_(Column<uint64_t>::Borrow(parts.masks)),
+      user_keys_(Column<uint64_t>::Borrow(parts.user_keys)),
+      user_key_begin_(Column<uint32_t>::Borrow(parts.user_key_begin)),
+      post_keys_(Column<uint64_t>::Borrow(parts.post_keys)),
+      post_begin_(Column<uint32_t>::Borrow(parts.post_begin)),
+      post_users_(Column<UserId>::Borrow(parts.post_users)),
+      band_salt_(parts.band_salt),
+      row_salts_(Column<uint64_t>::Borrow(parts.row_salts)) {}
+
+SketchParts UserSketchIndex::parts() const {
+  SketchParts p;
+  p.params = params_;
+  p.num_users = num_users_;
+  p.band_salt = band_salt_;
+  p.min_x = min_x_;
+  p.min_y = min_y_;
+  p.width_x = width_x_;
+  p.width_y = width_y_;
+  p.minhash = minhash_;
+  p.occ_cells = occ_cells_;
+  p.occ_begin = occ_begin_;
+  p.masks = masks_;
+  p.user_keys = user_keys_;
+  p.user_key_begin = user_key_begin_;
+  p.post_keys = post_keys_;
+  p.post_begin = post_begin_;
+  p.post_users = post_users_;
+  p.row_salts = row_salts_;
+  return p;
 }
 
 std::span<const UserId> UserSketchIndex::Postings(uint64_t key) const {

@@ -30,6 +30,7 @@
 #include <utility>
 #include <vector>
 
+#include "common/column.h"
 #include "sketch/options.h"
 #include "stjoin/object.h"
 
@@ -74,11 +75,42 @@ struct SketchCandidates {
   uint64_t rejections = 0;
 };
 
+/// Flat-view decomposition of a UserSketchIndex: every scalar plus spans
+/// over the ten POD arrays. The snapshot writer serializes from it and
+/// the mmap loader reconstructs an index that borrows the arena through
+/// it (io/snapshot_v3.cc); verify-mode loads compare a rebuilt index
+/// against it element-wise.
+struct SketchParts {
+  SketchParams params;
+  uint64_t num_users = 0;
+  uint64_t band_salt = 0;
+  double min_x = 0.0, min_y = 0.0, width_x = 0.0, width_y = 0.0;
+  std::span<const uint64_t> minhash;
+  std::span<const uint32_t> occ_cells;
+  std::span<const uint32_t> occ_begin;
+  std::span<const uint64_t> masks;
+  std::span<const uint64_t> user_keys;
+  std::span<const uint32_t> user_key_begin;
+  std::span<const uint64_t> post_keys;
+  std::span<const uint32_t> post_begin;
+  std::span<const UserId> post_users;
+  std::span<const uint64_t> row_salts;
+};
+
 /// Immutable per-user sketches + band index for one database. Moved-into
 /// the ObjectDatabase as a shared_ptr at Build time.
 class UserSketchIndex {
  public:
   UserSketchIndex(const ObjectDatabase& db, const SketchParams& params);
+
+  /// Borrowed (arena-view) mode: adopts the spans of `parts` without
+  /// copying. The caller keeps the backing storage alive and has
+  /// validated the CSR invariants (io/snapshot_v3.cc).
+  explicit UserSketchIndex(const SketchParts& parts);
+
+  /// The flat-view decomposition of this index (spans point into the
+  /// index's storage).
+  SketchParts parts() const;
 
   const SketchParams& params() const { return params_; }
   size_t num_users() const { return num_users_; }
@@ -130,18 +162,20 @@ class UserSketchIndex {
   // Grid frames (index grid and occupancy grid share the db bounds).
   double min_x_ = 0.0, min_y_ = 0.0, width_x_ = 0.0, width_y_ = 0.0;
 
-  std::vector<uint64_t> minhash_;      // num_users * num_hashes
-  std::vector<uint32_t> occ_cells_;    // CSR: sorted distinct fine cells
-  std::vector<uint32_t> occ_begin_;    // size num_users + 1
-  std::vector<uint64_t> masks_;        // 8x8 folds of occ_cells_
-  std::vector<uint64_t> user_keys_;    // CSR: sorted distinct (cell, band)
-  std::vector<uint32_t> user_key_begin_;
+  // Owned when built from a database, borrowed when loaded from an
+  // mmap'd snapshot (the ObjectDatabase's arena_ pins the storage).
+  Column<uint64_t> minhash_;      // num_users * num_hashes
+  Column<uint32_t> occ_cells_;    // CSR: sorted distinct fine cells
+  Column<uint32_t> occ_begin_;    // size num_users + 1
+  Column<uint64_t> masks_;        // 8x8 folds of occ_cells_
+  Column<uint64_t> user_keys_;    // CSR: sorted distinct (cell, band)
+  Column<uint32_t> user_key_begin_;
   // Flat postings: sorted distinct keys -> ascending user lists.
-  std::vector<uint64_t> post_keys_;
-  std::vector<uint32_t> post_begin_;   // size post_keys_ + 1
-  std::vector<UserId> post_users_;
+  Column<uint64_t> post_keys_;
+  Column<uint32_t> post_begin_;   // size post_keys_ + 1
+  Column<UserId> post_users_;
   uint64_t band_salt_ = 0;
-  std::vector<uint64_t> row_salts_;    // minhash row seeds
+  Column<uint64_t> row_salts_;    // minhash row seeds
 };
 
 /// Builds the sketch layer for a finished database. Called by

@@ -7,7 +7,20 @@
 
 namespace stps {
 
+Dictionary Dictionary::Borrowed(std::span<const uint64_t> offsets,
+                                std::span<const char> blob,
+                                std::span<const uint64_t> frequency) {
+  Dictionary dict;
+  dict.borrowed_strings_ = StringTable::Borrow(offsets, blob);
+  dict.borrowed_frequency_ = frequency;
+  dict.borrowed_ = true;
+  dict.finalized_ = true;
+  STPS_CHECK(dict.borrowed_strings_.size() == frequency.size());
+  return dict;
+}
+
 TokenId Dictionary::Intern(std::string_view token, bool count_occurrence) {
+  STPS_CHECK(!borrowed_);
   STPS_CHECK(!finalized_);
   auto [it, inserted] = index_.try_emplace(std::string(token), 0);
   if (inserted) {
@@ -20,29 +33,34 @@ TokenId Dictionary::Intern(std::string_view token, bool count_occurrence) {
 }
 
 void Dictionary::CountOccurrence(TokenId id) {
+  STPS_CHECK(!borrowed_);
   STPS_CHECK(!finalized_);
   STPS_CHECK(id < frequency_.size());
   ++frequency_[id];
 }
 
 bool Dictionary::Lookup(std::string_view token, TokenId* id) const {
+  if (borrowed_) return borrowed_strings_.Find(token, id);
   const auto it = index_.find(std::string(token));
   if (it == index_.end()) return false;
   *id = it->second;
   return true;
 }
 
-const std::string& Dictionary::TokenString(TokenId id) const {
-  STPS_CHECK(id < strings_.size());
+std::string_view Dictionary::TokenString(TokenId id) const {
+  STPS_CHECK(id < size());
+  if (borrowed_) return borrowed_strings_[id];
   return strings_[id];
 }
 
 uint64_t Dictionary::Frequency(TokenId id) const {
-  STPS_CHECK(id < frequency_.size());
+  STPS_CHECK(id < size());
+  if (borrowed_) return borrowed_frequency_[id];
   return frequency_[id];
 }
 
 std::vector<TokenId> Dictionary::FinalizeByFrequency() {
+  STPS_CHECK(!borrowed_);
   STPS_CHECK(!finalized_);
   finalized_ = true;
   const size_t n = strings_.size();

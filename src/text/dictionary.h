@@ -10,11 +10,13 @@
 #define STPS_TEXT_DICTIONARY_H_
 
 #include <cstdint>
+#include <span>
 #include <string>
 #include <string_view>
 #include <unordered_map>
 #include <vector>
 
+#include "common/string_table.h"
 #include "text/types.h"
 
 namespace stps {
@@ -24,9 +26,22 @@ namespace stps {
 /// Usage: call Intern() for every keyword occurrence (it counts document
 /// frequency when `count_occurrence` is true), then FinalizeByFrequency()
 /// once, and remap all stored token vectors via Remap().
+///
+/// A dictionary is either *owned* (built through Intern, the normal path)
+/// or *borrowed*: a read-only view over string/frequency storage in an
+/// external arena (the mmap'd snapshot path). Borrowed dictionaries are
+/// finalized by construction and reject every mutator.
 class Dictionary {
  public:
   Dictionary() = default;
+
+  /// Borrowed (arena-view) mode: `offsets` holds size+1 monotone entries
+  /// into `blob` (the StringTable layout); `frequency` the per-id document
+  /// frequencies. The caller keeps the backing storage alive and has
+  /// validated the offsets.
+  static Dictionary Borrowed(std::span<const uint64_t> offsets,
+                             std::span<const char> blob,
+                             std::span<const uint64_t> frequency);
 
   /// Returns the id for `token`, creating it if unseen. When
   /// `count_occurrence` is true the token's document-frequency counter is
@@ -41,14 +56,21 @@ class Dictionary {
   /// Returns the id for `token`, or false if it was never interned.
   bool Lookup(std::string_view token, TokenId* id) const;
 
-  /// The string for an id. Precondition: id < size().
-  const std::string& TokenString(TokenId id) const;
+  /// The string for an id. Precondition: id < size(). The view points
+  /// into the dictionary's storage (owned strings or the borrowed arena)
+  /// and is valid for the dictionary's lifetime.
+  std::string_view TokenString(TokenId id) const;
 
   /// Document frequency recorded for an id. Precondition: id < size().
   uint64_t Frequency(TokenId id) const;
 
   /// Number of distinct tokens.
-  size_t size() const { return strings_.size(); }
+  size_t size() const {
+    return borrowed_ ? borrowed_strings_.size() : strings_.size();
+  }
+
+  /// True for arena-view dictionaries (read-only by construction).
+  bool borrowed() const { return borrowed_; }
 
   /// Reassigns ids so ascending id order equals ascending document
   /// frequency (ties broken lexicographically for determinism). Returns the
@@ -68,6 +90,11 @@ class Dictionary {
   std::vector<std::string> strings_;
   std::vector<uint64_t> frequency_;
   bool finalized_ = false;
+  // Borrowed mode only: the arena views (string lookup is lazy, inside
+  // StringTable, so loading a snapshot never touches the string blob).
+  StringTable borrowed_strings_;
+  std::span<const uint64_t> borrowed_frequency_;
+  bool borrowed_ = false;
 };
 
 }  // namespace stps

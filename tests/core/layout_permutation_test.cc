@@ -76,8 +76,8 @@ std::vector<NamedPair> Named(const ObjectDatabase& db,
   std::vector<NamedPair> named;
   named.reserve(pairs.size());
   for (const ScoredUserPair& p : pairs) {
-    std::string a = db.UserName(p.a);
-    std::string b = db.UserName(p.b);
+    std::string a(db.UserName(p.a));
+    std::string b(db.UserName(p.b));
     if (b < a) std::swap(a, b);
     named.emplace_back(std::move(a), std::move(b), p.score);
   }

@@ -10,6 +10,7 @@
 
 #include "datagen/generator.h"
 #include "datagen/presets.h"
+#include "io/format_v3.h"
 #include "planner/planner_stats.h"
 #include "test_util.h"
 
@@ -36,10 +37,10 @@ void ExpectSameDatabases(const ObjectDatabase& a, const ObjectDatabase& b) {
       EXPECT_DOUBLE_EQ(oa[i].time, ob[i].time);
       std::vector<std::string> sa, sb;
       for (const TokenId t : oa[i].doc) {
-        sa.push_back(a.dictionary().TokenString(t));
+        sa.emplace_back(a.dictionary().TokenString(t));
       }
       for (const TokenId t : ob[i].doc) {
-        sb.push_back(b.dictionary().TokenString(t));
+        sb.emplace_back(b.dictionary().TokenString(t));
       }
       std::sort(sa.begin(), sa.end());
       std::sort(sb.begin(), sb.end());
@@ -173,6 +174,92 @@ TEST(BinaryIoTest, DetectsBitFlips) {
   const Result<ObjectDatabase> r = ReadBinary(path);
   EXPECT_FALSE(r.ok());
   std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTripV2StreamFormat) {
+  const ObjectDatabase original = BuildRandomDatabase(RandomDbSpec{});
+  const std::string path = TempPath("roundtrip_v2.stpsdb");
+  ASSERT_TRUE(WriteBinary(original, path, SnapshotFormat::kV2Stream).ok());
+  Result<ObjectDatabase> loaded = ReadBinary(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameDatabases(original, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, RoundTripMapped) {
+  const ObjectDatabase original = BuildRandomDatabase(RandomDbSpec{});
+  const std::string path = TempPath("roundtrip_mapped.stpsdb");
+  ASSERT_TRUE(WriteBinary(original, path).ok());
+  Result<ObjectDatabase> loaded = ReadBinaryMapped(path);
+  ASSERT_TRUE(loaded.ok()) << loaded.status().ToString();
+  ExpectSameDatabases(original, loaded.value());
+  std::remove(path.c_str());
+}
+
+TEST(BinaryIoTest, MappedOpenRejectsV2Stream) {
+  // The mmap fast path is v3-only; a v2 stream must fail cleanly, not be
+  // misparsed as an arena.
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  const std::string path = TempPath("v2_for_mmap.stpsdb");
+  ASSERT_TRUE(WriteBinary(db, path, SnapshotFormat::kV2Stream).ok());
+  const Result<ObjectDatabase> r = ReadBinaryMapped(path);
+  EXPECT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  std::remove(path.c_str());
+}
+
+// Regression: a 32-byte file whose header claims 2^39 tokens used to be
+// bounded only by a 2^40 sanity limit — the reader pre-allocated half a
+// terabyte of string headers before discovering the file was empty. The
+// counts must be bounded by what the file could possibly hold.
+TEST(BinaryIoTest, ImplausibleHeaderCountsRejectedBeforeAllocation) {
+  const std::string path = TempPath("huge_counts.stpsdb");
+  {
+    std::ofstream out(path, std::ios::binary);
+    out.write("STPSDB02", 8);
+    const uint64_t users = 0, objects = 0, tokens = 1ULL << 39;
+    out.write(reinterpret_cast<const char*>(&users), 8);
+    out.write(reinterpret_cast<const char*>(&objects), 8);
+    out.write(reinterpret_cast<const char*>(&tokens), 8);
+  }
+  const Result<ObjectDatabase> r = ReadBinary(path);
+  ASSERT_FALSE(r.ok());
+  EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+  EXPECT_NE(r.status().ToString().find("implausible"), std::string::npos)
+      << r.status().ToString();
+  std::remove(path.c_str());
+}
+
+// Regression: the reader verified the trailing checksum but accepted any
+// bytes appended after it — a concatenation of two snapshots read as the
+// first. Trailing data is corruption.
+TEST(BinaryIoTest, RejectsTrailingBytesAfterChecksum) {
+  const ObjectDatabase db = BuildRandomDatabase(RandomDbSpec{});
+  for (const SnapshotFormat format :
+       {SnapshotFormat::kV2Stream, SnapshotFormat::kV3Arena}) {
+    const std::string path = TempPath("trailing.stpsdb");
+    ASSERT_TRUE(WriteBinary(db, path, format).ok());
+    {
+      std::ofstream out(path, std::ios::binary | std::ios::app);
+      out << "extra";
+    }
+    const Result<ObjectDatabase> r = ReadBinary(path);
+    EXPECT_FALSE(r.ok());
+    EXPECT_EQ(r.status().code(), StatusCode::kCorruption);
+    std::remove(path.c_str());
+  }
+}
+
+// The guard behind the silent-truncation bugfix: on-disk counts are
+// 32-bit, and the writers refuse (Status::InvalidArgument) anything that
+// FitsU32 rejects instead of static_cast'ing it to garbage. Building a
+// >4G-object user in a test is impractical, so the boundary is pinned
+// here and the writer paths assert on it.
+TEST(BinaryIoTest, FitsU32Boundary) {
+  EXPECT_TRUE(FitsU32(0));
+  EXPECT_TRUE(FitsU32(0xFFFFFFFFull));
+  EXPECT_FALSE(FitsU32(0x100000000ull));
+  EXPECT_FALSE(FitsU32(~0ull));
 }
 
 TEST(BinaryIoTest, WriteToUnwritablePathFails) {

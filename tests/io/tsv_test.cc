@@ -40,10 +40,10 @@ TEST(TsvTest, RoundTripPreservesEverything) {
       ASSERT_EQ(a[i].doc.size(), b[i].doc.size());
       std::vector<std::string> sa, sb;
       for (const TokenId t : a[i].doc) {
-        sa.push_back(original.dictionary().TokenString(t));
+        sa.emplace_back(original.dictionary().TokenString(t));
       }
       for (const TokenId t : b[i].doc) {
-        sb.push_back(db.dictionary().TokenString(t));
+        sb.emplace_back(db.dictionary().TokenString(t));
       }
       std::sort(sa.begin(), sa.end());
       std::sort(sb.begin(), sb.end());

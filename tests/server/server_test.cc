@@ -21,6 +21,7 @@
 
 #include "core/stpsjoin.h"
 #include "core/update.h"
+#include "io/binary.h"
 #include "test_util.h"
 
 namespace stps {
@@ -402,6 +403,57 @@ TEST_F(ServerTest, QueriesKeepTheirSnapshotAcrossConcurrentWrites) {
   writer.join();
   // SeedFrom published epoch 1; the writer's publishes moved it to 11.
   EXPECT_GE(db_.epoch(), 11u);
+}
+
+TEST(ReadOnlyServerTest, ServesMappedSnapshotAndRejectsWrites) {
+  // End-to-end mmap serving: write a v3 snapshot, open it with mmap, and
+  // serve it read-only. Queries must match direct library calls on the
+  // mapped database; every write command must answer "ERR read-only".
+  testing_util::RandomDbSpec spec;
+  spec.num_users = 12;
+  spec.seed = 31;
+  const ObjectDatabase original = testing_util::BuildRandomDatabase(spec);
+  const std::string path =
+      std::string(::testing::TempDir()) + "/served.stpsdb";
+  ASSERT_TRUE(WriteBinary(original, path).ok());
+  Result<ObjectDatabase> mapped = ReadBinaryMapped(path);
+  ASSERT_TRUE(mapped.ok()) << mapped.status().ToString();
+
+  auto snapshot = std::make_shared<DatabaseSnapshot>();
+  snapshot->epoch = 7;
+  snapshot->db = std::move(mapped).value();
+  const ObjectDatabase& db = snapshot->db;
+  QueryServer server(snapshot);
+  EXPECT_TRUE(server.read_only());
+  const Status status = server.Start();
+  ASSERT_TRUE(status.ok()) << status.message();
+
+  TestClient client(server.port());
+  ASSERT_TRUE(client.connected());
+  ASSERT_TRUE(client.SendLine("EPOCH"));
+  EXPECT_EQ(client.ReadLine(), "OK 7");
+
+  STPSQuery join;
+  join.eps_loc = 0.15;
+  join.eps_doc = 0.25;
+  join.eps_u = 0.2;
+  JoinOptions options;
+  options.algorithm = JoinAlgorithm::kSPPJF;
+  EXPECT_EQ(client.Query("JOIN 0.15 0.25 0.2 ALGO sppjf"),
+            ExpectedRows(db, RunSTPSJoin(db, join, options), 7));
+
+  for (const char* request :
+       {"INSERT u 0.1 0.2 kw1", "DELETE user0", "PUBLISH"}) {
+    ASSERT_TRUE(client.SendLine(request));
+    EXPECT_EQ(client.ReadLine(), "ERR read-only server") << request;
+  }
+
+  ASSERT_TRUE(client.SendLine("STATS"));
+  const std::string stats = client.ReadLine();
+  EXPECT_EQ(stats.rfind("OK epoch=7 ", 0), 0u) << stats;
+
+  server.Shutdown();
+  std::remove(path.c_str());
 }
 
 }  // namespace

@@ -6,24 +6,30 @@
 //   stps_cli stats <data.tsv>
 //       Print Table-1-style descriptive statistics.
 //   stps_cli join <data.tsv> <eps_loc> <eps_doc> <eps_u> [--sketch]
-//       [--explain] [algorithm]
+//       [--explain] [--mapped] [--shards N] [algorithm]
 //       Run STPSJoin (algorithm: auto | sppjc | sppjb | sppjf | sppjd |
 //       brute; default auto — the cost-model planner picks). Prints one
 //       "userA userB sigma" row per pair. --sketch draws candidates from
 //       the sketch layer (same results). --explain prints the chosen
 //       plan and an estimated-vs-actual counter table as JSON instead of
-//       the pairs.
+//       the pairs. --mapped opens a .stpsdb v3 snapshot via mmap (O(1)
+//       open, pages on demand). --shards N partitions the join by user
+//       range onto N threads (bit-identical results; implies sppjf when
+//       the algorithm is auto).
 //   stps_cli topk <data.tsv> <eps_loc> <eps_doc> <k> [--sketch]
-//       [--explain] [variant]
+//       [--explain] [--mapped] [variant]
 //       Run top-k STPSJoin (variant: auto | f | s | p | brute; default
 //       auto).
 //   stps_cli tune <data.tsv> <target_size> <eps_loc0> <eps_doc0> <eps_u0>
 //       Auto-tune thresholds toward a result-set size.
 //   stps_cli serve <data.tsv|data.stpsdb|-> <port> [--workers N]
-//       [--queue N] [--publish-every N]
+//       [--queue N] [--publish-every N] [--mapped]
 //       Long-running concurrent query server over an updatable database
 //       (line protocol; see server/server.h). "-" starts empty; inserts
 //       auto-publish a new epoch every N mutations (default 256).
+//       --mapped serves an mmap'd v3 snapshot read-only: queries page
+//       the file on demand; INSERT/DELETE/PUBLISH answer "ERR read-only
+//       server".
 
 #include <atomic>
 #include <chrono>
@@ -31,6 +37,7 @@
 #include <cstdio>
 #include <cstdlib>
 #include <cstring>
+#include <memory>
 #include <string>
 #include <thread>
 
@@ -61,13 +68,14 @@ int Usage() {
       "  stps_cli stats <data.tsv>\n"
       "  stps_cli convert <in.tsv|in.stpsdb> <out.tsv|out.stpsdb>\n"
       "  stps_cli join <data.tsv> <eps_loc> <eps_doc> <eps_u> [--sketch] "
-      "[--explain] [auto|sppjc|sppjb|sppjf|sppjd|brute]\n"
+      "[--explain] [--mapped] [--shards N] "
+      "[auto|sppjc|sppjb|sppjf|sppjd|brute]\n"
       "  stps_cli topk <data.tsv> <eps_loc> <eps_doc> <k> [--sketch] "
-      "[--explain] [auto|f|s|p|brute]\n"
+      "[--explain] [--mapped] [auto|f|s|p|brute]\n"
       "  stps_cli tune <data.tsv> <target_size> <eps_loc0> <eps_doc0> "
       "<eps_u0>\n"
       "  stps_cli serve <data.tsv|data.stpsdb|-> <port> [--workers N] "
-      "[--queue N] [--publish-every N]\n");
+      "[--queue N] [--publish-every N] [--mapped]\n");
   return 2;
 }
 
@@ -120,17 +128,24 @@ bool HasSuffix(const std::string& s, const std::string& suffix) {
          s.compare(s.size() - suffix.size(), suffix.size(), suffix) == 0;
 }
 
-bool LoadDatabase(const std::string& path, ObjectDatabase* db) {
-  Result<ObjectDatabase> loaded = HasSuffix(path, ".stpsdb")
-                                      ? ReadBinary(path)
-                                      : ReadTsv(path);
+bool LoadDatabase(const std::string& path, ObjectDatabase* db,
+                  bool mapped = false) {
+  if (mapped && !HasSuffix(path, ".stpsdb")) {
+    std::fprintf(stderr, "error: --mapped requires a .stpsdb snapshot\n");
+    return false;
+  }
+  Result<ObjectDatabase> loaded =
+      mapped                       ? ReadBinaryMapped(path)
+      : HasSuffix(path, ".stpsdb") ? ReadBinary(path)
+                                   : ReadTsv(path);
   if (!loaded.ok()) {
     std::fprintf(stderr, "error: %s\n", loaded.status().ToString().c_str());
     return false;
   }
   *db = std::move(loaded).value();
-  std::fprintf(stderr, "loaded %zu objects / %zu users from %s\n",
-               db->num_objects(), db->num_users(), path.c_str());
+  std::fprintf(stderr, "loaded %zu objects / %zu users from %s%s\n",
+               db->num_objects(), db->num_users(), path.c_str(),
+               mapped ? " (mmap)" : "");
   return true;
 }
 
@@ -233,8 +248,6 @@ void PrintExplainJson(const char* command, const PhysicalPlan& plan,
 
 int CmdJoin(int argc, char** argv) {
   if (argc < 6) return Usage();
-  ObjectDatabase db;
-  if (!LoadDatabase(argv[2], &db)) return 1;
   STPSQuery query;
   if (!ParseDoubleArg("eps_loc", argv[3], &query.eps_loc) ||
       !ParseDoubleArg("eps_doc", argv[4], &query.eps_doc) ||
@@ -244,6 +257,7 @@ int CmdJoin(int argc, char** argv) {
   JoinOptions options;
   options.algorithm = JoinAlgorithm::kAuto;
   bool explain = false;
+  bool mapped = false;
   for (int i = 6; i < argc; ++i) {
     const std::string name = argv[i];
     if (name == "auto") {
@@ -262,10 +276,23 @@ int CmdJoin(int argc, char** argv) {
       query.sketch.enabled = true;
     } else if (name == "--explain") {
       explain = true;
+    } else if (name == "--mapped") {
+      mapped = true;
+    } else if (name == "--shards" && i + 1 < argc) {
+      if (!ParseIntArg("shards", argv[++i], 1, 256, &options.shards)) {
+        return Usage();
+      }
     } else {
       return Usage();
     }
   }
+  // Sharded execution runs the S-PPJ-F pipeline; pin the algorithm so
+  // kAuto cannot plan a sketch run that would bypass the shard driver.
+  if (options.shards > 1 && options.algorithm == JoinAlgorithm::kAuto) {
+    options.algorithm = JoinAlgorithm::kSPPJF;
+  }
+  ObjectDatabase db;
+  if (!LoadDatabase(argv[2], &db, mapped)) return 1;
   const PhysicalPlan plan = PlanSTPSJoin(db, query, options);
   JoinStats stats;
   Timer timer;
@@ -283,16 +310,14 @@ int CmdJoin(int argc, char** argv) {
     return 0;
   }
   for (const ScoredUserPair& pair : result) {
-    std::printf("%s\t%s\t%.6f\n", db.UserName(pair.a).c_str(),
-                db.UserName(pair.b).c_str(), pair.score);
+    std::printf("%s\t%s\t%.6f\n", std::string(db.UserName(pair.a)).c_str(),
+                std::string(db.UserName(pair.b)).c_str(), pair.score);
   }
   return 0;
 }
 
 int CmdTopK(int argc, char** argv) {
   if (argc < 6) return Usage();
-  ObjectDatabase db;
-  if (!LoadDatabase(argv[2], &db)) return 1;
   TopKQuery query;
   if (!ParseDoubleArg("eps_loc", argv[3], &query.eps_loc) ||
       !ParseDoubleArg("eps_doc", argv[4], &query.eps_doc) ||
@@ -301,6 +326,7 @@ int CmdTopK(int argc, char** argv) {
   }
   TopKAlgorithm algorithm = TopKAlgorithm::kAuto;
   bool explain = false;
+  bool mapped = false;
   for (int i = 6; i < argc; ++i) {
     const std::string name = argv[i];
     if (name == "auto") {
@@ -317,10 +343,14 @@ int CmdTopK(int argc, char** argv) {
       query.sketch.enabled = true;
     } else if (name == "--explain") {
       explain = true;
+    } else if (name == "--mapped") {
+      mapped = true;
     } else {
       return Usage();
     }
   }
+  ObjectDatabase db;
+  if (!LoadDatabase(argv[2], &db, mapped)) return 1;
   const PhysicalPlan plan = PlanTopKSTPSJoin(db, query);
   JoinStats stats;
   Timer timer;
@@ -337,8 +367,8 @@ int CmdTopK(int argc, char** argv) {
     return 0;
   }
   for (const ScoredUserPair& pair : result) {
-    std::printf("%s\t%s\t%.6f\n", db.UserName(pair.a).c_str(),
-                db.UserName(pair.b).c_str(), pair.score);
+    std::printf("%s\t%s\t%.6f\n", std::string(db.UserName(pair.a)).c_str(),
+                std::string(db.UserName(pair.b)).c_str(), pair.score);
   }
   return 0;
 }
@@ -365,8 +395,8 @@ int CmdTune(int argc, char** argv) {
               result.thresholds.eps_loc, result.thresholds.eps_doc,
               result.thresholds.eps_u, result.result.size());
   for (const ScoredUserPair& pair : result.result) {
-    std::printf("%s\t%s\t%.6f\n", db.UserName(pair.a).c_str(),
-                db.UserName(pair.b).c_str(), pair.score);
+    std::printf("%s\t%s\t%.6f\n", std::string(db.UserName(pair.a)).c_str(),
+                std::string(db.UserName(pair.b)).c_str(), pair.score);
   }
   return 0;
 }
@@ -388,6 +418,7 @@ int CmdServe(int argc, char** argv) {
     return Usage();
   }
   size_t publish_every = 256;
+  bool mapped = false;
   for (int i = 4; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--workers" && i + 1 < argc) {
@@ -405,6 +436,8 @@ int CmdServe(int argc, char** argv) {
       if (!ParseSizeArg("publish-every", argv[++i], &publish_every)) {
         return Usage();
       }
+    } else if (flag == "--mapped") {
+      mapped = true;
     } else {
       return Usage();
     }
@@ -413,34 +446,52 @@ int CmdServe(int argc, char** argv) {
   UpdateOptions update_options;
   update_options.publish_threshold = publish_every;
   UpdatableDatabase updatable(update_options);
-  if (data_path != "-") {
-    ObjectDatabase db;
-    if (!LoadDatabase(data_path, &db)) return 1;
-    updatable.SeedFrom(db);
+  std::unique_ptr<QueryServer> server;
+  size_t serve_objects = 0;
+  if (mapped) {
+    // Read-only over the mmap'd snapshot: the file pages in on demand,
+    // nothing is copied, and write commands are rejected.
+    if (data_path == "-") {
+      std::fprintf(stderr, "error: --mapped requires a .stpsdb snapshot\n");
+      return 1;
+    }
+    auto snapshot = std::make_shared<DatabaseSnapshot>();
+    snapshot->epoch = 1;
+    if (!LoadDatabase(data_path, &snapshot->db, /*mapped=*/true)) return 1;
+    serve_objects = snapshot->db.num_objects();
+    server = std::make_unique<QueryServer>(std::move(snapshot),
+                                           server_options);
+  } else {
+    if (data_path != "-") {
+      ObjectDatabase db;
+      if (!LoadDatabase(data_path, &db)) return 1;
+      updatable.SeedFrom(db);
+    }
+    serve_objects = updatable.live_objects();
+    server = std::make_unique<QueryServer>(&updatable, server_options);
   }
 
-  QueryServer server(&updatable, server_options);
-  const Status status = server.Start();
+  const Status status = server->Start();
   if (!status.ok()) {
     std::fprintf(stderr, "error: %s\n", status.ToString().c_str());
     return 1;
   }
-  std::printf("LISTENING %d\n", server.port());
+  std::printf("LISTENING %d\n", server->port());
   std::fflush(stdout);
   std::fprintf(stderr,
-               "serving epoch %llu (%zu objects) on %s:%d — SHUTDOWN "
+               "serving epoch %llu (%zu objects%s) on %s:%d — SHUTDOWN "
                "command or SIGINT stops\n",
-               static_cast<unsigned long long>(updatable.epoch()),
-               updatable.live_objects(), server_options.host.c_str(),
-               server.port());
+               static_cast<unsigned long long>(mapped ? 1 : updatable.epoch()),
+               serve_objects, mapped ? ", read-only mmap" : "",
+               server_options.host.c_str(), server->port());
 
   std::signal(SIGINT, HandleSignal);
   std::signal(SIGTERM, HandleSignal);
-  while (!server.shutdown_requested() && !g_interrupted.load()) {
+  while (!server->shutdown_requested() && !g_interrupted.load()) {
     std::this_thread::sleep_for(std::chrono::milliseconds(50));
   }
-  server.Shutdown();
-  const ServerStats stats = server.stats();
+  server->Shutdown();
+  const ServerStats stats = server->stats();
   std::fprintf(stderr,
                "shut down cleanly: %llu connections (%llu rejected), %llu "
                "requests (%llu failed), final epoch %llu\n",
@@ -448,7 +499,7 @@ int CmdServe(int argc, char** argv) {
                static_cast<unsigned long long>(stats.connections_rejected),
                static_cast<unsigned long long>(stats.requests_served),
                static_cast<unsigned long long>(stats.requests_failed),
-               static_cast<unsigned long long>(updatable.epoch()));
+               static_cast<unsigned long long>(mapped ? 1 : updatable.epoch()));
   return 0;
 }
 
