@@ -62,9 +62,20 @@ python3 "$ROOT/scripts/compare_bench.py" \
 
 echo "=== update fuzz + server smoke ==="
 # The differential insert/delete fuzz (snapshot vs rebuild-from-scratch
-# oracle across every join/top-k variant) and the live server end to end:
-# concurrent socket clients, publish visibility, graceful shutdown.
-(cd "$ROOT/build" && ctest --output-on-failure -R 'update_test|server_test')
+# oracle across every join/top-k variant), the delta-vs-full publish
+# differential, and the live server end to end: concurrent socket
+# clients, publish visibility, graceful shutdown.
+(cd "$ROOT/build" && \
+     ctest --output-on-failure -R 'update_test|delta_publish_test|server_test')
+# Delta publish gates: splicing unchanged per-user state must beat a full
+# rebuild >= 10x at the 1%-dirty point, and the bench's inline
+# delta-vs-full checksum comparison must have matched on every round.
+cmake --build "$ROOT/build" -j --target bench_update
+"$ROOT/build/bench/bench_update" --smoke "$SMOKE_DIR/update.json"
+python3 "$ROOT/scripts/compare_bench.py" \
+    --require 'delta_publish_speedup>=10' \
+    --require 'delta_full_checksum_match>=1.0' \
+    "$ROOT/BENCH_update.json" "$ROOT/BENCH_update.json"
 cmake --build "$ROOT/build" -j --target stps_cli
 python3 "$ROOT/scripts/server_smoke.py" "$ROOT/build/tools/stps_cli"
 

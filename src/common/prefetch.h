@@ -1,0 +1,68 @@
+// Memory-advice hints for scans over mmap'd snapshots (io/binary.h).
+//
+// The sharded join streams mostly-disjoint user ranges of a mapped
+// arena; telling the kernel which ranges are about to be touched
+// (POSIX_MADV_WILLNEED) lets it batch the page-ins instead of taking one
+// major fault per page, and marking a linear pass POSIX_MADV_SEQUENTIAL
+// enables aggressive readahead plus early reclaim behind the scan. The
+// hints are purely advisory: they never change results, only paging
+// behaviour, and every call degrades to a no-op on platforms without
+// posix_madvise (or on ranges that are not page-backed — errors are
+// deliberately ignored).
+
+#ifndef STPS_COMMON_PREFETCH_H_
+#define STPS_COMMON_PREFETCH_H_
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+
+#if defined(__unix__) || defined(__APPLE__)
+#include <sys/mman.h>
+#include <unistd.h>
+#define STPS_HAS_POSIX_MADVISE 1
+#else
+#define STPS_HAS_POSIX_MADVISE 0
+#endif
+
+namespace stps {
+
+enum class PrefetchMode {
+  kWillNeed,    // touch soon, in no particular order
+  kSequential,  // one linear front-to-back pass
+};
+
+/// Advises the kernel about an upcoming access pattern over [addr,
+/// addr + bytes). The range is widened to page boundaries (posix_madvise
+/// requires a page-aligned start); zero-length and null ranges are
+/// no-ops, and failures (e.g. anonymous heap memory on some kernels) are
+/// ignored — the hint is best-effort by design.
+inline void AdviseMemory(const void* addr, size_t bytes, PrefetchMode mode) {
+#if STPS_HAS_POSIX_MADVISE
+  if (addr == nullptr || bytes == 0) return;
+  static const uintptr_t kPageMask =
+      static_cast<uintptr_t>(sysconf(_SC_PAGESIZE)) - 1;
+  const uintptr_t begin = reinterpret_cast<uintptr_t>(addr) & ~kPageMask;
+  const uintptr_t end =
+      (reinterpret_cast<uintptr_t>(addr) + bytes + kPageMask) & ~kPageMask;
+  const int advice = mode == PrefetchMode::kSequential
+                         ? POSIX_MADV_SEQUENTIAL
+                         : POSIX_MADV_WILLNEED;
+  (void)posix_madvise(reinterpret_cast<void*>(begin),
+                      static_cast<size_t>(end - begin), advice);
+#else
+  (void)addr;
+  (void)bytes;
+  (void)mode;
+#endif
+}
+
+/// Span convenience wrapper.
+template <typename T>
+inline void AdviseSpan(std::span<const T> span, PrefetchMode mode) {
+  AdviseMemory(span.data(), span.size_bytes(), mode);
+}
+
+}  // namespace stps
+
+#endif  // STPS_COMMON_PREFETCH_H_

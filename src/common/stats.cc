@@ -5,20 +5,6 @@
 
 namespace stps {
 
-void RunningStats::Add(double x) {
-  if (count_ == 0) {
-    min_ = max_ = x;
-  } else {
-    min_ = std::min(min_, x);
-    max_ = std::max(max_, x);
-  }
-  ++count_;
-  sum_ += x;
-  const double delta = x - mean_;
-  mean_ += delta / static_cast<double>(count_);
-  m2_ += delta * (x - mean_);
-}
-
 double RunningStats::Mean() const { return count_ == 0 ? 0.0 : mean_; }
 
 double RunningStats::Variance() const {

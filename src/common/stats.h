@@ -12,8 +12,22 @@ namespace stps {
 /// Welford online accumulator for mean and (population) standard deviation.
 class RunningStats {
  public:
-  /// Adds one observation.
-  void Add(double x);
+  /// Adds one observation. Inline: the dataset-stats pass over every
+  /// object/token/user sits on the publish path, where the per-call
+  /// overhead of an out-of-line Add dominated the arithmetic.
+  void Add(double x) {
+    if (count_ == 0) {
+      min_ = max_ = x;
+    } else {
+      if (x < min_) min_ = x;
+      if (x > max_) max_ = x;
+    }
+    ++count_;
+    sum_ += x;
+    const double delta = x - mean_;
+    mean_ += delta / static_cast<double>(count_);
+    m2_ += delta * (x - mean_);
+  }
 
   /// Number of observations so far.
   size_t count() const { return count_; }

@@ -5,9 +5,15 @@
 // layout: `offsets` has size()+1 entries and string i occupies
 // blob[offsets[i], offsets[i+1]).
 //
+// Owned storage sits behind a shared_ptr-to-const, so copying a table is
+// O(1) and shares the strings: the delta publish path hands the previous
+// epoch's table to the next one whenever the user set did not change,
+// instead of re-copying thousands of names per publish.
+//
 // The reverse mapping (Find) is built lazily on first use, so opening a
 // mapped snapshot never touches the string payload; the index state lives
-// behind a shared_ptr so the table stays movable (ObjectDatabase moves).
+// behind a shared_ptr so the table stays movable (ObjectDatabase moves)
+// — and a copied table shares the index too, built or not.
 
 #ifndef STPS_COMMON_STRING_TABLE_H_
 #define STPS_COMMON_STRING_TABLE_H_
@@ -33,11 +39,15 @@ class StringTable {
   /// Owned mode. `prebuilt_index` (name -> id) is adopted when provided,
   /// so builders that interned through a map anyway pay nothing extra.
   explicit StringTable(std::vector<std::string> strings)
-      : owned_(std::move(strings)), index_(std::make_shared<FindIndex>()) {}
+      : owned_(std::make_shared<const std::vector<std::string>>(
+            std::move(strings))),
+        index_(std::make_shared<FindIndex>()) {}
 
   StringTable(std::vector<std::string> strings,
               std::unordered_map<std::string, uint32_t> prebuilt_index)
-      : owned_(std::move(strings)), index_(std::make_shared<FindIndex>()) {
+      : owned_(std::make_shared<const std::vector<std::string>>(
+            std::move(strings))),
+        index_(std::make_shared<FindIndex>()) {
     index_->map = std::move(prebuilt_index);
     std::call_once(index_->once, [] {});  // mark the lazy build as done
   }
@@ -56,12 +66,12 @@ class StringTable {
 
   size_t size() const {
     if (borrowed_) return offsets_.empty() ? 0 : offsets_.size() - 1;
-    return owned_.size();
+    return owned_ ? owned_->size() : 0;
   }
 
   std::string_view operator[](size_t i) const {
     STPS_DCHECK(i < size());
-    if (!borrowed_) return owned_[i];
+    if (!borrowed_) return (*owned_)[i];
     const uint64_t begin = offsets_[i];
     const uint64_t end = offsets_[i + 1];
     STPS_DCHECK(begin <= end && end <= blob_.size());
@@ -92,7 +102,7 @@ class StringTable {
     std::unordered_map<std::string, uint32_t> map;
   };
 
-  std::vector<std::string> owned_;
+  std::shared_ptr<const std::vector<std::string>> owned_;
   std::span<const uint64_t> offsets_;  // borrowed mode only
   std::span<const char> blob_;
   bool borrowed_ = false;

@@ -173,7 +173,8 @@ class ObjectDatabase {
 
  private:
   friend class DatabaseBuilder;
-  friend class SnapshotLoader;  // io/snapshot_v3.cc: arena-view loads
+  friend class SnapshotLoader;      // io/snapshot_v3.cc: arena-view loads
+  friend class UpdatableDatabase;   // core/update.cc: delta publish splice
 
   std::vector<STObject> objects_;  // always owned (doc spans -> columns)
   Column<uint32_t> user_begin_;    // size num_users() + 1

@@ -47,10 +47,16 @@ std::vector<ShardRange> PlanUserShards(const ObjectDatabase& db, int shards);
 /// Evaluates the STPSJoin query with one thread per shard. Bit-identical
 /// to SPPJFParallel / the sequential S-PPJ-F (see the determinism
 /// argument above). Preconditions: eps_doc > 0, eps_u > 0, shards >= 1.
+/// With `prefetch`, the kernel is advised about the scan before it
+/// starts: the SoA mirrors and token arena get POSIX_MADV_SEQUENTIAL
+/// (the per-user pipeline walks them front to back) and each shard's
+/// object/SoA/arena ranges get POSIX_MADV_WILLNEED, batching page-ins of
+/// mmap'd snapshots. Advisory only — identical results either way.
 std::vector<ScoredUserPair> ShardedSTPSJoin(const ObjectDatabase& db,
                                             const STPSQuery& query,
                                             int shards,
-                                            JoinStats* stats = nullptr);
+                                            JoinStats* stats = nullptr,
+                                            bool prefetch = false);
 
 }  // namespace stps
 

@@ -170,7 +170,8 @@ std::vector<ScoredUserPair> RunSTPSJoin(const ObjectDatabase& db,
   if (options.shards > 1 && !use_sketch &&
       options.algorithm != JoinAlgorithm::kBruteForce &&
       query.eps_doc > 0.0 && query.eps_u > 0.0) {
-    return ShardedSTPSJoin(db, query, options.shards, stats);
+    return ShardedSTPSJoin(db, query, options.shards, stats,
+                           options.prefetch);
   }
 
   // Time the run and fold the measurement into the planner's feedback —

@@ -58,6 +58,13 @@ struct JoinOptions {
   /// Bit-identical to shards == 1. Meant for mmap'd snapshots whose
   /// working set exceeds RAM — shards page mostly disjoint arena ranges.
   int shards = 1;
+  /// Advise the kernel about the sharded scan's access pattern before it
+  /// starts (common/prefetch.h): POSIX_MADV_SEQUENTIAL over the SoA
+  /// mirrors and token arena for the linear per-user pipeline pass, plus
+  /// POSIX_MADV_WILLNEED on each shard's object/SoA/arena ranges so page-
+  /// ins batch instead of faulting one at a time. Purely advisory — never
+  /// changes results — and a no-op off POSIX or on non-mapped databases.
+  bool prefetch = false;
 };
 
 /// Evaluates Q = <eps_loc, eps_doc, eps_u>: all user pairs with

@@ -12,11 +12,15 @@
 //    per-user slot lists, a slot free list recycling deleted entries, and
 //    an interned-token arena whose holes are tracked and periodically
 //    compacted. No query ever reads the store.
-//  * Publish() compacts the store's surviving objects (in original
-//    insertion order) through DatabaseBuilder::Build into a fresh
-//    immutable ObjectDatabase — token signatures, sketch index, and
-//    PlannerStats are refreshed as part of the build — and swaps it in as
-//    the next epoch's snapshot.
+//  * Publish() produces the next epoch's immutable ObjectDatabase and
+//    swaps it in. Small deltas take the O(delta) splice path: only dirty
+//    users' blocks (Z-order reorder, SoA mirrors, signatures, sketch
+//    rows, planner keys) are rebuilt, everything else is copied from the
+//    previous snapshot's columns. Large deltas — or mutations that
+//    invalidate a global structure (bounds growth, boundary deletes) —
+//    fall back to replaying every survivor through
+//    DatabaseBuilder::Build. Both paths produce bit-identical databases;
+//    see DESIGN.md §13 for the argument.
 //
 // Readers obtain `shared_ptr<const DatabaseSnapshot>` and keep it for the
 // whole query: writers never block readers, readers never block writers,
@@ -39,6 +43,7 @@
 #include <string>
 #include <string_view>
 #include <unordered_map>
+#include <utility>
 #include <vector>
 
 #include "common/macros.h"
@@ -73,9 +78,16 @@ struct UpdateOptions {
   /// fraction of their capacity. Compaction is O(live) and amortised by
   /// the fraction; 0 compacts on every delete (useful in tests).
   double compact_fraction = 0.5;
+  /// Publish takes the delta path (splice unchanged users' blocks from
+  /// the previous snapshot, rebuild only dirty users — see DESIGN.md §13)
+  /// while the dirty-user fraction is at most this value; beyond it, or
+  /// when a mutation invalidated a global structure (bounds growth /
+  /// boundary deletes), Publish falls back to the full rebuild. <= 0
+  /// disables the delta path entirely (every publish is a full rebuild).
+  double delta_publish_max_fraction = 0.25;
 };
 
-/// Write-side observability counters (monotone).
+/// Write-side observability counters (monotone unless noted).
 struct UpdateStats {
   uint64_t objects_inserted = 0;
   uint64_t objects_deleted = 0;
@@ -83,6 +95,38 @@ struct UpdateStats {
   uint64_t publishes = 0;
   uint64_t arena_compactions = 0;
   uint64_t slot_compactions = 0;
+  /// Publishes that took the delta (splice) path / the full-rebuild path;
+  /// delta_publishes + full_publishes == publishes.
+  uint64_t delta_publishes = 0;
+  uint64_t full_publishes = 0;
+  /// Total dirty users across delta publishes (the "delta size" actually
+  /// paid for; full publishes don't count here).
+  uint64_t dirty_users_published = 0;
+  /// Per-user blocks spliced from the previous snapshot vs rebuilt from
+  /// the store. Full publishes count every user as rebuilt.
+  uint64_t blocks_reused = 0;
+  uint64_t blocks_rebuilt = 0;
+  /// Wall-clock of the most recent publish and which path it took
+  /// (not monotone; meaningless until the first publish).
+  double last_publish_ms = 0.0;
+  bool last_publish_delta = false;
+};
+
+/// Human-readable one-per-line rendering of UpdateStats (the CLI
+/// `--explain` / server diagnostics format).
+std::string FormatUpdateStats(const UpdateStats& stats);
+
+/// Outcome of a publish attempt (PublishIfDirty): the snapshot to read,
+/// whether this call produced it, and how.
+struct PublishResult {
+  std::shared_ptr<const DatabaseSnapshot> snapshot;
+  /// True when this call built and swapped in a new epoch; false when the
+  /// store was clean and `snapshot` is the pre-existing epoch.
+  bool published = false;
+  /// Valid when `published`: true = delta (splice) path, false = full.
+  bool delta = false;
+  /// Valid when `published`: wall-clock milliseconds of the build+swap.
+  double publish_ms = 0.0;
 };
 
 /// Mutable database front end. Thread safety: any number of concurrent
@@ -121,8 +165,10 @@ class UpdatableDatabase {
   std::shared_ptr<const DatabaseSnapshot> Publish();
 
   /// Publishes only when mutations happened since the last publish;
-  /// otherwise returns the current snapshot unchanged.
-  std::shared_ptr<const DatabaseSnapshot> PublishIfDirty();
+  /// otherwise returns the current snapshot unchanged. The result says
+  /// whether an epoch was produced, which path built it, and how long it
+  /// took — the server PUBLISH reply forwards all three.
+  PublishResult PublishIfDirty();
 
   /// True when mutations are pending that no snapshot reflects yet.
   bool dirty() const;
@@ -159,6 +205,21 @@ class UpdatableDatabase {
     std::vector<uint32_t> slots;  // live slot ids of this user's set
   };
 
+  // Outputs of a publish body that RefreshAfterPublishLocked adopts. The
+  // planner pairs are maintained by both paths; the two id mappings are
+  // filled only by the delta path (which computes them anyway), letting
+  // the refresh skip the per-user / per-token hash lookups the full path
+  // needs. Empty vectors mean "resolve through the indexes".
+  struct PublishScaffold {
+    // The published (ZOrderKey, user) pair per object, sorted by key.
+    std::vector<std::pair<uint64_t, UserId>> planner_pairs;
+    // Store user -> published id (size users_.size(), kNone for users
+    // with no published objects).
+    std::vector<uint32_t> user_ids;
+    // Published dictionary id -> store token id.
+    std::vector<uint32_t> dict_store_ids;
+  };
+
   // All private helpers expect mutex_ held.
   uint32_t InternUser(std::string_view key);
   uint32_t InternToken(std::string_view token);
@@ -166,8 +227,27 @@ class UpdatableDatabase {
   void MaybeCompactLocked();
   void CompactArenaLocked();
   void CompactSlotsLocked();
-  std::shared_ptr<const DatabaseSnapshot> PublishLocked();
+  PublishResult PublishLocked();
   void PublishThresholdLocked();
+  // True when the pending delta qualifies for the splice path against the
+  // current snapshot (fraction threshold, no blocking mutations).
+  bool CanDeltaPublishLocked() const;
+  // The two publish bodies. Both return the built database and leave the
+  // refresh inputs in *out (see PublishScaffold).
+  ObjectDatabase BuildFullLocked(PublishScaffold* out);
+  ObjectDatabase BuildDeltaLocked(const ObjectDatabase& prev,
+                                  PublishScaffold* out);
+  // Post-build bookkeeping shared by both paths: store-user -> published
+  // id map, dict-id -> store-token map, dirty-set reset, planner pair
+  // adoption, publish_seq_ advance.
+  void RefreshAfterPublishLocked(const ObjectDatabase& db,
+                                 PublishScaffold scaffold);
+  // Marks a store user dirty (idempotent within one publish window).
+  void MarkUserDirtyLocked(uint32_t user);
+  // Marks a token's document frequency as changed since the last publish
+  // (idempotent): the delta path re-sorts exactly these tokens and
+  // splices the rest of the dictionary order.
+  void MarkTokenDirtyLocked(uint32_t token);
 
   const UpdateOptions options_;
 
@@ -183,6 +263,36 @@ class UpdatableDatabase {
   uint64_t next_seq_ = 0;
   size_t pending_mutations_ = 0;
   UpdateStats stats_;
+
+  // Delta-publish bookkeeping (see DESIGN.md §13). Store-local token ids
+  // are stable for the store's lifetime (compaction never renumbers
+  // them), so token_df_ is a plain parallel array.
+  std::vector<uint32_t> token_df_;     // live document frequency per token
+  // StableTokenHash per store token, computed once at intern time; the
+  // delta path hands these to the sketch splice so it never re-hashes
+  // the dictionary's strings.
+  std::vector<uint64_t> token_stable_hash_;
+  // Tokens whose df changed since the last publish (flag + dense list,
+  // reset by RefreshAfterPublishLocked). Everything *not* here kept its
+  // (df, string) sort key, so the previous dictionary order splices.
+  std::vector<uint8_t> token_dirty_;
+  std::vector<uint32_t> dirty_token_list_;
+  // Current snapshot's dictionary id -> store token id. Rebuilt on every
+  // publish; the delta path composes prev->new token maps through it
+  // instead of string hashing.
+  std::vector<uint32_t> dict_store_ids_;
+  std::vector<uint8_t> user_dirty_;    // store user touched since publish
+  size_t dirty_users_ = 0;             // count of set user_dirty_ flags
+  bool delta_blocked_ = false;         // a mutation forced the next
+                                       // publish onto the full path
+  uint64_t publish_seq_ = 0;           // next_seq_ at the last publish
+  // Store user -> dense id in the current snapshot (UINT32_MAX when the
+  // user has no published objects). Rebuilt on every publish.
+  std::vector<uint32_t> user_prev_id_;
+  // The snapshot's (ZOrderKey, user) pair per object, sorted by key: the
+  // planner-stats input, maintained across delta publishes by filtering
+  // out dirty users' pairs and merging in their recomputed ones.
+  std::vector<std::pair<uint64_t, UserId>> planner_keys_;
 
   mutable std::mutex snapshot_mutex_;  // guards snapshot_ only
   std::shared_ptr<const DatabaseSnapshot> snapshot_;

@@ -1,8 +1,8 @@
 #include "datagen/dataset_stats.h"
 
+#include <cmath>
 #include <cstdio>
 
-#include "common/stats.h"
 #include "planner/planner_stats.h"
 
 namespace stps {
@@ -12,34 +12,66 @@ DatasetStats ComputeDatasetStats(const ObjectDatabase& db) {
   return ComputeDatasetStatsUncached(db);
 }
 
+namespace {
+
+// Population mean / stddev from exact integer moments. The observations
+// are all small counts, so the two sums are exact in uint64 and the
+// whole pass is integer adds — no per-element floating-point division
+// (this runs on the publish path, where a Welford accumulator's serial
+// division chain was the bottleneck of the stats pass).
+void FinishMoments(uint64_t n, uint64_t sum, uint64_t sum_sq, double* mean,
+                   double* stddev) {
+  if (n == 0) {
+    *mean = 0.0;
+    *stddev = 0.0;
+    return;
+  }
+  const double nd = static_cast<double>(n);
+  const double m = static_cast<double>(sum) / nd;
+  const double variance = static_cast<double>(sum_sq) / nd - m * m;
+  *mean = m;
+  *stddev = variance > 0.0 ? std::sqrt(variance) : 0.0;
+}
+
+}  // namespace
+
 DatasetStats ComputeDatasetStatsUncached(const ObjectDatabase& db) {
   DatasetStats stats;
   stats.num_objects = db.num_objects();
   stats.num_users = db.num_users();
 
-  RunningStats tokens_per_object;
+  uint64_t sum = 0, sum_sq = 0;
   for (const STObject& o : db.AllObjects()) {
-    tokens_per_object.Add(static_cast<double>(o.doc.size()));
+    const uint64_t k = o.doc.size();
+    sum += k;
+    sum_sq += k * k;
   }
-  stats.tokens_per_object_mean = tokens_per_object.Mean();
-  stats.tokens_per_object_stddev = tokens_per_object.StdDev();
+  FinishMoments(db.num_objects(), sum, sum_sq,
+                &stats.tokens_per_object_mean,
+                &stats.tokens_per_object_stddev);
 
-  RunningStats objects_per_token;
   const Dictionary& dict = db.dictionary();
+  uint64_t distinct = 0;
+  sum = sum_sq = 0;
   for (TokenId t = 0; t < dict.size(); ++t) {
     const uint64_t df = dict.Frequency(t);
-    if (df > 0) objects_per_token.Add(static_cast<double>(df));
+    if (df == 0) continue;
+    ++distinct;
+    sum += df;
+    sum_sq += df * df;
   }
-  stats.num_distinct_tokens = objects_per_token.count();
-  stats.objects_per_token_mean = objects_per_token.Mean();
-  stats.objects_per_token_stddev = objects_per_token.StdDev();
+  stats.num_distinct_tokens = distinct;
+  FinishMoments(distinct, sum, sum_sq, &stats.objects_per_token_mean,
+                &stats.objects_per_token_stddev);
 
-  RunningStats objects_per_user;
+  sum = sum_sq = 0;
   for (UserId u = 0; u < db.num_users(); ++u) {
-    objects_per_user.Add(static_cast<double>(db.UserObjectCount(u)));
+    const uint64_t k = db.UserObjectCount(u);
+    sum += k;
+    sum_sq += k * k;
   }
-  stats.objects_per_user_mean = objects_per_user.Mean();
-  stats.objects_per_user_stddev = objects_per_user.StdDev();
+  FinishMoments(db.num_users(), sum, sum_sq, &stats.objects_per_user_mean,
+                &stats.objects_per_user_stddev);
   return stats;
 }
 

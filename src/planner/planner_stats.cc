@@ -1,14 +1,20 @@
 #include "planner/planner_stats.h"
 
 #include <algorithm>
+#include <bit>
 #include <vector>
 
+#include "common/macros.h"
 #include "spatial/batch.h"
 #include "text/dictionary.h"
 
 namespace stps {
 
-PlannerStats ComputePlannerStats(const ObjectDatabase& db) {
+namespace {
+
+// The ladder + token-skew summary over an already-sorted key multiset.
+PlannerStats ComputeFromSortedKeys(const ObjectDatabase& db,
+                                   std::span<const uint64_t> keys) {
   PlannerStats stats;
   stats.dataset = ComputeDatasetStatsUncached(db);
 
@@ -18,31 +24,34 @@ PlannerStats ComputePlannerStats(const ObjectDatabase& db) {
     stats.extent_y = bounds.max_y - bounds.min_y;
   }
 
-  // Occupancy ladder: one Morton key per object, sorted once; at level L
-  // a dyadic cell is the top 2L bits of the key, so each level is a
-  // run-length walk over the sorted keys.
-  const size_t n = db.num_objects();
-  std::vector<uint64_t> keys;
-  keys.reserve(n);
-  for (const STObject& o : db.AllObjects()) {
-    keys.push_back(ZOrderKey(bounds, o.loc));
-  }
-  std::sort(keys.begin(), keys.end());
-  for (int level = 0; level < PlannerStats::kLevels; ++level) {
+  // Occupancy ladder: at level L a dyadic cell is the top 2L bits of the
+  // key (2 bits per level; keys are 32-bit Morton values held in uint64,
+  // so the level-0 prefix is 0 for every key). All levels come out of a
+  // single walk over the sorted keys: adjacent keys split a level-L run
+  // iff their XOR reaches above the kept 32 - 2L bits, so the XOR's bit
+  // width names the shallowest splitting level and every deeper level
+  // splits with it.
+  const size_t n = keys.size();
+  size_t run_start[PlannerStats::kLevels] = {};
+  const auto close_run = [&stats](int level, uint64_t count) {
     OccupancyLevel& occ = stats.occupancy[level];
-    // 2 bits per level; keys are 32-bit Morton values held in uint64, so
-    // the level-0 shift of 32 cleanly yields prefix 0 for every key.
-    const int shift = 32 - 2 * level;
-    size_t i = 0;
-    while (i < n) {
-      const uint64_t prefix = keys[i] >> shift;
-      size_t j = i;
-      while (j < n && (keys[j] >> shift) == prefix) ++j;
-      const uint64_t count = j - i;
-      occ.occupied_cells += 1;
-      occ.sum_sq_counts += count * count;
-      occ.max_cell_count = std::max(occ.max_cell_count, count);
-      i = j;
+    occ.occupied_cells += 1;
+    occ.sum_sq_counts += count * count;
+    occ.max_cell_count = std::max(occ.max_cell_count, count);
+  };
+  for (size_t i = 1; i < n; ++i) {
+    const uint64_t diff = keys[i - 1] ^ keys[i];
+    if (diff == 0) continue;
+    // Splits at level L iff 2L > 32 - bit_width(diff).
+    const int min_level = (32 - std::bit_width(diff)) / 2 + 1;
+    for (int level = min_level; level < PlannerStats::kLevels; ++level) {
+      close_run(level, i - run_start[level]);
+      run_start[level] = i;
+    }
+  }
+  if (n > 0) {
+    for (int level = 0; level < PlannerStats::kLevels; ++level) {
+      close_run(level, n - run_start[level]);
     }
   }
 
@@ -64,6 +73,26 @@ PlannerStats ComputePlannerStats(const ObjectDatabase& db) {
     stats.token_top_frequency = static_cast<double>(max_df) / total_d;
   }
   return stats;
+}
+
+}  // namespace
+
+PlannerStats ComputePlannerStats(const ObjectDatabase& db) {
+  std::vector<uint64_t> keys;
+  keys.reserve(db.num_objects());
+  for (const STObject& o : db.AllObjects()) {
+    keys.push_back(ZOrderKey(db.bounds(), o.loc));
+  }
+  std::sort(keys.begin(), keys.end());
+  return ComputeFromSortedKeys(db, keys);
+}
+
+PlannerStats ComputePlannerStats(const ObjectDatabase& db,
+                                 std::span<const uint64_t> sorted_zkeys) {
+  STPS_DCHECK(sorted_zkeys.size() == db.num_objects());
+  STPS_DCHECK(
+      std::is_sorted(sorted_zkeys.begin(), sorted_zkeys.end()));
+  return ComputeFromSortedKeys(db, sorted_zkeys);
 }
 
 }  // namespace stps

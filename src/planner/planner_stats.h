@@ -23,6 +23,7 @@
 
 #include <array>
 #include <cstdint>
+#include <span>
 
 #include "core/database.h"
 #include "datagen/dataset_stats.h"
@@ -82,6 +83,16 @@ struct PlannerStats {
 /// key sort). Called by DatabaseBuilder::Build; everyone else should
 /// read the cached copy via ObjectDatabase::planner_stats().
 PlannerStats ComputePlannerStats(const ObjectDatabase& db);
+
+/// Same summary, but the caller supplies the sorted Morton keys of every
+/// object (ascending; one `ZOrderKey(db.bounds(), o.loc)` per object, in
+/// any object order). The delta publish path (core/update.cc) maintains
+/// this key multiset incrementally across epochs, turning the O(n log n)
+/// sort into an O(delta log delta + n) merge. Produces bit-identical
+/// stats to the scanning overload — the ladder walk only sees the sorted
+/// multiset, never which object owned a key.
+PlannerStats ComputePlannerStats(const ObjectDatabase& db,
+                                 std::span<const uint64_t> sorted_zkeys);
 
 }  // namespace stps
 

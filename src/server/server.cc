@@ -352,8 +352,19 @@ bool QueryServer::HandleRequest(const std::string& line, std::string* out) {
       out->append("ERR read-only server\n");
       return true;
     }
-    const auto snapshot = db_->Publish();
-    out->append("OK " + std::to_string(snapshot->epoch) + "\n");
+    // PublishIfDirty reports whether a new epoch was actually produced
+    // and which path (delta splice vs full rebuild) built it.
+    const PublishResult result = db_->PublishIfDirty();
+    char buffer[96];
+    if (result.published) {
+      std::snprintf(buffer, sizeof(buffer), "OK %llu %s %.3f\n",
+                    static_cast<unsigned long long>(result.snapshot->epoch),
+                    result.delta ? "delta" : "full", result.publish_ms);
+    } else {
+      std::snprintf(buffer, sizeof(buffer), "OK %llu unchanged 0.000\n",
+                    static_cast<unsigned long long>(result.snapshot->epoch));
+    }
+    out->append(buffer);
     return true;
   }
 
@@ -365,11 +376,13 @@ bool QueryServer::HandleRequest(const std::string& line, std::string* out) {
       std::lock_guard<std::mutex> lock(stats_mutex_);
       server = stats_;
     }
-    char buffer[512];
+    char buffer[768];
     std::snprintf(
         buffer, sizeof(buffer),
         "OK epoch=%llu objects=%zu users=%zu live_objects=%zu "
-        "inserted=%llu deleted=%llu publishes=%llu accepted=%llu "
+        "inserted=%llu deleted=%llu publishes=%llu delta_publishes=%llu "
+        "full_publishes=%llu dirty_users_published=%llu blocks_reused=%llu "
+        "blocks_rebuilt=%llu last_publish_ms=%.3f accepted=%llu "
         "rejected=%llu served=%llu failed=%llu\n",
         static_cast<unsigned long long>(snapshot->epoch),
         snapshot->db.num_objects(), snapshot->db.num_users(),
@@ -377,6 +390,12 @@ bool QueryServer::HandleRequest(const std::string& line, std::string* out) {
         static_cast<unsigned long long>(update.objects_inserted),
         static_cast<unsigned long long>(update.objects_deleted),
         static_cast<unsigned long long>(update.publishes),
+        static_cast<unsigned long long>(update.delta_publishes),
+        static_cast<unsigned long long>(update.full_publishes),
+        static_cast<unsigned long long>(update.dirty_users_published),
+        static_cast<unsigned long long>(update.blocks_reused),
+        static_cast<unsigned long long>(update.blocks_rebuilt),
+        update.last_publish_ms,
         static_cast<unsigned long long>(server.connections_accepted),
         static_cast<unsigned long long>(server.connections_rejected),
         static_cast<unsigned long long>(server.requests_served),

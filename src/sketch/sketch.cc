@@ -91,16 +91,176 @@ uint64_t PairKey(UserId a, UserId b) {
   return (static_cast<uint64_t>(a) << 32) | b;
 }
 
+void CheckParams(const SketchParams& params) {
+  STPS_CHECK(params.num_hashes >= 1);
+  STPS_CHECK(params.num_bands >= 1);
+  STPS_CHECK(params.index_grid_bits >= 1 && params.index_grid_bits <= 15);
+  STPS_CHECK(params.occupancy_grid_bits >= 3 &&
+             params.occupancy_grid_bits <= 15);
+}
+
+// Epoch-stable per-token hash values, indexed by token id (see
+// StableTokenHash in sketch.h). Both hash families key off these, so a
+// user's rows survive the dictionary's per-publish id reassignment.
+std::vector<uint64_t> ComputeStableHashes(const Dictionary& dict) {
+  std::vector<uint64_t> stable(dict.size());
+  for (TokenId t = 0; t < stable.size(); ++t) {
+    stable[t] = StableTokenHash(dict.TokenString(t));
+  }
+  return stable;
+}
+
+// The per-user arrays both constructors build (postings are derived from
+// them afterwards). minhash/masks/begins are pre-sized by the caller;
+// occ_cells/user_keys grow as users are appended in id order.
+struct SketchArrays {
+  std::vector<uint64_t> minhash;
+  std::vector<uint32_t> occ_begin;
+  std::vector<uint32_t> user_key_begin;
+  std::vector<uint64_t> masks;
+  std::vector<uint32_t> occ_cells;
+  std::vector<uint64_t> user_keys;
+};
+
+struct UserScratch {
+  std::vector<uint32_t> cells;
+  std::vector<uint64_t> keys;
+  TokenVector union_tokens;
+};
+
+// Computes user u's rows from the database and appends them to `out`.
+// Pure function of (u's point set, params, salts, grid frames) — the
+// delta constructor relies on that to splice unchanged users instead.
+void AppendUserRows(const ObjectDatabase& db, UserId u,
+                    std::span<const uint64_t> stable,
+                    const SketchParams& params, uint64_t band_salt,
+                    std::span<const uint64_t> row_salts, double min_x,
+                    double min_y, double width_x, double width_y,
+                    SketchArrays* out, UserScratch* scratch) {
+  const uint32_t g = 1u << params.occupancy_grid_bits;
+  const uint32_t ic = 1u << params.index_grid_bits;
+  const uint32_t fold = params.occupancy_grid_bits - 3;
+
+  std::vector<uint32_t>& cells = scratch->cells;
+  std::vector<uint64_t>& keys = scratch->keys;
+  TokenVector& union_tokens = scratch->union_tokens;
+  cells.clear();
+  keys.clear();
+  union_tokens.clear();
+  for (const STObject& o : db.UserObjects(u)) {
+    const uint32_t col = CellCoord(o.loc.x, min_x, width_x, g);
+    const uint32_t row = CellCoord(o.loc.y, min_y, width_y, g);
+    cells.push_back(row * g + col);
+    const uint64_t icell =
+        static_cast<uint64_t>(CellCoord(o.loc.y, min_y, width_y, ic)) * ic +
+        CellCoord(o.loc.x, min_x, width_x, ic);
+    for (const TokenId t : o.doc) {
+      union_tokens.push_back(t);
+      const uint64_t band =
+          SketchMix64(stable[t] ^ band_salt) % params.num_bands;
+      keys.push_back(icell * params.num_bands + band);
+    }
+  }
+  SortUniqueVec(&cells);
+  SortUniqueVec(&keys);
+  SortUniqueVec(&union_tokens);
+
+  out->occ_cells.insert(out->occ_cells.end(), cells.begin(), cells.end());
+  out->occ_begin[u + 1] = static_cast<uint32_t>(out->occ_cells.size());
+  out->user_keys.insert(out->user_keys.end(), keys.begin(), keys.end());
+  out->user_key_begin[u + 1] = static_cast<uint32_t>(out->user_keys.size());
+
+  uint64_t mask = 0;
+  for (const uint32_t cell : cells) {
+    const uint32_t mrow = (cell / g) >> fold;
+    const uint32_t mcol = (cell % g) >> fold;
+    mask |= 1ull << (mrow * 8 + mcol);
+  }
+  out->masks[u] = mask;
+
+  uint64_t* rows =
+      out->minhash.data() + static_cast<size_t>(u) * params.num_hashes;
+  for (const TokenId t : union_tokens) {
+    for (uint32_t i = 0; i < params.num_hashes; ++i) {
+      const uint64_t h = SketchMix64(stable[t] ^ row_salts[i]);
+      if (h < rows[i]) rows[i] = h;
+    }
+  }
+}
+
+// Inverts the per-user key lists into flat postings (sorted distinct keys
+// -> ascending user lists). Small key spaces (the default 16x16 grid x
+// 256 bands = 65536) take an O(keys + space) counting sort: one count
+// pass, one offset pass emitting the distinct keys, one scatter walking
+// users in ascending id so per-key user lists come out ascending without
+// a comparison sort. Larger spaces fall back to the flat pair sort; both
+// paths produce identical arrays.
+void BuildPostings(std::span<const uint64_t> user_keys,
+                   std::span<const uint32_t> user_key_begin,
+                   size_t num_users, uint64_t key_space,
+                   std::vector<uint64_t>* post_keys,
+                   std::vector<uint32_t>* post_begin,
+                   std::vector<UserId>* post_users) {
+  constexpr uint64_t kCountingSortLimit = 1ull << 24;
+  if (key_space > 0 && key_space <= kCountingSortLimit) {
+    std::vector<uint32_t> counts(key_space, 0);
+    for (const uint64_t key : user_keys) {
+      STPS_DCHECK(key < key_space);
+      ++counts[key];
+    }
+    post_users->resize(user_keys.size());
+    const size_t max_distinct =
+        std::min<size_t>(key_space, user_keys.size());
+    post_keys->reserve(max_distinct);
+    post_begin->reserve(max_distinct + 1);
+    uint32_t offset = 0;
+    for (uint64_t key = 0; key < key_space; ++key) {
+      const uint32_t count = counts[key];
+      if (count == 0) continue;
+      post_keys->push_back(key);
+      post_begin->push_back(offset);
+      counts[key] = offset;  // becomes the scatter cursor
+      offset += count;
+    }
+    post_begin->push_back(offset);
+    for (UserId u = 0; u < num_users; ++u) {
+      for (uint32_t i = user_key_begin[u]; i < user_key_begin[u + 1]; ++i) {
+        (*post_users)[counts[user_keys[i]]++] = u;
+      }
+    }
+    return;
+  }
+
+  std::vector<std::pair<uint64_t, UserId>> flat;
+  flat.reserve(user_keys.size());
+  for (UserId u = 0; u < num_users; ++u) {
+    for (uint32_t i = user_key_begin[u]; i < user_key_begin[u + 1]; ++i) {
+      flat.emplace_back(user_keys[i], u);
+    }
+  }
+  std::sort(flat.begin(), flat.end());
+  post_users->reserve(flat.size());
+  for (const auto& [key, u] : flat) {
+    if (post_keys->empty() || post_keys->back() != key) {
+      post_keys->push_back(key);
+      post_begin->push_back(static_cast<uint32_t>(post_users->size()));
+    }
+    post_users->push_back(u);
+  }
+  post_begin->push_back(static_cast<uint32_t>(post_users->size()));
+}
+
+uint64_t KeySpace(const SketchParams& params) {
+  const uint64_t ic = uint64_t{1} << params.index_grid_bits;
+  return ic * ic * params.num_bands;
+}
+
 }  // namespace
 
 UserSketchIndex::UserSketchIndex(const ObjectDatabase& db,
                                  const SketchParams& params)
     : params_(params), num_users_(db.num_users()) {
-  STPS_CHECK(params_.num_hashes >= 1);
-  STPS_CHECK(params_.num_bands >= 1);
-  STPS_CHECK(params_.index_grid_bits >= 1 && params_.index_grid_bits <= 15);
-  STPS_CHECK(params_.occupancy_grid_bits >= 3 &&
-             params_.occupancy_grid_bits <= 15);
+  CheckParams(params_);
 
   SketchSaltStream salts(params_.seed);
   band_salt_ = salts.Next();
@@ -118,100 +278,163 @@ UserSketchIndex::UserSketchIndex(const ObjectDatabase& db,
     width_y_ = bounds.max_y - bounds.min_y;
   }
 
-  const uint32_t g = 1u << params_.occupancy_grid_bits;
-  const uint32_t ic = 1u << params_.index_grid_bits;
-  const uint32_t fold = params_.occupancy_grid_bits - 3;
+  const std::vector<uint64_t> stable = ComputeStableHashes(db.dictionary());
 
-  // Build into locals, then move into the (immutable) columns at the end.
-  std::vector<uint64_t> minhash(num_users_ * params_.num_hashes,
-                                std::numeric_limits<uint64_t>::max());
-  std::vector<uint64_t> masks(num_users_, 0);
-  std::vector<uint32_t> occ_begin(num_users_ + 1, 0);
-  std::vector<uint32_t> user_key_begin(num_users_ + 1, 0);
-  std::vector<uint32_t> occ_cells;
-  std::vector<uint64_t> user_keys;
+  SketchArrays arrays;
+  arrays.minhash.assign(num_users_ * params_.num_hashes,
+                        std::numeric_limits<uint64_t>::max());
+  arrays.masks.assign(num_users_, 0);
+  arrays.occ_begin.assign(num_users_ + 1, 0);
+  arrays.user_key_begin.assign(num_users_ + 1, 0);
+
+  UserScratch scratch;
+  for (UserId u = 0; u < num_users_; ++u) {
+    AppendUserRows(db, u, stable, params_, band_salt_, row_salts, min_x_,
+                   min_y_, width_x_, width_y_, &arrays, &scratch);
+  }
+
   std::vector<uint64_t> post_keys;
   std::vector<uint32_t> post_begin;
   std::vector<UserId> post_users;
+  BuildPostings(arrays.user_keys, arrays.user_key_begin, num_users_,
+                KeySpace(params_), &post_keys, &post_begin, &post_users);
 
-  std::vector<uint32_t> cells;
-  std::vector<uint64_t> keys;
-  TokenVector union_tokens;
-  for (UserId u = 0; u < num_users_; ++u) {
-    cells.clear();
-    keys.clear();
-    union_tokens.clear();
-    for (const STObject& o : db.UserObjects(u)) {
-      const uint32_t col = CellCoord(o.loc.x, min_x_, width_x_, g);
-      const uint32_t row = CellCoord(o.loc.y, min_y_, width_y_, g);
-      cells.push_back(row * g + col);
-      const uint64_t icell =
-          static_cast<uint64_t>(CellCoord(o.loc.y, min_y_, width_y_, ic)) *
-              ic +
-          CellCoord(o.loc.x, min_x_, width_x_, ic);
-      for (const TokenId t : o.doc) {
-        union_tokens.push_back(t);
-        const uint64_t band =
-            SketchMix64(static_cast<uint64_t>(t) ^ band_salt_) %
-            params_.num_bands;
-        keys.push_back(icell * params_.num_bands + band);
-      }
-    }
-    SortUniqueVec(&cells);
-    SortUniqueVec(&keys);
-    SortUniqueVec(&union_tokens);
+  minhash_ = std::move(arrays.minhash);
+  occ_cells_ = std::move(arrays.occ_cells);
+  occ_begin_ = std::move(arrays.occ_begin);
+  masks_ = std::move(arrays.masks);
+  user_keys_ = std::move(arrays.user_keys);
+  user_key_begin_ = std::move(arrays.user_key_begin);
+  post_keys_ = std::move(post_keys);
+  post_begin_ = std::move(post_begin);
+  post_users_ = std::move(post_users);
+  row_salts_ = std::move(row_salts);
+}
 
-    occ_cells.insert(occ_cells.end(), cells.begin(), cells.end());
-    occ_begin[u + 1] = static_cast<uint32_t>(occ_cells.size());
-    user_keys.insert(user_keys.end(), keys.begin(), keys.end());
-    user_key_begin[u + 1] = static_cast<uint32_t>(user_keys.size());
+UserSketchIndex::UserSketchIndex(const ObjectDatabase& db,
+                                 const UserSketchIndex& prev,
+                                 std::span<const uint32_t> prev_user_of_new,
+                                 const SketchParams& params,
+                                 std::span<const uint64_t> stable_hashes)
+    : params_(params), num_users_(db.num_users()) {
+  CheckParams(params_);
+  STPS_CHECK(params_ == prev.params_);
+  STPS_CHECK(prev_user_of_new.size() == num_users_);
 
-    uint64_t mask = 0;
-    for (const uint32_t cell : cells) {
-      const uint32_t mrow = (cell / g) >> fold;
-      const uint32_t mcol = (cell % g) >> fold;
-      mask |= 1ull << (mrow * 8 + mcol);
-    }
-    masks[u] = mask;
-
-    uint64_t* rows = minhash.data() + static_cast<size_t>(u) *
-                                          params_.num_hashes;
-    for (const TokenId t : union_tokens) {
-      for (uint32_t i = 0; i < params_.num_hashes; ++i) {
-        const uint64_t h =
-            SketchMix64(static_cast<uint64_t>(t) ^ row_salts[i]);
-        if (h < rows[i]) rows[i] = h;
-      }
-    }
+  // Same salt derivation as the fresh constructor (pure function of the
+  // seed), so computed and spliced rows agree on the hash families.
+  SketchSaltStream salts(params_.seed);
+  band_salt_ = salts.Next();
+  std::vector<uint64_t> row_salts;
+  row_salts.reserve(params_.num_hashes);
+  for (uint32_t i = 0; i < params_.num_hashes; ++i) {
+    row_salts.push_back(salts.Next());
   }
 
-  // Invert the per-user key lists into flat postings: sort by (key, user)
-  // — users were appended in ascending id order per key already, but the
-  // pair sort makes that an invariant rather than an accident.
-  std::vector<std::pair<uint64_t, UserId>> flat;
-  flat.reserve(user_keys.size());
-  for (UserId u = 0; u < num_users_; ++u) {
-    for (uint32_t i = user_key_begin[u]; i < user_key_begin[u + 1]; ++i) {
-      flat.emplace_back(user_keys[i], u);
-    }
+  const Rect& bounds = db.bounds();
+  if (!bounds.IsEmpty()) {
+    min_x_ = bounds.min_x;
+    min_y_ = bounds.min_y;
+    width_x_ = bounds.max_x - bounds.min_x;
+    width_y_ = bounds.max_y - bounds.min_y;
   }
-  std::sort(flat.begin(), flat.end());
-  post_users.reserve(flat.size());
-  for (const auto& [key, u] : flat) {
-    if (post_keys.empty() || post_keys.back() != key) {
-      post_keys.push_back(key);
-      post_begin.push_back(static_cast<uint32_t>(post_users.size()));
-    }
-    post_users.push_back(u);
-  }
-  post_begin.push_back(static_cast<uint32_t>(post_users.size()));
+  // Splicing is only sound when both grids are framed identically — the
+  // delta publish path falls back to a full rebuild on any bounds change.
+  STPS_CHECK(min_x_ == prev.min_x_ && min_y_ == prev.min_y_ &&
+             width_x_ == prev.width_x_ && width_y_ == prev.width_y_);
 
-  minhash_ = std::move(minhash);
-  occ_cells_ = std::move(occ_cells);
-  occ_begin_ = std::move(occ_begin);
-  masks_ = std::move(masks);
-  user_keys_ = std::move(user_keys);
-  user_key_begin_ = std::move(user_key_begin);
+  std::vector<uint64_t> computed_stable;
+  if (stable_hashes.empty() && db.dictionary().size() > 0) {
+    computed_stable = ComputeStableHashes(db.dictionary());
+    stable_hashes = computed_stable;
+  }
+  STPS_CHECK(stable_hashes.size() == db.dictionary().size());
+  const std::span<const uint64_t> stable = stable_hashes;
+
+  SketchArrays arrays;
+  // Unlike the fresh constructor, minhash grows in append order (run
+  // block copies and per-dirty-user sentinel rows) instead of being
+  // pre-filled: splices overwrite ~every row, so the up-front
+  // num_users * num_hashes sentinel fill would be pure wasted bandwidth.
+  arrays.minhash.reserve(num_users_ * params_.num_hashes);
+  arrays.masks.assign(num_users_, 0);
+  arrays.occ_begin.assign(num_users_ + 1, 0);
+  arrays.user_key_begin.assign(num_users_ + 1, 0);
+  // Splices dominate (that is the point of the delta path): size the
+  // growing arrays to the previous epoch up front so the per-user
+  // insert loop never reallocates mid-splice.
+  arrays.occ_cells.reserve(prev.occ_cells_.size());
+  arrays.user_keys.reserve(prev.user_keys_.size());
+
+  // Spliced users come in long runs of consecutive prev ids (the delta
+  // publish keeps retained users in prev-id order, and dirty users are
+  // sparse), so each run's CSR payloads move as one block copy with the
+  // begins recovered by offset arithmetic — not one insert per user.
+  UserScratch scratch;
+  UserId u = 0;
+  while (u < num_users_) {
+    const uint32_t pu = prev_user_of_new[u];
+    if (pu == UINT32_MAX) {
+      // AppendUserRows min-folds into pre-set sentinel rows.
+      arrays.minhash.insert(arrays.minhash.end(), params_.num_hashes,
+                            std::numeric_limits<uint64_t>::max());
+      AppendUserRows(db, u, stable, params_, band_salt_, row_salts, min_x_,
+                     min_y_, width_x_, width_y_, &arrays, &scratch);
+      ++u;
+      continue;
+    }
+    STPS_CHECK(pu < prev.num_users_);
+    UserId run_end = u + 1;
+    while (run_end < num_users_ &&
+           prev_user_of_new[run_end] == pu + (run_end - u)) {
+      ++run_end;
+    }
+    const uint32_t pu_end = pu + (run_end - u);
+    STPS_CHECK(pu_end <= prev.num_users_);
+
+    const uint32_t cell_lo = prev.occ_begin_[pu];
+    const uint32_t cell_hi = prev.occ_begin_[pu_end];
+    const uint32_t cell_base = static_cast<uint32_t>(arrays.occ_cells.size());
+    arrays.occ_cells.insert(arrays.occ_cells.end(),
+                            prev.occ_cells_.begin() + cell_lo,
+                            prev.occ_cells_.begin() + cell_hi);
+    const uint32_t key_lo = prev.user_key_begin_[pu];
+    const uint32_t key_hi = prev.user_key_begin_[pu_end];
+    const uint32_t key_base = static_cast<uint32_t>(arrays.user_keys.size());
+    arrays.user_keys.insert(arrays.user_keys.end(),
+                            prev.user_keys_.begin() + key_lo,
+                            prev.user_keys_.begin() + key_hi);
+    for (UserId w = u; w < run_end; ++w) {
+      const uint32_t pw = pu + (w - u);
+      arrays.occ_begin[w + 1] =
+          cell_base + (prev.occ_begin_[pw + 1] - cell_lo);
+      arrays.user_key_begin[w + 1] =
+          key_base + (prev.user_key_begin_[pw + 1] - key_lo);
+    }
+    arrays.minhash.insert(arrays.minhash.end(),
+                          prev.minhash_.begin() +
+                              static_cast<size_t>(pu) * params_.num_hashes,
+                          prev.minhash_.begin() +
+                              static_cast<size_t>(pu_end) * params_.num_hashes);
+    std::copy(prev.masks_.begin() + pu, prev.masks_.begin() + pu_end,
+              arrays.masks.begin() + u);
+    u = run_end;
+  }
+  STPS_CHECK(arrays.minhash.size() ==
+             static_cast<size_t>(num_users_) * params_.num_hashes);
+
+  std::vector<uint64_t> post_keys;
+  std::vector<uint32_t> post_begin;
+  std::vector<UserId> post_users;
+  BuildPostings(arrays.user_keys, arrays.user_key_begin, num_users_,
+                KeySpace(params_), &post_keys, &post_begin, &post_users);
+
+  minhash_ = std::move(arrays.minhash);
+  occ_cells_ = std::move(arrays.occ_cells);
+  occ_begin_ = std::move(arrays.occ_begin);
+  masks_ = std::move(arrays.masks);
+  user_keys_ = std::move(arrays.user_keys);
+  user_key_begin_ = std::move(arrays.user_key_begin);
   post_keys_ = std::move(post_keys);
   post_begin_ = std::move(post_begin);
   post_users_ = std::move(post_users);

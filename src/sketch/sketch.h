@@ -27,16 +27,35 @@
 #include <cstdint>
 #include <memory>
 #include <span>
+#include <string_view>
 #include <utility>
 #include <vector>
 
 #include "common/column.h"
+#include "sketch/count_min.h"
 #include "sketch/options.h"
 #include "stjoin/object.h"
 
 namespace stps {
 
 class ObjectDatabase;
+
+/// Epoch-stable 64-bit hash of a token: FNV-1a over the token *string*,
+/// finished by the sketch layer's shared mixer. Every hash family in the
+/// sketch layer (MinHash rows, LSH bands) keys off this value rather than
+/// the token id, because ids are reassigned by document frequency on
+/// every publish — hashing the string makes a user's sketch rows a pure
+/// function of its token *set*, which is what lets the delta publish path
+/// (core/update.cc) splice unchanged users' rows across epochs while the
+/// fresh build computes bit-identical values.
+inline uint64_t StableTokenHash(std::string_view token) {
+  uint64_t h = 0xCBF29CE484222325ull;  // FNV offset basis
+  for (const char c : token) {
+    h ^= static_cast<unsigned char>(c);
+    h *= 0x100000001B3ull;  // FNV prime
+  }
+  return SketchMix64(h);
+}
 
 /// Build-time shape of the sketch layer. The defaults are sized for the
 /// library's workloads (hundreds of thousands of users, tens of tokens
@@ -58,6 +77,12 @@ struct SketchParams {
   uint32_t occupancy_grid_bits = 6;
   /// Master seed for every hash family in the layer.
   uint64_t seed = 0x53545053u;  // "STPS"
+
+  friend bool operator==(const SketchParams& a, const SketchParams& b) {
+    return a.num_hashes == b.num_hashes && a.num_bands == b.num_bands &&
+           a.index_grid_bits == b.index_grid_bits &&
+           a.occupancy_grid_bits == b.occupancy_grid_bits && a.seed == b.seed;
+  }
 };
 
 /// Output of one candidate-generation pass.
@@ -102,6 +127,27 @@ struct SketchParts {
 class UserSketchIndex {
  public:
   UserSketchIndex(const ObjectDatabase& db, const SketchParams& params);
+
+  /// Delta (splice) mode, for the incremental publish path: users whose
+  /// point sets did not change between epochs copy their rows (MinHash,
+  /// occupancy cells, mask, band keys) straight out of `prev`; the rest
+  /// are computed from `db` exactly like the fresh constructor. This is
+  /// bit-identical to `UserSketchIndex(db, params)` because every
+  /// per-user row is a pure function of the user's point set: hashes key
+  /// off StableTokenHash (epoch-stable), and both grids are framed by
+  /// db.bounds(), which the caller guarantees equals the bounds `prev`
+  /// was built against. Preconditions (checked): params == prev.params(),
+  /// prev_user_of_new.size() == db.num_users(), and each mapped id is a
+  /// user of `prev` with the same point set as its new counterpart.
+  /// `prev_user_of_new[u]` is the user's id in the previous epoch, or
+  /// UINT32_MAX to rebuild u from `db`. `stable_hashes`, when non-empty,
+  /// must hold StableTokenHash(dict.TokenString(t)) per token id — the
+  /// publish path maintains these per interned token, sparing the splice
+  /// an O(dictionary) re-hash; empty recomputes them here.
+  UserSketchIndex(const ObjectDatabase& db, const UserSketchIndex& prev,
+                  std::span<const uint32_t> prev_user_of_new,
+                  const SketchParams& params,
+                  std::span<const uint64_t> stable_hashes = {});
 
   /// Borrowed (arena-view) mode: adopts the spans of `parts` without
   /// copying. The caller keeps the backing storage alive and has

@@ -19,6 +19,24 @@ Dictionary Dictionary::Borrowed(std::span<const uint64_t> offsets,
   return dict;
 }
 
+Dictionary Dictionary::FromSortedEntries(std::vector<std::string> strings,
+                                         std::vector<uint64_t> frequency) {
+  STPS_CHECK(strings.size() == frequency.size());
+  Dictionary dict;
+  dict.strings_ = std::move(strings);
+  dict.frequency_ = std::move(frequency);
+  dict.finalized_ = true;
+  for (TokenId id = 1; id < dict.strings_.size(); ++id) {
+    // Strictly ascending (frequency, string) — which also proves the
+    // entries distinct.
+    STPS_DCHECK(dict.frequency_[id - 1] < dict.frequency_[id] ||
+                (dict.frequency_[id - 1] == dict.frequency_[id] &&
+                 dict.strings_[id - 1] < dict.strings_[id]));
+  }
+  dict.lazy_ = std::make_shared<LazyIndex>();
+  return dict;
+}
+
 TokenId Dictionary::Intern(std::string_view token, bool count_occurrence) {
   STPS_CHECK(!borrowed_);
   STPS_CHECK(!finalized_);
@@ -41,6 +59,19 @@ void Dictionary::CountOccurrence(TokenId id) {
 
 bool Dictionary::Lookup(std::string_view token, TokenId* id) const {
   if (borrowed_) return borrowed_strings_.Find(token, id);
+  if (lazy_ != nullptr) {
+    LazyIndex& lazy = *lazy_;
+    std::call_once(lazy.once, [&] {
+      lazy.map.reserve(strings_.size());
+      for (TokenId t = 0; t < strings_.size(); ++t) {
+        lazy.map.emplace(strings_[t], t);
+      }
+    });
+    const auto it = lazy.map.find(std::string(token));
+    if (it == lazy.map.end()) return false;
+    *id = it->second;
+    return true;
+  }
   const auto it = index_.find(std::string(token));
   if (it == index_.end()) return false;
   *id = it->second;

@@ -10,6 +10,8 @@
 #define STPS_TEXT_DICTIONARY_H_
 
 #include <cstdint>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <string_view>
@@ -42,6 +44,18 @@ class Dictionary {
   static Dictionary Borrowed(std::span<const uint64_t> offsets,
                              std::span<const char> blob,
                              std::span<const uint64_t> frequency);
+
+  /// Owned, finalized-by-construction mode: adopts `strings`/`frequency`
+  /// already in the final id order — ascending (frequency, string), the
+  /// exact order FinalizeByFrequency produces. The delta publish path
+  /// (core/update.cc) uses this to splice the dictionary from maintained
+  /// document-frequency counters in O(V) instead of re-interning every
+  /// surviving keyword occurrence; the string -> id index is built lazily
+  /// on the first Lookup (thread-safe), so constructing the dictionary
+  /// never hashes the vocabulary. The order precondition is DCHECK'd;
+  /// violating it silently breaks prefix filtering.
+  static Dictionary FromSortedEntries(std::vector<std::string> strings,
+                                      std::vector<uint64_t> frequency);
 
   /// Returns the id for `token`, creating it if unseen. When
   /// `count_occurrence` is true the token's document-frequency counter is
@@ -86,9 +100,18 @@ class Dictionary {
                     TokenVector* tokens);
 
  private:
+  // Lazily-built string -> id map for FromSortedEntries dictionaries
+  // (call_once, same pattern as StringTable::Find). Behind a shared_ptr
+  // so the dictionary stays movable.
+  struct LazyIndex {
+    std::once_flag once;
+    std::unordered_map<std::string, TokenId> map;
+  };
+
   std::unordered_map<std::string, TokenId> index_;
   std::vector<std::string> strings_;
   std::vector<uint64_t> frequency_;
+  std::shared_ptr<LazyIndex> lazy_;  // FromSortedEntries mode only
   bool finalized_ = false;
   // Borrowed mode only: the arena views (string lookup is lazy, inside
   // StringTable, so loading a snapshot never touches the string blob).

@@ -201,9 +201,14 @@ TEST(UpdatableDatabaseTest, PublishIfDirtyAndThreshold) {
   db.InsertObject(a);
   EXPECT_EQ(db.epoch(), 1u);  // third mutation auto-published
   EXPECT_FALSE(db.dirty());
-  EXPECT_EQ(db.PublishIfDirty()->epoch, 1u);  // no-op when clean
+  const PublishResult clean = db.PublishIfDirty();
+  EXPECT_EQ(clean.snapshot->epoch, 1u);  // no-op when clean
+  EXPECT_FALSE(clean.published);
   db.InsertObject(a);
-  EXPECT_EQ(db.PublishIfDirty()->epoch, 2u);
+  const PublishResult published = db.PublishIfDirty();
+  EXPECT_EQ(published.snapshot->epoch, 2u);
+  EXPECT_TRUE(published.published);
+  EXPECT_GE(published.publish_ms, 0.0);
 }
 
 TEST(UpdatableDatabaseTest, SeedFromDatabaseIsEquivalent) {
@@ -257,7 +262,7 @@ void RunDifferential(uint64_t seed, const UpdateOptions& options,
     }
 
     if (round % compare_every == 0 || round == rounds) {
-      const auto snapshot = db.PublishIfDirty();
+      const auto snapshot = db.PublishIfDirty().snapshot;
       const ObjectDatabase oracle = BuildOracle(log, deleted);
       ASSERT_EQ(snapshot->db.num_objects(), oracle.num_objects());
       ASSERT_EQ(snapshot->db.num_users(), oracle.num_users());

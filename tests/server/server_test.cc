@@ -245,7 +245,10 @@ TEST_F(ServerTest, InsertDeletePublishEpochVisibility) {
   EXPECT_EQ(client.Query("JOIN 0.2 0.5 0.3").front(), "OK 0 0");
 
   ASSERT_TRUE(client.SendLine("PUBLISH"));
-  EXPECT_EQ(client.ReadLine(), "OK 1");
+  // Reply format: OK <epoch> <delta|full|unchanged> <ms>. The first
+  // publish is always a full rebuild (epoch 0 has no users to splice).
+  std::string publish_reply = client.ReadLine();
+  EXPECT_EQ(publish_reply.rfind("OK 1 full ", 0), 0u) << publish_reply;
   const auto rows = client.Query("JOIN 0.2 0.5 0.3");
   ASSERT_EQ(rows.size(), 2u);  // alice-bob match at these thresholds
   EXPECT_EQ(rows[0], "OK 1 1");
@@ -256,8 +259,14 @@ TEST_F(ServerTest, InsertDeletePublishEpochVisibility) {
   ASSERT_TRUE(client.SendLine("DELETE alice"));
   EXPECT_EQ(client.ReadLine(), "ERR unknown user");
   ASSERT_TRUE(client.SendLine("PUBLISH"));
-  EXPECT_EQ(client.ReadLine(), "OK 2");
+  // Deleting 1 of 2 users exceeds the default dirty fraction -> full.
+  publish_reply = client.ReadLine();
+  EXPECT_EQ(publish_reply.rfind("OK 2 full ", 0), 0u) << publish_reply;
   EXPECT_EQ(client.Query("JOIN 0.2 0.5 0.3").front(), "OK 0 2");
+  // A clean PUBLISH reports the existing epoch without bumping it.
+  ASSERT_TRUE(client.SendLine("PUBLISH"));
+  publish_reply = client.ReadLine();
+  EXPECT_EQ(publish_reply, "OK 2 unchanged 0.000") << publish_reply;
 
   ASSERT_TRUE(client.SendLine("STATS"));
   const std::string stats = client.ReadLine();

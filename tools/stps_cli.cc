@@ -6,7 +6,7 @@
 //   stps_cli stats <data.tsv>
 //       Print Table-1-style descriptive statistics.
 //   stps_cli join <data.tsv> <eps_loc> <eps_doc> <eps_u> [--sketch]
-//       [--explain] [--mapped] [--shards N] [algorithm]
+//       [--explain] [--mapped] [--shards N] [--prefetch] [algorithm]
 //       Run STPSJoin (algorithm: auto | sppjc | sppjb | sppjf | sppjd |
 //       brute; default auto — the cost-model planner picks). Prints one
 //       "userA userB sigma" row per pair. --sketch draws candidates from
@@ -15,7 +15,8 @@
 //       the pairs. --mapped opens a .stpsdb v3 snapshot via mmap (O(1)
 //       open, pages on demand). --shards N partitions the join by user
 //       range onto N threads (bit-identical results; implies sppjf when
-//       the algorithm is auto).
+//       the algorithm is auto). --prefetch advises the kernel about the
+//       scan (madvise) before the join — useful with --mapped.
 //   stps_cli topk <data.tsv> <eps_loc> <eps_doc> <k> [--sketch]
 //       [--explain] [--mapped] [variant]
 //       Run top-k STPSJoin (variant: auto | f | s | p | brute; default
@@ -23,13 +24,14 @@
 //   stps_cli tune <data.tsv> <target_size> <eps_loc0> <eps_doc0> <eps_u0>
 //       Auto-tune thresholds toward a result-set size.
 //   stps_cli serve <data.tsv|data.stpsdb|-> <port> [--workers N]
-//       [--queue N] [--publish-every N] [--mapped]
+//       [--queue N] [--publish-every N] [--mapped] [--explain]
 //       Long-running concurrent query server over an updatable database
 //       (line protocol; see server/server.h). "-" starts empty; inserts
 //       auto-publish a new epoch every N mutations (default 256).
 //       --mapped serves an mmap'd v3 snapshot read-only: queries page
 //       the file on demand; INSERT/DELETE/PUBLISH answer "ERR read-only
-//       server".
+//       server". --explain prints the update-layer publish counters
+//       (delta vs full publishes, blocks reused/rebuilt) at shutdown.
 
 #include <atomic>
 #include <chrono>
@@ -68,14 +70,14 @@ int Usage() {
       "  stps_cli stats <data.tsv>\n"
       "  stps_cli convert <in.tsv|in.stpsdb> <out.tsv|out.stpsdb>\n"
       "  stps_cli join <data.tsv> <eps_loc> <eps_doc> <eps_u> [--sketch] "
-      "[--explain] [--mapped] [--shards N] "
+      "[--explain] [--mapped] [--shards N] [--prefetch] "
       "[auto|sppjc|sppjb|sppjf|sppjd|brute]\n"
       "  stps_cli topk <data.tsv> <eps_loc> <eps_doc> <k> [--sketch] "
       "[--explain] [--mapped] [auto|f|s|p|brute]\n"
       "  stps_cli tune <data.tsv> <target_size> <eps_loc0> <eps_doc0> "
       "<eps_u0>\n"
       "  stps_cli serve <data.tsv|data.stpsdb|-> <port> [--workers N] "
-      "[--queue N] [--publish-every N] [--mapped]\n");
+      "[--queue N] [--publish-every N] [--mapped] [--explain]\n");
   return 2;
 }
 
@@ -278,6 +280,8 @@ int CmdJoin(int argc, char** argv) {
       explain = true;
     } else if (name == "--mapped") {
       mapped = true;
+    } else if (name == "--prefetch") {
+      options.prefetch = true;
     } else if (name == "--shards" && i + 1 < argc) {
       if (!ParseIntArg("shards", argv[++i], 1, 256, &options.shards)) {
         return Usage();
@@ -419,6 +423,7 @@ int CmdServe(int argc, char** argv) {
   }
   size_t publish_every = 256;
   bool mapped = false;
+  bool explain = false;
   for (int i = 4; i < argc; ++i) {
     const std::string flag = argv[i];
     if (flag == "--workers" && i + 1 < argc) {
@@ -438,6 +443,8 @@ int CmdServe(int argc, char** argv) {
       }
     } else if (flag == "--mapped") {
       mapped = true;
+    } else if (flag == "--explain") {
+      explain = true;
     } else {
       return Usage();
     }
@@ -500,6 +507,10 @@ int CmdServe(int argc, char** argv) {
                static_cast<unsigned long long>(stats.requests_served),
                static_cast<unsigned long long>(stats.requests_failed),
                static_cast<unsigned long long>(mapped ? 1 : updatable.epoch()));
+  if (explain && !mapped) {
+    std::fprintf(stderr, "%s",
+                 FormatUpdateStats(updatable.stats()).c_str());
+  }
   return 0;
 }
 
